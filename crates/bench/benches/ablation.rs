@@ -1,0 +1,65 @@
+//! Ablation of the paper's two key techniques — pseudo aggressors (§3.1)
+//! and dominance pruning (§3.2) — plus the higher-order aggressors of
+//! §3.3. The paper attributes its tractability to the first two; this
+//! bench measures what each switch costs or saves on a mid-size circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dna_netlist::suite;
+use dna_topk::{TopKAnalysis, TopKConfig};
+
+const K: usize = 10;
+
+fn config_variants() -> Vec<(&'static str, TopKConfig)> {
+    let base = TopKConfig::default();
+    vec![
+        ("full", base),
+        ("no_dominance", TopKConfig { dominance_pruning: false, ..base }),
+        ("no_pseudo", TopKConfig { pseudo_aggressors: false, ..base }),
+        ("no_higher_order", TopKConfig { higher_order: false, ..base }),
+        ("no_validation", TopKConfig { validate: false, ..base }),
+    ]
+}
+
+fn ablation_addition(c: &mut Criterion) {
+    let circuit = suite::benchmark("i2", dna_bench::DEFAULT_SEED).unwrap();
+    let mut group = c.benchmark_group("ablation_addition/i2_k10");
+    group.sample_size(10);
+    for (label, config) in config_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            let engine = TopKAnalysis::new(&circuit, *cfg);
+            b.iter(|| engine.addition_set(K).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn ablation_elimination(c: &mut Criterion) {
+    let circuit = suite::benchmark("i1", dna_bench::DEFAULT_SEED).unwrap();
+    let mut group = c.benchmark_group("ablation_elimination/i1_k10");
+    group.sample_size(10);
+    for (label, config) in config_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            let engine = TopKAnalysis::new(&circuit, *cfg);
+            b.iter(|| engine.elimination_set(K).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn beam_width_sweep(c: &mut Criterion) {
+    let circuit = suite::benchmark("i2", dna_bench::DEFAULT_SEED).unwrap();
+    let mut group = c.benchmark_group("beam_width/i2_k10");
+    group.sample_size(10);
+    for beam in [4usize, 12, 24, 48] {
+        group.bench_with_input(BenchmarkId::from_parameter(beam), &beam, |b, &beam| {
+            let config =
+                TopKConfig { max_list_width: Some(beam), ..TopKConfig::default() };
+            let engine = TopKAnalysis::new(&circuit, config);
+            b.iter(|| engine.addition_set(K).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_addition, ablation_elimination, beam_width_sweep);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the substrates the top-k engine is built on: the
+//! STA arrival pass, the iterative noise analysis and the waveform
+//! algebra hot loop (envelope summation and superposition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dna_netlist::suite;
+use dna_noise::{NoiseAnalysis, NoiseConfig};
+use dna_sta::{LinearDelayModel, StaConfig, TimingReport};
+use dna_waveform::{superposition, Edge, Envelope, NoisePulse, Transition};
+
+fn sta_arrival(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta_arrival_pass");
+    for name in ["i1", "i5", "i10"] {
+        let circuit = suite::benchmark(name, dna_bench::DEFAULT_SEED).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn iterative_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterative_noise_analysis");
+    group.sample_size(10);
+    for name in ["i1", "i3", "i5"] {
+        let circuit = suite::benchmark(name, dna_bench::DEFAULT_SEED).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let engine = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+            b.iter(|| engine.run().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn envelope_algebra(c: &mut Criterion) {
+    // Sum of n trapezoids followed by a superposition: the innermost
+    // operation of candidate construction.
+    let victim = Transition::new(0.0, 20.0, Edge::Rising);
+    let mut group = c.benchmark_group("envelope_sum_and_superpose");
+    for n in [4usize, 16, 64] {
+        let envelopes: Vec<Envelope> = (0..n)
+            .map(|i| {
+                let pulse = NoisePulse::symmetric(-2.0, 0.05, 6.0);
+                Envelope::from_window(&pulse, i as f64, i as f64 + 10.0)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let combined = Envelope::sum_all(envelopes.iter());
+                superposition::delay_noise(&victim, &combined)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn circuit_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_generation");
+    group.sample_size(10);
+    for name in ["i1", "i5"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| suite::benchmark(name, dna_bench::DEFAULT_SEED).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sta_arrival, iterative_noise, envelope_algebra, circuit_generation);
+criterion_main!(benches);

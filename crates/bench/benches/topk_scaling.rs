@@ -1,0 +1,77 @@
+//! Runtime scaling of the top-k algorithms with k and with circuit size —
+//! the quantitative backing for the paper's claim that the proposed
+//! algorithm "achieves practical runtimes for large values of k" while
+//! brute force explodes combinatorially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dna_topk::{brute_force, BruteForceConfig, Mode, TopKAnalysis, TopKConfig};
+use dna_netlist::suite;
+use std::time::Duration;
+
+fn proposed_vs_k(c: &mut Criterion) {
+    let circuit = suite::benchmark("i1", dna_bench::DEFAULT_SEED).unwrap();
+    let mut group = c.benchmark_group("addition_set_vs_k/i1");
+    group.sample_size(10);
+    for k in [1usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+            b.iter(|| engine.addition_set(k).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn proposed_vs_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("addition_set_vs_size/k5");
+    group.sample_size(10);
+    for name in ["i1", "i2", "i3"] {
+        let circuit = suite::benchmark(name, dna_bench::DEFAULT_SEED).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+            b.iter(|| engine.addition_set(5).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn elimination_vs_k(c: &mut Criterion) {
+    let circuit = suite::benchmark("i1", dna_bench::DEFAULT_SEED).unwrap();
+    let mut group = c.benchmark_group("elimination_set_vs_k/i1");
+    group.sample_size(10);
+    for k in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+            b.iter(|| engine.elimination_set(k).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn brute_force_vs_k(c: &mut Criterion) {
+    // Tiny circuit so the exhaustive baseline terminates: C(10, k) runs.
+    let circuit = dna_netlist::generator::generate(
+        &dna_netlist::generator::GeneratorConfig::new(12, 10).with_seed(0),
+    )
+    .unwrap();
+    let cfg = BruteForceConfig {
+        time_budget: Duration::from_secs(600),
+        ..BruteForceConfig::default()
+    };
+    let mut group = c.benchmark_group("brute_force_vs_k/tiny");
+    group.sample_size(10);
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| brute_force(&circuit, &cfg, Mode::Addition, k).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    proposed_vs_k,
+    proposed_vs_size,
+    elimination_vs_k,
+    brute_force_vs_k
+);
+criterion_main!(benches);

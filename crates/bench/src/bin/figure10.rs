@@ -1,0 +1,88 @@
+//! **Figure 10** — convergence of the top-k addition and elimination sets
+//! as k grows.
+//!
+//! The paper plots, for circuits i1 and i10 and k = 1..75, the circuit
+//! delay of both flavors: the addition curve climbs from the noiseless
+//! delay toward the all-aggressor delay while the elimination curve falls
+//! from the all-aggressor delay toward the noiseless one, the two series
+//! bracketing the true noise impact.
+//!
+//! Output is CSV (`k,addition_ns,elimination_ns` per circuit) ready for
+//! plotting.
+//!
+//! Usage:
+//! `cargo run --release -p dna-bench --bin figure10 [--circuits i1,i10] [--kmax 75]`
+
+use dna_bench::HarnessArgs;
+
+/// Step between sampled k values (`--stride` is parsed before the shared
+/// flags; the paper plots every k, which is only practical on the small
+/// circuits).
+fn stride_arg() -> usize {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == "--stride")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+use dna_noise::{CouplingMask, NoiseAnalysis};
+use dna_topk::{TopKAnalysis, TopKConfig};
+
+fn main() {
+    let stride = stride_arg();
+    // Strip --stride before shared parsing.
+    let filtered: Vec<String> = {
+        let mut skip = false;
+        std::env::args()
+            .enumerate()
+            .filter(|(i, a)| {
+                if *i == 0 {
+                    return false;
+                }
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if a == "--stride" {
+                    skip = true;
+                    return false;
+                }
+                true
+            })
+            .map(|(_, a)| a)
+            .collect()
+    };
+    let args = HarnessArgs::parse_from(&filtered, &["i1", "i10"], 75);
+
+    for (name, circuit) in args.load_circuits().expect("known circuit names") {
+        eprintln!("[figure10] {name} ({})", circuit.stats());
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let noise = NoiseAnalysis::new(&circuit, TopKConfig::default().noise);
+        let all_agg = noise.run().expect("noise analysis succeeds").circuit_delay();
+        let no_agg = noise
+            .run_with_mask(&CouplingMask::none(&circuit))
+            .expect("noise analysis succeeds")
+            .circuit_delay();
+
+        println!("# circuit {name}: noiseless {:.6} ns, all-aggressors {:.6} ns",
+            no_agg / 1000.0, all_agg / 1000.0);
+        println!("circuit,k,addition_ns,elimination_ns");
+        for k in (1..=args.kmax).step_by(stride) {
+            let add = engine.addition_set(k).expect("analysis succeeds");
+            let del = engine.elimination_set(k).expect("analysis succeeds");
+            println!(
+                "{name},{k},{:.6},{:.6}",
+                add.delay_after() / 1000.0,
+                del.delay_after() / 1000.0
+            );
+            eprintln!(
+                "[figure10]   k={k}: add {:.4} ns ({:?}), elim {:.4} ns ({:?})",
+                add.delay_after() / 1000.0,
+                add.runtime(),
+                del.delay_after() / 1000.0,
+                del.runtime()
+            );
+        }
+    }
+}

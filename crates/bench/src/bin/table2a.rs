@@ -1,0 +1,75 @@
+//! **Table 2(a)** — circuit delay and runtime of the top-k aggressors
+//! *addition* set across the i1–i10 benchmark suite.
+//!
+//! Per circuit the paper reports the circuit delay under all aggressors,
+//! the delay with only the top-k aggressors for k ∈ {5,10,20,30,40,50},
+//! the noiseless delay, and the algorithm runtime per k. The expected
+//! shape: delays climb from the noiseless bound toward the all-aggressor
+//! bound as k grows, and runtimes stay tractable (the paper's top-50 runs
+//! all finish under 100 s).
+//!
+//! Usage:
+//! `cargo run --release -p dna-bench --bin table2a [--circuits i1,i2] [--kmax 50] [--quick]`
+
+use dna_bench::{ns, secs, HarnessArgs, Table};
+use dna_noise::{CouplingMask, NoiseAnalysis};
+use dna_topk::{TopKAnalysis, TopKConfig};
+
+fn main() {
+    let args = HarnessArgs::parse(
+        &["i1", "i2", "i3", "i4", "i5", "i6", "i7", "i8", "i9", "i10"],
+        50,
+    );
+    let ks: Vec<usize> =
+        [5usize, 10, 20, 30, 40, 50].into_iter().filter(|&k| k <= args.kmax).collect();
+
+    println!("Table 2(a) — top-k aggressors addition set (seed {})\n", args.seed);
+    let mut header: Vec<String> = vec![
+        "ckt".into(),
+        "gates".into(),
+        "nets".into(),
+        "ccs".into(),
+        "all agg".into(),
+    ];
+    header.extend(ks.iter().map(|k| format!("k={k}")));
+    header.push("no agg".into());
+    header.extend(ks.iter().map(|k| format!("t{k} (s)")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for (name, circuit) in args.load_circuits().expect("known circuit names") {
+        eprintln!("[table2a] {name} ({})", circuit.stats());
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let noise = NoiseAnalysis::new(&circuit, TopKConfig::default().noise);
+        let all_agg = noise.run().expect("noise analysis succeeds").circuit_delay();
+        let no_agg = noise
+            .run_with_mask(&CouplingMask::none(&circuit))
+            .expect("noise analysis succeeds")
+            .circuit_delay();
+
+        let mut delays = Vec::new();
+        let mut runtimes = Vec::new();
+        for &k in &ks {
+            let r = engine.addition_set(k).expect("analysis succeeds");
+            eprintln!("[table2a]   k={k}: {} in {:?}", ns(r.delay_after()), r.runtime());
+            delays.push(ns(r.delay_after()));
+            runtimes.push(secs(r.runtime()));
+        }
+
+        let mut row = vec![
+            name,
+            circuit.num_gates().to_string(),
+            circuit.num_nets().to_string(),
+            circuit.num_couplings().to_string(),
+            ns(all_agg),
+        ];
+        row.extend(delays);
+        row.push(ns(no_agg));
+        row.extend(runtimes);
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "delays in ns; expected shape: no agg <= k-columns (rising with k) <= all agg"
+    );
+}

@@ -1,0 +1,247 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use dna_netlist::generator::{generate, GeneratorConfig};
+use dna_netlist::{format, suite, Circuit};
+use dna_noise::{glitch, CouplingMask, NoiseAnalysis, NoiseConfig};
+use dna_sta::{critical_path, top_k_paths, LinearDelayModel, StaConfig, TimingReport};
+use dna_topk::{Mode, TopKAnalysis, TopKConfig};
+
+use crate::opts::Opts;
+
+const USAGE: &str = "\
+usage: dna <command> [options]
+
+commands:
+  generate  --gates N --couplings N [--seed S] [--bench i1..i10] [-o file]
+  analyze   <file.ckt> [--seed S]         iterative noise analysis report
+  topk      <file.ckt> --mode add|del -k N [--peel]
+  paths     <file.ckt> [-k N]             top-k critical paths
+  glitch    <file.ckt> [--margin 0.4]     functional noise check
+  help                                    this message";
+
+/// Routes the parsed command line to a subcommand.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad flags, I/O
+/// failures and analysis errors.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args);
+    match opts.positional(0) {
+        Some("generate") => cmd_generate(&opts),
+        Some("analyze") => cmd_analyze(&opts),
+        Some("topk") => cmd_topk(&opts),
+        Some("paths") => cmd_paths(&opts),
+        Some("glitch") => cmd_glitch(&opts),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn load_circuit(opts: &Opts) -> Result<Circuit, String> {
+    let path = opts
+        .positional(1)
+        .ok_or_else(|| "expected a .ckt file argument".to_owned())?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    format::parse(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let seed: u64 = opts.num("seed", 42)?;
+    let circuit = if let Some(bench) = opts.flag("bench") {
+        suite::benchmark(bench, seed).map_err(|e| e.to_string())?
+    } else {
+        let gates: usize = opts.num("gates", 100)?;
+        let couplings: usize = opts.num("couplings", 3 * gates)?;
+        generate(&GeneratorConfig::new(gates, couplings).with_seed(seed))
+            .map_err(|e| e.to_string())?
+    };
+    let text = format::write(&circuit);
+    match opts.flag("o") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {} ({})", path, circuit.stats());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    let circuit = load_circuit(opts)?;
+    let engine = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+    let report = engine.run().map_err(|e| e.to_string())?;
+    let quiet = engine
+        .run_with_mask(&CouplingMask::none(&circuit))
+        .map_err(|e| e.to_string())?;
+
+    println!("design: {}", circuit.stats());
+    println!(
+        "delay: {:.3} ns noisy / {:.3} ns noiseless ({:+.1} ps crosstalk, {} iterations{})",
+        report.circuit_delay() / 1000.0,
+        quiet.circuit_delay() / 1000.0,
+        report.total_delay_noise(),
+        report.iterations(),
+        if report.converged() { "" } else { ", NOT converged" },
+    );
+
+    let mut victims: Vec<_> = circuit
+        .net_ids()
+        .map(|n| (n, report.delay_noise(n)))
+        .filter(|&(_, d)| d > 0.0)
+        .collect();
+    victims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite noise"));
+    println!("worst victims:");
+    for (net, dn) in victims.iter().take(10) {
+        println!("  {:>12}  +{dn:7.1} ps", circuit.net(*net).name());
+    }
+    let path = critical_path(&circuit, report.noisy_timing());
+    println!("noisy critical path: {} nets ending at {}",
+        path.len(), circuit.net(path.endpoint()).name());
+    Ok(())
+}
+
+fn cmd_topk(opts: &Opts) -> Result<(), String> {
+    let circuit = load_circuit(opts)?;
+    let k: usize = opts.num("k", 10)?;
+    let mode = match opts.flag("mode") {
+        Some("add") | None => Mode::Addition,
+        Some("del") | Some("elim") => Mode::Elimination,
+        Some(other) => return Err(format!("unknown --mode `{other}` (use add|del)")),
+    };
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let result = match (mode, opts.has("peel")) {
+        (Mode::Addition, _) => engine.addition_set(k),
+        (Mode::Elimination, false) => engine.elimination_set(k),
+        (Mode::Elimination, true) => engine.elimination_set_peeled(k, (k / 5).max(1)),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!("top-{k} {} set on {}:", mode.name(), circuit.stats());
+    for &cc in result.couplings() {
+        let c = circuit.coupling(cc);
+        println!(
+            "  {cc}: {} -- {} ({:.2} fF)",
+            circuit.net(c.a()).name(),
+            circuit.net(c.b()).name(),
+            c.cap()
+        );
+    }
+    println!(
+        "delay {:.3} -> {:.3} ns ({:+.1} ps) in {:.2?}",
+        result.delay_before() / 1000.0,
+        result.delay_after() / 1000.0,
+        result.delay_after() - result.delay_before(),
+        result.runtime()
+    );
+    Ok(())
+}
+
+fn cmd_paths(opts: &Opts) -> Result<(), String> {
+    let circuit = load_circuit(opts)?;
+    let k: usize = opts.num("k", 5)?;
+    let model = LinearDelayModel::new();
+    let cfg = StaConfig::default();
+    let timing = TimingReport::run(&circuit, &model, &cfg).map_err(|e| e.to_string())?;
+    println!("circuit delay: {:.3} ns", timing.circuit_delay() / 1000.0);
+    for (i, p) in top_k_paths(&circuit, &model, &cfg, k).iter().enumerate() {
+        let names: Vec<&str> = p.nets().iter().map(|&n| circuit.net(n).name()).collect();
+        println!("#{:<2} {:.3} ns  {}", i + 1, p.arrival() / 1000.0, names.join(" -> "));
+    }
+    Ok(())
+}
+
+fn cmd_glitch(opts: &Opts) -> Result<(), String> {
+    let circuit = load_circuit(opts)?;
+    let margin: f64 = opts.num("margin", 0.4)?;
+    let timing = TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())
+        .map_err(|e| e.to_string())?;
+    let reports = glitch::check(
+        &circuit,
+        &NoiseConfig::default(),
+        timing.timings(),
+        &CouplingMask::all(&circuit),
+        glitch::NoiseMargin { low: margin, high: margin },
+    );
+    let violations = reports.iter().filter(|r| r.violated()).count();
+    println!(
+        "glitch check (margin {margin:.2}): {} nets checked, {} violations",
+        reports.len(),
+        violations
+    );
+    for r in reports.iter().take(10) {
+        println!(
+            "  {:>12}  peak {:.3}  slack {:+.3}{}",
+            circuit.net(r.net).name(),
+            r.peak,
+            r.slack(),
+            if r.violated() { "  VIOLATED" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_and_empty_succeed() {
+        assert!(dispatch(&argv(&["help"])).is_ok());
+        assert!(dispatch(&argv(&[])).is_ok());
+    }
+
+    #[test]
+    fn generate_analyze_topk_round_trip() {
+        let dir = std::env::temp_dir().join("dna_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckt");
+        let path_s = path.to_str().unwrap().to_owned();
+
+        dispatch(&argv(&[
+            "generate", "--gates", "15", "--couplings", "12", "--seed", "3", "--o", &path_s,
+        ]))
+        .unwrap();
+        assert!(path.exists());
+
+        dispatch(&argv(&["analyze", &path_s])).unwrap();
+        dispatch(&argv(&["topk", &path_s, "--mode", "add", "--k", "2"])).unwrap();
+        dispatch(&argv(&["topk", &path_s, "--mode", "del", "--k", "2", "--peel"])).unwrap();
+        dispatch(&argv(&["paths", &path_s, "--k", "3"])).unwrap();
+        dispatch(&argv(&["glitch", &path_s])).unwrap();
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_error() {
+        let e = dispatch(&argv(&["analyze", "/nonexistent/x.ckt"])).unwrap_err();
+        assert!(e.contains("cannot read"));
+    }
+
+    #[test]
+    fn bad_mode_reports_error() {
+        let dir = std::env::temp_dir().join("dna_cli_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckt");
+        let path_s = path.to_str().unwrap().to_owned();
+        dispatch(&argv(&["generate", "--gates", "8", "--couplings", "4", "--o", &path_s]))
+            .unwrap();
+        let e = dispatch(&argv(&["topk", &path_s, "--mode", "sideways"])).unwrap_err();
+        assert!(e.contains("unknown --mode"));
+        fs::remove_file(&path).unwrap();
+    }
+}

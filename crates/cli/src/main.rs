@@ -1,0 +1,30 @@
+//! `dna` — crosstalk delay-noise analysis from the command line.
+//!
+//! ```text
+//! dna generate --gates 100 --couplings 300 --seed 7 -o design.ckt
+//! dna analyze design.ckt                 # iterative noise analysis report
+//! dna topk design.ckt --mode add -k 10   # top-k aggressor addition set
+//! dna topk design.ckt --mode del -k 10   # top-k aggressor elimination set
+//! dna paths design.ckt -k 5              # top-k critical paths
+//! dna glitch design.ckt --margin 0.4     # functional noise check
+//! ```
+//!
+//! Circuits are read and written in the `.ckt` text format of
+//! [`dna_netlist::format`]; `dna generate` also accepts the benchmark
+//! names `i1`..`i10` via `--bench`.
+
+use std::process::ExitCode;
+
+mod commands;
+mod opts;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dna: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

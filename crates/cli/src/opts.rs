@@ -1,0 +1,98 @@
+//! Minimal flag parsing (the workspace carries no CLI dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments plus `--flag value` /
+/// `--flag` options.
+#[derive(Debug, Default, Clone)]
+pub struct Opts {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Opts {
+    /// Splits arguments into positionals and flags. A flag consumes the
+    /// next argument as its value unless that argument is itself a flag,
+    /// in which case it is boolean-valued (`"true"`).
+    pub fn parse(args: &[String]) -> Self {
+        let mut out = Opts::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        v.clone()
+                    }
+                    _ => "true".to_owned(),
+                };
+                out.flags.insert(name.to_owned(), value);
+            } else {
+                out.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Positional argument by index.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positional.get(index).map(String::as_str)
+    }
+
+    /// String flag value.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: `{v}`")),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn mixed_positionals_and_flags() {
+        let o = Opts::parse(&args(&["analyze", "x.ckt", "--seed", "7", "--quiet"]));
+        assert_eq!(o.positional(0), Some("analyze"));
+        assert_eq!(o.positional(1), Some("x.ckt"));
+        assert_eq!(o.flag("seed"), Some("7"));
+        assert!(o.has("quiet"));
+        assert_eq!(o.num::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(o.num::<u64>("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let o = Opts::parse(&args(&["--a", "--b", "v"]));
+        assert_eq!(o.flag("a"), Some("true"));
+        assert_eq!(o.flag("b"), Some("v"));
+    }
+
+    #[test]
+    fn bad_number_reports_error() {
+        let o = Opts::parse(&args(&["--k", "lots"]));
+        assert!(o.num::<usize>("k", 1).is_err());
+    }
+}

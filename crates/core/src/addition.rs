@@ -1,0 +1,285 @@
+//! The top-k aggressors **addition** set (paper §3.3, Fig. 9).
+//!
+//! Starting from noiseless timing, find the set of `k` couplings whose
+//! delay noise, added to the analysis, increases the circuit delay the
+//! most. Implicit enumeration: per victim (topological order) build
+//! irredundant lists `I-list_1 … I-list_k` from
+//!
+//! 1. extensions of `I-list_{i-1}` by one primary aggressor,
+//! 2. pseudo input aggressors propagated from the driver's fanin
+//!    (paper §3.1),
+//! 3. higher-order aggressors — primaries with windows widened by their
+//!    strongest fanin wideners (paper §3.3, the `b1₂` construction),
+//!
+//! pruned by dominance (Theorem 1) after every step.
+
+use dna_netlist::NetId;
+use dna_waveform::Envelope;
+
+use crate::dominance::{irredundant, DominanceDirection};
+use crate::engine::Prepared;
+use crate::{Candidate, CouplingSet};
+
+/// How many of the best fanin candidates combine with lower-cardinality
+/// sets (beyond plain primary extension). Keeps the cross-product bounded
+/// while still generating paper-Fig. 8-style mixed sets like `(b1₂, a1)`.
+const COMBO_BREADTH: usize = 4;
+
+/// How many ranked wideners get an *individual* higher-order atom (beyond
+/// the cumulative prefix sets).
+const WIDENER_POOL: usize = 4;
+
+/// One candidate final answer: a coupling set with its predicted circuit
+/// delay and the sink output it acts on.
+#[derive(Debug, Clone)]
+pub(crate) struct SinkOption {
+    /// The coupling set (cardinality `<= k`; less only when the circuit
+    /// has fewer useful couplings).
+    pub set: CouplingSet,
+    /// Predicted circuit delay from envelope superposition at the sink.
+    pub predicted_delay: f64,
+    /// The sink (primary output) where the set acts.
+    pub sink: NetId,
+}
+
+/// Raw outcome of the enumeration, before validation.
+#[derive(Debug, Clone)]
+pub(crate) struct EnumerationOutcome {
+    /// Candidate answers, best predicted first, deduplicated by set.
+    pub options: Vec<SinkOption>,
+    /// Largest irredundant-list width observed (pruning effectiveness).
+    pub peak_list_width: usize,
+    /// Total candidates generated before pruning (enumeration effort).
+    pub generated: usize,
+}
+
+/// One addable atom: a coupling set with its envelope at the current
+/// victim.
+struct Atom {
+    set: CouplingSet,
+    envelope: Envelope,
+}
+
+pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
+    let circuit = p.circuit;
+    let breadth =
+        if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
+    let n = circuit.num_nets();
+    // ilists[net][i] = irredundant list of cardinality i (index 0 = empty set).
+    let mut ilists: Vec<Vec<Vec<Candidate>>> = vec![Vec::new(); n];
+    let mut peak_list_width = 0usize;
+    let mut generated = 0usize;
+
+    for &v in circuit.nets_topological() {
+        let vi = v.index();
+        let iv = p.dominance_iv[vi];
+
+        // --- Atom pool -------------------------------------------------
+        // Primaries whose clipped envelope is zero cannot change the
+        // victim's crossing; they (and their higher-order variants) are
+        // dropped up front — exactly the sets dominance would prune anyway.
+        let primary_atoms: Vec<Atom> = p.primaries[vi]
+            .iter()
+            .map(|info| Atom {
+                set: CouplingSet::singleton(info.coupling),
+                envelope: p.primary_envelope(v, info, 0.0),
+            })
+            .filter(|atom| !atom.envelope.is_zero())
+            .collect();
+
+        // Pseudo input aggressors: sets propagated from the driver's fanin
+        // rendered as arrival-shift envelopes at this victim (§3.1).
+        let mut pseudo_atoms: Vec<Atom> = Vec::new();
+        if p.config.pseudo_aggressors {
+            if let Some(arrivals) = p.fanin_base_arrivals(v) {
+                let max_base =
+                    arrivals.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
+                for &(u, arr_u) in &arrivals {
+                    for c in 1..=k {
+                        let Some(list) = ilists[u.index()].get(c) else { continue };
+                        for cand in list.iter().take(breadth) {
+                            let shift = (arr_u + cand.delay_noise() - max_base).max(0.0);
+                            if shift <= 0.0 {
+                                continue;
+                            }
+                            pseudo_atoms.push(Atom {
+                                set: cand.set().clone(),
+                                envelope: p.pseudo_envelope(v, shift),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Higher-order aggressors: each primary with its window widened by
+        // its j strongest fanin wideners has innate cardinality j + 1.
+        let mut higher_atoms: Vec<Atom> = Vec::new();
+        if p.config.higher_order && k >= 2 {
+            for info in &p.primaries[vi] {
+                let wideners = p.wideners_of(info.aggressor);
+                // Higher-order variants widen the window rightward by at
+                // most the sum of all widener contributions; if even that
+                // maximally-widened envelope clips to zero the primary can
+                // never matter here.
+                let cap = p.shift_bound[info.aggressor.index()];
+                let max_delta: f64 =
+                    wideners.iter().map(|&(_, dn)| dn).sum::<f64>().min(cap);
+                if p.primary_envelope(v, info, max_delta).is_zero() {
+                    continue;
+                }
+                // Prefix sets: primary plus its j strongest wideners.
+                let mut set = CouplingSet::singleton(info.coupling);
+                let mut delta = 0.0;
+                for &(cc, dn) in wideners.iter().take(k - 1) {
+                    let grown = set.with(cc);
+                    if grown.len() == set.len() {
+                        continue; // widener collides with an existing member
+                    }
+                    set = grown;
+                    delta = (delta + dn).min(cap);
+                    higher_atoms.push(Atom {
+                        set: set.clone(),
+                        envelope: p.primary_envelope(v, info, delta),
+                    });
+                }
+                // Individual wideners: primary plus one lower-ranked
+                // widener, for sets where the top widener is spoken for.
+                for &(cc, dn) in wideners.iter().take(WIDENER_POOL).skip(1) {
+                    let set = CouplingSet::singleton(info.coupling).with(cc);
+                    if set.len() == 2 {
+                        higher_atoms.push(Atom {
+                            set,
+                            envelope: p.primary_envelope(v, info, dn.min(cap)),
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- Iterative list construction -------------------------------
+        let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(k + 1);
+        lists.push(vec![Candidate::new(CouplingSet::new(), Envelope::zero(), 0.0)]);
+        for i in 1..=k {
+            let mut cands: Vec<Candidate> = Vec::new();
+            let push = |set: CouplingSet, env: Envelope, cands: &mut Vec<Candidate>| {
+                let dn = p.delay_noise_at(v, &env);
+                cands.push(Candidate::new(set, env, dn));
+            };
+
+            // 1. Extend I_{i-1} with one primary aggressor.
+            for s in &lists[i - 1] {
+                for atom in &primary_atoms {
+                    if s.set().intersects(&atom.set) {
+                        continue;
+                    }
+                    push(
+                        s.set().union(&atom.set),
+                        s.envelope().sum(&atom.envelope),
+                        &mut cands,
+                    );
+                }
+            }
+            // 2 & 3. Pseudo and higher-order atoms of cardinality <= i,
+            // standalone (j == 0) or combined with the best smaller sets.
+            for atom in pseudo_atoms.iter().chain(higher_atoms.iter()) {
+                let c = atom.set.len();
+                if c > i || c == 0 {
+                    continue;
+                }
+                let j = i - c;
+                if j == 0 {
+                    push(atom.set.clone(), atom.envelope.clone(), &mut cands);
+                } else {
+                    for s in lists[j].iter().take(breadth) {
+                        if s.set().intersects(&atom.set) {
+                            continue;
+                        }
+                        push(
+                            s.set().union(&atom.set),
+                            s.envelope().sum(&atom.envelope),
+                            &mut cands,
+                        );
+                    }
+                }
+            }
+
+            // Keep only exact-cardinality sets: unions that collapsed below
+            // i duplicate entries of earlier lists.
+            cands.retain(|c| c.cardinality() == i);
+            generated += cands.len();
+            let pruned = irredundant(
+                cands,
+                iv,
+                DominanceDirection::BiggerIsBetter,
+                p.config.dominance_pruning,
+                p.config.max_list_width,
+            );
+            peak_list_width = peak_list_width.max(pruned.len());
+            // Sort by delay noise so downstream consumers (pseudo atoms,
+            // combos) can take the best few deterministically.
+            let mut pruned = pruned;
+            pruned.sort_by(|a, b| {
+                b.delay_noise().partial_cmp(&a.delay_noise()).expect("finite delay noise")
+            });
+            lists.push(pruned);
+        }
+        ilists[vi] = lists;
+    }
+
+    select_sink(p, k, &ilists, peak_list_width, generated)
+}
+
+/// Chooses the worst set from the sinks' I-lists (paper: "the top-k
+/// aggressor set is the one in the I-list_k of the sink with the
+/// worst-case delay noise"). Falls back to smaller cardinalities when no
+/// sink has a full-k candidate.
+fn select_sink(
+    p: &Prepared<'_>,
+    k: usize,
+    ilists: &[Vec<Vec<Candidate>>],
+    peak_list_width: usize,
+    generated: usize,
+) -> EnumerationOutcome {
+    let base_max = p.base.circuit_delay();
+    let pool = p.config.validation_pool.max(1);
+    // Candidates of every cardinality up to k are valid answers: a
+    // smaller set never predicts better than the best exact-k set when
+    // the lists are healthy, but at large k (beyond the useful aggressors
+    // of a cone) the exact-k lists degrade and a lower-cardinality set
+    // wins — taking the best across cardinalities keeps the result
+    // monotone in k.
+    let mut options: Vec<SinkOption> = Vec::new();
+    for card in (1..=k).rev() {
+        for &o in p.circuit.primary_outputs() {
+            let Some(list) = ilists[o.index()].get(card) else { continue };
+            for cand in list {
+                let predicted = base_max.max(p.base.timing(o).lat() + cand.delay_noise());
+                options.push(SinkOption { set: cand.set().clone(), predicted_delay: predicted, sink: o });
+            }
+        }
+    }
+    options.sort_by(|a, b| {
+        b.predicted_delay.partial_cmp(&a.predicted_delay).expect("finite delays")
+    });
+    let mut seen: Vec<&CouplingSet> = Vec::new();
+    let mut deduped: Vec<SinkOption> = Vec::new();
+    for opt in &options {
+        if deduped.len() >= pool {
+            break;
+        }
+        if seen.iter().any(|s| **s == opt.set) {
+            continue;
+        }
+        deduped.push(opt.clone());
+        seen.push(&opt.set);
+    }
+    if deduped.is_empty() {
+        deduped.push(SinkOption {
+            set: CouplingSet::new(),
+            predicted_delay: base_max,
+            sink: p.base.critical_output(),
+        });
+    }
+    EnumerationOutcome { options: deduped, peak_list_width, generated }
+}

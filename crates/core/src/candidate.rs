@@ -1,0 +1,82 @@
+//! Candidate aggressor sets rendered at one victim net.
+
+use std::fmt;
+
+use dna_waveform::Envelope;
+
+use crate::CouplingSet;
+
+/// One entry of an irredundant list: a set of couplings together with its
+/// noise envelope *as seen by the current victim* and the cached delay
+/// noise that envelope produces.
+///
+/// In **addition** mode the envelope is the combined noise the set couples
+/// onto the victim; in **elimination** mode it is the *residual* envelope
+/// left after removing the set from the total (paper §3.4). The dominance
+/// machinery works on either — only the comparison direction differs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    set: CouplingSet,
+    envelope: Envelope,
+    delay_noise: f64,
+}
+
+impl Candidate {
+    /// Creates a candidate. `delay_noise` must already correspond to
+    /// superimposing `envelope` on the victim's transition.
+    #[must_use]
+    pub fn new(set: CouplingSet, envelope: Envelope, delay_noise: f64) -> Self {
+        debug_assert!(delay_noise >= 0.0, "delay noise must be non-negative");
+        Self { set, envelope, delay_noise }
+    }
+
+    /// The couplings in the set.
+    #[must_use]
+    pub fn set(&self) -> &CouplingSet {
+        &self.set
+    }
+
+    /// Cardinality of the set.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        self.set.len()
+    }
+
+    /// The envelope rendered at the current victim.
+    #[must_use]
+    pub fn envelope(&self) -> &Envelope {
+        &self.envelope
+    }
+
+    /// Cached delay noise (addition) or residual delay noise (elimination)
+    /// at the current victim, in ps.
+    #[must_use]
+    pub fn delay_noise(&self) -> f64 {
+        self.delay_noise
+    }
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dn={:.3}", self.set, self.delay_noise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::CouplingId;
+    use dna_waveform::NoisePulse;
+
+    #[test]
+    fn accessors() {
+        let set = CouplingSet::singleton(CouplingId::new(7));
+        let env = Envelope::from_pulse(&NoisePulse::symmetric(0.0, 0.2, 4.0));
+        let c = Candidate::new(set.clone(), env.clone(), 1.5);
+        assert_eq!(c.set(), &set);
+        assert_eq!(c.cardinality(), 1);
+        assert_eq!(c.envelope(), &env);
+        assert_eq!(c.delay_noise(), 1.5);
+        assert!(c.to_string().contains("cc7"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Top-k engine configuration.
+
+use dna_noise::NoiseConfig;
+
+/// Configuration of the top-k aggressor-set engine.
+///
+/// The defaults reproduce the paper's algorithm; the switches exist for the
+/// ablation benches (how much do dominance pruning, pseudo aggressors and
+/// higher-order aggressors each contribute?).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKConfig {
+    /// Configuration of the underlying noise analysis.
+    pub noise: NoiseConfig,
+    /// Upper bound on the width of each irredundant list.
+    ///
+    /// Dominance pruning alone keeps lists small on realistic circuits
+    /// (paper §3.2); the beam cap is a safety net for adversarial inputs.
+    /// Candidates with the largest delay noise are kept. `None` disables
+    /// the cap (exact mode, used to validate against brute force).
+    pub max_list_width: Option<usize>,
+    /// Enable dominance pruning (paper Theorem 1). Disabling it is only
+    /// sensible together with a beam cap, for the ablation study.
+    pub dominance_pruning: bool,
+    /// Enable pseudo input aggressors (paper §3.1). Disabling restricts
+    /// the analysis to primary aggressors per victim.
+    pub pseudo_aggressors: bool,
+    /// Enable higher-order aggressors (paper §3.3, the `b1₂` candidates).
+    pub higher_order: bool,
+    /// Validate the chosen set with a full iterative noise analysis and
+    /// report the measured delay (recommended; small extra cost).
+    pub validate: bool,
+    /// When validating, measure up to this many of the best predicted
+    /// candidate sets and return the one with the best *measured* delay.
+    /// Guards the envelope abstraction's ranking against close calls; `1`
+    /// validates only the single predicted winner.
+    pub validation_pool: usize,
+    /// How many gate levels upstream the higher-order widener search
+    /// looks. Noise iterations converge within a few levels (industrial
+    /// tools report 3–4 iterations, paper §1); `usize::MAX` searches the
+    /// whole transitive fanin cone.
+    pub widener_depth: usize,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        Self {
+            noise: NoiseConfig::default(),
+            max_list_width: Some(24),
+            dominance_pruning: true,
+            pseudo_aggressors: true,
+            higher_order: true,
+            validate: true,
+            validation_pool: 16,
+            widener_depth: 4,
+        }
+    }
+}
+
+impl TopKConfig {
+    /// Exact configuration: no beam cap, whole-cone widener search,
+    /// everything enabled. Matches the paper's algorithm most closely; can
+    /// be slow on adversarial inputs.
+    #[must_use]
+    pub fn exact() -> Self {
+        Self { max_list_width: None, widener_depth: usize::MAX, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_techniques() {
+        let c = TopKConfig::default();
+        assert!(c.dominance_pruning);
+        assert!(c.pseudo_aggressors);
+        assert!(c.higher_order);
+        assert!(c.validate);
+        assert!(c.max_list_width.is_some());
+    }
+
+    #[test]
+    fn exact_mode_uncaps_lists() {
+        assert_eq!(TopKConfig::exact().max_list_width, None);
+        assert!(TopKConfig::exact().dominance_pruning);
+    }
+}

@@ -1,0 +1,258 @@
+//! Dominance pruning: irredundant lists (paper §3.2, Theorem 1).
+
+use std::collections::HashSet;
+
+use dna_waveform::TimeInterval;
+
+use crate::{Candidate, CouplingSet};
+
+/// Which way envelope encapsulation means "better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DominanceDirection {
+    /// Addition mode: a candidate whose envelope encapsulates another's can
+    /// never couple less delay noise (Theorem 1) — **bigger** envelopes
+    /// dominate.
+    BiggerIsBetter,
+    /// Elimination mode: candidates carry *residual* envelopes and the
+    /// residual that is encapsulated **by** the other's leaves less noise
+    /// behind — **smaller** envelopes dominate.
+    SmallerIsBetter,
+}
+
+/// Reduces `candidates` (all of the same cardinality, rendered at the same
+/// victim) to an irredundant list.
+///
+/// Steps, in order:
+///
+/// 1. deduplicate identical coupling sets (keeping the first),
+/// 2. drop every candidate dominated by another within the victim's
+///    `dominance_interval` (skipped when `use_dominance` is false, for the
+///    ablation study),
+/// 3. apply the optional beam cap, keeping the candidates that are best by
+///    cached delay noise — largest for addition, smallest for elimination.
+///
+/// Ties under mutual encapsulation (identical envelopes) keep the
+/// earlier candidate so the result is deterministic.
+#[must_use]
+pub fn irredundant(
+    mut candidates: Vec<Candidate>,
+    dominance_interval: TimeInterval,
+    direction: DominanceDirection,
+    use_dominance: bool,
+    beam: Option<usize>,
+) -> Vec<Candidate> {
+    // 1. Sort best-delay-noise-first (direction-aware). Ordering first
+    // means the dedupe below keeps the *best* candidate per coupling set —
+    // the same set can be generated through different routes (e.g. as a
+    // fanin pseudo aggressor and as a window widener) with different
+    // envelopes.
+    candidates.sort_by(|a, b| {
+        let ord =
+            a.delay_noise().partial_cmp(&b.delay_noise()).expect("finite delay noise");
+        match direction {
+            DominanceDirection::BiggerIsBetter => ord.reverse(),
+            DominanceDirection::SmallerIsBetter => ord,
+        }
+    });
+
+    // 2. Dedupe by coupling set, keeping the best occurrence.
+    let mut seen: HashSet<CouplingSet> = HashSet::with_capacity(candidates.len());
+    candidates.retain(|c| seen.insert(c.set().clone()));
+
+    // 2b. With a beam configured, pre-truncate (already sorted) so the
+    // quadratic dominance pass below runs on a bounded set. The
+    // oversampling factor keeps enough diversity for dominance to matter;
+    // exact mode (no beam) skips this entirely.
+    if let Some(width) = beam {
+        let cap = width.saturating_mul(4).max(64);
+        candidates.truncate(cap);
+    }
+
+    // 3. Dominance pruning, exploiting the ordering invariant: an
+    // envelope that encapsulates another produces at least as much delay
+    // noise (Theorem 1 with the empty extension), so only *earlier*
+    // candidates can dominate later ones. One forward sweep against the
+    // kept list suffices.
+    if use_dominance && candidates.len() > 1 {
+        let mut kept: Vec<Candidate> = Vec::with_capacity(candidates.len().min(64));
+        'next: for cand in candidates {
+            for winner in &kept {
+                let dominated = match direction {
+                    DominanceDirection::BiggerIsBetter => winner
+                        .envelope()
+                        .encapsulates(cand.envelope(), dominance_interval),
+                    DominanceDirection::SmallerIsBetter => cand
+                        .envelope()
+                        .encapsulates(winner.envelope(), dominance_interval),
+                };
+                if dominated {
+                    continue 'next;
+                }
+            }
+            kept.push(cand);
+            // A full beam of mutually non-dominated candidates is enough —
+            // anything sorted after them is either dominated or outside
+            // the beam anyway.
+            if let Some(width) = beam {
+                if kept.len() >= width {
+                    break;
+                }
+            }
+        }
+        candidates = kept;
+    }
+
+    // 3. Beam cap (already sorted best-first).
+    if let Some(width) = beam {
+        candidates.truncate(width);
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::CouplingId;
+    use dna_waveform::{Envelope, NoisePulse};
+
+    fn cand(ids: &[u32], peak: f64, width: f64, dn: f64) -> Candidate {
+        let set = ids.iter().map(|&i| CouplingId::new(i)).collect();
+        let env = Envelope::from_window(&NoisePulse::symmetric(0.0, peak, 4.0), 0.0, width);
+        Candidate::new(set, env, dn)
+    }
+
+    fn interval() -> TimeInterval {
+        TimeInterval::new(-5.0, 40.0)
+    }
+
+    #[test]
+    fn dedupes_identical_sets_keeping_best() {
+        let c = vec![cand(&[1], 0.2, 5.0, 1.0), cand(&[1], 0.3, 9.0, 2.0)];
+        let out = irredundant(c, interval(), DominanceDirection::BiggerIsBetter, true, None);
+        assert_eq!(out.len(), 1);
+        // The best occurrence wins: the same set can be generated through
+        // different routes with different envelopes.
+        assert_eq!(out[0].delay_noise(), 2.0);
+        // In elimination direction the smaller residual wins instead.
+        let c = vec![cand(&[1], 0.3, 9.0, 2.0), cand(&[1], 0.2, 5.0, 1.0)];
+        let out =
+            irredundant(c, interval(), DominanceDirection::SmallerIsBetter, true, None);
+        assert_eq!(out[0].delay_noise(), 1.0);
+    }
+
+    #[test]
+    fn bigger_envelope_dominates_in_addition() {
+        let big = cand(&[1], 0.4, 10.0, 3.0);
+        let small = cand(&[2], 0.2, 5.0, 1.0);
+        let out = irredundant(
+            vec![small, big],
+            interval(),
+            DominanceDirection::BiggerIsBetter,
+            true,
+            None,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].set().contains(CouplingId::new(1)));
+    }
+
+    #[test]
+    fn smaller_envelope_dominates_in_elimination() {
+        let big = cand(&[1], 0.4, 10.0, 3.0);
+        let small = cand(&[2], 0.2, 5.0, 1.0);
+        let out = irredundant(
+            vec![big, small],
+            interval(),
+            DominanceDirection::SmallerIsBetter,
+            true,
+            None,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].set().contains(CouplingId::new(2)));
+    }
+
+    #[test]
+    fn incomparable_candidates_both_survive() {
+        // Same shape, disjoint supports: mutually non-dominated.
+        let a = Candidate::new(
+            CouplingSet::singleton(CouplingId::new(1)),
+            Envelope::from_pulse(&NoisePulse::symmetric(0.0, 0.3, 4.0)),
+            1.0,
+        );
+        let b = Candidate::new(
+            CouplingSet::singleton(CouplingId::new(2)),
+            Envelope::from_pulse(&NoisePulse::symmetric(20.0, 0.3, 4.0)),
+            1.0,
+        );
+        let out = irredundant(
+            vec![a, b],
+            interval(),
+            DominanceDirection::BiggerIsBetter,
+            true,
+            None,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn equal_envelopes_keep_first() {
+        let a = cand(&[1], 0.3, 6.0, 2.0);
+        let b = cand(&[2], 0.3, 6.0, 2.0);
+        let out = irredundant(
+            vec![a, b],
+            interval(),
+            DominanceDirection::BiggerIsBetter,
+            true,
+            None,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].set().contains(CouplingId::new(1)));
+    }
+
+    #[test]
+    fn pruning_disabled_keeps_everything_distinct() {
+        let c = vec![cand(&[1], 0.4, 10.0, 3.0), cand(&[2], 0.2, 5.0, 1.0)];
+        let out = irredundant(c, interval(), DominanceDirection::BiggerIsBetter, false, None);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn beam_keeps_best_by_direction() {
+        let c = vec![
+            Candidate::new(
+                CouplingSet::singleton(CouplingId::new(1)),
+                Envelope::from_pulse(&NoisePulse::symmetric(0.0, 0.3, 4.0)),
+                1.0,
+            ),
+            Candidate::new(
+                CouplingSet::singleton(CouplingId::new(2)),
+                Envelope::from_pulse(&NoisePulse::symmetric(50.0, 0.3, 4.0)),
+                5.0,
+            ),
+            Candidate::new(
+                CouplingSet::singleton(CouplingId::new(3)),
+                Envelope::from_pulse(&NoisePulse::symmetric(100.0, 0.3, 4.0)),
+                3.0,
+            ),
+        ];
+        let add = irredundant(
+            c.clone(),
+            TimeInterval::new(-5.0, 200.0),
+            DominanceDirection::BiggerIsBetter,
+            true,
+            Some(2),
+        );
+        assert_eq!(add.len(), 2);
+        assert!(add.iter().any(|x| x.delay_noise() == 5.0));
+        assert!(add.iter().all(|x| x.delay_noise() >= 3.0));
+
+        let del = irredundant(
+            c,
+            TimeInterval::new(-5.0, 200.0),
+            DominanceDirection::SmallerIsBetter,
+            true,
+            Some(1),
+        );
+        assert_eq!(del.len(), 1);
+        assert_eq!(del[0].delay_noise(), 1.0);
+    }
+}

@@ -1,0 +1,478 @@
+//! Shared machinery of the addition- and elimination-set algorithms.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dna_netlist::{Circuit, CouplingId, NetId, NetSource};
+use dna_noise::{envelope_calc, CouplingMask, NoiseAnalysis, NoiseReport};
+use dna_sta::{NetTiming, StaError, TimingReport};
+use dna_waveform::{superposition, Edge, Envelope, NoisePulse, TimeInterval, Transition};
+
+use crate::TopKConfig;
+
+/// Couplings in a net's fanin cone ranked by the delay noise each can add
+/// to that net's arrival, descending.
+type RankedWideners = Rc<Vec<(CouplingId, f64)>>;
+
+/// Which flavor of top-k set is being computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Start from noiseless timing; find the k couplings whose addition
+    /// hurts the most (§3.3).
+    Addition,
+    /// Start from fully noisy timing; find the k couplings whose removal
+    /// helps the most (§3.4).
+    Elimination,
+}
+
+impl Mode {
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Addition => "addition",
+            Mode::Elimination => "elimination",
+        }
+    }
+}
+
+/// A primary aggressor of one victim: the coupling, its noise pulse and
+/// the aggressor's timing window, kept separate so higher-order variants
+/// can rebuild the envelope with a widened (or narrowed) window.
+#[derive(Debug, Clone)]
+pub(crate) struct PrimaryInfo {
+    pub coupling: CouplingId,
+    pub aggressor: NetId,
+    pub pulse: NoisePulse,
+    pub eat: f64,
+    pub lat: f64,
+}
+
+impl PrimaryInfo {
+    /// Envelope with the LAT side of the window moved by `delta`
+    /// (positive widens — higher-order addition; negative narrows —
+    /// higher-order elimination).
+    pub fn envelope(&self, delta: f64) -> Envelope {
+        let lat = (self.lat + delta).max(self.eat);
+        Envelope::from_window(&self.pulse, self.eat, lat)
+    }
+}
+
+/// Precomputed, mode-specific state shared by the enumeration.
+pub(crate) struct Prepared<'c> {
+    pub circuit: &'c Circuit,
+    pub config: TopKConfig,
+    #[allow(dead_code)]
+    pub mode: Mode,
+    /// Noiseless timing (victim transitions are always measured here).
+    pub base: TimingReport,
+    /// Converged full-noise report (elimination mode only).
+    pub noisy: Option<NoiseReport>,
+    /// Aggressor windows the envelopes are built from: noiseless for
+    /// addition, noisy for elimination.
+    pub window_timings: Vec<NetTiming>,
+    /// Noiseless victim transition per net.
+    pub victim_tr: Vec<Transition>,
+    /// Primary aggressors per victim net.
+    pub primaries: Vec<Vec<PrimaryInfo>>,
+    /// Dominance interval per victim net (§3.2).
+    pub dominance_iv: Vec<TimeInterval>,
+    /// Clipping window per victim net: envelopes outside it cannot affect
+    /// the victim's final crossing, so envelope algebra drops them.
+    pub clip_iv: Vec<TimeInterval>,
+    /// Upper bound on how far each net's latest arrival can shift under
+    /// any noise (infinite-window own noise plus accumulated fanin bound).
+    /// Higher-order window widening is capped here so clipped envelopes
+    /// stay sound.
+    pub shift_bound: Vec<f64>,
+    /// Couplings participating in this run.
+    pub mask: CouplingMask,
+    /// Per net: memoized fanin wideners of that net as an aggressor —
+    /// couplings in its transitive fanin cone ranked by the delay noise
+    /// they can add to its arrival, descending.
+    wideners: RefCell<Vec<Option<RankedWideners>>>,
+}
+
+impl<'c> Prepared<'c> {
+    /// Builds all shared state for one run over the couplings enabled in
+    /// `mask` (the full mask for ordinary runs; restricted masks support
+    /// the peeled-elimination extension).
+    pub fn build(
+        circuit: &'c Circuit,
+        config: TopKConfig,
+        mode: Mode,
+        noise: &NoiseAnalysis<'c>,
+        mask: CouplingMask,
+    ) -> Result<Self, StaError> {
+        let base = TimingReport::run(
+            circuit,
+            &dna_sta::LinearDelayModel::new(),
+            &config.noise.sta,
+        )?;
+        let noisy = match mode {
+            Mode::Addition => None,
+            Mode::Elimination => Some(noise.run_with_mask(&mask)?),
+        };
+        let window_timings: Vec<NetTiming> = match &noisy {
+            None => base.timings().to_vec(),
+            Some(r) => r.noisy_timing().timings().to_vec(),
+        };
+        let victim_tr: Vec<Transition> = base
+            .timings()
+            .iter()
+            .map(|t| Transition::from_t50(t.lat(), t.slew(), Edge::Rising))
+            .collect();
+
+        // Primary aggressors with pulses and windows per victim.
+        let primaries: Vec<Vec<PrimaryInfo>> = circuit
+            .net_ids()
+            .map(|v| {
+                envelope_calc::victim_envelopes(circuit, &config.noise, v, &window_timings, |id| {
+                    mask.is_enabled(id)
+                })
+                .into_iter()
+                .map(|(id, _)| {
+                    let aggressor = circuit
+                        .coupling(id)
+                        .other(v)
+                        .expect("coupling index is consistent");
+                    let at = &window_timings[aggressor.index()];
+                    let pulse = pulse_for(circuit, &config, v, id, at.slew());
+                    PrimaryInfo {
+                        coupling: id,
+                        aggressor,
+                        pulse,
+                        eat: at.eat(),
+                        lat: at.lat(),
+                    }
+                })
+                .collect()
+            })
+            .collect();
+
+        // Dominance interval: victim t50 up to the upper-bound noisy t50.
+        // The upper bound is the infinite-window delay noise of the
+        // victim's own aggressors plus an accumulated bound on the shift
+        // arriving from the fanin cone (§3.2).
+        let horizon =
+            window_timings.iter().map(NetTiming::lat).fold(0.0_f64, f64::max) * 2.0 + 1_000.0;
+        let own_ub: Vec<f64> = circuit
+            .net_ids()
+            .map(|v| {
+                let combined = Envelope::sum_all(
+                    primaries[v.index()]
+                        .iter()
+                        .map(|p| p.envelope(horizon))
+                        .collect::<Vec<_>>()
+                        .iter(),
+                );
+                superposition::delay_noise(&victim_tr[v.index()], &combined)
+            })
+            .collect();
+        let mut fanin_ub = vec![0.0_f64; circuit.num_nets()];
+        for &net in circuit.nets_topological() {
+            if let NetSource::Gate(g) = circuit.net(net).source() {
+                let bound = circuit
+                    .gate(g)
+                    .inputs()
+                    .iter()
+                    .map(|&u| fanin_ub[u.index()] + own_ub[u.index()])
+                    .fold(0.0_f64, f64::max);
+                fanin_ub[net.index()] = bound;
+            }
+        }
+        let dominance_iv: Vec<TimeInterval> = circuit
+            .net_ids()
+            .map(|v| {
+                let t50 = victim_tr[v.index()].t50();
+                let ub = own_ub[v.index()] + fanin_ub[v.index()];
+                TimeInterval::new(t50, t50 + ub.max(1e-6))
+            })
+            .collect();
+
+        // Envelope mass strictly before the victim's noiseless t50 can
+        // never move the *final* 50 % crossing (the ramp is below half
+        // rail there anyway — the same observation that anchors the
+        // dominance interval, §3.2), so envelopes are clipped to just
+        // below t50.
+        let clip_iv: Vec<TimeInterval> = circuit
+            .net_ids()
+            .map(|v| {
+                let t50 = victim_tr[v.index()].t50();
+                TimeInterval::new(t50 - 1.0, dominance_iv[v.index()].hi() + 1.0)
+            })
+            .collect();
+
+        let shift_bound: Vec<f64> = (0..circuit.num_nets())
+            .map(|i| own_ub[i] + fanin_ub[i])
+            .collect();
+
+        Ok(Self {
+            circuit,
+            config,
+            mode,
+            base,
+            noisy,
+            window_timings,
+            victim_tr,
+            primaries,
+            dominance_iv,
+            clip_iv,
+            shift_bound,
+            mask,
+            wideners: RefCell::new(vec![None; circuit.num_nets()]),
+        })
+    }
+
+    /// Delay noise `envelope` produces on `victim`'s noiseless transition.
+    pub fn delay_noise_at(&self, victim: NetId, envelope: &Envelope) -> f64 {
+        superposition::delay_noise(&self.victim_tr[victim.index()], envelope)
+    }
+
+    /// The envelope of one primary aggressor at `victim`, with the LAT
+    /// side of its window moved by `delta`, clipped to the victim's
+    /// analysis window (see [`Self::clip_iv`]).
+    pub fn primary_envelope(&self, victim: NetId, info: &PrimaryInfo, delta: f64) -> Envelope {
+        info.envelope(delta).clipped(self.clip_iv[victim.index()])
+    }
+
+    /// Pseudo noise envelope seen by `victim` when its input arrival is
+    /// delayed by `shift` ps (§3.1): the difference between the noiseless
+    /// victim transition and the same transition delayed by `shift`.
+    pub fn pseudo_envelope(&self, victim: NetId, shift: f64) -> Envelope {
+        pseudo_envelope(&self.victim_tr[victim.index()], shift)
+    }
+
+    /// The critical fanin input of `victim`'s driver under the window
+    /// timings of this mode, with the arrival of every input.
+    ///
+    /// Returns `None` for primary inputs.
+    pub fn fanin_arrivals(&self, victim: NetId) -> Option<Vec<(NetId, f64)>> {
+        match self.circuit.net(victim).source() {
+            NetSource::PrimaryInput => None,
+            NetSource::Gate(g) => Some(
+                self.circuit
+                    .gate(g)
+                    .inputs()
+                    .iter()
+                    .map(|&u| (u, self.window_timings[u.index()].lat()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Noiseless arrivals of `victim`'s driver inputs.
+    pub fn fanin_base_arrivals(&self, victim: NetId) -> Option<Vec<(NetId, f64)>> {
+        match self.circuit.net(victim).source() {
+            NetSource::PrimaryInput => None,
+            NetSource::Gate(g) => Some(
+                self.circuit
+                    .gate(g)
+                    .inputs()
+                    .iter()
+                    .map(|&u| (u, self.base.timing(u).lat()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Ranked fanin wideners of `aggressor`: couplings in its transitive
+    /// fanin cone with the delay noise each can contribute to the
+    /// aggressor's arrival (via its cone endpoint), descending. Memoized.
+    pub fn wideners_of(&self, aggressor: NetId) -> RankedWideners {
+        if let Some(cached) = &self.wideners.borrow()[aggressor.index()] {
+            return Rc::clone(cached);
+        }
+        let cone = if self.config.widener_depth == usize::MAX {
+            self.circuit.transitive_fanin(aggressor)
+        } else {
+            self.circuit.transitive_fanin_depth(aggressor, self.config.widener_depth)
+        };
+        let mut in_cone = vec![false; self.circuit.num_nets()];
+        for n in &cone {
+            in_cone[n.index()] = true;
+        }
+        let mut seen = vec![false; self.circuit.num_couplings()];
+        let mut ranked: Vec<(CouplingId, f64)> = Vec::new();
+        for x in cone {
+            for &cc in self.circuit.couplings_on(x) {
+                if seen[cc.index()] || !self.mask.is_enabled(cc) {
+                    continue;
+                }
+                seen[cc.index()] = true;
+                let env = envelope_calc::coupling_envelope(
+                    self.circuit,
+                    &self.config.noise,
+                    x,
+                    cc,
+                    &self.window_timings,
+                );
+                let dn = self.delay_noise_at(x, &env);
+                if dn > 0.0 {
+                    ranked.push((cc, dn));
+                }
+            }
+        }
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite delay noise"));
+        let rc = Rc::new(ranked);
+        self.wideners.borrow_mut()[aggressor.index()] = Some(Rc::clone(&rc));
+        rc
+    }
+}
+
+/// Pseudo envelope of a transition delayed by `shift` (paper §3.1).
+///
+/// For a rising transition `T`, the envelope is `T(t) - T(t - shift)`:
+/// non-negative, zero-tailed, and superimposing it back onto `T` delays
+/// the 50 % crossing by exactly `shift`.
+pub(crate) fn pseudo_envelope(transition: &Transition, shift: f64) -> Envelope {
+    if shift <= 0.0 {
+        return Envelope::zero();
+    }
+    let clean = transition.to_pwl();
+    let delayed = transition.shifted(shift).to_pwl();
+    let diff = match transition.edge() {
+        Edge::Rising => &clean - &delayed,
+        Edge::Falling => &delayed - &clean,
+    };
+    Envelope::from_curve(&diff)
+}
+
+/// Noise pulse of one coupling onto `victim` (shared with `Prepared`).
+fn pulse_for(
+    circuit: &Circuit,
+    config: &TopKConfig,
+    victim: NetId,
+    coupling: CouplingId,
+    aggressor_slew: f64,
+) -> NoisePulse {
+    use dna_noise::{CouplingContext, CouplingModel};
+    let cc = circuit.coupling(coupling);
+    let victim_resistance = circuit
+        .driver_cell(victim)
+        .map_or(config.noise.pi_resistance, |cell| cell.drive_resistance);
+    let ground_cap = (circuit.load_cap(victim) - cc.cap()).max(0.0);
+    config.noise.coupling.noise_pulse(&CouplingContext {
+        coupling_cap: cc.cap(),
+        victim_ground_cap: ground_cap,
+        victim_resistance,
+        aggressor_slew,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+    use dna_noise::NoiseConfig;
+
+    fn coupled() -> Circuit {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let v = b.gate(CellKind::Buf, "v", &[a]).unwrap();
+        let g = b.gate(CellKind::Buf, "g", &[x]).unwrap();
+        let w = b.gate(CellKind::Inv, "w", &[v]).unwrap();
+        b.output(w);
+        b.output(g);
+        b.coupling(v, g, 8.0).unwrap();
+        b.coupling(w, g, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn prepared(_mode: Mode) -> (Circuit, TopKConfig) {
+        (coupled(), TopKConfig::default())
+    }
+
+    #[test]
+    fn pseudo_envelope_round_trips_shift() {
+        let t = Transition::new(100.0, 20.0, Edge::Rising);
+        for shift in [0.5, 3.0, 10.0, 50.0] {
+            let env = pseudo_envelope(&t, shift);
+            let dn = superposition::delay_noise(&t, &env);
+            assert!(
+                (dn - shift).abs() < 1e-9,
+                "pseudo envelope for shift {shift} produced delay {dn}"
+            );
+        }
+        assert!(pseudo_envelope(&t, 0.0).is_zero());
+    }
+
+    #[test]
+    fn pseudo_envelope_handles_falling_edges() {
+        let t = Transition::new(100.0, 20.0, Edge::Falling);
+        let env = pseudo_envelope(&t, 5.0);
+        assert!(!env.is_zero());
+        assert!(env.peak() > 0.0);
+    }
+
+    #[test]
+    fn build_addition_has_no_noisy_report() {
+        let (c, config) = prepared(Mode::Addition);
+        let noise = NoiseAnalysis::new(&c, NoiseConfig::default());
+        let p = Prepared::build(&c, config, Mode::Addition, &noise, CouplingMask::all(&c)).unwrap();
+        assert!(p.noisy.is_none());
+        assert_eq!(p.window_timings.len(), c.num_nets());
+        // Windows equal the noiseless timing.
+        for n in c.net_ids() {
+            assert_eq!(p.window_timings[n.index()].lat(), p.base.timing(n).lat());
+        }
+    }
+
+    #[test]
+    fn build_elimination_windows_are_noisy() {
+        let (c, config) = prepared(Mode::Elimination);
+        let noise = NoiseAnalysis::new(&c, NoiseConfig::default());
+        let p = Prepared::build(&c, config, Mode::Elimination, &noise, CouplingMask::all(&c)).unwrap();
+        assert!(p.noisy.is_some());
+        // At least one window extends past its noiseless counterpart.
+        let widened = c
+            .net_ids()
+            .any(|n| p.window_timings[n.index()].lat() > p.base.timing(n).lat() + 1e-9);
+        assert!(widened, "elimination windows should include delay noise");
+    }
+
+    #[test]
+    fn primaries_cover_couplings_per_victim() {
+        let (c, config) = prepared(Mode::Addition);
+        let noise = NoiseAnalysis::new(&c, NoiseConfig::default());
+        let p = Prepared::build(&c, config, Mode::Addition, &noise, CouplingMask::all(&c)).unwrap();
+        let v = c.net_by_name("v").unwrap();
+        let g = c.net_by_name("g").unwrap();
+        assert_eq!(p.primaries[v.index()].len(), 1);
+        assert_eq!(p.primaries[g.index()].len(), 2);
+        // Envelope with zero delta matches the window.
+        let info = &p.primaries[v.index()][0];
+        let env = info.envelope(0.0);
+        assert!(!env.is_zero());
+        let wide = info.envelope(100.0);
+        assert!(wide.encapsulates(&env, TimeInterval::new(-1e4, 1e4)));
+    }
+
+    #[test]
+    fn wideners_ranked_descending() {
+        let (c, config) = prepared(Mode::Addition);
+        let noise = NoiseAnalysis::new(&c, NoiseConfig::default());
+        let p = Prepared::build(&c, config, Mode::Addition, &noise, CouplingMask::all(&c)).unwrap();
+        let w = c.net_by_name("w").unwrap();
+        let wd = p.wideners_of(w);
+        for pair in wd.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        // Memoized: same Rc returned.
+        let again = p.wideners_of(w);
+        assert!(Rc::ptr_eq(&wd, &again));
+    }
+
+    #[test]
+    fn dominance_interval_anchored_at_t50() {
+        let (c, config) = prepared(Mode::Addition);
+        let noise = NoiseAnalysis::new(&c, NoiseConfig::default());
+        let p = Prepared::build(&c, config, Mode::Addition, &noise, CouplingMask::all(&c)).unwrap();
+        for n in c.net_ids() {
+            let iv = p.dominance_iv[n.index()];
+            assert!((iv.lo() - p.victim_tr[n.index()].t50()).abs() < 1e-9);
+            assert!(iv.width() > 0.0);
+        }
+    }
+}

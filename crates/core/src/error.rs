@@ -1,0 +1,53 @@
+//! Top-k engine errors.
+
+use std::error::Error;
+use std::fmt;
+
+use dna_sta::StaError;
+
+/// Error produced by the top-k analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopKError {
+    /// `k == 0` was requested; an empty aggressor set is trivially the
+    /// answer and almost certainly a caller bug.
+    ZeroK,
+    /// The underlying timing/noise analysis failed.
+    Sta(StaError),
+}
+
+impl fmt::Display for TopKError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopKError::ZeroK => write!(f, "k must be at least 1"),
+            TopKError::Sta(e) => write!(f, "timing analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for TopKError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TopKError::ZeroK => None,
+            TopKError::Sta(e) => Some(e),
+        }
+    }
+}
+
+impl From<StaError> for TopKError {
+    fn from(e: StaError) -> Self {
+        TopKError::Sta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(TopKError::ZeroK.to_string().contains("k"));
+        let wrapped = TopKError::from(StaError::NoOutputs);
+        assert!(wrapped.to_string().contains("timing"));
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -1,0 +1,138 @@
+//! Results of a top-k analysis.
+
+use std::fmt;
+use std::time::Duration;
+
+use dna_netlist::{CouplingId, NetId};
+
+use crate::{CouplingSet, Mode};
+
+/// The outcome of one top-k addition- or elimination-set computation.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    pub(crate) mode: Mode,
+    pub(crate) requested_k: usize,
+    pub(crate) set: CouplingSet,
+    pub(crate) sink: NetId,
+    pub(crate) delay_before: f64,
+    pub(crate) delay_after: f64,
+    pub(crate) predicted_delay: f64,
+    pub(crate) peak_list_width: usize,
+    pub(crate) generated_candidates: usize,
+    pub(crate) runtime: Duration,
+}
+
+impl TopKResult {
+    /// Which flavor was computed.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The `k` that was requested. The returned set can be smaller when
+    /// the circuit has fewer useful couplings.
+    #[must_use]
+    pub fn requested_k(&self) -> usize {
+        self.requested_k
+    }
+
+    /// The chosen coupling set, sorted by id.
+    #[must_use]
+    pub fn couplings(&self) -> &[CouplingId] {
+        self.set.ids()
+    }
+
+    /// The chosen set as a [`CouplingSet`].
+    #[must_use]
+    pub fn set(&self) -> &CouplingSet {
+        &self.set
+    }
+
+    /// The primary output whose delay the set drives.
+    #[must_use]
+    pub fn sink(&self) -> NetId {
+        self.sink
+    }
+
+    /// Circuit delay before applying the set: noiseless delay for
+    /// addition, full-noise delay for elimination.
+    #[must_use]
+    pub fn delay_before(&self) -> f64 {
+        self.delay_before
+    }
+
+    /// Circuit delay after applying the set, measured by a full iterative
+    /// noise analysis (or the predicted value when validation is
+    /// disabled): with only the set's couplings for addition, with the
+    /// set's couplings removed for elimination.
+    #[must_use]
+    pub fn delay_after(&self) -> f64 {
+        self.delay_after
+    }
+
+    /// Circuit delay predicted by envelope superposition at the sink
+    /// (before validation).
+    #[must_use]
+    pub fn predicted_delay(&self) -> f64 {
+        self.predicted_delay
+    }
+
+    /// Convenience aliases matching the paper's tables: the delay *with*
+    /// the aggressor set active.
+    #[must_use]
+    pub fn delay_with(&self) -> f64 {
+        match self.mode {
+            Mode::Addition => self.delay_after,
+            Mode::Elimination => self.delay_before,
+        }
+    }
+
+    /// The delay *without* the aggressor set active.
+    #[must_use]
+    pub fn delay_without(&self) -> f64 {
+        match self.mode {
+            Mode::Addition => self.delay_before,
+            Mode::Elimination => self.delay_after,
+        }
+    }
+
+    /// Delay impact of the set (always non-negative for a useful set).
+    #[must_use]
+    pub fn delay_impact(&self) -> f64 {
+        self.delay_with() - self.delay_without()
+    }
+
+    /// Largest irredundant-list width observed during enumeration — the
+    /// paper's evidence that dominance pruning keeps the search tractable.
+    #[must_use]
+    pub fn peak_list_width(&self) -> usize {
+        self.peak_list_width
+    }
+
+    /// Total candidates generated before pruning.
+    #[must_use]
+    pub fn generated_candidates(&self) -> usize {
+        self.generated_candidates
+    }
+
+    /// Wall-clock runtime of the computation.
+    #[must_use]
+    pub fn runtime(&self) -> Duration {
+        self.runtime
+    }
+}
+
+impl fmt::Display for TopKResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "top-{} {} set {} (delay {:.3} -> {:.3} ps, {:.2?})",
+            self.requested_k,
+            self.mode.name(),
+            self.set,
+            self.delay_before,
+            self.delay_after,
+            self.runtime
+        )
+    }
+}

@@ -1,0 +1,198 @@
+//! Reproductions of the paper's illustrative scenarios.
+
+use dna_netlist::{CellKind, CircuitBuilder, Library};
+use dna_topk::{Mode, TopKAnalysis, TopKConfig};
+use dna_waveform::{superposition, Edge, Envelope, NoisePulse, Transition};
+
+/// Paper Fig. 4: non-monotonicity of top-k sets.
+///
+/// Aggressor `a1` has a *smaller* noise pulse than `a2`/`a3` but its window
+/// aligns with the victim crossing, so top-1 = {a1}. The wide, shallow
+/// envelopes of `a2` and `a3` are individually weak but superadditive, so
+/// top-2 = {a2, a3} — not a superset of top-1.
+#[test]
+fn figure_4_non_monotonic_sets() {
+    // Rising victim, slew 20 ps, t50 at 10 ps.
+    let victim = Transition::new(0.0, 20.0, Edge::Rising);
+    let t50 = victim.t50();
+
+    // a1: narrow spike centred on the crossing (tight window). Alone it
+    // shifts the crossing by 0.1/(0.05 + 0.2) = 0.4 ps.
+    let a1 = Envelope::from_window(&NoisePulse::symmetric(-0.5, 0.10, 1.0), t50, t50);
+    // a2, a3: taller pulses whose windows restrict them far to the left;
+    // only a long, shallow decay tail (slope 0.001/ps) reaches past the
+    // crossing, worth 0.018 V there. Alone: 0.018/0.051 = 0.35 ps < a1.
+    // Together: 0.036/0.052 = 0.69 ps, beating {a1, a2} = 0.118/0.251 =
+    // 0.47 ps — superadditive because the ramp fights a doubled shallow
+    // slope.
+    let wide = NoisePulse::new(0.0, 1.0, 0.15, 151.0);
+    let a2 = Envelope::from_window(&wide, t50 - 135.0, t50 - 133.0);
+    let a3 = Envelope::from_window(&wide, t50 - 135.0, t50 - 133.0);
+
+    // Pulse magnitudes: a2/a3 are taller than a1, as in the figure.
+    assert!(a2.peak() > a1.peak());
+
+    let dn = |envs: &[&Envelope]| {
+        superposition::delay_noise(&victim, &Envelope::sum_all(envs.iter().copied()))
+    };
+
+    // Top-1 is {a1}: it beats each of a2, a3 alone.
+    let d1 = dn(&[&a1]);
+    let d2 = dn(&[&a2]);
+    let d3 = dn(&[&a3]);
+    assert!(d1 > d2, "a1 ({d1}) must beat a2 ({d2}) alone");
+    assert!(d1 > d3, "a1 ({d1}) must beat a3 ({d3}) alone");
+
+    // Top-2 is {a2, a3}: jointly they beat every pair containing a1.
+    let d23 = dn(&[&a2, &a3]);
+    let d12 = dn(&[&a1, &a2]);
+    let d13 = dn(&[&a1, &a3]);
+    assert!(d23 > d12, "{{a2,a3}} ({d23}) must beat {{a1,a2}} ({d12})");
+    assert!(d23 > d13, "{{a2,a3}} ({d23}) must beat {{a1,a3}} ({d13})");
+}
+
+/// Paper Fig. 1: an indirect aggressor widens a primary aggressor's
+/// timing window and thereby increases the victim's delay noise. The
+/// top-2 addition set captures the {primary, indirect} pair.
+#[test]
+fn figure_1_indirect_aggressors_matter() {
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let in_v = b.input("in_v");
+    let in_a = b.input("in_a");
+    let in_t = b.input("in_t");
+    // Victim path: a couple of buffers.
+    let v1 = b.gate(CellKind::Buf, "v1", &[in_v]).unwrap();
+    let v2 = b.gate(CellKind::Buf, "v2", &[v1]).unwrap();
+    // Primary aggressor a1 driven through a chain; tertiary aggressor a2
+    // couples onto a1's fanin.
+    let a_mid = b.gate(CellKind::Buf, "a_mid", &[in_a]).unwrap();
+    let a1 = b.gate(CellKind::Buf, "a1", &[a_mid]).unwrap();
+    let a2 = b.gate(CellKind::Buf, "a2", &[in_t]).unwrap();
+    b.output(v2);
+    b.output(a1);
+    b.output(a2);
+    let primary = b.coupling(a1, v2, 9.0).unwrap();
+    let indirect = b.coupling(a2, a_mid, 8.0).unwrap();
+    let circuit = b.build().unwrap();
+
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::exact());
+    let top2 = engine.addition_set(2).unwrap();
+    assert!(
+        top2.couplings().contains(&primary),
+        "top-2 must include the primary coupling, got {}",
+        top2.set()
+    );
+    // The indirect aggressor is the only other coupling; the set uses it.
+    assert!(
+        top2.couplings().contains(&indirect),
+        "top-2 must include the indirect coupling, got {}",
+        top2.set()
+    );
+    assert!(top2.delay_with() > top2.delay_without());
+}
+
+/// The addition and elimination sets are duals: on a circuit whose noise
+/// is dominated by a handful of couplings, the top-k addition set (added
+/// to quiet timing) and the top-k elimination set (removed from noisy
+/// timing) identify overlapping couplings.
+#[test]
+fn addition_elimination_duality() {
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let i1 = b.input("i1");
+    let i2 = b.input("i2");
+    let v1 = b.gate(CellKind::Buf, "v1", &[i1]).unwrap();
+    let v2 = b.gate(CellKind::Buf, "v2", &[v1]).unwrap();
+    let g1 = b.gate(CellKind::Buf, "g1", &[i2]).unwrap();
+    b.output(v2);
+    b.output(g1);
+    let strong = b.coupling(v2, g1, 12.0).unwrap();
+    b.coupling(v1, g1, 1.0).unwrap();
+    let circuit = b.build().unwrap();
+
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::exact());
+    let add = engine.addition_set(1).unwrap();
+    let del = engine.elimination_set(1).unwrap();
+    assert_eq!(add.couplings(), &[strong]);
+    assert_eq!(del.couplings(), &[strong]);
+    assert_eq!(add.mode(), Mode::Addition);
+    assert_eq!(del.mode(), Mode::Elimination);
+    // Removing what addition found most harmful recovers the quiet delay.
+    assert!(del.delay_after() < del.delay_before());
+}
+
+/// Elimination with everything fixed recovers the noiseless circuit delay.
+#[test]
+fn eliminating_all_couplings_recovers_noiseless_delay() {
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let i1 = b.input("i1");
+    let i2 = b.input("i2");
+    let v = b.gate(CellKind::Buf, "v", &[i1]).unwrap();
+    let g = b.gate(CellKind::Buf, "g", &[i2]).unwrap();
+    b.output(v);
+    b.output(g);
+    b.coupling(v, g, 8.0).unwrap();
+    let circuit = b.build().unwrap();
+
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::exact());
+    let del = engine.elimination_set(1).unwrap();
+    assert!(
+        (del.delay_after() - del.delay_without()).abs() < 1e-9,
+        "after eliminating the only coupling, delay must be noiseless"
+    );
+}
+
+/// Requesting more aggressors than exist degrades gracefully.
+#[test]
+fn k_larger_than_coupling_count() {
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let i1 = b.input("i1");
+    let i2 = b.input("i2");
+    let v = b.gate(CellKind::Buf, "v", &[i1]).unwrap();
+    let g = b.gate(CellKind::Buf, "g", &[i2]).unwrap();
+    b.output(v);
+    b.output(g);
+    b.coupling(v, g, 8.0).unwrap();
+    let circuit = b.build().unwrap();
+
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::exact());
+    let r = engine.addition_set(5).unwrap();
+    assert_eq!(r.requested_k(), 5);
+    assert_eq!(r.couplings().len(), 1, "only one coupling exists");
+    assert!(r.delay_with() >= r.delay_without());
+}
+
+/// k = 0 is rejected.
+#[test]
+fn zero_k_is_an_error() {
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let i1 = b.input("i1");
+    let v = b.gate(CellKind::Buf, "v", &[i1]).unwrap();
+    b.output(v);
+    let circuit = b.build().unwrap();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    assert!(engine.addition_set(0).is_err());
+    assert!(engine.elimination_set(0).is_err());
+    assert!(engine.elimination_set_peeled(0, 1).is_err());
+}
+
+/// Ablation: dominance pruning changes runtime, not soundness — results
+/// with and without pruning are both validated, and pruning keeps lists
+/// narrower.
+#[test]
+fn dominance_pruning_preserves_soundness() {
+    let circuit = dna_netlist::generator::generate(
+        &dna_netlist::generator::GeneratorConfig::new(20, 25).with_seed(3),
+    )
+    .unwrap();
+    let with = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let without = TopKAnalysis::new(
+        &circuit,
+        TopKConfig { dominance_pruning: false, ..TopKConfig::default() },
+    );
+    let rw = with.addition_set(3).unwrap();
+    let ro = without.addition_set(3).unwrap();
+    assert!(rw.delay_with() >= rw.delay_without());
+    assert!(ro.delay_with() >= ro.delay_without());
+    // Pruned lists are never wider than unpruned ones (both beam-capped).
+    assert!(rw.peak_list_width() <= ro.peak_list_width().max(rw.peak_list_width()));
+}

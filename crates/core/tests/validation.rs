@@ -1,0 +1,149 @@
+//! Validation of the proposed algorithm against brute-force enumeration —
+//! the experiment behind the paper's Table 1 ("for k <= 3, the top-k
+//! aggressors set computed by proposed algorithm was consistent with
+//! brute-force method").
+//!
+//! Our synthetic circuits are multi-output and reconvergent, which
+//! stresses the envelope abstraction harder than the paper's blocks; the
+//! thresholds below encode the measured agreement honestly rather than
+//! claiming perfection: addition is near-exact, elimination is close with
+//! the one-pass algorithm and substantially better with peeling.
+
+use dna_netlist::generator::{generate, GeneratorConfig};
+use dna_topk::{brute_force, BruteForceConfig, Mode, TopKAnalysis, TopKConfig};
+
+const SEEDS: u64 = 5;
+const MAX_K: usize = 3;
+
+struct Agreement {
+    exact: usize,
+    total: usize,
+    worst_fraction: f64,
+}
+
+fn measure(mode: Mode, peeled: bool) -> Agreement {
+    let mut exact = 0;
+    let mut total = 0;
+    let mut worst_fraction: f64 = 1.0;
+    for seed in 0..SEEDS {
+        let circuit = generate(&GeneratorConfig::new(12, 10).with_seed(seed)).unwrap();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::exact());
+        for k in 1..=MAX_K {
+            let bf = brute_force(&circuit, &BruteForceConfig::default(), mode, k).unwrap();
+            let (_, brute_delay) = bf.completed().expect("tiny search completes");
+            let result = match (mode, peeled) {
+                (Mode::Addition, _) => engine.addition_set(k).unwrap(),
+                (Mode::Elimination, false) => engine.elimination_set(k).unwrap(),
+                (Mode::Elimination, true) => engine.elimination_set_peeled(k, 1).unwrap(),
+            };
+            // Impact achieved, as a fraction of the optimal impact.
+            let (optimal, achieved) = match mode {
+                Mode::Addition => (
+                    brute_delay - result.delay_before(),
+                    result.delay_after() - result.delay_before(),
+                ),
+                Mode::Elimination => (
+                    result.delay_before() - brute_delay,
+                    result.delay_before() - result.delay_after(),
+                ),
+            };
+            total += 1;
+            if (achieved - optimal).abs() < 1e-6 {
+                exact += 1;
+            } else if optimal > 1e-9 {
+                worst_fraction = worst_fraction.min(achieved / optimal);
+            }
+            // The proposed algorithm never beats the true optimum (its
+            // answer is validated by a real analysis run).
+            assert!(
+                achieved <= optimal + 1e-6,
+                "mode {mode:?} seed {seed} k {k}: proposed {achieved} exceeds optimum {optimal}"
+            );
+            // And it never actively hurts.
+            assert!(achieved >= -1e-9);
+        }
+    }
+    Agreement { exact, total, worst_fraction }
+}
+
+#[test]
+fn addition_matches_brute_force_closely() {
+    let a = measure(Mode::Addition, false);
+    assert_eq!(a.total, SEEDS as usize * MAX_K);
+    assert!(
+        a.exact * 10 >= a.total * 7,
+        "addition exact matches {}/{} below threshold",
+        a.exact,
+        a.total
+    );
+    // Measured across the seed set: even the worst miss achieves most of
+    // the optimal impact (ties among predicted-equal candidates are
+    // resolved by measured validation, which can land on a slightly
+    // different set than the optimum).
+    assert!(
+        a.worst_fraction >= 0.8,
+        "addition worst-case fraction {} too low",
+        a.worst_fraction
+    );
+}
+
+#[test]
+fn elimination_one_pass_is_sound_and_useful() {
+    let a = measure(Mode::Elimination, false);
+    // The one-pass dual is heuristic on multi-output circuits: every
+    // answer is sound (asserted inside measure) and a good share is exact.
+    assert!(
+        a.exact * 10 >= a.total * 5,
+        "elimination exact matches {}/{} below threshold",
+        a.exact,
+        a.total
+    );
+    assert!(
+        a.worst_fraction >= 0.4,
+        "elimination worst-case fraction {} too low",
+        a.worst_fraction
+    );
+}
+
+#[test]
+fn elimination_peeled_improves_on_one_pass() {
+    let one_pass = measure(Mode::Elimination, false);
+    let peeled = measure(Mode::Elimination, true);
+    assert!(
+        peeled.exact >= one_pass.exact,
+        "peeling should not reduce exact matches ({} vs {})",
+        peeled.exact,
+        one_pass.exact
+    );
+    assert!(
+        peeled.exact * 10 >= peeled.total * 6,
+        "peeled exact matches {}/{} below threshold",
+        peeled.exact,
+        peeled.total
+    );
+    assert!(peeled.worst_fraction >= 0.6, "peeled worst fraction {}", peeled.worst_fraction);
+}
+
+#[test]
+fn top_1_addition_is_exact_on_single_sink_circuits() {
+    // With a single primary output the sink selection is trivial and the
+    // top-1 addition set must match brute force exactly.
+    for seed in 20..26u64 {
+        let mut cfg = GeneratorConfig::new(14, 12).with_seed(seed);
+        cfg.inputs = 3;
+        let circuit = generate(&cfg).unwrap();
+        if circuit.primary_outputs().len() != 1 {
+            continue; // only exercise the single-sink property
+        }
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::exact());
+        let r = engine.addition_set(1).unwrap();
+        let bf = brute_force(&circuit, &BruteForceConfig::default(), Mode::Addition, 1)
+            .unwrap();
+        let (_, brute_delay) = bf.completed().unwrap();
+        assert!(
+            (r.delay_after() - brute_delay).abs() < 1e-6,
+            "seed {seed}: {} vs brute {brute_delay}",
+            r.delay_after()
+        );
+    }
+}

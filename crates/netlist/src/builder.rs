@@ -1,0 +1,390 @@
+//! Incremental circuit construction with validation at `build()`.
+
+use std::collections::HashMap;
+
+use crate::{
+    topo, CellKind, Circuit, Coupling, CouplingId, Gate, GateId, Library, Net, NetId,
+    NetSource, NetlistError,
+};
+
+/// Builder for [`Circuit`]s.
+///
+/// Nets are created by [`input`](Self::input) (primary inputs) and
+/// [`gate`](Self::gate) (each gate drives a fresh net named after the
+/// gate). Validation that needs the whole picture — acyclicity, the
+/// presence of outputs — happens in [`build`](Self::build); per-call
+/// validation (arity, duplicate names, negative capacitance) happens
+/// eagerly.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{CircuitBuilder, Library, CellKind};
+///
+/// let mut b = CircuitBuilder::new(Library::cmos013());
+/// let a = b.input("a");
+/// let bb = b.input("b");
+/// let y = b.gate(CellKind::Nand2, "u1", &[a, bb])?;
+/// b.wire_cap(y, 8.0)?;
+/// b.coupling(a, y, 4.0)?;
+/// b.output(y);
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.num_couplings(), 1);
+/// # Ok::<(), dna_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    library: Library,
+    gates: Vec<Gate>,
+    nets: Vec<Net>,
+    couplings: Vec<Coupling>,
+    names: HashMap<String, NetId>,
+    default_wire_cap: f64,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder over the given library.
+    #[must_use]
+    pub fn new(library: Library) -> Self {
+        Self {
+            library,
+            gates: Vec::new(),
+            nets: Vec::new(),
+            couplings: Vec::new(),
+            names: HashMap::new(),
+            default_wire_cap: 2.0,
+        }
+    }
+
+    /// Sets the wire capacitance (fF) newly created nets start with.
+    pub fn set_default_wire_cap(&mut self, cap: f64) -> &mut Self {
+        self.default_wire_cap = cap;
+        self
+    }
+
+    fn add_net(&mut self, name: String, source: NetSource) -> Result<NetId, NetlistError> {
+        if self.names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = NetId::new(self.nets.len() as u32);
+        self.names.insert(name.clone(), id);
+        self.nets.push(Net {
+            name,
+            source,
+            loads: Vec::new(),
+            wire_cap: self.default_wire_cap,
+            is_output: false,
+            position: None,
+        });
+        Ok(id)
+    }
+
+    /// Declares a primary input net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (inputs are usually declared
+    /// first, from a known-unique list; use [`try_input`](Self::try_input)
+    /// when that is not guaranteed).
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        self.try_input(name).expect("duplicate primary input name")
+    }
+
+    /// Declares a primary input net, reporting name collisions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn try_input(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        self.add_net(name.into(), NetSource::PrimaryInput)
+    }
+
+    /// Instantiates a gate; the returned net is its output, named after
+    /// the gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] when the number of inputs
+    /// does not match the cell and [`NetlistError::DuplicateName`] when the
+    /// gate name collides with an existing net.
+    pub fn gate(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        let gate_id = GateId::new(self.gates.len() as u32);
+        if inputs.len() != kind.arity() {
+            return Err(NetlistError::ArityMismatch {
+                gate: gate_id,
+                expected: kind.arity(),
+                got: inputs.len(),
+            });
+        }
+        let output = self.add_net(name.clone(), NetSource::Gate(gate_id))?;
+        for &i in inputs {
+            self.nets[i.index()].loads.push(gate_id);
+        }
+        self.gates.push(Gate { name, kind, inputs: inputs.to_vec(), output });
+        Ok(output)
+    }
+
+    /// Marks `net` as a primary output (timing sink).
+    pub fn output(&mut self, net: NetId) -> &mut Self {
+        self.nets[net.index()].is_output = true;
+        self
+    }
+
+    /// Sets the grounded wire capacitance of `net` in fF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] for negative or
+    /// non-finite values.
+    pub fn wire_cap(&mut self, net: NetId, cap: f64) -> Result<&mut Self, NetlistError> {
+        if !cap.is_finite() || cap < 0.0 {
+            return Err(NetlistError::InvalidParameter { what: "wire capacitance", value: cap });
+        }
+        self.nets[net.index()].wire_cap = cap;
+        Ok(self)
+    }
+
+    /// Records a placement position for `net` (used by the synthetic
+    /// generator's geometric coupling assignment).
+    pub fn position(&mut self, net: NetId, x: f64, y: f64) -> &mut Self {
+        self.nets[net.index()].position = Some((x, y));
+        self
+    }
+
+    /// Adds a coupling capacitor of `cap` fF between two distinct nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::SelfCoupling`] when `a == b` and
+    /// [`NetlistError::InvalidParameter`] for a non-positive or non-finite
+    /// capacitance.
+    pub fn coupling(&mut self, a: NetId, b: NetId, cap: f64) -> Result<CouplingId, NetlistError> {
+        if a == b {
+            return Err(NetlistError::SelfCoupling(a));
+        }
+        if !cap.is_finite() || cap <= 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                what: "coupling capacitance",
+                value: cap,
+            });
+        }
+        let id = CouplingId::new(self.couplings.len() as u32);
+        self.couplings.push(Coupling { a, b, cap });
+        Ok(id)
+    }
+
+    /// Resolves a declared net name.
+    #[must_use]
+    pub fn net_named(&self, name: &str) -> Option<NetId> {
+        self.names.get(name).copied()
+    }
+
+    /// Number of gate loads currently attached to `net`.
+    #[must_use]
+    pub fn num_loads(&self, net: NetId) -> usize {
+        self.nets[net.index()].loads.len()
+    }
+
+    /// Placement position of `net`, if one was recorded.
+    #[must_use]
+    pub fn position_of(&self, net: NetId) -> Option<(f64, f64)> {
+        self.nets[net.index()].position
+    }
+
+    /// Number of gates added so far.
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets added so far.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Validates and freezes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists and
+    /// [`NetlistError::NoOutputs`] when no net was marked as an output.
+    pub fn build(self) -> Result<Circuit, NetlistError> {
+        let gate_topo = topo::topo_sort_gates(&self.gates, &self.nets)?;
+
+        let outputs: Vec<NetId> = (0..self.nets.len() as u32)
+            .map(NetId::new)
+            .filter(|&n| self.nets[n.index()].is_output)
+            .collect();
+        if outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+
+        let mut net_topo: Vec<NetId> = (0..self.nets.len() as u32)
+            .map(NetId::new)
+            .filter(|&n| matches!(self.nets[n.index()].source, NetSource::PrimaryInput))
+            .collect();
+        net_topo.extend(gate_topo.iter().map(|&g| self.gates[g.index()].output));
+
+        let mut couplings_by_net: Vec<Vec<CouplingId>> = vec![Vec::new(); self.nets.len()];
+        for (i, c) in self.couplings.iter().enumerate() {
+            let id = CouplingId::new(i as u32);
+            couplings_by_net[c.a.index()].push(id);
+            couplings_by_net[c.b.index()].push(id);
+        }
+
+        Ok(Circuit {
+            library: self.library,
+            gates: self.gates,
+            nets: self.nets,
+            couplings: self.couplings,
+            gate_topo,
+            net_topo,
+            couplings_by_net,
+            outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> CircuitBuilder {
+        CircuitBuilder::new(Library::cmos013())
+    }
+
+    #[test]
+    fn simple_chain_builds() {
+        let mut b = builder();
+        let a = b.input("a");
+        let n1 = b.gate(CellKind::Inv, "u1", &[a]).unwrap();
+        let n2 = b.gate(CellKind::Buf, "u2", &[n1]).unwrap();
+        b.output(n2);
+        let c = b.build().unwrap();
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.num_nets(), 3);
+        assert_eq!(c.primary_outputs(), &[n2]);
+        assert_eq!(c.net(n1).loads().len(), 1);
+        // Net topological order: PI first, then gate outputs in order.
+        assert_eq!(c.nets_topological()[0], a);
+    }
+
+    #[test]
+    fn arity_checked_eagerly() {
+        let mut b = builder();
+        let a = b.input("a");
+        let err = b.gate(CellKind::Nand2, "u1", &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = builder();
+        let a = b.input("a");
+        assert!(b.try_input("a").is_err());
+        let err = b.gate(CellKind::Inv, "a", &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let mut b = builder();
+        let a = b.input("a");
+        b.gate(CellKind::Inv, "u1", &[a]).unwrap();
+        assert!(matches!(b.build(), Err(NetlistError::NoOutputs)));
+    }
+
+    #[test]
+    fn self_coupling_rejected() {
+        let mut b = builder();
+        let a = b.input("a");
+        assert!(matches!(b.coupling(a, a, 1.0), Err(NetlistError::SelfCoupling(_))));
+    }
+
+    #[test]
+    fn bad_caps_rejected() {
+        let mut b = builder();
+        let a = b.input("a");
+        let x = b.input("x");
+        assert!(b.coupling(a, x, 0.0).is_err());
+        assert!(b.coupling(a, x, f64::NAN).is_err());
+        assert!(b.wire_cap(a, -1.0).is_err());
+    }
+
+    #[test]
+    fn coupling_index_is_built() {
+        let mut b = builder();
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.gate(CellKind::And2, "u1", &[a, x]).unwrap();
+        b.output(y);
+        let c1 = b.coupling(a, y, 2.0).unwrap();
+        let c2 = b.coupling(x, y, 3.0).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.couplings_on(y), &[c1, c2]);
+        assert_eq!(c.couplings_on(a), &[c1]);
+        assert_eq!(c.coupling(c2).cap(), 3.0);
+    }
+
+    #[test]
+    fn load_cap_sums_components() {
+        let mut b = builder();
+        let a = b.input("a");
+        let y = b.gate(CellKind::Inv, "u1", &[a]).unwrap();
+        let z = b.gate(CellKind::Inv, "u2", &[y]).unwrap();
+        b.output(z);
+        b.wire_cap(y, 10.0).unwrap();
+        b.coupling(a, y, 4.0).unwrap();
+        let c = b.build().unwrap();
+        let inv_cin = c.library().cell(CellKind::Inv).input_cap;
+        assert!((c.load_cap(y) - (10.0 + inv_cin + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitive_fanin_excludes_self() {
+        let mut b = builder();
+        let a = b.input("a");
+        let x = b.input("x");
+        let n1 = b.gate(CellKind::Nand2, "u1", &[a, x]).unwrap();
+        let n2 = b.gate(CellKind::Inv, "u2", &[n1]).unwrap();
+        b.output(n2);
+        let c = b.build().unwrap();
+        let mut cone = c.transitive_fanin(n2);
+        cone.sort();
+        assert_eq!(cone, vec![a, x, n1]);
+        assert!(c.transitive_fanin(a).is_empty());
+    }
+
+    #[test]
+    fn net_by_name_finds_gates_and_inputs() {
+        let mut b = builder();
+        let a = b.input("a");
+        let y = b.gate(CellKind::Inv, "u1", &[a]).unwrap();
+        b.output(y);
+        assert_eq!(b.net_named("u1"), Some(y));
+        let c = b.build().unwrap();
+        assert_eq!(c.net_by_name("a"), Some(a));
+        assert_eq!(c.net_by_name("u1"), Some(y));
+        assert_eq!(c.net_by_name("nope"), None);
+    }
+
+    #[test]
+    fn stats_display() {
+        let mut b = builder();
+        let a = b.input("a");
+        let y = b.gate(CellKind::Inv, "u1", &[a]).unwrap();
+        b.output(y);
+        let c = b.build().unwrap();
+        let s = c.stats();
+        assert_eq!(s.gates, 1);
+        assert_eq!(s.inputs, 1);
+        assert!(c.to_string().contains("1 gates"));
+    }
+}

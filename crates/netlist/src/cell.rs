@@ -1,0 +1,212 @@
+//! Standard cells and their linear electrical parameters.
+//!
+//! Units across the workspace: resistance in **kΩ**, capacitance in **fF**,
+//! time in **ps** (so `R·C` directly yields picoseconds).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Logic function / footprint of a standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 3-input NAND.
+    Nand3,
+    /// 3-input NOR.
+    Nor3,
+    /// 2:1 multiplexer (select, a, b).
+    Mux2,
+}
+
+impl CellKind {
+    /// Number of input pins of the cell.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2 => 2,
+            CellKind::Nand3 | CellKind::Nor3 | CellKind::Mux2 => 3,
+        }
+    }
+
+    /// Whether the cell logically inverts (used when propagating edges).
+    #[must_use]
+    pub fn inverting(self) -> bool {
+        matches!(
+            self,
+            CellKind::Inv | CellKind::Nand2 | CellKind::Nor2 | CellKind::Nand3 | CellKind::Nor3
+        )
+    }
+
+    /// All cell kinds, in a stable order.
+    #[must_use]
+    pub fn all() -> &'static [CellKind] {
+        &[
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Nand3,
+            CellKind::Nor3,
+            CellKind::Mux2,
+        ]
+    }
+
+    /// Canonical lower-case name used by the text netlist format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CellKind::Inv => "inv",
+            CellKind::Buf => "buf",
+            CellKind::Nand2 => "nand2",
+            CellKind::Nor2 => "nor2",
+            CellKind::And2 => "and2",
+            CellKind::Or2 => "or2",
+            CellKind::Xor2 => "xor2",
+            CellKind::Nand3 => "nand3",
+            CellKind::Nor3 => "nor3",
+            CellKind::Mux2 => "mux2",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown cell name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCellKindError(pub String);
+
+impl fmt::Display for ParseCellKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown cell kind `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseCellKindError {}
+
+impl FromStr for CellKind {
+    type Err = ParseCellKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CellKind::all()
+            .iter()
+            .copied()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| ParseCellKindError(s.to_owned()))
+    }
+}
+
+/// Linear electrical model of a standard cell (paper §2: the linear noise
+/// framework trades accuracy for runtime, as industrial linear tools do).
+///
+/// * `delay = intrinsic_delay + drive_resistance · C_load`
+/// * `output slew = intrinsic_slew + 2 · drive_resistance · C_load`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Which logic cell this parameterizes.
+    pub kind: CellKind,
+    /// Fixed delay component in ps.
+    pub intrinsic_delay: f64,
+    /// Output drive (Thevenin) resistance in kΩ.
+    pub drive_resistance: f64,
+    /// Capacitance each input pin presents, in fF.
+    pub input_cap: f64,
+    /// Output slew at zero load, in ps.
+    pub intrinsic_slew: f64,
+}
+
+impl Cell {
+    /// Gate delay (ps) driving `c_load` fF.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dna_netlist::{Cell, CellKind};
+    ///
+    /// let inv = Cell {
+    ///     kind: CellKind::Inv,
+    ///     intrinsic_delay: 15.0,
+    ///     drive_resistance: 2.0,
+    ///     input_cap: 3.0,
+    ///     intrinsic_slew: 20.0,
+    /// };
+    /// assert_eq!(inv.delay(10.0), 35.0); // 15 + 2 kΩ · 10 fF = 35 ps
+    /// ```
+    #[must_use]
+    pub fn delay(&self, c_load: f64) -> f64 {
+        self.intrinsic_delay + self.drive_resistance * c_load
+    }
+
+    /// Output slew (ps) driving `c_load` fF.
+    #[must_use]
+    pub fn output_slew(&self, c_load: f64) -> f64 {
+        self.intrinsic_slew + 2.0 * self.drive_resistance * c_load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(CellKind::Inv.arity(), 1);
+        assert_eq!(CellKind::Nand2.arity(), 2);
+        assert_eq!(CellKind::Mux2.arity(), 3);
+    }
+
+    #[test]
+    fn name_round_trips_through_parse() {
+        for &k in CellKind::all() {
+            let parsed: CellKind = k.name().parse().unwrap();
+            assert_eq!(parsed, k);
+        }
+        assert!("frob".parse::<CellKind>().is_err());
+    }
+
+    #[test]
+    fn inverting_flags() {
+        assert!(CellKind::Inv.inverting());
+        assert!(CellKind::Nand2.inverting());
+        assert!(!CellKind::Buf.inverting());
+        assert!(!CellKind::And2.inverting());
+    }
+
+    #[test]
+    fn linear_delay_model() {
+        let c = Cell {
+            kind: CellKind::Buf,
+            intrinsic_delay: 10.0,
+            drive_resistance: 1.5,
+            input_cap: 2.0,
+            intrinsic_slew: 12.0,
+        };
+        assert_eq!(c.delay(0.0), 10.0);
+        assert_eq!(c.delay(20.0), 40.0);
+        assert_eq!(c.output_slew(20.0), 72.0);
+    }
+}

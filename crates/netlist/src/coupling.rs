@@ -1,0 +1,96 @@
+//! Coupling capacitors.
+
+use std::fmt;
+
+use crate::NetId;
+
+/// A parasitic coupling capacitor between two nets.
+///
+/// Physically the capacitor is symmetric; during analysis each side plays
+/// the *victim* while the other side is the *aggressor*. One `Coupling` is
+/// the paper's unit of fixing: eliminating it (by spacing or shielding)
+/// removes the noise contribution in **both** directions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coupling {
+    pub(crate) a: NetId,
+    pub(crate) b: NetId,
+    pub(crate) cap: f64,
+}
+
+impl Coupling {
+    /// First endpoint.
+    #[must_use]
+    pub fn a(&self) -> NetId {
+        self.a
+    }
+
+    /// Second endpoint.
+    #[must_use]
+    pub fn b(&self) -> NetId {
+        self.b
+    }
+
+    /// Coupling capacitance in fF.
+    #[must_use]
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Whether `net` is one of the endpoints.
+    #[must_use]
+    pub fn involves(&self, net: NetId) -> bool {
+        self.a == net || self.b == net
+    }
+
+    /// The endpoint opposite `net`, or `None` if `net` is not an endpoint.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dna_netlist::{CircuitBuilder, Library, CellKind};
+    ///
+    /// let mut b = CircuitBuilder::new(Library::cmos013());
+    /// let x = b.input("x");
+    /// let y = b.input("y");
+    /// let cc = b.coupling(x, y, 5.0)?;
+    /// # let out = b.gate(CellKind::And2, "g", &[x, y])?;
+    /// # b.output(out);
+    /// let circuit = b.build()?;
+    /// let c = circuit.coupling(cc);
+    /// assert_eq!(c.other(x), Some(y));
+    /// assert_eq!(c.other(y), Some(x));
+    /// # Ok::<(), dna_netlist::NetlistError>(())
+    /// ```
+    #[must_use]
+    pub fn other(&self, net: NetId) -> Option<NetId> {
+        if self.a == net {
+            Some(self.b)
+        } else if self.b == net {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Coupling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -- {} ({:.2} fF)", self.a, self.b, self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_other() {
+        let c = Coupling { a: NetId::new(1), b: NetId::new(2), cap: 3.5 };
+        assert!(c.involves(NetId::new(1)));
+        assert!(c.involves(NetId::new(2)));
+        assert!(!c.involves(NetId::new(3)));
+        assert_eq!(c.other(NetId::new(1)), Some(NetId::new(2)));
+        assert_eq!(c.other(NetId::new(3)), None);
+        assert_eq!(c.cap(), 3.5);
+    }
+}

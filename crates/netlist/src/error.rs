@@ -1,0 +1,89 @@
+//! Netlist construction and parsing errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{GateId, NetId};
+
+/// Error produced while building or validating a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A gate was given a number of inputs different from its cell's arity.
+    ArityMismatch {
+        /// The offending gate.
+        gate: GateId,
+        /// Inputs the cell expects.
+        expected: usize,
+        /// Inputs the gate was given.
+        got: usize,
+    },
+    /// The combinational core contains a cycle through the given gate.
+    CombinationalCycle(GateId),
+    /// Two gates drive the same net.
+    MultipleDrivers(NetId),
+    /// A net has no driver and is not a primary input.
+    Undriven(NetId),
+    /// A coupling capacitor connects a net to itself.
+    SelfCoupling(NetId),
+    /// A referenced name was never declared.
+    UnknownName(String),
+    /// A name was declared twice.
+    DuplicateName(String),
+    /// A numeric parameter was invalid (negative capacitance, NaN, …).
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The circuit has no primary output, so no sink to time.
+    NoOutputs,
+    /// A parse error in the text netlist format, with 1-based line number.
+    Parse {
+        /// Line number in the source text.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch { gate, expected, got } => {
+                write!(f, "gate {gate} expects {expected} inputs but got {got}")
+            }
+            NetlistError::CombinationalCycle(g) => {
+                write!(f, "combinational cycle through gate {g}")
+            }
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::Undriven(n) => {
+                write!(f, "net {n} has no driver and is not a primary input")
+            }
+            NetlistError::SelfCoupling(n) => write!(f, "net {n} coupled to itself"),
+            NetlistError::UnknownName(s) => write!(f, "unknown name `{s}`"),
+            NetlistError::DuplicateName(s) => write!(f, "duplicate name `{s}`"),
+            NetlistError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::ArityMismatch { gate: GateId::new(2), expected: 2, got: 3 };
+        assert!(e.to_string().contains("g2"));
+        assert!(e.to_string().contains('3'));
+        let p = NetlistError::Parse { line: 7, message: "bad token".into() };
+        assert!(p.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Gate instances.
+
+use std::fmt;
+
+use crate::{CellKind, GateId, NetId};
+
+/// One placed instance of a standard cell.
+///
+/// A gate reads its `inputs` nets and drives exactly one `output` net.
+/// Electrical parameters live in the [`Library`](crate::Library); the gate
+/// only records its [`CellKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub(crate) name: String,
+    pub(crate) kind: CellKind,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+}
+
+impl Gate {
+    /// Instance name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell this gate instantiates.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input nets in pin order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The net this gate drives.
+    #[must_use]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}`", self.kind, self.name)
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetSource {
+    /// The net is a primary input of the design.
+    PrimaryInput,
+    /// The net is driven by the given gate.
+    Gate(GateId),
+}
+
+impl NetSource {
+    /// The driving gate, if any.
+    #[must_use]
+    pub fn gate(self) -> Option<GateId> {
+        match self {
+            NetSource::PrimaryInput => None,
+            NetSource::Gate(g) => Some(g),
+        }
+    }
+}
+
+/// A wire in the design.
+///
+/// Each net has exactly one [`NetSource`], zero or more load gates, a
+/// grounded wire capacitance (fF) and an optional 2-D position used by the
+/// synthetic generator to assign realistic coupling capacitors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) source: NetSource,
+    pub(crate) loads: Vec<GateId>,
+    pub(crate) wire_cap: f64,
+    pub(crate) is_output: bool,
+    pub(crate) position: Option<(f64, f64)>,
+}
+
+impl Net {
+    /// Net name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What drives the net.
+    #[must_use]
+    pub fn source(&self) -> NetSource {
+        self.source
+    }
+
+    /// Gates whose inputs connect to this net.
+    #[must_use]
+    pub fn loads(&self) -> &[GateId] {
+        &self.loads
+    }
+
+    /// Grounded wire capacitance in fF.
+    #[must_use]
+    pub fn wire_cap(&self) -> f64 {
+        self.wire_cap
+    }
+
+    /// Whether the net is a primary output (a timing sink).
+    #[must_use]
+    pub fn is_output(&self) -> bool {
+        self.is_output
+    }
+
+    /// Whether the net is a primary input.
+    #[must_use]
+    pub fn is_input(&self) -> bool {
+        matches!(self.source, NetSource::PrimaryInput)
+    }
+
+    /// Placement position, if assigned.
+    #[must_use]
+    pub fn position(&self) -> Option<(f64, f64)> {
+        self.position
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net `{}`", self.name)
+    }
+}

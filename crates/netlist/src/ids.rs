@@ -1,0 +1,87 @@
+//! Typed identifiers for netlist entities.
+//!
+//! Newtype indices keep nets, gates and coupling capacitors statically
+//! distinct (a `NetId` can never be used to index gates) while staying
+//! `Copy` and cheap to store in candidate sets.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[must_use]
+            pub fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// The raw index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a net (a wire driven by one gate or primary input).
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a gate instance.
+    GateId,
+    "g"
+);
+id_type!(
+    /// Identifier of a coupling capacitor between two nets.
+    ///
+    /// A coupling capacitor is the *unit of fixing* in the paper: a top-k
+    /// aggressor set is a set of `CouplingId`s whose addition or
+    /// elimination changes the circuit delay the most.
+    CouplingId,
+    "cc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        assert_eq!(NetId::new(7).index(), 7);
+        assert_eq!(GateId::new(0).index(), 0);
+        assert_eq!(CouplingId::new(41).index(), 41);
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(NetId::new(3).to_string(), "n3");
+        assert_eq!(GateId::new(3).to_string(), "g3");
+        assert_eq!(CouplingId::new(3).to_string(), "cc3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        let u: usize = NetId::new(9).into();
+        assert_eq!(u, 9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Gate-level netlists with RC parasitics and coupling capacitors.
+//!
+//! This crate is the circuit substrate of the DAC 2007 *"Top-k Aggressors
+//! Sets in Delay Noise Analysis"* reproduction:
+//!
+//! * [`Circuit`] — a validated combinational DAG of [`Gate`]s and [`Net`]s
+//!   with grounded wire capacitance and parasitic [`Coupling`] capacitors,
+//! * [`CircuitBuilder`] — incremental construction with eager per-call
+//!   validation and whole-circuit checks at [`build`](CircuitBuilder::build),
+//! * [`Library`] — linear-model standard cells (0.13 µm-flavoured default),
+//! * [`generator`] — seeded, placement-aware synthetic circuit generation,
+//! * [`suite`] — the paper's i1–i10 benchmark size classes,
+//! * [`format`](mod@format) — a plain-text netlist format with parser and writer.
+//!
+//! Units: resistance **kΩ**, capacitance **fF**, time **ps**.
+//!
+//! # Example
+//!
+//! ```
+//! use dna_netlist::{CircuitBuilder, Library, CellKind};
+//!
+//! let mut b = CircuitBuilder::new(Library::cmos013());
+//! let a = b.input("a");
+//! let bb = b.input("b");
+//! let y = b.gate(CellKind::Nand2, "u1", &[a, bb])?;
+//! b.output(y);
+//! b.coupling(a, y, 5.0)?;
+//! let circuit = b.build()?;
+//! assert_eq!(circuit.couplings_on(y).len(), 1);
+//! # Ok::<(), dna_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cell;
+mod circuit;
+mod coupling;
+mod error;
+mod gate;
+mod ids;
+mod library;
+mod topo;
+
+pub mod format;
+pub mod generator;
+pub mod suite;
+
+pub use builder::CircuitBuilder;
+pub use cell::{Cell, CellKind, ParseCellKindError};
+pub use circuit::{Circuit, CircuitStats};
+pub use coupling::Coupling;
+pub use error::NetlistError;
+pub use gate::{Gate, Net, NetSource};
+pub use ids::{CouplingId, GateId, NetId};
+pub use library::Library;
+pub use topo::topo_sort_gates;

@@ -1,0 +1,159 @@
+//! Cell libraries.
+
+use std::fmt;
+
+use crate::{Cell, CellKind};
+
+/// A complete set of characterized standard cells.
+///
+/// The library plays the role of the paper's 0.13 µm standard-cell library:
+/// every [`CellKind`] maps to one characterized [`Cell`]. The default
+/// library ([`Library::cmos013`]) uses 0.13 µm-flavoured constants
+/// (intrinsic delays of tens of ps, drive resistances of a few kΩ, input
+/// caps of a few fF).
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{Library, CellKind};
+///
+/// let lib = Library::cmos013();
+/// let nand = lib.cell(CellKind::Nand2);
+/// assert!(nand.delay(10.0) > nand.intrinsic_delay);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+}
+
+impl Library {
+    /// Builds a library from explicit cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`CellKind`] is missing or duplicated.
+    #[must_use]
+    pub fn new(name: impl Into<String>, cells: Vec<Cell>) -> Self {
+        let mut ordered: Vec<Option<Cell>> = vec![None; CellKind::all().len()];
+        for cell in cells {
+            let slot = Self::slot(cell.kind);
+            assert!(ordered[slot].is_none(), "duplicate cell for {}", cell.kind);
+            ordered[slot] = Some(cell);
+        }
+        let cells: Vec<Cell> = ordered
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.unwrap_or_else(|| panic!("missing cell for {}", CellKind::all()[i])))
+            .collect();
+        Self { name: name.into(), cells }
+    }
+
+    /// A 0.13 µm-flavoured default library.
+    ///
+    /// Constants are representative, not extracted from a real PDK: the
+    /// paper's framework only needs delays to scale linearly with load and
+    /// drive strength to vary across cells.
+    #[must_use]
+    pub fn cmos013() -> Self {
+        let mk = |kind, d0, r, cin, s0| Cell {
+            kind,
+            intrinsic_delay: d0,
+            drive_resistance: r,
+            input_cap: cin,
+            intrinsic_slew: s0,
+        };
+        Self::new(
+            "cmos013",
+            vec![
+                mk(CellKind::Inv, 12.0, 1.6, 2.4, 14.0),
+                mk(CellKind::Buf, 22.0, 1.2, 2.2, 16.0),
+                mk(CellKind::Nand2, 18.0, 2.2, 3.0, 20.0),
+                mk(CellKind::Nor2, 22.0, 2.8, 3.0, 24.0),
+                mk(CellKind::And2, 28.0, 1.8, 2.8, 22.0),
+                mk(CellKind::Or2, 30.0, 2.0, 2.8, 24.0),
+                mk(CellKind::Xor2, 36.0, 2.6, 3.6, 28.0),
+                mk(CellKind::Nand3, 24.0, 2.6, 3.2, 26.0),
+                mk(CellKind::Nor3, 30.0, 3.4, 3.2, 30.0),
+                mk(CellKind::Mux2, 34.0, 2.4, 3.0, 26.0),
+            ],
+        )
+    }
+
+    /// Library name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The characterized cell for `kind`.
+    #[must_use]
+    pub fn cell(&self, kind: CellKind) -> &Cell {
+        &self.cells[Self::slot(kind)]
+    }
+
+    /// Iterator over all cells.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    fn slot(kind: CellKind) -> usize {
+        CellKind::all()
+            .iter()
+            .position(|&k| k == kind)
+            .expect("CellKind::all covers every kind")
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Self::cmos013()
+    }
+}
+
+impl fmt::Display for Library {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library `{}` ({} cells)", self.name, self.cells.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_library_covers_all_kinds() {
+        let lib = Library::cmos013();
+        for &k in CellKind::all() {
+            let c = lib.cell(k);
+            assert_eq!(c.kind, k);
+            assert!(c.intrinsic_delay > 0.0);
+            assert!(c.drive_resistance > 0.0);
+            assert!(c.input_cap > 0.0);
+        }
+        assert_eq!(lib.cells().count(), CellKind::all().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing cell")]
+    fn missing_cell_panics() {
+        let lib = Library::cmos013();
+        let partial: Vec<Cell> = lib.cells().take(3).copied().collect();
+        let _ = Library::new("partial", partial);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell")]
+    fn duplicate_cell_panics() {
+        let lib = Library::cmos013();
+        let mut cells: Vec<Cell> = lib.cells().copied().collect();
+        cells.push(*lib.cell(CellKind::Inv));
+        let _ = Library::new("dup", cells);
+    }
+
+    #[test]
+    fn default_is_cmos013() {
+        assert_eq!(Library::default(), Library::cmos013());
+        assert_eq!(Library::default().name(), "cmos013");
+    }
+}

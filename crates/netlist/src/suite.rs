@@ -1,0 +1,132 @@
+//! The i1–i10 benchmark suite.
+//!
+//! The paper evaluates on ten synthesized-and-routed industrial blocks
+//! named `i1` … `i10`. Those netlists are not public, so this module
+//! regenerates circuits of the **same size** (gate count and coupling-cap
+//! count from Table 2) with the placement-aware synthetic
+//! [`generator`](crate::generator). Net counts differ slightly: the paper
+//! counts routed nets, we count all logical nets (gate outputs plus primary
+//! inputs).
+
+use std::fmt;
+
+use crate::generator::{generate, GeneratorConfig};
+use crate::{Circuit, NetlistError};
+
+/// Size specification of one paper benchmark (from Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (`"i1"` … `"i10"`).
+    pub name: &'static str,
+    /// Gate instances (paper column *# gates*).
+    pub gates: usize,
+    /// Routed nets reported by the paper (informational; our logical net
+    /// count is `gates + inputs`).
+    pub paper_nets: usize,
+    /// Coupling capacitors (paper column *# coupling caps*).
+    pub couplings: usize,
+}
+
+impl fmt::Display for BenchmarkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} gates, {} coupling caps", self.name, self.gates, self.couplings)
+    }
+}
+
+/// The ten benchmark specifications of the paper's Table 2.
+pub const SPECS: [BenchmarkSpec; 10] = [
+    BenchmarkSpec { name: "i1", gates: 59, paper_nets: 46, couplings: 232 },
+    BenchmarkSpec { name: "i2", gates: 222, paper_nets: 221, couplings: 706 },
+    BenchmarkSpec { name: "i3", gates: 132, paper_nets: 126, couplings: 551 },
+    BenchmarkSpec { name: "i4", gates: 236, paper_nets: 230, couplings: 1181 },
+    BenchmarkSpec { name: "i5", gates: 204, paper_nets: 138, couplings: 1835 },
+    BenchmarkSpec { name: "i6", gates: 735, paper_nets: 668, couplings: 7298 },
+    BenchmarkSpec { name: "i7", gates: 937, paper_nets: 870, couplings: 9605 },
+    BenchmarkSpec { name: "i8", gates: 1609, paper_nets: 1528, couplings: 10235 },
+    BenchmarkSpec { name: "i9", gates: 1018, paper_nets: 955, couplings: 14140 },
+    BenchmarkSpec { name: "i10", gates: 3379, paper_nets: 3155, couplings: 18318 },
+];
+
+/// Looks up a benchmark specification by name.
+#[must_use]
+pub fn spec(name: &str) -> Option<BenchmarkSpec> {
+    SPECS.iter().copied().find(|s| s.name == name)
+}
+
+/// All benchmark names, in paper order.
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    SPECS.iter().map(|s| s.name).collect()
+}
+
+/// Generates one benchmark circuit by name.
+///
+/// The `seed` makes the circuit reproducible; different seeds give
+/// different instances of the same size class.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownName`] for an unrecognized benchmark
+/// name.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::suite;
+///
+/// let i1 = suite::benchmark("i1", 42)?;
+/// assert_eq!(i1.num_gates(), 59);
+/// assert_eq!(i1.num_couplings(), 232);
+/// # Ok::<(), dna_netlist::NetlistError>(())
+/// ```
+pub fn benchmark(name: &str, seed: u64) -> Result<Circuit, NetlistError> {
+    let spec = spec(name).ok_or_else(|| NetlistError::UnknownName(name.to_owned()))?;
+    generate(&GeneratorConfig::new(spec.gates, spec.couplings).with_seed(seed))
+}
+
+/// Generates the full ten-circuit suite with a shared seed.
+///
+/// # Errors
+///
+/// Propagates generator errors (none occur for the fixed specifications).
+pub fn full_suite(seed: u64) -> Result<Vec<(BenchmarkSpec, Circuit)>, NetlistError> {
+    SPECS
+        .iter()
+        .map(|&s| benchmark(s.name, seed).map(|c| (s, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_paper_table_2() {
+        assert_eq!(SPECS.len(), 10);
+        let i10 = spec("i10").unwrap();
+        assert_eq!(i10.gates, 3379);
+        assert_eq!(i10.couplings, 18318);
+        assert_eq!(spec("i0"), None);
+    }
+
+    #[test]
+    fn benchmark_generates_exact_sizes() {
+        for name in ["i1", "i3"] {
+            let s = spec(name).unwrap();
+            let c = benchmark(name, 1).unwrap();
+            assert_eq!(c.num_gates(), s.gates, "{name} gate count");
+            assert_eq!(c.num_couplings(), s.couplings, "{name} coupling count");
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        assert!(matches!(benchmark("bogus", 0), Err(NetlistError::UnknownName(_))));
+    }
+
+    #[test]
+    fn names_in_order() {
+        assert_eq!(names()[0], "i1");
+        assert_eq!(names()[9], "i10");
+    }
+}

@@ -1,0 +1,138 @@
+//! Topological ordering of the combinational core.
+
+use crate::{Gate, GateId, NetlistError, NetSource, Net};
+
+/// Computes a topological order of the gates (Kahn's algorithm).
+///
+/// A gate depends on the driver gate of each of its input nets; primary
+/// inputs contribute no dependency. The returned order lists every gate
+/// exactly once, drivers before loads.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] naming a gate on a cycle
+/// when the netlist is not a DAG.
+pub fn topo_sort_gates(gates: &[Gate], nets: &[Net]) -> Result<Vec<GateId>, NetlistError> {
+    let n = gates.len();
+    let mut indegree = vec![0usize; n];
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for (gi, gate) in gates.iter().enumerate() {
+        for &input in &gate.inputs {
+            if let NetSource::Gate(driver) = nets[input.index()].source {
+                indegree[gi] += 1;
+                fanout[driver.index()].push(gi);
+            }
+        }
+    }
+
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    // Reverse so pop() yields ascending indices first — deterministic order.
+    ready.reverse();
+    let mut order = Vec::with_capacity(n);
+    while let Some(gi) = ready.pop() {
+        order.push(GateId::new(gi as u32));
+        for &succ in &fanout[gi] {
+            indegree[succ] -= 1;
+            if indegree[succ] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+
+    if order.len() != n {
+        let stuck = indegree
+            .iter()
+            .position(|&d| d > 0)
+            .expect("incomplete order implies a positive indegree");
+        return Err(NetlistError::CombinationalCycle(GateId::new(stuck as u32)));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, NetId};
+
+    fn net(name: &str, source: NetSource) -> Net {
+        Net {
+            name: name.into(),
+            source,
+            loads: Vec::new(),
+            wire_cap: 0.0,
+            is_output: false,
+            position: None,
+        }
+    }
+
+    fn gate(name: &str, inputs: &[u32], output: u32) -> Gate {
+        Gate {
+            name: name.into(),
+            kind: CellKind::Buf,
+            inputs: inputs.iter().map(|&i| NetId::new(i)).collect(),
+            output: NetId::new(output),
+        }
+    }
+
+    #[test]
+    fn chain_orders_drivers_first() {
+        // n0 (PI) -> g0 -> n1 -> g1 -> n2, gates declared out of order to
+        // prove sorting; g0 is gate index 1 here.
+        let gates = vec![gate("g1", &[1], 2), gate("g0", &[0], 1)];
+        let nets = vec![
+            net("a", NetSource::PrimaryInput),
+            net("b", NetSource::Gate(GateId::new(1))),
+            net("c", NetSource::Gate(GateId::new(0))),
+        ];
+        let order = topo_sort_gates(&gates, &nets).unwrap();
+        let pos = |g: u32| order.iter().position(|&x| x == GateId::new(g)).unwrap();
+        assert!(pos(1) < pos(0), "driver gate must precede its load");
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        // g0 output n0 feeds g1; g1 output n1 feeds g0.
+        let nets = vec![
+            net("x", NetSource::Gate(GateId::new(0))),
+            net("y", NetSource::Gate(GateId::new(1))),
+        ];
+        let gates = vec![gate("g0", &[1], 0), gate("g1", &[0], 1)];
+        let err = topo_sort_gates(&gates, &nets).unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle(_)));
+    }
+
+    #[test]
+    fn empty_netlist_is_fine() {
+        assert_eq!(topo_sort_gates(&[], &[]).unwrap(), Vec::<GateId>::new());
+    }
+
+    #[test]
+    fn diamond_respects_all_edges() {
+        // PI n0 -> g0 -> n1 -> {g1, g2} -> n2, n3 -> g3(n2,n3) -> n4
+        let nets = vec![
+            net("pi", NetSource::PrimaryInput),
+            net("n1", NetSource::Gate(GateId::new(0))),
+            net("n2", NetSource::Gate(GateId::new(1))),
+            net("n3", NetSource::Gate(GateId::new(2))),
+            net("n4", NetSource::Gate(GateId::new(3))),
+        ];
+        let gates = vec![
+            gate("g0", &[0], 1),
+            gate("g1", &[1], 2),
+            gate("g2", &[1], 3),
+            Gate {
+                name: "g3".into(),
+                kind: CellKind::Nand2,
+                inputs: vec![NetId::new(2), NetId::new(3)],
+                output: NetId::new(4),
+            },
+        ];
+        let order = topo_sort_gates(&gates, &nets).unwrap();
+        let pos = |g: u32| order.iter().position(|&x| x == GateId::new(g)).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+}

@@ -1,0 +1,134 @@
+//! Explicit worst-case aggressor alignment (paper refs \[5\]\[6\]\[7\]).
+//!
+//! The trapezoidal noise envelope is a *bound* over all alignments of the
+//! aggressor inside its timing window. This module computes the worst
+//! single alignment explicitly — used to validate that bound, to compare
+//! against the envelope abstraction in tests, and by anyone who wants the
+//! actual aligning instant for debugging a violation.
+
+use dna_waveform::{superposition, Envelope, NoisePulse, TimeInterval, Transition};
+
+/// Result of a worst-case alignment search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alignment {
+    /// The aggressor switching instant (its t50) producing the worst noise.
+    pub instant: f64,
+    /// The delay noise at that alignment.
+    pub delay_noise: f64,
+}
+
+/// Finds the aggressor switching instant within `window` that maximizes
+/// the delay noise of `pulse` on `victim`.
+///
+/// Uses dense sampling (the objective is piecewise smooth but not concave
+/// — a pulse can re-cross the 50 % level) with local refinement around the
+/// best sample.
+///
+/// # Example
+///
+/// ```
+/// use dna_waveform::{Transition, Edge, NoisePulse, TimeInterval};
+/// use dna_noise::alignment::worst_alignment;
+///
+/// let victim = Transition::new(0.0, 10.0, Edge::Rising);
+/// let pulse = NoisePulse::symmetric(-2.0, 0.3, 4.0);
+/// let best = worst_alignment(&victim, &pulse, TimeInterval::new(-20.0, 20.0));
+/// assert!(best.delay_noise > 0.0);
+/// // The winning alignment keeps the pulse near the victim's crossing.
+/// assert!((best.instant - victim.t50()).abs() < 10.0);
+/// ```
+#[must_use]
+pub fn worst_alignment(
+    victim: &Transition,
+    pulse: &NoisePulse,
+    window: TimeInterval,
+) -> Alignment {
+    let evaluate = |instant: f64| {
+        let env = Envelope::from_pulse(&pulse.shifted(instant));
+        superposition::delay_noise(victim, &env)
+    };
+
+    const COARSE: usize = 256;
+    let mut best = Alignment { instant: window.lo(), delay_noise: evaluate(window.lo()) };
+    for i in 0..=COARSE {
+        let t = window.lo() + window.width() * i as f64 / COARSE as f64;
+        let d = evaluate(t);
+        if d > best.delay_noise {
+            best = Alignment { instant: t, delay_noise: d };
+        }
+    }
+    // Local refinement around the best coarse sample.
+    let mut step = window.width() / COARSE as f64;
+    for _ in 0..24 {
+        step *= 0.5;
+        for cand in [best.instant - step, best.instant + step] {
+            if window.contains(cand) {
+                let d = evaluate(cand);
+                if d > best.delay_noise {
+                    best = Alignment { instant: cand, delay_noise: d };
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_waveform::Edge;
+
+    fn victim() -> Transition {
+        Transition::new(0.0, 10.0, Edge::Rising)
+    }
+
+    #[test]
+    fn envelope_bounds_every_alignment() {
+        // The paper's central bounding claim: the trapezoidal envelope's
+        // delay noise is at least that of any single alignment within the
+        // window.
+        let pulse = NoisePulse::symmetric(-2.0, 0.35, 4.0);
+        let window = TimeInterval::new(-5.0, 15.0);
+        let env = Envelope::from_window(&pulse, window.lo(), window.hi());
+        let env_noise = superposition::delay_noise(&victim(), &env);
+        let best = worst_alignment(&victim(), &pulse, window);
+        assert!(
+            env_noise + 1e-9 >= best.delay_noise,
+            "envelope noise {env_noise} below best alignment {}",
+            best.delay_noise
+        );
+    }
+
+    #[test]
+    fn degenerate_window_matches_direct_evaluation() {
+        let pulse = NoisePulse::symmetric(-2.0, 0.3, 4.0);
+        let t = 4.0;
+        let window = TimeInterval::point(t);
+        let best = worst_alignment(&victim(), &pulse, window);
+        let direct = superposition::delay_noise(
+            &victim(),
+            &Envelope::from_pulse(&pulse.shifted(t)),
+        );
+        assert_eq!(best.instant, t);
+        assert!((best.delay_noise - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_away_window_gives_zero() {
+        let pulse = NoisePulse::symmetric(-2.0, 0.3, 4.0);
+        let best = worst_alignment(&victim(), &pulse, TimeInterval::new(-500.0, -400.0));
+        assert_eq!(best.delay_noise, 0.0);
+    }
+
+    #[test]
+    fn refinement_improves_over_coarse_grid() {
+        // The worst alignment of a narrow pulse is found precisely even in
+        // a wide window where the coarse grid is sparse.
+        let pulse = NoisePulse::symmetric(-0.5, 0.4, 1.0);
+        let window = TimeInterval::new(-200.0, 200.0);
+        let best = worst_alignment(&victim(), &pulse, window);
+        assert!(best.delay_noise > 0.0);
+        // Optimal placement is within a couple of slews of the crossing.
+        assert!((best.instant - 5.0).abs() < 20.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Electrical models mapping a coupling capacitor to a noise pulse.
+
+use dna_waveform::NoisePulse;
+
+/// Everything the electrical model needs to know about one
+/// aggressor→victim coupling event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouplingContext {
+    /// Coupling capacitance in fF.
+    pub coupling_cap: f64,
+    /// Grounded capacitance on the victim net (everything except the
+    /// coupling cap itself) in fF.
+    pub victim_ground_cap: f64,
+    /// Holding resistance of the victim driver in kΩ.
+    pub victim_resistance: f64,
+    /// Full-swing slew of the aggressor transition in ps.
+    pub aggressor_slew: f64,
+}
+
+/// Computes the noise pulse one switching aggressor couples onto a quiet
+/// victim.
+///
+/// Returned pulse times are relative to the aggressor's 50 %-Vdd switching
+/// instant; the analysis layer shifts the pulse to the aggressor's timing
+/// window (building the trapezoidal envelope of paper Fig. 2).
+pub trait CouplingModel {
+    /// The coupled noise pulse for the given context.
+    fn noise_pulse(&self, ctx: &CouplingContext) -> NoisePulse;
+}
+
+/// Charge-sharing coupling model (the crate default).
+///
+/// A classic linear bound on capacitive crosstalk:
+///
+/// * **peak** `= min(Cc / (Cc + Cg), R_v · Cc / slew_a)` — the charge-
+///   sharing limit for slow victims, throttled by the victim driver's
+///   ability to fight fast aggressors,
+/// * **width** `= slew_a + 2 · R_v · (Cc + Cg)` — the aggressor injects for
+///   its slew and the victim RC discharges the bump afterwards,
+/// * the pulse starts when the aggressor starts switching and peaks when
+///   the aggressor finishes.
+///
+/// This preserves every behaviour the top-k algorithm depends on: peaks
+/// grow with `Cc` and with weak victim drivers; widths grow with slow
+/// aggressors and large victim RC. Absolute accuracy is explicitly traded
+/// for runtime, as in the paper's linear framework (§2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeSharingModel {
+    /// Global multiplier on pulse peaks (1.0 = nominal). Useful for
+    /// pessimism sweeps.
+    pub peak_factor: f64,
+}
+
+impl ChargeSharingModel {
+    /// The nominal model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { peak_factor: 1.0 }
+    }
+}
+
+impl Default for ChargeSharingModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CouplingModel for ChargeSharingModel {
+    fn noise_pulse(&self, ctx: &CouplingContext) -> NoisePulse {
+        let cc = ctx.coupling_cap.max(0.0);
+        let cg = ctx.victim_ground_cap.max(0.0);
+        let rv = ctx.victim_resistance.max(1e-6);
+        let slew = ctx.aggressor_slew.max(1e-6);
+
+        let charge_limit = cc / (cc + cg).max(1e-9);
+        let drive_limit = rv * cc / slew;
+        let peak = (charge_limit.min(drive_limit) * self.peak_factor).min(0.95);
+
+        let start = -slew / 2.0;
+        let peak_time = slew / 2.0;
+        let end = peak_time + 2.0 * rv * (cc + cg);
+        NoisePulse::new(start, peak_time, peak, end.max(peak_time + 1e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CouplingContext {
+        CouplingContext {
+            coupling_cap: 5.0,
+            victim_ground_cap: 15.0,
+            victim_resistance: 2.0,
+            aggressor_slew: 20.0,
+        }
+    }
+
+    #[test]
+    fn peak_grows_with_coupling_cap() {
+        let m = ChargeSharingModel::new();
+        let small = m.noise_pulse(&CouplingContext { coupling_cap: 2.0, ..ctx() });
+        let big = m.noise_pulse(&CouplingContext { coupling_cap: 8.0, ..ctx() });
+        assert!(big.peak() > small.peak());
+    }
+
+    #[test]
+    fn weak_victim_driver_sees_more_noise() {
+        let m = ChargeSharingModel::new();
+        let strong = m.noise_pulse(&CouplingContext { victim_resistance: 0.2, ..ctx() });
+        let weak = m.noise_pulse(&CouplingContext { victim_resistance: 5.0, ..ctx() });
+        assert!(weak.peak() >= strong.peak());
+    }
+
+    #[test]
+    fn slow_aggressor_widens_pulse() {
+        let m = ChargeSharingModel::new();
+        let fast = m.noise_pulse(&CouplingContext { aggressor_slew: 10.0, ..ctx() });
+        let slow = m.noise_pulse(&CouplingContext { aggressor_slew: 50.0, ..ctx() });
+        assert!(slow.width() > fast.width());
+    }
+
+    #[test]
+    fn peak_bounded_by_charge_sharing_and_rail() {
+        let m = ChargeSharingModel::new();
+        // Huge coupling relative to ground cap, slow aggressor: the charge
+        // sharing limit applies and stays under the 0.95 clamp.
+        let p = m.noise_pulse(&CouplingContext {
+            coupling_cap: 100.0,
+            victim_ground_cap: 1.0,
+            victim_resistance: 10.0,
+            aggressor_slew: 5.0,
+        });
+        assert!(p.peak() <= 0.95);
+        assert!(p.peak() >= 0.9); // 100/101 clamped at 0.95
+    }
+
+    #[test]
+    fn pulse_times_bracket_aggressor_transition() {
+        let m = ChargeSharingModel::new();
+        let p = m.noise_pulse(&ctx());
+        assert!((p.start() + ctx().aggressor_slew / 2.0).abs() < 1e-12);
+        assert!((p.peak_time() - ctx().aggressor_slew / 2.0).abs() < 1e-12);
+        assert!(p.end() > p.peak_time());
+    }
+
+    #[test]
+    fn peak_factor_scales() {
+        let nominal = ChargeSharingModel::new().noise_pulse(&ctx());
+        let derated = ChargeSharingModel { peak_factor: 0.5 }.noise_pulse(&ctx());
+        assert!((derated.peak() - 0.5 * nominal.peak()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Building noise envelopes from circuit couplings and timing windows.
+
+use dna_netlist::{Circuit, CouplingId, NetId};
+use dna_sta::NetTiming;
+use dna_waveform::Envelope;
+
+use crate::{CouplingContext, CouplingModel, NoiseConfig};
+
+/// The noise envelope one coupling capacitor contributes onto `victim`,
+/// given the aggressor's current timing window.
+///
+/// The aggressor side of the coupling is whichever endpoint is not the
+/// victim; its noise pulse (from the configured [`CouplingModel`]) is
+/// swept across its `[EAT, LAT]` window to form the trapezoidal envelope
+/// of paper Fig. 2.
+///
+/// # Panics
+///
+/// Panics if `coupling` is not incident to `victim`.
+#[must_use]
+pub fn coupling_envelope(
+    circuit: &Circuit,
+    config: &NoiseConfig,
+    victim: NetId,
+    coupling: CouplingId,
+    timings: &[NetTiming],
+) -> Envelope {
+    let cc = circuit.coupling(coupling);
+    let aggressor = cc
+        .other(victim)
+        .unwrap_or_else(|| panic!("coupling {coupling} is not incident to net {victim}"));
+    let aggr_timing = &timings[aggressor.index()];
+
+    let victim_resistance = circuit
+        .driver_cell(victim)
+        .map_or(config.pi_resistance, |cell| cell.drive_resistance);
+    let ground_cap = (circuit.load_cap(victim) - cc.cap()).max(0.0);
+
+    let pulse = config.coupling.noise_pulse(&CouplingContext {
+        coupling_cap: cc.cap(),
+        victim_ground_cap: ground_cap,
+        victim_resistance,
+        aggressor_slew: aggr_timing.slew(),
+    });
+    Envelope::from_window(&pulse, aggr_timing.eat(), aggr_timing.lat())
+}
+
+/// The combined envelope of every enabled coupling on `victim`
+/// (paper Fig. 3), as a list of per-coupling envelopes plus their sum.
+///
+/// Exposing the parts avoids recomputation in the top-k engine, which
+/// needs individual envelopes for candidate construction and the total for
+/// elimination-mode analysis.
+#[must_use]
+pub fn victim_envelopes(
+    circuit: &Circuit,
+    config: &NoiseConfig,
+    victim: NetId,
+    timings: &[NetTiming],
+    enabled: impl Fn(CouplingId) -> bool,
+) -> Vec<(CouplingId, Envelope)> {
+    circuit
+        .couplings_on(victim)
+        .iter()
+        .copied()
+        .filter(|&id| enabled(id))
+        .map(|id| (id, coupling_envelope(circuit, config, victim, id, timings)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoiseConfig;
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+    use dna_sta::{LinearDelayModel, StaConfig, TimingReport};
+
+    fn setup() -> (Circuit, NetId, CouplingId, Vec<NetTiming>) {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let v = b.gate(CellKind::Buf, "v", &[x]).unwrap();
+        let agg = b.gate(CellKind::Inv, "agg", &[a]).unwrap();
+        b.output(v);
+        b.output(agg);
+        let cc = b.coupling(agg, v, 6.0).unwrap();
+        let c = b.build().unwrap();
+        let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let timings = t.timings().to_vec();
+        let victim = c.net_by_name("v").unwrap();
+        (c, victim, cc, timings)
+    }
+
+    #[test]
+    fn envelope_spans_aggressor_window() {
+        let (c, v, cc, timings) = setup();
+        let env = coupling_envelope(&c, &NoiseConfig::default(), v, cc, &timings);
+        assert!(!env.is_zero());
+        let agg = c.coupling(cc).other(v).unwrap();
+        let w = timings[agg.index()].window();
+        // Envelope support covers the window (shifted by pulse corners).
+        assert!(env.span().lo() <= w.lo());
+        assert!(env.span().hi() >= w.hi());
+    }
+
+    #[test]
+    fn victim_envelopes_respects_filter() {
+        let (c, v, cc, timings) = setup();
+        let cfg = NoiseConfig::default();
+        let all = victim_envelopes(&c, &cfg, v, &timings, |_| true);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, cc);
+        let none = victim_envelopes(&c, &cfg, v, &timings, |_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not incident")]
+    fn wrong_victim_panics() {
+        let (c, _, cc, timings) = setup();
+        let a = c.net_by_name("a").unwrap();
+        let _ = coupling_envelope(&c, &NoiseConfig::default(), a, cc, &timings);
+    }
+}

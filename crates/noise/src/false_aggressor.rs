@@ -1,0 +1,211 @@
+//! False-aggressor identification (paper refs \[10\]\[11\]).
+//!
+//! An aggressor is *false* for a victim when it cannot contribute delay
+//! noise no matter how the analysis aligns it:
+//!
+//! * **timing-false** — even with its window widened by the upper-bound
+//!   delay noise, the aggressor's envelope cannot reach past the victim's
+//!   noiseless `t50` (a pulse that is over before the victim switches never
+//!   delays it),
+//! * **logic-false** — the user declares the aggressor/victim pair
+//!   mutually exclusive (they can never switch in the same cycle), the
+//!   "temporofunctional" correlations of ref \[11\] reduced to an explicit
+//!   exclusion list.
+//!
+//! Pruning false aggressors shrinks every later enumeration, so the top-k
+//! engine calls [`false_couplings`] once up front.
+
+use std::collections::HashSet;
+
+use dna_netlist::{Circuit, CouplingId, NetId};
+use dna_sta::NetTiming;
+
+use crate::{envelope_calc, CouplingMask, NoiseConfig};
+
+/// User-declared pairs of nets that can never switch in the same cycle.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::NetId;
+/// use dna_noise::ExclusionSet;
+///
+/// let mut ex = ExclusionSet::new();
+/// ex.add(NetId::new(1), NetId::new(2));
+/// assert!(ex.excluded(NetId::new(2), NetId::new(1))); // symmetric
+/// assert!(!ex.excluded(NetId::new(1), NetId::new(3)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExclusionSet {
+    pairs: HashSet<(NetId, NetId)>,
+}
+
+impl ExclusionSet {
+    /// An empty exclusion set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `a` and `b` mutually exclusive.
+    pub fn add(&mut self, a: NetId, b: NetId) {
+        self.pairs.insert(Self::key(a, b));
+    }
+
+    /// Whether the pair was declared mutually exclusive.
+    #[must_use]
+    pub fn excluded(&self, a: NetId, b: NetId) -> bool {
+        self.pairs.contains(&Self::key(a, b))
+    }
+
+    /// Number of declared pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    fn key(a: NetId, b: NetId) -> (NetId, NetId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+/// A coupling flagged false for one specific victim direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FalseCoupling {
+    /// The coupling capacitor.
+    pub coupling: CouplingId,
+    /// The victim for which it is false (the same capacitor may still be a
+    /// real aggressor in the other direction).
+    pub victim: NetId,
+}
+
+/// Identifies (coupling, victim) pairs that cannot produce delay noise.
+///
+/// `timings` should come from a converged (or pessimistic) analysis so the
+/// judgement is safe: windows are widened by `guard_band` before the test,
+/// and a coupling is only declared false when its envelope ends strictly
+/// before the victim's latest transition *starts* to cross.
+#[must_use]
+pub fn false_couplings(
+    circuit: &Circuit,
+    config: &NoiseConfig,
+    timings: &[NetTiming],
+    exclusions: &ExclusionSet,
+    guard_band: f64,
+) -> Vec<FalseCoupling> {
+    let mask = CouplingMask::all(circuit);
+    let mut result = Vec::new();
+    for victim in circuit.net_ids() {
+        let victim_t50 = timings[victim.index()].lat();
+        for &cc in circuit.couplings_on(victim) {
+            if !mask.is_enabled(cc) {
+                continue;
+            }
+            let aggressor = circuit
+                .coupling(cc)
+                .other(victim)
+                .expect("coupling index is consistent");
+            if exclusions.excluded(victim, aggressor) {
+                result.push(FalseCoupling { coupling: cc, victim });
+                continue;
+            }
+            let env = envelope_calc::coupling_envelope(circuit, config, victim, cc, timings);
+            if env.span().hi() + guard_band < victim_t50 {
+                result.push(FalseCoupling { coupling: cc, victim });
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+    use dna_sta::{LinearDelayModel, StaConfig, TimingReport};
+
+    #[test]
+    fn early_aggressor_is_timing_false() {
+        // The aggressor switches at t=0 (primary input) while the victim
+        // transitions after a long buffer chain — far too late for the
+        // aggressor pulse to matter.
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let agg = b.input("agg");
+        let mut n = a;
+        for i in 0..12 {
+            n = b.gate(CellKind::Buf, format!("b{i}"), &[n]).unwrap();
+        }
+        b.output(n);
+        let cc = b.coupling(agg, n, 5.0).unwrap();
+        let c = b.build().unwrap();
+        let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let falses = false_couplings(
+            &c,
+            &NoiseConfig::default(),
+            t.timings(),
+            &ExclusionSet::new(),
+            0.0,
+        );
+        let victim = c.net_by_name("b11").unwrap();
+        assert!(falses.contains(&FalseCoupling { coupling: cc, victim }));
+        // In the opposite direction (late net attacking the early input)
+        // the coupling is *not* false: a pulse arriving after the input's
+        // transition can re-cross it.
+        let agg_net = c.net_by_name("agg").unwrap();
+        assert!(!falses.contains(&FalseCoupling { coupling: cc, victim: agg_net }));
+    }
+
+    #[test]
+    fn exclusion_pairs_flag_logic_false() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let v = b.gate(CellKind::Buf, "v", &[a]).unwrap();
+        let g = b.gate(CellKind::Buf, "g", &[x]).unwrap();
+        b.output(v);
+        b.output(g);
+        let cc = b.coupling(v, g, 6.0).unwrap();
+        let c = b.build().unwrap();
+        let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let mut ex = ExclusionSet::new();
+        ex.add(v, g);
+        let falses =
+            false_couplings(&c, &NoiseConfig::default(), t.timings(), &ex, 0.0);
+        // Excluded in both victim directions.
+        assert!(falses.contains(&FalseCoupling { coupling: cc, victim: v }));
+        assert!(falses.contains(&FalseCoupling { coupling: cc, victim: g }));
+    }
+
+    #[test]
+    fn synchronous_neighbors_are_not_false() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let v = b.gate(CellKind::Buf, "v", &[a]).unwrap();
+        let g = b.gate(CellKind::Buf, "g", &[x]).unwrap();
+        b.output(v);
+        b.output(g);
+        b.coupling(v, g, 6.0).unwrap();
+        let c = b.build().unwrap();
+        let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let falses = false_couplings(
+            &c,
+            &NoiseConfig::default(),
+            t.timings(),
+            &ExclusionSet::new(),
+            0.0,
+        );
+        assert!(falses.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Functional (glitch) noise analysis.
+//!
+//! Delay noise is only half of what a static noise tool checks: noise
+//! coupled onto a *quiet* victim can propagate as a functional glitch if
+//! its peak exceeds the receiving gate's noise margin (the failure class
+//! ClariNet-style tools, paper ref \[12\], screen for). This module bounds
+//! the worst glitch on every net — the combined noise envelope peak when
+//! all aggressors are free to align — and reports margin violations.
+
+use std::fmt;
+
+use dna_netlist::{Circuit, NetId};
+use dna_sta::NetTiming;
+use dna_waveform::Envelope;
+
+use crate::{envelope_calc, CouplingMask, NoiseConfig};
+
+/// Noise-margin model: the peak noise (fraction of Vdd) a gate input can
+/// tolerate on a quiet net without propagating a glitch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseMargin {
+    /// Tolerated peak for victims held low (noise pushes up).
+    pub low: f64,
+    /// Tolerated peak for victims held high (noise pushes down).
+    pub high: f64,
+}
+
+impl Default for NoiseMargin {
+    fn default() -> Self {
+        // A conventional static-noise budget: 40 % of the rail in either
+        // direction; tighter than the switching threshold to leave slack
+        // for multi-stage propagation.
+        Self { low: 0.4, high: 0.4 }
+    }
+}
+
+impl NoiseMargin {
+    /// The margin relevant for the analyzed (canonical) polarity.
+    #[must_use]
+    pub fn worst(&self) -> f64 {
+        self.low.min(self.high)
+    }
+}
+
+/// One glitch check result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlitchReport {
+    /// The victim net.
+    pub net: NetId,
+    /// Worst-case combined noise peak on the quiet victim (fraction of
+    /// Vdd).
+    pub peak: f64,
+    /// The margin it was checked against.
+    pub margin: f64,
+}
+
+impl GlitchReport {
+    /// Whether the peak violates the margin.
+    #[must_use]
+    pub fn violated(&self) -> bool {
+        self.peak > self.margin
+    }
+
+    /// How much rail is left (negative when violated).
+    #[must_use]
+    pub fn slack(&self) -> f64 {
+        self.margin - self.peak
+    }
+}
+
+impl fmt::Display for GlitchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "net {} peak {:.3} vs margin {:.3} ({})",
+            self.net,
+            self.peak,
+            self.margin,
+            if self.violated() { "VIOLATED" } else { "ok" }
+        )
+    }
+}
+
+/// Bounds the worst glitch on every net and returns one report per net
+/// with at least one enabled coupling, sorted worst slack first.
+///
+/// The peak is the maximum of the combined noise envelope built from the
+/// given timing windows — a quiet victim has no alignment constraint, so
+/// the envelope peak itself is the bound.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{CircuitBuilder, Library, CellKind};
+/// use dna_noise::{glitch, CouplingMask, NoiseConfig};
+/// use dna_sta::{LinearDelayModel, StaConfig, TimingReport};
+///
+/// let mut b = CircuitBuilder::new(Library::cmos013());
+/// let a = b.input("a");
+/// let x = b.input("x");
+/// let v = b.gate(CellKind::Buf, "v", &[a])?;
+/// let g = b.gate(CellKind::Buf, "g", &[x])?;
+/// b.output(v);
+/// b.output(g);
+/// b.coupling(v, g, 30.0)?; // a huge coupling
+/// let circuit = b.build()?;
+/// let timing = TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())?;
+///
+/// let reports = glitch::check(
+///     &circuit,
+///     &NoiseConfig::default(),
+///     timing.timings(),
+///     &CouplingMask::all(&circuit),
+///     glitch::NoiseMargin::default(),
+/// );
+/// assert!(!reports.is_empty());
+/// // The strongly coupled victim is the worst entry.
+/// assert!(reports[0].peak > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn check(
+    circuit: &Circuit,
+    config: &NoiseConfig,
+    timings: &[NetTiming],
+    mask: &CouplingMask,
+    margin: NoiseMargin,
+) -> Vec<GlitchReport> {
+    let mut reports: Vec<GlitchReport> = circuit
+        .net_ids()
+        .filter_map(|net| {
+            let parts = envelope_calc::victim_envelopes(circuit, config, net, timings, |id| {
+                mask.is_enabled(id)
+            });
+            if parts.is_empty() {
+                return None;
+            }
+            let combined = Envelope::sum_all(parts.iter().map(|(_, e)| e));
+            Some(GlitchReport { net, peak: combined.peak(), margin: margin.worst() })
+        })
+        .collect();
+    reports.sort_by(|a, b| a.slack().partial_cmp(&b.slack()).expect("finite slacks"));
+    reports
+}
+
+/// The nets whose glitch bound violates the margin.
+#[must_use]
+pub fn violations(
+    circuit: &Circuit,
+    config: &NoiseConfig,
+    timings: &[NetTiming],
+    mask: &CouplingMask,
+    margin: NoiseMargin,
+) -> Vec<GlitchReport> {
+    check(circuit, config, timings, mask, margin)
+        .into_iter()
+        .filter(GlitchReport::violated)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+    use dna_sta::{LinearDelayModel, StaConfig, TimingReport};
+
+    fn coupled(cap: f64) -> (Circuit, Vec<NetTiming>) {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let v = b.gate(CellKind::Buf, "v", &[a]).unwrap();
+        let g = b.gate(CellKind::Buf, "g", &[x]).unwrap();
+        b.output(v);
+        b.output(g);
+        b.coupling(v, g, cap).unwrap();
+        let c = b.build().unwrap();
+        let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default())
+            .unwrap()
+            .timings()
+            .to_vec();
+        (c, t)
+    }
+
+    #[test]
+    fn weak_coupling_passes_strong_coupling_violates() {
+        let cfg = NoiseConfig::default();
+        let margin = NoiseMargin::default();
+
+        let (c, t) = coupled(0.5);
+        let v = violations(&c, &cfg, &t, &CouplingMask::all(&c), margin);
+        assert!(v.is_empty(), "0.5 fF should not glitch: {v:?}");
+
+        let (c, t) = coupled(40.0);
+        let v = violations(&c, &cfg, &t, &CouplingMask::all(&c), margin);
+        assert!(!v.is_empty(), "40 fF must glitch");
+        assert!(v[0].violated());
+        assert!(v[0].slack() < 0.0);
+    }
+
+    #[test]
+    fn reports_sorted_worst_first() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.input("y");
+        let v1 = b.gate(CellKind::Buf, "v1", &[a]).unwrap();
+        let v2 = b.gate(CellKind::Buf, "v2", &[x]).unwrap();
+        let g = b.gate(CellKind::Buf, "g", &[y]).unwrap();
+        b.output(v1);
+        b.output(v2);
+        b.output(g);
+        b.coupling(v1, g, 2.0).unwrap();
+        b.coupling(v2, g, 20.0).unwrap();
+        let c = b.build().unwrap();
+        let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default())
+            .unwrap()
+            .timings()
+            .to_vec();
+        let reports =
+            check(&c, &NoiseConfig::default(), &t, &CouplingMask::all(&c), NoiseMargin::default());
+        for w in reports.windows(2) {
+            assert!(w[0].slack() <= w[1].slack() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn masking_removes_glitches() {
+        let (c, t) = coupled(40.0);
+        let v = violations(
+            &c,
+            &NoiseConfig::default(),
+            &t,
+            &CouplingMask::none(&c),
+            NoiseMargin::default(),
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn margin_accessors() {
+        let m = NoiseMargin { low: 0.3, high: 0.5 };
+        assert_eq!(m.worst(), 0.3);
+        let r = GlitchReport { net: NetId::new(0), peak: 0.2, margin: 0.3 };
+        assert!(!r.violated());
+        assert!((r.slack() - 0.1).abs() < 1e-12);
+        assert!(r.to_string().contains("ok"));
+    }
+}

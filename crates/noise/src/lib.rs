@@ -1,0 +1,55 @@
+//! Linear static crosstalk noise analysis.
+//!
+//! The substrate the DAC 2007 top-k-aggressors algorithm runs on: a linear
+//! noise framework in the style the paper reviews in §2 (and industry
+//! tools like ClariNet, ref \[12\], implement):
+//!
+//! * [`ChargeSharingModel`] — maps a coupling capacitor plus victim/
+//!   aggressor electrical context to a triangular noise pulse,
+//! * [`envelope_calc`] — sweeps pulses across aggressor timing windows to
+//!   build trapezoidal noise envelopes (Fig. 2) and combined envelopes
+//!   (Fig. 3),
+//! * [`NoiseAnalysis`] — the iterative delay-noise / timing-window
+//!   fixpoint loop (refs \[3\]\[4\]\[5\]), with optimistic and pessimistic
+//!   seeds ([`StartAssumption`]) and per-coupling masking
+//!   ([`CouplingMask`]) used by the top-k algorithms,
+//! * [`alignment`] — explicit worst-case alignment search validating the
+//!   envelope bound,
+//! * [`order`] — aggressor orders (`p = t + 1`, §2),
+//! * [`false_aggressor`] — timing- and logic-based false-aggressor pruning
+//!   (refs \[10\]\[11\]),
+//! * [`glitch`] — functional noise checks: worst glitch bound per net vs
+//!   a configurable noise margin (the other half of a static noise tool).
+//!
+//! # Example
+//!
+//! ```
+//! use dna_netlist::suite;
+//! use dna_noise::{NoiseAnalysis, NoiseConfig, CouplingMask};
+//!
+//! let circuit = suite::benchmark("i1", 3)?;
+//! let engine = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+//!
+//! let noisy = engine.run()?;
+//! let quiet = engine.run_with_mask(&CouplingMask::none(&circuit))?;
+//! assert!(noisy.circuit_delay() >= quiet.circuit_delay());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod coupling_model;
+mod mask;
+
+pub mod alignment;
+pub mod envelope_calc;
+pub mod false_aggressor;
+pub mod glitch;
+pub mod order;
+
+pub use analysis::{NoiseAnalysis, NoiseConfig, NoiseReport, StartAssumption};
+pub use coupling_model::{ChargeSharingModel, CouplingContext, CouplingModel};
+pub use false_aggressor::{false_couplings, ExclusionSet, FalseCoupling};
+pub use mask::CouplingMask;

@@ -1,0 +1,131 @@
+//! Enabling/disabling individual coupling capacitors.
+//!
+//! Both flavors of top-k analysis re-run noise analysis under restricted
+//! coupling sets: the *addition* set enables only a candidate subset, the
+//! *elimination* set disables one. A [`CouplingMask`] captures that subset
+//! selection without mutating the circuit.
+
+use dna_netlist::{Circuit, CouplingId};
+
+/// A subset of a circuit's coupling capacitors.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{CircuitBuilder, Library, CellKind, CouplingId};
+/// use dna_noise::CouplingMask;
+///
+/// let mut b = CircuitBuilder::new(Library::cmos013());
+/// let a = b.input("a");
+/// let x = b.input("x");
+/// let y = b.gate(CellKind::And2, "u", &[a, x])?;
+/// b.output(y);
+/// let c1 = b.coupling(a, y, 2.0)?;
+/// let c2 = b.coupling(x, y, 3.0)?;
+/// let circuit = b.build()?;
+///
+/// let mask = CouplingMask::all(&circuit).without(&[c1]);
+/// assert!(!mask.is_enabled(c1));
+/// assert!(mask.is_enabled(c2));
+/// assert_eq!(mask.enabled_count(), 1);
+/// # Ok::<(), dna_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMask {
+    enabled: Vec<bool>,
+}
+
+impl CouplingMask {
+    /// Mask with every coupling enabled (conventional noise analysis).
+    #[must_use]
+    pub fn all(circuit: &Circuit) -> Self {
+        Self { enabled: vec![true; circuit.num_couplings()] }
+    }
+
+    /// Mask with every coupling disabled (noiseless timing).
+    #[must_use]
+    pub fn none(circuit: &Circuit) -> Self {
+        Self { enabled: vec![false; circuit.num_couplings()] }
+    }
+
+    /// This mask with the given couplings additionally disabled.
+    #[must_use]
+    pub fn without(mut self, ids: &[CouplingId]) -> Self {
+        for &id in ids {
+            self.enabled[id.index()] = false;
+        }
+        self
+    }
+
+    /// This mask with the given couplings additionally enabled.
+    #[must_use]
+    pub fn with(mut self, ids: &[CouplingId]) -> Self {
+        for &id in ids {
+            self.enabled[id.index()] = true;
+        }
+        self
+    }
+
+    /// Whether `id` participates in the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the circuit the mask was built
+    /// for.
+    #[must_use]
+    pub fn is_enabled(&self, id: CouplingId) -> bool {
+        self.enabled[id.index()]
+    }
+
+    /// Number of enabled couplings.
+    #[must_use]
+    pub fn enabled_count(&self) -> usize {
+        self.enabled.iter().filter(|&&e| e).count()
+    }
+
+    /// Ids of all enabled couplings.
+    #[must_use]
+    pub fn enabled_ids(&self) -> Vec<CouplingId> {
+        (0..self.enabled.len() as u32)
+            .map(CouplingId::new)
+            .filter(|&id| self.enabled[id.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+
+    fn two_coupling_circuit() -> (Circuit, CouplingId, CouplingId) {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.gate(CellKind::And2, "u", &[a, x]).unwrap();
+        b.output(y);
+        let c1 = b.coupling(a, y, 2.0).unwrap();
+        let c2 = b.coupling(x, y, 3.0).unwrap();
+        (b.build().unwrap(), c1, c2)
+    }
+
+    #[test]
+    fn all_and_none() {
+        let (c, c1, c2) = two_coupling_circuit();
+        let all = CouplingMask::all(&c);
+        assert!(all.is_enabled(c1) && all.is_enabled(c2));
+        assert_eq!(all.enabled_count(), 2);
+        let none = CouplingMask::none(&c);
+        assert!(!none.is_enabled(c1) && !none.is_enabled(c2));
+        assert_eq!(none.enabled_count(), 0);
+    }
+
+    #[test]
+    fn with_and_without_compose() {
+        let (c, c1, c2) = two_coupling_circuit();
+        let m = CouplingMask::none(&c).with(&[c1, c2]).without(&[c1]);
+        assert!(!m.is_enabled(c1));
+        assert!(m.is_enabled(c2));
+        assert_eq!(m.enabled_ids(), vec![c2]);
+    }
+}

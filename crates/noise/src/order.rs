@@ -1,0 +1,118 @@
+//! Aggressor orders (paper §2).
+//!
+//! A primary aggressor acting alone is a *first order* aggressor. When
+//! indirect aggressors coupled to its transitive fanin cone can widen its
+//! timing window, the primary aggressor is assigned order `p = t + 1`
+//! where `t` is the number of such fanin couplings. High-order aggressors
+//! matter because their wider windows produce wider noise envelopes
+//! (§3.3: the order-2 aggressor `b1₂`).
+
+use dna_netlist::{Circuit, CouplingId, NetId};
+
+/// Couplings incident to the transitive fanin cone of `net` (excluding
+/// couplings incident to `net` itself unless they also touch the cone).
+#[must_use]
+pub fn fanin_couplings(circuit: &Circuit, net: NetId) -> Vec<CouplingId> {
+    let cone = circuit.transitive_fanin(net);
+    let mut in_cone = vec![false; circuit.num_nets()];
+    for n in &cone {
+        in_cone[n.index()] = true;
+    }
+    let mut found = Vec::new();
+    let mut seen = vec![false; circuit.num_couplings()];
+    for n in cone {
+        for &cc in circuit.couplings_on(n) {
+            if !seen[cc.index()] {
+                seen[cc.index()] = true;
+                found.push(cc);
+            }
+        }
+    }
+    found
+}
+
+/// The order of primary aggressor `aggressor` (paper §2): one plus the
+/// number of couplings that can disturb its transitive fanin cone.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{CircuitBuilder, Library, CellKind};
+/// use dna_noise::order::aggressor_order;
+///
+/// let mut b = CircuitBuilder::new(Library::cmos013());
+/// let a = b.input("a");
+/// let t = b.input("t");
+/// let mid = b.gate(CellKind::Buf, "mid", &[a])?;
+/// let agg = b.gate(CellKind::Buf, "agg", &[mid])?;
+/// b.output(agg);
+/// // A tertiary coupling onto the aggressor's fanin.
+/// b.coupling(t, mid, 3.0)?;
+/// let circuit = b.build()?;
+///
+/// let agg_net = circuit.net_by_name("agg").unwrap();
+/// assert_eq!(aggressor_order(&circuit, agg_net), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn aggressor_order(circuit: &Circuit, aggressor: NetId) -> usize {
+    fanin_couplings(circuit, aggressor).len() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+
+    #[test]
+    fn isolated_aggressor_is_first_order() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let agg = b.gate(CellKind::Buf, "agg", &[a]).unwrap();
+        b.output(agg);
+        let c = b.build().unwrap();
+        assert_eq!(aggressor_order(&c, agg), 1);
+        assert!(fanin_couplings(&c, agg).is_empty());
+    }
+
+    #[test]
+    fn each_fanin_coupling_raises_order() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let t1 = b.input("t1");
+        let t2 = b.input("t2");
+        let mid = b.gate(CellKind::Buf, "mid", &[a]).unwrap();
+        let agg = b.gate(CellKind::Buf, "agg", &[mid]).unwrap();
+        b.output(agg);
+        b.coupling(t1, mid, 2.0).unwrap();
+        b.coupling(t2, a, 2.0).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(aggressor_order(&c, agg), 3);
+    }
+
+    #[test]
+    fn couplings_on_the_net_itself_do_not_count() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let agg = b.gate(CellKind::Buf, "agg", &[a]).unwrap();
+        b.output(agg);
+        // Coupling is on `agg` itself, not its fanin cone.
+        b.coupling(x, agg, 2.0).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(aggressor_order(&c, agg), 1);
+    }
+
+    #[test]
+    fn shared_coupling_counted_once() {
+        // One coupling touching two cone nets counts once.
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let mid = b.gate(CellKind::Buf, "mid", &[a]).unwrap();
+        let agg = b.gate(CellKind::Buf, "agg", &[mid]).unwrap();
+        b.output(agg);
+        b.coupling(a, mid, 2.0).unwrap(); // both endpoints inside the cone
+        let c = b.build().unwrap();
+        assert_eq!(aggressor_order(&c, agg), 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! Forward arrival-time propagation.
+
+use dna_netlist::{Circuit, NetId, NetSource};
+
+use crate::{DelayModel, NetTiming, StaError};
+
+/// Boundary conditions for an arrival propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaConfig {
+    /// Arrival time (ps) of every primary input's 50 % crossing.
+    pub input_arrival: f64,
+    /// Slew (ps) of every primary input transition.
+    pub input_slew: f64,
+}
+
+impl Default for StaConfig {
+    fn default() -> Self {
+        Self { input_arrival: 0.0, input_slew: 20.0 }
+    }
+}
+
+/// Result of one arrival propagation over a circuit.
+///
+/// Holds the [`NetTiming`] of every net, the circuit delay (latest arrival
+/// at any primary output) and the predecessor pointers needed to extract
+/// critical paths.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{CircuitBuilder, Library, CellKind};
+/// use dna_sta::{TimingReport, StaConfig, LinearDelayModel};
+///
+/// let mut b = CircuitBuilder::new(Library::cmos013());
+/// let a = b.input("a");
+/// let y = b.gate(CellKind::Inv, "u1", &[a])?;
+/// b.output(y);
+/// let circuit = b.build()?;
+///
+/// let report = TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())?;
+/// assert!(report.circuit_delay() > 0.0);
+/// assert_eq!(report.timing(y).eat(), report.timing(y).lat());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    timings: Vec<NetTiming>,
+    /// For each net driven by a gate: the input net whose LAT set this
+    /// net's LAT (critical predecessor).
+    critical_pred: Vec<Option<NetId>>,
+    circuit_delay: f64,
+    critical_output: NetId,
+}
+
+impl TimingReport {
+    /// Runs a noiseless arrival propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::NoOutputs`] if the circuit has no primary
+    /// outputs (cannot happen for validated circuits).
+    pub fn run<M: DelayModel>(
+        circuit: &Circuit,
+        model: &M,
+        config: &StaConfig,
+    ) -> Result<Self, StaError> {
+        Self::run_with_noise(circuit, model, config, &NoNoise)
+    }
+
+    /// Runs an arrival propagation where each net's LAT is pushed later by
+    /// a per-net delay-noise amount.
+    ///
+    /// The extra delay at net `n` is added after `n`'s own arrival is
+    /// computed, so it automatically propagates to every downstream net —
+    /// this is the mechanism the iterative noise analysis (and the paper's
+    /// pseudo-aggressor propagation) relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::NoOutputs`] if the circuit has no primary
+    /// outputs and [`StaError::NegativeNoise`] if the source reports a
+    /// negative delay noise.
+    pub fn run_with_noise<M: DelayModel, N: NoiseSource>(
+        circuit: &Circuit,
+        model: &M,
+        config: &StaConfig,
+        noise: &N,
+    ) -> Result<Self, StaError> {
+        let n_nets = circuit.num_nets();
+        let mut timings: Vec<Option<NetTiming>> = vec![None; n_nets];
+        let mut critical_pred: Vec<Option<NetId>> = vec![None; n_nets];
+
+        for &net in circuit.nets_topological() {
+            let timing = match circuit.net(net).source() {
+                NetSource::PrimaryInput => {
+                    NetTiming::new(config.input_arrival, config.input_arrival, config.input_slew)
+                }
+                NetSource::Gate(g) => {
+                    let gate = circuit.gate(g);
+                    let cell = circuit.library().cell(gate.kind());
+                    let load = circuit.load_cap(net);
+                    let delay = model.gate_delay(cell, load);
+                    let slew = model.output_slew(cell, load);
+
+                    let mut eat = f64::INFINITY;
+                    let mut lat = f64::NEG_INFINITY;
+                    let mut pred = None;
+                    for &input in gate.inputs() {
+                        let it = timings[input.index()]
+                            .expect("topological order guarantees inputs are timed");
+                        eat = eat.min(it.eat());
+                        if it.lat() > lat {
+                            lat = it.lat();
+                            pred = Some(input);
+                        }
+                    }
+                    critical_pred[net.index()] = pred;
+                    NetTiming::new(eat + delay, lat + delay, slew)
+                }
+            };
+            let extra = noise.delay_noise(net);
+            if extra < 0.0 {
+                return Err(StaError::NegativeNoise { net, value: extra });
+            }
+            timings[net.index()] = Some(timing.with_extra_lat(extra));
+        }
+
+        let timings: Vec<NetTiming> =
+            timings.into_iter().map(|t| t.expect("all nets timed")).collect();
+
+        let critical_output = circuit
+            .primary_outputs()
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                timings[a.index()]
+                    .lat()
+                    .partial_cmp(&timings[b.index()].lat())
+                    .expect("finite arrival times")
+            })
+            .ok_or(StaError::NoOutputs)?;
+        let circuit_delay = timings[critical_output.index()].lat();
+
+        Ok(Self { timings, critical_pred, circuit_delay, critical_output })
+    }
+
+    /// Timing of one net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range for the analyzed circuit.
+    #[must_use]
+    pub fn timing(&self, net: NetId) -> &NetTiming {
+        &self.timings[net.index()]
+    }
+
+    /// Timings of all nets, indexed by [`NetId`].
+    #[must_use]
+    pub fn timings(&self) -> &[NetTiming] {
+        &self.timings
+    }
+
+    /// Latest arrival at any primary output (the circuit delay).
+    #[must_use]
+    pub fn circuit_delay(&self) -> f64 {
+        self.circuit_delay
+    }
+
+    /// The primary output that sets the circuit delay.
+    #[must_use]
+    pub fn critical_output(&self) -> NetId {
+        self.critical_output
+    }
+
+    /// The input net whose LAT determined `net`'s LAT, if `net` is driven
+    /// by a gate.
+    #[must_use]
+    pub fn critical_pred(&self, net: NetId) -> Option<NetId> {
+        self.critical_pred[net.index()]
+    }
+}
+
+/// Supplies the per-net delay noise added during propagation.
+///
+/// Implemented by the noise-analysis layer; [`NoNoise`] is the noiseless
+/// case and a plain slice of per-net values also works.
+pub trait NoiseSource {
+    /// Delay noise (ps, non-negative) injected at `net`.
+    fn delay_noise(&self, net: NetId) -> f64;
+}
+
+/// The noiseless [`NoiseSource`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoNoise;
+
+impl NoiseSource for NoNoise {
+    fn delay_noise(&self, _net: NetId) -> f64 {
+        0.0
+    }
+}
+
+impl NoiseSource for [f64] {
+    fn delay_noise(&self, net: NetId) -> f64 {
+        self.get(net.index()).copied().unwrap_or(0.0)
+    }
+}
+
+impl NoiseSource for Vec<f64> {
+    fn delay_noise(&self, net: NetId) -> f64 {
+        self.as_slice().delay_noise(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearDelayModel;
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+
+    fn chain() -> (Circuit, Vec<NetId>) {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let n1 = b.gate(CellKind::Inv, "u1", &[a]).unwrap();
+        let n2 = b.gate(CellKind::Buf, "u2", &[n1]).unwrap();
+        b.output(n2);
+        (b.build().unwrap(), vec![a, n1, n2])
+    }
+
+    #[test]
+    fn chain_delays_accumulate() {
+        let (c, nets) = chain();
+        let r = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let t_a = r.timing(nets[0]);
+        let t1 = r.timing(nets[1]);
+        let t2 = r.timing(nets[2]);
+        assert_eq!(t_a.lat(), 0.0);
+        assert!(t1.lat() > 0.0);
+        assert!(t2.lat() > t1.lat());
+        assert_eq!(r.circuit_delay(), t2.lat());
+        assert_eq!(r.critical_output(), nets[2]);
+        // Single-path circuit: EAT == LAT everywhere.
+        assert_eq!(t2.eat(), t2.lat());
+    }
+
+    #[test]
+    fn reconvergence_spreads_window() {
+        // a -> inv -> nand(a_inv, buf_chain) : two paths of different length.
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let short = b.gate(CellKind::Inv, "s", &[a]).unwrap();
+        let l1 = b.gate(CellKind::Buf, "l1", &[a]).unwrap();
+        let l2 = b.gate(CellKind::Buf, "l2", &[l1]).unwrap();
+        let out = b.gate(CellKind::Nand2, "o", &[short, l2]).unwrap();
+        b.output(out);
+        let c = b.build().unwrap();
+        let r = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let t = r.timing(out);
+        assert!(t.lat() > t.eat(), "reconvergent paths must open a window");
+        // Critical predecessor is the slow branch.
+        assert_eq!(r.critical_pred(out), Some(l2));
+    }
+
+    #[test]
+    fn injected_noise_propagates_downstream() {
+        let (c, nets) = chain();
+        let model = LinearDelayModel::new();
+        let cfg = StaConfig::default();
+        let clean = TimingReport::run(&c, &model, &cfg).unwrap();
+        let mut noise = vec![0.0; c.num_nets()];
+        noise[nets[1].index()] = 30.0;
+        let noisy = TimingReport::run_with_noise(&c, &model, &cfg, &noise).unwrap();
+        // LAT shifts by exactly the injected noise at the net and downstream.
+        assert!((noisy.timing(nets[1]).lat() - clean.timing(nets[1]).lat() - 30.0).abs() < 1e-9);
+        assert!((noisy.circuit_delay() - clean.circuit_delay() - 30.0).abs() < 1e-9);
+        // EAT is untouched.
+        assert_eq!(noisy.timing(nets[1]).eat(), clean.timing(nets[1]).eat());
+    }
+
+    #[test]
+    fn negative_noise_rejected() {
+        let (c, nets) = chain();
+        let mut noise = vec![0.0; c.num_nets()];
+        noise[nets[0].index()] = -1.0;
+        let err = TimingReport::run_with_noise(
+            &c,
+            &LinearDelayModel::new(),
+            &StaConfig::default(),
+            &noise,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StaError::NegativeNoise { .. }));
+    }
+
+    #[test]
+    fn input_config_respected() {
+        let (c, nets) = chain();
+        let cfg = StaConfig { input_arrival: 100.0, input_slew: 50.0 };
+        let r = TimingReport::run(&c, &LinearDelayModel::new(), &cfg).unwrap();
+        assert_eq!(r.timing(nets[0]).lat(), 100.0);
+        assert_eq!(r.timing(nets[0]).slew(), 50.0);
+    }
+}

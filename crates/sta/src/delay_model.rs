@@ -1,0 +1,118 @@
+//! Gate delay models.
+
+use dna_netlist::Cell;
+
+/// Maps a characterized cell and its load to a delay and an output slew.
+///
+/// The workspace follows the paper's engineering decision (§2) to stay in a
+/// *linear* framework: the default [`LinearDelayModel`] computes
+/// `delay = d0 + R·C` directly from the [`Cell`] parameters. The trait
+/// exists so experiments can swap in derated or pessimistic models without
+/// touching the analysis code.
+pub trait DelayModel {
+    /// Propagation delay (ps) of `cell` driving `c_load` fF.
+    fn gate_delay(&self, cell: &Cell, c_load: f64) -> f64;
+
+    /// Output slew (ps) of `cell` driving `c_load` fF.
+    fn output_slew(&self, cell: &Cell, c_load: f64) -> f64;
+}
+
+/// The default linear delay model: delegates to the cell's own linear
+/// characterization.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{Library, CellKind};
+/// use dna_sta::{DelayModel, LinearDelayModel};
+///
+/// let lib = Library::cmos013();
+/// let model = LinearDelayModel::new();
+/// let inv = lib.cell(CellKind::Inv);
+/// assert_eq!(model.gate_delay(inv, 10.0), inv.delay(10.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinearDelayModel;
+
+impl LinearDelayModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl DelayModel for LinearDelayModel {
+    fn gate_delay(&self, cell: &Cell, c_load: f64) -> f64 {
+        cell.delay(c_load)
+    }
+
+    fn output_slew(&self, cell: &Cell, c_load: f64) -> f64 {
+        cell.output_slew(c_load)
+    }
+}
+
+/// A linear model with global derating factors, useful for pessimism
+/// studies and ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeratedDelayModel {
+    /// Multiplier applied to every gate delay.
+    pub delay_factor: f64,
+    /// Multiplier applied to every output slew.
+    pub slew_factor: f64,
+}
+
+impl DeratedDelayModel {
+    /// Creates a derated model; factors of `1.0` reproduce
+    /// [`LinearDelayModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is not strictly positive.
+    #[must_use]
+    pub fn new(delay_factor: f64, slew_factor: f64) -> Self {
+        assert!(delay_factor > 0.0 && slew_factor > 0.0, "derating factors must be positive");
+        Self { delay_factor, slew_factor }
+    }
+}
+
+impl DelayModel for DeratedDelayModel {
+    fn gate_delay(&self, cell: &Cell, c_load: f64) -> f64 {
+        self.delay_factor * cell.delay(c_load)
+    }
+
+    fn output_slew(&self, cell: &Cell, c_load: f64) -> f64 {
+        self.slew_factor * cell.output_slew(c_load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::{CellKind, Library};
+
+    #[test]
+    fn linear_matches_cell() {
+        let lib = Library::cmos013();
+        let m = LinearDelayModel::new();
+        for cell in lib.cells() {
+            assert_eq!(m.gate_delay(cell, 5.0), cell.delay(5.0));
+            assert_eq!(m.output_slew(cell, 5.0), cell.output_slew(5.0));
+        }
+    }
+
+    #[test]
+    fn derated_scales() {
+        let lib = Library::cmos013();
+        let inv = lib.cell(CellKind::Inv);
+        let m = DeratedDelayModel::new(1.5, 2.0);
+        assert!((m.gate_delay(inv, 4.0) - 1.5 * inv.delay(4.0)).abs() < 1e-12);
+        assert!((m.output_slew(inv, 4.0) - 2.0 * inv.output_slew(4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn derated_rejects_zero() {
+        let _ = DeratedDelayModel::new(0.0, 1.0);
+    }
+}

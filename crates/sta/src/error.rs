@@ -1,0 +1,45 @@
+//! STA errors.
+
+use std::error::Error;
+use std::fmt;
+
+use dna_netlist::NetId;
+
+/// Error produced by the timing analyses in this crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StaError {
+    /// The circuit exposes no primary output to time against.
+    NoOutputs,
+    /// A noise source reported a negative delay noise for a net.
+    NegativeNoise {
+        /// The offending net.
+        net: NetId,
+        /// The reported (negative) value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::NoOutputs => write!(f, "circuit has no primary outputs to time"),
+            StaError::NegativeNoise { net, value } => {
+                write!(f, "negative delay noise {value} reported at net {net}")
+            }
+        }
+    }
+}
+
+impl Error for StaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_net() {
+        let e = StaError::NegativeNoise { net: NetId::new(4), value: -2.0 };
+        assert!(e.to_string().contains("n4"));
+        assert!(StaError::NoOutputs.to_string().contains("output"));
+    }
+}

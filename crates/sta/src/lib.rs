@@ -1,0 +1,66 @@
+//! Static timing analysis substrate for delay-noise analysis.
+//!
+//! Implements the classical machinery the DAC 2007 top-k-aggressors paper
+//! builds on (§2):
+//!
+//! * [`TimingReport`] — forward propagation of earliest/latest arrival
+//!   times and slews, producing per-net switching windows ([`NetTiming`]),
+//!   with an injection point for per-net delay noise
+//!   ([`TimingReport::run_with_noise`]) used by the iterative noise
+//!   analysis,
+//! * [`critical_path`] / [`top_k_paths`] — the traditional critical-path
+//!   reports the paper draws its top-k analogy from,
+//! * [`SlackReport`] — required times and slacks,
+//! * [`DelayModel`] — pluggable (linear by default) gate delay models,
+//! * [`rctree`] — distributed-RC interconnect with Elmore delays and
+//!   π-model reduction, for users who model wires beyond the lumped
+//!   default.
+//!
+//! ## Edge canonicalization
+//!
+//! The linear framework here analyzes a single canonical switching
+//! direction: every victim's worst transition is treated as rising and
+//! every coupling is assumed to be able to oppose it. This matches the
+//! paper's bounding philosophy (noise envelopes are worst-case over
+//! alignment) and halves the bookkeeping without changing any of the
+//! algorithmic structure being reproduced.
+//!
+//! # Example
+//!
+//! ```
+//! use dna_netlist::{CircuitBuilder, Library, CellKind};
+//! use dna_sta::{TimingReport, StaConfig, LinearDelayModel, critical_path};
+//!
+//! let mut b = CircuitBuilder::new(Library::cmos013());
+//! let a = b.input("a");
+//! let b2 = b.input("b");
+//! let y = b.gate(CellKind::Nand2, "u1", &[a, b2])?;
+//! b.output(y);
+//! let circuit = b.build()?;
+//!
+//! let report = TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())?;
+//! let path = critical_path(&circuit, &report);
+//! assert_eq!(path.arrival(), report.circuit_delay());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod delay_model;
+mod error;
+mod path;
+mod slack;
+mod topk_paths;
+mod window;
+
+pub mod rctree;
+
+pub use arrival::{NoNoise, NoiseSource, StaConfig, TimingReport};
+pub use delay_model::{DelayModel, DeratedDelayModel, LinearDelayModel};
+pub use error::StaError;
+pub use path::{critical_path, path_to, TimingPath};
+pub use slack::SlackReport;
+pub use topk_paths::top_k_paths;
+pub use window::NetTiming;

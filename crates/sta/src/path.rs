@@ -1,0 +1,149 @@
+//! Critical-path extraction.
+
+use std::fmt;
+
+use dna_netlist::{Circuit, NetId, NetSource};
+
+use crate::TimingReport;
+
+/// A timing path: a chain of nets from a primary input to a primary
+/// output, with the arrival time at its endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    nets: Vec<NetId>,
+    arrival: f64,
+}
+
+impl TimingPath {
+    pub(crate) fn new(nets: Vec<NetId>, arrival: f64) -> Self {
+        assert!(!nets.is_empty(), "a timing path has at least one net");
+        Self { nets, arrival }
+    }
+
+    /// Nets along the path, input first.
+    #[must_use]
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Arrival time at the path endpoint.
+    #[must_use]
+    pub fn arrival(&self) -> f64 {
+        self.arrival
+    }
+
+    /// The endpoint (last net) of the path.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; paths are non-empty by construction.
+    #[must_use]
+    pub fn endpoint(&self) -> NetId {
+        *self.nets.last().expect("paths are non-empty")
+    }
+
+    /// Number of nets on the path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether the path is empty (never true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+}
+
+impl fmt::Display for TimingPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path({} nets, arrival {:.3})", self.nets.len(), self.arrival)
+    }
+}
+
+/// Extracts the critical path ending at the report's critical output by
+/// walking critical-predecessor pointers back to a primary input.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{CircuitBuilder, Library, CellKind};
+/// use dna_sta::{critical_path, TimingReport, StaConfig, LinearDelayModel};
+///
+/// let mut b = CircuitBuilder::new(Library::cmos013());
+/// let a = b.input("a");
+/// let y = b.gate(CellKind::Inv, "u1", &[a])?;
+/// let z = b.gate(CellKind::Buf, "u2", &[y])?;
+/// b.output(z);
+/// let circuit = b.build()?;
+/// let report = TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())?;
+///
+/// let path = critical_path(&circuit, &report);
+/// assert_eq!(path.nets().len(), 3); // a -> u1 -> u2
+/// assert_eq!(path.arrival(), report.circuit_delay());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn critical_path(circuit: &Circuit, report: &TimingReport) -> TimingPath {
+    path_to(circuit, report, report.critical_output())
+}
+
+/// Extracts the latest-arrival path ending at an arbitrary net.
+#[must_use]
+pub fn path_to(circuit: &Circuit, report: &TimingReport, endpoint: NetId) -> TimingPath {
+    let mut nets = vec![endpoint];
+    let mut cursor = endpoint;
+    loop {
+        match circuit.net(cursor).source() {
+            NetSource::PrimaryInput => break,
+            NetSource::Gate(_) => {
+                let pred = report
+                    .critical_pred(cursor)
+                    .expect("gate-driven nets always have a critical predecessor");
+                nets.push(pred);
+                cursor = pred;
+            }
+        }
+    }
+    nets.reverse();
+    TimingPath::new(nets, report.timing(endpoint).lat())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearDelayModel, StaConfig};
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+
+    #[test]
+    fn critical_path_takes_slow_branch() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let fast = b.gate(CellKind::Inv, "fast", &[a]).unwrap();
+        let s1 = b.gate(CellKind::Buf, "s1", &[a]).unwrap();
+        let s2 = b.gate(CellKind::Buf, "s2", &[s1]).unwrap();
+        let out = b.gate(CellKind::Nand2, "out", &[fast, s2]).unwrap();
+        b.output(out);
+        let c = b.build().unwrap();
+        let r = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let p = critical_path(&c, &r);
+        assert_eq!(p.nets(), &[a, s1, s2, out]);
+        assert_eq!(p.endpoint(), out);
+        assert_eq!(p.arrival(), r.circuit_delay());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn path_to_intermediate_net() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let y = b.gate(CellKind::Inv, "y", &[a]).unwrap();
+        let z = b.gate(CellKind::Inv, "z", &[y]).unwrap();
+        b.output(z);
+        let c = b.build().unwrap();
+        let r = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let p = path_to(&c, &r, y);
+        assert_eq!(p.nets(), &[a, y]);
+        assert_eq!(p.arrival(), r.timing(y).lat());
+    }
+}

@@ -1,0 +1,250 @@
+//! Distributed-RC interconnect: Elmore delay on RC trees.
+//!
+//! The workspace's default flow lumps each net's wire into a single
+//! grounded capacitance, which is what the paper's linear framework needs.
+//! Real extraction produces *distributed* RC trees, and the first-order
+//! industry-standard metric on them is the **Elmore delay**: for sink `i`,
+//! `T_i = Σ_j R(path(root→i) ∩ path(root→j)) · C_j` — the shared-path
+//! resistance weighted by every node capacitance.
+//!
+//! This module is a self-contained substrate for users who model wires in
+//! more detail: build a tree with [`RcTree`], read per-sink delays with
+//! [`RcTree::elmore_delays`], or reduce a net to the classic π-model with
+//! [`RcTree::pi_model`].
+
+use std::fmt;
+
+/// Index of a node within an [`RcTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RcNode(usize);
+
+impl RcNode {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RcNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rc{}", self.0)
+    }
+}
+
+/// A grounded-capacitor RC tree rooted at the driver.
+///
+/// Units follow the workspace convention: resistance in kΩ, capacitance
+/// in fF, delay in ps.
+///
+/// # Example
+///
+/// ```
+/// use dna_sta::rctree::RcTree;
+///
+/// // Driver -- 0.1 kΩ -- (5 fF) -- 0.2 kΩ -- (10 fF sink)
+/// let mut tree = RcTree::new(0.0);
+/// let mid = tree.add_node(tree.root(), 0.1, 5.0);
+/// let sink = tree.add_node(mid, 0.2, 10.0);
+///
+/// let delays = tree.elmore_delays();
+/// // T_sink = 0.1 * (5 + 10) + 0.2 * 10 = 3.5 ps
+/// assert!((delays[sink.index()] - 3.5).abs() < 1e-9);
+/// assert!(delays[mid.index()] < delays[sink.index()]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcTree {
+    /// Parent of each node; the root points at itself.
+    parent: Vec<usize>,
+    /// Resistance of the branch from the parent into each node (kΩ).
+    resistance: Vec<f64>,
+    /// Grounded capacitance at each node (fF).
+    cap: Vec<f64>,
+}
+
+impl RcTree {
+    /// Creates a tree whose root (the driver output) carries `root_cap`.
+    #[must_use]
+    pub fn new(root_cap: f64) -> Self {
+        Self { parent: vec![0], resistance: vec![0.0], cap: vec![root_cap] }
+    }
+
+    /// The root node.
+    #[must_use]
+    pub fn root(&self) -> RcNode {
+        RcNode(0)
+    }
+
+    /// Adds a node connected to `parent` through `resistance` kΩ, with
+    /// `cap` fF to ground; returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a node of this tree, or if `resistance`
+    /// or `cap` is negative or non-finite.
+    pub fn add_node(&mut self, parent: RcNode, resistance: f64, cap: f64) -> RcNode {
+        assert!(parent.0 < self.parent.len(), "parent {parent} out of range");
+        assert!(
+            resistance.is_finite() && resistance >= 0.0,
+            "resistance must be non-negative"
+        );
+        assert!(cap.is_finite() && cap >= 0.0, "capacitance must be non-negative");
+        self.parent.push(parent.0);
+        self.resistance.push(resistance);
+        self.cap.push(cap);
+        RcNode(self.parent.len() - 1)
+    }
+
+    /// Number of nodes (including the root).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree has only its root.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() == 1
+    }
+
+    /// Total grounded capacitance of the tree.
+    #[must_use]
+    pub fn total_cap(&self) -> f64 {
+        self.cap.iter().sum()
+    }
+
+    /// Downstream capacitance seen through each node (the node's own cap
+    /// plus everything below it).
+    #[must_use]
+    pub fn downstream_caps(&self) -> Vec<f64> {
+        let mut down = self.cap.clone();
+        // Children were always appended after their parents, so a reverse
+        // scan accumulates bottom-up.
+        for i in (1..self.parent.len()).rev() {
+            down[self.parent[i]] += down[i];
+        }
+        down
+    }
+
+    /// Elmore delay (ps) from the driver to every node.
+    ///
+    /// Computed top-down as `T_i = T_parent + R_i · C_downstream(i)`,
+    /// which is algebraically identical to the shared-path-resistance
+    /// formulation.
+    #[must_use]
+    pub fn elmore_delays(&self) -> Vec<f64> {
+        let down = self.downstream_caps();
+        let mut delay = vec![0.0; self.parent.len()];
+        for i in 1..self.parent.len() {
+            delay[i] = delay[self.parent[i]] + self.resistance[i] * down[i];
+        }
+        delay
+    }
+
+    /// Reduces the tree to the classic O'Brien/Savarino π-model
+    /// `(C_near, R, C_far)` that matches the tree's first three admittance
+    /// moments at the root.
+    ///
+    /// Returns `(c_near, r, c_far)`. For a tree without resistance the
+    /// reduction degenerates to `(total_cap, 0, 0)`.
+    #[must_use]
+    pub fn pi_model(&self) -> (f64, f64, f64) {
+        // Moments of the admittance at the root: y1 = ΣC, y2 = -Σ T_i C_i,
+        // y3 = Σ T_i² C_i (T_i = Elmore delay to node i).
+        let t = self.elmore_delays();
+        let y1: f64 = self.total_cap();
+        let y2: f64 = -t.iter().zip(&self.cap).map(|(&ti, &ci)| ti * ci).sum::<f64>();
+        let y3: f64 = t.iter().zip(&self.cap).map(|(&ti, &ci)| ti * ti * ci).sum::<f64>();
+        if y2.abs() < 1e-15 || y3.abs() < 1e-15 {
+            return (y1, 0.0, 0.0);
+        }
+        let c_far = y2 * y2 / y3;
+        let c_near = y1 - c_far;
+        let r = -y3 * y3 / (y2 * y2 * y2);
+        (c_near, r, c_far)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Driver -- R1 -- n1(C1) -- R2 -- n2(C2), hand-checked Elmore values.
+    fn chain() -> (RcTree, RcNode, RcNode) {
+        let mut t = RcTree::new(2.0);
+        let n1 = t.add_node(t.root(), 0.5, 4.0);
+        let n2 = t.add_node(n1, 0.25, 8.0);
+        (t, n1, n2)
+    }
+
+    #[test]
+    fn chain_elmore_matches_hand_calculation() {
+        let (t, n1, n2) = chain();
+        let d = t.elmore_delays();
+        // T_n1 = 0.5 * (4 + 8) = 6; T_n2 = 6 + 0.25 * 8 = 8.
+        assert!((d[n1.index()] - 6.0).abs() < 1e-12);
+        assert!((d[n2.index()] - 8.0).abs() < 1e-12);
+        assert_eq!(d[t.root().index()], 0.0);
+    }
+
+    #[test]
+    fn branching_shares_path_resistance() {
+        // Root -- R -- stem(C) with two leaves; each leaf's delay includes
+        // the stem resistance times *both* leaves' caps.
+        let mut t = RcTree::new(0.0);
+        let stem = t.add_node(t.root(), 1.0, 0.0);
+        let l1 = t.add_node(stem, 0.0, 3.0);
+        let l2 = t.add_node(stem, 0.0, 5.0);
+        let d = t.elmore_delays();
+        assert!((d[l1.index()] - 8.0).abs() < 1e-12);
+        assert!((d[l2.index()] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downstream_caps_accumulate() {
+        let (t, n1, _) = chain();
+        let down = t.downstream_caps();
+        assert!((down[t.root().index()] - 14.0).abs() < 1e-12);
+        assert!((down[n1.index()] - 12.0).abs() < 1e-12);
+        assert!((t.total_cap() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_model_preserves_total_cap_and_is_physical() {
+        let (t, ..) = chain();
+        let (c_near, r, c_far) = t.pi_model();
+        assert!((c_near + c_far - t.total_cap()).abs() < 1e-9);
+        assert!(r > 0.0);
+        assert!(c_far > 0.0);
+        // Far cap delay through the π resistance approximates the real
+        // Elmore delay scale.
+        let sink_delay = t.elmore_delays()[2];
+        assert!(r * c_far <= sink_delay * 2.0);
+    }
+
+    #[test]
+    fn resistanceless_tree_degenerates() {
+        let mut t = RcTree::new(1.0);
+        t.add_node(t.root(), 0.0, 2.0);
+        let (c_near, r, c_far) = t.pi_model();
+        assert_eq!((c_near, r, c_far), (3.0, 0.0, 0.0));
+        assert!(t.elmore_delays().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_parent_panics() {
+        let mut t = RcTree::new(0.0);
+        let _ = t.add_node(RcNode(7), 1.0, 1.0);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let t = RcTree::new(0.5);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+        let (t, ..) = chain();
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Required-time and slack computation (backward pass).
+
+use dna_netlist::{Circuit, NetId};
+
+use crate::{DelayModel, TimingReport};
+
+/// Per-net required times and slacks for a given clock period.
+///
+/// The backward pass mirrors the forward arrival pass: a net's required
+/// time is the minimum over its load gates of (load output's required time
+/// minus the load's delay); primary outputs are required at the clock
+/// period. `slack = required - LAT`.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{CircuitBuilder, Library, CellKind};
+/// use dna_sta::{SlackReport, TimingReport, StaConfig, LinearDelayModel};
+///
+/// let mut b = CircuitBuilder::new(Library::cmos013());
+/// let a = b.input("a");
+/// let y = b.gate(CellKind::Inv, "u1", &[a])?;
+/// b.output(y);
+/// let circuit = b.build()?;
+/// let model = LinearDelayModel::new();
+/// let timing = TimingReport::run(&circuit, &model, &StaConfig::default())?;
+///
+/// // Clock at exactly the circuit delay: the critical path has zero slack.
+/// let slack = SlackReport::compute(&circuit, &model, &timing, timing.circuit_delay());
+/// assert!(slack.slack(y).abs() < 1e-9);
+/// assert!(slack.worst_slack() >= -1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackReport {
+    required: Vec<f64>,
+    slack: Vec<f64>,
+}
+
+impl SlackReport {
+    /// Runs the backward pass against `clock_period`.
+    #[must_use]
+    pub fn compute<M: DelayModel>(
+        circuit: &Circuit,
+        model: &M,
+        timing: &TimingReport,
+        clock_period: f64,
+    ) -> Self {
+        let n = circuit.num_nets();
+        let mut required = vec![f64::INFINITY; n];
+        for &out in circuit.primary_outputs() {
+            required[out.index()] = clock_period;
+        }
+        // Walk nets in reverse topological order; each gate imposes a
+        // required time on its inputs.
+        for &net in circuit.nets_topological().iter().rev() {
+            let r_out = required[net.index()];
+            if !r_out.is_finite() {
+                continue;
+            }
+            if let Some(gate_id) = circuit.net(net).source().gate() {
+                let gate = circuit.gate(gate_id);
+                let cell = circuit.library().cell(gate.kind());
+                let delay = model.gate_delay(cell, circuit.load_cap(net));
+                for &input in gate.inputs() {
+                    let r_in = r_out - delay;
+                    if r_in < required[input.index()] {
+                        required[input.index()] = r_in;
+                    }
+                }
+            }
+        }
+        // Nets that reach no primary output keep infinite required time and
+        // hence infinite slack; report them as unconstrained via f64::MAX.
+        let slack = (0..n)
+            .map(|i| {
+                if required[i].is_finite() {
+                    required[i] - timing.timings()[i].lat()
+                } else {
+                    f64::MAX
+                }
+            })
+            .collect();
+        Self { required, slack }
+    }
+
+    /// Required time of `net` (may be `INFINITY` for unconstrained nets).
+    #[must_use]
+    pub fn required(&self, net: NetId) -> f64 {
+        self.required[net.index()]
+    }
+
+    /// Slack of `net` (`f64::MAX` for unconstrained nets).
+    #[must_use]
+    pub fn slack(&self, net: NetId) -> f64 {
+        self.slack[net.index()]
+    }
+
+    /// The smallest slack in the design.
+    #[must_use]
+    pub fn worst_slack(&self) -> f64 {
+        self.slack.iter().copied().fold(f64::MAX, f64::min)
+    }
+
+    /// Nets with slack below `threshold`, sorted most-critical first.
+    #[must_use]
+    pub fn critical_nets(&self, threshold: f64) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = (0..self.slack.len() as u32)
+            .map(NetId::new)
+            .filter(|&n| self.slack[n.index()] < threshold)
+            .collect();
+        nets.sort_by(|&a, &b| {
+            self.slack[a.index()].partial_cmp(&self.slack[b.index()]).expect("finite slacks")
+        });
+        nets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearDelayModel, StaConfig};
+    use dna_netlist::{CellKind, CircuitBuilder, Library};
+
+    #[test]
+    fn zero_slack_on_critical_path_at_exact_clock() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let fast = b.gate(CellKind::Inv, "fast", &[a]).unwrap();
+        let s1 = b.gate(CellKind::Buf, "s1", &[a]).unwrap();
+        let s2 = b.gate(CellKind::Buf, "s2", &[s1]).unwrap();
+        let out = b.gate(CellKind::Nand2, "out", &[fast, s2]).unwrap();
+        b.output(out);
+        let c = b.build().unwrap();
+        let model = LinearDelayModel::new();
+        let timing = TimingReport::run(&c, &model, &StaConfig::default()).unwrap();
+        let slack = SlackReport::compute(&c, &model, &timing, timing.circuit_delay());
+
+        for net in [a, s1, s2, out] {
+            assert!(slack.slack(net).abs() < 1e-9, "critical net {net} has nonzero slack");
+        }
+        // The fast branch has positive slack.
+        assert!(slack.slack(fast) > 0.0);
+        assert!(slack.worst_slack().abs() < 1e-9);
+        // Critical nets (slack < tiny) are exactly the critical path.
+        let crit = slack.critical_nets(1e-6);
+        assert_eq!(crit.len(), 4);
+    }
+
+    #[test]
+    fn looser_clock_adds_uniform_slack() {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let y = b.gate(CellKind::Inv, "y", &[a]).unwrap();
+        b.output(y);
+        let c = b.build().unwrap();
+        let model = LinearDelayModel::new();
+        let timing = TimingReport::run(&c, &model, &StaConfig::default()).unwrap();
+        let tight = SlackReport::compute(&c, &model, &timing, timing.circuit_delay());
+        let loose =
+            SlackReport::compute(&c, &model, &timing, timing.circuit_delay() + 100.0);
+        assert!((loose.slack(y) - tight.slack(y) - 100.0).abs() < 1e-9);
+        assert!((loose.worst_slack() - tight.worst_slack() - 100.0).abs() < 1e-9);
+    }
+}

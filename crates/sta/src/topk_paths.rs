@@ -1,0 +1,179 @@
+//! Top-k critical paths.
+//!
+//! The paper motivates top-k aggressor sets by analogy with the top-k
+//! critical paths "commonly reported in traditional static timing
+//! analysis" (§1). This module provides that traditional report: the `k`
+//! input-to-output paths with the largest arrival times, computed with a
+//! per-net k-best dynamic program over the DAG.
+
+use dna_netlist::{Circuit, NetId, NetSource};
+
+use crate::{DelayModel, StaConfig, TimingPath};
+
+/// One arrival candidate at a net: the arrival time and where it came from.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    arrival: f64,
+    /// Predecessor net and the index of the candidate within it.
+    pred: Option<(NetId, usize)>,
+}
+
+/// Computes the `k` latest input-to-output timing paths.
+///
+/// Paths are returned sorted by decreasing arrival. Fewer than `k` paths
+/// are returned when the circuit has fewer distinct paths.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::{CircuitBuilder, Library, CellKind};
+/// use dna_sta::{top_k_paths, StaConfig, LinearDelayModel};
+///
+/// let mut b = CircuitBuilder::new(Library::cmos013());
+/// let a = b.input("a");
+/// let fast = b.gate(CellKind::Inv, "fast", &[a])?;
+/// let slow1 = b.gate(CellKind::Buf, "slow1", &[a])?;
+/// let slow2 = b.gate(CellKind::Buf, "slow2", &[slow1])?;
+/// let out = b.gate(CellKind::Nand2, "out", &[fast, slow2])?;
+/// b.output(out);
+/// let circuit = b.build()?;
+///
+/// let paths = top_k_paths(&circuit, &LinearDelayModel::new(), &StaConfig::default(), 2);
+/// assert_eq!(paths.len(), 2);
+/// assert!(paths[0].arrival() >= paths[1].arrival());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn top_k_paths<M: DelayModel>(
+    circuit: &Circuit,
+    model: &M,
+    config: &StaConfig,
+    k: usize,
+) -> Vec<TimingPath> {
+    assert!(k > 0, "k must be positive");
+    let n = circuit.num_nets();
+    let mut cands: Vec<Vec<Candidate>> = vec![Vec::new(); n];
+
+    for &net in circuit.nets_topological() {
+        match circuit.net(net).source() {
+            NetSource::PrimaryInput => {
+                cands[net.index()] =
+                    vec![Candidate { arrival: config.input_arrival, pred: None }];
+            }
+            NetSource::Gate(g) => {
+                let gate = circuit.gate(g);
+                let cell = circuit.library().cell(gate.kind());
+                let delay = model.gate_delay(cell, circuit.load_cap(net));
+                let mut merged: Vec<Candidate> = Vec::new();
+                for &input in gate.inputs() {
+                    for (ci, c) in cands[input.index()].iter().enumerate() {
+                        merged.push(Candidate {
+                            arrival: c.arrival + delay,
+                            pred: Some((input, ci)),
+                        });
+                    }
+                }
+                merged.sort_by(|a, b| {
+                    b.arrival.partial_cmp(&a.arrival).expect("finite arrivals")
+                });
+                merged.truncate(k);
+                cands[net.index()] = merged;
+            }
+        }
+    }
+
+    // Collect candidates at every primary output and keep the global top k.
+    let mut endpoints: Vec<(NetId, usize, f64)> = Vec::new();
+    for &out in circuit.primary_outputs() {
+        for (ci, c) in cands[out.index()].iter().enumerate() {
+            endpoints.push((out, ci, c.arrival));
+        }
+    }
+    endpoints.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite arrivals"));
+    endpoints.truncate(k);
+
+    endpoints
+        .into_iter()
+        .map(|(net, ci, arrival)| {
+            let mut nets = vec![net];
+            let mut cursor = cands[net.index()][ci];
+            while let Some((pred, pi)) = cursor.pred {
+                nets.push(pred);
+                cursor = cands[pred.index()][pi];
+            }
+            nets.reverse();
+            TimingPath::new(nets, arrival)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{critical_path, LinearDelayModel, StaConfig, TimingReport};
+    use dna_netlist::{generator, CellKind, CircuitBuilder, Library};
+
+    fn diamond() -> Circuit {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let fast = b.gate(CellKind::Inv, "fast", &[a]).unwrap();
+        let s1 = b.gate(CellKind::Buf, "s1", &[a]).unwrap();
+        let s2 = b.gate(CellKind::Buf, "s2", &[s1]).unwrap();
+        let out = b.gate(CellKind::Nand2, "out", &[fast, s2]).unwrap();
+        b.output(out);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn top_1_matches_critical_path() {
+        let c = diamond();
+        let model = LinearDelayModel::new();
+        let cfg = StaConfig::default();
+        let r = TimingReport::run(&c, &model, &cfg).unwrap();
+        let paths = top_k_paths(&c, &model, &cfg, 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nets(), critical_path(&c, &r).nets());
+        assert!((paths[0].arrival() - r.circuit_delay()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paths_sorted_and_distinct() {
+        let c = diamond();
+        let paths = top_k_paths(&c, &LinearDelayModel::new(), &StaConfig::default(), 5);
+        // Diamond has exactly 2 input-to-output paths.
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].arrival() >= paths[1].arrival());
+        assert_ne!(paths[0].nets(), paths[1].nets());
+    }
+
+    #[test]
+    fn top_1_matches_sta_on_random_circuits() {
+        let model = LinearDelayModel::new();
+        let cfg = StaConfig::default();
+        for seed in 0..5 {
+            let c = generator::generate(
+                &generator::GeneratorConfig::new(60, 0).with_seed(seed),
+            )
+            .unwrap();
+            let r = TimingReport::run(&c, &model, &cfg).unwrap();
+            let paths = top_k_paths(&c, &model, &cfg, 1);
+            assert!(
+                (paths[0].arrival() - r.circuit_delay()).abs() < 1e-9,
+                "seed {seed}: {} vs {}",
+                paths[0].arrival(),
+                r.circuit_delay()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let c = diamond();
+        let _ = top_k_paths(&c, &LinearDelayModel::new(), &StaConfig::default(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-net timing data: switching windows and slews.
+
+use std::fmt;
+
+use dna_waveform::{Edge, TimeInterval, Transition};
+
+/// The timing state of one net after an arrival-time propagation.
+///
+/// * `window` — the `[EAT, LAT]` interval of possible 50 %-Vdd switching
+///   instants (the paper's timing window, §2),
+/// * `slew` — the full-swing transition time. In the linear delay model the
+///   slew depends only on the driving cell and its load, not on when the
+///   input arrived, so a single slew covers the whole window.
+///
+/// # Example
+///
+/// ```
+/// use dna_sta::NetTiming;
+///
+/// let t = NetTiming::new(100.0, 140.0, 20.0);
+/// assert_eq!(t.eat(), 100.0);
+/// assert_eq!(t.lat(), 140.0);
+/// assert_eq!(t.latest_transition().t50(), 140.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetTiming {
+    window: TimeInterval,
+    slew: f64,
+}
+
+impl NetTiming {
+    /// Creates timing data from earliest/latest arrival and slew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eat > lat` or `slew <= 0`.
+    #[must_use]
+    pub fn new(eat: f64, lat: f64, slew: f64) -> Self {
+        assert!(slew > 0.0, "slew must be positive, got {slew}");
+        Self { window: TimeInterval::new(eat, lat), slew }
+    }
+
+    /// Earliest arrival time of the 50 % crossing.
+    #[must_use]
+    pub fn eat(&self) -> f64 {
+        self.window.lo()
+    }
+
+    /// Latest arrival time of the 50 % crossing.
+    #[must_use]
+    pub fn lat(&self) -> f64 {
+        self.window.hi()
+    }
+
+    /// The switching window `[EAT, LAT]`.
+    #[must_use]
+    pub fn window(&self) -> TimeInterval {
+        self.window
+    }
+
+    /// Full-swing transition time.
+    #[must_use]
+    pub fn slew(&self) -> f64 {
+        self.slew
+    }
+
+    /// The latest possible transition as a waveform (worst-case victim
+    /// transition for delay-noise superposition). The analysis canonicalizes
+    /// on rising victims; see the crate docs.
+    #[must_use]
+    pub fn latest_transition(&self) -> Transition {
+        Transition::from_t50(self.lat(), self.slew, Edge::Rising)
+    }
+
+    /// Timing with the LAT pushed later by `delay` (delay noise widens the
+    /// window on the late side only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    #[must_use]
+    pub fn with_extra_lat(&self, delay: f64) -> NetTiming {
+        assert!(delay >= 0.0, "delay noise cannot be negative, got {delay}");
+        NetTiming::new(self.eat(), self.lat() + delay, self.slew)
+    }
+
+    /// Timing whose window is the hull of both windows (fixpoint joins).
+    #[must_use]
+    pub fn hull(&self, other: &NetTiming) -> NetTiming {
+        let w = self.window.hull(other.window);
+        NetTiming::new(w.lo(), w.hi(), self.slew.max(other.slew))
+    }
+}
+
+impl fmt::Display for NetTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "window {} slew {:.2}", self.window, self.slew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = NetTiming::new(5.0, 9.0, 2.0);
+        assert_eq!(t.eat(), 5.0);
+        assert_eq!(t.lat(), 9.0);
+        assert_eq!(t.slew(), 2.0);
+        assert_eq!(t.window().width(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn inverted_window_panics() {
+        let _ = NetTiming::new(9.0, 5.0, 2.0);
+    }
+
+    #[test]
+    fn latest_transition_t50() {
+        let t = NetTiming::new(0.0, 42.0, 8.0);
+        let tr = t.latest_transition();
+        assert_eq!(tr.t50(), 42.0);
+        assert_eq!(tr.slew(), 8.0);
+    }
+
+    #[test]
+    fn extra_lat_widens_late_side() {
+        let t = NetTiming::new(1.0, 2.0, 3.0).with_extra_lat(5.0);
+        assert_eq!(t.eat(), 1.0);
+        assert_eq!(t.lat(), 7.0);
+    }
+
+    #[test]
+    fn hull_joins_windows() {
+        let a = NetTiming::new(0.0, 4.0, 2.0);
+        let b = NetTiming::new(2.0, 9.0, 5.0);
+        let h = a.hull(&b);
+        assert_eq!(h.eat(), 0.0);
+        assert_eq!(h.lat(), 9.0);
+        assert_eq!(h.slew(), 5.0);
+    }
+}

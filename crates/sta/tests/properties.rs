@@ -1,0 +1,113 @@
+//! Property tests for the STA substrate.
+
+use dna_netlist::generator::{generate, GeneratorConfig};
+use dna_netlist::Circuit;
+use dna_sta::{
+    critical_path, top_k_paths, DeratedDelayModel, LinearDelayModel, SlackReport, StaConfig,
+    TimingReport,
+};
+use proptest::prelude::*;
+
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (0u64..500, 5usize..40).prop_map(|(seed, gates)| {
+        generate(&GeneratorConfig::new(gates, 0).with_seed(seed)).expect("generator succeeds")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arrival times respect topology: every gate output's LAT is at
+    /// least its critical input's LAT, and EAT <= LAT everywhere.
+    #[test]
+    fn arrivals_respect_topology(circuit in circuit_strategy()) {
+        let r = TimingReport::run(
+            &circuit, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        for net in circuit.net_ids() {
+            let t = r.timing(net);
+            prop_assert!(t.eat() <= t.lat() + 1e-9);
+            if let Some(pred) = r.critical_pred(net) {
+                prop_assert!(t.lat() > r.timing(pred).lat());
+            }
+        }
+        prop_assert!(r.circuit_delay().is_finite());
+    }
+
+    /// The critical path is a connected input-to-output chain whose
+    /// arrival equals the circuit delay.
+    #[test]
+    fn critical_path_is_consistent(circuit in circuit_strategy()) {
+        let r = TimingReport::run(
+            &circuit, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
+        let p = critical_path(&circuit, &r);
+        prop_assert!(circuit.net(p.nets()[0]).is_input());
+        prop_assert!(circuit.net(p.endpoint()).is_output());
+        prop_assert!((p.arrival() - r.circuit_delay()).abs() < 1e-9);
+        // LATs strictly increase along the path.
+        for w in p.nets().windows(2) {
+            prop_assert!(r.timing(w[0]).lat() < r.timing(w[1]).lat());
+        }
+    }
+
+    /// Derating every delay scales the circuit delay accordingly.
+    #[test]
+    fn derating_scales_delay(circuit in circuit_strategy(), factor in 1.0f64..3.0) {
+        let cfg = StaConfig::default();
+        let base = TimingReport::run(&circuit, &LinearDelayModel::new(), &cfg).unwrap();
+        let derated = TimingReport::run(
+            &circuit, &DeratedDelayModel::new(factor, 1.0), &cfg).unwrap();
+        prop_assert!(
+            (derated.circuit_delay() - factor * base.circuit_delay()).abs() < 1e-6,
+            "derated {} != {} * {}", derated.circuit_delay(), factor, base.circuit_delay()
+        );
+    }
+
+    /// Top-k paths are sorted, distinct, and headed by the critical path.
+    #[test]
+    fn top_k_paths_sorted_distinct(circuit in circuit_strategy(), k in 1usize..6) {
+        let model = LinearDelayModel::new();
+        let cfg = StaConfig::default();
+        let r = TimingReport::run(&circuit, &model, &cfg).unwrap();
+        let paths = top_k_paths(&circuit, &model, &cfg, k);
+        prop_assert!(!paths.is_empty());
+        prop_assert!((paths[0].arrival() - r.circuit_delay()).abs() < 1e-9);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].arrival() + 1e-9 >= w[1].arrival());
+        }
+        for (i, a) in paths.iter().enumerate() {
+            for b in &paths[i + 1..] {
+                prop_assert!(a.nets() != b.nets(), "duplicate path in top-k");
+            }
+        }
+    }
+
+    /// Slack at the exact clock: worst slack is zero (critical path), and
+    /// no constrained net has negative slack.
+    #[test]
+    fn slack_at_exact_clock(circuit in circuit_strategy()) {
+        let model = LinearDelayModel::new();
+        let r = TimingReport::run(&circuit, &model, &StaConfig::default()).unwrap();
+        let s = SlackReport::compute(&circuit, &model, &r, r.circuit_delay());
+        prop_assert!(s.worst_slack().abs() < 1e-6);
+        for net in circuit.net_ids() {
+            prop_assert!(s.slack(net) > -1e-6);
+        }
+    }
+
+    /// Injected noise never speeds the circuit up, and the shift is
+    /// bounded by the sum of all injections.
+    #[test]
+    fn injected_noise_never_speeds_up(circuit in circuit_strategy(), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let model = LinearDelayModel::new();
+        let cfg = StaConfig::default();
+        let base = TimingReport::run(&circuit, &model, &cfg).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let noise: Vec<f64> =
+            (0..circuit.num_nets()).map(|_| rng.gen_range(0.0..50.0)).collect();
+        let noisy = TimingReport::run_with_noise(&circuit, &model, &cfg, &noise).unwrap();
+        prop_assert!(noisy.circuit_delay() + 1e-9 >= base.circuit_delay());
+        let total: f64 = noise.iter().sum();
+        prop_assert!(noisy.circuit_delay() <= base.circuit_delay() + total + 1e-9);
+    }
+}

@@ -1,0 +1,419 @@
+//! Trapezoidal noise envelopes (paper Fig. 2 and Fig. 3).
+
+use std::fmt;
+
+use crate::{NoisePulse, Pwl, TimeInterval, EPS};
+
+/// A noise envelope: an upper bound on the noise an aggressor (or a set of
+/// aggressors) can couple onto a victim at every instant.
+///
+/// Per §2 of the paper, the *trapezoidal* envelope of a single aggressor is
+/// built by placing the aggressor's noise pulse at its earliest arrival
+/// time (EAT) and at its latest arrival time (LAT) and connecting the two
+/// peaks ([`Envelope::from_window`]). Envelopes of multiple aggressors are
+/// added pointwise to form a *combined* envelope ([`Envelope::sum`],
+/// Fig. 3).
+///
+/// Invariants: values are non-negative everywhere, and the envelope decays
+/// to zero at both ends of its breakpoint list (so the constant extension
+/// of the underlying [`Pwl`] is zero).
+///
+/// # Example
+///
+/// ```
+/// use dna_waveform::{NoisePulse, Envelope};
+///
+/// let pulse = NoisePulse::symmetric(0.0, 0.2, 4.0);
+/// let env = Envelope::from_window(&pulse, 10.0, 20.0);
+/// // Flat top between the two peak positions.
+/// assert_eq!(env.eval(12.0), 0.2);
+/// assert_eq!(env.eval(22.0), 0.2);
+/// assert_eq!(env.peak(), 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    curve: Pwl,
+}
+
+impl Envelope {
+    /// The identically-zero envelope (no noise).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { curve: Pwl::zero() }
+    }
+
+    /// Builds the trapezoidal envelope of an aggressor whose switching
+    /// instant sweeps the timing window `[eat, lat]`.
+    ///
+    /// The result is the aggressor's pulse aligned at `eat`, the same pulse
+    /// aligned at `lat`, with the two peaks connected — a triangle when
+    /// `eat == lat`, a flat-topped trapezoid otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eat > lat`.
+    #[must_use]
+    pub fn from_window(pulse: &NoisePulse, eat: f64, lat: f64) -> Self {
+        assert!(eat <= lat, "EAT {eat} must not exceed LAT {lat}");
+        let early = pulse.shifted(eat);
+        let late = pulse.shifted(lat);
+        let pts = vec![
+            (early.start(), 0.0),
+            (early.peak_time(), pulse.peak()),
+            (late.peak_time(), pulse.peak()),
+            (late.end(), 0.0),
+        ];
+        Self { curve: Pwl::new(pts).expect("window corners are ordered") }
+    }
+
+    /// Builds the envelope of an aggressor switching at a single known
+    /// instant (a degenerate window).
+    #[must_use]
+    pub fn from_pulse(pulse: &NoisePulse) -> Self {
+        Self::from_window(pulse, 0.0, 0.0)
+    }
+
+    /// Wraps an arbitrary non-negative curve as an envelope.
+    ///
+    /// Negative excursions smaller than [`EPS`] are clamped to zero; the
+    /// curve must decay to (near) zero at both ends so the implicit
+    /// constant extension is zero. Used for *pseudo input aggressors*
+    /// (§3.1), whose shape is the difference of a noisy and a noiseless
+    /// victim transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve ends above `tolerance` at either extreme (such a
+    /// curve would represent noise that never decays) where `tolerance` is
+    /// `1e-6`.
+    #[must_use]
+    pub fn from_curve(curve: &Pwl) -> Self {
+        const TAIL_TOL: f64 = 1e-6;
+        let pts = curve.points();
+        let first = pts[0].1;
+        let last = pts[pts.len() - 1].1;
+        assert!(
+            first.abs() <= TAIL_TOL && last.abs() <= TAIL_TOL,
+            "envelope curve must decay to zero at both ends (got {first} and {last})"
+        );
+        let mut clamped = curve.clamped_min(0.0);
+        // Pin the extremes exactly at zero so extensions are zero.
+        let mut p = clamped.points().to_vec();
+        if let Some(f) = p.first_mut() {
+            f.1 = 0.0;
+        }
+        if let Some(l) = p.last_mut() {
+            l.1 = 0.0;
+        }
+        clamped = Pwl::new(p).expect("clamped points remain ordered");
+        Self { curve: clamped }
+    }
+
+    /// The underlying piecewise-linear curve.
+    #[must_use]
+    pub fn as_pwl(&self) -> &Pwl {
+        &self.curve
+    }
+
+    /// Envelope magnitude at time `t`.
+    #[must_use]
+    pub fn eval(&self, t: f64) -> f64 {
+        self.curve.eval(t)
+    }
+
+    /// Maximum magnitude of the envelope.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.curve.max_value().max(0.0)
+    }
+
+    /// Maximum magnitude within `interval`.
+    #[must_use]
+    pub fn peak_over(&self, interval: TimeInterval) -> f64 {
+        self.curve.max_over(interval).max(0.0)
+    }
+
+    /// Breakpoint span of the envelope (its support is contained in it).
+    #[must_use]
+    pub fn span(&self) -> TimeInterval {
+        self.curve.span()
+    }
+
+    /// Whether the envelope is identically zero (peak below [`EPS`]).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.peak() <= EPS
+    }
+
+    /// Pointwise sum of two envelopes (combined envelope, Fig. 3).
+    ///
+    /// Redundant (collinear within [`EPS`]) breakpoints are pruned so that
+    /// long chains of sums — the hot loop of top-k enumeration — do not
+    /// accumulate unbounded point counts.
+    #[must_use]
+    pub fn sum(&self, other: &Envelope) -> Envelope {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        Envelope { curve: (&self.curve + &other.curve).simplified(EPS) }
+    }
+
+    /// Combined envelope of an arbitrary collection.
+    #[must_use]
+    pub fn sum_all<'a, I>(envelopes: I) -> Envelope
+    where
+        I: IntoIterator<Item = &'a Envelope>,
+    {
+        envelopes.into_iter().fold(Envelope::zero(), |acc, e| acc.sum(e))
+    }
+
+    /// `max(self - other, 0)` pointwise.
+    ///
+    /// Elimination-set analysis (§3.4) subtracts a candidate set's envelope
+    /// from the *total* noise envelope before superposition; the residual
+    /// can never be negative noise.
+    #[must_use]
+    pub fn saturating_sub(&self, other: &Envelope) -> Envelope {
+        if other.is_zero() {
+            return self.clone();
+        }
+        Envelope {
+            curve: (&self.curve - &other.curve).clamped_min(0.0).simplified(EPS),
+        }
+    }
+
+    /// The envelope translated by `dt`.
+    #[must_use]
+    pub fn shifted(&self, dt: f64) -> Envelope {
+        Envelope { curve: self.curve.shifted(dt) }
+    }
+
+    /// The envelope with its magnitude scaled by `factor >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Envelope {
+        assert!(factor >= 0.0, "envelope scale factor must be non-negative");
+        Envelope { curve: self.curve.scaled(factor) }
+    }
+
+    /// The envelope zeroed outside `interval`.
+    ///
+    /// Delay-noise analysis only cares about an envelope inside the
+    /// victim's analysis window (from the start of the victim transition
+    /// to the upper-bound noisy crossing): clipping keeps the point count
+    /// of repeated envelope algebra proportional to the couplings that can
+    /// actually matter. Clipping is *sound* only when `interval` covers
+    /// that analysis window — the caller guarantees it.
+    #[must_use]
+    pub fn clipped(&self, interval: TimeInterval) -> Envelope {
+        let span = self.curve.span();
+        if span.lo() >= interval.lo() && span.hi() <= interval.hi() {
+            return self.clone();
+        }
+        if !span.overlaps(interval) || self.peak_over(interval) <= EPS {
+            return Envelope::zero();
+        }
+        const RAMP: f64 = 1e-6;
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        let v_lo = self.eval(interval.lo());
+        if v_lo > 0.0 {
+            pts.push((interval.lo() - RAMP, 0.0));
+        }
+        pts.push((interval.lo(), v_lo));
+        for &(t, v) in self.curve.points() {
+            if t > interval.lo() && t < interval.hi() {
+                pts.push((t, v));
+            }
+        }
+        let v_hi = self.eval(interval.hi());
+        pts.push((interval.hi(), v_hi));
+        if v_hi > 0.0 {
+            pts.push((interval.hi() + RAMP, 0.0));
+        }
+        Envelope {
+            curve: Pwl::new(pts).expect("clipped points stay ordered"),
+        }
+    }
+
+    /// Whether this envelope *encapsulates* `other` over `interval`:
+    /// `self(t) >= other(t) - EPS` for all `t` in the interval.
+    ///
+    /// This is the primitive behind the paper's **dominance** relation
+    /// (§3.2): aggressor (set) A dominates B when A's combined envelope
+    /// encapsulates B's over the dominance interval. Encapsulation is
+    /// reflexive and transitive but only a *partial* order — two envelopes
+    /// can be mutually non-encapsulating.
+    #[must_use]
+    pub fn encapsulates(&self, other: &Envelope, interval: TimeInterval) -> bool {
+        self.curve.ge_over(&other.curve, interval, EPS)
+    }
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl fmt::Display for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "envelope peak={:.4} span={}", self.peak(), self.span())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse() -> NoisePulse {
+        NoisePulse::new(0.0, 2.0, 0.4, 6.0)
+    }
+
+    #[test]
+    fn window_envelope_is_trapezoid() {
+        let e = Envelope::from_window(&pulse(), 10.0, 20.0);
+        // Leading edge follows the EAT-aligned pulse.
+        assert_eq!(e.eval(10.0), 0.0);
+        assert!((e.eval(11.0) - 0.2).abs() < 1e-12);
+        // Flat top between peaks at 12 and 22.
+        assert!((e.eval(12.0) - 0.4).abs() < 1e-12);
+        assert!((e.eval(17.0) - 0.4).abs() < 1e-12);
+        assert!((e.eval(22.0) - 0.4).abs() < 1e-12);
+        // Trailing edge follows the LAT-aligned pulse, ending at 26.
+        assert!((e.eval(24.0) - 0.2).abs() < 1e-12);
+        assert_eq!(e.eval(26.0), 0.0);
+        assert_eq!(e.eval(30.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_window_is_triangle() {
+        let e = Envelope::from_window(&pulse(), 5.0, 5.0);
+        let p = pulse().shifted(5.0);
+        for i in 0..=30 {
+            let t = i as f64 * 0.5;
+            assert!((e.eval(t) - p.eval(t)).abs() < 1e-9, "mismatch at {t}");
+        }
+    }
+
+    #[test]
+    fn sum_is_pointwise() {
+        let a = Envelope::from_window(&pulse(), 0.0, 0.0);
+        let b = Envelope::from_window(&pulse(), 1.0, 1.0);
+        let s = a.sum(&b);
+        for i in 0..=40 {
+            let t = i as f64 * 0.25;
+            assert!((s.eval(t) - (a.eval(t) + b.eval(t))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sum_with_zero_is_identity() {
+        let a = Envelope::from_window(&pulse(), 0.0, 4.0);
+        assert_eq!(a.sum(&Envelope::zero()), a);
+        assert_eq!(Envelope::zero().sum(&a), a);
+    }
+
+    #[test]
+    fn sum_all_accumulates() {
+        let envs: Vec<Envelope> =
+            (0..3).map(|i| Envelope::from_window(&pulse(), i as f64, i as f64)).collect();
+        let total = Envelope::sum_all(&envs);
+        let manual = envs[0].sum(&envs[1]).sum(&envs[2]);
+        for i in 0..=40 {
+            let t = i as f64 * 0.25;
+            assert!((total.eval(t) - manual.eval(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let big = Envelope::from_window(&pulse(), 0.0, 10.0);
+        let small = Envelope::from_window(&pulse(), 2.0, 4.0);
+        let d = big.saturating_sub(&small);
+        for i in 0..=80 {
+            let t = i as f64 * 0.25;
+            assert!(d.eval(t) >= 0.0);
+        }
+        // Subtracting something bigger floors at zero.
+        let z = small.saturating_sub(&big.scaled(2.0));
+        assert!(z.peak() <= 0.4); // clamped, not negative
+        for i in 0..=80 {
+            let t = i as f64 * 0.25;
+            assert!(z.eval(t) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn encapsulation_partial_order() {
+        let iv = TimeInterval::new(-5.0, 40.0);
+        let wide = Envelope::from_window(&pulse(), 0.0, 20.0);
+        let narrow = Envelope::from_window(&pulse(), 5.0, 10.0);
+        assert!(wide.encapsulates(&narrow, iv));
+        assert!(!narrow.encapsulates(&wide, iv));
+        // Reflexive.
+        assert!(wide.encapsulates(&wide, iv));
+        // Mutually non-dominated pair: same shape, disjoint supports.
+        let left = Envelope::from_window(&pulse(), 0.0, 0.0);
+        let right = Envelope::from_window(&pulse(), 100.0, 100.0);
+        assert!(!left.encapsulates(&right, TimeInterval::new(-5.0, 120.0)));
+        assert!(!right.encapsulates(&left, TimeInterval::new(-5.0, 120.0)));
+    }
+
+    #[test]
+    fn zero_envelope_properties() {
+        let z = Envelope::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.peak(), 0.0);
+        assert_eq!(z.eval(123.0), 0.0);
+        assert_eq!(Envelope::default(), z);
+    }
+
+    #[test]
+    fn from_curve_clamps_and_pins_tails() {
+        let p = Pwl::new(vec![(0.0, 0.0), (2.0, -1e-12), (4.0, 0.3), (8.0, 0.0)]).unwrap();
+        let e = Envelope::from_curve(&p);
+        assert!(e.eval(2.0) >= 0.0);
+        assert!((e.peak() - 0.3).abs() < 1e-9);
+        assert_eq!(e.eval(100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay to zero")]
+    fn from_curve_rejects_nonzero_tail() {
+        let p = Pwl::new(vec![(0.0, 0.0), (4.0, 0.3)]).unwrap();
+        let _ = Envelope::from_curve(&p);
+    }
+
+    #[test]
+    fn clipped_matches_inside_zero_outside() {
+        let e = Envelope::from_window(&pulse(), 0.0, 30.0);
+        let iv = TimeInterval::new(5.0, 20.0);
+        let c = e.clipped(iv);
+        for i in 0..=80 {
+            let t = i as f64 * 0.5;
+            if (5.0 + 1e-5..=20.0 - 1e-5).contains(&t) {
+                assert!((c.eval(t) - e.eval(t)).abs() < 1e-9, "inside mismatch at {t}");
+            } else if !(5.0 - 1e-5..=20.0 + 1e-5).contains(&t) {
+                assert_eq!(c.eval(t), 0.0, "outside not zero at {t}");
+            }
+        }
+        // Fully-contained envelopes are returned unchanged.
+        let tight = Envelope::from_window(&pulse(), 8.0, 10.0);
+        assert_eq!(tight.clipped(TimeInterval::new(0.0, 100.0)), tight);
+        // Disjoint windows clip to zero.
+        assert!(e.clipped(TimeInterval::new(500.0, 600.0)).is_zero());
+    }
+
+    #[test]
+    fn peak_over_interval() {
+        let e = Envelope::from_window(&pulse(), 10.0, 20.0);
+        assert!((e.peak_over(TimeInterval::new(0.0, 30.0)) - 0.4).abs() < 1e-12);
+        assert!(e.peak_over(TimeInterval::new(0.0, 10.5)) < 0.4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Closed time intervals.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` on the time axis.
+///
+/// Used for aggressor timing windows and for the *dominance interval* of
+/// §3.2 of the paper (the time range over which one noise envelope must
+/// encapsulate another in order to dominate it).
+///
+/// # Example
+///
+/// ```
+/// use dna_waveform::TimeInterval;
+///
+/// let window = TimeInterval::new(10.0, 30.0);
+/// assert!(window.contains(20.0));
+/// assert!(window.overlaps(TimeInterval::new(25.0, 40.0)));
+/// assert_eq!(window.width(), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeInterval {
+    lo: f64,
+    hi: f64,
+}
+
+impl TimeInterval {
+    /// Creates a new interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "interval bounds must be finite");
+        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        Self { lo, hi }
+    }
+
+    /// A degenerate interval containing a single instant.
+    #[must_use]
+    pub fn point(t: f64) -> Self {
+        Self::new(t, t)
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo` of the interval.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `t` lies inside the closed interval.
+    #[must_use]
+    pub fn contains(&self, t: f64) -> bool {
+        self.lo <= t && t <= self.hi
+    }
+
+    /// Whether this interval and `other` share at least one instant.
+    #[must_use]
+    pub fn overlaps(&self, other: TimeInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Smallest interval containing both `self` and `other`.
+    #[must_use]
+    pub fn hull(&self, other: TimeInterval) -> TimeInterval {
+        TimeInterval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Intersection of the two intervals, or `None` when disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: TimeInterval) -> Option<TimeInterval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| TimeInterval::new(lo, hi))
+    }
+
+    /// Interval translated by `dt`.
+    #[must_use]
+    pub fn shifted(&self, dt: f64) -> TimeInterval {
+        TimeInterval::new(self.lo + dt, self.hi + dt)
+    }
+
+    /// Interval grown by `amount` on each side.
+    ///
+    /// Used when indirect aggressors widen a primary aggressor's timing
+    /// window. A negative `amount` shrinks the interval but never past a
+    /// single point at its centre.
+    #[must_use]
+    pub fn widened(&self, amount: f64) -> TimeInterval {
+        let lo = self.lo - amount;
+        let hi = self.hi + amount;
+        if lo <= hi {
+            TimeInterval::new(lo, hi)
+        } else {
+            TimeInterval::point(0.5 * (self.lo + self.hi))
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let i = TimeInterval::new(1.0, 4.0);
+        assert_eq!(i.lo(), 1.0);
+        assert_eq!(i.hi(), 4.0);
+        assert_eq!(i.width(), 3.0);
+    }
+
+    #[test]
+    fn point_interval_is_empty_width() {
+        let p = TimeInterval::point(2.5);
+        assert_eq!(p.width(), 0.0);
+        assert!(p.contains(2.5));
+        assert!(!p.contains(2.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn inverted_bounds_panic() {
+        let _ = TimeInterval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_closed() {
+        let a = TimeInterval::new(0.0, 10.0);
+        let b = TimeInterval::new(10.0, 20.0);
+        // Touching at an endpoint counts as overlap (closed intervals).
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        let c = TimeInterval::new(10.1, 20.0);
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn hull_and_intersection() {
+        let a = TimeInterval::new(0.0, 5.0);
+        let b = TimeInterval::new(3.0, 8.0);
+        assert_eq!(a.hull(b), TimeInterval::new(0.0, 8.0));
+        assert_eq!(a.intersection(b), Some(TimeInterval::new(3.0, 5.0)));
+        let c = TimeInterval::new(6.0, 7.0);
+        assert_eq!(a.intersection(c), None);
+    }
+
+    #[test]
+    fn widen_and_shrink() {
+        let a = TimeInterval::new(2.0, 4.0);
+        assert_eq!(a.widened(1.0), TimeInterval::new(1.0, 5.0));
+        // Shrinking past collapse pins at the centre.
+        assert_eq!(a.widened(-5.0), TimeInterval::point(3.0));
+    }
+
+    #[test]
+    fn shift_preserves_width() {
+        let a = TimeInterval::new(2.0, 4.0);
+        let s = a.shifted(10.0);
+        assert_eq!(s, TimeInterval::new(12.0, 14.0));
+        assert_eq!(s.width(), a.width());
+    }
+}

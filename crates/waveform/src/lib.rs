@@ -1,0 +1,63 @@
+//! Piecewise-linear waveform algebra for crosstalk delay-noise analysis.
+//!
+//! This crate is the mathematical substrate of the DAC 2007 *"Top-k
+//! Aggressors Sets in Delay Noise Analysis"* reproduction. Everything a
+//! linear noise framework needs is here:
+//!
+//! * [`Pwl`] — validated piecewise-linear curves with evaluation, algebra
+//!   (`+`, `-`, pointwise max), crossings and shifting,
+//! * [`Transition`] — saturated-ramp switching waveforms with a
+//!   [`t50`](Transition::t50) measurement point,
+//! * [`NoisePulse`] — triangular coupled-noise pulses,
+//! * [`Envelope`] — trapezoidal noise envelopes built from a pulse aligned
+//!   at the aggressor's earliest and latest arrival times (paper Fig. 2),
+//!   envelope summation (Fig. 3), and the *encapsulation* test underlying
+//!   the paper's dominance relation (§3.2),
+//! * [`superposition`] — superimposing a combined envelope onto a victim
+//!   transition and measuring the induced **delay noise** (shift of the
+//!   50 %-Vdd crossing).
+//!
+//! Voltages are normalized to `Vdd = 1.0`; times are unit-agnostic
+//! (picoseconds throughout the workspace).
+//!
+//! # Example
+//!
+//! ```
+//! use dna_waveform::{Transition, Edge, NoisePulse, Envelope, superposition};
+//!
+//! // A rising victim transition reaching 50% Vdd at t = 105.
+//! let victim = Transition::new(100.0, 10.0, Edge::Rising);
+//! assert!((victim.t50() - 105.0).abs() < 1e-9);
+//!
+//! // An aggressor whose timing window spans [95, 115] couples a triangular
+//! // pulse; the envelope is the trapezoid over that window.
+//! let pulse = NoisePulse::symmetric(0.0, 0.3, 8.0);
+//! let env = Envelope::from_window(&pulse, 95.0, 115.0);
+//!
+//! let noise = superposition::delay_noise(&victim, &env);
+//! assert!(noise > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod envelope;
+mod interval;
+mod pulse;
+mod pwl;
+mod transition;
+
+pub mod superposition;
+
+pub use envelope::Envelope;
+pub use interval::TimeInterval;
+pub use pulse::NoisePulse;
+pub use pwl::{Pwl, PwlError};
+pub use transition::{Edge, Transition};
+
+/// Tolerance used throughout the crate when comparing times and voltages.
+///
+/// Two values closer than `EPS` are considered equal; encapsulation tests
+/// allow a violation of up to `EPS` so that an envelope still dominates an
+/// exact copy of itself in the presence of floating-point rounding.
+pub const EPS: f64 = 1e-9;

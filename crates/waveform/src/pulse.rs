@@ -1,0 +1,235 @@
+//! Triangular coupled-noise pulses.
+
+use std::fmt;
+
+use crate::{Pwl, TimeInterval};
+
+/// A triangular noise pulse coupled onto a victim net by one switching
+/// aggressor.
+///
+/// The pulse rises from zero at `start` to `peak` volts (normalized to
+/// Vdd = 1) at `peak_time`, then decays back to zero at `end`. Pulse times
+/// are *relative to the aggressor's switching instant*; aligning the
+/// aggressor inside its timing window is a simple time shift.
+///
+/// The magnitude is always stored as a non-negative number — the analysis
+/// layer decides whether the pulse opposes a rising or a falling victim
+/// transition.
+///
+/// # Example
+///
+/// ```
+/// use dna_waveform::NoisePulse;
+///
+/// let p = NoisePulse::new(0.0, 2.0, 0.25, 6.0);
+/// assert_eq!(p.peak(), 0.25);
+/// assert_eq!(p.eval(2.0), 0.25);
+/// assert_eq!(p.eval(6.0), 0.0);
+/// assert_eq!(p.width(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisePulse {
+    start: f64,
+    peak_time: f64,
+    peak: f64,
+    end: f64,
+}
+
+impl NoisePulse {
+    /// Creates a pulse from its three corner times and peak magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are not ordered `start <= peak_time <= end`,
+    /// if `start == end`, or if `peak` is negative or not finite.
+    #[must_use]
+    pub fn new(start: f64, peak_time: f64, peak: f64, end: f64) -> Self {
+        assert!(
+            start.is_finite() && peak_time.is_finite() && end.is_finite(),
+            "pulse times must be finite"
+        );
+        assert!(
+            start <= peak_time && peak_time <= end,
+            "pulse corners must be ordered: start={start} peak_time={peak_time} end={end}"
+        );
+        assert!(end > start, "pulse must have positive width");
+        assert!(peak.is_finite() && peak >= 0.0, "pulse peak must be non-negative, got {peak}");
+        Self { start, peak_time, peak, end }
+    }
+
+    /// Creates a symmetric triangle of the given total `width` peaking at
+    /// `start + width / 2`.
+    #[must_use]
+    pub fn symmetric(start: f64, peak: f64, width: f64) -> Self {
+        assert!(width > 0.0, "pulse width must be positive, got {width}");
+        Self::new(start, start + width / 2.0, peak, start + width)
+    }
+
+    /// Start of the pulse (first non-zero instant).
+    #[must_use]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Time of the peak.
+    #[must_use]
+    pub fn peak_time(&self) -> f64 {
+        self.peak_time
+    }
+
+    /// Peak magnitude (fraction of Vdd).
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// End of the pulse (back to zero).
+    #[must_use]
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// Total width `end - start`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Support interval `[start, end]`.
+    #[must_use]
+    pub fn support(&self) -> TimeInterval {
+        TimeInterval::new(self.start, self.end)
+    }
+
+    /// Pulse magnitude at time `t`.
+    #[must_use]
+    pub fn eval(&self, t: f64) -> f64 {
+        if t <= self.start || t >= self.end {
+            return 0.0;
+        }
+        if t <= self.peak_time {
+            let rise = self.peak_time - self.start;
+            if rise == 0.0 {
+                self.peak
+            } else {
+                self.peak * (t - self.start) / rise
+            }
+        } else {
+            let fall = self.end - self.peak_time;
+            if fall == 0.0 {
+                self.peak
+            } else {
+                self.peak * (self.end - t) / fall
+            }
+        }
+    }
+
+    /// The pulse translated by `dt`.
+    #[must_use]
+    pub fn shifted(&self, dt: f64) -> NoisePulse {
+        NoisePulse::new(self.start + dt, self.peak_time + dt, self.peak, self.end + dt)
+    }
+
+    /// The pulse with its peak scaled by `factor` (must be non-negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> NoisePulse {
+        assert!(factor >= 0.0, "pulse scale factor must be non-negative");
+        NoisePulse::new(self.start, self.peak_time, self.peak * factor, self.end)
+    }
+
+    /// The pulse as a piecewise-linear curve (zero outside its support).
+    #[must_use]
+    pub fn to_pwl(&self) -> Pwl {
+        let mut pts = vec![(self.start, 0.0)];
+        if self.peak_time > self.start && self.peak_time < self.end {
+            pts.push((self.peak_time, self.peak));
+        } else if self.peak_time == self.start {
+            // Degenerate leading edge: instant rise.
+            pts.push((self.start, self.peak));
+        }
+        if self.peak_time == self.end {
+            pts.push((self.end, self.peak));
+        }
+        pts.push((self.end, 0.0));
+        // Near-coincident points are merged by Pwl::new; a degenerate corner
+        // collapses into a step which is the correct limit shape.
+        Pwl::new(pts).expect("ordered corners give ordered points")
+    }
+}
+
+impl fmt::Display for NoisePulse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pulse peak={:.4}@{:.3} support=[{:.3}, {:.3}]",
+            self.peak, self.peak_time, self.start, self.end
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_shape() {
+        let p = NoisePulse::new(0.0, 4.0, 0.5, 10.0);
+        assert_eq!(p.eval(-1.0), 0.0);
+        assert_eq!(p.eval(0.0), 0.0);
+        assert!((p.eval(2.0) - 0.25).abs() < 1e-12);
+        assert_eq!(p.eval(4.0), 0.5);
+        assert!((p.eval(7.0) - 0.25).abs() < 1e-12);
+        assert_eq!(p.eval(10.0), 0.0);
+        assert_eq!(p.eval(11.0), 0.0);
+    }
+
+    #[test]
+    fn symmetric_constructor() {
+        let p = NoisePulse::symmetric(10.0, 0.3, 8.0);
+        assert_eq!(p.peak_time(), 14.0);
+        assert_eq!(p.end(), 18.0);
+        assert_eq!(p.width(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_corners_panic() {
+        let _ = NoisePulse::new(5.0, 2.0, 0.1, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_peak_panics() {
+        let _ = NoisePulse::new(0.0, 1.0, -0.1, 2.0);
+    }
+
+    #[test]
+    fn shift_and_scale() {
+        let p = NoisePulse::symmetric(0.0, 0.4, 10.0).shifted(100.0);
+        assert_eq!(p.start(), 100.0);
+        assert_eq!(p.peak_time(), 105.0);
+        let s = p.scaled(0.5);
+        assert!((s.peak() - 0.2).abs() < 1e-12);
+        assert_eq!(s.start(), p.start());
+    }
+
+    #[test]
+    fn to_pwl_matches_eval() {
+        let p = NoisePulse::new(1.0, 3.0, 0.6, 8.0);
+        let w = p.to_pwl();
+        for i in 0..=40 {
+            let t = i as f64 * 0.25;
+            assert!((w.eval(t) - p.eval(t)).abs() < 1e-9, "mismatch at {t}");
+        }
+    }
+
+    #[test]
+    fn support_interval() {
+        let p = NoisePulse::new(1.0, 3.0, 0.6, 8.0);
+        assert_eq!(p.support(), TimeInterval::new(1.0, 8.0));
+    }
+}

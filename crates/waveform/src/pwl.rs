@@ -1,0 +1,561 @@
+//! Validated piecewise-linear curves.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use crate::{TimeInterval, EPS};
+
+/// Error produced when constructing an invalid [`Pwl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PwlError {
+    /// The point list was empty.
+    Empty,
+    /// A coordinate at the given index was NaN or infinite.
+    NonFinite(usize),
+    /// Breakpoint times decreased at the given index.
+    NonIncreasing(usize),
+}
+
+impl fmt::Display for PwlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PwlError::Empty => write!(f, "piecewise-linear curve needs at least one point"),
+            PwlError::NonFinite(i) => write!(f, "non-finite coordinate at breakpoint {i}"),
+            PwlError::NonIncreasing(i) => {
+                write!(f, "breakpoint times must be non-decreasing (violated at index {i})")
+            }
+        }
+    }
+}
+
+impl Error for PwlError {}
+
+/// A piecewise-linear curve `v(t)` over the whole time axis.
+///
+/// The curve is defined by a non-empty list of breakpoints with
+/// non-decreasing times. Between breakpoints the value is linearly
+/// interpolated; before the first and after the last breakpoint the value is
+/// *extended as a constant* equal to the respective endpoint value. This
+/// extension rule means a saturated ramp, a decayed noise pulse and a
+/// constant are all representable without special cases.
+///
+/// `Pwl` is closed under addition, subtraction, pointwise maximum and
+/// clamping — exactly the operations linear noise analysis needs
+/// (envelope summation per paper Fig. 3, superposition per §3.1).
+///
+/// # Example
+///
+/// ```
+/// use dna_waveform::Pwl;
+///
+/// let ramp = Pwl::new(vec![(0.0, 0.0), (10.0, 1.0)])?;
+/// assert_eq!(ramp.eval(-5.0), 0.0); // constant extension on the left
+/// assert_eq!(ramp.eval(5.0), 0.5);
+/// assert_eq!(ramp.eval(20.0), 1.0); // constant extension on the right
+/// # Ok::<(), dna_waveform::PwlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pwl {
+    /// Breakpoints `(t, v)` with strictly increasing `t`.
+    points: Vec<(f64, f64)>,
+}
+
+impl Pwl {
+    /// Creates a curve from breakpoints.
+    ///
+    /// Breakpoints closer together in time than [`EPS`] are merged (the
+    /// later value wins), so callers may pass the output of geometric
+    /// constructions without worrying about degenerate segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PwlError::Empty`] for an empty list,
+    /// [`PwlError::NonFinite`] if any coordinate is NaN/infinite and
+    /// [`PwlError::NonIncreasing`] if times decrease.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, PwlError> {
+        if points.is_empty() {
+            return Err(PwlError::Empty);
+        }
+        for (i, &(t, v)) in points.iter().enumerate() {
+            if !t.is_finite() || !v.is_finite() {
+                return Err(PwlError::NonFinite(i));
+            }
+        }
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+        for (i, &(t, v)) in points.iter().enumerate() {
+            match merged.last_mut() {
+                Some(&mut (lt, _)) if t < lt - EPS => return Err(PwlError::NonIncreasing(i)),
+                Some(last) if t - last.0 <= EPS => {
+                    // Merge near-coincident breakpoints; the later value wins.
+                    last.1 = v;
+                }
+                _ => merged.push((t, v)),
+            }
+        }
+        Ok(Self { points: merged })
+    }
+
+    /// The constant curve `v(t) = v`.
+    #[must_use]
+    pub fn constant(v: f64) -> Self {
+        Self { points: vec![(0.0, v)] }
+    }
+
+    /// The identically-zero curve.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::constant(0.0)
+    }
+
+    /// Breakpoints of the curve.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates the curve at time `t`.
+    #[must_use]
+    pub fn eval(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        let last = pts[pts.len() - 1];
+        if t >= last.0 {
+            return last.1;
+        }
+        // Binary search for the segment containing t.
+        let idx = pts.partition_point(|&(pt, _)| pt <= t);
+        let (t0, v0) = pts[idx - 1];
+        let (t1, v1) = pts[idx];
+        if t1 - t0 <= EPS {
+            return v1;
+        }
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// The curve translated right by `dt`.
+    #[must_use]
+    pub fn shifted(&self, dt: f64) -> Self {
+        Self { points: self.points.iter().map(|&(t, v)| (t + dt, v)).collect() }
+    }
+
+    /// The curve with all values multiplied by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self { points: self.points.iter().map(|&(t, v)| (t, v * factor)).collect() }
+    }
+
+    /// The curve negated pointwise.
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        self.scaled(-1.0)
+    }
+
+    /// Maximum value attained over the whole curve (including extensions,
+    /// which equal the endpoint values).
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Maximum value attained within the closed `interval`.
+    #[must_use]
+    pub fn max_over(&self, interval: TimeInterval) -> f64 {
+        let mut best = self.eval(interval.lo()).max(self.eval(interval.hi()));
+        for &(t, v) in &self.points {
+            if interval.contains(t) {
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    /// Time span from the first to the last breakpoint.
+    #[must_use]
+    pub fn span(&self) -> TimeInterval {
+        TimeInterval::new(self.points[0].0, self.points[self.points.len() - 1].0)
+    }
+
+    /// Merged, sorted breakpoint times of `self` and `other`.
+    ///
+    /// Both inputs are already sorted, so this is a linear merge — these
+    /// curves are combined millions of times in the top-k hot loop.
+    fn merged_times(&self, other: &Pwl) -> Vec<f64> {
+        let a = &self.points;
+        let b = &other.points;
+        let mut ts: Vec<f64> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        let push = |ts: &mut Vec<f64>, t: f64| match ts.last() {
+            Some(&last) if (t - last).abs() <= EPS => {}
+            _ => ts.push(t),
+        };
+        while i < a.len() && j < b.len() {
+            if a[i].0 <= b[j].0 {
+                push(&mut ts, a[i].0);
+                i += 1;
+            } else {
+                push(&mut ts, b[j].0);
+                j += 1;
+            }
+        }
+        while i < a.len() {
+            push(&mut ts, a[i].0);
+            i += 1;
+        }
+        while j < b.len() {
+            push(&mut ts, b[j].0);
+            j += 1;
+        }
+        ts
+    }
+
+    /// Combines two curves with a pointwise linear operation.
+    ///
+    /// Correct for operations (like `+` and `-`) that map line segments to
+    /// line segments, so sampling at merged breakpoints loses nothing.
+    fn zip_linear(&self, other: &Pwl, f: impl Fn(f64, f64) -> f64) -> Pwl {
+        let pts = self
+            .merged_times(other)
+            .into_iter()
+            .map(|t| (t, f(self.eval(t), other.eval(t))))
+            .collect();
+        Pwl::new(pts).expect("merged breakpoints are sorted and finite")
+    }
+
+    /// Pointwise maximum of two curves.
+    ///
+    /// Unlike `+`/`-`, `max` can create new breakpoints where the curves
+    /// cross, so crossings between merged breakpoints are inserted.
+    #[must_use]
+    pub fn pointwise_max(&self, other: &Pwl) -> Pwl {
+        let times = self.merged_times(other);
+        let mut pts: Vec<(f64, f64)> = Vec::with_capacity(times.len() * 2);
+        for (i, &t) in times.iter().enumerate() {
+            let (a, b) = (self.eval(t), other.eval(t));
+            pts.push((t, a.max(b)));
+            if let Some(&tn) = times.get(i + 1) {
+                let (an, bn) = (self.eval(tn), other.eval(tn));
+                let d0 = a - b;
+                let d1 = an - bn;
+                // Sign change strictly inside the segment => crossing point.
+                if d0 * d1 < 0.0 {
+                    let alpha = d0 / (d0 - d1);
+                    let tc = t + alpha * (tn - t);
+                    if tc > t + EPS && tc < tn - EPS {
+                        pts.push((tc, self.eval(tc).max(other.eval(tc))));
+                    }
+                }
+            }
+        }
+        Pwl::new(pts).expect("constructed points are sorted and finite")
+    }
+
+    /// The curve clamped from below at `floor`.
+    #[must_use]
+    pub fn clamped_min(&self, floor: f64) -> Pwl {
+        self.pointwise_max(&Pwl::constant(floor))
+    }
+
+    /// Supremum of `{ t : v(t) <= level }`.
+    ///
+    /// Returns `f64::INFINITY` when the curve ends at or below `level`
+    /// (the set is unbounded above) and `f64::NEG_INFINITY` when the curve
+    /// never reaches `level` at all. Otherwise the result is the **final
+    /// upward crossing** of `level` — exactly the quantity needed for the
+    /// `t50` of a noisy rising transition (latest time the waveform is
+    /// still at or below 50 % Vdd).
+    #[must_use]
+    pub fn last_time_at_or_below(&self, level: f64) -> f64 {
+        let pts = &self.points;
+        let n = pts.len();
+        if pts[n - 1].1 <= level {
+            return f64::INFINITY;
+        }
+        // Scan segments right-to-left; the first one dipping to `level`
+        // contains the final crossing.
+        for j in (0..n.saturating_sub(1)).rev() {
+            let (t0, v0) = pts[j];
+            let (t1, v1) = pts[j + 1];
+            if v0 <= level {
+                // v1 > level here, else the segment to the right matched first.
+                if (v1 - v0).abs() <= EPS {
+                    return t1;
+                }
+                return t0 + (level - v0) / (v1 - v0) * (t1 - t0);
+            }
+        }
+        // No breakpoint at or below level; check the left extension.
+        if pts[0].1 <= level {
+            return pts[0].0;
+        }
+        f64::NEG_INFINITY
+    }
+
+    /// Supremum of `{ t : v(t) >= level }`; mirror of
+    /// [`last_time_at_or_below`](Self::last_time_at_or_below) for falling
+    /// victims.
+    #[must_use]
+    pub fn last_time_at_or_above(&self, level: f64) -> f64 {
+        self.negated().last_time_at_or_below(-level)
+    }
+
+    /// The curve with collinear and near-collinear interior breakpoints
+    /// removed.
+    ///
+    /// A breakpoint is dropped when the curve value there differs from the
+    /// straight line between its retained neighbours by at most `tol`.
+    /// Sums of many trapezoids accumulate redundant breakpoints; pruning
+    /// them keeps repeated envelope algebra (the hot loop of top-k
+    /// enumeration) close to linear cost.
+    #[must_use]
+    pub fn simplified(&self, tol: f64) -> Pwl {
+        let pts = &self.points;
+        if pts.len() <= 2 {
+            return self.clone();
+        }
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+        out.push(pts[0]);
+        for i in 1..pts.len() - 1 {
+            let (t0, v0) = *out.last().expect("seeded with first point");
+            let (t1, v1) = pts[i];
+            let (t2, v2) = pts[i + 1];
+            // Value predicted at t1 by the chord from the last kept point
+            // to the next point.
+            let predicted = if (t2 - t0).abs() <= EPS {
+                v0
+            } else {
+                v0 + (v2 - v0) * (t1 - t0) / (t2 - t0)
+            };
+            if (v1 - predicted).abs() > tol {
+                out.push(pts[i]);
+            }
+        }
+        out.push(pts[pts.len() - 1]);
+        Pwl::new(out).expect("subset of ordered points stays ordered")
+    }
+
+    /// Whether `self(t) >= other(t) - tol` for every `t` in `interval`.
+    ///
+    /// This is the *encapsulation* primitive behind the paper's dominance
+    /// relation: both curves are linear between their merged breakpoints,
+    /// so checking the merged breakpoints (clipped to the interval) plus the
+    /// interval endpoints is exact.
+    #[must_use]
+    pub fn ge_over(&self, other: &Pwl, interval: TimeInterval, tol: f64) -> bool {
+        let check = |t: f64| self.eval(t) >= other.eval(t) - tol;
+        if !check(interval.lo()) || !check(interval.hi()) {
+            return false;
+        }
+        self.points
+            .iter()
+            .chain(other.points.iter())
+            .map(|&(t, _)| t)
+            .filter(|&t| interval.contains(t))
+            .all(check)
+    }
+}
+
+impl Add<&Pwl> for &Pwl {
+    type Output = Pwl;
+
+    fn add(self, rhs: &Pwl) -> Pwl {
+        self.zip_linear(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Pwl> for &Pwl {
+    type Output = Pwl;
+
+    fn sub(self, rhs: &Pwl) -> Pwl {
+        self.zip_linear(rhs, |a, b| a - b)
+    }
+}
+
+impl fmt::Display for Pwl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pwl[")?;
+        for (i, (t, v)) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({t:.3}, {v:.4})")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Pwl {
+        Pwl::new(vec![(0.0, 0.0), (10.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Pwl::new(vec![]), Err(PwlError::Empty));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(Pwl::new(vec![(0.0, f64::NAN)]), Err(PwlError::NonFinite(0)));
+        assert_eq!(
+            Pwl::new(vec![(0.0, 0.0), (f64::INFINITY, 1.0)]),
+            Err(PwlError::NonFinite(1))
+        );
+    }
+
+    #[test]
+    fn decreasing_times_rejected() {
+        assert_eq!(
+            Pwl::new(vec![(1.0, 0.0), (0.0, 1.0)]),
+            Err(PwlError::NonIncreasing(1))
+        );
+    }
+
+    #[test]
+    fn coincident_points_merged() {
+        let p = Pwl::new(vec![(0.0, 0.0), (0.0, 5.0), (1.0, 1.0)]).unwrap();
+        assert_eq!(p.points().len(), 2);
+        assert_eq!(p.eval(0.0), 5.0);
+    }
+
+    #[test]
+    fn eval_interpolates_and_extends() {
+        let r = ramp();
+        assert_eq!(r.eval(-1.0), 0.0);
+        assert_eq!(r.eval(0.0), 0.0);
+        assert!((r.eval(2.5) - 0.25).abs() < 1e-12);
+        assert_eq!(r.eval(10.0), 1.0);
+        assert_eq!(r.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let r = ramp();
+        let c = Pwl::constant(0.5);
+        let s = &r + &c;
+        assert!((s.eval(5.0) - 1.0).abs() < 1e-12);
+        let d = &r - &c;
+        assert!((d.eval(0.0) + 0.5).abs() < 1e-12);
+        assert!((d.eval(10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pointwise_max_inserts_crossing() {
+        let up = ramp();
+        let down = Pwl::new(vec![(0.0, 1.0), (10.0, 0.0)]).unwrap();
+        let m = up.pointwise_max(&down);
+        // Crossing at t=5 where both are 0.5.
+        assert!((m.eval(5.0) - 0.5).abs() < 1e-9);
+        assert!((m.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.eval(10.0) - 1.0).abs() < 1e-12);
+        // Strictly above min of both everywhere sampled.
+        for i in 0..=20 {
+            let t = i as f64 * 0.5;
+            assert!(m.eval(t) + 1e-9 >= up.eval(t).max(down.eval(t)));
+        }
+    }
+
+    #[test]
+    fn clamp_min_floors_curve() {
+        let dip = Pwl::new(vec![(0.0, 1.0), (5.0, -1.0), (10.0, 1.0)]).unwrap();
+        let c = dip.clamped_min(0.0);
+        assert_eq!(c.eval(5.0), 0.0);
+        assert!((c.eval(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_crossing_simple_ramp() {
+        let r = ramp();
+        assert!((r.last_time_at_or_below(0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_crossing_with_dip_takes_latest() {
+        // Rise, dip below, rise again: the *last* 0.5-crossing matters.
+        let w = Pwl::new(vec![(0.0, 0.0), (2.0, 0.8), (4.0, 0.2), (8.0, 1.0)]).unwrap();
+        let t = w.last_time_at_or_below(0.5);
+        // Segment (4,0.2)->(8,1.0): 0.5 at t = 4 + 0.3/0.8*4 = 5.5.
+        assert!((t - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_crossing_degenerate_cases() {
+        let below = Pwl::constant(0.2);
+        assert_eq!(below.last_time_at_or_below(0.5), f64::INFINITY);
+        let above = Pwl::constant(0.9);
+        assert_eq!(above.last_time_at_or_below(0.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn last_above_mirrors_last_below() {
+        let fall = Pwl::new(vec![(0.0, 1.0), (10.0, 0.0)]).unwrap();
+        assert!((fall.last_time_at_or_above(0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ge_over_detects_encapsulation() {
+        let big = Pwl::new(vec![(0.0, 0.0), (5.0, 1.0), (10.0, 0.0)]).unwrap();
+        let small = Pwl::new(vec![(2.0, 0.0), (5.0, 0.5), (8.0, 0.0)]).unwrap();
+        let iv = TimeInterval::new(0.0, 10.0);
+        assert!(big.ge_over(&small, iv, EPS));
+        assert!(!small.ge_over(&big, iv, EPS));
+        // Every curve encapsulates itself under tolerance.
+        assert!(big.ge_over(&big, iv, EPS));
+    }
+
+    #[test]
+    fn ge_over_respects_interval_clipping() {
+        let a = Pwl::new(vec![(0.0, 0.0), (10.0, 1.0)]).unwrap();
+        let b = Pwl::new(vec![(0.0, 1.0), (10.0, 0.0)]).unwrap();
+        // Over [6, 10] the rising curve is above the falling one.
+        assert!(a.ge_over(&b, TimeInterval::new(6.0, 10.0), EPS));
+        assert!(!a.ge_over(&b, TimeInterval::new(0.0, 10.0), EPS));
+    }
+
+    #[test]
+    fn shift_and_scale() {
+        let r = ramp();
+        let s = r.shifted(5.0);
+        assert!((s.eval(10.0) - 0.5).abs() < 1e-12);
+        let k = r.scaled(2.0);
+        assert!((k.eval(10.0) - 2.0).abs() < 1e-12);
+        assert_eq!(r.negated().eval(10.0), -1.0);
+    }
+
+    #[test]
+    fn max_over_interval() {
+        let tri = Pwl::new(vec![(0.0, 0.0), (5.0, 1.0), (10.0, 0.0)]).unwrap();
+        assert!((tri.max_over(TimeInterval::new(0.0, 10.0)) - 1.0).abs() < 1e-12);
+        assert!((tri.max_over(TimeInterval::new(6.0, 10.0)) - tri.eval(6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", ramp()).is_empty());
+    }
+
+    #[test]
+    fn simplified_removes_collinear_points() {
+        let p = Pwl::new(vec![(0.0, 0.0), (1.0, 0.1), (2.0, 0.2), (3.0, 0.3), (10.0, 1.0)])
+            .unwrap();
+        let s = p.simplified(1e-9);
+        assert!(s.points().len() < p.points().len());
+        for i in 0..=40 {
+            let t = i as f64 * 0.25;
+            assert!((s.eval(t) - p.eval(t)).abs() < 1e-9, "mismatch at {t}");
+        }
+    }
+
+    #[test]
+    fn simplified_preserves_corners() {
+        let tri = Pwl::new(vec![(0.0, 0.0), (5.0, 1.0), (10.0, 0.0)]).unwrap();
+        let s = tri.simplified(1e-9);
+        assert_eq!(s.points().len(), 3);
+        assert_eq!(s, tri);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the waveform algebra.
+//!
+//! These pin down the invariants the top-k algorithm's correctness rests
+//! on, most importantly the waveform-level form of the paper's Theorem 1.
+
+use dna_waveform::{superposition, Edge, Envelope, NoisePulse, Pwl, TimeInterval, Transition, EPS};
+use proptest::prelude::*;
+
+/// Strategy for a small, well-formed noise pulse.
+fn pulse_strategy() -> impl Strategy<Value = NoisePulse> {
+    (-50.0..50.0f64, 0.01..0.9f64, 0.5..30.0f64, 0.0..1.0f64).prop_map(
+        |(start, peak, width, skew)| {
+            let peak_time = start + skew * width;
+            NoisePulse::new(start, peak_time, peak, start + width)
+        },
+    )
+}
+
+/// Strategy for a timing window anchored near the victim transition.
+fn window_strategy() -> impl Strategy<Value = (f64, f64)> {
+    (-40.0..40.0f64, 0.0..40.0f64).prop_map(|(eat, w)| (eat, eat + w))
+}
+
+fn victim_strategy() -> impl Strategy<Value = Transition> {
+    (-10.0..10.0f64, 1.0..25.0f64, prop::bool::ANY).prop_map(|(start, slew, rising)| {
+        Transition::new(start, slew, if rising { Edge::Rising } else { Edge::Falling })
+    })
+}
+
+proptest! {
+    /// Pwl evaluation is exact at breakpoints.
+    #[test]
+    fn pwl_eval_hits_breakpoints(ts in prop::collection::vec(-100.0..100.0f64, 1..10),
+                                 vs in prop::collection::vec(-2.0..2.0f64, 10)) {
+        let mut times = ts.clone();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.dedup_by(|a, b| (*a - *b).abs() <= 1e-6);
+        let pts: Vec<(f64, f64)> = times.iter().zip(vs.iter()).map(|(&t, &v)| (t, v)).collect();
+        prop_assume!(!pts.is_empty());
+        let pwl = Pwl::new(pts.clone()).unwrap();
+        for (t, v) in pts {
+            prop_assert!((pwl.eval(t) - v).abs() < 1e-9);
+        }
+    }
+
+    /// Sum of envelopes equals pointwise addition at arbitrary samples.
+    #[test]
+    fn envelope_sum_is_pointwise(p1 in pulse_strategy(), p2 in pulse_strategy(),
+                                 (e1, l1) in window_strategy(), (e2, l2) in window_strategy(),
+                                 sample in -100.0..150.0f64) {
+        let a = Envelope::from_window(&p1, e1, l1);
+        let b = Envelope::from_window(&p2, e2, l2);
+        let s = a.sum(&b);
+        prop_assert!((s.eval(sample) - (a.eval(sample) + b.eval(sample))).abs() < 1e-9);
+    }
+
+    /// Envelope sum is commutative.
+    #[test]
+    fn envelope_sum_commutes(p1 in pulse_strategy(), p2 in pulse_strategy(),
+                             (e1, l1) in window_strategy(), (e2, l2) in window_strategy(),
+                             sample in -100.0..150.0f64) {
+        let a = Envelope::from_window(&p1, e1, l1);
+        let b = Envelope::from_window(&p2, e2, l2);
+        prop_assert!((a.sum(&b).eval(sample) - b.sum(&a).eval(sample)).abs() < 1e-9);
+    }
+
+    /// A window envelope encapsulates the same pulse's envelope over any
+    /// sub-window (monotonicity of the trapezoid in the window).
+    #[test]
+    fn wider_window_encapsulates(p in pulse_strategy(), (eat, lat) in window_strategy(),
+                                 shrink_lo in 0.0..1.0f64, shrink_hi in 0.0..1.0f64) {
+        let mid = 0.5 * (eat + lat);
+        let sub_eat = eat + shrink_lo * (mid - eat);
+        let sub_lat = lat - shrink_hi * (lat - mid);
+        let wide = Envelope::from_window(&p, eat, lat);
+        let narrow = Envelope::from_window(&p, sub_eat, sub_lat);
+        let iv = TimeInterval::new(eat + p.start() - 5.0, lat + p.end() + 5.0);
+        prop_assert!(wide.encapsulates(&narrow, iv));
+    }
+
+    /// Delay noise is always non-negative and finite.
+    #[test]
+    fn delay_noise_nonnegative(v in victim_strategy(), p in pulse_strategy(),
+                               (eat, lat) in window_strategy()) {
+        let env = Envelope::from_window(&p, eat, lat);
+        let d = superposition::delay_noise(&v, &env);
+        prop_assert!(d.is_finite());
+        prop_assert!(d >= 0.0);
+    }
+
+    /// Theorem 1 (waveform level): if P encapsulates Q over a wide interval
+    /// then adding any envelope A preserves the delay-noise ordering.
+    #[test]
+    fn theorem_1_holds(v in victim_strategy(),
+                       p in pulse_strategy(), (pe, pl) in window_strategy(),
+                       q_scale in 0.0..1.0f64, q_shrink in 0.0..1.0f64,
+                       a in pulse_strategy(), (ae, al) in window_strategy()) {
+        // Construct Q as a scaled-down, narrower version of P so that
+        // encapsulation holds by construction.
+        let p_env = Envelope::from_window(&p, pe, pl);
+        let mid = 0.5 * (pe + pl);
+        let q_env = Envelope::from_window(
+            &p.scaled(q_scale),
+            pe + q_shrink * (mid - pe),
+            pl - q_shrink * (pl - mid),
+        );
+        let iv = TimeInterval::new(-200.0, 300.0);
+        prop_assert!(p_env.encapsulates(&q_env, iv));
+
+        let a_env = Envelope::from_window(&a, ae, al);
+        let dp = superposition::delay_noise(&v, &p_env.sum(&a_env));
+        let dq = superposition::delay_noise(&v, &q_env.sum(&a_env));
+        prop_assert!(dp + 1e-6 >= dq, "Theorem 1 violated: {} < {}", dp, dq);
+    }
+
+    /// Encapsulation is transitive (the dominance relation is a partial
+    /// order, §3.2).
+    #[test]
+    fn encapsulation_transitive(p in pulse_strategy(), (eat, lat) in window_strategy(),
+                                s1 in 0.0..1.0f64, s2 in 0.0..1.0f64) {
+        let a = Envelope::from_window(&p, eat, lat);
+        let b = a.scaled(s1);
+        let c = b.scaled(s2);
+        let iv = TimeInterval::new(-200.0, 300.0);
+        prop_assert!(a.encapsulates(&b, iv));
+        prop_assert!(b.encapsulates(&c, iv));
+        prop_assert!(a.encapsulates(&c, iv));
+    }
+
+    /// noisy_t50 never precedes the noiseless t50.
+    #[test]
+    fn noisy_t50_never_early(v in victim_strategy(), p in pulse_strategy(),
+                             (eat, lat) in window_strategy()) {
+        let env = Envelope::from_window(&p, eat, lat);
+        prop_assert!(superposition::noisy_t50(&v, &env) + EPS >= v.t50());
+    }
+
+    /// saturating_sub is the pointwise max(a - b, 0).
+    #[test]
+    fn saturating_sub_pointwise(p1 in pulse_strategy(), p2 in pulse_strategy(),
+                                (e1, l1) in window_strategy(), (e2, l2) in window_strategy(),
+                                sample in -100.0..150.0f64) {
+        let a = Envelope::from_window(&p1, e1, l1);
+        let b = Envelope::from_window(&p2, e2, l2);
+        let d = a.saturating_sub(&b);
+        let expect = (a.eval(sample) - b.eval(sample)).max(0.0);
+        prop_assert!((d.eval(sample) - expect).abs() < 1e-9);
+    }
+
+    /// Pointwise max upper-bounds both operands everywhere.
+    #[test]
+    fn pointwise_max_bounds(p1 in pulse_strategy(), p2 in pulse_strategy(),
+                            sample in -100.0..150.0f64) {
+        let a = p1.to_pwl();
+        let b = p2.to_pwl();
+        let m = a.pointwise_max(&b);
+        prop_assert!(m.eval(sample) + 1e-9 >= a.eval(sample));
+        prop_assert!(m.eval(sample) + 1e-9 >= b.eval(sample));
+        prop_assert!(m.eval(sample) <= a.eval(sample).max(b.eval(sample)) + 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Design-closure workflow: spend a limited fixing budget where it
+//! matters most.
+//!
+//! The paper's introduction motivates the elimination set with exactly
+//! this scenario: "if a designer can eliminate only 10 coupling
+//! situations (e.g., through shielding or spacing), then the top-10
+//! aggressor elimination set exactly points to the set … which must be
+//! fixed to obtain the maximum reduction in delay noise."
+//!
+//! This example walks an i2-class design through three fix rounds and
+//! compares against the naive strategy the paper criticizes (keep only
+//! the largest coupling caps).
+//!
+//! Run with: `cargo run --release --example design_closure`
+
+use topk_aggressors::netlist::suite;
+use topk_aggressors::noise::{CouplingMask, NoiseAnalysis, NoiseConfig};
+use topk_aggressors::topk::{naive, TopKAnalysis, TopKConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = suite::benchmark("i2", 42)?;
+    println!("design: {}", circuit.stats());
+
+    let noise = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+    let noisy = noise.run()?;
+    let quiet = noise.run_with_mask(&CouplingMask::none(&circuit))?;
+    println!(
+        "delay: {:.3} ns noisy, {:.3} ns noiseless ({:.0} ps of crosstalk)\n",
+        noisy.circuit_delay() / 1000.0,
+        quiet.circuit_delay() / 1000.0,
+        noisy.circuit_delay() - quiet.circuit_delay()
+    );
+
+    // --- Fix rounds: budget of 5 couplings per round. -------------------
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    println!("fix rounds (budget 5 couplings per round, peeled elimination):");
+    let mut fixed = CouplingMask::all(&circuit);
+    let mut current = noisy.circuit_delay();
+    for round in 1..=3 {
+        let result = engine.elimination_set_peeled(round * 5, 5)?;
+        let chosen: Vec<_> = result
+            .couplings()
+            .iter()
+            .filter(|&&cc| fixed.is_enabled(cc))
+            .copied()
+            .collect();
+        fixed = fixed.without(&chosen);
+        let after = noise.run_with_mask(&fixed)?.circuit_delay();
+        println!(
+            "  round {round}: fixed {:2} couplings, delay {:.3} -> {:.3} ns",
+            chosen.len(),
+            current / 1000.0,
+            after / 1000.0
+        );
+        current = after;
+    }
+
+    // --- The naive alternative the paper argues against. ----------------
+    // Keep, per victim, only its 2 largest coupling caps — everything else
+    // is "fixed". How many fixes does that cost, and what does it buy?
+    let naive_mask = naive::heuristic_mask(&circuit, 2);
+    let naive_fixes = circuit.num_couplings() - naive_mask.enabled_count();
+    let naive_delay = noise.run_with_mask(&naive_mask)?.circuit_delay();
+    println!(
+        "\nnaive per-victim top-2-by-cap: {} fixes for {:.3} ns",
+        naive_fixes,
+        naive_delay / 1000.0
+    );
+    println!(
+        "targeted top-k: {} fixes for {:.3} ns — {}",
+        circuit.num_couplings() - fixed.enabled_count(),
+        current / 1000.0,
+        if current <= naive_delay {
+            "same or better delay at a fraction of the effort"
+        } else {
+            "the naive mask fixed far more couplings for its delay"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a tiny coupled design by hand, run noise analysis
+//! and ask for its top-k aggressor sets.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use topk_aggressors::netlist::{format, CellKind, CircuitBuilder, Library};
+use topk_aggressors::noise::{NoiseAnalysis, NoiseConfig};
+use topk_aggressors::sta::{critical_path, LinearDelayModel, StaConfig, TimingReport};
+use topk_aggressors::topk::{TopKAnalysis, TopKConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Build a circuit: two logic paths with three coupling caps. --
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let a = b.input("a");
+    let sel = b.input("sel");
+    let x = b.input("x");
+
+    // Victim path: a -> v1 -> v2 -> out (the timing-critical chain).
+    let v1 = b.gate(CellKind::Buf, "v1", &[a])?;
+    let v2 = b.gate(CellKind::Nand2, "v2", &[v1, sel])?;
+    let out = b.gate(CellKind::Inv, "out", &[v2])?;
+    b.output(out);
+
+    // Aggressor path: x -> g1 -> g2.
+    let g1 = b.gate(CellKind::Buf, "g1", &[x])?;
+    let g2 = b.gate(CellKind::Inv, "g2", &[g1])?;
+    b.output(g2);
+
+    // Parasitic couplings from layout proximity.
+    b.coupling(v2, g1, 9.0)?; // strong, right on the critical net
+    b.coupling(v1, g2, 4.0)?;
+    b.coupling(out, g2, 2.5)?;
+    let circuit = b.build()?;
+    println!("circuit: {}", circuit.stats());
+
+    // --- 2. Classic STA: windows and the critical path. ---------------
+    let timing = TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())?;
+    println!("noiseless circuit delay: {:.1} ps", timing.circuit_delay());
+    let path = critical_path(&circuit, &timing);
+    let names: Vec<&str> = path.nets().iter().map(|&n| circuit.net(n).name()).collect();
+    println!("critical path: {}", names.join(" -> "));
+
+    // --- 3. Iterative crosstalk noise analysis. ------------------------
+    let noise = NoiseAnalysis::new(&circuit, NoiseConfig::default()).run()?;
+    println!(
+        "with crosstalk: {:.1} ps (+{:.1} ps, {} iterations to converge)",
+        noise.circuit_delay(),
+        noise.total_delay_noise(),
+        noise.iterations()
+    );
+
+    // --- 4. Top-k aggressor sets. --------------------------------------
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+
+    let add = engine.addition_set(2)?;
+    println!(
+        "top-2 addition set: {} pushes the quiet delay {:.1} -> {:.1} ps",
+        add.set(),
+        add.delay_without(),
+        add.delay_with()
+    );
+
+    let del = engine.elimination_set(2)?;
+    println!(
+        "top-2 elimination set: fixing {} recovers {:.1} -> {:.1} ps",
+        del.set(),
+        del.delay_before(),
+        del.delay_after()
+    );
+
+    // --- 5. Save the design in the text format. ------------------------
+    let text = format::write(&circuit);
+    let reloaded = format::parse(&text)?;
+    assert_eq!(reloaded.num_couplings(), circuit.num_couplings());
+    println!("netlist round-trips through the .ckt text format ({} bytes)", text.len());
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # topk-aggressors
+//!
+//! A from-scratch Rust reproduction of *"Top-k Aggressors Sets in Delay
+//! Noise Analysis"* (Gandikota, Chopra, Blaauw, Sylvester, Becer — DAC
+//! 2007): crosstalk delay-noise analysis with an implicit-enumeration
+//! algorithm that identifies the `k` aggressor–victim couplings whose
+//! addition (or elimination) changes the circuit delay the most.
+//!
+//! This umbrella crate re-exports the workspace's layered public API:
+//!
+//! * [`waveform`] — piecewise-linear waveform algebra: transitions, noise
+//!   pulses, trapezoidal noise envelopes, superposition.
+//! * [`netlist`] — gate-level circuits with RC parasitics and coupling
+//!   capacitors, plus the synthetic i1–i10 benchmark suite.
+//! * [`sta`] — static timing analysis: timing windows, arrival times,
+//!   critical paths.
+//! * [`noise`] — linear static noise analysis: envelope construction, the
+//!   iterative timing-window/delay-noise fixpoint, false-aggressor
+//!   filtering.
+//! * [`topk`] — the paper's contribution: top-k aggressor **addition** and
+//!   **elimination** sets via pseudo aggressors and dominance-pruned
+//!   irredundant lists, plus the brute-force and naive baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use topk_aggressors::netlist::suite;
+//! use topk_aggressors::topk::{TopKAnalysis, TopKConfig};
+//!
+//! // Generate the smallest synthetic benchmark (59 gates) and find the
+//! // three couplings that, added to a noiseless analysis, hurt the most.
+//! let circuit = suite::benchmark("i1", 42)?;
+//! let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+//! let result = engine.addition_set(3)?;
+//! assert_eq!(result.couplings().len(), 3);
+//! assert!(result.delay_with() >= result.delay_without());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dna_netlist as netlist;
+pub use dna_noise as noise;
+pub use dna_sta as sta;
+pub use dna_topk as topk;
+pub use dna_waveform as waveform;

@@ -1,0 +1,153 @@
+//! End-to-end integration: generated benchmark circuits through the full
+//! pipeline — STA, iterative noise analysis, top-k addition and
+//! elimination — checking the cross-crate invariants the paper's
+//! evaluation relies on.
+
+use topk_aggressors::netlist::{suite, Circuit};
+use topk_aggressors::noise::{CouplingMask, NoiseAnalysis, NoiseConfig};
+use topk_aggressors::sta::{critical_path, LinearDelayModel, StaConfig, TimingReport};
+use topk_aggressors::topk::{TopKAnalysis, TopKConfig};
+
+fn i1() -> Circuit {
+    suite::benchmark("i1", 7).expect("known benchmark")
+}
+
+#[test]
+fn noise_brackets_hold_on_benchmark() {
+    let circuit = i1();
+    let noise = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+    let noisy = noise.run().expect("analysis succeeds");
+    let quiet = noise
+        .run_with_mask(&CouplingMask::none(&circuit))
+        .expect("analysis succeeds");
+    assert!(noisy.converged());
+    assert!(
+        noisy.circuit_delay() > quiet.circuit_delay(),
+        "232 couplings must produce measurable delay noise"
+    );
+    // The noiseless run agrees with plain STA.
+    let sta = TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())
+        .expect("sta succeeds");
+    assert!((quiet.circuit_delay() - sta.circuit_delay()).abs() < 1e-9);
+}
+
+#[test]
+fn addition_delays_rise_with_k_between_bounds() {
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let noise = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+    let all_agg = noise.run().expect("analysis succeeds").circuit_delay();
+    let no_agg = noise
+        .run_with_mask(&CouplingMask::none(&circuit))
+        .expect("analysis succeeds")
+        .circuit_delay();
+
+    let mut prev = no_agg;
+    for k in [1usize, 3, 6, 10] {
+        let r = engine.addition_set(k).expect("analysis succeeds");
+        assert_eq!(r.couplings().len(), k);
+        assert!(
+            r.delay_after() >= no_agg - 1e-9 && r.delay_after() <= all_agg + 1e-9,
+            "k={k}: delay {} outside [{no_agg}, {all_agg}]",
+            r.delay_after()
+        );
+        // Monotone within measurement tolerance: a larger budget can
+        // always include the smaller set.
+        assert!(
+            r.delay_after() >= prev - 1.0,
+            "k={k}: delay {} fell below previous {prev}",
+            r.delay_after()
+        );
+        prev = r.delay_after();
+    }
+}
+
+#[test]
+fn elimination_delays_fall_with_k_between_bounds() {
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let noise = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+    let all_agg = noise.run().expect("analysis succeeds").circuit_delay();
+    let no_agg = noise
+        .run_with_mask(&CouplingMask::none(&circuit))
+        .expect("analysis succeeds")
+        .circuit_delay();
+
+    let mut prev = all_agg;
+    for k in [1usize, 3, 6, 10] {
+        let r = engine.elimination_set(k).expect("analysis succeeds");
+        assert!(r.couplings().len() <= k);
+        assert!(
+            r.delay_after() >= no_agg - 1e-9 && r.delay_after() <= all_agg + 1e-9,
+            "k={k}: delay {} outside [{no_agg}, {all_agg}]",
+            r.delay_after()
+        );
+        assert!(
+            r.delay_after() <= prev + 1.0,
+            "k={k}: delay {} rose above previous {prev}",
+            r.delay_after()
+        );
+        prev = r.delay_after();
+    }
+}
+
+#[test]
+fn chosen_sets_are_verifiable_by_independent_analysis() {
+    // The TopKResult's delay_after must be reproducible by running the
+    // noise analysis directly with the corresponding mask.
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let noise = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+
+    let add = engine.addition_set(4).expect("analysis succeeds");
+    let mask = CouplingMask::none(&circuit).with(add.couplings());
+    let measured = noise.run_with_mask(&mask).expect("analysis succeeds").circuit_delay();
+    assert!((measured - add.delay_after()).abs() < 1e-9);
+
+    let del = engine.elimination_set(4).expect("analysis succeeds");
+    let mask = CouplingMask::all(&circuit).without(del.couplings());
+    let measured = noise.run_with_mask(&mask).expect("analysis succeeds").circuit_delay();
+    assert!((measured - del.delay_after()).abs() < 1e-9);
+}
+
+#[test]
+fn peeled_elimination_never_worse_than_one_pass_here() {
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    for k in [2usize, 5] {
+        let one = engine.elimination_set(k).expect("analysis succeeds");
+        let peeled = engine.elimination_set_peeled(k, 1).expect("analysis succeeds");
+        assert!(
+            peeled.delay_after() <= one.delay_after() + 1.0,
+            "k={k}: peeled {} worse than one-pass {}",
+            peeled.delay_after(),
+            one.delay_after()
+        );
+    }
+}
+
+#[test]
+fn noisy_critical_path_exists_and_ends_at_critical_output() {
+    let circuit = i1();
+    let noise = NoiseAnalysis::new(&circuit, NoiseConfig::default());
+    let report = noise.run().expect("analysis succeeds");
+    let path = critical_path(&circuit, report.noisy_timing());
+    assert_eq!(path.arrival(), report.circuit_delay());
+    assert!(circuit.net(path.endpoint()).is_output());
+    assert!(circuit.net(path.nets()[0]).is_input());
+}
+
+#[test]
+fn different_seeds_give_different_but_valid_circuits() {
+    let a = suite::benchmark("i1", 1).expect("known benchmark");
+    let b = suite::benchmark("i1", 2).expect("known benchmark");
+    assert_ne!(a, b);
+    for c in [&a, &b] {
+        assert_eq!(c.num_gates(), 59);
+        assert_eq!(c.num_couplings(), 232);
+        let noisy = NoiseAnalysis::new(c, NoiseConfig::default())
+            .run()
+            .expect("analysis succeeds");
+        assert!(noisy.circuit_delay() > 0.0);
+    }
+}
