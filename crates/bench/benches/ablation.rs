@@ -52,8 +52,7 @@ fn beam_width_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for beam in [4usize, 12, 24, 48] {
         group.bench_with_input(BenchmarkId::from_parameter(beam), &beam, |b, &beam| {
-            let config =
-                TopKConfig { max_list_width: Some(beam), ..TopKConfig::default() };
+            let config = TopKConfig { max_list_width: Some(beam), ..TopKConfig::default() };
             let engine = TopKAnalysis::new(&circuit, config);
             b.iter(|| engine.addition_set(K).unwrap());
         });

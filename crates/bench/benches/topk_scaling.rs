@@ -4,8 +4,8 @@
 //! brute force explodes combinatorially.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dna_topk::{brute_force, BruteForceConfig, Mode, TopKAnalysis, TopKConfig};
 use dna_netlist::suite;
+use dna_topk::{brute_force, BruteForceConfig, Mode, TopKAnalysis, TopKConfig};
 use std::time::Duration;
 
 fn proposed_vs_k(c: &mut Criterion) {
@@ -53,10 +53,8 @@ fn brute_force_vs_k(c: &mut Criterion) {
         &dna_netlist::generator::GeneratorConfig::new(12, 10).with_seed(0),
     )
     .unwrap();
-    let cfg = BruteForceConfig {
-        time_budget: Duration::from_secs(600),
-        ..BruteForceConfig::default()
-    };
+    let cfg =
+        BruteForceConfig { time_budget: Duration::from_secs(600), ..BruteForceConfig::default() };
     let mut group = c.benchmark_group("brute_force_vs_k/tiny");
     group.sample_size(10);
     for k in [1usize, 2, 3] {
@@ -67,11 +65,5 @@ fn brute_force_vs_k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    proposed_vs_k,
-    proposed_vs_size,
-    elimination_vs_k,
-    brute_force_vs_k
-);
+criterion_group!(benches, proposed_vs_k, proposed_vs_size, elimination_vs_k, brute_force_vs_k);
 criterion_main!(benches);

@@ -65,8 +65,11 @@ fn main() {
             .expect("noise analysis succeeds")
             .circuit_delay();
 
-        println!("# circuit {name}: noiseless {:.6} ns, all-aggressors {:.6} ns",
-            no_agg / 1000.0, all_agg / 1000.0);
+        println!(
+            "# circuit {name}: noiseless {:.6} ns, all-aggressors {:.6} ns",
+            no_agg / 1000.0,
+            all_agg / 1000.0
+        );
         println!("circuit,k,addition_ns,elimination_ns");
         for k in (1..=args.kmax).step_by(stride) {
             let add = engine.addition_set(k).expect("analysis succeeds");

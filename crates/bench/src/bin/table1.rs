@@ -52,12 +52,11 @@ fn main() {
     for k in 1..=args.kmax {
         let proposed = engine.elimination_set(k).expect("analysis succeeds");
         let peeled = engine.elimination_set_peeled(k, 1).expect("analysis succeeds");
-        let brute = brute_force(&circuit, &brute_cfg, Mode::Elimination, k)
-            .expect("analysis succeeds");
+        let brute =
+            brute_force(&circuit, &brute_cfg, Mode::Elimination, k).expect("analysis succeeds");
         let (bd, bt, consistent) = match &brute {
             BruteForceOutcome::Completed { delay, elapsed, .. } => {
-                let best =
-                    proposed.delay_after().min(peeled.delay_after());
+                let best = proposed.delay_after().min(peeled.delay_after());
                 (
                     ns(*delay),
                     secs(*elapsed),

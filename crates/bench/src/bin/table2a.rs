@@ -16,21 +16,14 @@ use dna_noise::{CouplingMask, NoiseAnalysis};
 use dna_topk::{TopKAnalysis, TopKConfig};
 
 fn main() {
-    let args = HarnessArgs::parse(
-        &["i1", "i2", "i3", "i4", "i5", "i6", "i7", "i8", "i9", "i10"],
-        50,
-    );
+    let args =
+        HarnessArgs::parse(&["i1", "i2", "i3", "i4", "i5", "i6", "i7", "i8", "i9", "i10"], 50);
     let ks: Vec<usize> =
         [5usize, 10, 20, 30, 40, 50].into_iter().filter(|&k| k <= args.kmax).collect();
 
     println!("Table 2(a) — top-k aggressors addition set (seed {})\n", args.seed);
-    let mut header: Vec<String> = vec![
-        "ckt".into(),
-        "gates".into(),
-        "nets".into(),
-        "ccs".into(),
-        "all agg".into(),
-    ];
+    let mut header: Vec<String> =
+        vec!["ckt".into(), "gates".into(), "nets".into(), "ccs".into(), "all agg".into()];
     header.extend(ks.iter().map(|k| format!("k={k}")));
     header.push("no agg".into());
     header.extend(ks.iter().map(|k| format!("t{k} (s)")));
@@ -69,7 +62,5 @@ fn main() {
         table.row(row);
     }
     println!("{}", table.render());
-    println!(
-        "delays in ns; expected shape: no agg <= k-columns (rising with k) <= all agg"
-    );
+    println!("delays in ns; expected shape: no agg <= k-columns (rising with k) <= all agg");
 }

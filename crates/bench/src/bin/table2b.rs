@@ -20,8 +20,7 @@ use dna_topk::{TopKAnalysis, TopKConfig};
 fn main() {
     // `--peeled` is specific to this binary; strip it before shared parsing.
     let peeled = std::env::args().any(|a| a == "--peeled");
-    let filtered: Vec<String> =
-        std::env::args().filter(|a| a != "--peeled").collect();
+    let filtered: Vec<String> = std::env::args().filter(|a| a != "--peeled").collect();
     // Re-inject filtered args for HarnessArgs::parse via a sub-process-free
     // trick: HarnessArgs reads std::env::args, so emulate by temporary
     // variable. Simplest: parse the shared flags ourselves.

@@ -62,11 +62,7 @@ impl HarnessArgs {
     ///
     /// Panics with a usage message on malformed arguments.
     #[must_use]
-    pub fn parse_from(
-        args: &[String],
-        default_circuits: &[&str],
-        default_kmax: usize,
-    ) -> Self {
+    pub fn parse_from(args: &[String], default_circuits: &[&str], default_kmax: usize) -> Self {
         let mut out = Self {
             circuits: default_circuits.iter().map(|s| (*s).to_owned()).collect(),
             kmax: default_kmax,
@@ -83,17 +79,13 @@ impl HarnessArgs {
                 }
                 "--kmax" => {
                     i += 1;
-                    out.kmax = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--kmax needs an integer");
+                    out.kmax =
+                        args.get(i).and_then(|s| s.parse().ok()).expect("--kmax needs an integer");
                 }
                 "--seed" => {
                     i += 1;
-                    out.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed needs an integer");
+                    out.seed =
+                        args.get(i).and_then(|s| s.parse().ok()).expect("--seed needs an integer");
                 }
                 "--quick" => {
                     out.quick = true;
@@ -222,8 +214,7 @@ mod tests {
 
     #[test]
     fn load_circuits_resolves_names() {
-        let args =
-            HarnessArgs { circuits: vec!["i1".into()], kmax: 5, seed: 1, quick: false };
+        let args = HarnessArgs { circuits: vec!["i1".into()], kmax: 5, seed: 1, quick: false };
         let loaded = args.load_circuits().unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].1.num_gates(), 59);

@@ -2,10 +2,12 @@
 
 use std::fs;
 
+use dna_lint::{lint_circuit, lint_config, lint_result, lint_timing, Diagnostics};
 use dna_netlist::generator::{generate, GeneratorConfig};
 use dna_netlist::{format, suite, Circuit};
 use dna_noise::{glitch, CouplingMask, NoiseAnalysis, NoiseConfig};
 use dna_sta::{critical_path, top_k_paths, LinearDelayModel, StaConfig, TimingReport};
+use dna_topk::CouplingSet;
 use dna_topk::{Mode, TopKAnalysis, TopKConfig};
 
 use crate::opts::Opts;
@@ -19,6 +21,7 @@ commands:
   topk      <file.ckt> --mode add|del -k N [--peel]
   paths     <file.ckt> [-k N]             top-k critical paths
   glitch    <file.ckt> [--margin 0.4]     functional noise check
+  lint      <file.ckt> [--json] [--deep]  verify IR and analysis invariants
   help                                    this message";
 
 /// Routes the parsed command line to a subcommand.
@@ -35,6 +38,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("topk") => cmd_topk(&opts),
         Some("paths") => cmd_paths(&opts),
         Some("glitch") => cmd_glitch(&opts),
+        Some("lint") => cmd_lint(&opts),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -44,9 +48,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn load_circuit(opts: &Opts) -> Result<Circuit, String> {
-    let path = opts
-        .positional(1)
-        .ok_or_else(|| "expected a .ckt file argument".to_owned())?;
+    let path = opts.positional(1).ok_or_else(|| "expected a .ckt file argument".to_owned())?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     format::parse(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
 }
@@ -76,9 +78,7 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     let circuit = load_circuit(opts)?;
     let engine = NoiseAnalysis::new(&circuit, NoiseConfig::default());
     let report = engine.run().map_err(|e| e.to_string())?;
-    let quiet = engine
-        .run_with_mask(&CouplingMask::none(&circuit))
-        .map_err(|e| e.to_string())?;
+    let quiet = engine.run_with_mask(&CouplingMask::none(&circuit)).map_err(|e| e.to_string())?;
 
     println!("design: {}", circuit.stats());
     println!(
@@ -90,19 +90,19 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         if report.converged() { "" } else { ", NOT converged" },
     );
 
-    let mut victims: Vec<_> = circuit
-        .net_ids()
-        .map(|n| (n, report.delay_noise(n)))
-        .filter(|&(_, d)| d > 0.0)
-        .collect();
+    let mut victims: Vec<_> =
+        circuit.net_ids().map(|n| (n, report.delay_noise(n))).filter(|&(_, d)| d > 0.0).collect();
     victims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite noise"));
     println!("worst victims:");
     for (net, dn) in victims.iter().take(10) {
         println!("  {:>12}  +{dn:7.1} ps", circuit.net(*net).name());
     }
     let path = critical_path(&circuit, report.noisy_timing());
-    println!("noisy critical path: {} nets ending at {}",
-        path.len(), circuit.net(path.endpoint()).name());
+    println!(
+        "noisy critical path: {} nets ending at {}",
+        path.len(),
+        circuit.net(path.endpoint()).name()
+    );
     Ok(())
 }
 
@@ -186,6 +186,43 @@ fn cmd_glitch(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(opts: &Opts) -> Result<(), String> {
+    let circuit = load_circuit(opts)?;
+
+    let mut diags = lint_circuit(&circuit);
+    diags.merge(lint_config(&TopKConfig::default()));
+
+    // The static timing windows every downstream analysis consumes.
+    match TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default()) {
+        Ok(timing) => diags.merge(lint_timing(&circuit, timing.timings())),
+        Err(e) => return Err(format!("cannot derive timing windows: {e}")),
+    }
+
+    // --deep additionally runs a small top-k analysis end to end and
+    // verifies the engine's answer.
+    if opts.has("deep") {
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let result = engine.addition_set(2).map_err(|e| e.to_string())?;
+        diags.merge(lint_result(&circuit, &result, &CouplingSet::new()));
+    }
+
+    diags.sort();
+    render_lint(&diags, opts.has("json"));
+    if diags.has_errors() {
+        Err(format!("lint failed with {} error(s)", diags.error_count()))
+    } else {
+        Ok(())
+    }
+}
+
+fn render_lint(diags: &Diagnostics, json: bool) {
+    if json {
+        println!("{}", diags.render_json());
+    } else {
+        println!("{}", diags.render_text());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,7 +250,15 @@ mod tests {
         let path_s = path.to_str().unwrap().to_owned();
 
         dispatch(&argv(&[
-            "generate", "--gates", "15", "--couplings", "12", "--seed", "3", "--o", &path_s,
+            "generate",
+            "--gates",
+            "15",
+            "--couplings",
+            "12",
+            "--seed",
+            "3",
+            "--o",
+            &path_s,
         ]))
         .unwrap();
         assert!(path.exists());
@@ -223,6 +268,29 @@ mod tests {
         dispatch(&argv(&["topk", &path_s, "--mode", "del", "--k", "2", "--peel"])).unwrap();
         dispatch(&argv(&["paths", &path_s, "--k", "3"])).unwrap();
         dispatch(&argv(&["glitch", &path_s])).unwrap();
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lint_passes_on_generated_circuit() {
+        let dir = std::env::temp_dir().join("dna_cli_test_lint");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckt");
+        let path_s = path.to_str().unwrap().to_owned();
+        dispatch(&argv(&[
+            "generate",
+            "--gates",
+            "20",
+            "--couplings",
+            "15",
+            "--seed",
+            "11",
+            "--o",
+            &path_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["lint", &path_s])).unwrap();
+        dispatch(&argv(&["lint", &path_s, "--json", "--deep"])).unwrap();
         fs::remove_file(&path).unwrap();
     }
 
@@ -238,8 +306,7 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.ckt");
         let path_s = path.to_str().unwrap().to_owned();
-        dispatch(&argv(&["generate", "--gates", "8", "--couplings", "4", "--o", &path_s]))
-            .unwrap();
+        dispatch(&argv(&["generate", "--gates", "8", "--couplings", "4", "--o", &path_s])).unwrap();
         let e = dispatch(&argv(&["topk", &path_s, "--mode", "sideways"])).unwrap_err();
         assert!(e.contains("unknown --mode"));
         fs::remove_file(&path).unwrap();

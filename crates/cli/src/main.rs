@@ -7,6 +7,7 @@
 //! dna topk design.ckt --mode del -k 10   # top-k aggressor elimination set
 //! dna paths design.ckt -k 5              # top-k critical paths
 //! dna glitch design.ckt --margin 0.4     # functional noise check
+//! dna lint design.ckt --json --deep      # verify IR and analysis invariants
 //! ```
 //!
 //! Circuits are read and written in the `.ckt` text format of

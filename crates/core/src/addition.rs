@@ -62,8 +62,7 @@ struct Atom {
 
 pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
     let circuit = p.circuit;
-    let breadth =
-        if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
+    let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
     let n = circuit.num_nets();
     // ilists[net][i] = irredundant list of cardinality i (index 0 = empty set).
     let mut ilists: Vec<Vec<Vec<Candidate>>> = vec![Vec::new(); n];
@@ -92,8 +91,7 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
         let mut pseudo_atoms: Vec<Atom> = Vec::new();
         if p.config.pseudo_aggressors {
             if let Some(arrivals) = p.fanin_base_arrivals(v) {
-                let max_base =
-                    arrivals.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
+                let max_base = arrivals.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
                 for &(u, arr_u) in &arrivals {
                     for c in 1..=k {
                         let Some(list) = ilists[u.index()].get(c) else { continue };
@@ -123,8 +121,7 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
                 // maximally-widened envelope clips to zero the primary can
                 // never matter here.
                 let cap = p.shift_bound[info.aggressor.index()];
-                let max_delta: f64 =
-                    wideners.iter().map(|&(_, dn)| dn).sum::<f64>().min(cap);
+                let max_delta: f64 = wideners.iter().map(|&(_, dn)| dn).sum::<f64>().min(cap);
                 if p.primary_envelope(v, info, max_delta).is_zero() {
                     continue;
                 }
@@ -148,10 +145,8 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
                 for &(cc, dn) in wideners.iter().take(WIDENER_POOL).skip(1) {
                     let set = CouplingSet::singleton(info.coupling).with(cc);
                     if set.len() == 2 {
-                        higher_atoms.push(Atom {
-                            set,
-                            envelope: p.primary_envelope(v, info, dn.min(cap)),
-                        });
+                        higher_atoms
+                            .push(Atom { set, envelope: p.primary_envelope(v, info, dn.min(cap)) });
                     }
                 }
             }
@@ -173,11 +168,7 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
                     if s.set().intersects(&atom.set) {
                         continue;
                     }
-                    push(
-                        s.set().union(&atom.set),
-                        s.envelope().sum(&atom.envelope),
-                        &mut cands,
-                    );
+                    push(s.set().union(&atom.set), s.envelope().sum(&atom.envelope), &mut cands);
                 }
             }
             // 2 & 3. Pseudo and higher-order atoms of cardinality <= i,
@@ -255,13 +246,16 @@ fn select_sink(
             let Some(list) = ilists[o.index()].get(card) else { continue };
             for cand in list {
                 let predicted = base_max.max(p.base.timing(o).lat() + cand.delay_noise());
-                options.push(SinkOption { set: cand.set().clone(), predicted_delay: predicted, sink: o });
+                options.push(SinkOption {
+                    set: cand.set().clone(),
+                    predicted_delay: predicted,
+                    sink: o,
+                });
             }
         }
     }
-    options.sort_by(|a, b| {
-        b.predicted_delay.partial_cmp(&a.predicted_delay).expect("finite delays")
-    });
+    options
+        .sort_by(|a, b| b.predicted_delay.partial_cmp(&a.predicted_delay).expect("finite delays"));
     let mut seen: Vec<&CouplingSet> = Vec::new();
     let mut deduped: Vec<SinkOption> = Vec::new();
     for opt in &options {

@@ -103,8 +103,7 @@ pub fn brute_force(
                 elapsed: start.elapsed(),
             });
         }
-        let ids: Vec<CouplingId> =
-            subset.iter().map(|&i| CouplingId::new(i as u32)).collect();
+        let ids: Vec<CouplingId> = subset.iter().map(|&i| CouplingId::new(i as u32)).collect();
         let mask = match mode {
             Mode::Addition => CouplingMask::none(circuit).with(&ids),
             Mode::Elimination => CouplingMask::all(circuit).without(&ids),
@@ -225,8 +224,7 @@ mod tests {
     fn elimination_reduces_delay() {
         let c = small_circuit();
         let noisy = NoiseAnalysis::new(&c, NoiseConfig::default()).run().unwrap();
-        let out =
-            brute_force(&c, &BruteForceConfig::default(), Mode::Elimination, 2).unwrap();
+        let out = brute_force(&c, &BruteForceConfig::default(), Mode::Elimination, 2).unwrap();
         let (set, delay) = out.completed().expect("tiny search completes");
         assert_eq!(set.len(), 2);
         assert!(delay <= noisy.circuit_delay() + 1e-9);
@@ -247,10 +245,8 @@ mod tests {
     #[test]
     fn zero_budget_times_out() {
         let c = small_circuit();
-        let cfg = BruteForceConfig {
-            time_budget: Duration::from_secs(0),
-            ..BruteForceConfig::default()
-        };
+        let cfg =
+            BruteForceConfig { time_budget: Duration::from_secs(0), ..BruteForceConfig::default() };
         // The first subset is evaluated before the budget check triggers,
         // so a timeout reports at least zero evaluations without panicking.
         let out = brute_force(&c, &cfg, Mode::Addition, 2).unwrap();

@@ -30,6 +30,15 @@ impl Candidate {
         Self { set, envelope, delay_noise }
     }
 
+    /// Creates a candidate without validating the cached delay noise.
+    ///
+    /// Intended only for IR-level tooling — the `dna-lint` verifier's
+    /// known-bad test corpus needs candidates [`new`](Self::new) rejects.
+    #[must_use]
+    pub fn from_raw_unchecked(set: CouplingSet, envelope: Envelope, delay_noise: f64) -> Self {
+        Self { set, envelope, delay_noise }
+    }
+
     /// The couplings in the set.
     #[must_use]
     pub fn set(&self) -> &CouplingSet {

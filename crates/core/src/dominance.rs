@@ -47,8 +47,7 @@ pub fn irredundant(
     // fanin pseudo aggressor and as a window widener) with different
     // envelopes.
     candidates.sort_by(|a, b| {
-        let ord =
-            a.delay_noise().partial_cmp(&b.delay_noise()).expect("finite delay noise");
+        let ord = a.delay_noise().partial_cmp(&b.delay_noise()).expect("finite delay noise");
         match direction {
             DominanceDirection::BiggerIsBetter => ord.reverse(),
             DominanceDirection::SmallerIsBetter => ord,
@@ -78,12 +77,12 @@ pub fn irredundant(
         'next: for cand in candidates {
             for winner in &kept {
                 let dominated = match direction {
-                    DominanceDirection::BiggerIsBetter => winner
-                        .envelope()
-                        .encapsulates(cand.envelope(), dominance_interval),
-                    DominanceDirection::SmallerIsBetter => cand
-                        .envelope()
-                        .encapsulates(winner.envelope(), dominance_interval),
+                    DominanceDirection::BiggerIsBetter => {
+                        winner.envelope().encapsulates(cand.envelope(), dominance_interval)
+                    }
+                    DominanceDirection::SmallerIsBetter => {
+                        cand.envelope().encapsulates(winner.envelope(), dominance_interval)
+                    }
                 };
                 if dominated {
                     continue 'next;
@@ -106,7 +105,56 @@ pub fn irredundant(
     if let Some(width) = beam {
         candidates.truncate(width);
     }
+    debug_assert!(
+        !use_dominance || find_dominated_pair(&candidates, dominance_interval, direction).is_none(),
+        "irredundant() output contains a dominated pair"
+    );
     candidates
+}
+
+/// Finds a redundant pair in a **ranked** candidate list, if any.
+///
+/// `candidates` is assumed sorted best-first by cached delay noise, the
+/// order [`irredundant`] produces. Returns `Some((winner, loser))` —
+/// indices with `winner < loser` such that the better-ranked
+/// `candidates[winner]` dominates `candidates[loser]` under `direction`
+/// over `dominance_interval` — or `None` when every candidate earns its
+/// slot. Identical envelopes count as dominance, mirroring
+/// [`irredundant`] which keeps only one of a tied pair.
+///
+/// Only the earlier-dominates-later direction is checked: that is the
+/// exact post-condition of [`irredundant`]'s forward sweep. The reverse
+/// (a worse-ranked candidate whose envelope encapsulates a better-ranked
+/// one) can legitimately survive, because the cached delay noise is
+/// measured on the victim's clip window while encapsulation is tested on
+/// the (narrower) dominance interval, and the two can disagree near ties.
+///
+/// A `debug_assert!` checks this after every prune, and the `dna-lint`
+/// rule `L030` applies it to engine state. Quadratic — meant for checks,
+/// not hot paths.
+#[must_use]
+pub fn find_dominated_pair(
+    candidates: &[Candidate],
+    dominance_interval: TimeInterval,
+    direction: DominanceDirection,
+) -> Option<(usize, usize)> {
+    for i in 0..candidates.len() {
+        for j in (i + 1)..candidates.len() {
+            let (a, b) = (&candidates[i], &candidates[j]);
+            let i_wins = match direction {
+                DominanceDirection::BiggerIsBetter => {
+                    a.envelope().encapsulates(b.envelope(), dominance_interval)
+                }
+                DominanceDirection::SmallerIsBetter => {
+                    b.envelope().encapsulates(a.envelope(), dominance_interval)
+                }
+            };
+            if i_wins {
+                return Some((i, j));
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -135,8 +183,7 @@ mod tests {
         assert_eq!(out[0].delay_noise(), 2.0);
         // In elimination direction the smaller residual wins instead.
         let c = vec![cand(&[1], 0.3, 9.0, 2.0), cand(&[1], 0.2, 5.0, 1.0)];
-        let out =
-            irredundant(c, interval(), DominanceDirection::SmallerIsBetter, true, None);
+        let out = irredundant(c, interval(), DominanceDirection::SmallerIsBetter, true, None);
         assert_eq!(out[0].delay_noise(), 1.0);
     }
 
@@ -183,13 +230,8 @@ mod tests {
             Envelope::from_pulse(&NoisePulse::symmetric(20.0, 0.3, 4.0)),
             1.0,
         );
-        let out = irredundant(
-            vec![a, b],
-            interval(),
-            DominanceDirection::BiggerIsBetter,
-            true,
-            None,
-        );
+        let out =
+            irredundant(vec![a, b], interval(), DominanceDirection::BiggerIsBetter, true, None);
         assert_eq!(out.len(), 2);
     }
 
@@ -197,13 +239,8 @@ mod tests {
     fn equal_envelopes_keep_first() {
         let a = cand(&[1], 0.3, 6.0, 2.0);
         let b = cand(&[2], 0.3, 6.0, 2.0);
-        let out = irredundant(
-            vec![a, b],
-            interval(),
-            DominanceDirection::BiggerIsBetter,
-            true,
-            None,
-        );
+        let out =
+            irredundant(vec![a, b], interval(), DominanceDirection::BiggerIsBetter, true, None);
         assert_eq!(out.len(), 1);
         assert!(out[0].set().contains(CouplingId::new(1)));
     }

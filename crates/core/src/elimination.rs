@@ -32,8 +32,7 @@ struct RemovalAtom {
 
 pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
     let circuit = p.circuit;
-    let breadth =
-        if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
+    let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
     let noisy = p.noisy.as_ref().expect("elimination mode prepares a noisy report");
     let n = circuit.num_nets();
     let mut ilists: Vec<Vec<Vec<Candidate>>> = vec![Vec::new(); n];
@@ -47,16 +46,12 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
         // Fanin shift carried into this victim by upstream noise: the
         // noisy arrival minus the victim's own injected noise, relative to
         // the noiseless arrival.
-        let d_fanin = (p.window_timings[vi].lat()
-            - noisy.delay_noise(v)
-            - p.base.timing(v).lat())
-        .max(0.0);
+        let d_fanin =
+            (p.window_timings[vi].lat() - noisy.delay_noise(v) - p.base.timing(v).lat()).max(0.0);
 
         // Total envelope (all primaries, noisy windows, plus fanin shift).
-        let primary_envs: Vec<Envelope> = p.primaries[vi]
-            .iter()
-            .map(|info| p.primary_envelope(v, info, 0.0))
-            .collect();
+        let primary_envs: Vec<Envelope> =
+            p.primaries[vi].iter().map(|info| p.primary_envelope(v, info, 0.0)).collect();
         let pseudo_full = p.pseudo_envelope(v, d_fanin);
         let total = Envelope::sum_all(primary_envs.iter()).sum(&pseudo_full);
 
@@ -78,8 +73,7 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
         // a primary's aggressor narrows that primary's noisy window.
         if p.config.higher_order && k >= 1 {
             for (info, env) in p.primaries[vi].iter().zip(&primary_envs) {
-                let window_noise =
-                    (info.lat - p.base.timing(info.aggressor).lat()).max(0.0);
+                let window_noise = (info.lat - p.base.timing(info.aggressor).lat()).max(0.0);
                 if window_noise <= 0.0 || env.is_zero() {
                     continue;
                 }
@@ -126,8 +120,7 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
             if let (Some(noisy_arr), Some(base_arr)) =
                 (p.fanin_arrivals(v), p.fanin_base_arrivals(v))
             {
-                let max_base =
-                    base_arr.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
+                let max_base = base_arr.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
                 // set -> per-input fixed arrival (noisy arrival if absent).
                 let mut grouped: std::collections::HashMap<CouplingSet, Vec<f64>> =
                     std::collections::HashMap::new();
@@ -149,27 +142,22 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
                         let Some(list) = ilists[u.index()].get(c) else { continue };
                         for cand in list.iter().take(breadth) {
                             // Residual noise at u after fixing this set.
-                            let benefit =
-                                (total_dn_u - cand.delay_noise()).max(0.0) * ratio;
+                            let benefit = (total_dn_u - cand.delay_noise()).max(0.0) * ratio;
                             let arr_fixed = (arr_noisy_u - benefit).max(arr_base_u);
                             let entry = grouped
                                 .entry(cand.set().clone())
-                                .or_insert_with(|| {
-                                    noisy_arr.iter().map(|&(_, a)| a).collect()
-                                });
+                                .or_insert_with(|| noisy_arr.iter().map(|&(_, a)| a).collect());
                             entry[idx] = entry[idx].min(arr_fixed);
                         }
                     }
                 }
                 for (set, arrivals) in grouped {
-                    let joint =
-                        arrivals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let joint = arrivals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                     let d_after = (joint - max_base).max(0.0).min(d_fanin);
                     if d_after >= d_fanin {
                         continue; // fixing this upstream set does not help v
                     }
-                    let removal =
-                        pseudo_full.saturating_sub(&p.pseudo_envelope(v, d_after));
+                    let removal = pseudo_full.saturating_sub(&p.pseudo_envelope(v, d_after));
                     atoms.push(RemovalAtom { set, removal });
                 }
             }
@@ -209,11 +197,7 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
                 }
                 let j = i - c;
                 if j == 0 {
-                    push(
-                        atom.set.clone(),
-                        total.saturating_sub(&atom.removal),
-                        &mut cands,
-                    );
+                    push(atom.set.clone(), total.saturating_sub(&atom.removal), &mut cands);
                 } else if c > 1 {
                     for s in lists[j].iter().take(breadth) {
                         if s.set().intersects(&atom.set) {
@@ -303,9 +287,7 @@ fn select_sink(
         .iter()
         .map(|&o| {
             let lat_base = p.base.timing(o).lat();
-            let total_dn = ilists[o.index()]
-                .first()
-                .map_or(0.0, |l| l[0].delay_noise());
+            let total_dn = ilists[o.index()].first().map_or(0.0, |l| l[0].delay_noise());
             let ratio = if total_dn > 1e-12 {
                 ((noisy_lat(o) - lat_base) / total_dn).clamp(0.0, 1.0)
             } else {
@@ -394,9 +376,8 @@ fn select_sink(
         });
     }
 
-    options.sort_by(|a, b| {
-        a.predicted_delay.partial_cmp(&b.predicted_delay).expect("finite delays")
-    });
+    options
+        .sort_by(|a, b| a.predicted_delay.partial_cmp(&b.predicted_delay).expect("finite delays"));
     let pool = p.config.validation_pool.max(1);
     let mut deduped: Vec<SinkOption> = Vec::new();
     for opt in options {

@@ -104,11 +104,8 @@ impl<'c> Prepared<'c> {
         noise: &NoiseAnalysis<'c>,
         mask: CouplingMask,
     ) -> Result<Self, StaError> {
-        let base = TimingReport::run(
-            circuit,
-            &dna_sta::LinearDelayModel::new(),
-            &config.noise.sta,
-        )?;
+        let base =
+            TimingReport::run(circuit, &dna_sta::LinearDelayModel::new(), &config.noise.sta)?;
         let noisy = match mode {
             Mode::Addition => None,
             Mode::Elimination => Some(noise.run_with_mask(&mask)?),
@@ -132,19 +129,11 @@ impl<'c> Prepared<'c> {
                 })
                 .into_iter()
                 .map(|(id, _)| {
-                    let aggressor = circuit
-                        .coupling(id)
-                        .other(v)
-                        .expect("coupling index is consistent");
+                    let aggressor =
+                        circuit.coupling(id).other(v).expect("coupling index is consistent");
                     let at = &window_timings[aggressor.index()];
                     let pulse = pulse_for(circuit, &config, v, id, at.slew());
-                    PrimaryInfo {
-                        coupling: id,
-                        aggressor,
-                        pulse,
-                        eat: at.eat(),
-                        lat: at.lat(),
-                    }
+                    PrimaryInfo { coupling: id, aggressor, pulse, eat: at.eat(), lat: at.lat() }
                 })
                 .collect()
             })
@@ -203,9 +192,20 @@ impl<'c> Prepared<'c> {
             })
             .collect();
 
-        let shift_bound: Vec<f64> = (0..circuit.num_nets())
-            .map(|i| own_ub[i] + fanin_ub[i])
-            .collect();
+        let shift_bound: Vec<f64> =
+            (0..circuit.num_nets()).map(|i| own_ub[i] + fanin_ub[i]).collect();
+        debug_assert!(
+            shift_bound.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "shift bounds must be finite and non-negative"
+        );
+        debug_assert!(
+            circuit.net_ids().all(|v| {
+                let d = dominance_iv[v.index()];
+                let c = clip_iv[v.index()];
+                c.lo() <= d.lo() && d.hi() <= c.hi()
+            }),
+            "clip window must cover the dominance interval"
+        );
 
         Ok(Self {
             circuit,
@@ -423,12 +423,12 @@ mod tests {
     fn build_elimination_windows_are_noisy() {
         let (c, config) = prepared(Mode::Elimination);
         let noise = NoiseAnalysis::new(&c, NoiseConfig::default());
-        let p = Prepared::build(&c, config, Mode::Elimination, &noise, CouplingMask::all(&c)).unwrap();
+        let p =
+            Prepared::build(&c, config, Mode::Elimination, &noise, CouplingMask::all(&c)).unwrap();
         assert!(p.noisy.is_some());
         // At least one window extends past its noiseless counterpart.
-        let widened = c
-            .net_ids()
-            .any(|n| p.window_timings[n.index()].lat() > p.base.timing(n).lat() + 1e-9);
+        let widened =
+            c.net_ids().any(|n| p.window_timings[n.index()].lat() > p.base.timing(n).lat() + 1e-9);
         assert!(widened, "elimination windows should include delay noise");
     }
 

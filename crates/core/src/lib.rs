@@ -135,11 +135,7 @@ impl<'c> TopKAnalysis<'c> {
     ///
     /// Returns [`TopKError::ZeroK`] for `k == 0` and propagates timing
     /// errors from the substrate analyses.
-    pub fn elimination_set_peeled(
-        &self,
-        k: usize,
-        step: usize,
-    ) -> Result<TopKResult, TopKError> {
+    pub fn elimination_set_peeled(&self, k: usize, step: usize) -> Result<TopKResult, TopKError> {
         if k == 0 {
             return Err(TopKError::ZeroK);
         }
@@ -247,12 +243,8 @@ impl<'c> TopKAnalysis<'c> {
             let mut best: Option<(usize, f64)> = None;
             for (idx, opt) in options.iter().enumerate() {
                 let mask = match mode {
-                    Mode::Addition => {
-                        CouplingMask::none(self.circuit).with(opt.set.ids())
-                    }
-                    Mode::Elimination => {
-                        CouplingMask::all(self.circuit).without(opt.set.ids())
-                    }
+                    Mode::Addition => CouplingMask::none(self.circuit).with(opt.set.ids()),
+                    Mode::Elimination => CouplingMask::all(self.circuit).without(opt.set.ids()),
                 };
                 let measured = self.noise.run_with_mask(&mask)?.circuit_delay();
                 let better = match (&best, mode) {

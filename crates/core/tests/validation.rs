@@ -80,11 +80,7 @@ fn addition_matches_brute_force_closely() {
     // the optimal impact (ties among predicted-equal candidates are
     // resolved by measured validation, which can land on a slightly
     // different set than the optimum).
-    assert!(
-        a.worst_fraction >= 0.8,
-        "addition worst-case fraction {} too low",
-        a.worst_fraction
-    );
+    assert!(a.worst_fraction >= 0.8, "addition worst-case fraction {} too low", a.worst_fraction);
 }
 
 #[test]
@@ -137,8 +133,7 @@ fn top_1_addition_is_exact_on_single_sink_circuits() {
         }
         let engine = TopKAnalysis::new(&circuit, TopKConfig::exact());
         let r = engine.addition_set(1).unwrap();
-        let bf = brute_force(&circuit, &BruteForceConfig::default(), Mode::Addition, 1)
-            .unwrap();
+        let bf = brute_force(&circuit, &BruteForceConfig::default(), Mode::Addition, 1).unwrap();
         let (_, brute_delay) = bf.completed().unwrap();
         assert!(
             (r.delay_after() - brute_delay).abs() < 1e-6,

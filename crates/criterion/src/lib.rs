@@ -1,0 +1,212 @@
+//! A tiny wall-clock benchmark harness with a `criterion`-compatible API
+//! subset.
+//!
+//! The workspace builds fully offline, so the real [`criterion`] crate is
+//! unavailable. This crate implements the slice of its API the bench
+//! targets use — [`criterion_group!`], [`criterion_main!`],
+//! [`Criterion::benchmark_group`], `group.sample_size`,
+//! `group.bench_with_input`, [`BenchmarkId::from_parameter`] and
+//! [`Bencher::iter`] — wired in through Cargo dependency renaming
+//! (`criterion = { package = "dna-criterion", … }`).
+//!
+//! Instead of criterion's statistical machinery it reports min / median /
+//! mean over the configured sample count, which is plenty to compare the
+//! relative cost of the paper's ablation switches.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; CLI filtering is not
+    /// implemented, every benchmark runs.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), samples: 20 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), 20, &mut f);
+    }
+}
+
+/// A named parameter attached to one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered from a displayable parameter value.
+    #[must_use]
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self { label: param.to_string() }
+    }
+
+    /// Identifier with an explicit function name and parameter.
+    #[must_use]
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self { label: format!("{}/{param}", name.into()) }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.samples, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run to populate caches / lazy state.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher { samples, durations: Vec::with_capacity(samples) };
+    f(&mut b);
+    let mut sorted = b.durations.clone();
+    sorted.sort();
+    if sorted.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{label:<48} min {min:>10.2?}  median {median:>10.2?}  mean {mean:>10.2?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// Declares a function bundling several benchmark functions (mirror of
+/// criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_labels() {
+        assert_eq!(BenchmarkId::from_parameter("k10").label, "k10");
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}

@@ -1,0 +1,416 @@
+//! Circuit IR passes: referential integrity, topology, capacitance and
+//! library sanity.
+
+use dna_netlist::{find_cycle, Circuit, CircuitParts, NetSource};
+
+use crate::{Diagnostics, Location, Rule};
+
+/// Runs every circuit-level pass and returns the combined findings.
+///
+/// Passes, in order: referential integrity (`L001`–`L009`), topology
+/// (`L010`–`L013`), capacitance sanity (`L041`) and library sanity
+/// (`L040`). A circuit produced by
+/// [`CircuitBuilder`](dna_netlist::CircuitBuilder), the generator or the
+/// text parser is expected to come back clean; the rules exist to catch
+/// corruption introduced by raw-parts construction, future deserializers
+/// or bugs in IR-producing code.
+///
+/// The verifier never panics on corrupt input: every id is range-checked
+/// before use, which is why it works on a raw [`CircuitParts`] view rather
+/// than the panicking [`Circuit`] accessors.
+#[must_use]
+pub fn lint_circuit(circuit: &Circuit) -> Diagnostics {
+    let parts = circuit.clone().into_parts();
+    let mut diags = Diagnostics::new();
+    referential_integrity(&parts, &mut diags);
+    topology(&parts, &mut diags);
+    capacitances(&parts, &mut diags);
+    library(&parts, &mut diags);
+    diags.sort();
+    diags
+}
+
+fn gate_loc(parts: &CircuitParts, id: usize) -> Location {
+    let name = parts.gates.get(id).map(|g| g.name.clone()).unwrap_or_default();
+    Location::Gate { id, name }
+}
+
+fn net_loc(parts: &CircuitParts, id: usize) -> Location {
+    let name = parts.nets.get(id).map(|n| n.name.clone()).unwrap_or_default();
+    Location::Net { id, name }
+}
+
+fn referential_integrity(parts: &CircuitParts, diags: &mut Diagnostics) {
+    let nets = parts.nets.len();
+    let gates = parts.gates.len();
+    let couplings = parts.couplings.len();
+
+    // L001/L002: every net id a gate mentions must resolve.
+    for (gi, gate) in parts.gates.iter().enumerate() {
+        for (pin, input) in gate.inputs.iter().enumerate() {
+            if input.index() >= nets {
+                diags.report(
+                    Rule::GateInputUnresolved,
+                    gate_loc(parts, gi),
+                    format!("input pin {pin} references nonexistent net #{}", input.index()),
+                );
+            }
+        }
+        if gate.output.index() >= nets {
+            diags.report(
+                Rule::GateOutputUnresolved,
+                gate_loc(parts, gi),
+                format!("output references nonexistent net #{}", gate.output.index()),
+            );
+        }
+    }
+
+    // L003/L004: net sources resolve and actually drive the net.
+    for (ni, net) in parts.nets.iter().enumerate() {
+        if let NetSource::Gate(g) = net.source {
+            if g.index() >= gates {
+                diags.report(
+                    Rule::DanglingDriver,
+                    net_loc(parts, ni),
+                    format!("driver gate #{} does not exist", g.index()),
+                );
+            } else if parts.gates[g.index()].output.index() != ni {
+                diags.report(
+                    Rule::DriverOutputMismatch,
+                    net_loc(parts, ni),
+                    format!(
+                        "claims driver `{}`, which drives net #{} instead",
+                        parts.gates[g.index()].name,
+                        parts.gates[g.index()].output.index()
+                    ),
+                );
+            }
+        }
+    }
+
+    // L005, both directions: gate inputs <-> net load lists.
+    for (ni, net) in parts.nets.iter().enumerate() {
+        for load in &net.loads {
+            if load.index() >= gates {
+                diags.report(
+                    Rule::LoadListMismatch,
+                    net_loc(parts, ni),
+                    format!("load gate #{} does not exist", load.index()),
+                );
+            } else if !parts.gates[load.index()].inputs.iter().any(|i| i.index() == ni) {
+                diags.report(
+                    Rule::LoadListMismatch,
+                    net_loc(parts, ni),
+                    format!(
+                        "lists load `{}`, which has no input pin on this net",
+                        parts.gates[load.index()].name
+                    ),
+                );
+            }
+        }
+    }
+    for (gi, gate) in parts.gates.iter().enumerate() {
+        for input in &gate.inputs {
+            let Some(net) = parts.nets.get(input.index()) else { continue };
+            if !net.loads.iter().any(|l| l.index() == gi) {
+                diags.report(
+                    Rule::LoadListMismatch,
+                    gate_loc(parts, gi),
+                    format!("reads net `{}`, whose load list omits this gate", net.name),
+                );
+            }
+        }
+    }
+
+    // L006: coupling endpoints.
+    for (ci, cc) in parts.couplings.iter().enumerate() {
+        for end in [cc.a, cc.b] {
+            if end.index() >= nets {
+                diags.report(
+                    Rule::CouplingUnresolved,
+                    Location::Coupling { id: ci },
+                    format!("endpoint references nonexistent net #{}", end.index()),
+                );
+            }
+        }
+        if cc.a == cc.b {
+            diags.report(
+                Rule::CouplingUnresolved,
+                Location::Coupling { id: ci },
+                format!("couples net #{} to itself", cc.a.index()),
+            );
+        }
+    }
+
+    // L007: the per-net coupling index must mirror the coupling list.
+    if parts.couplings_by_net.len() != nets {
+        diags.report(
+            Rule::CouplingIndexCorrupt,
+            Location::Global,
+            format!(
+                "coupling index has {} entries for {} nets",
+                parts.couplings_by_net.len(),
+                nets
+            ),
+        );
+    }
+    for (ni, list) in parts.couplings_by_net.iter().enumerate().take(nets) {
+        for id in list {
+            if id.index() >= couplings {
+                diags.report(
+                    Rule::CouplingIndexCorrupt,
+                    net_loc(parts, ni),
+                    format!("index lists nonexistent coupling cc{}", id.index()),
+                );
+            } else {
+                let cc = &parts.couplings[id.index()];
+                if cc.a.index() != ni && cc.b.index() != ni {
+                    diags.report(
+                        Rule::CouplingIndexCorrupt,
+                        net_loc(parts, ni),
+                        format!("index lists cc{}, which does not touch this net", id.index()),
+                    );
+                }
+            }
+        }
+    }
+    for (ci, cc) in parts.couplings.iter().enumerate() {
+        for end in [cc.a, cc.b] {
+            if let Some(list) = parts.couplings_by_net.get(end.index()) {
+                if !list.iter().any(|x| x.index() == ci) {
+                    diags.report(
+                        Rule::CouplingIndexCorrupt,
+                        net_loc(parts, end.index()),
+                        format!("index omits incident coupling cc{ci}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // L008: the output list and per-net output flags must agree.
+    if parts.outputs.is_empty() {
+        diags.report(Rule::OutputListCorrupt, Location::Global, "circuit has no primary outputs");
+    }
+    let mut listed = vec![false; nets];
+    for out in &parts.outputs {
+        if out.index() >= nets {
+            diags.report(
+                Rule::OutputListCorrupt,
+                Location::Global,
+                format!("output list references nonexistent net #{}", out.index()),
+            );
+            continue;
+        }
+        if listed[out.index()] {
+            diags.report(
+                Rule::OutputListCorrupt,
+                net_loc(parts, out.index()),
+                "appears twice in the output list",
+            );
+        }
+        listed[out.index()] = true;
+        if !parts.nets[out.index()].is_output {
+            diags.report(
+                Rule::OutputListCorrupt,
+                net_loc(parts, out.index()),
+                "listed as a primary output but not flagged as one",
+            );
+        }
+    }
+    for (ni, net) in parts.nets.iter().enumerate() {
+        if net.is_output && !listed[ni] {
+            diags.report(
+                Rule::OutputListCorrupt,
+                net_loc(parts, ni),
+                "flagged as a primary output but missing from the output list",
+            );
+        }
+    }
+
+    // L009: gate-driven nets that feed nothing and sink nothing.
+    for (ni, net) in parts.nets.iter().enumerate() {
+        if matches!(net.source, NetSource::Gate(_)) && net.loads.is_empty() && !net.is_output {
+            diags.report(
+                Rule::FloatingNet,
+                net_loc(parts, ni),
+                "driven net has no loads and is not a primary output",
+            );
+        }
+    }
+}
+
+fn topology(parts: &CircuitParts, diags: &mut Diagnostics) {
+    let gates = parts.gates.len();
+    let nets = parts.nets.len();
+
+    // L013 first: cycle diagnostics name the whole loop, and an order
+    // check against a cyclic graph would only add noise.
+    let cycle = find_cycle(&parts.gates, &parts.nets);
+    if let Some(cycle) = &cycle {
+        let names: Vec<String> = cycle
+            .iter()
+            .map(|g| {
+                parts
+                    .gates
+                    .get(g.index())
+                    .map_or_else(|| format!("#{}", g.index()), |gate| format!("`{}`", gate.name))
+            })
+            .collect();
+        diags.report(
+            Rule::CombinationalCycle,
+            gate_loc(parts, cycle[0].index()),
+            format!("combinational cycle: {}", names.join(" -> ")),
+        );
+    }
+
+    // L010: the cached gate order must be a permutation of all gates.
+    let mut gate_pos = vec![usize::MAX; gates];
+    let mut gate_order_ok = parts.gate_topo.len() == gates;
+    if parts.gate_topo.len() != gates {
+        diags.report(
+            Rule::TopoNotPermutation,
+            Location::Global,
+            format!("gate order lists {} of {} gates", parts.gate_topo.len(), gates),
+        );
+    }
+    for (pos, g) in parts.gate_topo.iter().enumerate() {
+        if g.index() >= gates {
+            diags.report(
+                Rule::TopoNotPermutation,
+                Location::Global,
+                format!("gate order references nonexistent gate #{}", g.index()),
+            );
+            gate_order_ok = false;
+        } else if gate_pos[g.index()] != usize::MAX {
+            diags.report(
+                Rule::TopoNotPermutation,
+                gate_loc(parts, g.index()),
+                "appears twice in the gate order",
+            );
+            gate_order_ok = false;
+        } else {
+            gate_pos[g.index()] = pos;
+        }
+    }
+
+    // L011: drivers must precede loads. Only meaningful for a permutation
+    // of an acyclic graph (a cycle makes every order wrong by definition).
+    if gate_order_ok && cycle.is_none() {
+        for (gi, gate) in parts.gates.iter().enumerate() {
+            for input in &gate.inputs {
+                let Some(net) = parts.nets.get(input.index()) else { continue };
+                let NetSource::Gate(driver) = net.source else { continue };
+                if driver.index() >= gates {
+                    continue; // reported as L003
+                }
+                if gate_pos[driver.index()] > gate_pos[gi] {
+                    diags.report(
+                        Rule::TopoOrderViolation,
+                        gate_loc(parts, gi),
+                        format!(
+                            "listed before its driver `{}` in the gate order",
+                            parts.gates[driver.index()].name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // L012: the cached net order must be a permutation in which every
+    // gate-driven net follows all of its driver's input nets.
+    let mut net_pos = vec![usize::MAX; nets];
+    let mut net_order_ok = parts.net_topo.len() == nets;
+    if parts.net_topo.len() != nets {
+        diags.report(
+            Rule::NetTopoCorrupt,
+            Location::Global,
+            format!("net order lists {} of {} nets", parts.net_topo.len(), nets),
+        );
+    }
+    for (pos, n) in parts.net_topo.iter().enumerate() {
+        if n.index() >= nets {
+            diags.report(
+                Rule::NetTopoCorrupt,
+                Location::Global,
+                format!("net order references nonexistent net #{}", n.index()),
+            );
+            net_order_ok = false;
+        } else if net_pos[n.index()] != usize::MAX {
+            diags.report(
+                Rule::NetTopoCorrupt,
+                net_loc(parts, n.index()),
+                "appears twice in the net order",
+            );
+            net_order_ok = false;
+        } else {
+            net_pos[n.index()] = pos;
+        }
+    }
+    if net_order_ok && cycle.is_none() {
+        for (ni, net) in parts.nets.iter().enumerate() {
+            let NetSource::Gate(driver) = net.source else { continue };
+            let Some(gate) = parts.gates.get(driver.index()) else { continue };
+            for input in &gate.inputs {
+                if input.index() >= nets {
+                    continue; // reported as L001
+                }
+                if net_pos[input.index()] > net_pos[ni] {
+                    diags.report(
+                        Rule::NetTopoCorrupt,
+                        net_loc(parts, ni),
+                        format!(
+                            "listed before its driver's input `{}` in the net order",
+                            parts.nets[input.index()].name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn capacitances(parts: &CircuitParts, diags: &mut Diagnostics) {
+    for (ni, net) in parts.nets.iter().enumerate() {
+        if !net.wire_cap.is_finite() || net.wire_cap < 0.0 {
+            diags.report(
+                Rule::BadCapacitance,
+                net_loc(parts, ni),
+                format!("wire capacitance {} fF is not finite and non-negative", net.wire_cap),
+            );
+        }
+    }
+    for (ci, cc) in parts.couplings.iter().enumerate() {
+        if !cc.cap.is_finite() || cc.cap < 0.0 {
+            diags.report(
+                Rule::BadCapacitance,
+                Location::Coupling { id: ci },
+                format!("coupling capacitance {} fF is not finite and non-negative", cc.cap),
+            );
+        }
+    }
+}
+
+fn library(parts: &CircuitParts, diags: &mut Diagnostics) {
+    for cell in parts.library.cells() {
+        let fields = [
+            ("intrinsic_delay", cell.intrinsic_delay),
+            ("drive_resistance", cell.drive_resistance),
+            ("input_cap", cell.input_cap),
+            ("intrinsic_slew", cell.intrinsic_slew),
+        ];
+        for (field, value) in fields {
+            if !value.is_finite() || value <= 0.0 {
+                diags.report(
+                    Rule::CellNotMonotone,
+                    Location::Cell { name: cell.kind.name() },
+                    format!(
+                        "{field} = {value}; the linear model needs finite positive \
+                         coefficients for delay to grow with load"
+                    ),
+                );
+            }
+        }
+    }
+}

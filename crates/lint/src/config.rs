@@ -1,0 +1,84 @@
+//! Configuration pass: sanity ranges on analysis knobs (`L042`).
+
+use dna_topk::TopKConfig;
+
+use crate::{Diagnostics, Location, Rule};
+
+/// Checks a top-k analysis configuration (`L042`).
+///
+/// These are the out-of-range values the constructors cannot reject
+/// because [`TopKConfig`] is a plain-old-data struct users fill in by
+/// hand: a zero iteration cap (the noise fixpoint never runs), a
+/// non-positive or non-finite convergence tolerance (the fixpoint never
+/// terminates), a non-positive holding resistance, a zero beam width, and
+/// a validation pool of zero when validation is requested.
+#[must_use]
+pub fn lint_config(config: &TopKConfig) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    if config.noise.max_iterations == 0 {
+        diags.report(
+            Rule::BadConfig,
+            Location::Config { field: "noise.max_iterations" },
+            "iteration cap of 0 means the noise analysis never runs",
+        );
+    }
+    if !config.noise.tolerance.is_finite() || config.noise.tolerance <= 0.0 {
+        diags.report(
+            Rule::BadConfig,
+            Location::Config { field: "noise.tolerance" },
+            format!(
+                "convergence tolerance {} ps is not finite and positive",
+                config.noise.tolerance
+            ),
+        );
+    }
+    if !config.noise.pi_resistance.is_finite() || config.noise.pi_resistance <= 0.0 {
+        diags.report(
+            Rule::BadConfig,
+            Location::Config { field: "noise.pi_resistance" },
+            format!(
+                "holding resistance {} kOhm is not finite and positive",
+                config.noise.pi_resistance
+            ),
+        );
+    }
+    if !config.noise.sta.input_slew.is_finite() || config.noise.sta.input_slew <= 0.0 {
+        diags.report(
+            Rule::BadConfig,
+            Location::Config { field: "noise.sta.input_slew" },
+            format!("input slew {} ps is not finite and positive", config.noise.sta.input_slew),
+        );
+    }
+    if !config.noise.sta.input_arrival.is_finite() {
+        diags.report(
+            Rule::BadConfig,
+            Location::Config { field: "noise.sta.input_arrival" },
+            format!("input arrival {} ps is not finite", config.noise.sta.input_arrival),
+        );
+    }
+    if config.max_list_width == Some(0) {
+        diags.report(
+            Rule::BadConfig,
+            Location::Config { field: "max_list_width" },
+            "a beam width of 0 prunes every candidate",
+        );
+    }
+    if config.validate && config.validation_pool == 0 {
+        diags.report(
+            Rule::BadConfig,
+            Location::Config { field: "validation_pool" },
+            "validation is enabled but the validation pool is empty",
+        );
+    }
+    if config.higher_order && config.widener_depth == 0 {
+        diags.report(
+            Rule::BadConfig,
+            Location::Config { field: "widener_depth" },
+            "higher-order aggressors are enabled but the widener searches 0 levels",
+        );
+    }
+
+    diags.sort();
+    diags
+}

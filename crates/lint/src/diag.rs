@@ -1,0 +1,372 @@
+//! Diagnostics: severities, locations and the collector, modeled on a
+//! compiler's diagnostic pipeline.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::Rule;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; does not fail a lint run.
+    Warning,
+    /// An invariant violation; analyses on this input are unsound.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name as rendered in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where in the analyzed artifact a diagnostic points — the lint analogue
+/// of a compiler's source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A gate instance.
+    Gate {
+        /// Gate index.
+        id: usize,
+        /// Instance name (empty when the id itself is out of range).
+        name: String,
+    },
+    /// A net.
+    Net {
+        /// Net index.
+        id: usize,
+        /// Net name (empty when the id itself is out of range).
+        name: String,
+    },
+    /// A coupling capacitor.
+    Coupling {
+        /// Coupling index.
+        id: usize,
+    },
+    /// A breakpoint of a piecewise-linear curve.
+    Curve {
+        /// Breakpoint index.
+        index: usize,
+    },
+    /// An entry of a candidate list.
+    Candidate {
+        /// Position in the list.
+        index: usize,
+    },
+    /// A characterized library cell.
+    Cell {
+        /// Cell kind name.
+        name: &'static str,
+    },
+    /// A configuration field.
+    Config {
+        /// Field path, e.g. `noise.tolerance`.
+        field: &'static str,
+    },
+    /// The artifact as a whole.
+    Global,
+}
+
+impl Location {
+    /// Lower-case kind tag, used by the JSON rendering.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Location::Gate { .. } => "gate",
+            Location::Net { .. } => "net",
+            Location::Coupling { .. } => "coupling",
+            Location::Curve { .. } => "curve",
+            Location::Candidate { .. } => "candidate",
+            Location::Cell { .. } => "cell",
+            Location::Config { .. } => "config",
+            Location::Global => "global",
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Gate { id, name } if name.is_empty() => write!(f, "gate #{id}"),
+            Location::Gate { id, name } => write!(f, "gate #{id} `{name}`"),
+            Location::Net { id, name } if name.is_empty() => write!(f, "net #{id}"),
+            Location::Net { id, name } => write!(f, "net #{id} `{name}`"),
+            Location::Coupling { id } => write!(f, "coupling cc{id}"),
+            Location::Curve { index } => write!(f, "breakpoint {index}"),
+            Location::Candidate { index } => write!(f, "candidate {index}"),
+            Location::Cell { name } => write!(f, "cell `{name}`"),
+            Location::Config { field } => write!(f, "config `{field}`"),
+            Location::Global => f.write_str("(global)"),
+        }
+    }
+}
+
+/// One finding: a rule violation at a location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Severity (the rule's default).
+    pub severity: Severity,
+    /// Where the violation is.
+    pub location: Location,
+    /// Human-readable description of this particular violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.rule.code(), self.location, self.message)
+    }
+}
+
+/// Collector all lint passes report into.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    diags: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finding with the rule's default severity.
+    pub fn report(&mut self, rule: Rule, location: Location, message: impl Into<String>) {
+        self.diags.push(Diagnostic {
+            rule,
+            severity: rule.severity(),
+            location,
+            message: message.into(),
+        });
+    }
+
+    /// Absorbs every finding of another collector.
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All findings, in report order (stable: code, then emission order).
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Number of findings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether nothing was found.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether any finding is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether rule `rule` was violated at least once.
+    #[must_use]
+    pub fn has(&self, rule: Rule) -> bool {
+        self.diags.iter().any(|d| d.rule == rule)
+    }
+
+    /// Sorts findings by rule code, keeping emission order within a rule.
+    pub fn sort(&mut self) {
+        self.diags.sort_by_key(|d| d.rule.code());
+    }
+
+    /// Human-readable multi-line report, ending with a summary line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = write!(
+            out,
+            "{} error{}, {} warning{}",
+            self.error_count(),
+            if self.error_count() == 1 { "" } else { "s" },
+            self.warning_count(),
+            if self.warning_count() == 1 { "" } else { "s" },
+        );
+        out
+    }
+
+    /// Machine-readable JSON report: an object with a `diagnostics` array
+    /// and summary counts. Hand-rolled (the workspace builds offline, so no
+    /// serde) but escapes strings properly.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"location\": {}, \
+                 \"message\": \"{}\"}}",
+                d.rule.code(),
+                d.severity,
+                location_json(&d.location),
+                escape_json(&d.message),
+            );
+        }
+        if !self.diags.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"errors\": {},\n  \"warnings\": {}\n}}",
+            self.error_count(),
+            self.warning_count()
+        );
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.iter()
+    }
+}
+
+fn location_json(loc: &Location) -> String {
+    let mut out = format!("{{\"kind\": \"{}\"", loc.kind());
+    match loc {
+        Location::Gate { id, name } | Location::Net { id, name } => {
+            let _ = write!(out, ", \"id\": {id}, \"name\": \"{}\"", escape_json(name));
+        }
+        Location::Coupling { id } => {
+            let _ = write!(out, ", \"id\": {id}");
+        }
+        Location::Curve { index } | Location::Candidate { index } => {
+            let _ = write!(out, ", \"index\": {index}");
+        }
+        Location::Cell { name } => {
+            let _ = write!(out, ", \"name\": \"{}\"", escape_json(name));
+        }
+        Location::Config { field } => {
+            let _ = write!(out, ", \"field\": \"{}\"", escape_json(field));
+        }
+        Location::Global => {}
+    }
+    out.push('}');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostics {
+        let mut d = Diagnostics::new();
+        d.report(Rule::FloatingNet, Location::Net { id: 3, name: "n3".into() }, "no loads");
+        d.report(
+            Rule::DanglingDriver,
+            Location::Net { id: 1, name: "a\"b".into() },
+            "driver #9 does not exist",
+        );
+        d
+    }
+
+    #[test]
+    fn counts_and_queries() {
+        let d = sample();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(d.warning_count(), 1);
+        assert!(d.has_errors());
+        assert!(d.has(Rule::DanglingDriver));
+        assert!(!d.has(Rule::CombinationalCycle));
+    }
+
+    #[test]
+    fn sort_orders_by_code() {
+        let mut d = sample();
+        d.sort();
+        let codes: Vec<&str> = d.iter().map(|x| x.rule.code()).collect();
+        assert_eq!(codes, vec!["L003", "L009"]);
+    }
+
+    #[test]
+    fn text_render_has_summary() {
+        let text = sample().render_text();
+        assert!(text.contains("error[L003]"));
+        assert!(text.contains("warning[L009]"));
+        assert!(text.ends_with("1 error, 1 warning"));
+    }
+
+    #[test]
+    fn json_render_escapes_and_counts() {
+        let json = sample().render_json();
+        assert!(json.contains("\"rule\": \"L003\""));
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"warnings\": 1"));
+        // Empty collector still renders a valid skeleton.
+        let empty = Diagnostics::new().render_json();
+        assert!(empty.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = sample();
+        a.merge(sample());
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! Engine passes: irredundant candidate lists and top-k results.
+
+use std::collections::HashSet;
+
+use dna_netlist::Circuit;
+use dna_topk::dominance::{find_dominated_pair, DominanceDirection};
+use dna_topk::{Candidate, CouplingSet, TopKResult};
+use dna_waveform::TimeInterval;
+
+use crate::{lint_envelope, Diagnostics, Location, Rule};
+
+/// Checks a pruned candidate list — the paper's irredundant I-list
+/// (`L020`–`L023`, `L030`–`L033`).
+///
+/// After dominance pruning, no candidate may be dominated by a
+/// better-ranked one over `dominance_interval` — the list is assumed
+/// ranked best-first, as [`irredundant`](dna_topk::dominance::irredundant)
+/// produces it (Theorem 1 guarantees dropping dominated sets is lossless
+/// only if every survivor earns its slot). The list must also carry no
+/// duplicate coupling set, must respect the beam cap `max_width`, and every
+/// candidate must have a finite, non-negative delay noise and a well-formed
+/// envelope.
+#[must_use]
+pub fn lint_ilist(
+    candidates: &[Candidate],
+    dominance_interval: TimeInterval,
+    direction: DominanceDirection,
+    max_width: Option<usize>,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    if let Some(cap) = max_width {
+        if candidates.len() > cap {
+            diags.report(
+                Rule::OverCapacity,
+                Location::Global,
+                format!("list holds {} candidates, beam cap is {cap}", candidates.len()),
+            );
+        }
+    }
+
+    let mut seen: HashSet<&CouplingSet> = HashSet::with_capacity(candidates.len());
+    for (i, cand) in candidates.iter().enumerate() {
+        if !seen.insert(cand.set()) {
+            diags.report(
+                Rule::DuplicateCandidateSet,
+                Location::Candidate { index: i },
+                format!("coupling set {:?} appears more than once", cand.set().ids()),
+            );
+        }
+        let dn = cand.delay_noise();
+        if !dn.is_finite() || dn < 0.0 {
+            diags.report(
+                Rule::BadDelayNoise,
+                Location::Candidate { index: i },
+                format!("cached delay noise {dn} ps is not finite and non-negative"),
+            );
+        }
+        let env = lint_envelope(cand.envelope());
+        if !env.is_empty() {
+            diags.report(
+                Rule::EnvelopeMalformed,
+                Location::Candidate { index: i },
+                format!("candidate envelope is malformed: {}", summarize(&env)),
+            );
+        }
+    }
+
+    if let Some((winner, loser)) = find_dominated_pair(candidates, dominance_interval, direction) {
+        diags.report(
+            Rule::DominatedCandidate,
+            Location::Candidate { index: loser },
+            format!(
+                "dominated by candidate {winner} (set {:?}) over {:?}",
+                candidates[winner].set().ids(),
+                dominance_interval
+            ),
+        );
+    }
+
+    diags.sort();
+    diags
+}
+
+/// Checks a finished top-k analysis result against the circuit it came
+/// from (`L006`, `L008`, `L032`–`L034`).
+///
+/// `false_aggressors` lists couplings a logic-correlation pass excluded;
+/// the reported worst set must be disjoint from it (paper §6: false
+/// aggressor sets only shrink the search space, they must never leak back
+/// into an answer). Pass an empty set when no exclusions apply.
+#[must_use]
+pub fn lint_result(
+    circuit: &Circuit,
+    result: &TopKResult,
+    false_aggressors: &CouplingSet,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    if result.set().len() > result.requested_k() {
+        diags.report(
+            Rule::OverCapacity,
+            Location::Global,
+            format!(
+                "worst set has {} couplings, only k = {} were requested",
+                result.set().len(),
+                result.requested_k()
+            ),
+        );
+    }
+
+    for &id in result.set().ids() {
+        if id.index() >= circuit.num_couplings() {
+            diags.report(
+                Rule::CouplingUnresolved,
+                Location::Coupling { id: id.index() },
+                "worst set references a nonexistent coupling",
+            );
+        }
+        if false_aggressors.contains(id) {
+            diags.report(
+                Rule::FalseAggressorInSet,
+                Location::Coupling { id: id.index() },
+                "worst set contains a coupling excluded as a false aggressor",
+            );
+        }
+    }
+
+    let sink = result.sink();
+    if sink.index() >= circuit.num_nets() {
+        diags.report(
+            Rule::OutputListCorrupt,
+            Location::Net { id: sink.index(), name: String::new() },
+            "result sink is not a net of this circuit",
+        );
+    } else if !circuit.net(sink).is_output {
+        diags.report(
+            Rule::OutputListCorrupt,
+            Location::Net { id: sink.index(), name: circuit.net(sink).name().to_string() },
+            "result sink is not a primary output",
+        );
+    }
+
+    for (label, delay) in [
+        ("quiet delay", result.delay_before()),
+        ("noisy delay", result.delay_after()),
+        ("predicted delay", result.predicted_delay()),
+    ] {
+        if !delay.is_finite() || delay < 0.0 {
+            diags.report(
+                Rule::BadDelayNoise,
+                Location::Global,
+                format!("{label} {delay} ps is not finite and non-negative"),
+            );
+        }
+    }
+
+    diags.sort();
+    diags
+}
+
+fn summarize(diags: &Diagnostics) -> String {
+    diags.iter().map(|d| d.message.clone()).collect::<Vec<_>>().join("; ")
+}

@@ -1,0 +1,131 @@
+//! Waveform passes: piecewise-linear curves, noise envelopes and timing
+//! windows.
+
+use dna_netlist::Circuit;
+use dna_sta::NetTiming;
+use dna_waveform::{Envelope, Pwl, PwlError};
+
+use crate::{Diagnostics, Location, Rule};
+
+/// Checks one piecewise-linear curve (`L020`, `L021`).
+///
+/// A well-formed [`Pwl`] is non-empty, has only finite coordinates and has
+/// strictly increasing breakpoint times — exactly what [`Pwl::new`]
+/// enforces, re-audited here for curves built through the unchecked
+/// constructor or deserialized from external data.
+#[must_use]
+pub fn lint_pwl(curve: &Pwl) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    match curve.is_well_formed() {
+        Ok(()) => {}
+        Err(PwlError::Empty) => {
+            diags.report(Rule::PwlNonFinite, Location::Global, "curve has no breakpoints");
+        }
+        Err(PwlError::NonFinite(i)) => {
+            let (t, v) = curve.points()[i];
+            diags.report(
+                Rule::PwlNonFinite,
+                Location::Curve { index: i },
+                format!("non-finite coordinate ({t}, {v})"),
+            );
+        }
+        Err(PwlError::NonIncreasing(i)) => {
+            diags.report(
+                Rule::PwlNonMonotone,
+                Location::Curve { index: i },
+                format!(
+                    "breakpoint time {} does not increase past {}",
+                    curve.points()[i].0,
+                    curve.points()[i - 1].0
+                ),
+            );
+        }
+    }
+    diags
+}
+
+/// Tolerance for "zero" envelope tails and "non-negative" values. Matches
+/// the tail tolerance [`Envelope::from_curve`] accepts before clamping.
+const ENVELOPE_TOL: f64 = 1e-6;
+
+/// Checks one noise envelope (`L020`, `L021`, `L023`).
+///
+/// On top of the underlying curve being well-formed, an [`Envelope`] must
+/// be non-negative everywhere and decay to zero at both ends of its
+/// support — the trapezoid model of the paper's §3 bounds every glitch by
+/// a pulse that starts and ends quiet.
+#[must_use]
+pub fn lint_envelope(envelope: &Envelope) -> Diagnostics {
+    let mut diags = lint_pwl(envelope.as_pwl());
+    if diags.has_errors() {
+        // Value checks on a structurally broken curve would double-report.
+        return diags;
+    }
+    let points = envelope.as_pwl().points();
+    for (i, (t, v)) in points.iter().enumerate() {
+        if *v < -ENVELOPE_TOL {
+            diags.report(
+                Rule::EnvelopeMalformed,
+                Location::Curve { index: i },
+                format!("negative envelope value {v} at t = {t}"),
+            );
+        }
+    }
+    if points.len() > 1 {
+        for (label, (t, v)) in [("leading", points[0]), ("trailing", points[points.len() - 1])] {
+            if v.abs() > ENVELOPE_TOL {
+                diags.report(
+                    Rule::EnvelopeMalformed,
+                    Location::Global,
+                    format!("{label} tail is {v} at t = {t}, expected 0"),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// Checks a per-net timing table against a circuit (`L022`, `L024`).
+///
+/// `timings` is expected to hold one [`NetTiming`] per net, indexed by net
+/// id — the layout produced by
+/// [`TimingReport::timings`](dna_sta::TimingReport::timings).
+#[must_use]
+pub fn lint_timing(circuit: &Circuit, timings: &[NetTiming]) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if timings.len() != circuit.num_nets() {
+        diags.report(
+            Rule::TimingNonFinite,
+            Location::Global,
+            format!("timing table has {} entries for {} nets", timings.len(), circuit.num_nets()),
+        );
+        return diags;
+    }
+    for net in circuit.net_ids() {
+        let t = &timings[net.index()];
+        let loc = || Location::Net { id: net.index(), name: circuit.net(net).name().to_string() };
+        if !t.eat().is_finite() || !t.lat().is_finite() {
+            diags.report(
+                Rule::TimingNonFinite,
+                loc(),
+                format!("non-finite arrival window [{}, {}]", t.eat(), t.lat()),
+            );
+            continue;
+        }
+        if !t.slew().is_finite() || t.slew() <= 0.0 {
+            diags.report(
+                Rule::TimingNonFinite,
+                loc(),
+                format!("slew {} ps is not finite and positive", t.slew()),
+            );
+        }
+        if t.eat() > t.lat() {
+            diags.report(
+                Rule::WindowInverted,
+                loc(),
+                format!("EAT {} ps is later than LAT {} ps", t.eat(), t.lat()),
+            );
+        }
+    }
+    diags
+}

@@ -1,0 +1,38 @@
+//! Property tests: randomly generated circuits always satisfy the
+//! referential-integrity and topology invariants the verifier re-derives.
+
+use dna_lint::lint_circuit;
+use dna_netlist::generator::{generate, GeneratorConfig};
+use dna_netlist::Circuit;
+use proptest::prelude::*;
+
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (0u64..500, 5usize..40, 0usize..60).prop_map(|(seed, gates, couplings)| {
+        generate(&GeneratorConfig::new(gates, couplings).with_seed(seed))
+            .expect("generator succeeds")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator can only produce circuits through the validated
+    /// builder, so every one must pass the full circuit verifier — any
+    /// diagnostic here means a lint rule or a builder invariant is wrong.
+    #[test]
+    fn generated_circuits_lint_clean(circuit in circuit_strategy()) {
+        let diags = lint_circuit(&circuit);
+        prop_assert!(diags.is_empty(), "{}", diags.render_text());
+    }
+
+    /// Raw-parts round trip is the identity, and the reassembled circuit
+    /// still lints clean.
+    #[test]
+    fn parts_round_trip_stays_clean(circuit in circuit_strategy()) {
+        let stats = circuit.stats();
+        let round = Circuit::from_parts_unchecked(circuit.into_parts());
+        prop_assert_eq!(round.stats(), stats);
+        let diags = lint_circuit(&round);
+        prop_assert!(diags.is_empty(), "{}", diags.render_text());
+    }
+}

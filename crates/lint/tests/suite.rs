@@ -1,0 +1,59 @@
+//! Every artifact the toolkit itself produces must lint clean: the
+//! verifier checks invariants the validated constructors already enforce,
+//! so a diagnostic on first-party output is a bug in one or the other.
+
+use dna_lint::{lint_circuit, lint_config, lint_result, lint_timing};
+use dna_netlist::generator::{generate, GeneratorConfig};
+use dna_netlist::{format, suite};
+use dna_sta::{LinearDelayModel, StaConfig, TimingReport};
+use dna_topk::{CouplingSet, TopKAnalysis, TopKConfig};
+
+#[test]
+fn benchmark_suite_lints_clean() {
+    for (spec, circuit) in suite::full_suite(7).expect("suite generates") {
+        let diags = lint_circuit(&circuit);
+        assert!(diags.is_empty(), "{}:\n{}", spec.name, diags.render_text());
+
+        let timing = TimingReport::run(&circuit, &LinearDelayModel::new(), &StaConfig::default())
+            .expect("sta runs");
+        let diags = lint_timing(&circuit, timing.timings());
+        assert!(diags.is_empty(), "{} timing:\n{}", spec.name, diags.render_text());
+    }
+}
+
+#[test]
+fn generated_circuits_survive_format_round_trip() {
+    for seed in [0, 1, 17] {
+        let circuit =
+            generate(&GeneratorConfig::new(40, 60).with_seed(seed)).expect("generator succeeds");
+        let reparsed = format::parse(&format::write(&circuit)).expect("round trip parses");
+        let diags = lint_circuit(&reparsed);
+        assert!(diags.is_empty(), "seed {seed}:\n{}", diags.render_text());
+    }
+}
+
+#[test]
+fn known_bad_corpus_warns_but_has_no_errors() {
+    let text = include_str!("corpus/floating.ckt");
+    let circuit = format::parse(text).expect("corpus parses");
+    let diags = lint_circuit(&circuit);
+    assert!(diags.has(dna_lint::Rule::FloatingNet), "{}", diags.render_text());
+    assert!(!diags.has_errors(), "{}", diags.render_text());
+}
+
+#[test]
+fn default_config_lints_clean() {
+    assert!(lint_config(&TopKConfig::default()).is_empty());
+    assert!(lint_config(&TopKConfig::exact()).is_empty());
+}
+
+#[test]
+fn engine_results_lint_clean() {
+    let circuit = generate(&GeneratorConfig::new(30, 40).with_seed(3)).expect("generator succeeds");
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    for k in [1, 3] {
+        let result = engine.addition_set(k).expect("engine runs");
+        let diags = lint_result(&circuit, &result, &CouplingSet::new());
+        assert!(diags.is_empty(), "k = {k}:\n{}", diags.render_text());
+    }
+}

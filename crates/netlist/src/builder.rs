@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use crate::{
-    topo, CellKind, Circuit, Coupling, CouplingId, Gate, GateId, Library, Net, NetId,
-    NetSource, NetlistError,
+    topo, CellKind, Circuit, Coupling, CouplingId, Gate, GateId, Library, Net, NetId, NetSource,
+    NetlistError,
 };
 
 /// Builder for [`Circuit`]s.

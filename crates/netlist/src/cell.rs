@@ -37,11 +37,7 @@ impl CellKind {
     pub fn arity(self) -> usize {
         match self {
             CellKind::Inv | CellKind::Buf => 1,
-            CellKind::Nand2
-            | CellKind::Nor2
-            | CellKind::And2
-            | CellKind::Or2
-            | CellKind::Xor2 => 2,
+            CellKind::Nand2 | CellKind::Nor2 | CellKind::And2 | CellKind::Or2 | CellKind::Xor2 => 2,
             CellKind::Nand3 | CellKind::Nor3 | CellKind::Mux2 => 3,
         }
     }

@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use crate::{
-    Cell, Coupling, CouplingId, Gate, GateId, Library, Net, NetId, NetSource,
-};
+use crate::{Cell, Coupling, CouplingId, Gate, GateId, Library, Net, NetId, NetSource};
 
 /// A validated, immutable gate-level circuit with parasitics.
 ///
@@ -42,7 +40,71 @@ pub struct Circuit {
     pub(crate) outputs: Vec<NetId>,
 }
 
+/// The raw constituents of a [`Circuit`], with every invariant dropped.
+///
+/// Obtained from [`Circuit::into_parts`] and reassembled with
+/// [`Circuit::from_parts_unchecked`]. This is the escape hatch used by the
+/// `dna-lint` verifier's test corpus: builder-validated circuits cannot
+/// express dangling ids, cycles or corrupted caches, so deliberately broken
+/// inputs are produced by taking a valid circuit apart, mutating the parts
+/// and reassembling without re-validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitParts {
+    /// The cell library.
+    pub library: Library,
+    /// Gate instances, indexed by [`GateId`].
+    pub gates: Vec<Gate>,
+    /// Nets, indexed by [`NetId`].
+    pub nets: Vec<Net>,
+    /// Coupling capacitors, indexed by [`CouplingId`].
+    pub couplings: Vec<Coupling>,
+    /// Cached topological order of gates.
+    pub gate_topo: Vec<GateId>,
+    /// Cached topological order of nets.
+    pub net_topo: Vec<NetId>,
+    /// Cached per-net incident coupling lists, indexed by net.
+    pub couplings_by_net: Vec<Vec<CouplingId>>,
+    /// Primary output nets.
+    pub outputs: Vec<NetId>,
+}
+
 impl Circuit {
+    /// Decomposes the circuit into its raw parts.
+    #[must_use]
+    pub fn into_parts(self) -> CircuitParts {
+        CircuitParts {
+            library: self.library,
+            gates: self.gates,
+            nets: self.nets,
+            couplings: self.couplings,
+            gate_topo: self.gate_topo,
+            net_topo: self.net_topo,
+            couplings_by_net: self.couplings_by_net,
+            outputs: self.outputs,
+        }
+    }
+
+    /// Reassembles a circuit from raw parts **without any validation**.
+    ///
+    /// The result may violate every invariant the builder guarantees;
+    /// analyses run on such a circuit may panic or return nonsense. Intended
+    /// only for IR-level tooling — in particular the `dna-lint` verifier's
+    /// known-bad test corpus. Use [`CircuitBuilder`](crate::CircuitBuilder)
+    /// for anything else.
+    #[must_use]
+    pub fn from_parts_unchecked(parts: CircuitParts) -> Self {
+        Self {
+            library: parts.library,
+            gates: parts.gates,
+            nets: parts.nets,
+            couplings: parts.couplings,
+            gate_topo: parts.gate_topo,
+            net_topo: parts.net_topo,
+            couplings_by_net: parts.couplings_by_net,
+            outputs: parts.outputs,
+        }
+    }
+
     /// The cell library the circuit was mapped to.
     #[must_use]
     pub fn library(&self) -> &Library {
@@ -158,11 +220,8 @@ impl Circuit {
     #[must_use]
     pub fn load_cap(&self, net: NetId) -> f64 {
         let n = self.net(net);
-        let pin_caps: f64 = n
-            .loads()
-            .iter()
-            .map(|&g| self.library.cell(self.gate(g).kind()).input_cap)
-            .sum();
+        let pin_caps: f64 =
+            n.loads().iter().map(|&g| self.library.cell(self.gate(g).kind()).input_cap).sum();
         let coupling_caps: f64 =
             self.couplings_on(net).iter().map(|&c| self.coupling(c).cap()).sum();
         n.wire_cap() + pin_caps + coupling_caps

@@ -10,11 +10,17 @@ use crate::NetId;
 /// the *victim* while the other side is the *aggressor*. One `Coupling` is
 /// the paper's unit of fixing: eliminating it (by spacing or shielding)
 /// removes the noise contribution in **both** directions.
+///
+/// Fields are public for the benefit of IR-level tooling (the `dna-lint`
+/// verifier); a [`Circuit`](crate::Circuit) never exposes couplings mutably.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Coupling {
-    pub(crate) a: NetId,
-    pub(crate) b: NetId,
-    pub(crate) cap: f64,
+    /// First endpoint.
+    pub a: NetId,
+    /// Second endpoint.
+    pub b: NetId,
+    /// Coupling capacitance in fF.
+    pub cap: f64,
 }
 
 impl Coupling {

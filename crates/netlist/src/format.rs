@@ -89,14 +89,10 @@ pub fn write(circuit: &Circuit) -> String {
 pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
     let mut builder = CircuitBuilder::new(Library::cmos013());
 
-    let err = |line: usize, message: &str| NetlistError::Parse {
-        line,
-        message: message.to_owned(),
-    };
+    let err =
+        |line: usize, message: &str| NetlistError::Parse { line, message: message.to_owned() };
     let lookup = |builder: &CircuitBuilder, line: usize, name: &str| {
-        builder
-            .net_named(name)
-            .ok_or_else(|| err(line, &format!("unknown net `{name}`")))
+        builder.net_named(name).ok_or_else(|| err(line, &format!("unknown net `{name}`")))
     };
     let number = |line: usize, tok: &str, what: &str| {
         f64::from_str(tok).map_err(|_| err(line, &format!("invalid {what} `{tok}`")))
@@ -120,8 +116,7 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 if toks.len() < 4 {
                     return Err(err(line_no, "expected `gate <cell> <name> <inputs…>`"));
                 }
-                let kind = CellKind::from_str(toks[1])
-                    .map_err(|e| err(line_no, &e.to_string()))?;
+                let kind = CellKind::from_str(toks[1]).map_err(|e| err(line_no, &e.to_string()))?;
                 let inputs = toks[3..]
                     .iter()
                     .map(|t| lookup(&builder, line_no, t))

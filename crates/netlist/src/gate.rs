@@ -9,12 +9,21 @@ use crate::{CellKind, GateId, NetId};
 /// A gate reads its `inputs` nets and drives exactly one `output` net.
 /// Electrical parameters live in the [`Library`](crate::Library); the gate
 /// only records its [`CellKind`].
+/// Fields are public so IR-level tooling (the `dna-lint` verifier, raw
+/// deserializers) can construct and inspect nodes directly; a [`Circuit`]
+/// never hands out mutable references, so its invariants stay intact.
+///
+/// [`Circuit`]: crate::Circuit
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Gate {
-    pub(crate) name: String,
-    pub(crate) kind: CellKind,
-    pub(crate) inputs: Vec<NetId>,
-    pub(crate) output: NetId,
+    /// Instance name.
+    pub name: String,
+    /// The cell this gate instantiates.
+    pub kind: CellKind,
+    /// Input nets in pin order.
+    pub inputs: Vec<NetId>,
+    /// The net this gate drives.
+    pub output: NetId,
 }
 
 impl Gate {
@@ -74,14 +83,23 @@ impl NetSource {
 /// Each net has exactly one [`NetSource`], zero or more load gates, a
 /// grounded wire capacitance (fF) and an optional 2-D position used by the
 /// synthetic generator to assign realistic coupling capacitors.
+///
+/// As with [`Gate`], fields are public for the benefit of IR-level tooling;
+/// a [`Circuit`](crate::Circuit) never exposes nets mutably.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Net {
-    pub(crate) name: String,
-    pub(crate) source: NetSource,
-    pub(crate) loads: Vec<GateId>,
-    pub(crate) wire_cap: f64,
-    pub(crate) is_output: bool,
-    pub(crate) position: Option<(f64, f64)>,
+    /// Net name.
+    pub name: String,
+    /// What drives the net.
+    pub source: NetSource,
+    /// Gates whose inputs connect to this net.
+    pub loads: Vec<GateId>,
+    /// Grounded wire capacitance in fF.
+    pub wire_cap: f64,
+    /// Whether the net is a primary output (a timing sink).
+    pub is_output: bool,
+    /// Placement position, if assigned.
+    pub position: Option<(f64, f64)>,
 }
 
 impl Net {

@@ -192,10 +192,8 @@ fn place_couplings(
     if config.couplings == 0 || nets.len() < 2 {
         return Ok(());
     }
-    let pos: Vec<(f64, f64)> = nets
-        .iter()
-        .map(|&n| builder.position_of(n).unwrap_or((0.0, 0.0)))
-        .collect();
+    let pos: Vec<(f64, f64)> =
+        nets.iter().map(|&n| builder.position_of(n).unwrap_or((0.0, 0.0))).collect();
 
     let mut used: HashSet<(NetId, NetId)> = HashSet::new();
     let mut radius = 1.6_f64;

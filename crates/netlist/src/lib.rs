@@ -49,10 +49,10 @@ pub mod suite;
 
 pub use builder::CircuitBuilder;
 pub use cell::{Cell, CellKind, ParseCellKindError};
-pub use circuit::{Circuit, CircuitStats};
+pub use circuit::{Circuit, CircuitParts, CircuitStats};
 pub use coupling::Coupling;
 pub use error::NetlistError;
 pub use gate::{Gate, Net, NetSource};
 pub use ids::{CouplingId, GateId, NetId};
 pub use library::Library;
-pub use topo::topo_sort_gates;
+pub use topo::{find_cycle, topo_sort_gates};

@@ -98,10 +98,7 @@ impl Library {
     }
 
     fn slot(kind: CellKind) -> usize {
-        CellKind::all()
-            .iter()
-            .position(|&k| k == kind)
-            .expect("CellKind::all covers every kind")
+        CellKind::all().iter().position(|&k| k == kind).expect("CellKind::all covers every kind")
     }
 }
 

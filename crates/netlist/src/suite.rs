@@ -90,10 +90,7 @@ pub fn benchmark(name: &str, seed: u64) -> Result<Circuit, NetlistError> {
 ///
 /// Propagates generator errors (none occur for the fixed specifications).
 pub fn full_suite(seed: u64) -> Result<Vec<(BenchmarkSpec, Circuit)>, NetlistError> {
-    SPECS
-        .iter()
-        .map(|&s| benchmark(s.name, seed).map(|c| (s, c)))
-        .collect()
+    SPECS.iter().map(|&s| benchmark(s.name, seed).map(|c| (s, c))).collect()
 }
 
 #[cfg(test)]

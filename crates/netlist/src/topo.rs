@@ -1,6 +1,6 @@
 //! Topological ordering of the combinational core.
 
-use crate::{Gate, GateId, NetlistError, NetSource, Net};
+use crate::{Gate, GateId, Net, NetSource, NetlistError};
 
 /// Computes a topological order of the gates (Kahn's algorithm).
 ///
@@ -48,6 +48,82 @@ pub fn topo_sort_gates(gates: &[Gate], nets: &[Net]) -> Result<Vec<GateId>, Netl
         return Err(NetlistError::CombinationalCycle(GateId::new(stuck as u32)));
     }
     Ok(order)
+}
+
+/// Finds one combinational cycle and returns it in full, drivers-to-loads,
+/// with the first gate repeated at the end (`g0 → g1 → … → g0`).
+///
+/// [`topo_sort_gates`] names only a single stuck gate; diagnostics that
+/// want to show the user the whole loop (the lint rule `L013`) use this.
+/// Returns `None` when the gate graph is acyclic. Ids referenced by gate
+/// inputs must be in range for `nets`, but net sources may name any gate —
+/// out-of-range driver ids are ignored (they are a different corruption,
+/// reported by the referential-integrity pass).
+#[must_use]
+pub fn find_cycle(gates: &[Gate], nets: &[Net]) -> Option<Vec<GateId>> {
+    let n = gates.len();
+    // Gate-to-gate dependency edges: gate -> driver of each input net.
+    let preds = |gi: usize| {
+        gates[gi].inputs.iter().filter_map(|input| {
+            let net = nets.get(input.index())?;
+            match net.source {
+                NetSource::Gate(driver) if driver.index() < n => Some(driver.index()),
+                _ => None,
+            }
+        })
+    };
+
+    // Iterative DFS with colors: 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        // Stack of (gate, whether its predecessors were already pushed).
+        let mut stack = vec![(start, false)];
+        // Path of gray gates, for cycle extraction.
+        let mut path: Vec<usize> = Vec::new();
+        while let Some(&mut (gi, ref mut expanded)) = stack.last_mut() {
+            if *expanded {
+                stack.pop();
+                color[gi] = 2;
+                path.pop();
+                continue;
+            }
+            if color[gi] != 0 {
+                // Pushed twice while white and already handled via the
+                // other entry.
+                stack.pop();
+                continue;
+            }
+            *expanded = true;
+            color[gi] = 1;
+            path.push(gi);
+            for p in preds(gi) {
+                match color[p] {
+                    0 => stack.push((p, false)),
+                    1 => {
+                        // Found a back edge gi -> p; the cycle is the path
+                        // suffix from p onward, plus gi's edge back to p.
+                        let at = path
+                            .iter()
+                            .position(|&x| x == p)
+                            .expect("gray gate must be on the current path");
+                        // path[at..] lists loads-to-drivers (each gate is
+                        // followed by one of its predecessors); reverse to
+                        // report drivers-to-loads, then close the loop via
+                        // the back edge `p drives gi`.
+                        let mut cycle: Vec<GateId> =
+                            path[at..].iter().rev().map(|&x| GateId::new(x as u32)).collect();
+                        cycle.push(cycle[0]);
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -100,6 +176,63 @@ mod tests {
         let gates = vec![gate("g0", &[1], 0), gate("g1", &[0], 1)];
         let err = topo_sort_gates(&gates, &nets).unwrap_err();
         assert!(matches!(err, NetlistError::CombinationalCycle(_)));
+    }
+
+    #[test]
+    fn find_cycle_names_the_full_loop() {
+        // Three-gate ring: g0 -> n0 -> g1 -> n1 -> g2 -> n2 -> g0.
+        let nets = vec![
+            net("n0", NetSource::Gate(GateId::new(0))),
+            net("n1", NetSource::Gate(GateId::new(1))),
+            net("n2", NetSource::Gate(GateId::new(2))),
+        ];
+        let gates = vec![gate("g0", &[2], 0), gate("g1", &[0], 1), gate("g2", &[1], 2)];
+        let cycle = find_cycle(&gates, &nets).expect("ring must be detected");
+        // Full loop: first gate repeated at the end, every ring member named.
+        assert_eq!(cycle.first(), cycle.last());
+        assert_eq!(cycle.len(), 4);
+        let members: Vec<u32> = cycle[..3].iter().map(|g| g.index() as u32).collect();
+        for g in 0..3 {
+            assert!(members.contains(&g), "gate {g} missing from reported cycle");
+        }
+        // Consecutive entries must be actual dependency edges
+        // (driver feeds the next gate).
+        for w in cycle.windows(2) {
+            let (driver, load) = (w[0], w[1]);
+            let feeds = gates[load.index()]
+                .inputs
+                .iter()
+                .any(|&i| matches!(nets[i.index()].source, NetSource::Gate(d) if d == driver));
+            assert!(feeds, "{driver:?} does not feed {load:?}");
+        }
+    }
+
+    #[test]
+    fn find_cycle_none_on_dag() {
+        let gates = vec![gate("g1", &[1], 2), gate("g0", &[0], 1)];
+        let nets = vec![
+            net("a", NetSource::PrimaryInput),
+            net("b", NetSource::Gate(GateId::new(1))),
+            net("c", NetSource::Gate(GateId::new(0))),
+        ];
+        assert_eq!(find_cycle(&gates, &nets), None);
+    }
+
+    #[test]
+    fn find_cycle_self_loop() {
+        // g0 reads its own output.
+        let nets = vec![net("x", NetSource::Gate(GateId::new(0)))];
+        let gates = vec![gate("g0", &[0], 0)];
+        let cycle = find_cycle(&gates, &nets).unwrap();
+        assert_eq!(cycle, vec![GateId::new(0), GateId::new(0)]);
+    }
+
+    #[test]
+    fn find_cycle_ignores_out_of_range_driver_ids() {
+        // Net claims a driver gate that does not exist; not a cycle.
+        let nets = vec![net("x", NetSource::Gate(GateId::new(7)))];
+        let gates = vec![gate("g0", &[0], 0)];
+        assert_eq!(find_cycle(&gates, &nets), None);
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub struct Alignment {
 /// assert!((best.instant - victim.t50()).abs() < 10.0);
 /// ```
 #[must_use]
-pub fn worst_alignment(
-    victim: &Transition,
-    pulse: &NoisePulse,
-    window: TimeInterval,
-) -> Alignment {
+pub fn worst_alignment(victim: &Transition, pulse: &NoisePulse, window: TimeInterval) -> Alignment {
     let evaluate = |instant: f64| {
         let env = Envelope::from_pulse(&pulse.shifted(instant));
         superposition::delay_noise(victim, &env)
@@ -105,10 +101,8 @@ mod tests {
         let t = 4.0;
         let window = TimeInterval::point(t);
         let best = worst_alignment(&victim(), &pulse, window);
-        let direct = superposition::delay_noise(
-            &victim(),
-            &Envelope::from_pulse(&pulse.shifted(t)),
-        );
+        let direct =
+            superposition::delay_noise(&victim(), &Envelope::from_pulse(&pulse.shifted(t)));
         assert_eq!(best.instant, t);
         assert!((best.delay_noise - direct).abs() < 1e-12);
     }

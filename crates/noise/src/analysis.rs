@@ -128,12 +128,8 @@ impl<'c> NoiseAnalysis<'c> {
 
         let mut iterations = 0;
         let mut converged = false;
-        let mut timing = TimingReport::run_with_noise(
-            self.circuit,
-            &self.model,
-            &self.config.sta,
-            &noise,
-        )?;
+        let mut timing =
+            TimingReport::run_with_noise(self.circuit, &self.model, &self.config.sta, &noise)?;
         while iterations < self.config.max_iterations {
             iterations += 1;
             let fresh = self.noise_pass(timing.timings(), &noise, mask);
@@ -153,12 +149,8 @@ impl<'c> NoiseAnalysis<'c> {
                 delta = delta.max((next - noise[i]).abs());
                 noise[i] = next;
             }
-            timing = TimingReport::run_with_noise(
-                self.circuit,
-                &self.model,
-                &self.config.sta,
-                &noise,
-            )?;
+            timing =
+                TimingReport::run_with_noise(self.circuit, &self.model, &self.config.sta, &noise)?;
             if delta < self.config.tolerance {
                 converged = true;
                 break;
@@ -180,13 +172,10 @@ impl<'c> NoiseAnalysis<'c> {
         self.circuit
             .net_ids()
             .map(|v| {
-                let parts = envelope_calc::victim_envelopes(
-                    self.circuit,
-                    &self.config,
-                    v,
-                    timings,
-                    |id| mask.is_enabled(id),
-                );
+                let parts =
+                    envelope_calc::victim_envelopes(self.circuit, &self.config, v, timings, |id| {
+                        mask.is_enabled(id)
+                    });
                 if parts.is_empty() {
                     return 0.0;
                 }
@@ -246,15 +235,13 @@ impl<'c> NoiseAnalysis<'c> {
         timings: &[NetTiming],
         mask: &CouplingMask,
     ) -> f64 {
-        let horizon =
-            timings.iter().map(NetTiming::lat).fold(0.0_f64, f64::max) * 2.0 + 1_000.0;
-        let widened: Vec<NetTiming> = timings
-            .iter()
-            .map(|t| NetTiming::new(t.eat(), t.lat() + horizon, t.slew()))
-            .collect();
-        let parts = envelope_calc::victim_envelopes(self.circuit, &self.config, victim, &widened, |id| {
-            mask.is_enabled(id)
-        });
+        let horizon = timings.iter().map(NetTiming::lat).fold(0.0_f64, f64::max) * 2.0 + 1_000.0;
+        let widened: Vec<NetTiming> =
+            timings.iter().map(|t| NetTiming::new(t.eat(), t.lat() + horizon, t.slew())).collect();
+        let parts =
+            envelope_calc::victim_envelopes(self.circuit, &self.config, victim, &widened, |id| {
+                mask.is_enabled(id)
+            });
         if parts.is_empty() {
             return 0.0;
         }
@@ -382,8 +369,8 @@ mod tests {
 
     #[test]
     fn ascending_iteration_is_monotone_and_converges() {
-        let c = generator::generate(&generator::GeneratorConfig::new(40, 120).with_seed(11))
-            .unwrap();
+        let c =
+            generator::generate(&generator::GeneratorConfig::new(40, 120).with_seed(11)).unwrap();
         let report = NoiseAnalysis::new(&c, NoiseConfig::default()).run().unwrap();
         assert!(report.converged(), "did not converge in {} iterations", report.iterations());
         assert!(report.noise().iter().all(|&x| x >= 0.0));
@@ -392,8 +379,7 @@ mod tests {
 
     #[test]
     fn pessimistic_start_bounds_optimistic() {
-        let c = generator::generate(&generator::GeneratorConfig::new(30, 90).with_seed(3))
-            .unwrap();
+        let c = generator::generate(&generator::GeneratorConfig::new(30, 90).with_seed(3)).unwrap();
         let optimistic = NoiseAnalysis::new(&c, NoiseConfig::default()).run().unwrap();
         let pessimistic = NoiseAnalysis::new(
             &c,

@@ -31,9 +31,8 @@ pub fn coupling_envelope(
         .unwrap_or_else(|| panic!("coupling {coupling} is not incident to net {victim}"));
     let aggr_timing = &timings[aggressor.index()];
 
-    let victim_resistance = circuit
-        .driver_cell(victim)
-        .map_or(config.pi_resistance, |cell| cell.drive_resistance);
+    let victim_resistance =
+        circuit.driver_cell(victim).map_or(config.pi_resistance, |cell| cell.drive_resistance);
     let ground_cap = (circuit.load_cap(victim) - cc.cap()).max(0.0);
 
     let pulse = config.coupling.noise_pulse(&CouplingContext {

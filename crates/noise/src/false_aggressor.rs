@@ -111,10 +111,8 @@ pub fn false_couplings(
             if !mask.is_enabled(cc) {
                 continue;
             }
-            let aggressor = circuit
-                .coupling(cc)
-                .other(victim)
-                .expect("coupling index is consistent");
+            let aggressor =
+                circuit.coupling(cc).other(victim).expect("coupling index is consistent");
             if exclusions.excluded(victim, aggressor) {
                 result.push(FalseCoupling { coupling: cc, victim });
                 continue;
@@ -150,13 +148,8 @@ mod tests {
         let cc = b.coupling(agg, n, 5.0).unwrap();
         let c = b.build().unwrap();
         let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
-        let falses = false_couplings(
-            &c,
-            &NoiseConfig::default(),
-            t.timings(),
-            &ExclusionSet::new(),
-            0.0,
-        );
+        let falses =
+            false_couplings(&c, &NoiseConfig::default(), t.timings(), &ExclusionSet::new(), 0.0);
         let victim = c.net_by_name("b11").unwrap();
         assert!(falses.contains(&FalseCoupling { coupling: cc, victim }));
         // In the opposite direction (late net attacking the early input)
@@ -180,8 +173,7 @@ mod tests {
         let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
         let mut ex = ExclusionSet::new();
         ex.add(v, g);
-        let falses =
-            false_couplings(&c, &NoiseConfig::default(), t.timings(), &ex, 0.0);
+        let falses = false_couplings(&c, &NoiseConfig::default(), t.timings(), &ex, 0.0);
         // Excluded in both victim directions.
         assert!(falses.contains(&FalseCoupling { coupling: cc, victim: v }));
         assert!(falses.contains(&FalseCoupling { coupling: cc, victim: g }));
@@ -199,13 +191,8 @@ mod tests {
         b.coupling(v, g, 6.0).unwrap();
         let c = b.build().unwrap();
         let t = TimingReport::run(&c, &LinearDelayModel::new(), &StaConfig::default()).unwrap();
-        let falses = false_couplings(
-            &c,
-            &NoiseConfig::default(),
-            t.timings(),
-            &ExclusionSet::new(),
-            0.0,
-        );
+        let falses =
+            false_couplings(&c, &NoiseConfig::default(), t.timings(), &ExclusionSet::new(), 0.0);
         assert!(falses.is_empty());
     }
 }

@@ -5,8 +5,7 @@ use dna_netlist::generator::{generate, GeneratorConfig};
 use dna_netlist::Circuit;
 use dna_noise::alignment::worst_alignment;
 use dna_noise::{
-    ChargeSharingModel, CouplingContext, CouplingMask, CouplingModel, NoiseAnalysis,
-    NoiseConfig,
+    ChargeSharingModel, CouplingContext, CouplingMask, CouplingModel, NoiseAnalysis, NoiseConfig,
 };
 use dna_waveform::{superposition, Edge, Envelope, TimeInterval, Transition};
 use proptest::prelude::*;
@@ -20,13 +19,11 @@ fn circuit_strategy() -> impl Strategy<Value = Circuit> {
 
 fn context_strategy() -> impl Strategy<Value = CouplingContext> {
     (0.5f64..20.0, 1.0f64..40.0, 0.2f64..6.0, 2.0f64..80.0).prop_map(
-        |(coupling_cap, victim_ground_cap, victim_resistance, aggressor_slew)| {
-            CouplingContext {
-                coupling_cap,
-                victim_ground_cap,
-                victim_resistance,
-                aggressor_slew,
-            }
+        |(coupling_cap, victim_ground_cap, victim_resistance, aggressor_slew)| CouplingContext {
+            coupling_cap,
+            victim_ground_cap,
+            victim_resistance,
+            aggressor_slew,
         },
     )
 }

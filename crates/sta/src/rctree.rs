@@ -84,10 +84,7 @@ impl RcTree {
     /// or `cap` is negative or non-finite.
     pub fn add_node(&mut self, parent: RcNode, resistance: f64, cap: f64) -> RcNode {
         assert!(parent.0 < self.parent.len(), "parent {parent} out of range");
-        assert!(
-            resistance.is_finite() && resistance >= 0.0,
-            "resistance must be non-negative"
-        );
+        assert!(resistance.is_finite() && resistance >= 0.0, "resistance must be non-negative");
         assert!(cap.is_finite() && cap >= 0.0, "capacitance must be non-negative");
         self.parent.push(parent.0);
         self.resistance.push(resistance);

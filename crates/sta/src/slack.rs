@@ -157,8 +157,7 @@ mod tests {
         let model = LinearDelayModel::new();
         let timing = TimingReport::run(&c, &model, &StaConfig::default()).unwrap();
         let tight = SlackReport::compute(&c, &model, &timing, timing.circuit_delay());
-        let loose =
-            SlackReport::compute(&c, &model, &timing, timing.circuit_delay() + 100.0);
+        let loose = SlackReport::compute(&c, &model, &timing, timing.circuit_delay() + 100.0);
         assert!((loose.slack(y) - tight.slack(y) - 100.0).abs() < 1e-9);
         assert!((loose.worst_slack() - tight.worst_slack() - 100.0).abs() < 1e-9);
     }

@@ -61,8 +61,7 @@ pub fn top_k_paths<M: DelayModel>(
     for &net in circuit.nets_topological() {
         match circuit.net(net).source() {
             NetSource::PrimaryInput => {
-                cands[net.index()] =
-                    vec![Candidate { arrival: config.input_arrival, pred: None }];
+                cands[net.index()] = vec![Candidate { arrival: config.input_arrival, pred: None }];
             }
             NetSource::Gate(g) => {
                 let gate = circuit.gate(g);
@@ -77,9 +76,7 @@ pub fn top_k_paths<M: DelayModel>(
                         });
                     }
                 }
-                merged.sort_by(|a, b| {
-                    b.arrival.partial_cmp(&a.arrival).expect("finite arrivals")
-                });
+                merged.sort_by(|a, b| b.arrival.partial_cmp(&a.arrival).expect("finite arrivals"));
                 merged.truncate(k);
                 cands[net.index()] = merged;
             }
@@ -155,10 +152,8 @@ mod tests {
         let model = LinearDelayModel::new();
         let cfg = StaConfig::default();
         for seed in 0..5 {
-            let c = generator::generate(
-                &generator::GeneratorConfig::new(60, 0).with_seed(seed),
-            )
-            .unwrap();
+            let c = generator::generate(&generator::GeneratorConfig::new(60, 0).with_seed(seed))
+                .unwrap();
             let r = TimingReport::run(&c, &model, &cfg).unwrap();
             let paths = top_k_paths(&c, &model, &cfg, 1);
             assert!(

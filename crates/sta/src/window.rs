@@ -40,6 +40,17 @@ impl NetTiming {
         Self { window: TimeInterval::new(eat, lat), slew }
     }
 
+    /// Creates timing data **without validating it**.
+    ///
+    /// Inverted windows, non-finite bounds and non-positive slews all pass
+    /// through. Intended only for IR-level tooling — the `dna-lint`
+    /// verifier's known-bad corpus exercises the timing rules that
+    /// [`new`](Self::new) makes unrepresentable.
+    #[must_use]
+    pub fn from_raw_unchecked(eat: f64, lat: f64, slew: f64) -> Self {
+        Self { window: TimeInterval::from_bounds_unchecked(eat, lat), slew }
+    }
+
     /// Earliest arrival time of the 50 % crossing.
     #[must_use]
     pub fn eat(&self) -> f64 {

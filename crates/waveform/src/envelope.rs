@@ -109,6 +109,18 @@ impl Envelope {
         Self { curve: clamped }
     }
 
+    /// Wraps an arbitrary curve as an envelope **without any validation**.
+    ///
+    /// Unlike [`from_curve`](Self::from_curve) this performs no clamping,
+    /// tail pinning or decay checks, so the result may violate every
+    /// envelope invariant (non-negativity, zero tails). Intended only for
+    /// IR-level tooling — in particular the `dna-lint` verifier's known-bad
+    /// test corpus, which exercises the `L023` envelope-malformed rule.
+    #[must_use]
+    pub fn from_pwl_unchecked(curve: Pwl) -> Self {
+        Self { curve }
+    }
+
     /// The underlying piecewise-linear curve.
     #[must_use]
     pub fn as_pwl(&self) -> &Pwl {
@@ -180,9 +192,7 @@ impl Envelope {
         if other.is_zero() {
             return self.clone();
         }
-        Envelope {
-            curve: (&self.curve - &other.curve).clamped_min(0.0).simplified(EPS),
-        }
+        Envelope { curve: (&self.curve - &other.curve).clamped_min(0.0).simplified(EPS) }
     }
 
     /// The envelope translated by `dt`.
@@ -236,9 +246,7 @@ impl Envelope {
         if v_hi > 0.0 {
             pts.push((interval.hi() + RAMP, 0.0));
         }
-        Envelope {
-            curve: Pwl::new(pts).expect("clipped points stay ordered"),
-        }
+        Envelope { curve: Pwl::new(pts).expect("clipped points stay ordered") }
     }
 
     /// Whether this envelope *encapsulates* `other` over `interval`:

@@ -43,6 +43,18 @@ impl TimeInterval {
         Self::new(t, t)
     }
 
+    /// Creates an interval **without validating the bounds**.
+    ///
+    /// The result may be inverted (`lo > hi`) or non-finite, which most
+    /// interval consumers are not prepared for. Intended only for IR-level
+    /// tooling — in particular the `dna-lint` verifier's known-bad test
+    /// corpus, which exercises the window-ordering rules that
+    /// [`new`](Self::new) makes unrepresentable.
+    #[must_use]
+    pub fn from_bounds_unchecked(lo: f64, hi: f64) -> Self {
+        Self { lo, hi }
+    }
+
     /// Lower bound.
     #[must_use]
     pub fn lo(&self) -> f64 {

@@ -96,6 +96,46 @@ impl Pwl {
         Ok(Self { points: merged })
     }
 
+    /// Wraps raw breakpoints **without any validation or merging**.
+    ///
+    /// Every other constructor guarantees the breakpoint invariants
+    /// (non-empty, finite, times strictly increasing after merging); this
+    /// one does not, so the resulting curve may make `eval` and the curve
+    /// algebra return nonsense. Intended only for IR-level tooling — in
+    /// particular the `dna-lint` verifier's known-bad test corpus, which
+    /// needs curves that [`Pwl::new`] rightly refuses to build.
+    #[must_use]
+    pub fn from_points_unchecked(points: Vec<(f64, f64)>) -> Self {
+        Self { points }
+    }
+
+    /// Checks the breakpoint invariants on an already-built curve.
+    ///
+    /// Returns the first violation as the same [`PwlError`] that
+    /// [`Pwl::new`] would report: the list must be non-empty, every
+    /// coordinate finite and times strictly increasing. Curves from checked
+    /// constructors always pass; this audit exists for curves smuggled in
+    /// through [`from_points_unchecked`](Self::from_points_unchecked) or
+    /// future deserializers, and backs the lint rules `L020`/`L021`.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PwlError`] found, scanning left to right.
+    pub fn is_well_formed(&self) -> Result<(), PwlError> {
+        if self.points.is_empty() {
+            return Err(PwlError::Empty);
+        }
+        for (i, &(t, v)) in self.points.iter().enumerate() {
+            if !t.is_finite() || !v.is_finite() {
+                return Err(PwlError::NonFinite(i));
+            }
+            if i > 0 && t <= self.points[i - 1].0 {
+                return Err(PwlError::NonIncreasing(i));
+            }
+        }
+        Ok(())
+    }
+
     /// The constant curve `v(t) = v`.
     #[must_use]
     pub fn constant(v: f64) -> Self {
@@ -138,12 +178,14 @@ impl Pwl {
     /// The curve translated right by `dt`.
     #[must_use]
     pub fn shifted(&self, dt: f64) -> Self {
+        debug_assert!(dt.is_finite(), "shift by non-finite dt {dt}");
         Self { points: self.points.iter().map(|&(t, v)| (t + dt, v)).collect() }
     }
 
     /// The curve with all values multiplied by `factor`.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> Self {
+        debug_assert!(factor.is_finite(), "scale by non-finite factor {factor}");
         Self { points: self.points.iter().map(|&(t, v)| (t, v * factor)).collect() }
     }
 
@@ -323,11 +365,8 @@ impl Pwl {
             let (t2, v2) = pts[i + 1];
             // Value predicted at t1 by the chord from the last kept point
             // to the next point.
-            let predicted = if (t2 - t0).abs() <= EPS {
-                v0
-            } else {
-                v0 + (v2 - v0) * (t1 - t0) / (t2 - t0)
-            };
+            let predicted =
+                if (t2 - t0).abs() <= EPS { v0 } else { v0 + (v2 - v0) * (t1 - t0) / (t2 - t0) };
             if (v1 - predicted).abs() > tol {
                 out.push(pts[i]);
             }
@@ -402,18 +441,12 @@ mod tests {
     #[test]
     fn non_finite_rejected() {
         assert_eq!(Pwl::new(vec![(0.0, f64::NAN)]), Err(PwlError::NonFinite(0)));
-        assert_eq!(
-            Pwl::new(vec![(0.0, 0.0), (f64::INFINITY, 1.0)]),
-            Err(PwlError::NonFinite(1))
-        );
+        assert_eq!(Pwl::new(vec![(0.0, 0.0), (f64::INFINITY, 1.0)]), Err(PwlError::NonFinite(1)));
     }
 
     #[test]
     fn decreasing_times_rejected() {
-        assert_eq!(
-            Pwl::new(vec![(1.0, 0.0), (0.0, 1.0)]),
-            Err(PwlError::NonIncreasing(1))
-        );
+        assert_eq!(Pwl::new(vec![(1.0, 0.0), (0.0, 1.0)]), Err(PwlError::NonIncreasing(1)));
     }
 
     #[test]
@@ -535,14 +568,28 @@ mod tests {
     }
 
     #[test]
+    fn well_formed_audit_matches_constructor() {
+        assert_eq!(ramp().is_well_formed(), Ok(()));
+        assert_eq!(Pwl::constant(3.0).is_well_formed(), Ok(()));
+        let empty = Pwl::from_points_unchecked(vec![]);
+        assert_eq!(empty.is_well_formed(), Err(PwlError::Empty));
+        let nan = Pwl::from_points_unchecked(vec![(0.0, f64::NAN)]);
+        assert_eq!(nan.is_well_formed(), Err(PwlError::NonFinite(0)));
+        let backwards = Pwl::from_points_unchecked(vec![(1.0, 0.0), (0.5, 0.0)]);
+        assert_eq!(backwards.is_well_formed(), Err(PwlError::NonIncreasing(1)));
+        let duplicate = Pwl::from_points_unchecked(vec![(1.0, 0.0), (1.0, 2.0)]);
+        assert_eq!(duplicate.is_well_formed(), Err(PwlError::NonIncreasing(1)));
+    }
+
+    #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", ramp()).is_empty());
     }
 
     #[test]
     fn simplified_removes_collinear_points() {
-        let p = Pwl::new(vec![(0.0, 0.0), (1.0, 0.1), (2.0, 0.2), (3.0, 0.3), (10.0, 1.0)])
-            .unwrap();
+        let p =
+            Pwl::new(vec![(0.0, 0.0), (1.0, 0.1), (2.0, 0.2), (3.0, 0.3), (10.0, 1.0)]).unwrap();
         let s = p.simplified(1e-9);
         assert!(s.points().len() < p.points().len());
         for i in 0..=40 {

@@ -27,11 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Worst victims by injected delay noise. -------------------------
-    let mut victims: Vec<_> = circuit
-        .net_ids()
-        .map(|n| (n, report.delay_noise(n)))
-        .filter(|&(_, dn)| dn > 0.0)
-        .collect();
+    let mut victims: Vec<_> =
+        circuit.net_ids().map(|n| (n, report.delay_noise(n))).filter(|&(_, dn)| dn > 0.0).collect();
     victims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite noise"));
     println!("worst victims:");
     for &(net, dn) in victims.iter().take(5) {

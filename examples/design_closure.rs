@@ -38,12 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut current = noisy.circuit_delay();
     for round in 1..=3 {
         let result = engine.elimination_set_peeled(round * 5, 5)?;
-        let chosen: Vec<_> = result
-            .couplings()
-            .iter()
-            .filter(|&&cc| fixed.is_enabled(cc))
-            .copied()
-            .collect();
+        let chosen: Vec<_> =
+            result.couplings().iter().filter(|&&cc| fixed.is_enabled(cc)).copied().collect();
         fixed = fixed.without(&chosen);
         let after = noise.run_with_mask(&fixed)?.circuit_delay();
         println!(

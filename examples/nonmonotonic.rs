@@ -56,11 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quiet = delay(&[])?;
     println!("noiseless delay: {quiet:.1} ps\n");
     let singles = [("{a1}", vec![cc1]), ("{a2}", vec![cc2]), ("{a3}", vec![cc3])];
-    let pairs = [
-        ("{a1,a2}", vec![cc1, cc2]),
-        ("{a1,a3}", vec![cc1, cc3]),
-        ("{a2,a3}", vec![cc2, cc3]),
-    ];
+    let pairs =
+        [("{a1,a2}", vec![cc1, cc2]), ("{a1,a3}", vec![cc1, cc3]), ("{a2,a3}", vec![cc2, cc3])];
     let mut best1 = ("", f64::MIN);
     for (label, ids) in &singles {
         let d = delay(ids)? - quiet;

@@ -20,6 +20,9 @@
 //! * [`topk`] — the paper's contribution: top-k aggressor **addition** and
 //!   **elimination** sets via pseudo aggressors and dominance-pruned
 //!   irredundant lists, plus the brute-force and naive baselines.
+//! * [`lint`] — the static analyzer / invariant verifier: re-derives every
+//!   IR, waveform and engine invariant and reports violations as stable
+//!   `L0xx` diagnostics.
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use dna_lint as lint;
 pub use dna_netlist as netlist;
 pub use dna_noise as noise;
 pub use dna_sta as sta;

@@ -17,9 +17,7 @@ fn noise_brackets_hold_on_benchmark() {
     let circuit = i1();
     let noise = NoiseAnalysis::new(&circuit, NoiseConfig::default());
     let noisy = noise.run().expect("analysis succeeds");
-    let quiet = noise
-        .run_with_mask(&CouplingMask::none(&circuit))
-        .expect("analysis succeeds");
+    let quiet = noise.run_with_mask(&CouplingMask::none(&circuit)).expect("analysis succeeds");
     assert!(noisy.converged());
     assert!(
         noisy.circuit_delay() > quiet.circuit_delay(),
@@ -145,9 +143,7 @@ fn different_seeds_give_different_but_valid_circuits() {
     for c in [&a, &b] {
         assert_eq!(c.num_gates(), 59);
         assert_eq!(c.num_couplings(), 232);
-        let noisy = NoiseAnalysis::new(c, NoiseConfig::default())
-            .run()
-            .expect("analysis succeeds");
+        let noisy = NoiseAnalysis::new(c, NoiseConfig::default()).run().expect("analysis succeeds");
         assert!(noisy.circuit_delay() > 0.0);
     }
 }
