@@ -57,3 +57,18 @@ fn engine_results_lint_clean() {
         assert!(diags.is_empty(), "k = {k}:\n{}", diags.render_text());
     }
 }
+
+#[test]
+fn l034_false_aggressor_leaking_into_a_result_is_reported() {
+    let circuit = generate(&GeneratorConfig::new(30, 40).with_seed(3)).expect("generator succeeds");
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let result = engine.addition_set(2).expect("engine runs");
+    // Declare the winning set itself excluded: every member is now a false
+    // aggressor that leaked into the answer.
+    let diags = lint_result(&circuit, &result, result.set());
+    assert!(diags.has(dna_lint::Rule::FalseAggressorInSet), "{}", diags.render_text());
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == dna_lint::Rule::FalseAggressorInSet).count(),
+        result.set().len()
+    );
+}
