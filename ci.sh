@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test"
 cargo test --workspace --offline -q
 
+echo "== bench smoke (serial vs parallel identity + report schema)"
+smoke_json="$(mktemp -t bench_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_json"' EXIT
+cargo run -q -p dna-cli --offline -- bench --quick --k 2 --json --out "$smoke_json" >/dev/null
+cargo run -q -p dna-cli --offline -- bench --check "$smoke_json"
+
 echo "CI OK"

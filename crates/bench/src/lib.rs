@@ -18,6 +18,8 @@ use std::fmt::Write as _;
 
 use dna_netlist::{suite, Circuit, NetlistError};
 
+pub mod topk_bench;
+
 /// Default RNG seed used by every experiment so results are reproducible.
 pub const DEFAULT_SEED: u64 = 42;
 

@@ -1,0 +1,585 @@
+//! The tracked top-k scaling benchmark: serial vs. level-parallel sweep.
+//!
+//! Runs the i1/i5/i10 suite through [`TopKAnalysis`] once per thread
+//! configuration and records wall-clock time plus the result fingerprint,
+//! so the level-parallel sweep is *measured* against the serial reference
+//! path — and proven bit-identical to it — on every tracked run. The
+//! report serializes to `BENCH_topk.json` (schema [`SCHEMA`]); the JSON is
+//! hand-rolled and hand-parsed because the workspace carries no serde.
+//!
+//! Entry points: `cargo run -p dna-bench --bin bench_topk` or
+//! `dna bench --json`.
+
+use std::time::Instant;
+
+use dna_netlist::{suite, CouplingId, NetId};
+use dna_topk::{Mode, TopKAnalysis, TopKConfig, TopKResult};
+
+use crate::{Table, DEFAULT_SEED};
+
+/// Schema marker written into (and required from) every report.
+pub const SCHEMA: &str = "dna-bench-topk/v1";
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    /// Benchmark circuit names (the paper's scaling suite by default).
+    pub circuits: Vec<String>,
+    /// The k requested from every addition/elimination run.
+    pub k: usize,
+    /// Timing samples per configuration; the fastest is reported.
+    pub samples: usize,
+    /// Circuit generator seed.
+    pub seed: u64,
+    /// Which engine modes to exercise.
+    pub modes: Vec<Mode>,
+}
+
+impl Default for BenchSpec {
+    fn default() -> Self {
+        Self {
+            circuits: vec!["i1".into(), "i5".into(), "i10".into()],
+            k: 10,
+            samples: 1,
+            seed: DEFAULT_SEED,
+            modes: vec![Mode::Addition, Mode::Elimination],
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Engine mode (`"addition"` / `"elimination"`).
+    pub mode: String,
+    /// Configured [`TopKConfig::threads`] (0 = auto).
+    pub threads: usize,
+    /// What that configuration resolved to on this host.
+    pub effective_threads: usize,
+    /// Fastest wall-clock time over the samples, in milliseconds.
+    pub wall_ms: f64,
+    /// Delay before applying the set, picoseconds.
+    pub delay_before_ps: f64,
+    /// Delay after applying the set, picoseconds.
+    pub delay_after_ps: f64,
+    /// Candidates generated before pruning.
+    pub generated: usize,
+    /// Largest irredundant-list width observed.
+    pub peak_list_width: usize,
+    /// Whether the result is bit-identical to the serial (`threads: 1`)
+    /// run of the same circuit and mode.
+    pub identical_to_serial: bool,
+}
+
+/// A full benchmark run, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// read this before comparing serial and parallel wall times: on a
+    /// single-core host the sweep degenerates to one worker and no
+    /// speedup is possible (or expected).
+    pub host_threads: usize,
+    /// The k measured.
+    pub k: usize,
+    /// Timing samples per configuration.
+    pub samples: usize,
+    /// Circuit generator seed.
+    pub seed: u64,
+    /// One entry per circuit × mode × thread configuration.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// Everything that must agree between a serial and a parallel run.
+/// Wall-clock time and the embedded runtime are deliberately excluded.
+#[derive(PartialEq)]
+struct Fingerprint {
+    set: Vec<CouplingId>,
+    sink: NetId,
+    delay_before: u64,
+    delay_after: u64,
+    predicted: u64,
+    peak_list_width: usize,
+    generated: usize,
+}
+
+fn fingerprint(r: &TopKResult) -> Fingerprint {
+    Fingerprint {
+        set: r.couplings().to_vec(),
+        sink: r.sink(),
+        delay_before: r.delay_before().to_bits(),
+        delay_after: r.delay_after().to_bits(),
+        predicted: r.predicted_delay().to_bits(),
+        peak_list_width: r.peak_list_width(),
+        generated: r.generated_candidates(),
+    }
+}
+
+/// The thread configurations one run measures: the serial reference and
+/// auto parallelism, plus a forced 4-thread run on single-core hosts so
+/// the parallel sweep (and its identity to serial) is exercised even
+/// where `0` resolves to one worker.
+#[must_use]
+pub fn thread_configs() -> Vec<usize> {
+    let auto = TopKConfig::default().effective_threads();
+    if auto == 1 {
+        vec![1, 0, 4]
+    } else {
+        vec![1, 0]
+    }
+}
+
+/// Runs the benchmark matrix.
+///
+/// Validation is disabled ([`TopKConfig::validate`] = false) so the
+/// timings isolate the enumeration sweep this benchmark tracks, not the
+/// iterative noise analysis replaying the winner.
+///
+/// # Errors
+///
+/// Returns a message for unknown circuit names or engine failures.
+pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
+    let mut entries = Vec::new();
+    for name in &spec.circuits {
+        let circuit = suite::benchmark(name, spec.seed).map_err(|e| e.to_string())?;
+        for &mode in &spec.modes {
+            let mut serial: Option<Fingerprint> = None;
+            for threads in thread_configs() {
+                let config = TopKConfig { threads, validate: false, ..TopKConfig::default() };
+                let engine = TopKAnalysis::new(&circuit, config);
+                let mut wall_ms = f64::INFINITY;
+                let mut result = None;
+                for _ in 0..spec.samples.max(1) {
+                    let start = Instant::now();
+                    let r = match mode {
+                        Mode::Addition => engine.addition_set(spec.k),
+                        Mode::Elimination => engine.elimination_set(spec.k),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                    result = Some(r);
+                }
+                let r = result.expect("samples >= 1");
+                let fp = fingerprint(&r);
+                let identical_to_serial = match &serial {
+                    // The first configuration *is* the serial reference.
+                    None => {
+                        serial = Some(fp);
+                        true
+                    }
+                    Some(reference) => *reference == fp,
+                };
+                entries.push(BenchEntry {
+                    circuit: name.clone(),
+                    mode: mode.name().to_owned(),
+                    threads,
+                    effective_threads: config.effective_threads(),
+                    wall_ms,
+                    delay_before_ps: r.delay_before(),
+                    delay_after_ps: r.delay_after(),
+                    generated: r.generated_candidates(),
+                    peak_list_width: r.peak_list_width(),
+                    identical_to_serial,
+                });
+            }
+        }
+    }
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    Ok(BenchReport { host_threads, k: spec.k, samples: spec.samples, seed: spec.seed, entries })
+}
+
+impl BenchReport {
+    /// Serializes the report (schema [`SCHEMA`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_string(SCHEMA)));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!("  \"k\": {},\n", self.k));
+        out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"circuit\": {},\n", json_string(&e.circuit)));
+            out.push_str(&format!("      \"mode\": {},\n", json_string(&e.mode)));
+            out.push_str(&format!("      \"threads\": {},\n", e.threads));
+            out.push_str(&format!("      \"effective_threads\": {},\n", e.effective_threads));
+            out.push_str(&format!("      \"wall_ms\": {:.3},\n", e.wall_ms));
+            out.push_str(&format!("      \"delay_before_ps\": {:.6},\n", e.delay_before_ps));
+            out.push_str(&format!("      \"delay_after_ps\": {:.6},\n", e.delay_after_ps));
+            out.push_str(&format!("      \"generated\": {},\n", e.generated));
+            out.push_str(&format!("      \"peak_list_width\": {},\n", e.peak_list_width));
+            out.push_str(&format!("      \"identical_to_serial\": {}\n", e.identical_to_serial));
+            out.push_str(if i + 1 < self.entries.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the report as an aligned text table, with a speedup column
+    /// comparing each configuration against the serial run of the same
+    /// circuit and mode.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut table = Table::new(&[
+            "circuit",
+            "mode",
+            "threads",
+            "eff",
+            "wall ms",
+            "speedup",
+            "width",
+            "generated",
+            "identical",
+        ]);
+        for e in &self.entries {
+            let serial_ms = self
+                .entries
+                .iter()
+                .find(|s| s.circuit == e.circuit && s.mode == e.mode && s.threads == 1)
+                .map_or(e.wall_ms, |s| s.wall_ms);
+            table.row(vec![
+                e.circuit.clone(),
+                e.mode.clone(),
+                e.threads.to_string(),
+                e.effective_threads.to_string(),
+                format!("{:.1}", e.wall_ms),
+                format!("{:.2}x", serial_ms / e.wall_ms.max(1e-9)),
+                e.peak_list_width.to_string(),
+                e.generated.to_string(),
+                if e.identical_to_serial { "yes" } else { "NO" }.to_owned(),
+            ]);
+        }
+        table.render()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value — just enough of the grammar to audit a report.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string".to_owned())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("malformed number at byte {start}"))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+/// Audits a serialized report: well-formed JSON, the [`SCHEMA`] marker,
+/// every required field, a non-empty entry list — and, semantically, that
+/// every entry reported results identical to its serial reference (the
+/// CI gate for the level-parallel sweep).
+///
+/// # Errors
+///
+/// Returns a message describing the first problem found.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let report = parse(text)?;
+    match report.get("schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        Some(Json::Str(s)) => return Err(format!("unknown schema `{s}` (expected `{SCHEMA}`)")),
+        _ => return Err("missing `schema` marker".into()),
+    }
+    for field in ["host_threads", "k", "samples", "seed"] {
+        if report.get(field).and_then(Json::as_num).is_none() {
+            return Err(format!("missing or non-numeric `{field}`"));
+        }
+    }
+    let entries = match report.get("entries") {
+        Some(Json::Arr(entries)) if !entries.is_empty() => entries,
+        Some(Json::Arr(_)) => return Err("`entries` is empty".into()),
+        _ => return Err("missing `entries` array".into()),
+    };
+    for (i, entry) in entries.iter().enumerate() {
+        for field in ["wall_ms", "threads", "effective_threads", "generated", "peak_list_width"] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("entry {i}: missing or non-numeric `{field}`"));
+            }
+        }
+        for field in ["circuit", "mode"] {
+            if !matches!(entry.get(field), Some(Json::Str(_))) {
+                return Err(format!("entry {i}: missing `{field}`"));
+            }
+        }
+        match entry.get("identical_to_serial") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!("entry {i}: parallel result differs from the serial reference"))
+            }
+            _ => return Err(format!("entry {i}: missing `identical_to_serial`")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_round_trips_through_json() {
+        let spec = BenchSpec {
+            circuits: vec!["i1".into()],
+            k: 2,
+            samples: 1,
+            seed: 7,
+            modes: vec![Mode::Addition],
+        };
+        let report = run(&spec).expect("bench runs");
+        // One entry per thread configuration, all identical to serial.
+        assert_eq!(report.entries.len(), thread_configs().len());
+        assert!(report.entries.iter().all(|e| e.identical_to_serial));
+        assert!(report.entries.iter().all(|e| e.wall_ms.is_finite() && e.wall_ms > 0.0));
+        let json = report.to_json();
+        validate_json(&json).expect("self-produced report validates");
+        let table = report.render_table();
+        assert!(table.contains("i1"));
+        assert!(table.contains("yes"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json(r#"{"schema": "other/v9"}"#).is_err());
+        // Structurally fine but semantically failing: a parallel run that
+        // did not match its serial reference must be flagged.
+        let bad = r#"{
+          "schema": "dna-bench-topk/v1",
+          "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
+          "entries": [{
+            "circuit": "i1", "mode": "addition", "threads": 0,
+            "effective_threads": 8, "wall_ms": 1.0,
+            "delay_before_ps": 1.0, "delay_after_ps": 2.0,
+            "generated": 3, "peak_list_width": 2,
+            "identical_to_serial": false
+          }]
+        }"#;
+        let err = validate_json(bad).unwrap_err();
+        assert!(err.contains("differs from the serial reference"), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5e1, "x\n\"y\""], "b": {"c": null, "d": true}}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(-25.0), Json::Str("x\n\"y\"".into()),]))
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+        assert!(parse(r#"{"a": 1} trailing"#).is_err());
+        assert!(parse(r#"[1, ]"#).is_err());
+    }
+}

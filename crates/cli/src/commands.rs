@@ -2,6 +2,7 @@
 
 use std::fs;
 
+use dna_bench::topk_bench;
 use dna_lint::{lint_circuit, lint_config, lint_result, lint_timing, Diagnostics};
 use dna_netlist::generator::{generate, GeneratorConfig};
 use dna_netlist::{format, suite, Circuit};
@@ -22,6 +23,9 @@ commands:
   paths     <file.ckt> [-k N]             top-k critical paths
   glitch    <file.ckt> [--margin 0.4]     functional noise check
   lint      <file.ckt> [--json] [--deep]  verify IR and analysis invariants
+  bench     [--json] [--out FILE] [--circuits i1,i5,i10] [--k N]
+            [--samples N] [--seed S] [--quick] [--check FILE]
+                                          serial-vs-parallel top-k benchmark
   help                                    this message";
 
 /// Routes the parsed command line to a subcommand.
@@ -39,6 +43,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("paths") => cmd_paths(&opts),
         Some("glitch") => cmd_glitch(&opts),
         Some("lint") => cmd_lint(&opts),
+        Some("bench") => cmd_bench(&opts),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -213,6 +218,40 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    // Audit mode: validate an existing report (used by the CI smoke run).
+    if let Some(path) = opts.flag("check") {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        topk_bench::validate_json(&text).map_err(|e| format!("`{path}`: {e}"))?;
+        println!("{path}: well-formed {} report", topk_bench::SCHEMA);
+        return Ok(());
+    }
+
+    let mut spec = topk_bench::BenchSpec::default();
+    if opts.has("quick") {
+        spec.circuits = vec!["i1".into()];
+        spec.k = spec.k.min(3);
+    }
+    if let Some(list) = opts.flag("circuits") {
+        spec.circuits = list.split(',').map(str::to_owned).collect();
+    }
+    spec.k = opts.num("k", spec.k)?;
+    spec.samples = opts.num("samples", spec.samples)?;
+    spec.seed = opts.num("seed", spec.seed)?;
+
+    let report = topk_bench::run(&spec)?;
+    print!("{}", report.render_table());
+    if opts.has("json") {
+        let path = opts.flag("out").unwrap_or("BENCH_topk.json");
+        fs::write(path, report.to_json()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote {path} (host_threads = {})", report.host_threads);
+    }
+    if report.entries.iter().any(|e| !e.identical_to_serial) {
+        return Err("a parallel run diverged from its serial reference".into());
+    }
+    Ok(())
 }
 
 fn render_lint(diags: &Diagnostics, json: bool) {

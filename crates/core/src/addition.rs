@@ -13,11 +13,13 @@
 //!
 //! pruned by dominance (Theorem 1) after every step.
 
+use std::collections::HashSet;
+
 use dna_netlist::NetId;
 use dna_waveform::Envelope;
 
 use crate::dominance::{irredundant, DominanceDirection};
-use crate::engine::Prepared;
+use crate::engine::{sweep_victims, Prepared, VictimLists};
 use crate::{Candidate, CouplingSet};
 
 /// How many of the best fanin candidates combine with lower-cardinality
@@ -61,164 +63,166 @@ struct Atom {
 }
 
 pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
-    let circuit = p.circuit;
     let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
-    let n = circuit.num_nets();
-    // ilists[net][i] = irredundant list of cardinality i (index 0 = empty set).
-    let mut ilists: Vec<Vec<Vec<Candidate>>> = vec![Vec::new(); n];
+    // ilists[net][i] = irredundant list of cardinality i (index 0 = empty
+    // set); built level-parallel — a victim reads only strict-fanin lists.
+    let (ilists, peak_list_width, generated) =
+        sweep_victims(p, |v, ilists| victim_lists(p, k, breadth, v, ilists));
+    select_sink(p, k, &ilists, peak_list_width, generated)
+}
+
+/// Builds one victim's irredundant lists `I-list_1 … I-list_k`. Reads
+/// `ilists` only at the victim's driver inputs (strict fanin), which the
+/// sweep guarantees are complete.
+fn victim_lists(
+    p: &Prepared<'_>,
+    k: usize,
+    breadth: usize,
+    v: NetId,
+    ilists: &[Vec<Vec<Candidate>>],
+) -> VictimLists {
+    let vi = v.index();
+    let iv = p.dominance_iv[vi];
     let mut peak_list_width = 0usize;
     let mut generated = 0usize;
 
-    for &v in circuit.nets_topological() {
-        let vi = v.index();
-        let iv = p.dominance_iv[vi];
+    // --- Atom pool -------------------------------------------------
+    // Primaries whose clipped envelope is zero cannot change the
+    // victim's crossing; they (and their higher-order variants) are
+    // dropped up front — exactly the sets dominance would prune anyway.
+    let primary_atoms: Vec<Atom> = p.primaries[vi]
+        .iter()
+        .map(|info| Atom {
+            set: CouplingSet::singleton(info.coupling),
+            envelope: p.primary_envelope(v, info, 0.0),
+        })
+        .filter(|atom| !atom.envelope.is_zero())
+        .collect();
 
-        // --- Atom pool -------------------------------------------------
-        // Primaries whose clipped envelope is zero cannot change the
-        // victim's crossing; they (and their higher-order variants) are
-        // dropped up front — exactly the sets dominance would prune anyway.
-        let primary_atoms: Vec<Atom> = p.primaries[vi]
-            .iter()
-            .map(|info| Atom {
-                set: CouplingSet::singleton(info.coupling),
-                envelope: p.primary_envelope(v, info, 0.0),
-            })
-            .filter(|atom| !atom.envelope.is_zero())
-            .collect();
-
-        // Pseudo input aggressors: sets propagated from the driver's fanin
-        // rendered as arrival-shift envelopes at this victim (§3.1).
-        let mut pseudo_atoms: Vec<Atom> = Vec::new();
-        if p.config.pseudo_aggressors {
-            if let Some(arrivals) = p.fanin_base_arrivals(v) {
-                let max_base = arrivals.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
-                for &(u, arr_u) in &arrivals {
-                    for c in 1..=k {
-                        let Some(list) = ilists[u.index()].get(c) else { continue };
-                        for cand in list.iter().take(breadth) {
-                            let shift = (arr_u + cand.delay_noise() - max_base).max(0.0);
-                            if shift <= 0.0 {
-                                continue;
-                            }
-                            pseudo_atoms.push(Atom {
-                                set: cand.set().clone(),
-                                envelope: p.pseudo_envelope(v, shift),
-                            });
+    // Pseudo input aggressors: sets propagated from the driver's fanin
+    // rendered as arrival-shift envelopes at this victim (§3.1).
+    let mut pseudo_atoms: Vec<Atom> = Vec::new();
+    if p.config.pseudo_aggressors {
+        if let Some(arrivals) = p.fanin_base_arrivals(v) {
+            let max_base = arrivals.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
+            for &(u, arr_u) in &arrivals {
+                for c in 1..=k {
+                    let Some(list) = ilists[u.index()].get(c) else { continue };
+                    for cand in list.iter().take(breadth) {
+                        let shift = (arr_u + cand.delay_noise() - max_base).max(0.0);
+                        if shift <= 0.0 {
+                            continue;
                         }
+                        pseudo_atoms.push(Atom {
+                            set: cand.set().clone(),
+                            envelope: p.pseudo_envelope(v, shift),
+                        });
                     }
                 }
             }
         }
+    }
 
-        // Higher-order aggressors: each primary with its window widened by
-        // its j strongest fanin wideners has innate cardinality j + 1.
-        let mut higher_atoms: Vec<Atom> = Vec::new();
-        if p.config.higher_order && k >= 2 {
-            for info in &p.primaries[vi] {
-                let wideners = p.wideners_of(info.aggressor);
-                // Higher-order variants widen the window rightward by at
-                // most the sum of all widener contributions; if even that
-                // maximally-widened envelope clips to zero the primary can
-                // never matter here.
-                let cap = p.shift_bound[info.aggressor.index()];
-                let max_delta: f64 = wideners.iter().map(|&(_, dn)| dn).sum::<f64>().min(cap);
-                if p.primary_envelope(v, info, max_delta).is_zero() {
+    // Higher-order aggressors: each primary with its window widened by
+    // its j strongest fanin wideners has innate cardinality j + 1.
+    let mut higher_atoms: Vec<Atom> = Vec::new();
+    if p.config.higher_order && k >= 2 {
+        for info in &p.primaries[vi] {
+            let wideners = p.wideners_of(info.aggressor);
+            // Higher-order variants widen the window rightward by at
+            // most the sum of all widener contributions; if even that
+            // maximally-widened envelope clips to zero the primary can
+            // never matter here.
+            let cap = p.shift_bound[info.aggressor.index()];
+            let max_delta: f64 = wideners.iter().map(|&(_, dn)| dn).sum::<f64>().min(cap);
+            if p.primary_envelope(v, info, max_delta).is_zero() {
+                continue;
+            }
+            // Prefix sets: primary plus its j strongest wideners.
+            let mut set = CouplingSet::singleton(info.coupling);
+            let mut delta = 0.0;
+            for &(cc, dn) in wideners.iter().take(k - 1) {
+                let grown = set.with(cc);
+                if grown.len() == set.len() {
+                    continue; // widener collides with an existing member
+                }
+                set = grown;
+                delta = (delta + dn).min(cap);
+                higher_atoms
+                    .push(Atom { set: set.clone(), envelope: p.primary_envelope(v, info, delta) });
+            }
+            // Individual wideners: primary plus one lower-ranked
+            // widener, for sets where the top widener is spoken for.
+            for &(cc, dn) in wideners.iter().take(WIDENER_POOL).skip(1) {
+                let set = CouplingSet::singleton(info.coupling).with(cc);
+                if set.len() == 2 {
+                    higher_atoms
+                        .push(Atom { set, envelope: p.primary_envelope(v, info, dn.min(cap)) });
+                }
+            }
+        }
+    }
+
+    // --- Iterative list construction -------------------------------
+    let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(k + 1);
+    lists.push(vec![Candidate::new(CouplingSet::new(), Envelope::zero(), 0.0)]);
+    for i in 1..=k {
+        let mut cands: Vec<Candidate> = Vec::new();
+        let push = |set: CouplingSet, env: Envelope, cands: &mut Vec<Candidate>| {
+            let dn = p.delay_noise_at(v, &env);
+            cands.push(Candidate::new(set, env, dn));
+        };
+
+        // 1. Extend I_{i-1} with one primary aggressor.
+        for s in &lists[i - 1] {
+            for atom in &primary_atoms {
+                if s.set().intersects(&atom.set) {
                     continue;
                 }
-                // Prefix sets: primary plus its j strongest wideners.
-                let mut set = CouplingSet::singleton(info.coupling);
-                let mut delta = 0.0;
-                for &(cc, dn) in wideners.iter().take(k - 1) {
-                    let grown = set.with(cc);
-                    if grown.len() == set.len() {
-                        continue; // widener collides with an existing member
-                    }
-                    set = grown;
-                    delta = (delta + dn).min(cap);
-                    higher_atoms.push(Atom {
-                        set: set.clone(),
-                        envelope: p.primary_envelope(v, info, delta),
-                    });
-                }
-                // Individual wideners: primary plus one lower-ranked
-                // widener, for sets where the top widener is spoken for.
-                for &(cc, dn) in wideners.iter().take(WIDENER_POOL).skip(1) {
-                    let set = CouplingSet::singleton(info.coupling).with(cc);
-                    if set.len() == 2 {
-                        higher_atoms
-                            .push(Atom { set, envelope: p.primary_envelope(v, info, dn.min(cap)) });
-                    }
-                }
+                push(s.set().union(&atom.set), s.envelope().sum(&atom.envelope), &mut cands);
             }
         }
-
-        // --- Iterative list construction -------------------------------
-        let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(k + 1);
-        lists.push(vec![Candidate::new(CouplingSet::new(), Envelope::zero(), 0.0)]);
-        for i in 1..=k {
-            let mut cands: Vec<Candidate> = Vec::new();
-            let push = |set: CouplingSet, env: Envelope, cands: &mut Vec<Candidate>| {
-                let dn = p.delay_noise_at(v, &env);
-                cands.push(Candidate::new(set, env, dn));
-            };
-
-            // 1. Extend I_{i-1} with one primary aggressor.
-            for s in &lists[i - 1] {
-                for atom in &primary_atoms {
+        // 2 & 3. Pseudo and higher-order atoms of cardinality <= i,
+        // standalone (j == 0) or combined with the best smaller sets.
+        for atom in pseudo_atoms.iter().chain(higher_atoms.iter()) {
+            let c = atom.set.len();
+            if c > i || c == 0 {
+                continue;
+            }
+            let j = i - c;
+            if j == 0 {
+                push(atom.set.clone(), atom.envelope.clone(), &mut cands);
+            } else {
+                for s in lists[j].iter().take(breadth) {
                     if s.set().intersects(&atom.set) {
                         continue;
                     }
                     push(s.set().union(&atom.set), s.envelope().sum(&atom.envelope), &mut cands);
                 }
             }
-            // 2 & 3. Pseudo and higher-order atoms of cardinality <= i,
-            // standalone (j == 0) or combined with the best smaller sets.
-            for atom in pseudo_atoms.iter().chain(higher_atoms.iter()) {
-                let c = atom.set.len();
-                if c > i || c == 0 {
-                    continue;
-                }
-                let j = i - c;
-                if j == 0 {
-                    push(atom.set.clone(), atom.envelope.clone(), &mut cands);
-                } else {
-                    for s in lists[j].iter().take(breadth) {
-                        if s.set().intersects(&atom.set) {
-                            continue;
-                        }
-                        push(
-                            s.set().union(&atom.set),
-                            s.envelope().sum(&atom.envelope),
-                            &mut cands,
-                        );
-                    }
-                }
-            }
-
-            // Keep only exact-cardinality sets: unions that collapsed below
-            // i duplicate entries of earlier lists.
-            cands.retain(|c| c.cardinality() == i);
-            generated += cands.len();
-            let pruned = irredundant(
-                cands,
-                iv,
-                DominanceDirection::BiggerIsBetter,
-                p.config.dominance_pruning,
-                p.config.max_list_width,
-            );
-            peak_list_width = peak_list_width.max(pruned.len());
-            // Sort by delay noise so downstream consumers (pseudo atoms,
-            // combos) can take the best few deterministically.
-            let mut pruned = pruned;
-            pruned.sort_by(|a, b| {
-                b.delay_noise().partial_cmp(&a.delay_noise()).expect("finite delay noise")
-            });
-            lists.push(pruned);
         }
-        ilists[vi] = lists;
-    }
 
-    select_sink(p, k, &ilists, peak_list_width, generated)
+        // Keep only exact-cardinality sets: unions that collapsed below
+        // i duplicate entries of earlier lists.
+        cands.retain(|c| c.cardinality() == i);
+        generated += cands.len();
+        let pruned = irredundant(
+            cands,
+            iv,
+            DominanceDirection::BiggerIsBetter,
+            p.config.dominance_pruning,
+            p.config.max_list_width,
+        );
+        peak_list_width = peak_list_width.max(pruned.len());
+        // Sort by delay noise so downstream consumers (pseudo atoms,
+        // combos) can take the best few deterministically.
+        let mut pruned = pruned;
+        pruned.sort_by(|a, b| {
+            b.delay_noise().partial_cmp(&a.delay_noise()).expect("finite delay noise")
+        });
+        lists.push(pruned);
+    }
+    VictimLists { lists, peak_list_width, generated }
 }
 
 /// Chooses the worst set from the sinks' I-lists (paper: "the top-k
@@ -256,17 +260,16 @@ fn select_sink(
     }
     options
         .sort_by(|a, b| b.predicted_delay.partial_cmp(&a.predicted_delay).expect("finite delays"));
-    let mut seen: Vec<&CouplingSet> = Vec::new();
+    let mut seen: HashSet<&CouplingSet> = HashSet::new();
     let mut deduped: Vec<SinkOption> = Vec::new();
     for opt in &options {
         if deduped.len() >= pool {
             break;
         }
-        if seen.iter().any(|s| **s == opt.set) {
+        if !seen.insert(&opt.set) {
             continue;
         }
         deduped.push(opt.clone());
-        seen.push(&opt.set);
     }
     if deduped.is_empty() {
         deduped.push(SinkOption {

@@ -39,6 +39,12 @@ pub struct TopKConfig {
     /// tools report 3–4 iterations, paper §1); `usize::MAX` searches the
     /// whole transitive fanin cone.
     pub widener_depth: usize,
+    /// Worker threads for the level-parallel victim sweep. `0` uses the
+    /// host's available parallelism; `1` runs the serial reference path
+    /// (the determinism baseline). Any value produces bit-identical
+    /// results — victims at one dependency level are independent, so the
+    /// thread partition never changes what is computed, only when.
+    pub threads: usize,
 }
 
 impl Default for TopKConfig {
@@ -52,6 +58,7 @@ impl Default for TopKConfig {
             validate: true,
             validation_pool: 16,
             widener_depth: 4,
+            threads: 0,
         }
     }
 }
@@ -63,6 +70,17 @@ impl TopKConfig {
     #[must_use]
     pub fn exact() -> Self {
         Self { max_list_width: None, widener_depth: usize::MAX, ..Self::default() }
+    }
+
+    /// The worker-thread count [`threads`](Self::threads) resolves to:
+    /// itself when positive, the host's available parallelism for `0`
+    /// (falling back to 1 if the host cannot say).
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
     }
 }
 
@@ -84,5 +102,16 @@ mod tests {
     fn exact_mode_uncaps_lists() {
         assert_eq!(TopKConfig::exact().max_list_width, None);
         assert!(TopKConfig::exact().dominance_pruning);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_host_parallelism() {
+        let auto = TopKConfig::default();
+        assert_eq!(auto.threads, 0);
+        assert!(auto.effective_threads() >= 1);
+        let fixed = TopKConfig { threads: 3, ..TopKConfig::default() };
+        assert_eq!(fixed.effective_threads(), 3);
+        let serial = TopKConfig { threads: 1, ..TopKConfig::default() };
+        assert_eq!(serial.effective_threads(), 1);
     }
 }

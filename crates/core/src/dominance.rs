@@ -24,11 +24,14 @@ pub enum DominanceDirection {
 ///
 /// Steps, in order:
 ///
-/// 1. deduplicate identical coupling sets (keeping the first),
-/// 2. drop every candidate dominated by another within the victim's
+/// 1. sort best-first by cached delay noise (direction-aware),
+/// 2. deduplicate identical coupling sets (keeping the best occurrence),
+/// 3. with a beam configured, pre-truncate to a bounded oversample,
+/// 4. drop every candidate dominated by another within the victim's
 ///    `dominance_interval` (skipped when `use_dominance` is false, for the
-///    ablation study),
-/// 3. apply the optional beam cap, keeping the candidates that are best by
+///    ablation study) — an O(1) cached-bound prefilter rejects provably
+///    non-dominating pairs before any full PWL comparison,
+/// 5. apply the optional beam cap, keeping the candidates that are best by
 ///    cached delay noise — largest for addition, smallest for elimination.
 ///
 /// Ties under mutual encapsulation (identical envelopes) keep the
@@ -58,7 +61,7 @@ pub fn irredundant(
     let mut seen: HashSet<CouplingSet> = HashSet::with_capacity(candidates.len());
     candidates.retain(|c| seen.insert(c.set().clone()));
 
-    // 2b. With a beam configured, pre-truncate (already sorted) so the
+    // 3. With a beam configured, pre-truncate (already sorted) so the
     // quadratic dominance pass below runs on a bounded set. The
     // oversampling factor keeps enough diversity for dominance to matter;
     // exact mode (no beam) skips this entirely.
@@ -67,23 +70,25 @@ pub fn irredundant(
         candidates.truncate(cap);
     }
 
-    // 3. Dominance pruning, exploiting the ordering invariant: an
+    // 4. Dominance pruning, exploiting the ordering invariant: an
     // envelope that encapsulates another produces at least as much delay
     // noise (Theorem 1 with the empty extension), so only *earlier*
     // candidates can dominate later ones. One forward sweep against the
-    // kept list suffices.
+    // kept list suffices. The O(1) cached-bound prefilter
+    // (`may_encapsulate`) proves most pairs non-dominating without
+    // touching their breakpoint lists, so the expensive PWL comparison
+    // runs only on plausible pairs.
     if use_dominance && candidates.len() > 1 {
         let mut kept: Vec<Candidate> = Vec::with_capacity(candidates.len().min(64));
         'next: for cand in candidates {
             for winner in &kept {
-                let dominated = match direction {
-                    DominanceDirection::BiggerIsBetter => {
-                        winner.envelope().encapsulates(cand.envelope(), dominance_interval)
-                    }
-                    DominanceDirection::SmallerIsBetter => {
-                        cand.envelope().encapsulates(winner.envelope(), dominance_interval)
-                    }
+                let (big, small) = match direction {
+                    DominanceDirection::BiggerIsBetter => (winner, &cand),
+                    DominanceDirection::SmallerIsBetter => (&cand, winner),
                 };
+                let dominated =
+                    big.envelope().may_encapsulate(small.envelope(), dominance_interval)
+                        && big.envelope().encapsulates(small.envelope(), dominance_interval);
                 if dominated {
                     continue 'next;
                 }
@@ -101,7 +106,7 @@ pub fn irredundant(
         candidates = kept;
     }
 
-    // 3. Beam cap (already sorted best-first).
+    // 5. Beam cap (already sorted best-first).
     if let Some(width) = beam {
         candidates.truncate(width);
     }
@@ -141,14 +146,14 @@ pub fn find_dominated_pair(
     for i in 0..candidates.len() {
         for j in (i + 1)..candidates.len() {
             let (a, b) = (&candidates[i], &candidates[j]);
-            let i_wins = match direction {
-                DominanceDirection::BiggerIsBetter => {
-                    a.envelope().encapsulates(b.envelope(), dominance_interval)
-                }
-                DominanceDirection::SmallerIsBetter => {
-                    b.envelope().encapsulates(a.envelope(), dominance_interval)
-                }
+            let (big, small) = match direction {
+                DominanceDirection::BiggerIsBetter => (a, b),
+                DominanceDirection::SmallerIsBetter => (b, a),
             };
+            // Same cheap-reject prefilter as `irredundant`: a pair the
+            // cached bounds prove non-dominating skips the PWL comparison.
+            let i_wins = big.envelope().may_encapsulate(small.envelope(), dominance_interval)
+                && big.envelope().encapsulates(small.envelope(), dominance_interval);
             if i_wins {
                 return Some((i, j));
             }

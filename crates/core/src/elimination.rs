@@ -8,12 +8,14 @@
 //! left after subtracting what they eliminate, and dominance prefers
 //! smaller residuals.
 
+use std::collections::HashSet;
+
 use dna_netlist::NetId;
 use dna_waveform::Envelope;
 
 use crate::addition::{EnumerationOutcome, SinkOption};
 use crate::dominance::{irredundant, DominanceDirection};
-use crate::engine::Prepared;
+use crate::engine::{sweep_victims, Prepared, VictimLists};
 use crate::{Candidate, CouplingSet};
 
 /// Mirror of the addition-side combination breadth.
@@ -31,152 +33,191 @@ struct RemovalAtom {
 }
 
 pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
-    let circuit = p.circuit;
     let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
     let noisy = p.noisy.as_ref().expect("elimination mode prepares a noisy report");
-    let n = circuit.num_nets();
-    let mut ilists: Vec<Vec<Vec<Candidate>>> = vec![Vec::new(); n];
+    // Residual lists built level-parallel — a victim reads only
+    // strict-fanin lists (the pseudo-elimination grouping).
+    let (ilists, peak_list_width, generated) =
+        sweep_victims(p, |v, ilists| victim_lists(p, k, breadth, v, ilists));
+    select_sink(p, k, noisy, &ilists, peak_list_width, generated)
+}
+
+/// Builds one victim's residual lists. Reads `ilists` only at the
+/// victim's driver inputs (strict fanin), which the sweep guarantees are
+/// complete.
+fn victim_lists(
+    p: &Prepared<'_>,
+    k: usize,
+    breadth: usize,
+    v: NetId,
+    ilists: &[Vec<Vec<Candidate>>],
+) -> VictimLists {
+    let circuit = p.circuit;
+    let noisy = p.noisy.as_ref().expect("elimination mode prepares a noisy report");
+    let vi = v.index();
+    let iv = p.dominance_iv[vi];
     let mut peak_list_width = 0usize;
     let mut generated = 0usize;
 
-    for &v in circuit.nets_topological() {
-        let vi = v.index();
-        let iv = p.dominance_iv[vi];
+    // Fanin shift carried into this victim by upstream noise: the
+    // noisy arrival minus the victim's own injected noise, relative to
+    // the noiseless arrival.
+    let d_fanin =
+        (p.window_timings[vi].lat() - noisy.delay_noise(v) - p.base.timing(v).lat()).max(0.0);
 
-        // Fanin shift carried into this victim by upstream noise: the
-        // noisy arrival minus the victim's own injected noise, relative to
-        // the noiseless arrival.
-        let d_fanin =
-            (p.window_timings[vi].lat() - noisy.delay_noise(v) - p.base.timing(v).lat()).max(0.0);
+    // Total envelope (all primaries, noisy windows, plus fanin shift).
+    let primary_envs: Vec<Envelope> =
+        p.primaries[vi].iter().map(|info| p.primary_envelope(v, info, 0.0)).collect();
+    let pseudo_full = p.pseudo_envelope(v, d_fanin);
+    let total = Envelope::sum_all(primary_envs.iter()).sum(&pseudo_full);
 
-        // Total envelope (all primaries, noisy windows, plus fanin shift).
-        let primary_envs: Vec<Envelope> =
-            p.primaries[vi].iter().map(|info| p.primary_envelope(v, info, 0.0)).collect();
-        let pseudo_full = p.pseudo_envelope(v, d_fanin);
-        let total = Envelope::sum_all(primary_envs.iter()).sum(&pseudo_full);
-
-        // --- Removal atom pool -----------------------------------------
-        let mut atoms: Vec<RemovalAtom> = Vec::new();
-        // Primary eliminations. Zero-contribution primaries (envelope
-        // clipped away from the victim's crossing) cannot help and are
-        // dropped up front.
+    // --- Removal atom pool -----------------------------------------
+    let mut atoms: Vec<RemovalAtom> = Vec::new();
+    // Primary eliminations. Zero-contribution primaries (envelope
+    // clipped away from the victim's crossing) cannot help and are
+    // dropped up front.
+    for (info, env) in p.primaries[vi].iter().zip(&primary_envs) {
+        if env.is_zero() {
+            continue;
+        }
+        atoms
+            .push(RemovalAtom { set: CouplingSet::singleton(info.coupling), removal: env.clone() });
+    }
+    // Higher-order eliminations: removing the j strongest wideners of
+    // a primary's aggressor narrows that primary's noisy window.
+    if p.config.higher_order && k >= 1 {
         for (info, env) in p.primaries[vi].iter().zip(&primary_envs) {
-            if env.is_zero() {
+            let window_noise = (info.lat - p.base.timing(info.aggressor).lat()).max(0.0);
+            if window_noise <= 0.0 || env.is_zero() {
                 continue;
             }
-            atoms.push(RemovalAtom {
-                set: CouplingSet::singleton(info.coupling),
-                removal: env.clone(),
-            });
-        }
-        // Higher-order eliminations: removing the j strongest wideners of
-        // a primary's aggressor narrows that primary's noisy window.
-        if p.config.higher_order && k >= 1 {
-            for (info, env) in p.primaries[vi].iter().zip(&primary_envs) {
-                let window_noise = (info.lat - p.base.timing(info.aggressor).lat()).max(0.0);
-                if window_noise <= 0.0 || env.is_zero() {
+            let wideners = p.wideners_of(info.aggressor);
+            // Prefix sets: the j strongest wideners together.
+            let mut set = CouplingSet::new();
+            let mut delta = 0.0;
+            for &(cc, dn) in wideners.iter().take(k) {
+                let grown = set.with(cc);
+                if grown.len() == set.len() {
                     continue;
                 }
-                let wideners = p.wideners_of(info.aggressor);
-                // Prefix sets: the j strongest wideners together.
-                let mut set = CouplingSet::new();
-                let mut delta = 0.0;
-                for &(cc, dn) in wideners.iter().take(k) {
-                    let grown = set.with(cc);
-                    if grown.len() == set.len() {
-                        continue;
-                    }
-                    set = grown;
-                    delta = (delta + dn).min(window_noise);
-                    let narrowed = p.primary_envelope(v, info, -delta);
-                    atoms.push(RemovalAtom {
-                        set: set.clone(),
-                        removal: p.primary_envelope(v, info, 0.0).saturating_sub(&narrowed),
-                    });
-                }
-                // Individual wideners: a lower-ranked widener can still be
-                // the best *single* fix when the top one is spoken for.
-                for &(cc, dn) in wideners.iter().take(WIDENER_POOL).skip(1) {
-                    let narrowed = p.primary_envelope(v, info, -dn.min(window_noise));
-                    atoms.push(RemovalAtom {
-                        set: CouplingSet::singleton(cc),
-                        removal: p.primary_envelope(v, info, 0.0).saturating_sub(&narrowed),
-                    });
-                }
+                set = grown;
+                delta = (delta + dn).min(window_noise);
+                let narrowed = p.primary_envelope(v, info, -delta);
+                atoms.push(RemovalAtom {
+                    set: set.clone(),
+                    removal: p.primary_envelope(v, info, 0.0).saturating_sub(&narrowed),
+                });
+            }
+            // Individual wideners: a lower-ranked widener can still be
+            // the best *single* fix when the top one is spoken for.
+            for &(cc, dn) in wideners.iter().take(WIDENER_POOL).skip(1) {
+                let narrowed = p.primary_envelope(v, info, -dn.min(window_noise));
+                atoms.push(RemovalAtom {
+                    set: CouplingSet::singleton(cc),
+                    removal: p.primary_envelope(v, info, 0.0).saturating_sub(&narrowed),
+                });
             }
         }
-        // Pseudo eliminations: sets fixed upstream reduce the fanin shift.
-        // Benefits are anchored at the *noisy* fanin arrivals — a fixed
-        // input arrives `benefit` earlier than its converged noisy arrival,
-        // where `benefit` is measured against the input's own I-list_0
-        // (nothing fixed) so the empty fix maps exactly onto `d_fanin`.
-        //
-        // A coupling in the shared fanin cone benefits *several* inputs at
-        // once (both its endpoints propagate), so candidates with the same
-        // coupling set arriving through different inputs are grouped and
-        // their fixed arrivals applied jointly; inputs that do not carry
-        // the set keep their noisy arrivals.
-        if p.config.pseudo_aggressors && d_fanin > 0.0 {
-            if let (Some(noisy_arr), Some(base_arr)) =
-                (p.fanin_arrivals(v), p.fanin_base_arrivals(v))
-            {
-                let max_base = base_arr.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
-                // set -> per-input fixed arrival (noisy arrival if absent).
-                let mut grouped: std::collections::HashMap<CouplingSet, Vec<f64>> =
-                    std::collections::HashMap::new();
-                for (idx, &(u, arr_noisy_u)) in noisy_arr.iter().enumerate() {
-                    let arr_base_u = base_arr[idx].1;
-                    let Some(total_u) = ilists[u.index()].first() else { continue };
-                    let total_dn_u = total_u[0].delay_noise();
-                    // Scale envelope-estimated benefits to the converged
-                    // noise at u: the one-shot superposition overestimates
-                    // relative to the iterative fixpoint, and the ratio
-                    // maps "everything fixed" exactly onto the noiseless
-                    // arrival.
-                    let ratio = if total_dn_u > 1e-12 {
-                        ((arr_noisy_u - arr_base_u) / total_dn_u).clamp(0.0, 1.0)
-                    } else {
-                        0.0
-                    };
-                    for c in 1..=k {
-                        let Some(list) = ilists[u.index()].get(c) else { continue };
-                        for cand in list.iter().take(breadth) {
-                            // Residual noise at u after fixing this set.
-                            let benefit = (total_dn_u - cand.delay_noise()).max(0.0) * ratio;
-                            let arr_fixed = (arr_noisy_u - benefit).max(arr_base_u);
-                            let entry = grouped
-                                .entry(cand.set().clone())
-                                .or_insert_with(|| noisy_arr.iter().map(|&(_, a)| a).collect());
-                            entry[idx] = entry[idx].min(arr_fixed);
-                        }
+    }
+    // Pseudo eliminations: sets fixed upstream reduce the fanin shift.
+    // Benefits are anchored at the *noisy* fanin arrivals — a fixed
+    // input arrives `benefit` earlier than its converged noisy arrival,
+    // where `benefit` is measured against the input's own I-list_0
+    // (nothing fixed) so the empty fix maps exactly onto `d_fanin`.
+    //
+    // A coupling in the shared fanin cone benefits *several* inputs at
+    // once (both its endpoints propagate), so candidates with the same
+    // coupling set arriving through different inputs are grouped and
+    // their fixed arrivals applied jointly; inputs that do not carry
+    // the set keep their noisy arrivals.
+    if p.config.pseudo_aggressors && d_fanin > 0.0 {
+        if let (Some(noisy_arr), Some(base_arr)) = (p.fanin_arrivals(v), p.fanin_base_arrivals(v)) {
+            let max_base = base_arr.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
+            // set -> per-input fixed arrival (noisy arrival if absent).
+            let mut grouped: std::collections::HashMap<CouplingSet, Vec<f64>> =
+                std::collections::HashMap::new();
+            for (idx, &(u, arr_noisy_u)) in noisy_arr.iter().enumerate() {
+                let arr_base_u = base_arr[idx].1;
+                let Some(total_u) = ilists[u.index()].first() else { continue };
+                let total_dn_u = total_u[0].delay_noise();
+                // Scale envelope-estimated benefits to the converged
+                // noise at u: the one-shot superposition overestimates
+                // relative to the iterative fixpoint, and the ratio
+                // maps "everything fixed" exactly onto the noiseless
+                // arrival.
+                let ratio = if total_dn_u > 1e-12 {
+                    ((arr_noisy_u - arr_base_u) / total_dn_u).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                for c in 1..=k {
+                    let Some(list) = ilists[u.index()].get(c) else { continue };
+                    for cand in list.iter().take(breadth) {
+                        // Residual noise at u after fixing this set.
+                        let benefit = (total_dn_u - cand.delay_noise()).max(0.0) * ratio;
+                        let arr_fixed = (arr_noisy_u - benefit).max(arr_base_u);
+                        let entry = grouped
+                            .entry(cand.set().clone())
+                            .or_insert_with(|| noisy_arr.iter().map(|&(_, a)| a).collect());
+                        entry[idx] = entry[idx].min(arr_fixed);
                     }
-                }
-                for (set, arrivals) in grouped {
-                    let joint = arrivals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                    let d_after = (joint - max_base).max(0.0).min(d_fanin);
-                    if d_after >= d_fanin {
-                        continue; // fixing this upstream set does not help v
-                    }
-                    let removal = pseudo_full.saturating_sub(&p.pseudo_envelope(v, d_after));
-                    atoms.push(RemovalAtom { set, removal });
                 }
             }
+            // Drain in canonical set order: hash order would feed atoms
+            // into candidate generation nondeterministically, and
+            // `irredundant`'s keep-the-earlier tie rule would turn that
+            // into run-to-run (and serial-vs-parallel) divergence.
+            let mut grouped: Vec<(CouplingSet, Vec<f64>)> = grouped.into_iter().collect();
+            grouped.sort_unstable_by(|a, b| a.0.ids().cmp(b.0.ids()));
+            for (set, arrivals) in grouped {
+                let joint = arrivals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let d_after = (joint - max_base).max(0.0).min(d_fanin);
+                if d_after >= d_fanin {
+                    continue; // fixing this upstream set does not help v
+                }
+                let removal = pseudo_full.saturating_sub(&p.pseudo_envelope(v, d_after));
+                atoms.push(RemovalAtom { set, removal });
+            }
         }
+    }
 
-        // --- Iterative residual-list construction -----------------------
-        let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(k + 1);
-        let total_dn = p.delay_noise_at(v, &total);
-        lists.push(vec![Candidate::new(CouplingSet::new(), total.clone(), total_dn)]);
-        for i in 1..=k {
-            let mut cands: Vec<Candidate> = Vec::new();
-            let push = |set: CouplingSet, env: Envelope, cands: &mut Vec<Candidate>| {
-                let dn = p.delay_noise_at(v, &env);
-                cands.push(Candidate::new(set, env, dn));
-            };
+    // --- Iterative residual-list construction -----------------------
+    let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(k + 1);
+    let total_dn = p.delay_noise_at(v, &total);
+    lists.push(vec![Candidate::new(CouplingSet::new(), total.clone(), total_dn)]);
+    for i in 1..=k {
+        let mut cands: Vec<Candidate> = Vec::new();
+        let push = |set: CouplingSet, env: Envelope, cands: &mut Vec<Candidate>| {
+            let dn = p.delay_noise_at(v, &env);
+            cands.push(Candidate::new(set, env, dn));
+        };
 
-            // Extend I_{i-1} with one primary removal.
-            for s in &lists[i - 1] {
-                for atom in atoms.iter().filter(|a| a.set.len() == 1) {
+        // Extend I_{i-1} with one primary removal.
+        for s in &lists[i - 1] {
+            for atom in atoms.iter().filter(|a| a.set.len() == 1) {
+                if s.set().intersects(&atom.set) {
+                    continue;
+                }
+                push(
+                    s.set().union(&atom.set),
+                    s.envelope().saturating_sub(&atom.removal),
+                    &mut cands,
+                );
+            }
+        }
+        // Atoms standalone (exact cardinality) or, for multi-coupling
+        // atoms, combined with the best smaller sets. Single-coupling
+        // extension is already covered above.
+        for atom in &atoms {
+            let c = atom.set.len();
+            if c > i || c == 0 {
+                continue;
+            }
+            let j = i - c;
+            if j == 0 {
+                push(atom.set.clone(), total.saturating_sub(&atom.removal), &mut cands);
+            } else if c > 1 {
+                for s in lists[j].iter().take(breadth) {
                     if s.set().intersects(&atom.set) {
                         continue;
                     }
@@ -187,73 +228,47 @@ pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
                     );
                 }
             }
-            // Atoms standalone (exact cardinality) or, for multi-coupling
-            // atoms, combined with the best smaller sets. Single-coupling
-            // extension is already covered above.
-            for atom in &atoms {
-                let c = atom.set.len();
-                if c > i || c == 0 {
-                    continue;
-                }
-                let j = i - c;
-                if j == 0 {
-                    push(atom.set.clone(), total.saturating_sub(&atom.removal), &mut cands);
-                } else if c > 1 {
-                    for s in lists[j].iter().take(breadth) {
-                        if s.set().intersects(&atom.set) {
-                            continue;
-                        }
-                        push(
-                            s.set().union(&atom.set),
-                            s.envelope().saturating_sub(&atom.removal),
-                            &mut cands,
-                        );
-                    }
-                }
-            }
+        }
 
-            cands.retain(|c| c.cardinality() == i);
-            generated += cands.len();
-            let mut pruned = irredundant(
-                cands,
-                iv,
-                DominanceDirection::SmallerIsBetter,
-                p.config.dominance_pruning,
-                p.config.max_list_width,
-            );
-            peak_list_width = peak_list_width.max(pruned.len());
-            pruned.sort_by(|a, b| {
-                a.delay_noise().partial_cmp(&b.delay_noise()).expect("finite delay noise")
-            });
-            lists.push(pruned);
-        }
-        if std::env::var_os("DNA_DEBUG_ELIM").is_some() {
-            let sizes: Vec<usize> = lists.iter().map(Vec::len).collect();
-            eprintln!(
-                "[elim] net {} d_fanin {:.2} total_dn {:.2} atoms [{}] lists {:?} I1 [{}]",
-                circuit.net(v).name(),
-                d_fanin,
-                lists[0][0].delay_noise(),
-                atoms
-                    .iter()
-                    .map(|a| format!("{}@{:.2}", a.set, a.removal.peak()))
-                    .collect::<Vec<_>>()
-                    .join(" "),
-                sizes,
-                lists
-                    .get(1)
-                    .map(|l| l
-                        .iter()
-                        .map(|c| format!("{}:{:.2}", c.set(), c.delay_noise()))
-                        .collect::<Vec<_>>()
-                        .join(" "))
-                    .unwrap_or_default()
-            );
-        }
-        ilists[vi] = lists;
+        cands.retain(|c| c.cardinality() == i);
+        generated += cands.len();
+        let mut pruned = irredundant(
+            cands,
+            iv,
+            DominanceDirection::SmallerIsBetter,
+            p.config.dominance_pruning,
+            p.config.max_list_width,
+        );
+        peak_list_width = peak_list_width.max(pruned.len());
+        pruned.sort_by(|a, b| {
+            a.delay_noise().partial_cmp(&b.delay_noise()).expect("finite delay noise")
+        });
+        lists.push(pruned);
     }
-
-    select_sink(p, k, noisy, &ilists, peak_list_width, generated)
+    if std::env::var_os("DNA_DEBUG_ELIM").is_some() {
+        let sizes: Vec<usize> = lists.iter().map(Vec::len).collect();
+        eprintln!(
+            "[elim] net {} d_fanin {:.2} total_dn {:.2} atoms [{}] lists {:?} I1 [{}]",
+            circuit.net(v).name(),
+            d_fanin,
+            lists[0][0].delay_noise(),
+            atoms
+                .iter()
+                .map(|a| format!("{}@{:.2}", a.set, a.removal.peak()))
+                .collect::<Vec<_>>()
+                .join(" "),
+            sizes,
+            lists
+                .get(1)
+                .map(|l| l
+                    .iter()
+                    .map(|c| format!("{}:{:.2}", c.set(), c.delay_noise()))
+                    .collect::<Vec<_>>()
+                    .join(" "))
+                .unwrap_or_default()
+        );
+    }
+    VictimLists { lists, peak_list_width, generated }
 }
 
 /// Chooses the set minimizing the predicted circuit delay after
@@ -379,12 +394,13 @@ fn select_sink(
     options
         .sort_by(|a, b| a.predicted_delay.partial_cmp(&b.predicted_delay).expect("finite delays"));
     let pool = p.config.validation_pool.max(1);
+    let mut seen: HashSet<CouplingSet> = HashSet::new();
     let mut deduped: Vec<SinkOption> = Vec::new();
     for opt in options {
         if deduped.len() >= pool {
             break;
         }
-        if deduped.iter().any(|d| d.set == opt.set) {
+        if !seen.insert(opt.set.clone()) {
             continue;
         }
         deduped.push(opt);

@@ -1,18 +1,18 @@
 //! Shared machinery of the addition- and elimination-set algorithms.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 use dna_netlist::{Circuit, CouplingId, NetId, NetSource};
 use dna_noise::{envelope_calc, CouplingMask, NoiseAnalysis, NoiseReport};
 use dna_sta::{NetTiming, StaError, TimingReport};
 use dna_waveform::{superposition, Edge, Envelope, NoisePulse, TimeInterval, Transition};
 
-use crate::TopKConfig;
+use crate::{Candidate, TopKConfig};
 
 /// Couplings in a net's fanin cone ranked by the delay noise each can add
-/// to that net's arrival, descending.
-type RankedWideners = Rc<Vec<(CouplingId, f64)>>;
+/// to that net's arrival, descending. `Arc`, not `Rc`: the memo is shared
+/// across the sweep workers.
+type RankedWideners = Arc<Vec<(CouplingId, f64)>>;
 
 /// Which flavor of top-k set is being computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +89,12 @@ pub(crate) struct Prepared<'c> {
     pub mask: CouplingMask,
     /// Per net: memoized fanin wideners of that net as an aggressor —
     /// couplings in its transitive fanin cone ranked by the delay noise
-    /// they can add to its arrival, descending.
-    wideners: RefCell<Vec<Option<RankedWideners>>>,
+    /// they can add to its arrival, descending. One `OnceLock` slot per
+    /// net keeps the memo `Sync` without a global lock: concurrent sweep
+    /// workers racing on the same net block only each other, and the
+    /// ranking is a pure function of immutable state, so whichever worker
+    /// initializes the slot writes the same value.
+    wideners: Vec<OnceLock<RankedWideners>>,
 }
 
 impl<'c> Prepared<'c> {
@@ -148,13 +152,8 @@ impl<'c> Prepared<'c> {
         let own_ub: Vec<f64> = circuit
             .net_ids()
             .map(|v| {
-                let combined = Envelope::sum_all(
-                    primaries[v.index()]
-                        .iter()
-                        .map(|p| p.envelope(horizon))
-                        .collect::<Vec<_>>()
-                        .iter(),
-                );
+                let combined =
+                    Envelope::sum_all(primaries[v.index()].iter().map(|p| p.envelope(horizon)));
                 superposition::delay_noise(&victim_tr[v.index()], &combined)
             })
             .collect();
@@ -220,7 +219,7 @@ impl<'c> Prepared<'c> {
             clip_iv,
             shift_bound,
             mask,
-            wideners: RefCell::new(vec![None; circuit.num_nets()]),
+            wideners: (0..circuit.num_nets()).map(|_| OnceLock::new()).collect(),
         })
     }
 
@@ -278,46 +277,118 @@ impl<'c> Prepared<'c> {
 
     /// Ranked fanin wideners of `aggressor`: couplings in its transitive
     /// fanin cone with the delay noise each can contribute to the
-    /// aggressor's arrival (via its cone endpoint), descending. Memoized.
+    /// aggressor's arrival (via its cone endpoint), descending. Memoized
+    /// in a per-net `OnceLock` slot, race-free under the parallel sweep.
     pub fn wideners_of(&self, aggressor: NetId) -> RankedWideners {
-        if let Some(cached) = &self.wideners.borrow()[aggressor.index()] {
-            return Rc::clone(cached);
-        }
-        let cone = if self.config.widener_depth == usize::MAX {
-            self.circuit.transitive_fanin(aggressor)
-        } else {
-            self.circuit.transitive_fanin_depth(aggressor, self.config.widener_depth)
-        };
-        let mut in_cone = vec![false; self.circuit.num_nets()];
-        for n in &cone {
-            in_cone[n.index()] = true;
-        }
-        let mut seen = vec![false; self.circuit.num_couplings()];
-        let mut ranked: Vec<(CouplingId, f64)> = Vec::new();
-        for x in cone {
-            for &cc in self.circuit.couplings_on(x) {
-                if seen[cc.index()] || !self.mask.is_enabled(cc) {
-                    continue;
-                }
-                seen[cc.index()] = true;
-                let env = envelope_calc::coupling_envelope(
-                    self.circuit,
-                    &self.config.noise,
-                    x,
-                    cc,
-                    &self.window_timings,
-                );
-                let dn = self.delay_noise_at(x, &env);
-                if dn > 0.0 {
-                    ranked.push((cc, dn));
+        Arc::clone(self.wideners[aggressor.index()].get_or_init(|| {
+            let cone = if self.config.widener_depth == usize::MAX {
+                self.circuit.transitive_fanin(aggressor)
+            } else {
+                self.circuit.transitive_fanin_depth(aggressor, self.config.widener_depth)
+            };
+            let mut in_cone = vec![false; self.circuit.num_nets()];
+            for n in &cone {
+                in_cone[n.index()] = true;
+            }
+            let mut seen = vec![false; self.circuit.num_couplings()];
+            let mut ranked: Vec<(CouplingId, f64)> = Vec::new();
+            for x in cone {
+                for &cc in self.circuit.couplings_on(x) {
+                    if seen[cc.index()] || !self.mask.is_enabled(cc) {
+                        continue;
+                    }
+                    seen[cc.index()] = true;
+                    let env = envelope_calc::coupling_envelope(
+                        self.circuit,
+                        &self.config.noise,
+                        x,
+                        cc,
+                        &self.window_timings,
+                    );
+                    let dn = self.delay_noise_at(x, &env);
+                    if dn > 0.0 {
+                        ranked.push((cc, dn));
+                    }
                 }
             }
-        }
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite delay noise"));
-        let rc = Rc::new(ranked);
-        self.wideners.borrow_mut()[aggressor.index()] = Some(Rc::clone(&rc));
-        rc
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite delay noise"));
+            Arc::new(ranked)
+        }))
     }
+}
+
+/// Per-victim output of one sweep step: the victim's irredundant lists by
+/// cardinality plus its enumeration counters.
+pub(crate) struct VictimLists {
+    /// `lists[i]` = irredundant list of cardinality `i` (index 0 = the
+    /// empty / total baseline set).
+    pub lists: Vec<Vec<Candidate>>,
+    /// Largest irredundant-list width at this victim.
+    pub peak_list_width: usize,
+    /// Candidates generated at this victim before pruning.
+    pub generated: usize,
+}
+
+/// Runs `per_victim` over every net, respecting fanin dependencies, and
+/// collects the per-victim I-lists plus aggregated counters.
+///
+/// A victim's work may read `ilists[u]` only for nets `u` in its strict
+/// fanin cone (pseudo atoms) — never same-level siblings. That makes
+/// dependency levels ([`Circuit::nets_by_level`]) a valid synchronization
+/// barrier: with `config.threads > 1` each level's victims are split into
+/// contiguous chunks processed by scoped worker threads that share the
+/// (immutable) lists of completed levels, and the results are written back
+/// only after the level joins. `threads <= 1` keeps the plain
+/// [`nets_topological`](Circuit::nets_topological) loop — the serial
+/// reference path. Both paths are bit-identical: the partition changes
+/// execution order only, and the counter aggregation (max of widths, sum
+/// of generated counts) is order-independent.
+pub(crate) fn sweep_victims<F>(
+    p: &Prepared<'_>,
+    per_victim: F,
+) -> (Vec<Vec<Vec<Candidate>>>, usize, usize)
+where
+    F: Fn(NetId, &[Vec<Vec<Candidate>>]) -> VictimLists + Sync,
+{
+    let circuit = p.circuit;
+    let mut ilists: Vec<Vec<Vec<Candidate>>> = vec![Vec::new(); circuit.num_nets()];
+    let mut peak_list_width = 0usize;
+    let mut generated = 0usize;
+    let threads = p.config.effective_threads();
+
+    let mut absorb = |v: NetId, out: VictimLists, ilists: &mut Vec<Vec<Vec<Candidate>>>| {
+        peak_list_width = peak_list_width.max(out.peak_list_width);
+        generated += out.generated;
+        ilists[v.index()] = out.lists;
+    };
+
+    if threads <= 1 {
+        for &v in circuit.nets_topological() {
+            let out = per_victim(v, &ilists);
+            absorb(v, out, &mut ilists);
+        }
+    } else {
+        for level in circuit.nets_by_level() {
+            let chunk = level.len().div_ceil(threads);
+            let results: Vec<(NetId, VictimLists)> = std::thread::scope(|s| {
+                let shared = &ilists;
+                let work = &per_victim;
+                let handles: Vec<_> = level
+                    .chunks(chunk)
+                    .map(|part| {
+                        s.spawn(move || {
+                            part.iter().map(|&v| (v, work(v, shared))).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
+            });
+            for (v, out) in results {
+                absorb(v, out, &mut ilists);
+            }
+        }
+    }
+    (ilists, peak_list_width, generated)
 }
 
 /// Pseudo envelope of a transition delayed by `shift` (paper §3.1).
@@ -459,9 +530,17 @@ mod tests {
         for pair in wd.windows(2) {
             assert!(pair[0].1 >= pair[1].1);
         }
-        // Memoized: same Rc returned.
+        // Memoized: same Arc returned.
         let again = p.wideners_of(w);
-        assert!(Rc::ptr_eq(&wd, &again));
+        assert!(Arc::ptr_eq(&wd, &again));
+    }
+
+    #[test]
+    fn prepared_is_shareable_across_threads() {
+        // Compile-time guarantee the parallel sweep rests on: a `&Prepared`
+        // can be handed to scoped worker threads.
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Prepared<'static>>();
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub enum Rule {
     EnvelopeMalformed,
     /// Timing data carries a non-finite bound or a non-positive slew.
     TimingNonFinite,
+    /// An envelope's cached peak/support bounds disagree with its curve.
+    EnvelopeCacheStale,
     /// An irredundant list contains a dominated candidate.
     DominatedCandidate,
     /// Two candidates in one list carry the same coupling set.
@@ -97,6 +99,7 @@ impl Rule {
             Rule::WindowInverted => "L022",
             Rule::EnvelopeMalformed => "L023",
             Rule::TimingNonFinite => "L024",
+            Rule::EnvelopeCacheStale => "L025",
             Rule::DominatedCandidate => "L030",
             Rule::DuplicateCandidateSet => "L031",
             Rule::OverCapacity => "L032",
@@ -139,6 +142,7 @@ impl Rule {
             Rule::WindowInverted => "inverted timing window",
             Rule::EnvelopeMalformed => "malformed envelope",
             Rule::TimingNonFinite => "non-finite timing",
+            Rule::EnvelopeCacheStale => "stale envelope cache",
             Rule::DominatedCandidate => "dominated candidate",
             Rule::DuplicateCandidateSet => "duplicate candidate set",
             Rule::OverCapacity => "over capacity",
@@ -172,6 +176,7 @@ impl Rule {
             Rule::WindowInverted,
             Rule::EnvelopeMalformed,
             Rule::TimingNonFinite,
+            Rule::EnvelopeCacheStale,
             Rule::DominatedCandidate,
             Rule::DuplicateCandidateSet,
             Rule::OverCapacity,

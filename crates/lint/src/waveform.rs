@@ -48,18 +48,35 @@ pub fn lint_pwl(curve: &Pwl) -> Diagnostics {
 /// the tail tolerance [`Envelope::from_curve`] accepts before clamping.
 const ENVELOPE_TOL: f64 = 1e-6;
 
-/// Checks one noise envelope (`L020`, `L021`, `L023`).
+/// Checks one noise envelope (`L020`, `L021`, `L023`, `L025`).
 ///
 /// On top of the underlying curve being well-formed, an [`Envelope`] must
 /// be non-negative everywhere and decay to zero at both ends of its
 /// support — the trapezoid model of the paper's §3 bounds every glitch by
-/// a pulse that starts and ends quiet.
+/// a pulse that starts and ends quiet. The cached peak/support bounds
+/// (the dominance prefilter's O(1) inputs) must also agree with the curve
+/// — a stale cache silently corrupts pruning decisions.
 #[must_use]
 pub fn lint_envelope(envelope: &Envelope) -> Diagnostics {
     let mut diags = lint_pwl(envelope.as_pwl());
     if diags.has_errors() {
         // Value checks on a structurally broken curve would double-report.
         return diags;
+    }
+    if !envelope.cache_is_consistent() {
+        diags.report(
+            Rule::EnvelopeCacheStale,
+            Location::Global,
+            format!(
+                "cached bounds (peak {} at t = {}, support [{}, {}]) disagree with the curve \
+                 (max value {})",
+                envelope.peak(),
+                envelope.peak_time(),
+                envelope.support_lo(),
+                envelope.support_hi(),
+                envelope.as_pwl().max_value()
+            ),
+        );
     }
     let points = envelope.as_pwl().points();
     for (i, (t, v)) in points.iter().enumerate() {

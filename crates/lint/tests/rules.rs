@@ -250,6 +250,44 @@ fn l023_envelope_malformed() {
     assert!(lint_envelope(&good).is_empty());
 }
 
+#[test]
+fn l025_envelope_cache_stale() {
+    let honest = Envelope::from_pulse(&NoisePulse::symmetric(5.0, 0.3, 4.0));
+    assert!(lint_envelope(&honest).is_empty());
+
+    // A lying peak: the dominance prefilter would wrongly reject pairs.
+    let stale_peak = Envelope::with_cached_bounds_unchecked(
+        honest.as_pwl().clone(),
+        honest.peak() * 2.0,
+        honest.peak_time(),
+        honest.support_lo(),
+        honest.support_hi(),
+    );
+    let diags = lint_envelope(&stale_peak);
+    assert!(diags.has(Rule::EnvelopeCacheStale), "{}", diags.render_text());
+
+    // A lying support interval.
+    let stale_support = Envelope::with_cached_bounds_unchecked(
+        honest.as_pwl().clone(),
+        honest.peak(),
+        honest.peak_time(),
+        honest.support_lo() + 100.0,
+        honest.support_hi() + 100.0,
+    );
+    let diags = lint_envelope(&stale_support);
+    assert!(diags.has(Rule::EnvelopeCacheStale), "{}", diags.render_text());
+
+    // Honest bounds rebuilt through the unchecked constructor stay clean.
+    let copied = Envelope::with_cached_bounds_unchecked(
+        honest.as_pwl().clone(),
+        honest.peak(),
+        honest.peak_time(),
+        honest.support_lo(),
+        honest.support_hi(),
+    );
+    assert!(lint_envelope(&copied).is_empty());
+}
+
 fn candidate(ids: &[u32], peak: f64, width: f64, dn: f64) -> Candidate {
     let set: CouplingSet = ids.iter().map(|&i| CouplingId::new(i)).collect();
     let env = Envelope::from_window(&NoisePulse::symmetric(0.0, peak, 4.0), 0.0, width);

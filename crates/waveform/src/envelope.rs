@@ -1,5 +1,6 @@
 //! Trapezoidal noise envelopes (paper Fig. 2 and Fig. 3).
 
+use std::borrow::Borrow;
 use std::fmt;
 
 use crate::{NoisePulse, Pwl, TimeInterval, EPS};
@@ -30,16 +31,68 @@ use crate::{NoisePulse, Pwl, TimeInterval, EPS};
 /// assert_eq!(env.eval(22.0), 0.2);
 /// assert_eq!(env.peak(), 0.2);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Envelope {
     curve: Pwl,
+    /// Cached raw maximum of the curve ([`Pwl::max_value`]).
+    peak: f64,
+    /// Cached time at which `peak` is first attained.
+    peak_time: f64,
+    /// Cached support lower bound: for `t < support_lo` the curve is
+    /// guaranteed within [`EPS`] of zero. `f64::INFINITY` for the zero
+    /// envelope, `f64::NEG_INFINITY` when the left tail does not decay.
+    support_lo: f64,
+    /// Cached support upper bound, mirror of `support_lo`.
+    support_hi: f64,
+}
+
+/// Cached bounds equality ignores the cache: two envelopes are equal when
+/// their curves are (honest caches are a pure function of the curve).
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        self.curve == other.curve
+    }
 }
 
 impl Envelope {
+    /// Wraps a curve, computing the cached peak/support bounds in one scan.
+    fn from_raw(curve: Pwl) -> Self {
+        let pts = curve.points();
+        let mut peak = f64::NEG_INFINITY;
+        let mut peak_time = pts.first().map_or(0.0, |p| p.0);
+        let mut lo_idx = None;
+        let mut hi_idx = None;
+        for (i, &(t, v)) in pts.iter().enumerate() {
+            if v > peak {
+                peak = v;
+                peak_time = t;
+            }
+            if v.abs() > EPS {
+                lo_idx.get_or_insert(i);
+                hi_idx = Some(i);
+            }
+        }
+        let (support_lo, support_hi) = match (lo_idx, hi_idx) {
+            (Some(lo), Some(hi)) => {
+                // Outside the breakpoints flanking the outermost
+                // above-EPS values the curve (with its constant
+                // extensions) stays within EPS of zero — unless the tail
+                // value itself is above EPS, where the extension keeps it
+                // there forever.
+                let l = if lo == 0 { f64::NEG_INFINITY } else { pts[lo - 1].0 };
+                let h = if hi == pts.len() - 1 { f64::INFINITY } else { pts[hi + 1].0 };
+                (l, h)
+            }
+            // Identically (near-)zero curve: empty support.
+            _ => (f64::INFINITY, f64::NEG_INFINITY),
+        };
+        Self { curve, peak, peak_time, support_lo, support_hi }
+    }
+
     /// The identically-zero envelope (no noise).
     #[must_use]
     pub fn zero() -> Self {
-        Self { curve: Pwl::zero() }
+        Self::from_raw(Pwl::zero())
     }
 
     /// Builds the trapezoidal envelope of an aggressor whose switching
@@ -63,7 +116,7 @@ impl Envelope {
             (late.peak_time(), pulse.peak()),
             (late.end(), 0.0),
         ];
-        Self { curve: Pwl::new(pts).expect("window corners are ordered") }
+        Self::from_raw(Pwl::new(pts).expect("window corners are ordered"))
     }
 
     /// Builds the envelope of an aggressor switching at a single known
@@ -106,19 +159,54 @@ impl Envelope {
             l.1 = 0.0;
         }
         clamped = Pwl::new(p).expect("clamped points remain ordered");
-        Self { curve: clamped }
+        Self::from_raw(clamped)
     }
 
     /// Wraps an arbitrary curve as an envelope **without any validation**.
     ///
     /// Unlike [`from_curve`](Self::from_curve) this performs no clamping,
     /// tail pinning or decay checks, so the result may violate every
-    /// envelope invariant (non-negativity, zero tails). Intended only for
+    /// envelope invariant (non-negativity, zero tails). The cached bounds
+    /// are still computed honestly from the curve. Intended only for
     /// IR-level tooling — in particular the `dna-lint` verifier's known-bad
     /// test corpus, which exercises the `L023` envelope-malformed rule.
     #[must_use]
     pub fn from_pwl_unchecked(curve: Pwl) -> Self {
-        Self { curve }
+        Self::from_raw(curve)
+    }
+
+    /// Builds an envelope with **caller-supplied cached bounds**, bypassing
+    /// the one-scan bound computation every checked constructor performs.
+    ///
+    /// Nothing validates that `peak`, `peak_time` and the support interval
+    /// agree with `curve`, so the dominance prefilter
+    /// ([`may_encapsulate`](Self::may_encapsulate)) can be driven to wrong
+    /// answers. Intended only for IR-level tooling — the `dna-lint` rule
+    /// `L025` (stale envelope cache) exists to catch exactly such values,
+    /// and its known-bad test corpus is built through this constructor.
+    #[must_use]
+    pub fn with_cached_bounds_unchecked(
+        curve: Pwl,
+        peak: f64,
+        peak_time: f64,
+        support_lo: f64,
+        support_hi: f64,
+    ) -> Self {
+        Self { curve, peak, peak_time, support_lo, support_hi }
+    }
+
+    /// Whether the cached peak/support bounds agree with the underlying
+    /// curve — always true for envelopes from checked constructors; only
+    /// [`with_cached_bounds_unchecked`](Self::with_cached_bounds_unchecked)
+    /// can produce a stale cache. Backs the lint rule `L025`.
+    #[must_use]
+    pub fn cache_is_consistent(&self) -> bool {
+        let honest = Self::from_raw(self.curve.clone());
+        let same = |a: f64, b: f64| a == b || (a.is_nan() && b.is_nan());
+        same(self.peak, honest.peak)
+            && same(self.peak_time, honest.peak_time)
+            && same(self.support_lo, honest.support_lo)
+            && same(self.support_hi, honest.support_hi)
     }
 
     /// The underlying piecewise-linear curve.
@@ -133,10 +221,31 @@ impl Envelope {
         self.curve.eval(t)
     }
 
-    /// Maximum magnitude of the envelope.
+    /// Maximum magnitude of the envelope. Cached at construction — O(1).
     #[must_use]
     pub fn peak(&self) -> f64 {
-        self.curve.max_value().max(0.0)
+        self.peak.max(0.0)
+    }
+
+    /// Time at which the cached [`peak`](Self::peak) is first attained.
+    #[must_use]
+    pub fn peak_time(&self) -> f64 {
+        self.peak_time
+    }
+
+    /// Cached support lower bound: for `t < support_lo()` the envelope is
+    /// within [`EPS`] of zero. `f64::INFINITY` for a zero envelope (empty
+    /// support), `f64::NEG_INFINITY` when the left tail never decays
+    /// (possible only through unchecked constructors).
+    #[must_use]
+    pub fn support_lo(&self) -> f64 {
+        self.support_lo
+    }
+
+    /// Cached support upper bound, mirror of [`support_lo`](Self::support_lo).
+    #[must_use]
+    pub fn support_hi(&self) -> f64 {
+        self.support_hi
     }
 
     /// Maximum magnitude within `interval`.
@@ -152,6 +261,7 @@ impl Envelope {
     }
 
     /// Whether the envelope is identically zero (peak below [`EPS`]).
+    /// O(1) via the cached peak.
     #[must_use]
     pub fn is_zero(&self) -> bool {
         self.peak() <= EPS
@@ -161,7 +271,9 @@ impl Envelope {
     ///
     /// Redundant (collinear within [`EPS`]) breakpoints are pruned so that
     /// long chains of sums — the hot loop of top-k enumeration — do not
-    /// accumulate unbounded point counts.
+    /// accumulate unbounded point counts. Runs as a single fused
+    /// merge-add-simplify pass with one output allocation
+    /// ([`Pwl::add_simplified`]).
     #[must_use]
     pub fn sum(&self, other: &Envelope) -> Envelope {
         if self.is_zero() {
@@ -170,35 +282,39 @@ impl Envelope {
         if other.is_zero() {
             return self.clone();
         }
-        Envelope { curve: (&self.curve + &other.curve).simplified(EPS) }
+        Envelope::from_raw(self.curve.add_simplified(&other.curve, EPS))
     }
 
-    /// Combined envelope of an arbitrary collection.
+    /// Combined envelope of an arbitrary collection, owned or borrowed —
+    /// the iterator is consumed directly, no intermediate collection
+    /// needed.
     #[must_use]
-    pub fn sum_all<'a, I>(envelopes: I) -> Envelope
+    pub fn sum_all<I>(envelopes: I) -> Envelope
     where
-        I: IntoIterator<Item = &'a Envelope>,
+        I: IntoIterator,
+        I::Item: Borrow<Envelope>,
     {
-        envelopes.into_iter().fold(Envelope::zero(), |acc, e| acc.sum(e))
+        envelopes.into_iter().fold(Envelope::zero(), |acc, e| acc.sum(e.borrow()))
     }
 
     /// `max(self - other, 0)` pointwise.
     ///
     /// Elimination-set analysis (§3.4) subtracts a candidate set's envelope
     /// from the *total* noise envelope before superposition; the residual
-    /// can never be negative noise.
+    /// can never be negative noise. Runs as a single fused
+    /// merge-sub-clamp-simplify pass ([`Pwl::sub_clamped_simplified`]).
     #[must_use]
     pub fn saturating_sub(&self, other: &Envelope) -> Envelope {
         if other.is_zero() {
             return self.clone();
         }
-        Envelope { curve: (&self.curve - &other.curve).clamped_min(0.0).simplified(EPS) }
+        Envelope::from_raw(self.curve.sub_clamped_simplified(&other.curve, EPS))
     }
 
     /// The envelope translated by `dt`.
     #[must_use]
     pub fn shifted(&self, dt: f64) -> Envelope {
-        Envelope { curve: self.curve.shifted(dt) }
+        Envelope::from_raw(self.curve.shifted(dt))
     }
 
     /// The envelope with its magnitude scaled by `factor >= 0`.
@@ -209,7 +325,7 @@ impl Envelope {
     #[must_use]
     pub fn scaled(&self, factor: f64) -> Envelope {
         assert!(factor >= 0.0, "envelope scale factor must be non-negative");
-        Envelope { curve: self.curve.scaled(factor) }
+        Envelope::from_raw(self.curve.scaled(factor))
     }
 
     /// The envelope zeroed outside `interval`.
@@ -246,7 +362,38 @@ impl Envelope {
         if v_hi > 0.0 {
             pts.push((interval.hi() + RAMP, 0.0));
         }
-        Envelope { curve: Pwl::new(pts).expect("clipped points stay ordered") }
+        Envelope::from_raw(Pwl::new(pts).expect("clipped points stay ordered"))
+    }
+
+    /// O(1) necessary condition for `self.encapsulates(other, interval)`,
+    /// using only the cached peak/support bounds — the dominance
+    /// prefilter. A `false` return is a **proof** that full encapsulation
+    /// is impossible; `true` means "plausible, run the PWL comparison".
+    ///
+    /// Soundness: let `t*` be `other`'s cached peak time and `p` its peak.
+    /// When `p > EPS` and `t* ∈ interval`, encapsulation requires
+    /// `self(t*) >= p - EPS`, hence `self.peak() >= p - EPS`. And if `t*`
+    /// lies outside `self`'s support, `self(t*) <= EPS`, so `p <= 2·EPS`
+    /// would be forced. Either bound failing rules encapsulation out.
+    #[must_use]
+    pub fn may_encapsulate(&self, other: &Envelope, interval: TimeInterval) -> bool {
+        let p = other.peak();
+        if p <= EPS {
+            // Encapsulating a (near-)zero envelope is always plausible.
+            return true;
+        }
+        let t = other.peak_time;
+        if !interval.contains(t) {
+            // The witness point is outside the interval; no cheap bound.
+            return true;
+        }
+        if self.peak() < p - EPS {
+            return false;
+        }
+        if p > 2.0 * EPS && (t < self.support_lo || t > self.support_hi) {
+            return false;
+        }
+        true
     }
 
     /// Whether this envelope *encapsulates* `other` over `interval`:
@@ -416,6 +563,91 @@ mod tests {
         assert_eq!(tight.clipped(TimeInterval::new(0.0, 100.0)), tight);
         // Disjoint windows clip to zero.
         assert!(e.clipped(TimeInterval::new(500.0, 600.0)).is_zero());
+    }
+
+    #[test]
+    fn cached_bounds_agree_with_curve() {
+        let e = Envelope::from_window(&pulse(), 10.0, 20.0);
+        assert_eq!(e.peak(), e.as_pwl().max_value().max(0.0));
+        assert!((e.eval(e.peak_time()) - e.peak()).abs() < 1e-12);
+        // Support bounds: within EPS of zero strictly outside them.
+        assert!(e.eval(e.support_lo() - 1.0) <= EPS);
+        assert!(e.eval(e.support_hi() + 1.0) <= EPS);
+        assert!(e.support_lo() < e.support_hi());
+        assert!(e.cache_is_consistent());
+        // Algebra results keep honest caches too.
+        let s = e.sum(&Envelope::from_window(&pulse(), 12.0, 14.0));
+        assert!(s.cache_is_consistent());
+        let d = s.saturating_sub(&e);
+        assert!(d.cache_is_consistent());
+        let c = e.clipped(TimeInterval::new(12.0, 18.0));
+        assert!(c.cache_is_consistent());
+        assert!(e.shifted(3.0).cache_is_consistent());
+        assert!(e.scaled(0.5).cache_is_consistent());
+    }
+
+    #[test]
+    fn zero_envelope_has_empty_support() {
+        let z = Envelope::zero();
+        assert_eq!(z.support_lo(), f64::INFINITY);
+        assert_eq!(z.support_hi(), f64::NEG_INFINITY);
+        assert!(z.cache_is_consistent());
+    }
+
+    #[test]
+    fn stale_cache_is_detected() {
+        let honest = Envelope::from_window(&pulse(), 0.0, 5.0);
+        let stale = Envelope::with_cached_bounds_unchecked(
+            honest.as_pwl().clone(),
+            honest.peak() * 2.0, // lies about the peak
+            honest.peak_time(),
+            honest.support_lo(),
+            honest.support_hi(),
+        );
+        assert!(!stale.cache_is_consistent());
+        // Equality ignores the cache: the curves are identical.
+        assert_eq!(stale, honest);
+    }
+
+    #[test]
+    fn may_encapsulate_never_rejects_true_encapsulation() {
+        let iv = TimeInterval::new(-5.0, 40.0);
+        let wide = Envelope::from_window(&pulse(), 0.0, 20.0);
+        let narrow = Envelope::from_window(&pulse(), 5.0, 10.0);
+        // Prefilter must pass everything encapsulates() accepts.
+        assert!(wide.may_encapsulate(&narrow, iv));
+        assert!(wide.may_encapsulate(&wide, iv));
+        assert!(wide.may_encapsulate(&Envelope::zero(), iv));
+        assert!(Envelope::zero().may_encapsulate(&Envelope::zero(), iv));
+    }
+
+    #[test]
+    fn may_encapsulate_rejects_impossible_pairs() {
+        // Lower peak can never encapsulate a higher one whose peak time
+        // lies inside the interval.
+        let tall = Envelope::from_window(&pulse(), 5.0, 10.0);
+        let short = tall.scaled(0.25);
+        let iv = TimeInterval::new(-5.0, 40.0);
+        assert!(!short.may_encapsulate(&tall, iv));
+        assert!(!short.encapsulates(&tall, iv));
+        // Disjoint supports: probe's peak time is outside self's support.
+        let left = Envelope::from_window(&pulse(), 0.0, 0.0);
+        let right = Envelope::from_window(&pulse(), 100.0, 100.0);
+        let big_iv = TimeInterval::new(-5.0, 120.0);
+        assert!(!left.may_encapsulate(&right, big_iv));
+        assert!(!left.encapsulates(&right, big_iv));
+        // Probe peak outside the interval: prefilter stays conservative.
+        let outside_iv = TimeInterval::new(50.0, 60.0);
+        assert!(left.may_encapsulate(&right, outside_iv));
+    }
+
+    #[test]
+    fn sum_all_accepts_owned_iterator() {
+        let total =
+            Envelope::sum_all((0..3).map(|i| Envelope::from_window(&pulse(), i as f64, i as f64)));
+        let by_ref: Vec<Envelope> =
+            (0..3).map(|i| Envelope::from_window(&pulse(), i as f64, i as f64)).collect();
+        assert_eq!(total, Envelope::sum_all(&by_ref));
     }
 
     #[test]

@@ -375,6 +375,58 @@ impl Pwl {
         Pwl::new(out).expect("subset of ordered points stays ordered")
     }
 
+    /// Pointwise sum of two curves with collinear breakpoints pruned, in
+    /// one pass and one output allocation.
+    ///
+    /// Equivalent to `(&self + &other).simplified(tol)` but without the
+    /// intermediate curve, the merged-times buffer, or the second
+    /// simplification sweep — this is the allocation profile the top-k
+    /// enumeration hot loop needs, where millions of envelope sums happen
+    /// per run.
+    #[must_use]
+    pub fn add_simplified(&self, other: &Pwl, tol: f64) -> Pwl {
+        let mut out = SimplifyingBuilder::new(self.points.len() + other.points.len(), tol);
+        let mut a = SegmentCursor::new(&self.points);
+        let mut b = SegmentCursor::new(&other.points);
+        merge_times(&self.points, &other.points, |t| {
+            out.push(t, a.eval_monotone(t) + b.eval_monotone(t));
+        });
+        Pwl { points: out.finish() }
+    }
+
+    /// `max(self - other, 0)` pointwise with collinear breakpoints pruned,
+    /// in one pass and one output allocation.
+    ///
+    /// Equivalent to `(&self - &other).clamped_min(0.0).simplified(tol)`
+    /// but without the three intermediate curves that chain would build.
+    /// Zero-crossings of the difference become breakpoints, exactly as
+    /// [`pointwise_max`](Self::pointwise_max) against the zero curve would
+    /// insert them.
+    #[must_use]
+    pub fn sub_clamped_simplified(&self, other: &Pwl, tol: f64) -> Pwl {
+        let mut out = SimplifyingBuilder::new(self.points.len() + other.points.len(), tol);
+        let mut a = SegmentCursor::new(&self.points);
+        let mut b = SegmentCursor::new(&other.points);
+        // Difference at the previous merged time, for crossing detection.
+        let mut prev: Option<(f64, f64)> = None;
+        merge_times(&self.points, &other.points, |t| {
+            let d = a.eval_monotone(t) - b.eval_monotone(t);
+            if let Some((t0, d0)) = prev {
+                // Sign change strictly inside the segment: the clamped
+                // curve has a kink at the crossing.
+                if d0 * d < 0.0 {
+                    let tc = t0 + d0 / (d0 - d) * (t - t0);
+                    if tc > t0 + EPS && tc < t - EPS {
+                        out.push(tc, 0.0);
+                    }
+                }
+            }
+            prev = Some((t, d));
+            out.push(t, d.max(0.0));
+        });
+        Pwl { points: out.finish() }
+    }
+
     /// Whether `self(t) >= other(t) - tol` for every `t` in `interval`.
     ///
     /// This is the *encapsulation* primitive behind the paper's dominance
@@ -393,6 +445,131 @@ impl Pwl {
             .map(|&(t, _)| t)
             .filter(|&t| interval.contains(t))
             .all(check)
+    }
+}
+
+/// Calls `visit` with the merged, EPS-deduplicated breakpoint times of
+/// both point lists, in ascending order, without materializing them.
+fn merge_times(a: &[(f64, f64)], b: &[(f64, f64)], mut visit: impl FnMut(f64)) {
+    let (mut i, mut j) = (0, 0);
+    let mut last: Option<f64> = None;
+    let mut emit = |t: f64, visit: &mut dyn FnMut(f64)| {
+        if !matches!(last, Some(l) if (t - l).abs() <= EPS) {
+            visit(t);
+            last = Some(t);
+        }
+    };
+    while i < a.len() && j < b.len() {
+        if a[i].0 <= b[j].0 {
+            emit(a[i].0, &mut visit);
+            i += 1;
+        } else {
+            emit(b[j].0, &mut visit);
+            j += 1;
+        }
+    }
+    while i < a.len() {
+        emit(a[i].0, &mut visit);
+        i += 1;
+    }
+    while j < b.len() {
+        emit(b[j].0, &mut visit);
+        j += 1;
+    }
+}
+
+/// Evaluates one curve at a non-decreasing sequence of times in overall
+/// linear time, replacing the per-time binary search of [`Pwl::eval`].
+struct SegmentCursor<'a> {
+    pts: &'a [(f64, f64)],
+    /// Index of the first breakpoint strictly after the last queried time.
+    idx: usize,
+}
+
+impl<'a> SegmentCursor<'a> {
+    fn new(pts: &'a [(f64, f64)]) -> Self {
+        Self { pts, idx: 0 }
+    }
+
+    /// Value at `t`; callers must query with non-decreasing `t`.
+    fn eval_monotone(&mut self, t: f64) -> f64 {
+        let pts = self.pts;
+        while self.idx < pts.len() && pts[self.idx].0 <= t {
+            self.idx += 1;
+        }
+        if self.idx == 0 {
+            return pts[0].1; // constant extension on the left
+        }
+        let (t0, v0) = pts[self.idx - 1];
+        if self.idx == pts.len() {
+            return pts[pts.len() - 1].1; // constant extension on the right
+        }
+        let (t1, v1) = pts[self.idx];
+        if t1 - t0 <= EPS {
+            return v1;
+        }
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+}
+
+/// Streaming breakpoint sink that prunes collinear interior points on the
+/// fly, reproducing [`Pwl::simplified`]'s keep/drop decisions (chord from
+/// the last kept point to the immediate next point) without a second pass.
+struct SimplifyingBuilder {
+    out: Vec<(f64, f64)>,
+    /// Interior point whose keep/drop decision waits on its successor.
+    pending: Option<(f64, f64)>,
+    tol: f64,
+}
+
+impl SimplifyingBuilder {
+    fn new(capacity: usize, tol: f64) -> Self {
+        Self { out: Vec::with_capacity(capacity), pending: None, tol }
+    }
+
+    /// Appends a breakpoint; times must be non-decreasing. A point within
+    /// EPS of its predecessor replaces that predecessor's value, matching
+    /// the merge rule of [`Pwl::new`].
+    fn push(&mut self, t: f64, v: f64) {
+        if let Some(p) = &mut self.pending {
+            if t - p.0 <= EPS {
+                p.1 = v;
+                return;
+            }
+        } else if let Some(last) = self.out.last_mut() {
+            if t - last.0 <= EPS {
+                last.1 = v;
+                return;
+            }
+        }
+        let Some(last) = self.out.last().copied() else {
+            self.out.push((t, v));
+            return;
+        };
+        let Some((t1, v1)) = self.pending else {
+            self.pending = Some((t, v));
+            return;
+        };
+        // Decide the held interior point against the chord last -> (t, v).
+        let (t0, v0) = last;
+        let predicted =
+            if (t - t0).abs() <= EPS { v0 } else { v0 + (v - v0) * (t1 - t0) / (t - t0) };
+        if (v1 - predicted).abs() > self.tol {
+            self.out.push((t1, v1));
+        }
+        self.pending = Some((t, v));
+    }
+
+    /// Final breakpoint list; the last point is always kept.
+    fn finish(mut self) -> Vec<(f64, f64)> {
+        if let Some(p) = self.pending.take() {
+            self.out.push(p);
+        }
+        debug_assert!(
+            self.out.windows(2).all(|w| w[0].0 < w[1].0),
+            "builder output times must strictly increase"
+        );
+        self.out
     }
 }
 
@@ -584,6 +761,50 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", ramp()).is_empty());
+    }
+
+    #[test]
+    fn add_simplified_matches_chained_ops() {
+        let a = Pwl::new(vec![(0.0, 0.0), (2.0, 0.3), (5.0, 0.3), (9.0, 0.0)]).unwrap();
+        let b = Pwl::new(vec![(1.0, 0.0), (4.0, 0.5), (6.0, 0.1), (8.0, 0.0)]).unwrap();
+        let fused = a.add_simplified(&b, EPS);
+        let chained = (&a + &b).simplified(EPS);
+        assert_eq!(fused.points(), chained.points());
+        for i in 0..=100 {
+            let t = -1.0 + i as f64 * 0.11;
+            assert!((fused.eval(t) - (a.eval(t) + b.eval(t))).abs() < 1e-9, "mismatch at {t}");
+        }
+        // Collinear interior points of the sum are pruned.
+        let flat = Pwl::new(vec![(0.0, 0.0), (1.0, 0.1), (2.0, 0.2), (3.0, 0.3)]).unwrap();
+        let s = flat.add_simplified(&Pwl::zero(), 1e-9);
+        assert!(s.points().len() <= 3);
+    }
+
+    #[test]
+    fn sub_clamped_simplified_matches_chained_ops() {
+        let a = Pwl::new(vec![(0.0, 0.0), (3.0, 0.6), (6.0, 0.6), (9.0, 0.0)]).unwrap();
+        let b = Pwl::new(vec![(1.0, 0.0), (4.0, 0.9), (7.0, 0.0)]).unwrap();
+        let fused = a.sub_clamped_simplified(&b, EPS);
+        let chained = (&a - &b).clamped_min(0.0).simplified(EPS);
+        for i in 0..=110 {
+            let t = -1.0 + i as f64 * 0.1;
+            let want = (a.eval(t) - b.eval(t)).max(0.0);
+            assert!((fused.eval(t) - want).abs() < 1e-9, "fused mismatch at {t}");
+            assert!((fused.eval(t) - chained.eval(t)).abs() < 1e-9, "chained mismatch at {t}");
+        }
+        // Never negative anywhere.
+        assert!(fused.points().iter().all(|&(_, v)| v >= 0.0));
+    }
+
+    #[test]
+    fn sub_clamped_simplified_full_cancellation() {
+        let a = ramp();
+        let z = a.sub_clamped_simplified(&a.scaled(2.0), EPS);
+        for i in 0..=40 {
+            let t = i as f64 * 0.5;
+            assert_eq!(z.eval(t).max(0.0), z.eval(t));
+            assert!(z.eval(t) <= 1e-12);
+        }
     }
 
     #[test]
