@@ -15,8 +15,22 @@ cargo test --workspace --offline -q
 
 echo "== bench smoke (serial vs parallel identity + report schema)"
 smoke_json="$(mktemp -t bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_json"' EXIT
+smoke_ckt="$(mktemp -t whatif_smoke.XXXXXX.ckt)"
+trap 'rm -f "$smoke_json" "$smoke_ckt"' EXIT
 cargo run -q -p dna-cli --offline -- bench --quick --k 2 --json --out "$smoke_json" >/dev/null
 cargo run -q -p dna-cli --offline -- bench --check "$smoke_json"
+
+echo "== whatif smoke (incremental session identity + dirty-closure audit)"
+cargo run -q -p dna-cli --offline -- generate --gates 40 --couplings 30 --seed 9 --o "$smoke_ckt"
+cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --audit >/dev/null
+cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --mode add --k 3 --audit >/dev/null
+
+# CI_FULL=1 additionally runs the #[ignore]d suites (full i1-i10
+# determinism + incremental identity) in release mode — minutes, not
+# seconds, so opt-in.
+if [[ "${CI_FULL:-0}" == "1" ]]; then
+  echo "== full ignored suites (release)"
+  cargo test --workspace --offline --release -q -- --ignored
+fi
 
 echo "CI OK"

@@ -13,12 +13,15 @@
 use std::time::Instant;
 
 use dna_netlist::{suite, CouplingId, NetId};
-use dna_topk::{Mode, TopKAnalysis, TopKConfig, TopKResult};
+use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfSession};
 
 use crate::{Table, DEFAULT_SEED};
 
 /// Schema marker written into (and required from) every report.
-pub const SCHEMA: &str = "dna-bench-topk/v1";
+///
+/// `v2` added the `whatif` section: incremental-vs-full wall clock for the
+/// session-based fix loop, gated on bit-identity to the from-scratch run.
+pub const SCHEMA: &str = "dna-bench-topk/v2";
 
 /// What to measure.
 #[derive(Debug, Clone)]
@@ -73,6 +76,29 @@ pub struct BenchEntry {
     pub identical_to_serial: bool,
 }
 
+/// One measured what-if fix loop: full analysis, mask out the reported
+/// worst set, re-verify incrementally through a [`WhatIfSession`].
+#[derive(Debug, Clone)]
+pub struct WhatIfEntry {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Engine mode (`"addition"` / `"elimination"`).
+    pub mode: String,
+    /// Fastest wall-clock time of a from-scratch run under the same
+    /// reduced mask the incremental run solves, in milliseconds.
+    pub full_ms: f64,
+    /// Fastest wall-clock time of the incremental re-analysis after
+    /// removing the worst set, in milliseconds.
+    pub incremental_ms: f64,
+    /// Victims re-swept by the incremental run (the dirty cone).
+    pub recomputed_victims: usize,
+    /// Total victims in the circuit.
+    pub total_victims: usize,
+    /// Whether the incremental result is bit-identical to a from-scratch
+    /// run under the same mask.
+    pub identical_to_full: bool,
+}
+
 /// A full benchmark run, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -89,6 +115,8 @@ pub struct BenchReport {
     pub seed: u64,
     /// One entry per circuit × mode × thread configuration.
     pub entries: Vec<BenchEntry>,
+    /// One entry per circuit × mode: the incremental fix loop.
+    pub whatif: Vec<WhatIfEntry>,
 }
 
 /// Everything that must agree between a serial and a parallel run.
@@ -141,9 +169,11 @@ pub fn thread_configs() -> Vec<usize> {
 /// Returns a message for unknown circuit names or engine failures.
 pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
     let mut entries = Vec::new();
+    let mut whatif = Vec::new();
     for name in &spec.circuits {
         let circuit = suite::benchmark(name, spec.seed).map_err(|e| e.to_string())?;
         for &mode in &spec.modes {
+            whatif.push(bench_whatif(&circuit, name, mode, spec)?);
             let mut serial: Option<Fingerprint> = None;
             for threads in thread_configs() {
                 let config = TopKConfig { threads, validate: false, ..TopKConfig::default() };
@@ -186,7 +216,58 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
         }
     }
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    Ok(BenchReport { host_threads, k: spec.k, samples: spec.samples, seed: spec.seed, entries })
+    Ok(BenchReport {
+        host_threads,
+        k: spec.k,
+        samples: spec.samples,
+        seed: spec.seed,
+        entries,
+        whatif,
+    })
+}
+
+/// Measures one incremental fix loop: full run (session start), remove
+/// the reported worst set, re-verify incrementally, and cross-check the
+/// incremental answer against a from-scratch run under the same mask.
+///
+/// `full_ms` times that from-scratch reference — the *same* reduced-mask
+/// instance the incremental run solves — so the speedup column compares
+/// like with like (the initial session start solves a different, full-mask
+/// instance and is deliberately not the baseline).
+fn bench_whatif(
+    circuit: &dna_netlist::Circuit,
+    name: &str,
+    mode: Mode,
+    spec: &BenchSpec,
+) -> Result<WhatIfEntry, String> {
+    let config = TopKConfig { validate: false, ..TopKConfig::default() };
+    let engine = TopKAnalysis::new(circuit, config);
+    let mut full_ms = f64::INFINITY;
+    let mut incremental_ms = f64::INFINITY;
+    let mut measured = None;
+    for _ in 0..spec.samples.max(1) {
+        let mut session = WhatIfSession::start(&engine, mode, spec.k).map_err(|e| e.to_string())?;
+        let fix: Vec<CouplingId> = session.result().couplings().to_vec();
+        let start = Instant::now();
+        let outcome = session.apply(&MaskDelta::remove(&fix)).map_err(|e| e.to_string())?;
+        incremental_ms = incremental_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        let scratch =
+            engine.run_with_mask(mode, spec.k, session.mask()).map_err(|e| e.to_string())?;
+        full_ms = full_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let identical = fingerprint(outcome.result()) == fingerprint(&scratch);
+        measured = Some((outcome.recomputed_victims(), outcome.total_victims(), identical));
+    }
+    let (recomputed_victims, total_victims, identical_to_full) = measured.expect("samples >= 1");
+    Ok(WhatIfEntry {
+        circuit: name.to_owned(),
+        mode: mode.name().to_owned(),
+        full_ms,
+        incremental_ms,
+        recomputed_victims,
+        total_victims,
+        identical_to_full,
+    })
 }
 
 impl BenchReport {
@@ -213,6 +294,19 @@ impl BenchReport {
             out.push_str(&format!("      \"peak_list_width\": {},\n", e.peak_list_width));
             out.push_str(&format!("      \"identical_to_serial\": {}\n", e.identical_to_serial));
             out.push_str(if i + 1 < self.entries.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"whatif\": [\n");
+        for (i, e) in self.whatif.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"circuit\": {},\n", json_string(&e.circuit)));
+            out.push_str(&format!("      \"mode\": {},\n", json_string(&e.mode)));
+            out.push_str(&format!("      \"full_ms\": {:.3},\n", e.full_ms));
+            out.push_str(&format!("      \"incremental_ms\": {:.3},\n", e.incremental_ms));
+            out.push_str(&format!("      \"recomputed_victims\": {},\n", e.recomputed_victims));
+            out.push_str(&format!("      \"total_victims\": {},\n", e.total_victims));
+            out.push_str(&format!("      \"identical_to_full\": {}\n", e.identical_to_full));
+            out.push_str(if i + 1 < self.whatif.len() { "    },\n" } else { "    }\n" });
         }
         out.push_str("  ]\n}\n");
         out
@@ -252,7 +346,34 @@ impl BenchReport {
                 if e.identical_to_serial { "yes" } else { "NO" }.to_owned(),
             ]);
         }
-        table.render()
+        let mut out = table.render();
+        if !self.whatif.is_empty() {
+            let mut wtable = Table::new(&[
+                "circuit",
+                "mode",
+                "full ms",
+                "incr ms",
+                "speedup",
+                "reswept",
+                "total",
+                "identical",
+            ]);
+            for e in &self.whatif {
+                wtable.row(vec![
+                    e.circuit.clone(),
+                    e.mode.clone(),
+                    format!("{:.1}", e.full_ms),
+                    format!("{:.1}", e.incremental_ms),
+                    format!("{:.2}x", e.full_ms / e.incremental_ms.max(1e-9)),
+                    e.recomputed_victims.to_string(),
+                    e.total_victims.to_string(),
+                    if e.identical_to_full { "yes" } else { "NO" }.to_owned(),
+                ]);
+            }
+            out.push_str("\nwhat-if fix loop (incremental vs full re-analysis):\n");
+            out.push_str(&wtable.render());
+        }
+        out
     }
 }
 
@@ -477,9 +598,11 @@ fn parse(text: &str) -> Result<Json, String> {
 }
 
 /// Audits a serialized report: well-formed JSON, the [`SCHEMA`] marker,
-/// every required field, a non-empty entry list — and, semantically, that
-/// every entry reported results identical to its serial reference (the
-/// CI gate for the level-parallel sweep).
+/// every required field, non-empty `entries` and `whatif` lists — and,
+/// semantically, that every entry reported results identical to its
+/// serial reference and every what-if loop identical to its from-scratch
+/// reference (the CI gates for the level-parallel sweep and the
+/// incremental session path).
 ///
 /// # Errors
 ///
@@ -520,6 +643,32 @@ pub fn validate_json(text: &str) -> Result<(), String> {
             _ => return Err(format!("entry {i}: missing `identical_to_serial`")),
         }
     }
+    let whatif = match report.get("whatif") {
+        Some(Json::Arr(whatif)) if !whatif.is_empty() => whatif,
+        Some(Json::Arr(_)) => return Err("`whatif` is empty".into()),
+        _ => return Err("missing `whatif` array (required by v2)".into()),
+    };
+    for (i, entry) in whatif.iter().enumerate() {
+        for field in ["full_ms", "incremental_ms", "recomputed_victims", "total_victims"] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("whatif entry {i}: missing or non-numeric `{field}`"));
+            }
+        }
+        for field in ["circuit", "mode"] {
+            if !matches!(entry.get(field), Some(Json::Str(_))) {
+                return Err(format!("whatif entry {i}: missing `{field}`"));
+            }
+        }
+        match entry.get("identical_to_full") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!(
+                    "whatif entry {i}: incremental result differs from the from-scratch reference"
+                ))
+            }
+            _ => return Err(format!("whatif entry {i}: missing `identical_to_full`")),
+        }
+    }
     Ok(())
 }
 
@@ -541,11 +690,17 @@ mod tests {
         assert_eq!(report.entries.len(), thread_configs().len());
         assert!(report.entries.iter().all(|e| e.identical_to_serial));
         assert!(report.entries.iter().all(|e| e.wall_ms.is_finite() && e.wall_ms > 0.0));
+        // One what-if loop per circuit x mode, identical to from-scratch
+        // and never re-sweeping more than the circuit holds.
+        assert_eq!(report.whatif.len(), 1);
+        assert!(report.whatif.iter().all(|e| e.identical_to_full));
+        assert!(report.whatif.iter().all(|e| e.recomputed_victims <= e.total_victims));
         let json = report.to_json();
         validate_json(&json).expect("self-produced report validates");
         let table = report.render_table();
         assert!(table.contains("i1"));
         assert!(table.contains("yes"));
+        assert!(table.contains("what-if fix loop"));
     }
 
     #[test]
@@ -554,10 +709,12 @@ mod tests {
         assert!(validate_json("{").is_err());
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema": "other/v9"}"#).is_err());
+        // A v1 report (no `whatif` section) is no longer accepted.
+        assert!(validate_json(r#"{"schema": "dna-bench-topk/v1"}"#).is_err());
         // Structurally fine but semantically failing: a parallel run that
         // did not match its serial reference must be flagged.
         let bad = r#"{
-          "schema": "dna-bench-topk/v1",
+          "schema": "dna-bench-topk/v2",
           "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
           "entries": [{
             "circuit": "i1", "mode": "addition", "threads": 0,
@@ -565,10 +722,36 @@ mod tests {
             "delay_before_ps": 1.0, "delay_after_ps": 2.0,
             "generated": 3, "peak_list_width": 2,
             "identical_to_serial": false
+          }],
+          "whatif": [{
+            "circuit": "i1", "mode": "addition",
+            "full_ms": 2.0, "incremental_ms": 1.0,
+            "recomputed_victims": 3, "total_victims": 9,
+            "identical_to_full": true
           }]
         }"#;
         let err = validate_json(bad).unwrap_err();
         assert!(err.contains("differs from the serial reference"), "{err}");
+        // Likewise an incremental run that diverged from from-scratch.
+        let bad = bad
+            .replace("\"identical_to_serial\": false", "\"identical_to_serial\": true")
+            .replace("\"identical_to_full\": true", "\"identical_to_full\": false");
+        let err = validate_json(&bad).unwrap_err();
+        assert!(err.contains("differs from the from-scratch reference"), "{err}");
+        // A missing whatif section is a v2 violation of its own.
+        let bad = r#"{
+          "schema": "dna-bench-topk/v2",
+          "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
+          "entries": [{
+            "circuit": "i1", "mode": "addition", "threads": 1,
+            "effective_threads": 1, "wall_ms": 1.0,
+            "delay_before_ps": 1.0, "delay_after_ps": 2.0,
+            "generated": 3, "peak_list_width": 2,
+            "identical_to_serial": true
+          }]
+        }"#;
+        let err = validate_json(bad).unwrap_err();
+        assert!(err.contains("whatif"), "{err}");
     }
 
     #[test]

@@ -3,13 +3,15 @@
 use std::fs;
 
 use dna_bench::topk_bench;
-use dna_lint::{lint_circuit, lint_config, lint_result, lint_timing, Diagnostics};
+use dna_lint::{
+    lint_circuit, lint_config, lint_dirty_closure, lint_result, lint_timing, Diagnostics,
+};
 use dna_netlist::generator::{generate, GeneratorConfig};
 use dna_netlist::{format, suite, Circuit};
 use dna_noise::{glitch, CouplingMask, NoiseAnalysis, NoiseConfig};
 use dna_sta::{critical_path, top_k_paths, LinearDelayModel, StaConfig, TimingReport};
 use dna_topk::CouplingSet;
-use dna_topk::{Mode, TopKAnalysis, TopKConfig};
+use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, WhatIfSession};
 
 use crate::opts::Opts;
 
@@ -20,6 +22,9 @@ commands:
   generate  --gates N --couplings N [--seed S] [--bench i1..i10] [-o file]
   analyze   <file.ckt> [--seed S]         iterative noise analysis report
   topk      <file.ckt> --mode add|del -k N [--peel]
+  whatif    <file.ckt> [--mode add|del] [-k N] [--audit]
+                                          fix-loop: run, remove the worst
+                                          set, re-verify incrementally
   paths     <file.ckt> [-k N]             top-k critical paths
   glitch    <file.ckt> [--margin 0.4]     functional noise check
   lint      <file.ckt> [--json] [--deep]  verify IR and analysis invariants
@@ -40,6 +45,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("generate") => cmd_generate(&opts),
         Some("analyze") => cmd_analyze(&opts),
         Some("topk") => cmd_topk(&opts),
+        Some("whatif") => cmd_whatif(&opts),
         Some("paths") => cmd_paths(&opts),
         Some("glitch") => cmd_glitch(&opts),
         Some("lint") => cmd_lint(&opts),
@@ -144,6 +150,85 @@ fn cmd_topk(opts: &Opts) -> Result<(), String> {
         result.delay_after() - result.delay_before(),
         result.runtime()
     );
+    Ok(())
+}
+
+/// The designer's fix loop, one command: run the full analysis, pretend
+/// the reported worst set has been fixed (shielded / rerouted, i.e. its
+/// couplings masked out), and re-verify **incrementally** through a
+/// [`WhatIfSession`] — only the dirty fanout cone of the touched couplings
+/// is re-swept, the rest of the circuit is served from the session cache.
+fn cmd_whatif(opts: &Opts) -> Result<(), String> {
+    let circuit = load_circuit(opts)?;
+    let k: usize = opts.num("k", 10)?;
+    let mode = match opts.flag("mode") {
+        Some("del") | Some("elim") | None => Mode::Elimination,
+        Some("add") => Mode::Addition,
+        Some(other) => return Err(format!("unknown --mode `{other}` (use add|del)")),
+    };
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+
+    let full_start = std::time::Instant::now();
+    let mut session = WhatIfSession::start(&engine, mode, k).map_err(|e| e.to_string())?;
+    let full_ms = full_start.elapsed().as_secs_f64() * 1e3;
+    let base = session.result().clone();
+
+    println!("top-{k} {} set on {}:", mode.name(), circuit.stats());
+    for &cc in base.couplings() {
+        let c = circuit.coupling(cc);
+        println!(
+            "  {cc}: {} -- {} ({:.2} fF)",
+            circuit.net(c.a()).name(),
+            circuit.net(c.b()).name(),
+            c.cap()
+        );
+    }
+
+    let fix: Vec<_> = base.couplings().to_vec();
+    let delta = MaskDelta::remove(&fix);
+    let inc_start = std::time::Instant::now();
+    let outcome = session.apply(&delta).map_err(|e| e.to_string())?;
+    let inc_ms = inc_start.elapsed().as_secs_f64() * 1e3;
+
+    let fixed = outcome.result();
+    println!(
+        "what-if fix of {} coupling(s): delay {:.3} -> {:.3} ns ({:+.1} ps recovered)",
+        fix.len(),
+        base.delay_after() / 1000.0,
+        fixed.delay_after() / 1000.0,
+        base.delay_after() - fixed.delay_after(),
+    );
+    println!(
+        "incremental re-verify: {}/{} victims re-swept ({} served from cache) \
+         in {inc_ms:.1} ms (initial full run took {full_ms:.1} ms)",
+        outcome.recomputed_victims(),
+        outcome.total_victims(),
+        outcome.cached_victims(),
+    );
+
+    // --audit cross-checks the incremental answer against a from-scratch
+    // run under the same mask, and the dirty set against the L035 rule.
+    if opts.has("audit") {
+        let scratch = engine.run_with_mask(mode, k, session.mask()).map_err(|e| e.to_string())?;
+        let same = fixed.couplings() == scratch.couplings()
+            && fixed.sink() == scratch.sink()
+            && fixed.delay_before().to_bits() == scratch.delay_before().to_bits()
+            && fixed.delay_after().to_bits() == scratch.delay_after().to_bits()
+            && fixed.predicted_delay().to_bits() == scratch.predicted_delay().to_bits();
+        if !same {
+            return Err("audit failed: incremental result diverged from from-scratch".into());
+        }
+        let diags = lint_dirty_closure(
+            &circuit,
+            &CouplingMask::all(&circuit),
+            session.mask(),
+            outcome.dirty_flags(),
+        );
+        if diags.has_errors() {
+            return Err(format!("audit failed: dirty set incoherent\n{}", diags.render_text()));
+        }
+        println!("audit: incremental == from-scratch (bit-identical), dirty closure coherent");
+    }
     Ok(())
 }
 
@@ -307,6 +392,31 @@ mod tests {
         dispatch(&argv(&["topk", &path_s, "--mode", "del", "--k", "2", "--peel"])).unwrap();
         dispatch(&argv(&["paths", &path_s, "--k", "3"])).unwrap();
         dispatch(&argv(&["glitch", &path_s])).unwrap();
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn whatif_runs_and_audits() {
+        let dir = std::env::temp_dir().join("dna_cli_test_whatif");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckt");
+        let path_s = path.to_str().unwrap().to_owned();
+        dispatch(&argv(&[
+            "generate",
+            "--gates",
+            "18",
+            "--couplings",
+            "14",
+            "--seed",
+            "7",
+            "--o",
+            &path_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["whatif", &path_s, "--k", "2", "--audit"])).unwrap();
+        dispatch(&argv(&["whatif", &path_s, "--mode", "add", "--k", "2", "--audit"])).unwrap();
+        let e = dispatch(&argv(&["whatif", &path_s, "--mode", "sideways"])).unwrap_err();
+        assert!(e.contains("unknown --mode"));
         fs::remove_file(&path).unwrap();
     }
 

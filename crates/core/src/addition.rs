@@ -19,7 +19,9 @@ use dna_netlist::NetId;
 use dna_waveform::Envelope;
 
 use crate::dominance::{irredundant, DominanceDirection};
-use crate::engine::{sweep_victims, Prepared, VictimLists};
+use crate::engine::{
+    sweep_victims, sweep_victims_subset, NetLists, Prepared, VictimCounters, VictimLists,
+};
 use crate::{Candidate, CouplingSet};
 
 /// How many of the best fanin candidates combine with lower-cardinality
@@ -62,13 +64,34 @@ struct Atom {
     envelope: Envelope,
 }
 
-pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
+/// The enumeration sweep on its own: builds every victim's irredundant
+/// lists (level-parallel — a victim reads only strict-fanin lists). With
+/// `seeds`, only the flagged dirty victims are recomputed and the rest are
+/// served from the cached lists/counters — the what-if incremental path.
+pub(crate) fn sweep(
+    p: &Prepared<'_>,
+    k: usize,
+    seeds: Option<(&[NetLists], &[VictimCounters], &[bool])>,
+) -> (Vec<NetLists>, Vec<VictimCounters>) {
     let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
-    // ilists[net][i] = irredundant list of cardinality i (index 0 = empty
-    // set); built level-parallel — a victim reads only strict-fanin lists.
-    let (ilists, peak_list_width, generated) =
-        sweep_victims(p, |v, ilists| victim_lists(p, k, breadth, v, ilists));
-    select_sink(p, k, &ilists, peak_list_width, generated)
+    let per_victim = |v, ilists: &[NetLists]| victim_lists(p, k, breadth, v, ilists);
+    match seeds {
+        None => sweep_victims(p, per_victim),
+        Some((lists, counters, dirty)) => {
+            sweep_victims_subset(p, lists, counters, dirty, per_victim)
+        }
+    }
+}
+
+/// The sink-selection stage on its own (see [`select_sink`]).
+pub(crate) fn select(
+    p: &Prepared<'_>,
+    k: usize,
+    ilists: &[NetLists],
+    counters: &[VictimCounters],
+) -> EnumerationOutcome {
+    let (peak_list_width, generated) = VictimCounters::aggregate(counters);
+    select_sink(p, k, ilists, peak_list_width, generated)
 }
 
 /// Builds one victim's irredundant lists `I-list_1 … I-list_k`. Reads
@@ -79,7 +102,7 @@ fn victim_lists(
     k: usize,
     breadth: usize,
     v: NetId,
-    ilists: &[Vec<Vec<Candidate>>],
+    ilists: &[NetLists],
 ) -> VictimLists {
     let vi = v.index();
     let iv = p.dominance_iv[vi];
@@ -217,9 +240,7 @@ fn victim_lists(
         // Sort by delay noise so downstream consumers (pseudo atoms,
         // combos) can take the best few deterministically.
         let mut pruned = pruned;
-        pruned.sort_by(|a, b| {
-            b.delay_noise().partial_cmp(&a.delay_noise()).expect("finite delay noise")
-        });
+        pruned.sort_by(|a, b| b.delay_noise().total_cmp(&a.delay_noise()));
         lists.push(pruned);
     }
     VictimLists { lists, peak_list_width, generated }
@@ -232,7 +253,7 @@ fn victim_lists(
 fn select_sink(
     p: &Prepared<'_>,
     k: usize,
-    ilists: &[Vec<Vec<Candidate>>],
+    ilists: &[NetLists],
     peak_list_width: usize,
     generated: usize,
 ) -> EnumerationOutcome {
@@ -258,8 +279,7 @@ fn select_sink(
             }
         }
     }
-    options
-        .sort_by(|a, b| b.predicted_delay.partial_cmp(&a.predicted_delay).expect("finite delays"));
+    options.sort_by(|a, b| b.predicted_delay.total_cmp(&a.predicted_delay));
     let mut seen: HashSet<&CouplingSet> = HashSet::new();
     let mut deduped: Vec<SinkOption> = Vec::new();
     for opt in &options {

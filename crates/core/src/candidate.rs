@@ -4,7 +4,7 @@ use std::fmt;
 
 use dna_waveform::Envelope;
 
-use crate::CouplingSet;
+use crate::{CouplingSet, TopKError};
 
 /// One entry of an irredundant list: a set of couplings together with its
 /// noise envelope *as seen by the current victim* and the cached delay
@@ -23,11 +23,35 @@ pub struct Candidate {
 
 impl Candidate {
     /// Creates a candidate. `delay_noise` must already correspond to
-    /// superimposing `envelope` on the victim's transition.
+    /// superimposing `envelope` on the victim's transition, and must be a
+    /// finite, non-negative number — use [`try_new`](Self::try_new) when
+    /// the value comes from arithmetic that can degenerate.
     #[must_use]
     pub fn new(set: CouplingSet, envelope: Envelope, delay_noise: f64) -> Self {
-        debug_assert!(delay_noise >= 0.0, "delay noise must be non-negative");
+        debug_assert!(
+            delay_noise.is_finite() && delay_noise >= 0.0,
+            "delay noise must be finite and non-negative, got {delay_noise}"
+        );
         Self { set, envelope, delay_noise }
+    }
+
+    /// Creates a candidate, rejecting a non-finite or negative cached
+    /// delay noise with a typed error instead of deferring the failure to
+    /// whichever downstream sort or comparison trips over it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopKError::NonFiniteDelayNoise`] when `delay_noise` is
+    /// NaN, infinite, or negative.
+    pub fn try_new(
+        set: CouplingSet,
+        envelope: Envelope,
+        delay_noise: f64,
+    ) -> Result<Self, TopKError> {
+        if !delay_noise.is_finite() || delay_noise < 0.0 {
+            return Err(TopKError::NonFiniteDelayNoise { delay_noise });
+        }
+        Ok(Self { set, envelope, delay_noise })
     }
 
     /// Creates a candidate without validating the cached delay noise.
@@ -87,5 +111,28 @@ mod tests {
         assert_eq!(c.envelope(), &env);
         assert_eq!(c.delay_noise(), 1.5);
         assert!(c.to_string().contains("cc7"));
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_delay_noise() {
+        // A degenerate envelope with empty support: naive normalization
+        // arithmetic over it degenerates to `0.0 / 0.0`. The typed
+        // constructor must reject the NaN instead of caching it for a
+        // downstream sort to trip over.
+        let env = Envelope::zero();
+        let width = (env.support_hi() - env.support_lo()).max(0.0);
+        let dn = env.peak() / width;
+        assert!(dn.is_nan(), "crafted degenerate envelope must divide 0.0 by 0.0");
+        let err = Candidate::try_new(CouplingSet::new(), env.clone(), dn).unwrap_err();
+        assert!(
+            matches!(err, crate::TopKError::NonFiniteDelayNoise { delay_noise } if delay_noise.is_nan())
+        );
+        assert!(err.to_string().contains("not finite"));
+
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            assert!(Candidate::try_new(CouplingSet::new(), env.clone(), bad).is_err());
+        }
+        let ok = Candidate::try_new(CouplingSet::new(), env, 0.25).unwrap();
+        assert_eq!(ok.delay_noise(), 0.25);
     }
 }

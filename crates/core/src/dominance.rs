@@ -49,8 +49,21 @@ pub fn irredundant(
     // the same set can be generated through different routes (e.g. as a
     // fanin pseudo aggressor and as a window widener) with different
     // envelopes.
+    // `total_cmp`, not `partial_cmp(..).expect(..)`: one degenerate
+    // candidate smuggled in with a NaN delay noise (e.g. through the
+    // raw-parts escape hatch, or a `0.0 / 0.0` in a broken envelope)
+    // must not abort the whole sweep. Under the IEEE total order NaN
+    // sorts above every number, so `BiggerIsBetter` would rank it first;
+    // the explicit non-finite demotion keeps such candidates *worst* in
+    // either direction, where the beam cap and dominance pass dispose of
+    // them deterministically.
     candidates.sort_by(|a, b| {
-        let ord = a.delay_noise().partial_cmp(&b.delay_noise()).expect("finite delay noise");
+        match (a.delay_noise().is_finite(), b.delay_noise().is_finite()) {
+            (true, false) => return std::cmp::Ordering::Less,
+            (false, true) => return std::cmp::Ordering::Greater,
+            _ => {}
+        }
+        let ord = a.delay_noise().total_cmp(&b.delay_noise());
         match direction {
             DominanceDirection::BiggerIsBetter => ord.reverse(),
             DominanceDirection::SmallerIsBetter => ord,
@@ -248,6 +261,42 @@ mod tests {
             irredundant(vec![a, b], interval(), DominanceDirection::BiggerIsBetter, true, None);
         assert_eq!(out.len(), 1);
         assert!(out[0].set().contains(CouplingId::new(1)));
+    }
+
+    #[test]
+    fn nan_delay_noise_does_not_panic_and_ranks_worst() {
+        // Regression: the sort comparator used
+        // `partial_cmp(..).expect("finite delay noise")`, so a single
+        // degenerate candidate (NaN cached delay noise, e.g. from a
+        // zero-width envelope dividing 0.0 by 0.0) aborted the whole
+        // sweep. `total_cmp` plus the non-finite demotion must survive it
+        // and rank the degenerate entry last in either direction.
+        // Disjoint support from the finite candidate, so dominance cannot
+        // dispose of it and the *ordering* itself is what's under test.
+        let nan = Candidate::from_raw_unchecked(
+            CouplingSet::singleton(CouplingId::new(9)),
+            Envelope::from_pulse(&NoisePulse::symmetric(20.0, 0.3, 4.0)),
+            f64::NAN,
+        );
+        let good = cand(&[1], 0.3, 6.0, 2.0);
+        for direction in [DominanceDirection::BiggerIsBetter, DominanceDirection::SmallerIsBetter] {
+            let out =
+                irredundant(vec![nan.clone(), good.clone()], interval(), direction, true, None);
+            assert_eq!(out.len(), 2);
+            assert_eq!(out[0].delay_noise(), 2.0, "finite candidate must rank first");
+            assert!(out[1].delay_noise().is_nan());
+        }
+        // With a beam of 1, the degenerate candidate is squeezed out
+        // entirely — never chosen over a finite one.
+        let out = irredundant(
+            vec![nan, good],
+            interval(),
+            DominanceDirection::BiggerIsBetter,
+            true,
+            Some(1),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].delay_noise().is_finite());
     }
 
     #[test]

@@ -15,7 +15,9 @@ use dna_waveform::Envelope;
 
 use crate::addition::{EnumerationOutcome, SinkOption};
 use crate::dominance::{irredundant, DominanceDirection};
-use crate::engine::{sweep_victims, Prepared, VictimLists};
+use crate::engine::{
+    sweep_victims, sweep_victims_subset, NetLists, Prepared, VictimCounters, VictimLists,
+};
 use crate::{Candidate, CouplingSet};
 
 /// Mirror of the addition-side combination breadth.
@@ -33,13 +35,39 @@ struct RemovalAtom {
 }
 
 pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
+    let (ilists, counters) = sweep(p, k, None);
+    select(p, k, &ilists, &counters)
+}
+
+/// The residual-list sweep on its own — level-parallel, a victim reads
+/// only strict-fanin lists (the pseudo-elimination grouping). With
+/// `seeds`, only the flagged dirty victims are recomputed and the rest are
+/// served from the cached lists/counters — the what-if incremental path.
+pub(crate) fn sweep(
+    p: &Prepared<'_>,
+    k: usize,
+    seeds: Option<(&[NetLists], &[VictimCounters], &[bool])>,
+) -> (Vec<NetLists>, Vec<VictimCounters>) {
     let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
+    let per_victim = |v, ilists: &[NetLists]| victim_lists(p, k, breadth, v, ilists);
+    match seeds {
+        None => sweep_victims(p, per_victim),
+        Some((lists, counters, dirty)) => {
+            sweep_victims_subset(p, lists, counters, dirty, per_victim)
+        }
+    }
+}
+
+/// The sink-selection stage on its own (see [`select_sink`]).
+pub(crate) fn select(
+    p: &Prepared<'_>,
+    k: usize,
+    ilists: &[NetLists],
+    counters: &[VictimCounters],
+) -> EnumerationOutcome {
     let noisy = p.noisy.as_ref().expect("elimination mode prepares a noisy report");
-    // Residual lists built level-parallel — a victim reads only
-    // strict-fanin lists (the pseudo-elimination grouping).
-    let (ilists, peak_list_width, generated) =
-        sweep_victims(p, |v, ilists| victim_lists(p, k, breadth, v, ilists));
-    select_sink(p, k, noisy, &ilists, peak_list_width, generated)
+    let (peak_list_width, generated) = VictimCounters::aggregate(counters);
+    select_sink(p, k, noisy, ilists, peak_list_width, generated)
 }
 
 /// Builds one victim's residual lists. Reads `ilists` only at the
@@ -50,7 +78,7 @@ fn victim_lists(
     k: usize,
     breadth: usize,
     v: NetId,
-    ilists: &[Vec<Vec<Candidate>>],
+    ilists: &[NetLists],
 ) -> VictimLists {
     let circuit = p.circuit;
     let noisy = p.noisy.as_ref().expect("elimination mode prepares a noisy report");
@@ -240,9 +268,7 @@ fn victim_lists(
             p.config.max_list_width,
         );
         peak_list_width = peak_list_width.max(pruned.len());
-        pruned.sort_by(|a, b| {
-            a.delay_noise().partial_cmp(&b.delay_noise()).expect("finite delay noise")
-        });
+        pruned.sort_by(|a, b| a.delay_noise().total_cmp(&b.delay_noise()));
         lists.push(pruned);
     }
     if std::env::var_os("DNA_DEBUG_ELIM").is_some() {
@@ -286,7 +312,7 @@ fn select_sink(
     p: &Prepared<'_>,
     k: usize,
     noisy: &dna_noise::NoiseReport,
-    ilists: &[Vec<Vec<Candidate>>],
+    ilists: &[NetLists],
     peak_list_width: usize,
     generated: usize,
 ) -> EnumerationOutcome {
@@ -391,8 +417,7 @@ fn select_sink(
         });
     }
 
-    options
-        .sort_by(|a, b| a.predicted_delay.partial_cmp(&b.predicted_delay).expect("finite delays"));
+    options.sort_by(|a, b| a.predicted_delay.total_cmp(&b.predicted_delay));
     let pool = p.config.validation_pool.max(1);
     let mut seen: HashSet<CouplingSet> = HashSet::new();
     let mut deduped: Vec<SinkOption> = Vec::new();

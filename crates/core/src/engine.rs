@@ -14,6 +14,35 @@ use crate::{Candidate, TopKConfig};
 /// across the sweep workers.
 type RankedWideners = Arc<Vec<(CouplingId, f64)>>;
 
+/// One net's irredundant lists by cardinality, shared by `Arc` so a
+/// what-if session can keep a cached copy across incremental re-sweeps
+/// without deep-cloning candidate envelopes. `lists[i]` = irredundant
+/// list of cardinality `i` (index 0 = the empty / total baseline set).
+pub(crate) type NetLists = Arc<Vec<Vec<Candidate>>>;
+
+/// Per-victim enumeration counters, kept per net (not pre-aggregated) so
+/// an incremental sweep can serve clean victims' counters from cache and
+/// still aggregate bit-identically to a from-scratch run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct VictimCounters {
+    /// Largest irredundant-list width at this victim.
+    pub peak_list_width: usize,
+    /// Candidates generated at this victim before pruning.
+    pub generated: usize,
+}
+
+impl VictimCounters {
+    /// Order-independent aggregation over all victims: max of widths, sum
+    /// of generated counts. The same fold a full sweep performs, so a
+    /// subset sweep that merges cached and fresh counters reproduces the
+    /// from-scratch totals exactly.
+    pub fn aggregate(all: &[VictimCounters]) -> (usize, usize) {
+        all.iter().fold((0usize, 0usize), |(peak, generated), c| {
+            (peak.max(c.peak_list_width), generated + c.generated)
+        })
+    }
+}
+
 /// Which flavor of top-k set is being computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -147,8 +176,18 @@ impl<'c> Prepared<'c> {
         // The upper bound is the infinite-window delay noise of the
         // victim's own aggressors plus an accumulated bound on the shift
         // arriving from the fanin cone (§3.2).
+        //
+        // The "effectively infinite" widening horizon is derived from the
+        // *noiseless* timing, never from the mask-dependent window
+        // timings: what-if sessions compare per-net state across masks to
+        // decide which victims to recompute, and a mask-dependent horizon
+        // would perturb every net's dominance interval whenever any
+        // coupling is toggled, poisoning the whole cache. The margin is
+        // doubled relative to the old window-derived formula (`*2 + 1000`
+        // over noisy windows), so it still exceeds any reachable noisy
+        // arrival; enlarging it only widens the conservative bounds.
         let horizon =
-            window_timings.iter().map(NetTiming::lat).fold(0.0_f64, f64::max) * 2.0 + 1_000.0;
+            base.timings().iter().map(NetTiming::lat).fold(0.0_f64, f64::max) * 4.0 + 2_000.0;
         let own_ub: Vec<f64> = circuit
             .net_ids()
             .map(|v| {
@@ -311,7 +350,7 @@ impl<'c> Prepared<'c> {
                     }
                 }
             }
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite delay noise"));
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             Arc::new(ranked)
         }))
     }
@@ -330,7 +369,7 @@ pub(crate) struct VictimLists {
 }
 
 /// Runs `per_victim` over every net, respecting fanin dependencies, and
-/// collects the per-victim I-lists plus aggregated counters.
+/// collects the per-victim I-lists plus per-victim counters.
 ///
 /// A victim's work may read `ilists[u]` only for nets `u` in its strict
 /// fanin cone (pseudo atoms) — never same-level siblings. That makes
@@ -341,39 +380,79 @@ pub(crate) struct VictimLists {
 /// only after the level joins. `threads <= 1` keeps the plain
 /// [`nets_topological`](Circuit::nets_topological) loop — the serial
 /// reference path. Both paths are bit-identical: the partition changes
-/// execution order only, and the counter aggregation (max of widths, sum
-/// of generated counts) is order-independent.
+/// execution order only, and the counters stay per-victim.
 pub(crate) fn sweep_victims<F>(
     p: &Prepared<'_>,
     per_victim: F,
-) -> (Vec<Vec<Vec<Candidate>>>, usize, usize)
+) -> (Vec<NetLists>, Vec<VictimCounters>)
 where
-    F: Fn(NetId, &[Vec<Vec<Candidate>>]) -> VictimLists + Sync,
+    F: Fn(NetId, &[NetLists]) -> VictimLists + Sync,
+{
+    let n = p.circuit.num_nets();
+    let seed_lists: Vec<NetLists> = vec![NetLists::default(); n];
+    let seed_counters = vec![VictimCounters::default(); n];
+    let dirty = vec![true; n];
+    sweep_victims_subset(p, &seed_lists, &seed_counters, &dirty, per_victim)
+}
+
+/// Like [`sweep_victims`], but recomputes only the nets flagged in
+/// `dirty`, serving everyone else's lists and counters from the cached
+/// `seed_lists` / `seed_counters` (cheap `Arc` clones).
+///
+/// This is the incremental core of what-if sessions: provided every net
+/// whose enumeration inputs changed is flagged dirty (the session's
+/// dirty-closure guarantees this), clean nets' cached lists equal what a
+/// from-scratch sweep would compute, so dirty victims read bit-identical
+/// fanin lists and the merged output is bit-identical to a full sweep —
+/// at any thread count, because the subset of each level is still swept
+/// with the same pure per-victim function and per-victim outputs.
+pub(crate) fn sweep_victims_subset<F>(
+    p: &Prepared<'_>,
+    seed_lists: &[NetLists],
+    seed_counters: &[VictimCounters],
+    dirty: &[bool],
+    per_victim: F,
+) -> (Vec<NetLists>, Vec<VictimCounters>)
+where
+    F: Fn(NetId, &[NetLists]) -> VictimLists + Sync,
 {
     let circuit = p.circuit;
-    let mut ilists: Vec<Vec<Vec<Candidate>>> = vec![Vec::new(); circuit.num_nets()];
-    let mut peak_list_width = 0usize;
-    let mut generated = 0usize;
+    debug_assert_eq!(seed_lists.len(), circuit.num_nets());
+    debug_assert_eq!(seed_counters.len(), circuit.num_nets());
+    debug_assert_eq!(dirty.len(), circuit.num_nets());
+    let mut ilists: Vec<NetLists> = seed_lists.to_vec();
+    let mut counters: Vec<VictimCounters> = seed_counters.to_vec();
     let threads = p.config.effective_threads();
 
-    let mut absorb = |v: NetId, out: VictimLists, ilists: &mut Vec<Vec<Vec<Candidate>>>| {
-        peak_list_width = peak_list_width.max(out.peak_list_width);
-        generated += out.generated;
-        ilists[v.index()] = out.lists;
+    let absorb = |v: NetId,
+                  out: VictimLists,
+                  ilists: &mut Vec<NetLists>,
+                  counters: &mut Vec<VictimCounters>| {
+        counters[v.index()] =
+            VictimCounters { peak_list_width: out.peak_list_width, generated: out.generated };
+        ilists[v.index()] = Arc::new(out.lists);
     };
 
     if threads <= 1 {
         for &v in circuit.nets_topological() {
+            if !dirty[v.index()] {
+                continue;
+            }
             let out = per_victim(v, &ilists);
-            absorb(v, out, &mut ilists);
+            absorb(v, out, &mut ilists, &mut counters);
         }
     } else {
         for level in circuit.nets_by_level() {
-            let chunk = level.len().div_ceil(threads);
+            let work_items: Vec<NetId> =
+                level.iter().copied().filter(|v| dirty[v.index()]).collect();
+            if work_items.is_empty() {
+                continue;
+            }
+            let chunk = work_items.len().div_ceil(threads);
             let results: Vec<(NetId, VictimLists)> = std::thread::scope(|s| {
                 let shared = &ilists;
                 let work = &per_victim;
-                let handles: Vec<_> = level
+                let handles: Vec<_> = work_items
                     .chunks(chunk)
                     .map(|part| {
                         s.spawn(move || {
@@ -384,11 +463,11 @@ where
                 handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
             });
             for (v, out) in results {
-                absorb(v, out, &mut ilists);
+                absorb(v, out, &mut ilists, &mut counters);
             }
         }
     }
-    (ilists, peak_list_width, generated)
+    (ilists, counters)
 }
 
 /// Pseudo envelope of a transition delayed by `shift` (paper §3.1).

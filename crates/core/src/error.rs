@@ -11,6 +11,13 @@ pub enum TopKError {
     /// `k == 0` was requested; an empty aggressor set is trivially the
     /// answer and almost certainly a caller bug.
     ZeroK,
+    /// A candidate was constructed with a delay noise that is not a
+    /// finite, non-negative number (typically the result of a degenerate
+    /// envelope — e.g. a `0.0 / 0.0` somewhere in the crossing search).
+    NonFiniteDelayNoise {
+        /// The offending cached delay noise.
+        delay_noise: f64,
+    },
     /// The underlying timing/noise analysis failed.
     Sta(StaError),
 }
@@ -19,6 +26,9 @@ impl fmt::Display for TopKError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopKError::ZeroK => write!(f, "k must be at least 1"),
+            TopKError::NonFiniteDelayNoise { delay_noise } => {
+                write!(f, "candidate delay noise {delay_noise} is not finite and non-negative")
+            }
             TopKError::Sta(e) => write!(f, "timing analysis failed: {e}"),
         }
     }
@@ -27,7 +37,7 @@ impl fmt::Display for TopKError {
 impl Error for TopKError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            TopKError::ZeroK => None,
+            TopKError::ZeroK | TopKError::NonFiniteDelayNoise { .. } => None,
             TopKError::Sta(e) => Some(e),
         }
     }

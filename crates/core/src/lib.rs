@@ -47,6 +47,7 @@ mod elimination;
 mod engine;
 mod error;
 mod result;
+mod session;
 
 pub mod brute;
 pub mod dominance;
@@ -59,6 +60,7 @@ pub use config::TopKConfig;
 pub use engine::Mode;
 pub use error::TopKError;
 pub use result::TopKResult;
+pub use session::{MaskDelta, WhatIfOutcome, WhatIfSession};
 
 use std::time::Instant;
 
@@ -201,30 +203,81 @@ impl<'c> TopKAnalysis<'c> {
         })
     }
 
-    fn run(&self, mode: Mode, k: usize) -> Result<TopKResult, TopKError> {
+    /// Computes a top-k set over only the couplings enabled in `mask` —
+    /// the from-scratch reference for what-if sessions: after applying a
+    /// [`MaskDelta`], [`WhatIfSession::apply`] produces a result
+    /// bit-identical to calling this with the session's current mask.
+    ///
+    /// With the full mask this is exactly
+    /// [`addition_set`](Self::addition_set) /
+    /// [`elimination_set`](Self::elimination_set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopKError::ZeroK`] for `k == 0` and propagates timing
+    /// errors from the substrate analyses.
+    pub fn run_with_mask(
+        &self,
+        mode: Mode,
+        k: usize,
+        mask: &CouplingMask,
+    ) -> Result<TopKResult, TopKError> {
+        self.run_seeded(mode, k, mask, None).map(|(result, _, _)| result)
+    }
+
+    /// The full run pipeline with the sweep stage split out, so a what-if
+    /// session can both harvest the per-victim lists/counters for its
+    /// cache and feed them back (with dirty flags) on the next apply.
+    pub(crate) fn run_seeded(
+        &self,
+        mode: Mode,
+        k: usize,
+        mask: &CouplingMask,
+        seeds: Option<(&[engine::NetLists], &[engine::VictimCounters], &[bool])>,
+    ) -> Result<(TopKResult, Vec<engine::NetLists>, Vec<engine::VictimCounters>), TopKError> {
         if k == 0 {
             return Err(TopKError::ZeroK);
         }
         let start = Instant::now();
-        let prepared = Prepared::build(
-            self.circuit,
-            self.config,
-            mode,
-            &self.noise,
-            CouplingMask::all(self.circuit),
-        )?;
+        let prepared = Prepared::build(self.circuit, self.config, mode, &self.noise, mask.clone())?;
         if std::env::var_os("DNA_PROFILE").is_some() {
             eprintln!("[profile] prepare: {:.2?}", start.elapsed());
         }
         let enum_start = Instant::now();
+        let (ilists, counters) = match mode {
+            Mode::Addition => addition::sweep(&prepared, k, seeds),
+            Mode::Elimination => elimination::sweep(&prepared, k, seeds),
+        };
         let outcome = match mode {
-            Mode::Addition => addition::run(&prepared, k),
-            Mode::Elimination => elimination::run(&prepared, k),
+            Mode::Addition => addition::select(&prepared, k, &ilists, &counters),
+            Mode::Elimination => elimination::select(&prepared, k, &ilists, &counters),
         };
         if std::env::var_os("DNA_PROFILE").is_some() {
             eprintln!("[profile] enumerate: {:.2?}", enum_start.elapsed());
         }
+        let result = self.finish(mode, k, mask, &prepared, outcome, start)?;
+        Ok((result, ilists, counters))
+    }
 
+    fn run(&self, mode: Mode, k: usize) -> Result<TopKResult, TopKError> {
+        self.run_with_mask(mode, k, &CouplingMask::all(self.circuit))
+    }
+
+    /// Shared tail of every top-k run: pick the measured (or predicted)
+    /// winner among the enumeration's options and assemble the result.
+    /// Validation masks are anchored at `base_mask` — the couplings the
+    /// run was allowed to see — so restricted-mask runs (and incremental
+    /// sessions re-running under a delta'd mask) measure options in the
+    /// same world the enumeration saw.
+    fn finish(
+        &self,
+        mode: Mode,
+        k: usize,
+        base_mask: &CouplingMask,
+        prepared: &Prepared<'_>,
+        outcome: addition::EnumerationOutcome,
+        start: Instant,
+    ) -> Result<TopKResult, TopKError> {
         let delay_before = match mode {
             Mode::Addition => prepared.base.circuit_delay(),
             Mode::Elimination => prepared
@@ -244,7 +297,7 @@ impl<'c> TopKAnalysis<'c> {
             for (idx, opt) in options.iter().enumerate() {
                 let mask = match mode {
                     Mode::Addition => CouplingMask::none(self.circuit).with(opt.set.ids()),
-                    Mode::Elimination => CouplingMask::all(self.circuit).without(opt.set.ids()),
+                    Mode::Elimination => base_mask.clone().without(opt.set.ids()),
                 };
                 let measured = self.noise.run_with_mask(&mask)?.circuit_delay();
                 let better = match (&best, mode) {

@@ -1,0 +1,431 @@
+//! Incremental what-if re-analysis sessions.
+//!
+//! The elimination set exists to drive a *fix loop*: a designer shields
+//! or spaces the reported top-k couplings, then must re-verify timing.
+//! Re-running the whole analysis from scratch wastes almost all of that
+//! work — only the fanout cones of the fixed couplings can change. A
+//! [`WhatIfSession`] makes re-analysis proportional to the affected cone:
+//!
+//! * [`WhatIfSession::start`] runs the full analysis once and caches the
+//!   per-victim irredundant lists (cheap `Arc` handles, no deep copies)
+//!   together with the per-victim enumeration counters;
+//! * [`WhatIfSession::apply`] takes a [`MaskDelta`] ("remove these
+//!   couplings", "add those back"), seeds the dirty set with the
+//!   endpoints of every coupling whose enable state actually flips,
+//!   closes it over gate-fanout and coupling-adjacency edges
+//!   (`Circuit::dirty_closure`), and re-runs the level-ordered sweep over
+//!   only the dirty victims — every clean victim's lists and counters are
+//!   served from the cache.
+//!
+//! # Identity argument
+//!
+//! The per-victim enumeration is a pure function of (a) the victim's own
+//! primaries under the mask, (b) per-net timing/bound state from
+//! `Prepared`, and (c) the irredundant lists of its strict fanin. A net
+//! whose inputs to that function can change under the new mask is, by
+//! construction of the dirty closure, flagged dirty: a toggled coupling
+//! dirties both endpoints, dirtiness follows gate fanout (arrival
+//! changes propagate downstream) and coupling adjacency (a shifted
+//! aggressor window changes its victims' envelopes — and its wideners'
+//! rankings, which the adjacency edge also covers because a widener
+//! change implies a dirty net in the aggressor's fanin cone, whose
+//! fanout reaches the aggressor). Clean victims therefore see inputs
+//! bit-identical to a from-scratch run, so their cached lists *are* the
+//! from-scratch lists, dirty victims read bit-identical fanin lists, and
+//! the merged sweep output — and everything derived from it — is
+//! bit-identical to [`TopKAnalysis::run_with_mask`] under the session's
+//! current mask, at any [`threads`](crate::TopKConfig::threads) setting.
+
+use std::time::Instant;
+
+use dna_netlist::{CouplingId, NetId};
+use dna_noise::CouplingMask;
+
+use crate::engine::{NetLists, VictimCounters};
+use crate::{Mode, TopKAnalysis, TopKError, TopKResult};
+
+/// A change to the coupling set of a running [`WhatIfSession`].
+///
+/// Removals are applied before additions; a coupling named on both sides
+/// ends up **enabled**. Toggles that do not change a coupling's current
+/// state (removing an already-disabled coupling, adding an enabled one)
+/// are no-ops and do not dirty anything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaskDelta {
+    removed: Vec<CouplingId>,
+    added: Vec<CouplingId>,
+}
+
+impl MaskDelta {
+    /// Delta disabling `ids` — the "apply the elimination set" direction
+    /// of the fix loop.
+    #[must_use]
+    pub fn remove(ids: &[CouplingId]) -> Self {
+        Self { removed: ids.to_vec(), added: Vec::new() }
+    }
+
+    /// Delta re-enabling `ids` — the "undo a fix" direction.
+    #[must_use]
+    pub fn add(ids: &[CouplingId]) -> Self {
+        Self { removed: Vec::new(), added: ids.to_vec() }
+    }
+
+    /// Delta combining removals and additions (removals apply first).
+    #[must_use]
+    pub fn new(removed: &[CouplingId], added: &[CouplingId]) -> Self {
+        Self { removed: removed.to_vec(), added: added.to_vec() }
+    }
+
+    /// The couplings this delta disables.
+    #[must_use]
+    pub fn removed(&self) -> &[CouplingId] {
+        &self.removed
+    }
+
+    /// The couplings this delta enables.
+    #[must_use]
+    pub fn added(&self) -> &[CouplingId] {
+        &self.added
+    }
+
+    /// Whether the delta names no couplings at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+}
+
+/// The result of one incremental [`WhatIfSession::apply`] step, with the
+/// sweep counters that certify how much work the cache saved.
+#[derive(Debug, Clone)]
+pub struct WhatIfOutcome {
+    result: TopKResult,
+    changed: Vec<CouplingId>,
+    dirty: Vec<bool>,
+    recomputed_victims: usize,
+}
+
+impl WhatIfOutcome {
+    /// The re-analysis result — bit-identical to a from-scratch
+    /// [`TopKAnalysis::run_with_mask`] under the session's new mask.
+    #[must_use]
+    pub fn result(&self) -> &TopKResult {
+        &self.result
+    }
+
+    /// Couplings whose enable state actually flipped under the delta.
+    #[must_use]
+    pub fn changed_couplings(&self) -> &[CouplingId] {
+        &self.changed
+    }
+
+    /// Per-net dirty flags the sweep ran under: `dirty_flags()[n]` is
+    /// true iff net `n`'s irredundant lists were recomputed. Feed this to
+    /// `dna_lint::lint_dirty_closure` to audit cache coherence.
+    #[must_use]
+    pub fn dirty_flags(&self) -> &[bool] {
+        &self.dirty
+    }
+
+    /// How many victims the sweep recomputed (the dirty-cone size).
+    #[must_use]
+    pub fn recomputed_victims(&self) -> usize {
+        self.recomputed_victims
+    }
+
+    /// Total victims in the circuit.
+    #[must_use]
+    pub fn total_victims(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// How many victims were served from the session cache.
+    #[must_use]
+    pub fn cached_victims(&self) -> usize {
+        self.total_victims() - self.recomputed_victims
+    }
+}
+
+/// An incremental what-if re-analysis session over one
+/// [`TopKAnalysis`].
+///
+/// The caching/incremental substrate for ECO-style fix loops: construct
+/// with [`start`](Self::start) (one full run), then [`apply`](Self::apply)
+/// coupling-set deltas; each apply re-sweeps only the dirty fanout cone
+/// of the touched couplings. See the module docs for the identity
+/// argument.
+///
+/// # Example
+///
+/// ```
+/// use dna_netlist::suite;
+/// use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, WhatIfSession};
+///
+/// let circuit = suite::benchmark("i1", 42)?;
+/// let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+/// let mut session = WhatIfSession::start(&engine, Mode::Elimination, 3)?;
+/// let fix = session.result().set().clone();
+///
+/// // What if we shield the reported top-3 couplings?
+/// let outcome = session.apply(&MaskDelta::remove(fix.ids()))?;
+/// assert!(outcome.result().delay_before() <= session.result().delay_before());
+/// assert!(outcome.recomputed_victims() <= outcome.total_victims());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct WhatIfSession<'a, 'c> {
+    analysis: &'a TopKAnalysis<'c>,
+    mode: Mode,
+    k: usize,
+    mask: CouplingMask,
+    lists: Vec<NetLists>,
+    counters: Vec<VictimCounters>,
+    result: TopKResult,
+}
+
+impl<'a, 'c> WhatIfSession<'a, 'c> {
+    /// Runs the full analysis over every coupling and caches its
+    /// per-victim state for later incremental re-analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopKError::ZeroK`] for `k == 0` and propagates timing
+    /// errors from the substrate analyses.
+    pub fn start(analysis: &'a TopKAnalysis<'c>, mode: Mode, k: usize) -> Result<Self, TopKError> {
+        Self::start_with_mask(analysis, mode, k, CouplingMask::all(analysis.circuit()))
+    }
+
+    /// Like [`start`](Self::start), but anchored at a restricted mask —
+    /// e.g. to resume a fix loop where some couplings are already
+    /// shielded, or to exercise the `add` direction of a delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopKError::ZeroK`] for `k == 0` and propagates timing
+    /// errors from the substrate analyses.
+    pub fn start_with_mask(
+        analysis: &'a TopKAnalysis<'c>,
+        mode: Mode,
+        k: usize,
+        mask: CouplingMask,
+    ) -> Result<Self, TopKError> {
+        let (result, lists, counters) = analysis.run_seeded(mode, k, &mask, None)?;
+        Ok(Self { analysis, mode, k, mask, lists, counters, result })
+    }
+
+    /// The engine mode this session analyzes.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The `k` every run of this session requests.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The couplings currently enabled in this session.
+    #[must_use]
+    pub fn mask(&self) -> &CouplingMask {
+        &self.mask
+    }
+
+    /// The most recent analysis result (from [`start`](Self::start) or
+    /// the last [`apply`](Self::apply)).
+    #[must_use]
+    pub fn result(&self) -> &TopKResult {
+        &self.result
+    }
+
+    /// Applies a coupling-set delta and incrementally re-analyzes: only
+    /// victims in the dirty closure of the flipped couplings' endpoints
+    /// are re-swept; everyone else is served from the session cache. The
+    /// session then adopts the new mask and caches, so deltas compose
+    /// across calls.
+    ///
+    /// An empty (or fully no-op) delta recomputes nothing in the sweep
+    /// and returns a result bit-identical to [`result`](Self::result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing errors from the substrate analyses. The session
+    /// state is unchanged on error.
+    pub fn apply(&mut self, delta: &MaskDelta) -> Result<WhatIfOutcome, TopKError> {
+        let start = Instant::now();
+        let circuit = self.analysis.circuit();
+        let new_mask = self.mask.clone().without(delta.removed()).with(delta.added());
+
+        // Seed the dirty set with both endpoints of every coupling whose
+        // enable state actually flips — a no-op toggle changes nothing a
+        // victim's enumeration can observe.
+        let mut changed: Vec<CouplingId> = Vec::new();
+        let mut seeds: Vec<NetId> = Vec::new();
+        for id in circuit.coupling_ids() {
+            if new_mask.is_enabled(id) != self.mask.is_enabled(id) {
+                let cc = circuit.coupling(id);
+                changed.push(id);
+                seeds.push(cc.a());
+                seeds.push(cc.b());
+            }
+        }
+        let dirty = circuit.dirty_closure(&seeds);
+        let recomputed_victims = dirty.iter().filter(|&&d| d).count();
+
+        let (result, lists, counters) = self.analysis.run_seeded(
+            self.mode,
+            self.k,
+            &new_mask,
+            Some((&self.lists, &self.counters, &dirty)),
+        )?;
+
+        self.mask = new_mask;
+        self.lists = lists;
+        self.counters = counters;
+        self.result = result.clone();
+        if std::env::var_os("DNA_PROFILE").is_some() {
+            eprintln!(
+                "[profile] whatif apply: {:.2?} ({recomputed_victims}/{} victims recomputed)",
+                start.elapsed(),
+                circuit.num_nets()
+            );
+        }
+        Ok(WhatIfOutcome { result, changed, dirty, recomputed_victims })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopKConfig;
+    use dna_netlist::{CellKind, Circuit, CircuitBuilder, Library};
+
+    /// Two disjoint cones sharing no nets: fixing a coupling in one cone
+    /// must leave the other cone's victims untouched.
+    fn two_cones() -> Circuit {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let p = b.input("p");
+        let q = b.input("q");
+        let v = b.gate(CellKind::Buf, "v", &[a]).unwrap();
+        let g = b.gate(CellKind::Buf, "g", &[x]).unwrap();
+        let w = b.gate(CellKind::Inv, "w", &[v]).unwrap();
+        let r = b.gate(CellKind::Buf, "r", &[p]).unwrap();
+        let s = b.gate(CellKind::Buf, "s", &[q]).unwrap();
+        let t = b.gate(CellKind::Inv, "t", &[r]).unwrap();
+        b.output(w);
+        b.output(g);
+        b.output(t);
+        b.output(s);
+        b.coupling(v, g, 8.0).unwrap();
+        b.coupling(w, g, 4.0).unwrap();
+        b.coupling(r, s, 8.0).unwrap();
+        b.coupling(t, s, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn fingerprint(r: &TopKResult) -> (Vec<u32>, usize, u64, u64, u64, usize, usize) {
+        (
+            r.couplings().iter().map(|c| c.index() as u32).collect(),
+            r.sink().index(),
+            r.delay_before().to_bits(),
+            r.delay_after().to_bits(),
+            r.predicted_delay().to_bits(),
+            r.peak_list_width(),
+            r.generated_candidates(),
+        )
+    }
+
+    #[test]
+    fn mask_delta_constructors() {
+        let ids = [CouplingId::new(0), CouplingId::new(2)];
+        assert_eq!(MaskDelta::remove(&ids).removed(), &ids);
+        assert!(MaskDelta::remove(&ids).added().is_empty());
+        assert_eq!(MaskDelta::add(&ids).added(), &ids);
+        assert!(MaskDelta::default().is_empty());
+        assert!(!MaskDelta::new(&[], &ids).is_empty());
+    }
+
+    #[test]
+    fn removed_and_added_coupling_ends_up_enabled() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let mut session = WhatIfSession::start(&engine, Mode::Elimination, 2).unwrap();
+        let id = CouplingId::new(0);
+        let outcome = session.apply(&MaskDelta::new(&[id], &[id])).unwrap();
+        assert!(session.mask().is_enabled(id), "removals apply before additions");
+        // Already enabled, so nothing flipped and nothing was recomputed.
+        assert!(outcome.changed_couplings().is_empty());
+        assert_eq!(outcome.recomputed_victims(), 0);
+    }
+
+    #[test]
+    fn empty_delta_is_a_full_cache_hit() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let mut session = WhatIfSession::start(&engine, Mode::Addition, 2).unwrap();
+        let before = fingerprint(session.result());
+        let outcome = session.apply(&MaskDelta::default()).unwrap();
+        assert_eq!(outcome.recomputed_victims(), 0);
+        assert_eq!(outcome.cached_victims(), circuit.num_nets());
+        assert_eq!(fingerprint(outcome.result()), before);
+    }
+
+    #[test]
+    fn disjoint_cone_stays_cached() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        for mode in [Mode::Addition, Mode::Elimination] {
+            let mut session = WhatIfSession::start(&engine, mode, 2).unwrap();
+            // Remove a coupling of the first cone (v -- g): the second
+            // cone (p, q, r, s, t) must be served entirely from cache.
+            let outcome = session.apply(&MaskDelta::remove(&[CouplingId::new(0)])).unwrap();
+            assert!(outcome.recomputed_victims() > 0);
+            assert!(
+                outcome.recomputed_victims() < circuit.num_nets(),
+                "{}: dirty cone must not cover the disjoint cone",
+                mode.name()
+            );
+            for name in ["p", "q", "r", "s", "t"] {
+                let n = circuit.net_by_name(name).unwrap();
+                assert!(!outcome.dirty_flags()[n.index()], "{name} must stay clean");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_both_directions() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        for mode in [Mode::Addition, Mode::Elimination] {
+            let mut session = WhatIfSession::start(&engine, mode, 2).unwrap();
+            let fix: Vec<CouplingId> = session.result().couplings().to_vec();
+
+            let outcome = session.apply(&MaskDelta::remove(&fix)).unwrap();
+            let scratch = engine.run_seeded(mode, 2, session.mask(), None).unwrap().0;
+            assert_eq!(
+                fingerprint(outcome.result()),
+                fingerprint(&scratch),
+                "{}: remove delta diverged from from-scratch",
+                mode.name()
+            );
+
+            let outcome = session.apply(&MaskDelta::add(&fix)).unwrap();
+            let scratch = engine.run_seeded(mode, 2, session.mask(), None).unwrap().0;
+            assert_eq!(
+                fingerprint(outcome.result()),
+                fingerprint(&scratch),
+                "{}: add delta diverged from from-scratch",
+                mode.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        assert!(matches!(WhatIfSession::start(&engine, Mode::Addition, 0), Err(TopKError::ZeroK)));
+    }
+}

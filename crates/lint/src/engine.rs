@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 
 use dna_netlist::Circuit;
+use dna_noise::CouplingMask;
 use dna_topk::dominance::{find_dominated_pair, DominanceDirection};
 use dna_topk::{Candidate, CouplingSet, TopKResult};
 use dna_waveform::TimeInterval;
@@ -152,6 +153,104 @@ pub fn lint_result(
                 Location::Global,
                 format!("{label} {delay} ps is not finite and non-negative"),
             );
+        }
+    }
+
+    diags.sort();
+    diags
+}
+
+/// Checks a what-if session's dirty set against the mask delta it was
+/// derived from (`L035`).
+///
+/// A [`WhatIfSession`](dna_topk::WhatIfSession) serves every net whose
+/// `dirty` flag is false straight from its cache, so the flags must be a
+/// **sound over-approximation** of the nets the mask change can affect:
+///
+/// 1. the flag vector covers every net of the circuit;
+/// 2. both endpoints of every coupling whose enable bit differs between
+///    `before` and `after` are dirty (they are the seeds of the change);
+/// 3. the dirty set is closed under the two propagation edge kinds —
+///    gate fanout (a dirty net's arrival feeds its load gates' outputs)
+///    and coupling adjacency (a dirty net injects noise into every net
+///    coupled to it, regardless of enable state).
+///
+/// Any violation names a net that would be served stale from the session
+/// cache. Extra dirty nets are *not* reported: over-approximation costs
+/// recompute time, never correctness.
+#[must_use]
+pub fn lint_dirty_closure(
+    circuit: &Circuit,
+    before: &CouplingMask,
+    after: &CouplingMask,
+    dirty: &[bool],
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    if dirty.len() != circuit.num_nets() {
+        diags.report(
+            Rule::SessionCacheIncoherent,
+            Location::Global,
+            format!("dirty vector covers {} nets, circuit has {}", dirty.len(), circuit.num_nets()),
+        );
+        diags.sort();
+        return diags;
+    }
+    let is_dirty = |i: usize| dirty.get(i).copied().unwrap_or(false);
+
+    // Seeds: every endpoint of a coupling the delta flipped.
+    for cc in circuit.coupling_ids() {
+        if before.is_enabled(cc) == after.is_enabled(cc) {
+            continue;
+        }
+        let c = circuit.coupling(cc);
+        for end in [c.a(), c.b()] {
+            if !is_dirty(end.index()) {
+                diags.report(
+                    Rule::SessionCacheIncoherent,
+                    Location::Net { id: end.index(), name: circuit.net(end).name().to_string() },
+                    format!("endpoint of flipped coupling {} is not dirty", cc.index()),
+                );
+            }
+        }
+    }
+
+    // Closure under gate-fanout and coupling-adjacency edges.
+    for n in circuit.net_ids() {
+        if !is_dirty(n.index()) {
+            continue;
+        }
+        for &g in circuit.net(n).loads() {
+            let out = circuit.gate(g).output();
+            if !is_dirty(out.index()) {
+                diags.report(
+                    Rule::SessionCacheIncoherent,
+                    Location::Net { id: out.index(), name: circuit.net(out).name().to_string() },
+                    format!(
+                        "in the fanout of dirty net {} ({}) but not dirty",
+                        n.index(),
+                        circuit.net(n).name()
+                    ),
+                );
+            }
+        }
+        for &cc in circuit.couplings_on(n) {
+            let Some(other) = circuit.coupling(cc).other(n) else { continue };
+            if !is_dirty(other.index()) {
+                diags.report(
+                    Rule::SessionCacheIncoherent,
+                    Location::Net {
+                        id: other.index(),
+                        name: circuit.net(other).name().to_string(),
+                    },
+                    format!(
+                        "coupled to dirty net {} ({}) through coupling {} but not dirty",
+                        n.index(),
+                        circuit.net(n).name(),
+                        cc.index()
+                    ),
+                );
+            }
         }
     }
 

@@ -30,6 +30,8 @@
 //! * [`lint_ilist`] — pairwise non-dominance and capacity of a pruned
 //!   candidate list (the paper's irredundant I-list);
 //! * [`lint_result`] — a finished top-k answer against its circuit;
+//! * [`lint_dirty_closure`] — a what-if session's dirty set against the
+//!   mask delta it claims to cover;
 //! * [`lint_config`] — sanity ranges on analysis knobs.
 //!
 //! # Example
@@ -62,6 +64,6 @@ mod waveform;
 pub use circuit::lint_circuit;
 pub use config::lint_config;
 pub use diag::{Diagnostic, Diagnostics, Location, Severity};
-pub use engine::{lint_ilist, lint_result};
+pub use engine::{lint_dirty_closure, lint_ilist, lint_result};
 pub use rules::Rule;
 pub use waveform::{lint_envelope, lint_pwl, lint_timing};

@@ -68,6 +68,10 @@ pub enum Rule {
     BadDelayNoise,
     /// A result set contains a coupling declared a false aggressor.
     FalseAggressorInSet,
+    /// A what-if session's dirty set is not a sound closure of its mask
+    /// delta: a net the delta can affect would be served stale from the
+    /// session cache.
+    SessionCacheIncoherent,
     /// A library cell's linear model is not monotone in load.
     CellNotMonotone,
     /// A wire or coupling capacitance is negative or non-finite.
@@ -105,6 +109,7 @@ impl Rule {
             Rule::OverCapacity => "L032",
             Rule::BadDelayNoise => "L033",
             Rule::FalseAggressorInSet => "L034",
+            Rule::SessionCacheIncoherent => "L035",
             Rule::CellNotMonotone => "L040",
             Rule::BadCapacitance => "L041",
             Rule::BadConfig => "L042",
@@ -148,6 +153,7 @@ impl Rule {
             Rule::OverCapacity => "over capacity",
             Rule::BadDelayNoise => "bad delay noise",
             Rule::FalseAggressorInSet => "false aggressor in set",
+            Rule::SessionCacheIncoherent => "session cache incoherent",
             Rule::CellNotMonotone => "cell model not monotone",
             Rule::BadCapacitance => "bad capacitance",
             Rule::BadConfig => "bad configuration",
@@ -182,6 +188,7 @@ impl Rule {
             Rule::OverCapacity,
             Rule::BadDelayNoise,
             Rule::FalseAggressorInSet,
+            Rule::SessionCacheIncoherent,
             Rule::CellNotMonotone,
             Rule::BadCapacitance,
             Rule::BadConfig,

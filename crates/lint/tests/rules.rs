@@ -2,9 +2,11 @@
 //! raw-parts escape hatches, and check the verifier names the violation.
 
 use dna_lint::{
-    lint_circuit, lint_config, lint_envelope, lint_ilist, lint_pwl, lint_timing, Rule, Severity,
+    lint_circuit, lint_config, lint_dirty_closure, lint_envelope, lint_ilist, lint_pwl,
+    lint_timing, Rule, Severity,
 };
 use dna_netlist::{CellKind, CircuitBuilder, CouplingId, GateId, Library, NetId, NetSource};
+use dna_noise::CouplingMask;
 use dna_sta::NetTiming;
 use dna_topk::dominance::DominanceDirection;
 use dna_topk::{Candidate, CouplingSet, TopKConfig};
@@ -351,6 +353,46 @@ fn l033_bad_delay_noise() {
     let c = Candidate::from_raw_unchecked(c.set().clone(), c.envelope().clone(), f64::NAN);
     let diags = lint_ilist(&[c], iv, DominanceDirection::BiggerIsBetter, None);
     assert!(diags.has(Rule::BadDelayNoise), "{}", diags.render_text());
+}
+
+#[test]
+fn l035_session_cache_incoherent() {
+    // valid(): coupling 0 joins m (u1's output, loading u2 -> y) and t.
+    let circuit = valid();
+    let flipped = CouplingId::new(0);
+    let before = CouplingMask::all(&circuit);
+    let after = before.clone().without(&[flipped]);
+    let c = circuit.coupling(flipped);
+    let seeds = [c.a(), c.b()];
+
+    // The engine's own closure of the flipped endpoints is sound.
+    let dirty = circuit.dirty_closure(&seeds);
+    let diags = lint_dirty_closure(&circuit, &before, &after, &dirty);
+    assert!(diags.is_empty(), "{}", diags.render_text());
+
+    // Over-approximation is fine: everything dirty is still coherent.
+    let all = vec![true; circuit.num_nets()];
+    assert!(lint_dirty_closure(&circuit, &before, &after, &all).is_empty());
+
+    // A truncated vector cannot cover the circuit.
+    let diags = lint_dirty_closure(&circuit, &before, &after, &dirty[..2]);
+    assert!(diags.has(Rule::SessionCacheIncoherent), "{}", diags.render_text());
+
+    // An all-clean vector misses the flipped coupling's endpoints.
+    let none = vec![false; circuit.num_nets()];
+    let diags = lint_dirty_closure(&circuit, &before, &after, &none);
+    assert!(diags.has(Rule::SessionCacheIncoherent), "{}", diags.render_text());
+
+    // Seeds without their fanout: m is dirty but u2's output y is not.
+    let mut seeds_only = vec![false; circuit.num_nets()];
+    for s in seeds {
+        seeds_only[s.index()] = true;
+    }
+    let diags = lint_dirty_closure(&circuit, &before, &after, &seeds_only);
+    assert!(diags.has(Rule::SessionCacheIncoherent), "{}", diags.render_text());
+
+    // No delta, no dirt: a clean vector is coherent when masks agree.
+    assert!(lint_dirty_closure(&circuit, &before, &before, &none).is_empty());
 }
 
 #[test]

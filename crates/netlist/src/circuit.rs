@@ -322,6 +322,78 @@ impl Circuit {
         cone
     }
 
+    /// Every net in the transitive fanout cone of `net`, **excluding**
+    /// `net` itself, in no particular order: the output nets of every gate
+    /// reachable downstream through load pins.
+    ///
+    /// The dual of [`transitive_fanin`](Self::transitive_fanin); what-if
+    /// re-analysis invalidates this cone when a net's noise changes.
+    #[must_use]
+    pub fn transitive_fanout(&self, net: NetId) -> Vec<NetId> {
+        let mut seen = vec![false; self.nets.len()];
+        let mut stack = vec![net];
+        let mut cone = Vec::new();
+        seen[net.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &g in self.net(n).loads() {
+                let out = self.gate(g).output();
+                if !seen[out.index()] {
+                    seen[out.index()] = true;
+                    cone.push(out);
+                    stack.push(out);
+                }
+            }
+        }
+        cone
+    }
+
+    /// The dirty-set closure for incremental re-analysis: every net whose
+    /// delay-noise state can change when the nets in `seeds` change,
+    /// returned as a per-net flag vector (seeds included).
+    ///
+    /// Dirtiness propagates along two edge kinds until a fixpoint:
+    ///
+    /// * **gate-fanout edges** — a net's arrival feeds every gate it
+    ///   loads, so those gates' output nets are dirty;
+    /// * **coupling-adjacency edges** — a dirty net may inject different
+    ///   noise through each incident coupling capacitor, so every net
+    ///   coupled to it is dirty.
+    ///
+    /// Coupling edges point "backwards" relative to the topological order
+    /// (an aggressor deep in the circuit can dirty a victim near the
+    /// inputs), so a single topological pass is not enough — this runs a
+    /// worklist to the fixpoint. Adjacency is taken from the full circuit,
+    /// ignoring any coupling enable/disable state: a superset of the truly
+    /// affected nets is conservative (extra nets merely get recomputed).
+    #[must_use]
+    pub fn dirty_closure(&self, seeds: &[NetId]) -> Vec<bool> {
+        let mut dirty = vec![false; self.nets.len()];
+        let mut work: Vec<NetId> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            if !dirty[s.index()] {
+                dirty[s.index()] = true;
+                work.push(s);
+            }
+        }
+        while let Some(n) = work.pop() {
+            for &g in self.net(n).loads() {
+                let out = self.gate(g).output();
+                if !dirty[out.index()] {
+                    dirty[out.index()] = true;
+                    work.push(out);
+                }
+            }
+            for &cc in self.couplings_on(n) {
+                let Some(other) = self.coupling(cc).other(n) else { continue };
+                if !dirty[other.index()] {
+                    dirty[other.index()] = true;
+                    work.push(other);
+                }
+            }
+        }
+        dirty
+    }
+
     /// Looks up a net by name (linear scan; intended for tests and small
     /// examples, not hot paths).
     #[must_use]

@@ -316,13 +316,23 @@ impl Pwl {
             return f64::INFINITY;
         }
         // Scan segments right-to-left; the first one dipping to `level`
-        // contains the final crossing.
+        // contains the final crossing. In the matched segment `v0 <= level`
+        // and `v1 > level` (else the segment to the right matched first, or
+        // the early return above fired), so the interpolation denominator
+        // is strictly positive and the crossing it yields is exact — even
+        // for near-flat segments, where the ratio of two tiny differences
+        // stays well-conditioned. A plateau exactly at `level` never
+        // reaches this branch directly: its right neighbour starts at
+        // `level` and matches first with a zero numerator, returning the
+        // plateau's right edge — the *latest* time at the level.
         for j in (0..n.saturating_sub(1)).rev() {
             let (t0, v0) = pts[j];
             let (t1, v1) = pts[j + 1];
             if v0 <= level {
-                // v1 > level here, else the segment to the right matched first.
-                if (v1 - v0).abs() <= EPS {
+                if v1 <= v0 {
+                    // Unreachable for curves upholding the scan invariant;
+                    // kept as a belt-and-braces guard against division by
+                    // a non-positive span on unchecked inputs.
                     return t1;
                 }
                 return t0 + (level - v0) / (v1 - v0) * (t1 - t0);
@@ -705,6 +715,67 @@ mod tests {
     fn last_above_mirrors_last_below() {
         let fall = Pwl::new(vec![(0.0, 1.0), (10.0, 0.0)]).unwrap();
         assert!((fall.last_time_at_or_above(0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_crossing_plateau_exactly_at_level_returns_latest_time() {
+        // Flat stretch exactly at the level, then a rise: the supremum of
+        // `{t : v(t) <= 0.5}` is the plateau's right edge, not its start.
+        let w = Pwl::new(vec![(0.0, 0.0), (1.0, 0.5), (6.0, 0.5), (8.0, 1.0)]).unwrap();
+        assert!((w.last_time_at_or_below(0.5) - 6.0).abs() < 1e-12);
+        // Mirror case for falling victims.
+        let m = w.negated();
+        assert!((m.last_time_at_or_above(-0.5) - 6.0).abs() < 1e-12);
+        // Plateau at level after a dip from above: same answer from the
+        // right-neighbour segment's zero-numerator interpolation.
+        let v = Pwl::new(vec![(0.0, 1.0), (2.0, 0.5), (5.0, 0.5), (7.0, 1.0)]).unwrap();
+        assert!((v.last_time_at_or_below(0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_crossing_near_flat_segment_interpolates_exactly() {
+        // A segment rising by less than EPS across a long span used to be
+        // resolved to its right endpoint wholesale; the crossing must be
+        // interpolated inside the segment instead.
+        let d = 1e-10; // well under EPS
+        let w = Pwl::new(vec![(0.0, 0.5 - d), (1000.0, 0.5 + d), (1001.0, 1.0)]).unwrap();
+        let t = w.last_time_at_or_below(0.5);
+        assert!((t - 500.0).abs() < 1e-6, "near-flat crossing {t}, expected 500");
+    }
+
+    #[test]
+    fn last_crossing_matches_dense_sampling() {
+        // Ground truth by dense sampling: the returned crossing time must
+        // be the latest sample time still at or below the level, up to the
+        // sampling step.
+        let curves = [
+            Pwl::new(vec![(0.0, 0.0), (1.0, 0.5), (6.0, 0.5), (8.0, 1.0)]).unwrap(),
+            Pwl::new(vec![(0.0, 0.0), (2.0, 0.8), (4.0, 0.2), (8.0, 1.0)]).unwrap(),
+            Pwl::new(vec![(0.0, 0.5 - 1e-10), (7.0, 0.5 + 1e-10), (8.0, 1.0)]).unwrap(),
+            Pwl::new(vec![(0.0, 0.4), (3.0, 0.6), (4.0, 0.5), (5.0, 0.5), (8.0, 0.9)]).unwrap(),
+        ];
+        for (ci, w) in curves.iter().enumerate() {
+            let t = w.last_time_at_or_below(0.5);
+            let step = 1e-4;
+            let mut latest = f64::NEG_INFINITY;
+            let mut k = 0;
+            loop {
+                let s = k as f64 * step;
+                if s > 8.0 {
+                    break;
+                }
+                if w.eval(s) <= 0.5 {
+                    latest = s;
+                }
+                k += 1;
+            }
+            assert!(
+                (t - latest).abs() <= step + 1e-9,
+                "curve {ci}: crossing {t} vs dense-sampled {latest}"
+            );
+            // And the reported time really sits at the level.
+            assert!((w.eval(t) - 0.5).abs() <= 1e-9, "curve {ci}: v({t}) = {}", w.eval(t));
+        }
     }
 
     #[test]
