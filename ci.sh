@@ -25,6 +25,24 @@ cargo run -q -p dna-cli --offline -- generate --gates 40 --couplings 30 --seed 9
 cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --audit >/dev/null
 cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --mode add --k 3 --audit >/dev/null
 
+echo "== fault-injection smoke (typed errors / quarantine / degradation, no panics)"
+cargo test --offline -q --test fault_injection >/dev/null
+
+echo "== session artifact round trip (save -> load -> audit, then corrupt -> fallback)"
+smoke_art="$(mktemp -t whatif_smoke.XXXXXX.dna)"
+trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_art"' EXIT
+cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --save "$smoke_art" >/dev/null
+# A clean artifact must resume AND still pass the bit-identity audit.
+out="$(cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --load "$smoke_art" --audit)"
+echo "$out" | grep -q "resumed session" || { echo "artifact did not resume"; exit 1; }
+# A truncated artifact must be detected and fall back to a full sweep —
+# the command still succeeds and still passes the audit.
+head -c 64 "$smoke_art" > "$smoke_art.trunc" && mv "$smoke_art.trunc" "$smoke_art"
+out="$(cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --load "$smoke_art" --audit 2>&1)"
+echo "$out" | grep -q "cannot resume" || { echo "corruption went undetected"; exit 1; }
+echo "$out" | grep -q "audit: incremental == from-scratch" \
+  || { echo "fallback run failed its audit"; exit 1; }
+
 # CI_FULL=1 additionally runs the #[ignore]d suites (full i1-i10
 # determinism + incremental identity) in release mode — minutes, not
 # seconds, so opt-in.

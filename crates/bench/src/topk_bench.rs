@@ -21,7 +21,12 @@ use crate::{Table, DEFAULT_SEED};
 ///
 /// `v2` added the `whatif` section: incremental-vs-full wall clock for the
 /// session-based fix loop, gated on bit-identity to the from-scratch run.
-pub const SCHEMA: &str = "dna-bench-topk/v2";
+///
+/// `v3` added the `session_persistence` section: artifact save/load wall
+/// clock and size, the cold-load-vs-from-scratch speedup, and a gate that
+/// a session resumed from an artifact still answers bit-identically to a
+/// from-scratch reference.
+pub const SCHEMA: &str = "dna-bench-topk/v3";
 
 /// What to measure.
 #[derive(Debug, Clone)]
@@ -99,6 +104,32 @@ pub struct WhatIfEntry {
     pub identical_to_full: bool,
 }
 
+/// One measured save → load → re-verify cycle of the session artifact
+/// path: how much a checksummed artifact costs to write, how much faster
+/// resuming from it is than recomputing the session, and whether the
+/// resumed session still answers bit-identically.
+#[derive(Debug, Clone)]
+pub struct PersistEntry {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Engine mode (`"addition"` / `"elimination"`).
+    pub mode: String,
+    /// Fastest wall-clock time to serialize the session, in milliseconds.
+    pub save_ms: f64,
+    /// Fastest wall-clock time to validate + deserialize the artifact
+    /// into a live session (the cold-load path), in milliseconds.
+    pub load_ms: f64,
+    /// Serialized artifact size in bytes.
+    pub artifact_bytes: usize,
+    /// Fastest wall-clock time to build the same session from scratch
+    /// (full sweep), in milliseconds — the baseline a cold load replaces.
+    pub from_scratch_ms: f64,
+    /// Whether applying the fix-loop delta to the **loaded** session
+    /// produced a result bit-identical to a from-scratch run under the
+    /// same mask.
+    pub identical_to_full: bool,
+}
+
 /// A full benchmark run, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -117,6 +148,8 @@ pub struct BenchReport {
     pub entries: Vec<BenchEntry>,
     /// One entry per circuit × mode: the incremental fix loop.
     pub whatif: Vec<WhatIfEntry>,
+    /// One entry per circuit × mode: the artifact save/load cycle.
+    pub session_persistence: Vec<PersistEntry>,
 }
 
 /// Everything that must agree between a serial and a parallel run.
@@ -170,10 +203,12 @@ pub fn thread_configs() -> Vec<usize> {
 pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
     let mut entries = Vec::new();
     let mut whatif = Vec::new();
+    let mut session_persistence = Vec::new();
     for name in &spec.circuits {
         let circuit = suite::benchmark(name, spec.seed).map_err(|e| e.to_string())?;
         for &mode in &spec.modes {
             whatif.push(bench_whatif(&circuit, name, mode, spec)?);
+            session_persistence.push(bench_persist(&circuit, name, mode, spec)?);
             let mut serial: Option<Fingerprint> = None;
             for threads in thread_configs() {
                 let config = TopKConfig { threads, validate: false, ..TopKConfig::default() };
@@ -223,6 +258,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
         seed: spec.seed,
         entries,
         whatif,
+        session_persistence,
     })
 }
 
@@ -270,6 +306,56 @@ fn bench_whatif(
     })
 }
 
+/// Measures one artifact cycle: build a session, serialize it, resume a
+/// fresh session from the bytes, then run the fix loop **on the resumed
+/// session** and cross-check it against a from-scratch run under the same
+/// mask. `from_scratch_ms` times the session build the cold load replaces;
+/// the report's speedup column is `from_scratch_ms / load_ms`.
+fn bench_persist(
+    circuit: &dna_netlist::Circuit,
+    name: &str,
+    mode: Mode,
+    spec: &BenchSpec,
+) -> Result<PersistEntry, String> {
+    let config = TopKConfig { validate: false, ..TopKConfig::default() };
+    let engine = TopKAnalysis::new(circuit, config);
+    let mut save_ms = f64::INFINITY;
+    let mut load_ms = f64::INFINITY;
+    let mut from_scratch_ms = f64::INFINITY;
+    let mut artifact_bytes = 0;
+    let mut identical = None;
+    for _ in 0..spec.samples.max(1) {
+        let start = Instant::now();
+        let session = WhatIfSession::start(&engine, mode, spec.k).map_err(|e| e.to_string())?;
+        from_scratch_ms = from_scratch_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let artifact = session.save_artifact();
+        save_ms = save_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        artifact_bytes = artifact.len();
+        drop(session);
+
+        let start = Instant::now();
+        let mut loaded = WhatIfSession::resume(&engine, &artifact).map_err(|e| e.to_string())?;
+        load_ms = load_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let fix: Vec<CouplingId> = loaded.result().couplings().to_vec();
+        let outcome = loaded.apply(&MaskDelta::remove(&fix)).map_err(|e| e.to_string())?;
+        let scratch =
+            engine.run_with_mask(mode, spec.k, loaded.mask()).map_err(|e| e.to_string())?;
+        identical = Some(fingerprint(outcome.result()) == fingerprint(&scratch));
+    }
+    Ok(PersistEntry {
+        circuit: name.to_owned(),
+        mode: mode.name().to_owned(),
+        save_ms,
+        load_ms,
+        artifact_bytes,
+        from_scratch_ms,
+        identical_to_full: identical.expect("samples >= 1"),
+    })
+}
+
 impl BenchReport {
     /// Serializes the report (schema [`SCHEMA`]).
     #[must_use]
@@ -307,6 +393,23 @@ impl BenchReport {
             out.push_str(&format!("      \"total_victims\": {},\n", e.total_victims));
             out.push_str(&format!("      \"identical_to_full\": {}\n", e.identical_to_full));
             out.push_str(if i + 1 < self.whatif.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"session_persistence\": [\n");
+        for (i, e) in self.session_persistence.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"circuit\": {},\n", json_string(&e.circuit)));
+            out.push_str(&format!("      \"mode\": {},\n", json_string(&e.mode)));
+            out.push_str(&format!("      \"save_ms\": {:.3},\n", e.save_ms));
+            out.push_str(&format!("      \"load_ms\": {:.3},\n", e.load_ms));
+            out.push_str(&format!("      \"artifact_bytes\": {},\n", e.artifact_bytes));
+            out.push_str(&format!("      \"from_scratch_ms\": {:.3},\n", e.from_scratch_ms));
+            out.push_str(&format!("      \"identical_to_full\": {}\n", e.identical_to_full));
+            out.push_str(if i + 1 < self.session_persistence.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
         }
         out.push_str("  ]\n}\n");
         out
@@ -372,6 +475,32 @@ impl BenchReport {
             }
             out.push_str("\nwhat-if fix loop (incremental vs full re-analysis):\n");
             out.push_str(&wtable.render());
+        }
+        if !self.session_persistence.is_empty() {
+            let mut ptable = Table::new(&[
+                "circuit",
+                "mode",
+                "save ms",
+                "load ms",
+                "bytes",
+                "scratch ms",
+                "cold-load speedup",
+                "identical",
+            ]);
+            for e in &self.session_persistence {
+                ptable.row(vec![
+                    e.circuit.clone(),
+                    e.mode.clone(),
+                    format!("{:.2}", e.save_ms),
+                    format!("{:.2}", e.load_ms),
+                    e.artifact_bytes.to_string(),
+                    format!("{:.1}", e.from_scratch_ms),
+                    format!("{:.2}x", e.from_scratch_ms / e.load_ms.max(1e-9)),
+                    if e.identical_to_full { "yes" } else { "NO" }.to_owned(),
+                ]);
+            }
+            out.push_str("\nsession persistence (artifact save/load vs from-scratch build):\n");
+            out.push_str(&ptable.render());
         }
         out
     }
@@ -669,6 +798,33 @@ pub fn validate_json(text: &str) -> Result<(), String> {
             _ => return Err(format!("whatif entry {i}: missing `identical_to_full`")),
         }
     }
+    let persistence = match report.get("session_persistence") {
+        Some(Json::Arr(p)) if !p.is_empty() => p,
+        Some(Json::Arr(_)) => return Err("`session_persistence` is empty".into()),
+        _ => return Err("missing `session_persistence` array (required by v3)".into()),
+    };
+    for (i, entry) in persistence.iter().enumerate() {
+        for field in ["save_ms", "load_ms", "artifact_bytes", "from_scratch_ms"] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("persistence entry {i}: missing or non-numeric `{field}`"));
+            }
+        }
+        for field in ["circuit", "mode"] {
+            if !matches!(entry.get(field), Some(Json::Str(_))) {
+                return Err(format!("persistence entry {i}: missing `{field}`"));
+            }
+        }
+        match entry.get("identical_to_full") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!(
+                    "persistence entry {i}: loaded-session result differs from the \
+                     from-scratch reference"
+                ))
+            }
+            _ => return Err(format!("persistence entry {i}: missing `identical_to_full`")),
+        }
+    }
     Ok(())
 }
 
@@ -695,12 +851,22 @@ mod tests {
         assert_eq!(report.whatif.len(), 1);
         assert!(report.whatif.iter().all(|e| e.identical_to_full));
         assert!(report.whatif.iter().all(|e| e.recomputed_victims <= e.total_victims));
+        // One persistence cycle per circuit x mode: the resumed session
+        // answered bit-identically and the artifact was non-trivial.
+        assert_eq!(report.session_persistence.len(), 1);
+        assert!(report.session_persistence.iter().all(|e| e.identical_to_full));
+        assert!(report.session_persistence.iter().all(|e| e.artifact_bytes > 0));
+        assert!(report
+            .session_persistence
+            .iter()
+            .all(|e| e.save_ms.is_finite() && e.load_ms.is_finite()));
         let json = report.to_json();
         validate_json(&json).expect("self-produced report validates");
         let table = report.render_table();
         assert!(table.contains("i1"));
         assert!(table.contains("yes"));
         assert!(table.contains("what-if fix loop"));
+        assert!(table.contains("session persistence"));
     }
 
     #[test]
@@ -709,12 +875,14 @@ mod tests {
         assert!(validate_json("{").is_err());
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema": "other/v9"}"#).is_err());
-        // A v1 report (no `whatif` section) is no longer accepted.
+        // Older schemas (no `whatif` / no `session_persistence` section)
+        // are no longer accepted.
         assert!(validate_json(r#"{"schema": "dna-bench-topk/v1"}"#).is_err());
+        assert!(validate_json(r#"{"schema": "dna-bench-topk/v2"}"#).is_err());
         // Structurally fine but semantically failing: a parallel run that
         // did not match its serial reference must be flagged.
         let bad = r#"{
-          "schema": "dna-bench-topk/v2",
+          "schema": "dna-bench-topk/v3",
           "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
           "entries": [{
             "circuit": "i1", "mode": "addition", "threads": 0,
@@ -728,19 +896,35 @@ mod tests {
             "full_ms": 2.0, "incremental_ms": 1.0,
             "recomputed_victims": 3, "total_victims": 9,
             "identical_to_full": true
+          }],
+          "session_persistence": [{
+            "circuit": "i1", "mode": "addition",
+            "save_ms": 0.1, "load_ms": 0.2, "artifact_bytes": 4096,
+            "from_scratch_ms": 2.0,
+            "identical_to_full": true
           }]
         }"#;
         let err = validate_json(bad).unwrap_err();
         assert!(err.contains("differs from the serial reference"), "{err}");
         // Likewise an incremental run that diverged from from-scratch.
-        let bad = bad
-            .replace("\"identical_to_serial\": false", "\"identical_to_serial\": true")
-            .replace("\"identical_to_full\": true", "\"identical_to_full\": false");
-        let err = validate_json(&bad).unwrap_err();
+        let fixed_serial =
+            bad.replace("\"identical_to_serial\": false", "\"identical_to_serial\": true");
+        let bad_whatif =
+            fixed_serial.replacen("\"identical_to_full\": true", "\"identical_to_full\": false", 1);
+        let err = validate_json(&bad_whatif).unwrap_err();
         assert!(err.contains("differs from the from-scratch reference"), "{err}");
-        // A missing whatif section is a v2 violation of its own.
+        // And a loaded session that diverged after resume.
+        let bad_persist = {
+            let pos = fixed_serial.rfind("\"identical_to_full\": true").unwrap();
+            let mut s = fixed_serial.clone();
+            s.replace_range(pos.., &fixed_serial[pos..].replacen("true", "false", 1));
+            s
+        };
+        let err = validate_json(&bad_persist).unwrap_err();
+        assert!(err.contains("loaded-session result differs"), "{err}");
+        // A missing whatif section is a violation of its own...
         let bad = r#"{
-          "schema": "dna-bench-topk/v2",
+          "schema": "dna-bench-topk/v3",
           "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
           "entries": [{
             "circuit": "i1", "mode": "addition", "threads": 1,
@@ -752,6 +936,13 @@ mod tests {
         }"#;
         let err = validate_json(bad).unwrap_err();
         assert!(err.contains("whatif"), "{err}");
+        // ...and so is a missing session_persistence section (v3).
+        let bad = bad.replace(
+            "\"identical_to_serial\": true\n          }]",
+            "\"identical_to_serial\": true\n          }],\n          \"whatif\": [{\n            \"circuit\": \"i1\", \"mode\": \"addition\",\n            \"full_ms\": 2.0, \"incremental_ms\": 1.0,\n            \"recomputed_victims\": 3, \"total_victims\": 9,\n            \"identical_to_full\": true\n          }]",
+        );
+        let err = validate_json(&bad).unwrap_err();
+        assert!(err.contains("session_persistence"), "{err}");
     }
 
     #[test]

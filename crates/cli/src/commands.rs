@@ -11,7 +11,7 @@ use dna_netlist::{format, suite, Circuit};
 use dna_noise::{glitch, CouplingMask, NoiseAnalysis, NoiseConfig};
 use dna_sta::{critical_path, top_k_paths, LinearDelayModel, StaConfig, TimingReport};
 use dna_topk::CouplingSet;
-use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, WhatIfSession};
+use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfSession};
 
 use crate::opts::Opts;
 
@@ -22,9 +22,15 @@ commands:
   generate  --gates N --couplings N [--seed S] [--bench i1..i10] [-o file]
   analyze   <file.ckt> [--seed S]         iterative noise analysis report
   topk      <file.ckt> --mode add|del -k N [--peel]
+            [--victim-budget N] [--global-budget N] [--deadline-ms MS]
+                                          budgets degrade soundly: the
+                                          result is marked a lower bound
   whatif    <file.ckt> [--mode add|del] [-k N] [--audit]
-                                          fix-loop: run, remove the worst
-                                          set, re-verify incrementally
+            [--save FILE] [--load FILE]   fix-loop: run, remove the worst
+                                          set, re-verify incrementally;
+                                          sessions persist to checksummed
+                                          artifacts (corrupt files fall
+                                          back to a full sweep)
   paths     <file.ckt> [-k N]             top-k critical paths
   glitch    <file.ckt> [--margin 0.4]     functional noise check
   lint      <file.ckt> [--json] [--deep]  verify IR and analysis invariants
@@ -117,6 +123,46 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Optional numeric flag: absent stays `None`, a bad value is an error.
+fn opt_num<T: std::str::FromStr>(opts: &Opts, name: &str) -> Result<Option<T>, String> {
+    match opts.flag(name) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| format!("invalid value for --{name}: `{v}`")),
+    }
+}
+
+/// Builds a [`TopKConfig`] carrying the enumeration budget flags.
+fn budget_config(opts: &Opts) -> Result<TopKConfig, String> {
+    Ok(TopKConfig {
+        victim_candidate_budget: opt_num(opts, "victim-budget")?,
+        global_candidate_budget: opt_num(opts, "global-budget")?,
+        deadline: opt_num::<f64>(opts, "deadline-ms")?
+            .map(|ms| std::time::Duration::from_secs_f64(ms.max(0.0) / 1e3)),
+        ..TopKConfig::default()
+    })
+}
+
+/// Surfaces fault quarantines and budget degradation on stdout so a
+/// curtailed or partially failed run is never mistaken for an exact one.
+fn report_resilience(circuit: &Circuit, result: &TopKResult) {
+    for f in result.faults().iter() {
+        println!(
+            "  quarantined victim {} ({} phase): {}",
+            circuit.net(f.victim()).name(),
+            f.phase(),
+            f.cause()
+        );
+    }
+    if result.is_degraded() {
+        let s = result.sweep_stats();
+        println!(
+            "NOTE: result is a sound lower bound (degraded): {} victim(s) truncated, \
+             {} skipped, {} quarantined",
+            s.truncated_victims, s.skipped_victims, s.quarantined_victims
+        );
+    }
+}
+
 fn cmd_topk(opts: &Opts) -> Result<(), String> {
     let circuit = load_circuit(opts)?;
     let k: usize = opts.num("k", 10)?;
@@ -125,7 +171,7 @@ fn cmd_topk(opts: &Opts) -> Result<(), String> {
         Some("del") | Some("elim") => Mode::Elimination,
         Some(other) => return Err(format!("unknown --mode `{other}` (use add|del)")),
     };
-    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let engine = TopKAnalysis::new(&circuit, budget_config(opts)?);
     let result = match (mode, opts.has("peel")) {
         (Mode::Addition, _) => engine.addition_set(k),
         (Mode::Elimination, false) => engine.elimination_set(k),
@@ -150,6 +196,7 @@ fn cmd_topk(opts: &Opts) -> Result<(), String> {
         result.delay_after() - result.delay_before(),
         result.runtime()
     );
+    report_resilience(&circuit, &result);
     Ok(())
 }
 
@@ -168,10 +215,48 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
     };
     let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
 
+    // --load resumes from a checksummed artifact; anything wrong with the
+    // bytes (truncation, bit rot, version skew, different circuit) is
+    // reported and the command falls back to a from-scratch sweep. A bad
+    // artifact can cost the cache, never the answer.
     let full_start = std::time::Instant::now();
-    let mut session = WhatIfSession::start(&engine, mode, k).map_err(|e| e.to_string())?;
+    let mut session = match opts.flag("load") {
+        Some(path) => {
+            let bytes = fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            match WhatIfSession::resume(&engine, &bytes) {
+                Ok(s) => {
+                    if s.mode() != mode || s.k() != k {
+                        eprintln!(
+                            "note: `{path}` stores a {} k={} session; \
+                             command-line --mode/-k are ignored",
+                            s.mode().name(),
+                            s.k()
+                        );
+                    }
+                    println!("resumed session from `{path}` ({} bytes)", bytes.len());
+                    s
+                }
+                Err(e) => {
+                    eprintln!("cannot resume from `{path}`: {e}");
+                    eprintln!("falling back to a from-scratch sweep");
+                    WhatIfSession::start(&engine, mode, k).map_err(|e| e.to_string())?
+                }
+            }
+        }
+        None => WhatIfSession::start(&engine, mode, k).map_err(|e| e.to_string())?,
+    };
     let full_ms = full_start.elapsed().as_secs_f64() * 1e3;
+    let (mode, k) = (session.mode(), session.k());
     let base = session.result().clone();
+
+    // --save snapshots the session (I-list caches, counters, quarantines,
+    // last result) before the what-if delta, so a later --load skips the
+    // expensive full sweep and replays only the incremental part.
+    if let Some(path) = opts.flag("save") {
+        let artifact = session.save_artifact();
+        fs::write(path, &artifact).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("saved session to {path} ({} bytes)", artifact.len());
+    }
 
     println!("top-{k} {} set on {}:", mode.name(), circuit.stats());
     for &cc in base.couplings() {
@@ -205,6 +290,7 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
         outcome.total_victims(),
         outcome.cached_victims(),
     );
+    report_resilience(&circuit, fixed);
 
     // --audit cross-checks the incremental answer against a from-scratch
     // run under the same mask, and the dirty set against the L035 rule.
@@ -289,11 +375,26 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
     }
 
     // --deep additionally runs a small top-k analysis end to end and
-    // verifies the engine's answer.
+    // verifies the engine's answer, then exercises an incremental what-if
+    // session and checks its dirty-set bookkeeping against the L035
+    // session-cache-coherence rule.
     if opts.has("deep") {
         let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
         let result = engine.addition_set(2).map_err(|e| e.to_string())?;
         diags.merge(lint_result(&circuit, &result, &CouplingSet::new()));
+
+        let mut session = WhatIfSession::start(&engine, Mode::Elimination, 2)
+            .map_err(|e| format!("deep lint: cannot start what-if session: {e}"))?;
+        let worst: Vec<_> = session.result().couplings().to_vec();
+        let outcome = session
+            .apply(&MaskDelta::remove(&worst))
+            .map_err(|e| format!("deep lint: what-if apply failed: {e}"))?;
+        diags.merge(lint_dirty_closure(
+            &circuit,
+            &CouplingMask::all(&circuit),
+            session.mask(),
+            outcome.dirty_flags(),
+        ));
     }
 
     diags.sort();
@@ -441,6 +542,78 @@ mod tests {
         dispatch(&argv(&["lint", &path_s])).unwrap();
         dispatch(&argv(&["lint", &path_s, "--json", "--deep"])).unwrap();
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn topk_budget_flags_degrade_soundly() {
+        let dir = std::env::temp_dir().join("dna_cli_test_budget");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckt");
+        let path_s = path.to_str().unwrap().to_owned();
+        dispatch(&argv(&[
+            "generate",
+            "--gates",
+            "16",
+            "--couplings",
+            "12",
+            "--seed",
+            "5",
+            "--o",
+            &path_s,
+        ]))
+        .unwrap();
+        // A brutal budget still succeeds: the result is degraded, not an error.
+        dispatch(&argv(&["topk", &path_s, "--mode", "del", "--k", "3", "--victim-budget", "1"]))
+            .unwrap();
+        dispatch(&argv(&["topk", &path_s, "--mode", "add", "--k", "2", "--global-budget", "0"]))
+            .unwrap();
+        dispatch(&argv(&["topk", &path_s, "--k", "2", "--deadline-ms", "0"])).unwrap();
+        let e = dispatch(&argv(&["topk", &path_s, "--victim-budget", "lots"])).unwrap_err();
+        assert!(e.contains("--victim-budget"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn whatif_save_load_round_trip_and_corrupt_fallback() {
+        let dir = std::env::temp_dir().join("dna_cli_test_artifact");
+        fs::create_dir_all(&dir).unwrap();
+        let ckt = dir.join("t.ckt");
+        let ckt_s = ckt.to_str().unwrap().to_owned();
+        let art = dir.join("t.dna");
+        let art_s = art.to_str().unwrap().to_owned();
+        dispatch(&argv(&[
+            "generate",
+            "--gates",
+            "18",
+            "--couplings",
+            "14",
+            "--seed",
+            "9",
+            "--o",
+            &ckt_s,
+        ]))
+        .unwrap();
+
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--save", &art_s])).unwrap();
+        assert!(art.exists());
+        // Clean artifact resumes and still passes the bit-identity audit.
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--audit"])).unwrap();
+
+        // Truncate the artifact: the loader must detect it and the command
+        // must still succeed via the from-scratch fallback.
+        let bytes = fs::read(&art).unwrap();
+        fs::write(&art, &bytes[..bytes.len() / 2]).unwrap();
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--audit"])).unwrap();
+
+        // Flip one payload byte: CRC mismatch, same graceful fallback.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        fs::write(&art, &flipped).unwrap();
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--audit"])).unwrap();
+
+        fs::remove_file(&ckt).unwrap();
+        fs::remove_file(&art).unwrap();
     }
 
     #[test]

@@ -20,9 +20,10 @@ use dna_waveform::Envelope;
 
 use crate::dominance::{irredundant, DominanceDirection};
 use crate::engine::{
-    sweep_victims, sweep_victims_subset, NetLists, Prepared, VictimCounters, VictimLists,
+    sweep_victims, sweep_victims_subset, Curtailment, NetLists, Prepared, SweepBudget, SweepOutput,
+    SweepTotals, VictimCounters, VictimLists,
 };
-use crate::{Candidate, CouplingSet};
+use crate::{faultsim, Candidate, CouplingSet, TopKError};
 
 /// How many of the best fanin candidates combine with lower-cardinality
 /// sets (beyond plain primary extension). Keeps the cross-product bounded
@@ -51,10 +52,9 @@ pub(crate) struct SinkOption {
 pub(crate) struct EnumerationOutcome {
     /// Candidate answers, best predicted first, deduplicated by set.
     pub options: Vec<SinkOption>,
-    /// Largest irredundant-list width observed (pruning effectiveness).
-    pub peak_list_width: usize,
-    /// Total candidates generated before pruning (enumeration effort).
-    pub generated: usize,
+    /// Aggregated sweep counters: list widths, enumeration effort, and
+    /// how many victims budgets curtailed.
+    pub totals: SweepTotals,
 }
 
 /// One addable atom: a coupling set with its envelope at the current
@@ -72,9 +72,11 @@ pub(crate) fn sweep(
     p: &Prepared<'_>,
     k: usize,
     seeds: Option<(&[NetLists], &[VictimCounters], &[bool])>,
-) -> (Vec<NetLists>, Vec<VictimCounters>) {
+) -> Result<SweepOutput, TopKError> {
     let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
-    let per_victim = |v, ilists: &[NetLists]| victim_lists(p, k, breadth, v, ilists);
+    let per_victim = |v, ilists: &[NetLists], budget: &SweepBudget| {
+        victim_lists(p, k, breadth, v, ilists, budget)
+    };
     match seeds {
         None => sweep_victims(p, per_victim),
         Some((lists, counters, dirty)) => {
@@ -89,25 +91,36 @@ pub(crate) fn select(
     k: usize,
     ilists: &[NetLists],
     counters: &[VictimCounters],
-) -> EnumerationOutcome {
-    let (peak_list_width, generated) = VictimCounters::aggregate(counters);
-    select_sink(p, k, ilists, peak_list_width, generated)
+) -> Result<EnumerationOutcome, TopKError> {
+    let totals = VictimCounters::aggregate(counters);
+    Ok(select_sink(p, k, ilists, totals))
 }
 
 /// Builds one victim's irredundant lists `I-list_1 … I-list_k`. Reads
 /// `ilists` only at the victim's driver inputs (strict fanin), which the
 /// sweep guarantees are complete.
+///
+/// `budget` caps raw candidate generation: the allowance (the smaller of
+/// the per-victim cap and the remaining global allowance, snapshotted at
+/// victim start) bounds how many candidates the push path may create; on
+/// breach the remaining pushes are dropped — dominance keeps the
+/// strongest survivors of what exists, a sound lower bound — and the
+/// victim is marked [`Curtailment::Truncated`].
 fn victim_lists(
     p: &Prepared<'_>,
     k: usize,
     breadth: usize,
     v: NetId,
     ilists: &[NetLists],
-) -> VictimLists {
+    budget: &SweepBudget,
+) -> Result<VictimLists, TopKError> {
     let vi = v.index();
     let iv = p.dominance_iv[vi];
     let mut peak_list_width = 0usize;
     let mut generated = 0usize;
+    let allowance = budget.victim_allowance();
+    let mut raw_generated = 0usize;
+    let mut truncated = false;
 
     // --- Atom pool -------------------------------------------------
     // Primaries whose clipped envelope is zero cannot change the
@@ -191,9 +204,18 @@ fn victim_lists(
     lists.push(vec![Candidate::new(CouplingSet::new(), Envelope::zero(), 0.0)]);
     for i in 1..=k {
         let mut cands: Vec<Candidate> = Vec::new();
-        let push = |set: CouplingSet, env: Envelope, cands: &mut Vec<Candidate>| {
-            let dn = p.delay_noise_at(v, &env);
-            cands.push(Candidate::new(set, env, dn));
+        let mut push = |set: CouplingSet,
+                        env: Envelope,
+                        cands: &mut Vec<Candidate>|
+         -> Result<(), TopKError> {
+            if raw_generated >= allowance {
+                truncated = true;
+                return Ok(());
+            }
+            raw_generated += 1;
+            let dn = faultsim::corrupt_delay_noise(v, p.delay_noise_at(v, &env));
+            cands.push(Candidate::try_new(set, env, dn)?);
+            Ok(())
         };
 
         // 1. Extend I_{i-1} with one primary aggressor.
@@ -202,7 +224,7 @@ fn victim_lists(
                 if s.set().intersects(&atom.set) {
                     continue;
                 }
-                push(s.set().union(&atom.set), s.envelope().sum(&atom.envelope), &mut cands);
+                push(s.set().union(&atom.set), s.envelope().sum(&atom.envelope), &mut cands)?;
             }
         }
         // 2 & 3. Pseudo and higher-order atoms of cardinality <= i,
@@ -214,13 +236,13 @@ fn victim_lists(
             }
             let j = i - c;
             if j == 0 {
-                push(atom.set.clone(), atom.envelope.clone(), &mut cands);
+                push(atom.set.clone(), atom.envelope.clone(), &mut cands)?;
             } else {
                 for s in lists[j].iter().take(breadth) {
                     if s.set().intersects(&atom.set) {
                         continue;
                     }
-                    push(s.set().union(&atom.set), s.envelope().sum(&atom.envelope), &mut cands);
+                    push(s.set().union(&atom.set), s.envelope().sum(&atom.envelope), &mut cands)?;
                 }
             }
         }
@@ -243,7 +265,9 @@ fn victim_lists(
         pruned.sort_by(|a, b| b.delay_noise().total_cmp(&a.delay_noise()));
         lists.push(pruned);
     }
-    VictimLists { lists, peak_list_width, generated }
+    budget.charge(raw_generated);
+    let curtailment = if truncated { Curtailment::Truncated } else { Curtailment::None };
+    Ok(VictimLists { lists, peak_list_width, generated, curtailment })
 }
 
 /// Chooses the worst set from the sinks' I-lists (paper: "the top-k
@@ -254,8 +278,7 @@ fn select_sink(
     p: &Prepared<'_>,
     k: usize,
     ilists: &[NetLists],
-    peak_list_width: usize,
-    generated: usize,
+    totals: SweepTotals,
 ) -> EnumerationOutcome {
     let base_max = p.base.circuit_delay();
     let pool = p.config.validation_pool.max(1);
@@ -298,5 +321,5 @@ fn select_sink(
             sink: p.base.critical_output(),
         });
     }
-    EnumerationOutcome { options: deduped, peak_list_width, generated }
+    EnumerationOutcome { options: deduped, totals }
 }

@@ -1,5 +1,7 @@
 //! Top-k engine configuration.
 
+use std::time::Duration;
+
 use dna_noise::NoiseConfig;
 
 /// Configuration of the top-k aggressor-set engine.
@@ -45,6 +47,30 @@ pub struct TopKConfig {
     /// results — victims at one dependency level are independent, so the
     /// thread partition never changes what is computed, only when.
     pub threads: usize,
+    /// Per-victim cap on raw candidates generated while building one
+    /// victim's I-lists. On breach, generation stops for that victim and
+    /// dominance pruning keeps the strongest survivors of what was
+    /// generated — a *sound lower bound*: every surviving set is still
+    /// achievable, only optimality is lost. The victim is counted in
+    /// [`SweepStats::truncated_victims`](crate::SweepStats) and the result
+    /// is marked degraded. `None` (the default) disables the cap.
+    pub victim_candidate_budget: Option<usize>,
+    /// Global cap on raw candidates generated across the whole sweep.
+    /// Victims starting after the budget is exhausted are served empty
+    /// lists ([`SweepStats::skipped_victims`](crate::SweepStats)); a
+    /// victim observing a partial remainder truncates like the per-victim
+    /// cap. Deterministic with `threads == 1` (and for a zero budget at
+    /// any thread count); the parallel sweep enforces it best-effort, so
+    /// *which* victims are cut can vary run to run — the result stays a
+    /// sound lower bound either way. `None` disables the budget.
+    pub global_candidate_budget: Option<usize>,
+    /// Wall-clock deadline for the enumeration sweep, measured from sweep
+    /// start. Victims starting after the deadline are served empty lists
+    /// and counted in [`SweepStats::skipped_victims`](crate::SweepStats);
+    /// the result is marked degraded instead of the engine hanging.
+    /// `Some(Duration::ZERO)` degenerates every victim deterministically
+    /// (the zero-budget edge case). `None` disables the deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for TopKConfig {
@@ -59,6 +85,9 @@ impl Default for TopKConfig {
             validation_pool: 16,
             widener_depth: 4,
             threads: 0,
+            victim_candidate_budget: None,
+            global_candidate_budget: None,
+            deadline: None,
         }
     }
 }
@@ -82,6 +111,17 @@ impl TopKConfig {
             n => n,
         }
     }
+
+    /// Whether any enumeration budget (candidate caps or deadline) is
+    /// configured. When false — the default — the sweep runs exactly as
+    /// the unbudgeted engine and results are never marked degraded by
+    /// budget truncation.
+    #[must_use]
+    pub fn has_budget(&self) -> bool {
+        self.victim_candidate_budget.is_some()
+            || self.global_candidate_budget.is_some()
+            || self.deadline.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +136,15 @@ mod tests {
         assert!(c.higher_order);
         assert!(c.validate);
         assert!(c.max_list_width.is_some());
+    }
+
+    #[test]
+    fn defaults_carry_no_budget() {
+        let c = TopKConfig::default();
+        assert!(!c.has_budget());
+        assert!(TopKConfig { deadline: Some(Duration::ZERO), ..c }.has_budget());
+        assert!(TopKConfig { victim_candidate_budget: Some(10), ..c }.has_budget());
+        assert!(TopKConfig { global_candidate_budget: Some(0), ..c }.has_budget());
     }
 
     #[test]

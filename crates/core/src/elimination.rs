@@ -16,9 +16,11 @@ use dna_waveform::Envelope;
 use crate::addition::{EnumerationOutcome, SinkOption};
 use crate::dominance::{irredundant, DominanceDirection};
 use crate::engine::{
-    sweep_victims, sweep_victims_subset, NetLists, Prepared, VictimCounters, VictimLists,
+    sweep_victims, sweep_victims_subset, Curtailment, NetLists, Prepared, SweepBudget, SweepOutput,
+    SweepTotals, VictimCounters, VictimLists,
 };
-use crate::{Candidate, CouplingSet};
+use crate::result::Fault;
+use crate::{faultsim, Candidate, CouplingSet, TopKError};
 
 /// Mirror of the addition-side combination breadth.
 const COMBO_BREADTH: usize = 4;
@@ -34,9 +36,13 @@ struct RemovalAtom {
     removal: Envelope,
 }
 
-pub(crate) fn run(p: &Prepared<'_>, k: usize) -> EnumerationOutcome {
-    let (ilists, counters) = sweep(p, k, None);
-    select(p, k, &ilists, &counters)
+pub(crate) fn run(
+    p: &Prepared<'_>,
+    k: usize,
+) -> Result<(EnumerationOutcome, Vec<Fault>), TopKError> {
+    let out = sweep(p, k, None)?;
+    let outcome = select(p, k, &out.lists, &out.counters)?;
+    Ok((outcome, out.faults))
 }
 
 /// The residual-list sweep on its own — level-parallel, a victim reads
@@ -47,9 +53,11 @@ pub(crate) fn sweep(
     p: &Prepared<'_>,
     k: usize,
     seeds: Option<(&[NetLists], &[VictimCounters], &[bool])>,
-) -> (Vec<NetLists>, Vec<VictimCounters>) {
+) -> Result<SweepOutput, TopKError> {
     let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
-    let per_victim = |v, ilists: &[NetLists]| victim_lists(p, k, breadth, v, ilists);
+    let per_victim = |v, ilists: &[NetLists], budget: &SweepBudget| {
+        victim_lists(p, k, breadth, v, ilists, budget)
+    };
     match seeds {
         None => sweep_victims(p, per_victim),
         Some((lists, counters, dirty)) => {
@@ -64,10 +72,14 @@ pub(crate) fn select(
     k: usize,
     ilists: &[NetLists],
     counters: &[VictimCounters],
-) -> EnumerationOutcome {
-    let noisy = p.noisy.as_ref().expect("elimination mode prepares a noisy report");
-    let (peak_list_width, generated) = VictimCounters::aggregate(counters);
-    select_sink(p, k, noisy, ilists, peak_list_width, generated)
+) -> Result<EnumerationOutcome, TopKError> {
+    let Some(noisy) = p.noisy.as_ref() else {
+        return Err(TopKError::Internal {
+            what: "elimination selection reached without a converged noisy report".into(),
+        });
+    };
+    let totals = VictimCounters::aggregate(counters);
+    Ok(select_sink(p, k, noisy, ilists, totals))
 }
 
 /// Builds one victim's residual lists. Reads `ilists` only at the
@@ -79,13 +91,21 @@ fn victim_lists(
     breadth: usize,
     v: NetId,
     ilists: &[NetLists],
-) -> VictimLists {
+    budget: &SweepBudget,
+) -> Result<VictimLists, TopKError> {
     let circuit = p.circuit;
-    let noisy = p.noisy.as_ref().expect("elimination mode prepares a noisy report");
+    let Some(noisy) = p.noisy.as_ref() else {
+        return Err(TopKError::Internal {
+            what: "elimination enumeration reached without a converged noisy report".into(),
+        });
+    };
     let vi = v.index();
     let iv = p.dominance_iv[vi];
     let mut peak_list_width = 0usize;
     let mut generated = 0usize;
+    let allowance = budget.victim_allowance();
+    let mut raw_generated = 0usize;
+    let mut truncated = false;
 
     // Fanin shift carried into this victim by upstream noise: the
     // noisy arrival minus the victim's own injected noise, relative to
@@ -211,13 +231,25 @@ fn victim_lists(
 
     // --- Iterative residual-list construction -----------------------
     let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(k + 1);
-    let total_dn = p.delay_noise_at(v, &total);
-    lists.push(vec![Candidate::new(CouplingSet::new(), total.clone(), total_dn)]);
+    // The baseline (nothing-fixed) candidate bypasses the budget: even a
+    // zero allowance keeps the seed, so every downstream consumer still
+    // has the victim's total envelope to anchor on.
+    let total_dn = faultsim::corrupt_delay_noise(v, p.delay_noise_at(v, &total));
+    lists.push(vec![Candidate::try_new(CouplingSet::new(), total.clone(), total_dn)?]);
     for i in 1..=k {
         let mut cands: Vec<Candidate> = Vec::new();
-        let push = |set: CouplingSet, env: Envelope, cands: &mut Vec<Candidate>| {
-            let dn = p.delay_noise_at(v, &env);
-            cands.push(Candidate::new(set, env, dn));
+        let mut push = |set: CouplingSet,
+                        env: Envelope,
+                        cands: &mut Vec<Candidate>|
+         -> Result<(), TopKError> {
+            if raw_generated >= allowance {
+                truncated = true;
+                return Ok(());
+            }
+            raw_generated += 1;
+            let dn = faultsim::corrupt_delay_noise(v, p.delay_noise_at(v, &env));
+            cands.push(Candidate::try_new(set, env, dn)?);
+            Ok(())
         };
 
         // Extend I_{i-1} with one primary removal.
@@ -230,7 +262,7 @@ fn victim_lists(
                     s.set().union(&atom.set),
                     s.envelope().saturating_sub(&atom.removal),
                     &mut cands,
-                );
+                )?;
             }
         }
         // Atoms standalone (exact cardinality) or, for multi-coupling
@@ -243,7 +275,7 @@ fn victim_lists(
             }
             let j = i - c;
             if j == 0 {
-                push(atom.set.clone(), total.saturating_sub(&atom.removal), &mut cands);
+                push(atom.set.clone(), total.saturating_sub(&atom.removal), &mut cands)?;
             } else if c > 1 {
                 for s in lists[j].iter().take(breadth) {
                     if s.set().intersects(&atom.set) {
@@ -253,7 +285,7 @@ fn victim_lists(
                         s.set().union(&atom.set),
                         s.envelope().saturating_sub(&atom.removal),
                         &mut cands,
-                    );
+                    )?;
                 }
             }
         }
@@ -294,7 +326,9 @@ fn victim_lists(
                 .unwrap_or_default()
         );
     }
-    VictimLists { lists, peak_list_width, generated }
+    budget.charge(raw_generated);
+    let curtailment = if truncated { Curtailment::Truncated } else { Curtailment::None };
+    Ok(VictimLists { lists, peak_list_width, generated, curtailment })
 }
 
 /// Chooses the set minimizing the predicted circuit delay after
@@ -313,8 +347,7 @@ fn select_sink(
     k: usize,
     noisy: &dna_noise::NoiseReport,
     ilists: &[NetLists],
-    peak_list_width: usize,
-    generated: usize,
+    totals: SweepTotals,
 ) -> EnumerationOutcome {
     let outputs = p.circuit.primary_outputs();
     let noisy_lat = |o: NetId| noisy.noisy_timing().timing(o).lat();
@@ -442,5 +475,5 @@ fn select_sink(
             eprintln!("[elim] option {} predicted {:.2}", opt.set, opt.predicted_delay);
         }
     }
-    EnumerationOutcome { options: deduped, peak_list_width, generated }
+    EnumerationOutcome { options: deduped, totals }
 }

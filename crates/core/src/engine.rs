@@ -1,13 +1,18 @@
 //! Shared machinery of the addition- and elimination-set algorithms.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use dna_netlist::{Circuit, CouplingId, NetId, NetSource};
 use dna_noise::{envelope_calc, CouplingMask, NoiseAnalysis, NoiseReport};
-use dna_sta::{NetTiming, StaError, TimingReport};
+use dna_sta::{NetTiming, TimingReport};
 use dna_waveform::{superposition, Edge, Envelope, NoisePulse, TimeInterval, Transition};
 
-use crate::{Candidate, TopKConfig};
+use crate::result::{Fault, FaultPhase};
+use crate::{faultsim, Candidate, TopKConfig, TopKError};
 
 /// Couplings in a net's fanin cone ranked by the delay noise each can add
 /// to that net's arrival, descending. `Arc`, not `Rc`: the memo is shared
@@ -20,6 +25,20 @@ type RankedWideners = Arc<Vec<(CouplingId, f64)>>;
 /// list of cardinality `i` (index 0 = the empty / total baseline set).
 pub(crate) type NetLists = Arc<Vec<Vec<Candidate>>>;
 
+/// How a budget curtailed one victim's enumeration (if at all).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) enum Curtailment {
+    /// The victim enumerated in full.
+    #[default]
+    None,
+    /// A candidate budget cut generation short mid-victim; the lists hold
+    /// the strongest non-dominated survivors of what was generated.
+    Truncated,
+    /// The global budget or deadline was exhausted before this victim
+    /// started; it was served empty lists.
+    Skipped,
+}
+
 /// Per-victim enumeration counters, kept per net (not pre-aggregated) so
 /// an incremental sweep can serve clean victims' counters from cache and
 /// still aggregate bit-identically to a from-scratch run.
@@ -29,17 +48,94 @@ pub(crate) struct VictimCounters {
     pub peak_list_width: usize,
     /// Candidates generated at this victim before pruning.
     pub generated: usize,
+    /// Whether (and how) a budget curtailed this victim.
+    pub curtailment: Curtailment,
+}
+
+/// Order-independent aggregate of all victims' counters: the same fold a
+/// full sweep performs, so a subset sweep that merges cached and fresh
+/// counters reproduces the from-scratch totals exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SweepTotals {
+    pub peak_list_width: usize,
+    pub generated: usize,
+    pub truncated_victims: usize,
+    pub skipped_victims: usize,
 }
 
 impl VictimCounters {
-    /// Order-independent aggregation over all victims: max of widths, sum
-    /// of generated counts. The same fold a full sweep performs, so a
-    /// subset sweep that merges cached and fresh counters reproduces the
-    /// from-scratch totals exactly.
-    pub fn aggregate(all: &[VictimCounters]) -> (usize, usize) {
-        all.iter().fold((0usize, 0usize), |(peak, generated), c| {
-            (peak.max(c.peak_list_width), generated + c.generated)
+    /// Max of widths, sum of generated counts, tally of curtailments.
+    pub fn aggregate(all: &[VictimCounters]) -> SweepTotals {
+        all.iter().fold(SweepTotals::default(), |mut t, c| {
+            t.peak_list_width = t.peak_list_width.max(c.peak_list_width);
+            t.generated += c.generated;
+            match c.curtailment {
+                Curtailment::None => {}
+                Curtailment::Truncated => t.truncated_victims += 1,
+                Curtailment::Skipped => t.skipped_victims += 1,
+            }
+            t
         })
+    }
+}
+
+/// Live budget state of one enumeration sweep, shared (immutably) by the
+/// sweep workers. All checks are a relaxed atomic load or an `Instant`
+/// comparison and short-circuit to "unbounded" when the corresponding
+/// [`TopKConfig`] knob is `None`, so the unbudgeted fast path pays nothing
+/// measurable per victim.
+pub(crate) struct SweepBudget {
+    start: Instant,
+    deadline: Option<Duration>,
+    /// Remaining global raw-candidate allowance.
+    global: Option<AtomicUsize>,
+    per_victim: Option<usize>,
+}
+
+impl SweepBudget {
+    pub fn new(config: &TopKConfig) -> Self {
+        Self {
+            start: Instant::now(),
+            deadline: config.deadline,
+            global: config.global_candidate_budget.map(AtomicUsize::new),
+            per_victim: config.victim_candidate_budget,
+        }
+    }
+
+    /// Whether the sweep-wide budget is spent: the deadline has passed or
+    /// the global candidate allowance is down to zero. Victims starting
+    /// now are skipped.
+    pub fn exhausted(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if self.start.elapsed() >= d {
+                return true;
+            }
+        }
+        if let Some(g) = &self.global {
+            if g.load(Ordering::Relaxed) == 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Raw candidates the victim starting now may generate: the minimum of
+    /// the per-victim cap and the remaining global allowance
+    /// (`usize::MAX` when neither is configured).
+    pub fn victim_allowance(&self) -> usize {
+        let per = self.per_victim.unwrap_or(usize::MAX);
+        let global = self.global.as_ref().map_or(usize::MAX, |g| g.load(Ordering::Relaxed));
+        per.min(global)
+    }
+
+    /// Charges `n` raw candidates against the global allowance
+    /// (saturating; no-op when no global budget is configured).
+    pub fn charge(&self, n: usize) {
+        if let Some(g) = &self.global {
+            let _ = g.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(n))
+            });
+        }
     }
 }
 
@@ -136,7 +232,8 @@ impl<'c> Prepared<'c> {
         mode: Mode,
         noise: &NoiseAnalysis<'c>,
         mask: CouplingMask,
-    ) -> Result<Self, StaError> {
+    ) -> Result<Self, TopKError> {
+        faultsim::maybe_panic_in_prepare();
         let base =
             TimingReport::run(circuit, &dna_sta::LinearDelayModel::new(), &config.noise.sta)?;
         let noisy = match mode {
@@ -154,23 +251,35 @@ impl<'c> Prepared<'c> {
             .collect();
 
         // Primary aggressors with pulses and windows per victim.
-        let primaries: Vec<Vec<PrimaryInfo>> = circuit
-            .net_ids()
-            .map(|v| {
+        let mut primaries: Vec<Vec<PrimaryInfo>> = Vec::with_capacity(circuit.num_nets());
+        for v in circuit.net_ids() {
+            let envelopes =
                 envelope_calc::victim_envelopes(circuit, &config.noise, v, &window_timings, |id| {
                     mask.is_enabled(id)
-                })
-                .into_iter()
-                .map(|(id, _)| {
-                    let aggressor =
-                        circuit.coupling(id).other(v).expect("coupling index is consistent");
-                    let at = &window_timings[aggressor.index()];
-                    let pulse = pulse_for(circuit, &config, v, id, at.slew());
-                    PrimaryInfo { coupling: id, aggressor, pulse, eat: at.eat(), lat: at.lat() }
-                })
-                .collect()
-            })
-            .collect();
+                });
+            let mut infos = Vec::with_capacity(envelopes.len());
+            for (id, _) in envelopes {
+                let Some(aggressor) = circuit.coupling(id).other(v) else {
+                    return Err(TopKError::Internal {
+                        what: format!(
+                            "coupling {} reported for victim {} does not touch it",
+                            id.index(),
+                            v.index()
+                        ),
+                    });
+                };
+                let at = &window_timings[aggressor.index()];
+                let pulse = pulse_for(circuit, &config, v, id, at.slew());
+                infos.push(PrimaryInfo {
+                    coupling: id,
+                    aggressor,
+                    pulse,
+                    eat: at.eat(),
+                    lat: at.lat(),
+                });
+            }
+            primaries.push(infos);
+        }
 
         // Dominance interval: victim t50 up to the upper-bound noisy t50.
         // The upper bound is the infinite-window delay noise of the
@@ -366,6 +475,75 @@ pub(crate) struct VictimLists {
     pub peak_list_width: usize,
     /// Candidates generated at this victim before pruning.
     pub generated: usize,
+    /// Whether (and how) a budget curtailed this victim.
+    pub curtailment: Curtailment,
+}
+
+impl VictimLists {
+    /// The lists of a victim that contributed nothing: quarantined by a
+    /// fault or skipped by an exhausted budget. Sound downstream — every
+    /// consumer treats a missing list as "no candidates here".
+    fn empty(curtailment: Curtailment) -> Self {
+        Self { lists: Vec::new(), peak_list_width: 0, generated: 0, curtailment }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads cover `panic!`, asserts and `expect`).
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// Everything one enumeration sweep produced: per-victim I-lists and
+/// counters (indexed by net), plus the victims quarantined by fault
+/// isolation.
+pub(crate) struct SweepOutput {
+    pub lists: Vec<NetLists>,
+    pub counters: Vec<VictimCounters>,
+    pub faults: Vec<Fault>,
+}
+
+/// Runs one victim under the fault boundary: budget check first, then the
+/// enumeration inside `catch_unwind`. A panic or typed error quarantines
+/// the victim (empty lists + a [`Fault`]) instead of aborting the sweep.
+fn run_one<F>(
+    v: NetId,
+    ilists: &[NetLists],
+    budget: &SweepBudget,
+    per_victim: &F,
+) -> (VictimLists, Option<Fault>)
+where
+    F: Fn(NetId, &[NetLists], &SweepBudget) -> Result<VictimLists, TopKError> + Sync,
+{
+    if budget.exhausted() {
+        return (VictimLists::empty(Curtailment::Skipped), None);
+    }
+    // `AssertUnwindSafe` is justified: on unwind the victim's outputs are
+    // discarded wholesale (it gets empty lists), the shared inputs are
+    // immutable, and the only cross-victim mutable state — the global
+    // budget counter and the widener memo — are atomics/`OnceLock`s that
+    // stay internally consistent at every point.
+    let guarded = catch_unwind(AssertUnwindSafe(|| {
+        faultsim::maybe_panic_at_victim(v);
+        per_victim(v, ilists, budget)
+    }));
+    match guarded {
+        Ok(Ok(out)) => (out, None),
+        Ok(Err(e)) => (
+            VictimLists::empty(Curtailment::None),
+            Some(Fault::new(v, FaultPhase::Enumeration, e.to_string())),
+        ),
+        Err(payload) => (
+            VictimLists::empty(Curtailment::None),
+            Some(Fault::new(v, FaultPhase::Enumeration, panic_message(payload.as_ref()))),
+        ),
+    }
 }
 
 /// Runs `per_victim` over every net, respecting fanin dependencies, and
@@ -381,12 +559,14 @@ pub(crate) struct VictimLists {
 /// [`nets_topological`](Circuit::nets_topological) loop — the serial
 /// reference path. Both paths are bit-identical: the partition changes
 /// execution order only, and the counters stay per-victim.
-pub(crate) fn sweep_victims<F>(
-    p: &Prepared<'_>,
-    per_victim: F,
-) -> (Vec<NetLists>, Vec<VictimCounters>)
+///
+/// Every victim runs inside [`run_one`]'s fault boundary; a failed victim
+/// lands in [`SweepOutput::faults`] instead of aborting the sweep. The
+/// sweep itself only errs when the harness breaks (a worker dying outside
+/// the per-victim boundary).
+pub(crate) fn sweep_victims<F>(p: &Prepared<'_>, per_victim: F) -> Result<SweepOutput, TopKError>
 where
-    F: Fn(NetId, &[NetLists]) -> VictimLists + Sync,
+    F: Fn(NetId, &[NetLists], &SweepBudget) -> Result<VictimLists, TopKError> + Sync,
 {
     let n = p.circuit.num_nets();
     let seed_lists: Vec<NetLists> = vec![NetLists::default(); n];
@@ -412,9 +592,9 @@ pub(crate) fn sweep_victims_subset<F>(
     seed_counters: &[VictimCounters],
     dirty: &[bool],
     per_victim: F,
-) -> (Vec<NetLists>, Vec<VictimCounters>)
+) -> Result<SweepOutput, TopKError>
 where
-    F: Fn(NetId, &[NetLists]) -> VictimLists + Sync,
+    F: Fn(NetId, &[NetLists], &SweepBudget) -> Result<VictimLists, TopKError> + Sync,
 {
     let circuit = p.circuit;
     debug_assert_eq!(seed_lists.len(), circuit.num_nets());
@@ -422,15 +602,22 @@ where
     debug_assert_eq!(dirty.len(), circuit.num_nets());
     let mut ilists: Vec<NetLists> = seed_lists.to_vec();
     let mut counters: Vec<VictimCounters> = seed_counters.to_vec();
+    let mut faults: Vec<Fault> = Vec::new();
+    let budget = SweepBudget::new(&p.config);
     let threads = p.config.effective_threads();
 
-    let absorb = |v: NetId,
-                  out: VictimLists,
-                  ilists: &mut Vec<NetLists>,
-                  counters: &mut Vec<VictimCounters>| {
-        counters[v.index()] =
-            VictimCounters { peak_list_width: out.peak_list_width, generated: out.generated };
+    let mut absorb = |v: NetId,
+                      out: VictimLists,
+                      fault: Option<Fault>,
+                      ilists: &mut Vec<NetLists>,
+                      counters: &mut Vec<VictimCounters>| {
+        counters[v.index()] = VictimCounters {
+            peak_list_width: out.peak_list_width,
+            generated: out.generated,
+            curtailment: out.curtailment,
+        };
         ilists[v.index()] = Arc::new(out.lists);
+        faults.extend(fault);
     };
 
     if threads <= 1 {
@@ -438,8 +625,8 @@ where
             if !dirty[v.index()] {
                 continue;
             }
-            let out = per_victim(v, &ilists);
-            absorb(v, out, &mut ilists, &mut counters);
+            let (out, fault) = run_one(v, &ilists, &budget, &per_victim);
+            absorb(v, out, fault, &mut ilists, &mut counters);
         }
     } else {
         for level in circuit.nets_by_level() {
@@ -449,25 +636,48 @@ where
                 continue;
             }
             let chunk = work_items.len().div_ceil(threads);
-            let results: Vec<(NetId, VictimLists)> = std::thread::scope(|s| {
-                let shared = &ilists;
-                let work = &per_victim;
-                let handles: Vec<_> = work_items
-                    .chunks(chunk)
-                    .map(|part| {
-                        s.spawn(move || {
-                            part.iter().map(|&v| (v, work(v, shared))).collect::<Vec<_>>()
+            let results: Result<Vec<(NetId, VictimLists, Option<Fault>)>, TopKError> =
+                std::thread::scope(|s| {
+                    let shared = &ilists;
+                    let work = &per_victim;
+                    let budget = &budget;
+                    let handles: Vec<_> = work_items
+                        .chunks(chunk)
+                        .map(|part| {
+                            s.spawn(move || {
+                                part.iter()
+                                    .map(|&v| {
+                                        let (out, fault) = run_one(v, shared, budget, work);
+                                        (v, out, fault)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
                         })
-                    })
-                    .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
-            });
-            for (v, out) in results {
-                absorb(v, out, &mut ilists, &mut counters);
+                        .collect();
+                    let mut level_results = Vec::with_capacity(work_items.len());
+                    for h in handles {
+                        match h.join() {
+                            Ok(part) => level_results.extend(part),
+                            // Unreachable while `run_one` catches per-victim
+                            // panics, but a harness bug must still surface as
+                            // a typed error, not a propagated unwind.
+                            Err(payload) => {
+                                return Err(TopKError::EnginePanic {
+                                    phase: FaultPhase::Enumeration,
+                                    cause: panic_message(payload.as_ref()),
+                                })
+                            }
+                        }
+                    }
+                    Ok(level_results)
+                });
+            for (v, out, fault) in results? {
+                absorb(v, out, fault, &mut ilists, &mut counters);
             }
         }
     }
-    (ilists, counters)
+    faults.sort_by_key(|f| f.victim().index());
+    Ok(SweepOutput { lists: ilists, counters, faults })
 }
 
 /// Pseudo envelope of a transition delayed by `shift` (paper §3.1).

@@ -5,6 +5,8 @@ use std::fmt;
 
 use dna_sta::StaError;
 
+use crate::result::FaultPhase;
+
 /// Error produced by the top-k analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TopKError {
@@ -18,6 +20,33 @@ pub enum TopKError {
         /// The offending cached delay noise.
         delay_noise: f64,
     },
+    /// The circuit carries a value the analysis substrate cannot process
+    /// soundly — e.g. a NaN or infinite coupling capacitance smuggled in
+    /// through an `*_unchecked` constructor. Caught by an up-front scan so
+    /// the poison never reaches timing arithmetic.
+    CorruptCircuit {
+        /// What exactly is corrupt.
+        what: String,
+    },
+    /// A panic escaped a phase of the engine that cannot be isolated to a
+    /// single victim (timing preparation, sink selection, or the sweep
+    /// harness itself). The panic was contained at the phase boundary and
+    /// converted into this error; no partial result is produced.
+    EnginePanic {
+        /// The engine phase the panic was caught in.
+        phase: FaultPhase,
+        /// The panic payload, when it carried a message.
+        cause: String,
+    },
+    /// An internal invariant did not hold — a bug guard surfacing as a
+    /// typed error instead of a panic.
+    Internal {
+        /// The violated invariant.
+        what: String,
+    },
+    /// A serialized session artifact failed validation (see
+    /// [`ArtifactError`]).
+    Artifact(ArtifactError),
     /// The underlying timing/noise analysis failed.
     Sta(StaError),
 }
@@ -29,6 +58,12 @@ impl fmt::Display for TopKError {
             TopKError::NonFiniteDelayNoise { delay_noise } => {
                 write!(f, "candidate delay noise {delay_noise} is not finite and non-negative")
             }
+            TopKError::CorruptCircuit { what } => write!(f, "corrupt circuit: {what}"),
+            TopKError::EnginePanic { phase, cause } => {
+                write!(f, "panic during {phase}: {cause}")
+            }
+            TopKError::Internal { what } => write!(f, "internal invariant violated: {what}"),
+            TopKError::Artifact(e) => write!(f, "session artifact rejected: {e}"),
             TopKError::Sta(e) => write!(f, "timing analysis failed: {e}"),
         }
     }
@@ -37,7 +72,12 @@ impl fmt::Display for TopKError {
 impl Error for TopKError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            TopKError::ZeroK | TopKError::NonFiniteDelayNoise { .. } => None,
+            TopKError::ZeroK
+            | TopKError::NonFiniteDelayNoise { .. }
+            | TopKError::CorruptCircuit { .. }
+            | TopKError::EnginePanic { .. }
+            | TopKError::Internal { .. } => None,
+            TopKError::Artifact(e) => Some(e),
             TopKError::Sta(e) => Some(e),
         }
     }
@@ -49,6 +89,88 @@ impl From<StaError> for TopKError {
     }
 }
 
+impl From<ArtifactError> for TopKError {
+    fn from(e: ArtifactError) -> Self {
+        TopKError::Artifact(e)
+    }
+}
+
+/// Why a serialized [`WhatIfSession`](crate::WhatIfSession) artifact was
+/// rejected.
+///
+/// Every variant is a *detected* corruption or mismatch: the loader never
+/// trusts an artifact it cannot fully validate, and callers are expected to
+/// fall back to a from-scratch analysis (the CLI does so automatically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The leading magic bytes are wrong — not a session artifact at all.
+    BadMagic,
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the artifact header.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The byte stream ends before the declared payload does.
+    Truncated {
+        /// Bytes the header promised.
+        needed: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The payload does not hash to the stored CRC-32 — bit rot, a partial
+    /// write, or tampering.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// The artifact was saved against a different circuit.
+    CircuitMismatch {
+        /// Which fingerprint component disagreed.
+        what: String,
+    },
+    /// The artifact was saved under a different engine configuration, so
+    /// its cached lists are not the lists this engine would compute.
+    ConfigMismatch,
+    /// The payload decoded to semantically invalid data (despite a valid
+    /// checksum) — e.g. a coupling id beyond the circuit, or a malformed
+    /// envelope curve.
+    Malformed {
+        /// What failed to decode.
+        what: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "bad magic (not a what-if session artifact)"),
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported artifact version {found} (this build reads v{supported})")
+            }
+            ArtifactError::Truncated { needed, have } => {
+                write!(f, "truncated artifact: need {needed} bytes, have {have}")
+            }
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x} (corrupt artifact)"
+            ),
+            ArtifactError::CircuitMismatch { what } => {
+                write!(f, "artifact belongs to a different circuit ({what})")
+            }
+            ArtifactError::ConfigMismatch => {
+                write!(f, "artifact was saved under a different engine configuration")
+            }
+            ArtifactError::Malformed { what } => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl Error for ArtifactError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +181,24 @@ mod tests {
         let wrapped = TopKError::from(StaError::NoOutputs);
         assert!(wrapped.to_string().contains("timing"));
         assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn artifact_errors_name_the_corruption() {
+        let e = TopKError::from(ArtifactError::ChecksumMismatch { stored: 1, computed: 2 });
+        assert!(e.to_string().contains("checksum mismatch"));
+        assert!(e.source().is_some());
+        assert!(ArtifactError::BadMagic.to_string().contains("magic"));
+        assert!(ArtifactError::Truncated { needed: 10, have: 3 }.to_string().contains("10"));
+        assert!(ArtifactError::UnsupportedVersion { found: 9, supported: 1 }
+            .to_string()
+            .contains("v1"));
+    }
+
+    #[test]
+    fn engine_panic_names_the_phase() {
+        let e = TopKError::EnginePanic { phase: FaultPhase::Prepare, cause: "boom".into() };
+        assert!(e.to_string().contains("prepare"));
+        assert!(e.to_string().contains("boom"));
     }
 }

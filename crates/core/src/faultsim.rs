@@ -1,0 +1,109 @@
+//! Fault-injection hooks for the robustness test harness.
+//!
+//! The fault-tolerance layer (per-victim `catch_unwind` quarantine, typed
+//! phase-boundary errors) is only trustworthy if it is *exercised* — a
+//! recovery path nobody can trigger is a recovery path nobody has tested.
+//! This module provides process-global, atomically armed injection points
+//! the engine consults at its fault boundaries:
+//!
+//! * [`arm_panic_at_victim`] — the next sweep panics while enumerating the
+//!   given victim (simulates a panicking delay/noise model inside one
+//!   victim's cone; must be quarantined, not propagated);
+//! * [`arm_nan_at_victim`] — the given victim's candidate delay noises
+//!   degrade to NaN (simulates a poisoned waveform reaching superposition;
+//!   must surface as a typed error and quarantine the victim);
+//! * [`arm_panic_in_prepare`] — timing preparation panics (simulates a
+//!   panicking delay model during STA/noise convergence; must surface as
+//!   [`TopKError::EnginePanic`](crate::TopKError::EnginePanic), never
+//!   abort the process).
+//!
+//! Every hook is a single relaxed atomic load when disarmed — negligible
+//! against the enumeration work per victim. The hooks are global: tests
+//! that arm them must serialize on a lock and [`disarm_all`] when done.
+//! Production code never arms anything.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use dna_netlist::NetId;
+
+/// Marker prefix of every injected panic message, so a test-side panic
+/// hook can suppress the noise of *expected* panics while leaving real
+/// ones visible (see [`silence_injected_panics`]).
+pub const PANIC_TAG: &str = "dna-faultsim:";
+
+const DISARMED: usize = usize::MAX;
+
+static PANIC_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
+static NAN_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
+static PREPARE_PANIC: AtomicBool = AtomicBool::new(false);
+
+/// Arms a panic inside the enumeration of the victim with net index
+/// `index` on every subsequent sweep until [`disarm_all`].
+pub fn arm_panic_at_victim(index: usize) {
+    PANIC_VICTIM.store(index, Ordering::SeqCst);
+}
+
+/// Arms NaN corruption of every candidate delay noise computed at the
+/// victim with net index `index` until [`disarm_all`].
+pub fn arm_nan_at_victim(index: usize) {
+    NAN_VICTIM.store(index, Ordering::SeqCst);
+}
+
+/// Arms a panic at the start of timing preparation until [`disarm_all`].
+pub fn arm_panic_in_prepare() {
+    PREPARE_PANIC.store(true, Ordering::SeqCst);
+}
+
+/// Disarms every injection point.
+pub fn disarm_all() {
+    PANIC_VICTIM.store(DISARMED, Ordering::SeqCst);
+    NAN_VICTIM.store(DISARMED, Ordering::SeqCst);
+    PREPARE_PANIC.store(false, Ordering::SeqCst);
+}
+
+/// Installs (once) a panic hook that suppresses the default stderr
+/// backtrace for panics carrying the [`PANIC_TAG`] marker — injected
+/// panics are *expected* in the fault harness and would otherwise flood
+/// test output — while delegating every other panic to the previous hook.
+pub fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.starts_with(PANIC_TAG) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Engine hook: panics iff a panic is armed for victim `v`.
+pub(crate) fn maybe_panic_at_victim(v: NetId) {
+    if PANIC_VICTIM.load(Ordering::Relaxed) == v.index() {
+        panic!("{PANIC_TAG} injected panic while enumerating victim {}", v.index());
+    }
+}
+
+/// Engine hook: corrupts `dn` to NaN iff NaN injection is armed for
+/// victim `v`; identity otherwise.
+pub(crate) fn corrupt_delay_noise(v: NetId, dn: f64) -> f64 {
+    if NAN_VICTIM.load(Ordering::Relaxed) == v.index() {
+        f64::NAN
+    } else {
+        dn
+    }
+}
+
+/// Engine hook: panics iff a prepare-phase panic is armed.
+pub(crate) fn maybe_panic_in_prepare() {
+    if PREPARE_PANIC.load(Ordering::Relaxed) {
+        panic!("{PANIC_TAG} injected panic in timing preparation");
+    }
+}

@@ -46,11 +46,13 @@ mod config;
 mod elimination;
 mod engine;
 mod error;
+mod persist;
 mod result;
 mod session;
 
 pub mod brute;
 pub mod dominance;
+pub mod faultsim;
 pub mod naive;
 
 pub use aggressor::CouplingSet;
@@ -58,8 +60,9 @@ pub use brute::{brute_force, BruteForceConfig, BruteForceOutcome};
 pub use candidate::Candidate;
 pub use config::TopKConfig;
 pub use engine::Mode;
-pub use error::TopKError;
-pub use result::TopKResult;
+pub use error::{ArtifactError, TopKError};
+pub use persist::ARTIFACT_VERSION;
+pub use result::{Fault, FaultPhase, FaultReport, Soundness, SweepStats, TopKResult};
 pub use session::{MaskDelta, WhatIfOutcome, WhatIfSession};
 
 use std::time::Instant;
@@ -68,6 +71,38 @@ use dna_netlist::Circuit;
 use dna_noise::{CouplingMask, NoiseAnalysis};
 
 use engine::Prepared;
+
+/// Runs `f` inside a panic boundary for an engine phase that cannot be
+/// isolated to one victim: an escaping panic is contained and converted
+/// into [`TopKError::EnginePanic`] naming the phase.
+fn guard<T>(phase: FaultPhase, f: impl FnOnce() -> Result<T, TopKError>) -> Result<T, TopKError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            Err(TopKError::EnginePanic { phase, cause: engine::panic_message(payload.as_ref()) })
+        }
+    }
+}
+
+/// Up-front scan for values the analysis substrate cannot process: a NaN
+/// or infinite (or negative) coupling capacitance would otherwise panic
+/// deep inside timing arithmetic, where no per-victim boundary can catch
+/// it soundly. Rejecting the poisoned circuit with a typed error keeps
+/// the engine panic-free on corrupt inputs.
+fn validate_circuit_finite(circuit: &Circuit) -> Result<(), TopKError> {
+    for id in circuit.coupling_ids() {
+        let cap = circuit.coupling(id).cap();
+        if !cap.is_finite() || cap < 0.0 {
+            return Err(TopKError::CorruptCircuit {
+                what: format!(
+                    "coupling {} has non-finite or negative capacitance {cap}",
+                    id.index()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// The top-k aggressor-set engine.
 ///
@@ -142,6 +177,7 @@ impl<'c> TopKAnalysis<'c> {
             return Err(TopKError::ZeroK);
         }
         let step = step.max(1);
+        validate_circuit_finite(self.circuit)?;
         let start = Instant::now();
         let mut mask = CouplingMask::all(self.circuit);
         let mut chosen = CouplingSet::new();
@@ -152,19 +188,34 @@ impl<'c> TopKAnalysis<'c> {
         let mut predicted = delay_before;
         let mut peak_list_width = 0;
         let mut generated = 0;
+        let mut stats = SweepStats::default();
+        let mut faults: Vec<Fault> = Vec::new();
 
         while chosen.len() < k {
             let budget = (k - chosen.len()).min(step);
-            let prepared = Prepared::build(
-                self.circuit,
-                self.config,
-                Mode::Elimination,
-                &self.noise,
-                mask.clone(),
-            )?;
-            let outcome = elimination::run(&prepared, budget);
-            peak_list_width = peak_list_width.max(outcome.peak_list_width);
-            generated += outcome.generated;
+            let prepared = guard(FaultPhase::Prepare, || {
+                Prepared::build(
+                    self.circuit,
+                    self.config,
+                    Mode::Elimination,
+                    &self.noise,
+                    mask.clone(),
+                )
+            })?;
+            let (outcome, round_faults) =
+                guard(FaultPhase::Selection, || elimination::run(&prepared, budget))?;
+            peak_list_width = peak_list_width.max(outcome.totals.peak_list_width);
+            generated += outcome.totals.generated;
+            // Rounds re-sweep the same victims: count each curtailment at
+            // its per-round worst instead of summing duplicates, and keep
+            // one fault per victim.
+            stats.truncated_victims = stats.truncated_victims.max(outcome.totals.truncated_victims);
+            stats.skipped_victims = stats.skipped_victims.max(outcome.totals.skipped_victims);
+            for f in round_faults {
+                if !faults.iter().any(|g| g.victim() == f.victim()) {
+                    faults.push(f);
+                }
+            }
 
             // Measure each option under the current mask; commit the best.
             let mut best: Option<(f64, f64, &CouplingSet, dna_netlist::NetId)> = None;
@@ -189,6 +240,7 @@ impl<'c> TopKAnalysis<'c> {
             sink = opt_sink;
         }
 
+        stats.quarantined_victims = faults.len();
         Ok(TopKResult {
             mode: Mode::Elimination,
             requested_k: k,
@@ -200,6 +252,8 @@ impl<'c> TopKAnalysis<'c> {
             peak_list_width,
             generated_candidates: generated,
             runtime: start.elapsed(),
+            faults: FaultReport::new(faults),
+            stats,
         })
     }
 
@@ -222,41 +276,65 @@ impl<'c> TopKAnalysis<'c> {
         k: usize,
         mask: &CouplingMask,
     ) -> Result<TopKResult, TopKError> {
-        self.run_seeded(mode, k, mask, None).map(|(result, _, _)| result)
+        self.run_seeded(mode, k, mask, None).map(|(result, ..)| result)
     }
 
     /// The full run pipeline with the sweep stage split out, so a what-if
-    /// session can both harvest the per-victim lists/counters for its
-    /// cache and feed them back (with dirty flags) on the next apply.
+    /// session can both harvest the per-victim lists/counters (and fault
+    /// quarantines) for its cache and feed them back (with dirty flags) on
+    /// the next apply.
+    ///
+    /// Timing preparation and sink selection run inside phase-level panic
+    /// boundaries (they cannot be isolated to one victim); the enumeration
+    /// sweep carries its own per-victim boundary.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn run_seeded(
         &self,
         mode: Mode,
         k: usize,
         mask: &CouplingMask,
-        seeds: Option<(&[engine::NetLists], &[engine::VictimCounters], &[bool])>,
-    ) -> Result<(TopKResult, Vec<engine::NetLists>, Vec<engine::VictimCounters>), TopKError> {
+        seeds: Option<(&[engine::NetLists], &[engine::VictimCounters], &[Fault], &[bool])>,
+    ) -> Result<
+        (TopKResult, Vec<engine::NetLists>, Vec<engine::VictimCounters>, Vec<Fault>),
+        TopKError,
+    > {
         if k == 0 {
             return Err(TopKError::ZeroK);
         }
+        validate_circuit_finite(self.circuit)?;
         let start = Instant::now();
-        let prepared = Prepared::build(self.circuit, self.config, mode, &self.noise, mask.clone())?;
+        let prepared = guard(FaultPhase::Prepare, || {
+            Prepared::build(self.circuit, self.config, mode, &self.noise, mask.clone())
+        })?;
         if std::env::var_os("DNA_PROFILE").is_some() {
             eprintln!("[profile] prepare: {:.2?}", start.elapsed());
         }
         let enum_start = Instant::now();
-        let (ilists, counters) = match mode {
-            Mode::Addition => addition::sweep(&prepared, k, seeds),
-            Mode::Elimination => elimination::sweep(&prepared, k, seeds),
-        };
-        let outcome = match mode {
-            Mode::Addition => addition::select(&prepared, k, &ilists, &counters),
-            Mode::Elimination => elimination::select(&prepared, k, &ilists, &counters),
-        };
-        if std::env::var_os("DNA_PROFILE").is_some() {
-            eprintln!("[profile] enumerate: {:.2?}", enum_start.elapsed());
+        let sweep_seeds = seeds.map(|(lists, counters, _, dirty)| (lists, counters, dirty));
+        let out = match mode {
+            Mode::Addition => addition::sweep(&prepared, k, sweep_seeds),
+            Mode::Elimination => elimination::sweep(&prepared, k, sweep_seeds),
+        }?;
+        // Merge quarantines: clean victims keep their cached faults (their
+        // cached empty lists came from those quarantines), dirty victims
+        // report this sweep's fresh ones.
+        let mut faults: Vec<Fault> = Vec::new();
+        if let Some((_, _, seed_faults, dirty)) = seeds {
+            faults.extend(seed_faults.iter().filter(|f| !dirty[f.victim().index()]).cloned());
         }
-        let result = self.finish(mode, k, mask, &prepared, outcome, start)?;
-        Ok((result, ilists, counters))
+        faults.extend(out.faults);
+        faults.sort_by_key(|f| f.victim().index());
+        let result = guard(FaultPhase::Selection, || {
+            let outcome = match mode {
+                Mode::Addition => addition::select(&prepared, k, &out.lists, &out.counters),
+                Mode::Elimination => elimination::select(&prepared, k, &out.lists, &out.counters),
+            }?;
+            if std::env::var_os("DNA_PROFILE").is_some() {
+                eprintln!("[profile] enumerate: {:.2?}", enum_start.elapsed());
+            }
+            self.finish(mode, k, mask, &prepared, outcome, &faults, start)
+        })?;
+        Ok((result, out.lists, out.counters, faults))
     }
 
     fn run(&self, mode: Mode, k: usize) -> Result<TopKResult, TopKError> {
@@ -269,6 +347,7 @@ impl<'c> TopKAnalysis<'c> {
     /// run was allowed to see — so restricted-mask runs (and incremental
     /// sessions re-running under a delta'd mask) measure options in the
     /// same world the enumeration saw.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         mode: Mode,
@@ -276,15 +355,19 @@ impl<'c> TopKAnalysis<'c> {
         base_mask: &CouplingMask,
         prepared: &Prepared<'_>,
         outcome: addition::EnumerationOutcome,
+        faults: &[Fault],
         start: Instant,
     ) -> Result<TopKResult, TopKError> {
         let delay_before = match mode {
             Mode::Addition => prepared.base.circuit_delay(),
-            Mode::Elimination => prepared
-                .noisy
-                .as_ref()
-                .expect("elimination prepares a noisy report")
-                .circuit_delay(),
+            Mode::Elimination => {
+                let Some(noisy) = prepared.noisy.as_ref() else {
+                    return Err(TopKError::Internal {
+                        what: "elimination finished without a converged noisy report".into(),
+                    });
+                };
+                noisy.circuit_delay()
+            }
         };
 
         // Measure the best predicted options with full iterative noise
@@ -309,7 +392,11 @@ impl<'c> TopKAnalysis<'c> {
                     best = Some((idx, measured));
                 }
             }
-            let (idx, measured) = best.expect("options are non-empty");
+            let Some((idx, measured)) = best else {
+                return Err(TopKError::Internal {
+                    what: "validation pool was empty despite non-empty options".into(),
+                });
+            };
             (options.swap_remove(idx), measured)
         } else {
             let first = options.swap_remove(0);
@@ -317,6 +404,11 @@ impl<'c> TopKAnalysis<'c> {
             (first, predicted)
         };
 
+        let stats = SweepStats {
+            truncated_victims: outcome.totals.truncated_victims,
+            skipped_victims: outcome.totals.skipped_victims,
+            quarantined_victims: faults.len(),
+        };
         Ok(TopKResult {
             mode,
             requested_k: k,
@@ -325,9 +417,11 @@ impl<'c> TopKAnalysis<'c> {
             delay_before,
             delay_after,
             predicted_delay: choice.predicted_delay,
-            peak_list_width: outcome.peak_list_width,
-            generated_candidates: outcome.generated,
+            peak_list_width: outcome.totals.peak_list_width,
+            generated_candidates: outcome.totals.generated,
             runtime: start.elapsed(),
+            faults: FaultReport::new(faults.to_vec()),
+            stats,
         })
     }
 }

@@ -1,0 +1,660 @@
+//! Checksummed, versioned persistence of [`WhatIfSession`] state.
+//!
+//! A what-if session's value is its cache: per-victim irredundant lists,
+//! enumeration counters, fault quarantines, the current mask and the last
+//! result. [`WhatIfSession::save_artifact`] serializes all of it into a
+//! self-describing binary artifact; [`WhatIfSession::resume`] rebuilds a
+//! live session from the bytes in a later process — resolving the "persist
+//! session caches across process runs" roadmap item — after which `apply`
+//! behaves exactly as if the original session had never stopped.
+//!
+//! # Trust model
+//!
+//! The loader trusts **nothing** it cannot validate. Defenses, outermost
+//! first:
+//!
+//! 1. magic + format version (not ours / wrong era → typed rejection),
+//! 2. declared payload length vs. bytes present (truncation),
+//! 3. CRC-32 (IEEE) over the payload (bit rot, partial writes, tampering),
+//! 4. circuit fingerprint (net/gate/coupling counts + a 64-bit FNV-1a hash
+//!    of the circuit's canonical text form) and a configuration hash
+//!    (the engine config's debug form with `threads` normalized — thread
+//!    count never changes results, everything else can),
+//! 5. semantic validation while decoding: every id in range, every
+//!    envelope curve well-formed, every cached delay noise finite.
+//!
+//! Every failure is a typed [`ArtifactError`]; callers fall back to a
+//! from-scratch [`WhatIfSession::start`] (the CLI does this
+//! automatically). A corrupt artifact can cost the cache, never
+//! correctness.
+//!
+//! # Bit-identity
+//!
+//! Envelopes are stored as their exact breakpoint lists (`f64::to_bits`
+//! pairs); on load the cached peak/support bounds are recomputed by the
+//! same one-scan fold every checked constructor uses, so a loaded
+//! candidate is bit-for-bit the candidate that was saved. The round-trip
+//! therefore preserves result fingerprints exactly (tier-1 acceptance:
+//! save → load → apply ≡ never-saved session).
+
+use dna_netlist::{CouplingId, NetId};
+use dna_noise::CouplingMask;
+use dna_waveform::{Envelope, Pwl};
+
+use crate::engine::{Curtailment, NetLists, VictimCounters};
+use crate::result::{Fault, FaultPhase, FaultReport, SweepStats};
+use crate::session::WhatIfSession;
+use crate::{
+    ArtifactError, Candidate, CouplingSet, Mode, TopKAnalysis, TopKConfig, TopKError, TopKResult,
+};
+
+/// Format version this build reads and writes. Bump on any layout change;
+/// the loader rejects every other version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Leading magic: "DNA What-If Artifact".
+const MAGIC: &[u8; 8] = b"DNAWIFA\0";
+
+/// Header: magic (8) + version (4) + payload length (8) + CRC-32 (4).
+const HEADER_LEN: usize = 24;
+
+// ---------------------------------------------------------------------
+// Checksums and fingerprints
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB8_8320`), the checksum
+/// of zip/png. Table built at compile time; no external crates.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// FNV-1a 64-bit — a cheap, dependency-free content fingerprint for the
+/// circuit text and config debug forms (collision resistance far beyond
+/// what an accident needs; this is corruption detection, not crypto).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Config fingerprint with `threads` normalized out: the thread count is
+/// the one knob guaranteed (and tested) not to change results, so an
+/// artifact saved at `threads = 8` loads fine at `threads = 1`.
+fn config_hash(config: &TopKConfig) -> u64 {
+    let normalized = TopKConfig { threads: 0, ..*config };
+    fnv1a64(format!("{normalized:?}").as_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Byte-stream primitives
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Reader<'b> {
+    fn new(buf: &'b [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize, what: &str) -> Result<&'b [u8], ArtifactError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            ArtifactError::Malformed { what: format!("{what}: payload ends mid-field") }
+        })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ArtifactError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ArtifactError> {
+        let b = self.bytes(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, ArtifactError> {
+        let v = self.u64(what)?;
+        usize::try_from(v)
+            .map_err(|_| ArtifactError::Malformed { what: format!("{what}: length {v} overflows") })
+    }
+
+    /// A length that will be used to pre-allocate or index: bounded by the
+    /// remaining payload so a corrupted (but checksum-colliding) length
+    /// cannot trigger a huge allocation.
+    fn len(&mut self, what: &str) -> Result<usize, ArtifactError> {
+        let v = self.usize(what)?;
+        if v > self.buf.len() - self.pos {
+            return Err(ArtifactError::Malformed {
+                what: format!("{what}: count {v} exceeds remaining payload"),
+            });
+        }
+        Ok(v)
+    }
+
+    fn f64_bits(&mut self, what: &str) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, ArtifactError> {
+        let n = self.len(what)?;
+        let raw = self.bytes(n, what)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| ArtifactError::Malformed { what: format!("{what}: invalid utf-8") })
+    }
+
+    fn done(&self) -> Result<(), ArtifactError> {
+        if self.pos != self.buf.len() {
+            return Err(ArtifactError::Malformed {
+                what: format!("{} trailing bytes after payload", self.buf.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field codecs
+// ---------------------------------------------------------------------
+
+fn mode_to_u8(mode: Mode) -> u8 {
+    match mode {
+        Mode::Addition => 0,
+        Mode::Elimination => 1,
+    }
+}
+
+fn mode_from_u8(v: u8) -> Result<Mode, ArtifactError> {
+    match v {
+        0 => Ok(Mode::Addition),
+        1 => Ok(Mode::Elimination),
+        other => Err(ArtifactError::Malformed { what: format!("unknown mode tag {other}") }),
+    }
+}
+
+fn phase_to_u8(phase: FaultPhase) -> u8 {
+    match phase {
+        FaultPhase::Prepare => 0,
+        FaultPhase::Enumeration => 1,
+        FaultPhase::Selection => 2,
+    }
+}
+
+fn phase_from_u8(v: u8) -> Result<FaultPhase, ArtifactError> {
+    match v {
+        0 => Ok(FaultPhase::Prepare),
+        1 => Ok(FaultPhase::Enumeration),
+        2 => Ok(FaultPhase::Selection),
+        other => Err(ArtifactError::Malformed { what: format!("unknown fault phase tag {other}") }),
+    }
+}
+
+fn curtailment_to_u8(c: Curtailment) -> u8 {
+    match c {
+        Curtailment::None => 0,
+        Curtailment::Truncated => 1,
+        Curtailment::Skipped => 2,
+    }
+}
+
+fn curtailment_from_u8(v: u8) -> Result<Curtailment, ArtifactError> {
+    match v {
+        0 => Ok(Curtailment::None),
+        1 => Ok(Curtailment::Truncated),
+        2 => Ok(Curtailment::Skipped),
+        other => Err(ArtifactError::Malformed { what: format!("unknown curtailment tag {other}") }),
+    }
+}
+
+fn encode_set(w: &mut Writer, set: &CouplingSet) {
+    w.usize(set.len());
+    for id in set.ids() {
+        w.u32(id.index() as u32);
+    }
+}
+
+fn decode_set(r: &mut Reader<'_>, num_couplings: usize) -> Result<CouplingSet, ArtifactError> {
+    let n = r.len("coupling set")?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = r.u32("coupling id")?;
+        if raw as usize >= num_couplings {
+            return Err(ArtifactError::Malformed {
+                what: format!("coupling id {raw} out of range (< {num_couplings})"),
+            });
+        }
+        ids.push(CouplingId::new(raw));
+    }
+    Ok(CouplingSet::from_iter(ids))
+}
+
+fn encode_envelope(w: &mut Writer, env: &Envelope) {
+    let pts = env.as_pwl().points();
+    w.usize(pts.len());
+    for &(t, v) in pts {
+        w.f64_bits(t);
+        w.f64_bits(v);
+    }
+}
+
+fn decode_envelope(r: &mut Reader<'_>) -> Result<Envelope, ArtifactError> {
+    let n = r.len("envelope points")?;
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = r.f64_bits("envelope t")?;
+        let v = r.f64_bits("envelope v")?;
+        pts.push((t, v));
+    }
+    let curve = Pwl::from_points_unchecked(pts);
+    if let Err(e) = curve.is_well_formed() {
+        return Err(ArtifactError::Malformed { what: format!("envelope curve: {e}") });
+    }
+    // `from_pwl_unchecked` recomputes the cached bounds from the curve —
+    // the same deterministic scan every engine envelope went through, so
+    // the loaded envelope is bit-identical to the saved one.
+    Ok(Envelope::from_pwl_unchecked(curve))
+}
+
+fn encode_fault(w: &mut Writer, f: &Fault) {
+    w.u32(f.victim().index() as u32);
+    w.u8(phase_to_u8(f.phase()));
+    w.str(f.cause());
+}
+
+fn decode_fault(r: &mut Reader<'_>, num_nets: usize) -> Result<Fault, ArtifactError> {
+    let raw = r.u32("fault victim")?;
+    if raw as usize >= num_nets {
+        return Err(ArtifactError::Malformed {
+            what: format!("fault victim {raw} out of range (< {num_nets})"),
+        });
+    }
+    let phase = phase_from_u8(r.u8("fault phase")?)?;
+    let cause = r.str("fault cause")?;
+    Ok(Fault::new(NetId::new(raw), phase, cause))
+}
+
+fn encode_result(w: &mut Writer, res: &TopKResult) {
+    w.u8(mode_to_u8(res.mode));
+    w.usize(res.requested_k);
+    encode_set(w, &res.set);
+    w.u32(res.sink.index() as u32);
+    w.f64_bits(res.delay_before);
+    w.f64_bits(res.delay_after);
+    w.f64_bits(res.predicted_delay);
+    w.usize(res.peak_list_width);
+    w.usize(res.generated_candidates);
+    w.u64(u64::try_from(res.runtime.as_nanos()).unwrap_or(u64::MAX));
+    w.usize(res.faults.len());
+    for f in res.faults.iter() {
+        encode_fault(w, f);
+    }
+    w.usize(res.stats.truncated_victims);
+    w.usize(res.stats.skipped_victims);
+    w.usize(res.stats.quarantined_victims);
+}
+
+fn decode_result(
+    r: &mut Reader<'_>,
+    num_nets: usize,
+    num_couplings: usize,
+) -> Result<TopKResult, ArtifactError> {
+    let mode = mode_from_u8(r.u8("result mode")?)?;
+    let requested_k = r.usize("result k")?;
+    let set = decode_set(r, num_couplings)?;
+    let sink_raw = r.u32("result sink")?;
+    if sink_raw as usize >= num_nets {
+        return Err(ArtifactError::Malformed {
+            what: format!("result sink {sink_raw} out of range (< {num_nets})"),
+        });
+    }
+    let delay_before = r.f64_bits("delay before")?;
+    let delay_after = r.f64_bits("delay after")?;
+    let predicted_delay = r.f64_bits("predicted delay")?;
+    for (name, v) in [
+        ("delay before", delay_before),
+        ("delay after", delay_after),
+        ("predicted", predicted_delay),
+    ] {
+        if !v.is_finite() {
+            return Err(ArtifactError::Malformed { what: format!("{name} is not finite ({v})") });
+        }
+    }
+    let peak_list_width = r.usize("peak list width")?;
+    let generated_candidates = r.usize("generated candidates")?;
+    let runtime = std::time::Duration::from_nanos(r.u64("runtime")?);
+    let n_faults = r.len("result faults")?;
+    let mut faults = Vec::with_capacity(n_faults);
+    for _ in 0..n_faults {
+        faults.push(decode_fault(r, num_nets)?);
+    }
+    let stats = SweepStats {
+        truncated_victims: r.usize("truncated victims")?,
+        skipped_victims: r.usize("skipped victims")?,
+        quarantined_victims: r.usize("quarantined victims")?,
+    };
+    Ok(TopKResult {
+        mode,
+        requested_k,
+        set,
+        sink: NetId::new(sink_raw),
+        delay_before,
+        delay_after,
+        predicted_delay,
+        peak_list_width,
+        generated_candidates,
+        runtime,
+        faults: FaultReport::new(faults),
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Artifact assembly
+// ---------------------------------------------------------------------
+
+impl<'a, 'c> WhatIfSession<'a, 'c> {
+    /// Serializes the session's full cached state — mask, per-victim
+    /// I-lists, counters, fault quarantines and the last result — into a
+    /// versioned, CRC-checksummed binary artifact for
+    /// [`resume`](Self::resume).
+    #[must_use]
+    pub fn save_artifact(&self) -> Vec<u8> {
+        let circuit = self.analysis.circuit();
+        let mut w = Writer::new();
+
+        // Compatibility fingerprints.
+        w.u32(circuit.num_nets() as u32);
+        w.u32(circuit.num_gates() as u32);
+        w.u32(circuit.num_couplings() as u32);
+        w.u64(fnv1a64(dna_netlist::format::write(circuit).as_bytes()));
+        w.u64(config_hash(self.analysis.config()));
+
+        // Session identity.
+        w.u8(mode_to_u8(self.mode));
+        w.usize(self.k);
+        for id in circuit.coupling_ids() {
+            w.u8(u8::from(self.mask.is_enabled(id)));
+        }
+
+        // Last result.
+        encode_result(&mut w, &self.result);
+
+        // Quarantine cache.
+        w.usize(self.faults.len());
+        for f in &self.faults {
+            encode_fault(&mut w, f);
+        }
+
+        // Per-victim counters.
+        for c in &self.counters {
+            w.usize(c.peak_list_width);
+            w.usize(c.generated);
+            w.u8(curtailment_to_u8(c.curtailment));
+        }
+
+        // Per-victim irredundant lists.
+        for lists in &self.lists {
+            w.usize(lists.len());
+            for list in lists.iter() {
+                w.usize(list.len());
+                for cand in list {
+                    encode_set(&mut w, cand.set());
+                    w.f64_bits(cand.delay_noise());
+                    encode_envelope(&mut w, cand.envelope());
+                }
+            }
+        }
+
+        let payload = w.buf;
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Rebuilds a session from [`save_artifact`](Self::save_artifact)
+    /// bytes against `analysis`, after which [`apply`](Self::apply)
+    /// behaves bit-identically to a session that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopKError::Artifact`] when the bytes fail any validation
+    /// layer — wrong magic, version skew, truncation, checksum mismatch,
+    /// circuit/config mismatch, or a semantically malformed payload. The
+    /// caller should fall back to [`start`](Self::start).
+    pub fn resume(analysis: &'a TopKAnalysis<'c>, bytes: &[u8]) -> Result<Self, TopKError> {
+        Self::resume_inner(analysis, bytes).map_err(TopKError::from)
+    }
+
+    fn resume_inner(analysis: &'a TopKAnalysis<'c>, bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let circuit = analysis.circuit();
+
+        // Layer 1-3: header, length, checksum.
+        if bytes.len() < HEADER_LEN {
+            return Err(if bytes.get(..MAGIC.len()).is_some_and(|m| m == MAGIC) {
+                ArtifactError::Truncated { needed: HEADER_LEN, have: bytes.len() }
+            } else {
+                ArtifactError::BadMagic
+            });
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            });
+        }
+        let declared = u64::from_le_bytes(bytes[12..20].try_into().expect("8 header bytes"));
+        let declared = usize::try_from(declared)
+            .map_err(|_| ArtifactError::Malformed { what: "payload length overflows".into() })?;
+        let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 header bytes"));
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() < declared {
+            return Err(ArtifactError::Truncated {
+                needed: HEADER_LEN + declared,
+                have: bytes.len(),
+            });
+        }
+        let payload = &payload[..declared];
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            return Err(ArtifactError::ChecksumMismatch { stored: stored_crc, computed });
+        }
+
+        // Layer 4: world fingerprints.
+        let mut r = Reader::new(payload);
+        let nets = r.u32("net count")? as usize;
+        let gates = r.u32("gate count")? as usize;
+        let couplings = r.u32("coupling count")? as usize;
+        for (what, found, expected) in [
+            ("net count", nets, circuit.num_nets()),
+            ("gate count", gates, circuit.num_gates()),
+            ("coupling count", couplings, circuit.num_couplings()),
+        ] {
+            if found != expected {
+                return Err(ArtifactError::CircuitMismatch {
+                    what: format!("{what} {found} != {expected}"),
+                });
+            }
+        }
+        let circuit_hash = r.u64("circuit hash")?;
+        let expected_hash = fnv1a64(dna_netlist::format::write(circuit).as_bytes());
+        if circuit_hash != expected_hash {
+            return Err(ArtifactError::CircuitMismatch { what: "content hash".into() });
+        }
+        if r.u64("config hash")? != config_hash(analysis.config()) {
+            return Err(ArtifactError::ConfigMismatch);
+        }
+
+        // Layer 5: semantic decode.
+        let mode = mode_from_u8(r.u8("session mode")?)?;
+        let k = r.usize("session k")?;
+        if k == 0 {
+            return Err(ArtifactError::Malformed { what: "session k is zero".into() });
+        }
+        let mut enabled = Vec::with_capacity(couplings);
+        for i in 0..couplings {
+            match r.u8("mask bit")? {
+                0 => enabled.push(false),
+                1 => enabled.push(true),
+                other => {
+                    return Err(ArtifactError::Malformed {
+                        what: format!("mask bit {i} has value {other}"),
+                    })
+                }
+            }
+        }
+        let ids: Vec<CouplingId> =
+            (0..couplings as u32).map(CouplingId::new).filter(|id| enabled[id.index()]).collect();
+        let mask = CouplingMask::none(circuit).with(&ids);
+
+        let result = decode_result(&mut r, nets, couplings)?;
+        if result.mode != mode {
+            return Err(ArtifactError::Malformed {
+                what: "result mode disagrees with session mode".into(),
+            });
+        }
+
+        let n_faults = r.len("session faults")?;
+        let mut faults = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            faults.push(decode_fault(&mut r, nets)?);
+        }
+
+        let mut counters = Vec::with_capacity(nets);
+        for _ in 0..nets {
+            let peak_list_width = r.usize("counter peak")?;
+            let generated = r.usize("counter generated")?;
+            let curtailment = curtailment_from_u8(r.u8("counter curtailment")?)?;
+            counters.push(VictimCounters { peak_list_width, generated, curtailment });
+        }
+
+        let mut lists: Vec<NetLists> = Vec::with_capacity(nets);
+        for _ in 0..nets {
+            let n_lists = r.len("list count")?;
+            let mut per_card = Vec::with_capacity(n_lists);
+            for _ in 0..n_lists {
+                let n_cands = r.len("candidate count")?;
+                let mut cands = Vec::with_capacity(n_cands);
+                for _ in 0..n_cands {
+                    let set = decode_set(&mut r, couplings)?;
+                    let dn = r.f64_bits("candidate delay noise")?;
+                    let env = decode_envelope(&mut r)?;
+                    let cand = Candidate::try_new(set, env, dn).map_err(|e| {
+                        ArtifactError::Malformed { what: format!("candidate: {e}") }
+                    })?;
+                    cands.push(cand);
+                }
+                per_card.push(cands);
+            }
+            lists.push(std::sync::Arc::new(per_card));
+        }
+        r.done()?;
+
+        Ok(WhatIfSession { analysis, mode, k, mask, lists, counters, faults, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value: CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv_separates_close_inputs() {
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        assert_ne!(fnv1a64(b""), fnv1a64(b"\0"));
+    }
+
+    #[test]
+    fn config_hash_ignores_threads_only() {
+        let base = TopKConfig::default();
+        assert_eq!(config_hash(&base), config_hash(&TopKConfig { threads: 7, ..base }));
+        assert_ne!(config_hash(&base), config_hash(&TopKConfig { validate: false, ..base }));
+        assert_ne!(
+            config_hash(&base),
+            config_hash(&TopKConfig { victim_candidate_budget: Some(10), ..base })
+        );
+    }
+}

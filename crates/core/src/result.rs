@@ -7,6 +7,163 @@ use dna_netlist::{CouplingId, NetId};
 
 use crate::{CouplingSet, Mode};
 
+/// The engine phase a fault was caught in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPhase {
+    /// Timing preparation (STA, converged noise, dominance bounds) —
+    /// whole-run scope, cannot be isolated to one victim.
+    Prepare,
+    /// Per-victim I-list construction — isolated: the victim is
+    /// quarantined, the rest of the sweep proceeds.
+    Enumeration,
+    /// Sink selection / validation of the finished lists — whole-run
+    /// scope.
+    Selection,
+}
+
+impl FaultPhase {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPhase::Prepare => "prepare",
+            FaultPhase::Enumeration => "enumeration",
+            FaultPhase::Selection => "selection",
+        }
+    }
+}
+
+impl fmt::Display for FaultPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One quarantined victim: a fault (panic or typed error) the sweep
+/// isolated to a single victim's enumeration instead of aborting the run.
+///
+/// The quarantined victim contributes empty I-lists — downstream
+/// consumers treat it as offering no candidates, which keeps every
+/// reported set achievable (a sound lower bound) while the rest of the
+/// circuit is analyzed normally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    pub(crate) victim: NetId,
+    pub(crate) phase: FaultPhase,
+    pub(crate) cause: String,
+}
+
+impl Fault {
+    pub(crate) fn new(victim: NetId, phase: FaultPhase, cause: String) -> Self {
+        Self { victim, phase, cause }
+    }
+
+    /// The quarantined victim net.
+    #[must_use]
+    pub fn victim(&self) -> NetId {
+        self.victim
+    }
+
+    /// The engine phase the fault was caught in.
+    #[must_use]
+    pub fn phase(&self) -> FaultPhase {
+        self.phase
+    }
+
+    /// Human-readable cause: the panic message or the typed error's
+    /// display form.
+    #[must_use]
+    pub fn cause(&self) -> &str {
+        &self.cause
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "victim {} [{}]: {}", self.victim.index(), self.phase, self.cause)
+    }
+}
+
+/// The quarantined victims of one analysis, ordered by victim index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    faults: Vec<Fault>,
+}
+
+impl FaultReport {
+    pub(crate) fn new(mut faults: Vec<Fault>) -> Self {
+        faults.sort_by_key(|f| f.victim.index());
+        Self { faults }
+    }
+
+    /// Whether no victim was quarantined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of quarantined victims.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The faults, sorted by victim index.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Iterates the faults.
+    pub fn iter(&self) -> impl Iterator<Item = &Fault> {
+        self.faults.iter()
+    }
+}
+
+/// Sweep-level robustness counters: how much of the enumeration was
+/// curtailed by budgets or quarantined by faults.
+///
+/// All zeros means the sweep ran exactly as the unbudgeted, fault-free
+/// engine — the bit-identical fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Victims whose candidate generation a budget cut short mid-victim
+    /// (their I-lists hold the strongest survivors of what was generated).
+    pub truncated_victims: usize,
+    /// Victims served empty lists because the global budget or deadline
+    /// was already exhausted when they came up.
+    pub skipped_victims: usize,
+    /// Victims quarantined by faults (see
+    /// [`TopKResult::faults`]).
+    pub quarantined_victims: usize,
+}
+
+impl SweepStats {
+    /// Whether any counter is non-zero — the result is then a degraded
+    /// (but sound) lower bound, not the exact top-k answer.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.truncated_victims > 0 || self.skipped_victims > 0 || self.quarantined_victims > 0
+    }
+}
+
+/// Soundness classification of a [`TopKResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Soundness {
+    /// The full enumeration ran: the result is the engine's exact answer.
+    Exact,
+    /// Budgets or quarantines curtailed the enumeration. The reported set
+    /// is still *achievable* (its delay impact was really measured or
+    /// soundly predicted), so the result is a lower bound on the true
+    /// top-k impact — `lower_bound` records that direction explicitly.
+    Degraded {
+        /// Always true for this engine: truncation only ever drops
+        /// candidates, it never fabricates them, so the reported impact
+        /// can only under-, never over-state the optimum.
+        lower_bound: bool,
+    },
+}
+
 /// The outcome of one top-k addition- or elimination-set computation.
 #[derive(Debug, Clone)]
 pub struct TopKResult {
@@ -20,6 +177,8 @@ pub struct TopKResult {
     pub(crate) peak_list_width: usize,
     pub(crate) generated_candidates: usize,
     pub(crate) runtime: Duration,
+    pub(crate) faults: FaultReport,
+    pub(crate) stats: SweepStats,
 }
 
 impl TopKResult {
@@ -120,6 +279,37 @@ impl TopKResult {
     pub fn runtime(&self) -> Duration {
         self.runtime
     }
+
+    /// Victims quarantined by per-victim fault isolation (empty when the
+    /// sweep ran fault-free).
+    #[must_use]
+    pub fn faults(&self) -> &FaultReport {
+        &self.faults
+    }
+
+    /// Budget/quarantine counters of the sweep.
+    #[must_use]
+    pub fn sweep_stats(&self) -> &SweepStats {
+        &self.stats
+    }
+
+    /// Whether budgets or faults curtailed the enumeration. A degraded
+    /// result is still *sound*: the reported set is achievable and its
+    /// impact lower-bounds the true top-k impact.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.stats.is_degraded() || !self.faults.is_empty()
+    }
+
+    /// [`Soundness`] classification of this result.
+    #[must_use]
+    pub fn soundness(&self) -> Soundness {
+        if self.is_degraded() {
+            Soundness::Degraded { lower_bound: true }
+        } else {
+            Soundness::Exact
+        }
+    }
 }
 
 impl fmt::Display for TopKResult {
@@ -133,6 +323,16 @@ impl fmt::Display for TopKResult {
             self.delay_before,
             self.delay_after,
             self.runtime
-        )
+        )?;
+        if self.is_degraded() {
+            write!(
+                f,
+                " [degraded lower bound: {} truncated, {} skipped, {} quarantined]",
+                self.stats.truncated_victims,
+                self.stats.skipped_victims,
+                self.stats.quarantined_victims
+            )?;
+        }
+        Ok(())
     }
 }

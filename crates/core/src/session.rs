@@ -42,6 +42,7 @@ use dna_netlist::{CouplingId, NetId};
 use dna_noise::CouplingMask;
 
 use crate::engine::{NetLists, VictimCounters};
+use crate::result::{Fault, FaultReport};
 use crate::{Mode, TopKAnalysis, TopKError, TopKResult};
 
 /// A change to the coupling set of a running [`WhatIfSession`].
@@ -144,6 +145,13 @@ impl WhatIfOutcome {
     pub fn cached_victims(&self) -> usize {
         self.total_victims() - self.recomputed_victims
     }
+
+    /// Victims quarantined by per-victim fault isolation in this step
+    /// (including quarantines inherited from the cached clean victims).
+    #[must_use]
+    pub fn faults(&self) -> &FaultReport {
+        self.result.faults()
+    }
 }
 
 /// An incremental what-if re-analysis session over one
@@ -174,13 +182,16 @@ impl WhatIfOutcome {
 /// ```
 #[derive(Debug)]
 pub struct WhatIfSession<'a, 'c> {
-    analysis: &'a TopKAnalysis<'c>,
-    mode: Mode,
-    k: usize,
-    mask: CouplingMask,
-    lists: Vec<NetLists>,
-    counters: Vec<VictimCounters>,
-    result: TopKResult,
+    // Fields are crate-visible for the artifact codec (`persist`), which
+    // snapshots and restores the session's cached state.
+    pub(crate) analysis: &'a TopKAnalysis<'c>,
+    pub(crate) mode: Mode,
+    pub(crate) k: usize,
+    pub(crate) mask: CouplingMask,
+    pub(crate) lists: Vec<NetLists>,
+    pub(crate) counters: Vec<VictimCounters>,
+    pub(crate) faults: Vec<Fault>,
+    pub(crate) result: TopKResult,
 }
 
 impl<'a, 'c> WhatIfSession<'a, 'c> {
@@ -209,8 +220,8 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         k: usize,
         mask: CouplingMask,
     ) -> Result<Self, TopKError> {
-        let (result, lists, counters) = analysis.run_seeded(mode, k, &mask, None)?;
-        Ok(Self { analysis, mode, k, mask, lists, counters, result })
+        let (result, lists, counters, faults) = analysis.run_seeded(mode, k, &mask, None)?;
+        Ok(Self { analysis, mode, k, mask, lists, counters, faults, result })
     }
 
     /// The engine mode this session analyzes.
@@ -272,16 +283,17 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         let dirty = circuit.dirty_closure(&seeds);
         let recomputed_victims = dirty.iter().filter(|&&d| d).count();
 
-        let (result, lists, counters) = self.analysis.run_seeded(
+        let (result, lists, counters, faults) = self.analysis.run_seeded(
             self.mode,
             self.k,
             &new_mask,
-            Some((&self.lists, &self.counters, &dirty)),
+            Some((&self.lists, &self.counters, &self.faults, &dirty)),
         )?;
 
         self.mask = new_mask;
         self.lists = lists;
         self.counters = counters;
+        self.faults = faults;
         self.result = result.clone();
         if std::env::var_os("DNA_PROFILE").is_some() {
             eprintln!(

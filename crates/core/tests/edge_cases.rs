@@ -1,0 +1,138 @@
+//! Degenerate-input contracts: the engine must answer every well-formed
+//! circuit — however small, sparse, or starved of budget — with a typed
+//! result, never a panic, and must label exactness honestly.
+
+use std::time::Duration;
+
+use dna_netlist::{CellKind, Circuit, CircuitBuilder, Library};
+use dna_topk::{Mode, Soundness, TopKAnalysis, TopKConfig, TopKError, WhatIfSession};
+
+/// An inverter chain with **zero** couplings: nothing to aggress with.
+fn uncoupled_chain() -> Circuit {
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let a = b.input("a");
+    let n1 = b.gate(CellKind::Inv, "u1", &[a]).unwrap();
+    let n2 = b.gate(CellKind::Inv, "u2", &[n1]).unwrap();
+    b.output(n2);
+    b.build().unwrap()
+}
+
+/// A single primary input wired straight to the output: no gates, no
+/// couplings — the smallest circuit the builder accepts.
+fn wire_only() -> Circuit {
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let a = b.input("a");
+    b.output(a);
+    b.build().unwrap()
+}
+
+/// Two gates, three couplings — and nets with zero aggressors mixed in.
+fn tiny_coupled() -> Circuit {
+    let mut b = CircuitBuilder::new(Library::cmos013());
+    let a = b.input("a");
+    let x = b.input("x");
+    let n1 = b.gate(CellKind::Nand2, "u1", &[a, x]).unwrap();
+    let n2 = b.gate(CellKind::Inv, "u2", &[n1]).unwrap();
+    b.output(n2);
+    b.coupling(a, n1, 3.0).unwrap();
+    b.coupling(x, n2, 2.0).unwrap();
+    b.coupling(a, n2, 1.5).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn couplingless_circuit_answers_exactly_with_the_empty_set() {
+    for circuit in [uncoupled_chain(), wire_only()] {
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        for mode in [Mode::Addition, Mode::Elimination] {
+            let result = match mode {
+                Mode::Addition => engine.addition_set(3),
+                Mode::Elimination => engine.elimination_set(3),
+            }
+            .expect("a circuit with nothing to enumerate is not an error");
+            assert!(result.couplings().is_empty());
+            assert_eq!(result.soundness(), Soundness::Exact, "nothing was cut short");
+            assert!(result.faults().is_empty());
+            assert!(result.delay_after().is_finite());
+        }
+    }
+}
+
+#[test]
+fn zero_aggressor_victims_ride_along_silently() {
+    let circuit = tiny_coupled();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let result = engine.addition_set(2).expect("mixed circuit succeeds");
+    // The uncoupled nets contribute empty lists, not faults or
+    // degradation; the coupled ones still produce a real set.
+    assert!(result.faults().is_empty());
+    assert!(!result.is_degraded());
+    assert!(!result.couplings().is_empty());
+}
+
+#[test]
+fn k_beyond_the_coupling_count_saturates_exactly() {
+    let circuit = tiny_coupled();
+    assert_eq!(circuit.num_couplings(), 3);
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    for k in [4, 10, 1000] {
+        let add = engine.addition_set(k).expect("oversized k is not an error");
+        assert!(add.couplings().len() <= 3);
+        assert_eq!(add.soundness(), Soundness::Exact);
+        let del = engine.elimination_set(k).expect("oversized k is not an error");
+        assert!(del.couplings().len() <= 3);
+        assert!(del.delay_after() <= del.delay_before() + 1e-9);
+    }
+}
+
+#[test]
+fn zero_k_is_still_a_typed_error() {
+    let circuit = tiny_coupled();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    assert!(matches!(engine.addition_set(0), Err(TopKError::ZeroK)));
+    assert!(matches!(engine.elimination_set(0), Err(TopKError::ZeroK)));
+    assert!(matches!(engine.elimination_set_peeled(0, 1), Err(TopKError::ZeroK)));
+}
+
+#[test]
+fn expired_deadline_degrades_but_still_answers() {
+    let circuit = tiny_coupled();
+    let config = TopKConfig { deadline: Some(Duration::ZERO), ..TopKConfig::default() };
+    let engine = TopKAnalysis::new(&circuit, config);
+
+    let result = engine.elimination_set(2).expect("an expired deadline is not an error");
+    assert!(result.is_degraded());
+    assert_eq!(result.soundness(), Soundness::Degraded { lower_bound: true });
+    assert!(result.sweep_stats().skipped_victims > 0, "victims were skipped, and said so");
+    // Nothing was enumerated, so the honest answer is "no improvement":
+    // the noisy baseline delay, unchanged, with an empty set.
+    assert!(result.couplings().is_empty());
+    assert!(result.delay_after().is_finite());
+    assert!((result.delay_after() - result.delay_before()).abs() < 1e-9);
+}
+
+#[test]
+fn zero_per_victim_budget_keeps_the_elimination_seed() {
+    let circuit = tiny_coupled();
+    let config = TopKConfig { victim_candidate_budget: Some(0), ..TopKConfig::default() };
+    let engine = TopKAnalysis::new(&circuit, config);
+
+    let result = engine.elimination_set(2).expect("a starved sweep is not an error");
+    assert!(result.is_degraded());
+    assert!(result.sweep_stats().truncated_victims > 0);
+    // The budget caps *generated* candidates, but the per-victim baseline
+    // seed is exempt: the result stays anchored on the converged noisy
+    // analysis instead of collapsing to garbage.
+    assert!(result.delay_before().is_finite());
+    assert!(result.delay_after() <= result.delay_before() + 1e-9);
+}
+
+#[test]
+fn degenerate_circuits_support_sessions_and_artifacts() {
+    let circuit = uncoupled_chain();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let session = WhatIfSession::start(&engine, Mode::Elimination, 2).expect("session starts");
+    let artifact = session.save_artifact();
+    let resumed = WhatIfSession::resume(&engine, &artifact).expect("artifact loads");
+    assert_eq!(session.result().delay_after().to_bits(), resumed.result().delay_after().to_bits());
+}

@@ -1,0 +1,294 @@
+//! Fault-injection harness: the engine's resilience contract, attacked.
+//!
+//! Every test injects a specific fault — a panicking enumeration, a NaN
+//! delay noise, a bit-flipped or truncated session artifact, a zero
+//! budget — and asserts the engine's invariant response: a **typed
+//! error**, a **quarantined victim** in the fault report, or a
+//! **degraded-but-sound** result. Never a process panic, and never a
+//! silently wrong answer.
+//!
+//! The injection registry in `topk::faultsim` is process-global, so every
+//! test that arms it serializes on [`FAULT_LOCK`] and disarms on drop
+//! (including on assertion failure) via the [`Armed`] guard.
+
+use std::sync::{Mutex, MutexGuard};
+
+use topk_aggressors::netlist::{suite, Circuit, CouplingId, NetId};
+use topk_aggressors::topk::{
+    faultsim, FaultPhase, MaskDelta, Mode, Soundness, TopKAnalysis, TopKConfig, TopKError,
+    TopKResult, WhatIfSession,
+};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the registry lock with all faults disarmed on entry and exit.
+struct Armed(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        faultsim::disarm_all();
+    }
+}
+
+fn armed() -> Armed {
+    // A test that failed an assertion while holding the lock poisons it;
+    // the registry state is still safe to reset, so recover the guard.
+    let guard = FAULT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    faultsim::silence_injected_panics();
+    faultsim::disarm_all();
+    Armed(guard)
+}
+
+fn i1() -> Circuit {
+    suite::benchmark("i1", 7).expect("known benchmark")
+}
+
+/// Everything two runs must agree on to count as bit-identical.
+fn fingerprint(r: &TopKResult) -> (Vec<CouplingId>, NetId, u64, u64, u64, usize, usize) {
+    (
+        r.couplings().to_vec(),
+        r.sink(),
+        r.delay_before().to_bits(),
+        r.delay_after().to_bits(),
+        r.predicted_delay().to_bits(),
+        r.peak_list_width(),
+        r.generated_candidates(),
+    )
+}
+
+#[test]
+fn clean_run_is_exact_with_empty_fault_report() {
+    let _guard = armed();
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let result = engine.addition_set(3).expect("clean run succeeds");
+    assert!(result.faults().is_empty());
+    assert!(!result.is_degraded());
+    assert_eq!(result.soundness(), Soundness::Exact);
+    let s = result.sweep_stats();
+    assert_eq!((s.truncated_victims, s.skipped_victims, s.quarantined_victims), (0, 0, 0));
+}
+
+#[test]
+fn panicking_victim_is_quarantined_not_fatal() {
+    let _guard = armed();
+    let circuit = i1();
+    let victim = 5;
+    assert!(victim < circuit.num_nets());
+    faultsim::arm_panic_at_victim(victim);
+
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let result = engine.elimination_set(2).expect("the panic must not escape");
+
+    assert_eq!(result.faults().len(), 1, "exactly the armed victim is quarantined");
+    let fault = &result.faults().faults()[0];
+    assert_eq!(fault.victim().index(), victim);
+    assert_eq!(fault.phase(), FaultPhase::Enumeration);
+    assert!(fault.cause().contains("dna-faultsim"), "cause carries the payload: {}", fault.cause());
+    assert!(result.is_degraded());
+    assert_eq!(result.soundness(), Soundness::Degraded { lower_bound: true });
+    assert_eq!(result.sweep_stats().quarantined_victims, 1);
+    // The answer that survives is still a valid, finite elimination set.
+    assert!(result.delay_after().is_finite());
+    assert!(result.delay_after() <= result.delay_before() + 1e-9);
+}
+
+#[test]
+fn quarantine_is_bit_identical_across_thread_counts() {
+    let _guard = armed();
+    let circuit = i1();
+    faultsim::arm_panic_at_victim(5);
+
+    let run = |threads: usize| {
+        let config = TopKConfig { threads, ..TopKConfig::default() };
+        TopKAnalysis::new(&circuit, config).elimination_set(2).expect("quarantined, not fatal")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    assert_eq!(serial.faults().len(), parallel.faults().len());
+    for (a, b) in serial.faults().iter().zip(parallel.faults().iter()) {
+        assert_eq!((a.victim(), a.phase(), a.cause()), (b.victim(), b.phase(), b.cause()));
+    }
+}
+
+#[test]
+fn nan_delay_noise_becomes_a_typed_quarantine() {
+    let _guard = armed();
+    let circuit = i1();
+    let victim = 9;
+    assert!(victim < circuit.num_nets());
+    faultsim::arm_nan_at_victim(victim);
+
+    // Elimination seeds every victim with its baseline envelope, so the
+    // corrupted delay noise is guaranteed to reach candidate validation.
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let result = engine.elimination_set(2).expect("NaN is caught, not propagated");
+
+    assert_eq!(result.faults().len(), 1);
+    let fault = &result.faults().faults()[0];
+    assert_eq!(fault.victim().index(), victim);
+    assert_eq!(fault.phase(), FaultPhase::Enumeration);
+    assert!(fault.cause().contains("delay noise"), "typed cause: {}", fault.cause());
+    assert!(result.is_degraded());
+    assert!(result.delay_after().is_finite(), "NaN never reaches the reported result");
+}
+
+#[test]
+fn prepare_panic_is_a_typed_error_not_a_crash() {
+    let _guard = armed();
+    let circuit = i1();
+    faultsim::arm_panic_in_prepare();
+
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let err = engine.addition_set(2).expect_err("preparation cannot be isolated per victim");
+    match err {
+        TopKError::EnginePanic { phase, cause } => {
+            assert_eq!(phase, FaultPhase::Prepare);
+            assert!(cause.contains("dna-faultsim"), "cause carries the payload: {cause}");
+        }
+        other => panic!("expected EnginePanic, got: {other}"),
+    }
+}
+
+#[test]
+fn zero_budgets_degrade_soundly_in_both_modes() {
+    let _guard = armed();
+    let circuit = i1();
+    let config = TopKConfig { global_candidate_budget: Some(0), ..TopKConfig::default() };
+    let engine = TopKAnalysis::new(&circuit, config);
+
+    // Addition under a zero budget: no candidates can be generated, so
+    // the honest answer is the empty set at the base delay — degraded.
+    let add = engine.addition_set(2).expect("a starved run is degraded, not an error");
+    assert!(add.is_degraded());
+    assert!(add.delay_after().is_finite());
+
+    // Elimination keeps its per-victim baseline seed even at allowance
+    // zero, so the result is still anchored on the full noisy analysis.
+    let del = engine.elimination_set(2).expect("a starved run is degraded, not an error");
+    assert!(del.is_degraded());
+    assert!(del.delay_before().is_finite());
+    assert!(del.delay_after() <= del.delay_before() + 1e-9);
+}
+
+#[test]
+fn artifact_round_trip_preserves_results_and_faults() {
+    let _guard = armed();
+    let circuit = i1();
+    faultsim::arm_panic_at_victim(5);
+
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let session = WhatIfSession::start(&engine, Mode::Elimination, 2).expect("session starts");
+    assert_eq!(session.result().faults().len(), 1, "the session carries a quarantine");
+    faultsim::disarm_all();
+
+    let artifact = session.save_artifact();
+    let resumed = WhatIfSession::resume(&engine, &artifact).expect("clean artifact loads");
+    assert_eq!(fingerprint(session.result()), fingerprint(resumed.result()));
+    assert_eq!(session.result().faults().len(), resumed.result().faults().len());
+    for (a, b) in session.result().faults().iter().zip(resumed.result().faults().iter()) {
+        assert_eq!((a.victim(), a.phase(), a.cause()), (b.victim(), b.phase(), b.cause()));
+    }
+}
+
+#[test]
+fn loaded_session_applies_bit_identically_to_a_live_one() {
+    let _guard = armed();
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+
+    let mut live = WhatIfSession::start(&engine, Mode::Elimination, 2).expect("session starts");
+    let artifact = live.save_artifact();
+    let mut loaded = WhatIfSession::resume(&engine, &artifact).expect("clean artifact loads");
+
+    let fix: Vec<CouplingId> = live.result().couplings().to_vec();
+    let delta = MaskDelta::remove(&fix);
+    let from_live = live.apply(&delta).expect("live apply");
+    let from_loaded = loaded.apply(&delta).expect("loaded apply");
+    assert_eq!(fingerprint(from_live.result()), fingerprint(from_loaded.result()));
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let _guard = armed();
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let session = WhatIfSession::start(&engine, Mode::Addition, 2).expect("session starts");
+    let artifact = session.save_artifact();
+
+    // The whole header, then a stride through the payload: every flip
+    // must surface as a typed artifact error — magic, version, length,
+    // checksum, or semantic validation — and never a panic or an Ok.
+    let offsets = (0..24.min(artifact.len())).chain((24..artifact.len()).step_by(97));
+    for offset in offsets {
+        let mut corrupt = artifact.clone();
+        corrupt[offset] ^= 0x20;
+        let err = WhatIfSession::resume(&engine, &corrupt)
+            .err()
+            .unwrap_or_else(|| panic!("flip at byte {offset} went undetected"));
+        assert!(matches!(err, TopKError::Artifact(_)), "byte {offset}: {err}");
+    }
+}
+
+#[test]
+fn truncated_artifacts_are_detected_at_every_length_class() {
+    let _guard = armed();
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let session = WhatIfSession::start(&engine, Mode::Addition, 2).expect("session starts");
+    let artifact = session.save_artifact();
+
+    for len in [0, 1, 7, 8, 12, 20, 23, 24, artifact.len() / 2, artifact.len() - 1] {
+        let err = WhatIfSession::resume(&engine, &artifact[..len])
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes went undetected"));
+        assert!(matches!(err, TopKError::Artifact(_)), "len {len}: {err}");
+    }
+    assert!(WhatIfSession::resume(&engine, &artifact).is_ok(), "untouched artifact still loads");
+}
+
+#[test]
+fn artifact_for_a_different_circuit_or_config_is_rejected() {
+    let _guard = armed();
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let session = WhatIfSession::start(&engine, Mode::Addition, 2).expect("session starts");
+    let artifact = session.save_artifact();
+
+    // Same schema, different world: a re-seeded circuit of the same size
+    // family and a differently configured engine must both refuse.
+    let other_circuit = suite::benchmark("i1", 8).expect("known benchmark");
+    let other_engine = TopKAnalysis::new(&other_circuit, TopKConfig::default());
+    let err = WhatIfSession::resume(&other_engine, &artifact).expect_err("different circuit");
+    assert!(err.to_string().contains("different circuit"), "{err}");
+
+    let strict = TopKConfig { validate: false, ..TopKConfig::default() };
+    let strict_engine = TopKAnalysis::new(&circuit, strict);
+    let err = WhatIfSession::resume(&strict_engine, &artifact).expect_err("different config");
+    assert!(err.to_string().contains("different engine configuration"), "{err}");
+
+    // The thread count is explicitly exempt: it never changes results.
+    let threaded = TopKConfig { threads: 4, ..TopKConfig::default() };
+    let threaded_engine = TopKAnalysis::new(&circuit, threaded);
+    assert!(WhatIfSession::resume(&threaded_engine, &artifact).is_ok());
+}
+
+#[test]
+fn whatif_apply_recovers_after_a_quarantined_start() {
+    let _guard = armed();
+    let circuit = i1();
+    faultsim::arm_panic_at_victim(5);
+
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let mut session = WhatIfSession::start(&engine, Mode::Elimination, 2).expect("session starts");
+    assert_eq!(session.result().faults().len(), 1);
+    faultsim::disarm_all();
+
+    // With the fault gone, applying a delta re-sweeps the dirty cone
+    // healthy; the engine never panics and the outcome stays finite.
+    let fix: Vec<CouplingId> = session.result().couplings().to_vec();
+    let outcome = session.apply(&MaskDelta::remove(&fix)).expect("apply succeeds");
+    assert!(outcome.result().delay_after().is_finite());
+}
