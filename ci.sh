@@ -25,6 +25,15 @@ cargo run -q -p dna-cli --offline -- generate --gates 40 --couplings 30 --seed 9
 cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --audit >/dev/null
 cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --mode add --k 3 --audit >/dev/null
 
+echo "== batch whatif smoke (shared sweep identity + order independence)"
+smoke_batch="$(mktemp -t whatif_smoke.XXXXXX.batch)"
+trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_batch"' EXIT
+printf -- '-0\n-1\n-0 -2\n' > "$smoke_batch"
+out="$(cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --batch "$smoke_batch" --audit)"
+echo "$out" | grep -q "audit: all 3 scenario(s) == from-scratch" \
+  || { echo "batch smoke failed its audit"; exit 1; }
+cargo run -q -p dna-cli --offline -- topk "$smoke_ckt" --mode elim --k 4 --peel --audit >/dev/null
+
 echo "== fault-injection smoke (typed errors / quarantine / degradation, no panics)"
 cargo test --offline -q --test fault_injection >/dev/null
 

@@ -1,8 +1,8 @@
 //! The tracked serial-vs-parallel scaling benchmark.
 //!
-//! Writes `BENCH_topk.json` (schema `dna-bench-topk/v1`) and prints the
-//! timing table. `dna bench --json` is the CLI front end for the same
-//! harness.
+//! Writes `BENCH_topk.json` (schema `dna_bench::topk_bench::SCHEMA`) and
+//! prints the timing table. `dna bench --json` is the CLI front end for
+//! the same harness.
 //!
 //! ```text
 //! cargo run --release -p dna-bench --bin bench_topk -- \
@@ -70,6 +70,14 @@ fn main() {
     eprintln!("wrote {out_path} (host_threads = {})", report.host_threads);
     if report.entries.iter().any(|e| !e.identical_to_serial) {
         eprintln!("ERROR: a parallel run diverged from its serial reference");
+        std::process::exit(1);
+    }
+    if report.batch.iter().any(|e| !e.identical_to_sequential) {
+        eprintln!("ERROR: a batch scenario diverged from its sequential reference");
+        std::process::exit(1);
+    }
+    if report.peeled.iter().any(|e| !e.identical_to_scratch) {
+        eprintln!("ERROR: an incremental peel diverged from its from-scratch reference");
         std::process::exit(1);
     }
 }

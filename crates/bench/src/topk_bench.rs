@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use dna_netlist::{suite, CouplingId, NetId};
-use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfSession};
+use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfBatch, WhatIfSession};
 
 use crate::{Table, DEFAULT_SEED};
 
@@ -26,7 +26,12 @@ use crate::{Table, DEFAULT_SEED};
 /// clock and size, the cold-load-vs-from-scratch speedup, and a gate that
 /// a session resumed from an artifact still answers bit-identically to a
 /// from-scratch reference.
-pub const SCHEMA: &str = "dna-bench-topk/v3";
+///
+/// `v4` added the `batch` section (one `apply_batch` over N scenarios vs
+/// N sequential `fork().apply` calls, gated on bit-identity) and the
+/// `peeled` section (the incremental peel loop vs the from-scratch
+/// reference, gated on bit-identity).
+pub const SCHEMA: &str = "dna-bench-topk/v4";
 
 /// What to measure.
 #[derive(Debug, Clone)]
@@ -130,6 +135,59 @@ pub struct PersistEntry {
     pub identical_to_full: bool,
 }
 
+/// One measured batch what-if run: N scenarios evaluated through a single
+/// [`dna_topk::WhatIfSession::apply_batch`] sweep, against the same N
+/// scenarios run as sequential `fork().apply` calls.
+#[derive(Debug, Clone)]
+pub struct BatchEntry {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Engine mode (`"addition"` / `"elimination"`).
+    pub mode: String,
+    /// Scenarios submitted to the batch.
+    pub scenarios: usize,
+    /// Distinct scenarios after flip-set dedup.
+    pub distinct_scenarios: usize,
+    /// Fastest wall-clock time of the single `apply_batch` call, ms.
+    pub batch_ms: f64,
+    /// Fastest wall-clock time of the N sequential `fork().apply` calls
+    /// answering the same scenarios, ms.
+    pub sequential_ms: f64,
+    /// Mask-aware dirty victims across all distinct scenarios.
+    pub dirty_victims: usize,
+    /// What a mask-oblivious closure would have re-swept instead.
+    pub unmasked_dirty_victims: usize,
+    /// Closure frames actually built by the shared prefix trie.
+    pub closure_frames_built: usize,
+    /// Closure frames reused from a shared prefix instead of rebuilt.
+    pub closure_frames_shared: usize,
+    /// Whether every batch scenario is bit-identical to its sequential
+    /// `fork().apply` twin.
+    pub identical_to_sequential: bool,
+}
+
+/// One measured peeled-elimination run: the incremental peel loop (rounds
+/// after the first re-sweep only the peeled cones through the session
+/// cache) against the from-scratch reference that re-sweeps every round.
+#[derive(Debug, Clone)]
+pub struct PeelEntry {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Total set size requested across all rounds.
+    pub k: usize,
+    /// Couplings peeled per round.
+    pub step: usize,
+    /// Rounds the loop ran (`ceil(k / step)`).
+    pub rounds: usize,
+    /// Fastest wall-clock time of the from-scratch peel loop, ms.
+    pub scratch_ms: f64,
+    /// Fastest wall-clock time of the incremental peel loop, ms.
+    pub session_ms: f64,
+    /// Whether the incremental loop's result is bit-identical to the
+    /// from-scratch reference.
+    pub identical_to_scratch: bool,
+}
+
 /// A full benchmark run, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -150,6 +208,10 @@ pub struct BenchReport {
     pub whatif: Vec<WhatIfEntry>,
     /// One entry per circuit × mode: the artifact save/load cycle.
     pub session_persistence: Vec<PersistEntry>,
+    /// One entry per circuit × mode: batch vs sequential what-if.
+    pub batch: Vec<BatchEntry>,
+    /// One entry per circuit: incremental vs from-scratch peel loop.
+    pub peeled: Vec<PeelEntry>,
 }
 
 /// Everything that must agree between a serial and a parallel run.
@@ -204,11 +266,15 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
     let mut entries = Vec::new();
     let mut whatif = Vec::new();
     let mut session_persistence = Vec::new();
+    let mut batch = Vec::new();
+    let mut peeled = Vec::new();
     for name in &spec.circuits {
         let circuit = suite::benchmark(name, spec.seed).map_err(|e| e.to_string())?;
+        peeled.push(bench_peeled(&circuit, name, spec)?);
         for &mode in &spec.modes {
             whatif.push(bench_whatif(&circuit, name, mode, spec)?);
             session_persistence.push(bench_persist(&circuit, name, mode, spec)?);
+            batch.push(bench_batch(&circuit, name, mode, spec)?);
             let mut serial: Option<Fingerprint> = None;
             for threads in thread_configs() {
                 let config = TopKConfig { threads, validate: false, ..TopKConfig::default() };
@@ -259,6 +325,111 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
         entries,
         whatif,
         session_persistence,
+        batch,
+        peeled,
+    })
+}
+
+/// Measures one batch what-if run: start a session, submit the fix-triage
+/// scenario menu (single removal of each of the worst set's first three
+/// couplings, the whole set at once, and a duplicate of the whole set —
+/// concurrent triage traffic repeats queries, and flip-set dedup is part
+/// of what the batch engine amortizes) as one batch, then answer the
+/// same scenarios with sequential `fork().apply` calls and cross-check
+/// every pair for bit-identity.
+fn bench_batch(
+    circuit: &dna_netlist::Circuit,
+    name: &str,
+    mode: Mode,
+    spec: &BenchSpec,
+) -> Result<BatchEntry, String> {
+    let config = TopKConfig { validate: false, ..TopKConfig::default() };
+    let engine = TopKAnalysis::new(circuit, config);
+    let mut batch_ms = f64::INFINITY;
+    let mut sequential_ms = f64::INFINITY;
+    let mut measured = None;
+    for _ in 0..spec.samples.max(1) {
+        let session = WhatIfSession::start(&engine, mode, spec.k).map_err(|e| e.to_string())?;
+        let fix: Vec<CouplingId> = session.result().couplings().to_vec();
+        let mut scenarios = WhatIfBatch::new();
+        for &c in fix.iter().take(3) {
+            scenarios.push(MaskDelta::remove(&[c]));
+        }
+        scenarios.push(MaskDelta::remove(&fix));
+        scenarios.push(MaskDelta::remove(&fix));
+
+        let start = Instant::now();
+        let out = session.apply_batch(&scenarios).map_err(|e| e.to_string())?;
+        batch_ms = batch_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let sequential: Vec<_> = scenarios
+            .deltas()
+            .iter()
+            .map(|delta| session.fork().apply(delta))
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        sequential_ms = sequential_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let identical = out
+            .scenarios()
+            .iter()
+            .zip(&sequential)
+            .all(|(b, s)| fingerprint(b.result()) == fingerprint(s.result()));
+        measured = Some((scenarios.len(), out.stats(), identical));
+    }
+    let (submitted, stats, identical_to_sequential) = measured.expect("samples >= 1");
+    Ok(BatchEntry {
+        circuit: name.to_owned(),
+        mode: mode.name().to_owned(),
+        scenarios: submitted,
+        distinct_scenarios: stats.distinct_scenarios(),
+        batch_ms,
+        sequential_ms,
+        dirty_victims: stats.dirty_victims(),
+        unmasked_dirty_victims: stats.unmasked_dirty_victims(),
+        closure_frames_built: stats.closure_frames_built(),
+        closure_frames_shared: stats.closure_frames_shared(),
+        identical_to_sequential,
+    })
+}
+
+/// Measures one peeled-elimination run (elimination only — peeling is an
+/// elimination-mode loop): the incremental session-cached peel against
+/// the from-scratch reference, bit-compared. `k` is floored at 4 and the
+/// step set to `k / 2` so the loop always runs at least two rounds — the
+/// second round is where the incremental path starts paying off.
+fn bench_peeled(
+    circuit: &dna_netlist::Circuit,
+    name: &str,
+    spec: &BenchSpec,
+) -> Result<PeelEntry, String> {
+    let k = spec.k.max(4);
+    let step = (k / 2).max(1);
+    let config = TopKConfig { validate: false, ..TopKConfig::default() };
+    let engine = TopKAnalysis::new(circuit, config);
+    let mut scratch_ms = f64::INFINITY;
+    let mut session_ms = f64::INFINITY;
+    let mut identical = None;
+    for _ in 0..spec.samples.max(1) {
+        let start = Instant::now();
+        let inc = engine.elimination_set_peeled(k, step).map_err(|e| e.to_string())?;
+        session_ms = session_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let scr = engine.elimination_set_peeled_scratch(k, step).map_err(|e| e.to_string())?;
+        scratch_ms = scratch_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        identical = Some(fingerprint(&inc) == fingerprint(&scr));
+    }
+    Ok(PeelEntry {
+        circuit: name.to_owned(),
+        k,
+        step,
+        rounds: k.div_ceil(step),
+        scratch_ms,
+        session_ms,
+        identical_to_scratch: identical.expect("samples >= 1"),
     })
 }
 
@@ -411,6 +582,45 @@ impl BenchReport {
                 "    }\n"
             });
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"batch\": [\n");
+        for (i, e) in self.batch.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"circuit\": {},\n", json_string(&e.circuit)));
+            out.push_str(&format!("      \"mode\": {},\n", json_string(&e.mode)));
+            out.push_str(&format!("      \"scenarios\": {},\n", e.scenarios));
+            out.push_str(&format!("      \"distinct_scenarios\": {},\n", e.distinct_scenarios));
+            out.push_str(&format!("      \"batch_ms\": {:.3},\n", e.batch_ms));
+            out.push_str(&format!("      \"sequential_ms\": {:.3},\n", e.sequential_ms));
+            out.push_str(&format!("      \"dirty_victims\": {},\n", e.dirty_victims));
+            out.push_str(&format!(
+                "      \"unmasked_dirty_victims\": {},\n",
+                e.unmasked_dirty_victims
+            ));
+            out.push_str(&format!("      \"closure_frames_built\": {},\n", e.closure_frames_built));
+            out.push_str(&format!(
+                "      \"closure_frames_shared\": {},\n",
+                e.closure_frames_shared
+            ));
+            out.push_str(&format!(
+                "      \"identical_to_sequential\": {}\n",
+                e.identical_to_sequential
+            ));
+            out.push_str(if i + 1 < self.batch.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"peeled\": [\n");
+        for (i, e) in self.peeled.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"circuit\": {},\n", json_string(&e.circuit)));
+            out.push_str(&format!("      \"k\": {},\n", e.k));
+            out.push_str(&format!("      \"step\": {},\n", e.step));
+            out.push_str(&format!("      \"rounds\": {},\n", e.rounds));
+            out.push_str(&format!("      \"scratch_ms\": {:.3},\n", e.scratch_ms));
+            out.push_str(&format!("      \"session_ms\": {:.3},\n", e.session_ms));
+            out.push_str(&format!("      \"identical_to_scratch\": {}\n", e.identical_to_scratch));
+            out.push_str(if i + 1 < self.peeled.len() { "    },\n" } else { "    }\n" });
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -500,6 +710,62 @@ impl BenchReport {
                 ]);
             }
             out.push_str("\nsession persistence (artifact save/load vs from-scratch build):\n");
+            out.push_str(&ptable.render());
+        }
+        if !self.batch.is_empty() {
+            let mut btable = Table::new(&[
+                "circuit",
+                "mode",
+                "scenarios",
+                "batch ms",
+                "seq ms",
+                "speedup",
+                "dirty",
+                "unmasked",
+                "frames",
+                "identical",
+            ]);
+            for e in &self.batch {
+                btable.row(vec![
+                    e.circuit.clone(),
+                    e.mode.clone(),
+                    format!("{} ({})", e.scenarios, e.distinct_scenarios),
+                    format!("{:.1}", e.batch_ms),
+                    format!("{:.1}", e.sequential_ms),
+                    format!("{:.2}x", e.sequential_ms / e.batch_ms.max(1e-9)),
+                    e.dirty_victims.to_string(),
+                    e.unmasked_dirty_victims.to_string(),
+                    format!("{}+{}", e.closure_frames_built, e.closure_frames_shared),
+                    if e.identical_to_sequential { "yes" } else { "NO" }.to_owned(),
+                ]);
+            }
+            out.push_str("\nbatch what-if (one shared sweep vs N sequential applies):\n");
+            out.push_str(&btable.render());
+        }
+        if !self.peeled.is_empty() {
+            let mut ptable = Table::new(&[
+                "circuit",
+                "k",
+                "step",
+                "rounds",
+                "scratch ms",
+                "session ms",
+                "speedup",
+                "identical",
+            ]);
+            for e in &self.peeled {
+                ptable.row(vec![
+                    e.circuit.clone(),
+                    e.k.to_string(),
+                    e.step.to_string(),
+                    e.rounds.to_string(),
+                    format!("{:.1}", e.scratch_ms),
+                    format!("{:.1}", e.session_ms),
+                    format!("{:.2}x", e.scratch_ms / e.session_ms.max(1e-9)),
+                    if e.identical_to_scratch { "yes" } else { "NO" }.to_owned(),
+                ]);
+            }
+            out.push_str("\npeeled elimination (incremental rounds vs from-scratch):\n");
             out.push_str(&ptable.render());
         }
         out
@@ -727,11 +993,14 @@ fn parse(text: &str) -> Result<Json, String> {
 }
 
 /// Audits a serialized report: well-formed JSON, the [`SCHEMA`] marker,
-/// every required field, non-empty `entries` and `whatif` lists — and,
-/// semantically, that every entry reported results identical to its
-/// serial reference and every what-if loop identical to its from-scratch
-/// reference (the CI gates for the level-parallel sweep and the
-/// incremental session path).
+/// every required field, non-empty `entries`, `whatif`,
+/// `session_persistence`, `batch`, and `peeled` lists — and, semantically,
+/// that every entry reported results identical to its serial reference,
+/// every what-if loop and resumed session identical to its from-scratch
+/// reference, every batch scenario identical to its sequential twin, and
+/// every incremental peel identical to the from-scratch peel (the CI
+/// gates for the level-parallel sweep, the incremental session path, and
+/// the batch engine).
 ///
 /// # Errors
 ///
@@ -825,6 +1094,65 @@ pub fn validate_json(text: &str) -> Result<(), String> {
             _ => return Err(format!("persistence entry {i}: missing `identical_to_full`")),
         }
     }
+    let batch = match report.get("batch") {
+        Some(Json::Arr(b)) if !b.is_empty() => b,
+        Some(Json::Arr(_)) => return Err("`batch` is empty".into()),
+        _ => return Err("missing `batch` array (required by v4)".into()),
+    };
+    for (i, entry) in batch.iter().enumerate() {
+        for field in [
+            "scenarios",
+            "distinct_scenarios",
+            "batch_ms",
+            "sequential_ms",
+            "dirty_victims",
+            "unmasked_dirty_victims",
+            "closure_frames_built",
+            "closure_frames_shared",
+        ] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("batch entry {i}: missing or non-numeric `{field}`"));
+            }
+        }
+        for field in ["circuit", "mode"] {
+            if !matches!(entry.get(field), Some(Json::Str(_))) {
+                return Err(format!("batch entry {i}: missing `{field}`"));
+            }
+        }
+        match entry.get("identical_to_sequential") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!(
+                    "batch entry {i}: batch result differs from its sequential reference"
+                ))
+            }
+            _ => return Err(format!("batch entry {i}: missing `identical_to_sequential`")),
+        }
+    }
+    let peeled = match report.get("peeled") {
+        Some(Json::Arr(p)) if !p.is_empty() => p,
+        Some(Json::Arr(_)) => return Err("`peeled` is empty".into()),
+        _ => return Err("missing `peeled` array (required by v4)".into()),
+    };
+    for (i, entry) in peeled.iter().enumerate() {
+        for field in ["k", "step", "rounds", "scratch_ms", "session_ms"] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("peeled entry {i}: missing or non-numeric `{field}`"));
+            }
+        }
+        if !matches!(entry.get("circuit"), Some(Json::Str(_))) {
+            return Err(format!("peeled entry {i}: missing `circuit`"));
+        }
+        match entry.get("identical_to_scratch") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!(
+                    "peeled entry {i}: incremental peel differs from the from-scratch reference"
+                ))
+            }
+            _ => return Err(format!("peeled entry {i}: missing `identical_to_scratch`")),
+        }
+    }
     Ok(())
 }
 
@@ -860,6 +1188,17 @@ mod tests {
             .session_persistence
             .iter()
             .all(|e| e.save_ms.is_finite() && e.load_ms.is_finite()));
+        // One batch run per circuit x mode: every scenario bit-identical
+        // to its sequential twin, the mask-aware closure never larger
+        // than the oblivious one, and dedup never inflating the count.
+        assert_eq!(report.batch.len(), 1);
+        assert!(report.batch.iter().all(|e| e.identical_to_sequential));
+        // The menu carries a duplicate scenario, so dedup must fire.
+        assert!(report.batch.iter().all(|e| e.distinct_scenarios < e.scenarios));
+        assert!(report.batch.iter().all(|e| e.dirty_victims <= e.unmasked_dirty_victims));
+        // One peel loop per circuit, at least two rounds, bit-identical.
+        assert_eq!(report.peeled.len(), 1);
+        assert!(report.peeled.iter().all(|e| e.identical_to_scratch && e.rounds >= 2));
         let json = report.to_json();
         validate_json(&json).expect("self-produced report validates");
         let table = report.render_table();
@@ -867,7 +1206,48 @@ mod tests {
         assert!(table.contains("yes"));
         assert!(table.contains("what-if fix loop"));
         assert!(table.contains("session persistence"));
+        assert!(table.contains("batch what-if"));
+        assert!(table.contains("peeled elimination"));
     }
+
+    /// A structurally complete, semantically passing v4 report — the
+    /// baseline every rejection case below is a one-flag mutation of.
+    const GOOD_REPORT: &str = r#"{
+      "schema": "dna-bench-topk/v4",
+      "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
+      "entries": [{
+        "circuit": "i1", "mode": "addition", "threads": 0,
+        "effective_threads": 8, "wall_ms": 1.0,
+        "delay_before_ps": 1.0, "delay_after_ps": 2.0,
+        "generated": 3, "peak_list_width": 2,
+        "identical_to_serial": true
+      }],
+      "whatif": [{
+        "circuit": "i1", "mode": "addition",
+        "full_ms": 2.0, "incremental_ms": 1.0,
+        "recomputed_victims": 3, "total_victims": 9,
+        "identical_to_full": true
+      }],
+      "session_persistence": [{
+        "circuit": "i1", "mode": "addition",
+        "save_ms": 0.1, "load_ms": 0.2, "artifact_bytes": 4096,
+        "from_scratch_ms": 2.0,
+        "identical_to_full": true
+      }],
+      "batch": [{
+        "circuit": "i1", "mode": "addition",
+        "scenarios": 4, "distinct_scenarios": 4,
+        "batch_ms": 1.0, "sequential_ms": 3.0,
+        "dirty_victims": 5, "unmasked_dirty_victims": 7,
+        "closure_frames_built": 4, "closure_frames_shared": 2,
+        "identical_to_sequential": true
+      }],
+      "peeled": [{
+        "circuit": "i1", "k": 10, "step": 5, "rounds": 2,
+        "scratch_ms": 4.0, "session_ms": 2.0,
+        "identical_to_scratch": true
+      }]
+    }"#;
 
     #[test]
     fn validator_rejects_malformed_reports() {
@@ -875,74 +1255,49 @@ mod tests {
         assert!(validate_json("{").is_err());
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema": "other/v9"}"#).is_err());
-        // Older schemas (no `whatif` / no `session_persistence` section)
-        // are no longer accepted.
-        assert!(validate_json(r#"{"schema": "dna-bench-topk/v1"}"#).is_err());
-        assert!(validate_json(r#"{"schema": "dna-bench-topk/v2"}"#).is_err());
-        // Structurally fine but semantically failing: a parallel run that
-        // did not match its serial reference must be flagged.
-        let bad = r#"{
-          "schema": "dna-bench-topk/v3",
-          "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
-          "entries": [{
-            "circuit": "i1", "mode": "addition", "threads": 0,
-            "effective_threads": 8, "wall_ms": 1.0,
-            "delay_before_ps": 1.0, "delay_after_ps": 2.0,
-            "generated": 3, "peak_list_width": 2,
-            "identical_to_serial": false
-          }],
-          "whatif": [{
-            "circuit": "i1", "mode": "addition",
-            "full_ms": 2.0, "incremental_ms": 1.0,
-            "recomputed_victims": 3, "total_victims": 9,
-            "identical_to_full": true
-          }],
-          "session_persistence": [{
-            "circuit": "i1", "mode": "addition",
-            "save_ms": 0.1, "load_ms": 0.2, "artifact_bytes": 4096,
-            "from_scratch_ms": 2.0,
-            "identical_to_full": true
-          }]
-        }"#;
-        let err = validate_json(bad).unwrap_err();
-        assert!(err.contains("differs from the serial reference"), "{err}");
-        // Likewise an incremental run that diverged from from-scratch.
-        let fixed_serial =
-            bad.replace("\"identical_to_serial\": false", "\"identical_to_serial\": true");
+        // Older schemas (missing the sections added since) are rejected.
+        for old in ["v1", "v2", "v3"] {
+            assert!(validate_json(&format!(r#"{{"schema": "dna-bench-topk/{old}"}}"#)).is_err());
+        }
+        validate_json(GOOD_REPORT).expect("the baseline report validates");
+
+        // Structurally fine but semantically failing: each identity gate,
+        // flipped to false in turn, must be flagged with its own message.
+        let cases = [
+            ("\"identical_to_serial\": true", "differs from the serial reference"),
+            ("\"identical_to_sequential\": true", "differs from its sequential reference"),
+            ("\"identical_to_scratch\": true", "differs from the from-scratch reference"),
+        ];
+        for (flag, expected) in cases {
+            let broken = GOOD_REPORT.replace(flag, &flag.replace("true", "false"));
+            let err = validate_json(&broken).unwrap_err();
+            assert!(err.contains(expected), "flipping {flag}: {err}");
+        }
+        // The two `identical_to_full` gates share a flag name; flip the
+        // whatif one (first occurrence), then the persistence one (both).
         let bad_whatif =
-            fixed_serial.replacen("\"identical_to_full\": true", "\"identical_to_full\": false", 1);
+            GOOD_REPORT.replacen("\"identical_to_full\": true", "\"identical_to_full\": false", 1);
         let err = validate_json(&bad_whatif).unwrap_err();
         assert!(err.contains("differs from the from-scratch reference"), "{err}");
-        // And a loaded session that diverged after resume.
-        let bad_persist = {
-            let pos = fixed_serial.rfind("\"identical_to_full\": true").unwrap();
-            let mut s = fixed_serial.clone();
-            s.replace_range(pos.., &fixed_serial[pos..].replacen("true", "false", 1));
-            s
-        };
+        let bad_persist =
+            GOOD_REPORT.replace("\"identical_to_full\": true", "\"identical_to_full\": false");
         let err = validate_json(&bad_persist).unwrap_err();
-        assert!(err.contains("loaded-session result differs"), "{err}");
-        // A missing whatif section is a violation of its own...
-        let bad = r#"{
-          "schema": "dna-bench-topk/v3",
-          "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
-          "entries": [{
-            "circuit": "i1", "mode": "addition", "threads": 1,
-            "effective_threads": 1, "wall_ms": 1.0,
-            "delay_before_ps": 1.0, "delay_after_ps": 2.0,
-            "generated": 3, "peak_list_width": 2,
-            "identical_to_serial": true
-          }]
-        }"#;
-        let err = validate_json(bad).unwrap_err();
-        assert!(err.contains("whatif"), "{err}");
-        // ...and so is a missing session_persistence section (v3).
-        let bad = bad.replace(
-            "\"identical_to_serial\": true\n          }]",
-            "\"identical_to_serial\": true\n          }],\n          \"whatif\": [{\n            \"circuit\": \"i1\", \"mode\": \"addition\",\n            \"full_ms\": 2.0, \"incremental_ms\": 1.0,\n            \"recomputed_victims\": 3, \"total_victims\": 9,\n            \"identical_to_full\": true\n          }]",
+        assert!(
+            err.contains("differs from the from-scratch reference")
+                || err.contains("loaded-session result differs"),
+            "{err}"
         );
-        let err = validate_json(&bad).unwrap_err();
-        assert!(err.contains("session_persistence"), "{err}");
+
+        // Dropping any report section (or emptying it) is a violation.
+        for section in ["whatif", "session_persistence", "batch", "peeled"] {
+            let needle = format!("\"{section}\": [");
+            let start = GOOD_REPORT.find(&needle).expect("section present");
+            let end = GOOD_REPORT[start..].find("}]").expect("section closes") + start + 2;
+            let emptied =
+                format!("{}\"{section}\": []{}", &GOOD_REPORT[..start], &GOOD_REPORT[end..]);
+            let err = validate_json(&emptied).unwrap_err();
+            assert!(err.contains(section), "emptying {section}: {err}");
+        }
     }
 
     #[test]

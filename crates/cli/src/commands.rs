@@ -4,14 +4,18 @@ use std::fs;
 
 use dna_bench::topk_bench;
 use dna_lint::{
-    lint_circuit, lint_config, lint_dirty_closure, lint_result, lint_timing, Diagnostics,
+    lint_batch_order, lint_circuit, lint_config, lint_dirty_closure, lint_result, lint_timing,
+    Diagnostics,
 };
 use dna_netlist::generator::{generate, GeneratorConfig};
-use dna_netlist::{format, suite, Circuit};
+use dna_netlist::{format, suite, Circuit, CouplingId};
 use dna_noise::{glitch, CouplingMask, NoiseAnalysis, NoiseConfig};
 use dna_sta::{critical_path, top_k_paths, LinearDelayModel, StaConfig, TimingReport};
 use dna_topk::CouplingSet;
-use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfSession};
+use dna_topk::{
+    artifact_fingerprint, MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfBatch,
+    WhatIfSession,
+};
 
 use crate::opts::Opts;
 
@@ -21,16 +25,24 @@ usage: dna <command> [options]
 commands:
   generate  --gates N --couplings N [--seed S] [--bench i1..i10] [-o file]
   analyze   <file.ckt> [--seed S]         iterative noise analysis report
-  topk      <file.ckt> --mode add|del -k N [--peel]
+  topk      <file.ckt> --mode add|del -k N [--peel] [--audit]
             [--victim-budget N] [--global-budget N] [--deadline-ms MS]
                                           budgets degrade soundly: the
-                                          result is marked a lower bound
+                                          result is marked a lower bound;
+                                          --peel rounds run incrementally,
+                                          --audit re-checks them against
+                                          the from-scratch reference
   whatif    <file.ckt> [--mode add|del] [-k N] [--audit]
             [--save FILE] [--load FILE]   fix-loop: run, remove the worst
-                                          set, re-verify incrementally;
+            [--batch FILE]                set, re-verify incrementally;
                                           sessions persist to checksummed
                                           artifacts (corrupt files fall
-                                          back to a full sweep)
+                                          back to a full sweep); --batch
+                                          evaluates one scenario per line
+                                          of FILE (tokens -ID / +ID remove
+                                          or restore coupling ID, # starts
+                                          a comment) sharing closure and
+                                          sweep work across scenarios
   paths     <file.ckt> [-k N]             top-k critical paths
   glitch    <file.ckt> [--margin 0.4]     functional noise check
   lint      <file.ckt> [--json] [--deep]  verify IR and analysis invariants
@@ -172,12 +184,27 @@ fn cmd_topk(opts: &Opts) -> Result<(), String> {
         Some(other) => return Err(format!("unknown --mode `{other}` (use add|del)")),
     };
     let engine = TopKAnalysis::new(&circuit, budget_config(opts)?);
+    let peel_step = (k / 5).max(1);
     let result = match (mode, opts.has("peel")) {
         (Mode::Addition, _) => engine.addition_set(k),
         (Mode::Elimination, false) => engine.elimination_set(k),
-        (Mode::Elimination, true) => engine.elimination_set_peeled(k, (k / 5).max(1)),
+        (Mode::Elimination, true) => engine.elimination_set_peeled(k, peel_step),
     }
     .map_err(|e| e.to_string())?;
+    // --audit with --peel certifies the incremental peel rounds against
+    // the from-scratch reference implementation.
+    if mode == Mode::Elimination && opts.has("peel") && opts.has("audit") {
+        let scratch =
+            engine.elimination_set_peeled_scratch(k, peel_step).map_err(|e| e.to_string())?;
+        let same = result.couplings() == scratch.couplings()
+            && result.delay_before().to_bits() == scratch.delay_before().to_bits()
+            && result.delay_after().to_bits() == scratch.delay_after().to_bits()
+            && result.predicted_delay().to_bits() == scratch.predicted_delay().to_bits();
+        if !same {
+            return Err("audit failed: incremental peel diverged from from-scratch".into());
+        }
+        println!("audit: incremental peel == from-scratch (bit-identical)");
+    }
 
     println!("top-{k} {} set on {}:", mode.name(), circuit.stats());
     for &cc in result.couplings() {
@@ -251,11 +278,28 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
 
     // --save snapshots the session (I-list caches, counters, quarantines,
     // last result) before the what-if delta, so a later --load skips the
-    // expensive full sweep and replays only the incremental part.
+    // expensive full sweep and replays only the incremental part. A
+    // session that is still byte-identical to the artifact it was resumed
+    // from (fingerprint match against the target file's header) skips the
+    // rewrite — the groundwork for delta-encoded artifacts.
     if let Some(path) = opts.flag("save") {
-        let artifact = session.save_artifact();
-        fs::write(path, &artifact).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        eprintln!("saved session to {path} ({} bytes)", artifact.len());
+        let unchanged = session.source_fingerprint().is_some_and(|fp| {
+            fs::read(path).ok().and_then(|bytes| artifact_fingerprint(&bytes)) == Some(fp)
+        });
+        if unchanged {
+            let bytes = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            eprintln!("session unchanged since resume; kept {path} as is ({bytes} bytes)");
+        } else {
+            let artifact = session.save_artifact();
+            fs::write(path, &artifact).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("saved session to {path} ({} bytes)", artifact.len());
+        }
+    }
+
+    // --batch evaluates a menu of independent scenarios against the
+    // session snapshot instead of committing the default fix loop.
+    if let Some(batch_path) = opts.flag("batch") {
+        return whatif_batch(&circuit, &engine, &session, batch_path, opts);
     }
 
     println!("top-{k} {} set on {}:", mode.name(), circuit.stats());
@@ -314,6 +358,137 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
             return Err(format!("audit failed: dirty set incoherent\n{}", diags.render_text()));
         }
         println!("audit: incremental == from-scratch (bit-identical), dirty closure coherent");
+    }
+    Ok(())
+}
+
+/// Parses a batch scenario file: one scenario per non-empty line, tokens
+/// `-ID` (disable coupling ID) and `+ID` (re-enable it), `#` to end of
+/// line is a comment.
+fn parse_batch_file(text: &str, circuit: &Circuit) -> Result<WhatIfBatch, String> {
+    let mut batch = WhatIfBatch::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut removed: Vec<CouplingId> = Vec::new();
+        let mut added: Vec<CouplingId> = Vec::new();
+        for tok in line.split_whitespace() {
+            let (sign, rest) = tok.split_at(1);
+            let idx: u32 = rest
+                .parse()
+                .map_err(|_| format!("line {}: expected -ID or +ID, got `{tok}`", lineno + 1))?;
+            if idx as usize >= circuit.num_couplings() {
+                return Err(format!(
+                    "line {}: coupling {idx} out of range (circuit has {})",
+                    lineno + 1,
+                    circuit.num_couplings()
+                ));
+            }
+            match sign {
+                "-" => removed.push(CouplingId::new(idx)),
+                "+" => added.push(CouplingId::new(idx)),
+                _ => return Err(format!("line {}: expected -ID or +ID, got `{tok}`", lineno + 1)),
+            }
+        }
+        batch.push(MaskDelta::new(&removed, &added));
+    }
+    if batch.is_empty() {
+        return Err("batch file holds no scenarios".into());
+    }
+    Ok(batch)
+}
+
+/// The `whatif --batch` path: evaluate every scenario of the file against
+/// the session snapshot through one shared batch run, and (with --audit)
+/// cross-check each scenario against a from-scratch run, its dirty set
+/// against L035, and order independence against L043.
+fn whatif_batch(
+    circuit: &Circuit,
+    engine: &TopKAnalysis<'_>,
+    session: &WhatIfSession<'_, '_>,
+    batch_path: &str,
+    opts: &Opts,
+) -> Result<(), String> {
+    let text =
+        fs::read_to_string(batch_path).map_err(|e| format!("cannot read `{batch_path}`: {e}"))?;
+    let batch = parse_batch_file(&text, circuit)?;
+    let (mode, k) = (session.mode(), session.k());
+    let base_delay = session.result().delay_after();
+
+    let start = std::time::Instant::now();
+    let out = session.apply_batch(&batch).map_err(|e| e.to_string())?;
+    let batch_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "batch what-if: {} scenario(s) ({} distinct) on top-{k} {} session, {batch_ms:.1} ms",
+        out.stats().scenarios(),
+        out.stats().distinct_scenarios(),
+        mode.name()
+    );
+    for (i, sc) in out.scenarios().iter().enumerate() {
+        let r = sc.result();
+        println!(
+            "  #{:<3} {:>2} flipped  {:>5}/{} re-swept  delay {:.3} ns ({:+.1} ps vs session)",
+            i,
+            sc.changed_couplings().len(),
+            sc.recomputed_victims(),
+            sc.total_victims(),
+            r.delay_after() / 1000.0,
+            r.delay_after() - base_delay,
+        );
+    }
+    println!(
+        "closure sharing: {} trie frame(s) built, {} reused; {} dirty victim(s) total \
+         ({} under mask-oblivious adjacency)",
+        out.stats().closure_frames_built(),
+        out.stats().closure_frames_shared(),
+        out.stats().dirty_victims(),
+        out.stats().unmasked_dirty_victims(),
+    );
+
+    if opts.has("audit") {
+        // Per-scenario: bit-identity against from-scratch, dirty-set
+        // coherence against the mask-aware L035 rule.
+        for (i, (delta, sc)) in batch.deltas().iter().zip(out.scenarios()).enumerate() {
+            let mask = session.mask().clone().without(delta.removed()).with(delta.added());
+            let scratch = engine.run_with_mask(mode, k, &mask).map_err(|e| e.to_string())?;
+            let r = sc.result();
+            let same = r.couplings() == scratch.couplings()
+                && r.sink() == scratch.sink()
+                && r.delay_before().to_bits() == scratch.delay_before().to_bits()
+                && r.delay_after().to_bits() == scratch.delay_after().to_bits()
+                && r.predicted_delay().to_bits() == scratch.predicted_delay().to_bits();
+            if !same {
+                return Err(format!("audit failed: scenario {i} diverged from from-scratch"));
+            }
+            let diags = lint_dirty_closure(circuit, session.mask(), &mask, sc.dirty_flags());
+            if diags.has_errors() {
+                return Err(format!(
+                    "audit failed: scenario {i} dirty set incoherent\n{}",
+                    diags.render_text()
+                ));
+            }
+        }
+        // Order independence (L043): re-evaluate the scenarios reversed
+        // and compare each result to its forward-order twin.
+        let reversed = WhatIfBatch::from_deltas(batch.deltas().iter().rev().cloned().collect());
+        let rev_out = session.apply_batch(&reversed).map_err(|e| e.to_string())?;
+        let forward: Vec<TopKResult> =
+            out.scenarios().iter().map(|sc| sc.result().clone()).collect();
+        let mut aligned: Vec<TopKResult> =
+            rev_out.scenarios().iter().map(|sc| sc.result().clone()).collect();
+        aligned.reverse();
+        let diags = lint_batch_order(&forward, &aligned);
+        if diags.has_errors() {
+            return Err(format!("audit failed: batch is order-dependent\n{}", diags.render_text()));
+        }
+        println!(
+            "audit: all {} scenario(s) == from-scratch (bit-identical), dirty closures \
+             coherent, order-independent",
+            out.stats().scenarios()
+        );
     }
     Ok(())
 }
@@ -395,6 +570,28 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
             session.mask(),
             outcome.dirty_flags(),
         ));
+
+        // Batch scenario results must not depend on submission order
+        // (L043): evaluate a small scenario menu forward and reversed and
+        // compare each pair.
+        let ids: Vec<CouplingId> = circuit.coupling_ids().take(2).collect();
+        if !ids.is_empty() {
+            let mut deltas: Vec<MaskDelta> = ids.iter().map(|&c| MaskDelta::remove(&[c])).collect();
+            deltas.push(MaskDelta::remove(&ids));
+            let forward = session
+                .apply_batch(&WhatIfBatch::from_deltas(deltas.clone()))
+                .map_err(|e| format!("deep lint: batch what-if failed: {e}"))?;
+            deltas.reverse();
+            let reversed = session
+                .apply_batch(&WhatIfBatch::from_deltas(deltas))
+                .map_err(|e| format!("deep lint: reversed batch what-if failed: {e}"))?;
+            let fwd: Vec<TopKResult> =
+                forward.scenarios().iter().map(|sc| sc.result().clone()).collect();
+            let mut rev: Vec<TopKResult> =
+                reversed.scenarios().iter().map(|sc| sc.result().clone()).collect();
+            rev.reverse();
+            diags.merge(lint_batch_order(&fwd, &rev));
+        }
     }
 
     diags.sort();
@@ -436,6 +633,12 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     }
     if report.entries.iter().any(|e| !e.identical_to_serial) {
         return Err("a parallel run diverged from its serial reference".into());
+    }
+    if report.batch.iter().any(|e| !e.identical_to_sequential) {
+        return Err("a batch scenario diverged from its sequential reference".into());
+    }
+    if report.peeled.iter().any(|e| !e.identical_to_scratch) {
+        return Err("an incremental peel diverged from its from-scratch reference".into());
     }
     Ok(())
 }
@@ -611,6 +814,91 @@ mod tests {
         flipped[last] ^= 0x40;
         fs::write(&art, &flipped).unwrap();
         dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--audit"])).unwrap();
+
+        fs::remove_file(&ckt).unwrap();
+        fs::remove_file(&art).unwrap();
+    }
+
+    #[test]
+    fn whatif_batch_runs_audits_and_rejects_bad_tokens() {
+        let dir = std::env::temp_dir().join("dna_cli_test_batch");
+        fs::create_dir_all(&dir).unwrap();
+        let ckt = dir.join("t.ckt");
+        let ckt_s = ckt.to_str().unwrap().to_owned();
+        let bat = dir.join("t.batch");
+        let bat_s = bat.to_str().unwrap().to_owned();
+        dispatch(&argv(&[
+            "generate",
+            "--gates",
+            "18",
+            "--couplings",
+            "14",
+            "--seed",
+            "7",
+            "--o",
+            &ckt_s,
+        ]))
+        .unwrap();
+
+        fs::write(&bat, "# scenario menu\n-0\n-1 -2\n-0  # duplicate of scenario 1\n+3\n").unwrap();
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--batch", &bat_s, "--audit"])).unwrap();
+
+        fs::write(&bat, "-0 oops\n").unwrap();
+        let e = dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--batch", &bat_s])).unwrap_err();
+        assert!(e.contains("expected -ID or +ID"), "{e}");
+        fs::write(&bat, "-99999\n").unwrap();
+        let e = dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--batch", &bat_s])).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        fs::write(&bat, "# only comments\n").unwrap();
+        let e = dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--batch", &bat_s])).unwrap_err();
+        assert!(e.contains("no scenarios"), "{e}");
+
+        fs::remove_file(&ckt).unwrap();
+        fs::remove_file(&bat).unwrap();
+    }
+
+    #[test]
+    fn whatif_save_after_load_skips_unchanged_rewrite() {
+        let dir = std::env::temp_dir().join("dna_cli_test_save_skip");
+        fs::create_dir_all(&dir).unwrap();
+        let ckt = dir.join("t.ckt");
+        let ckt_s = ckt.to_str().unwrap().to_owned();
+        let art = dir.join("t.dna");
+        let art_s = art.to_str().unwrap().to_owned();
+        dispatch(&argv(&[
+            "generate",
+            "--gates",
+            "16",
+            "--couplings",
+            "12",
+            "--seed",
+            "13",
+            "--o",
+            &ckt_s,
+        ]))
+        .unwrap();
+
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--save", &art_s])).unwrap();
+        let first = fs::metadata(&art).unwrap().modified().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(25));
+
+        // Resume + save back: the session is byte-identical to the
+        // artifact, so the rewrite must be skipped (mtime unchanged).
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--save", &art_s]))
+            .unwrap();
+        assert_eq!(
+            fs::metadata(&art).unwrap().modified().unwrap(),
+            first,
+            "unchanged session must not rewrite the artifact"
+        );
+
+        // A fresh session (no --load) has no source fingerprint: writes.
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--save", &art_s])).unwrap();
+        assert!(
+            fs::metadata(&art).unwrap().modified().unwrap() > first,
+            "fresh session must rewrite the artifact"
+        );
 
         fs::remove_file(&ckt).unwrap();
         fs::remove_file(&art).unwrap();

@@ -20,8 +20,8 @@ use dna_waveform::Envelope;
 
 use crate::dominance::{irredundant, DominanceDirection};
 use crate::engine::{
-    sweep_victims, sweep_victims_subset, Curtailment, NetLists, Prepared, SweepBudget, SweepOutput,
-    SweepTotals, VictimCounters, VictimLists,
+    sweep_victims, sweep_victims_subset, Curtailment, NetLists, Prepared, SweepOutput, SweepTotals,
+    VictimCounters, VictimLists,
 };
 use crate::{faultsim, Candidate, CouplingSet, TopKError};
 
@@ -73,15 +73,26 @@ pub(crate) fn sweep(
     k: usize,
     seeds: Option<(&[NetLists], &[VictimCounters], &[bool])>,
 ) -> Result<SweepOutput, TopKError> {
-    let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
-    let per_victim = |v, ilists: &[NetLists], budget: &SweepBudget| {
-        victim_lists(p, k, breadth, v, ilists, budget)
-    };
+    let per_victim = per_victim_fn(p, k);
     match seeds {
         None => sweep_victims(p, per_victim),
         Some((lists, counters, dirty)) => {
             sweep_victims_subset(p, lists, counters, dirty, per_victim)
         }
+    }
+}
+
+/// The per-victim enumeration as a standalone closure, for drivers that
+/// schedule victims themselves (the batch engine interleaves several
+/// scenarios' victims through one thread pool). The closure's `allowance`
+/// argument is the level-barrier budget snapshot.
+pub(crate) fn per_victim_fn<'a>(
+    p: &'a Prepared<'_>,
+    k: usize,
+) -> impl Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync + 'a {
+    let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
+    move |v, ilists: &[NetLists], allowance: usize| {
+        victim_lists(p, k, breadth, v, ilists, allowance)
     }
 }
 
@@ -100,25 +111,26 @@ pub(crate) fn select(
 /// `ilists` only at the victim's driver inputs (strict fanin), which the
 /// sweep guarantees are complete.
 ///
-/// `budget` caps raw candidate generation: the allowance (the smaller of
-/// the per-victim cap and the remaining global allowance, snapshotted at
-/// victim start) bounds how many candidates the push path may create; on
-/// breach the remaining pushes are dropped — dominance keeps the
-/// strongest survivors of what exists, a sound lower bound — and the
-/// victim is marked [`Curtailment::Truncated`].
+/// `allowance` caps raw candidate generation: the level-barrier snapshot
+/// (the smaller of the per-victim cap and the global allowance remaining
+/// when this victim's level started) bounds how many candidates the push
+/// path may create; on breach the remaining pushes are dropped —
+/// dominance keeps the strongest survivors of what exists, a sound lower
+/// bound — and the victim is marked [`Curtailment::Truncated`]. The raw
+/// count is returned in [`VictimLists::raw_generated`] for the driver to
+/// charge at the level join.
 fn victim_lists(
     p: &Prepared<'_>,
     k: usize,
     breadth: usize,
     v: NetId,
     ilists: &[NetLists],
-    budget: &SweepBudget,
+    allowance: usize,
 ) -> Result<VictimLists, TopKError> {
     let vi = v.index();
     let iv = p.dominance_iv[vi];
     let mut peak_list_width = 0usize;
     let mut generated = 0usize;
-    let allowance = budget.victim_allowance();
     let mut raw_generated = 0usize;
     let mut truncated = false;
 
@@ -265,9 +277,8 @@ fn victim_lists(
         pruned.sort_by(|a, b| b.delay_noise().total_cmp(&a.delay_noise()));
         lists.push(pruned);
     }
-    budget.charge(raw_generated);
     let curtailment = if truncated { Curtailment::Truncated } else { Curtailment::None };
-    Ok(VictimLists { lists, peak_list_width, generated, curtailment })
+    Ok(VictimLists { lists, peak_list_width, generated, raw_generated, curtailment })
 }
 
 /// Chooses the worst set from the sinks' I-lists (paper: "the top-k

@@ -1,0 +1,612 @@
+//! Batch what-if evaluation: many independent scenarios against one
+//! session snapshot.
+//!
+//! A designer triaging an elimination set rarely has *one* question —
+//! they have a menu: "what if I shield these two?", "what if only the
+//! first?", "what if I also un-shield that earlier fix?". Applying each
+//! [`MaskDelta`] through [`WhatIfSession::apply`] answers them one at a
+//! time, but serializes work that is almost entirely shareable:
+//!
+//! * **Closure sharing.** Scenario dirty sets are fixpoints of a
+//!   monotone worklist, and a scenario's adjacency predicate is `base
+//!   mask ∪ its flipped couplings` — monotone in the flipped set. The
+//!   batch sorts the distinct flipped-sets lexicographically and walks
+//!   them as a trie: each prefix's dirty fixpoint is computed once
+//!   ([`Circuit::dirty_closure_extend`]) and extended per added
+//!   coupling, so scenarios sharing fix prefixes share the closure work
+//!   ([`BatchStats::closure_frames_shared`] counts the reuse).
+//! * **One thread pool.** Instead of S sequential level-parallel
+//!   sweeps, the batch runs one lockstep walk over the dependency
+//!   levels with (scenario, victim) work items from *every* scenario
+//!   chunked across the same scoped workers — narrow cones that would
+//!   each under-fill the pool fill it together.
+//! * **Dedup.** Scenarios with identical flipped-sets (common when a
+//!   script enumerates neighborhoods) are evaluated once.
+//!
+//! # Identity contract
+//!
+//! `apply_batch` does not mutate the session. Scenario `i`'s outcome is
+//! bit-identical to `session.fork().apply(&deltas[i])` — same lists,
+//! same counters, same faults, same result — at any
+//! [`threads`](crate::TopKConfig::threads) setting, because the
+//! per-victim enumeration is pure and every budget decision replicates
+//! the sequential sweep's level-barrier fold per scenario (a level that
+//! has no dirty victims *for that scenario* leaves that scenario's
+//! budget untouched, exactly as its own incremental sweep would).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dna_netlist::{CouplingId, NetId};
+use dna_noise::CouplingMask;
+
+use crate::engine::{self, NetLists, Prepared, SweepBudget, VictimCounters, VictimLists};
+use crate::result::{Fault, FaultPhase};
+use crate::session::changed_and_seeds;
+use crate::{
+    addition, elimination, guard, MaskDelta, Mode, TopKError, TopKResult, WhatIfOutcome,
+    WhatIfSession,
+};
+
+/// A set of independent what-if scenarios to evaluate against one
+/// [`WhatIfSession`] snapshot with [`WhatIfSession::apply_batch`].
+///
+/// Each [`MaskDelta`] is interpreted against the session's *current*
+/// mask — scenarios do not compose with each other.
+#[derive(Debug, Clone, Default)]
+pub struct WhatIfBatch {
+    deltas: Vec<MaskDelta>,
+}
+
+impl WhatIfBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A batch over `deltas`, one scenario per delta, in order.
+    #[must_use]
+    pub fn from_deltas(deltas: Vec<MaskDelta>) -> Self {
+        Self { deltas }
+    }
+
+    /// Appends one scenario.
+    pub fn push(&mut self, delta: MaskDelta) {
+        self.deltas.push(delta);
+    }
+
+    /// Number of scenarios.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the batch holds no scenarios.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The scenarios, in submission order.
+    #[must_use]
+    pub fn deltas(&self) -> &[MaskDelta] {
+        &self.deltas
+    }
+}
+
+/// Work-sharing counters of one [`WhatIfSession::apply_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    scenarios: usize,
+    distinct_scenarios: usize,
+    dirty_victims: usize,
+    unmasked_dirty_victims: usize,
+    closure_frames_built: usize,
+    closure_frames_shared: usize,
+}
+
+impl BatchStats {
+    /// Scenarios submitted.
+    #[must_use]
+    pub fn scenarios(&self) -> usize {
+        self.scenarios
+    }
+
+    /// Scenarios actually evaluated after deduplicating identical
+    /// flipped-coupling sets.
+    #[must_use]
+    pub fn distinct_scenarios(&self) -> usize {
+        self.distinct_scenarios
+    }
+
+    /// Victim re-sweeps across all distinct scenarios (the batch's total
+    /// enumeration work).
+    #[must_use]
+    pub fn dirty_victims(&self) -> usize {
+        self.dirty_victims
+    }
+
+    /// What [`dirty_victims`](Self::dirty_victims) would have been under
+    /// mask-oblivious adjacency (closure through every coupling, enabled
+    /// or not) — the batch-level measurement of what mask-aware closure
+    /// filtering saved. Never smaller than `dirty_victims`.
+    #[must_use]
+    pub fn unmasked_dirty_victims(&self) -> usize {
+        self.unmasked_dirty_victims
+    }
+
+    /// Closure trie nodes computed: one per (prefix, coupling) extension
+    /// actually run.
+    #[must_use]
+    pub fn closure_frames_built(&self) -> usize {
+        self.closure_frames_built
+    }
+
+    /// Closure trie nodes *reused* from an earlier scenario's prefix —
+    /// the closure work prefix sharing saved. `built + shared` equals the
+    /// sum of flipped-set sizes over distinct scenarios.
+    #[must_use]
+    pub fn closure_frames_shared(&self) -> usize {
+        self.closure_frames_shared
+    }
+}
+
+/// The result of one [`WhatIfSession::apply_batch`] call: one
+/// [`WhatIfOutcome`] per submitted scenario (in submission order), plus
+/// the batch's work-sharing counters.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    scenarios: Vec<WhatIfOutcome>,
+    stats: BatchStats,
+}
+
+impl BatchOutcome {
+    /// Per-scenario outcomes, indexed like the submitted deltas. Each is
+    /// bit-identical to what `session.fork().apply(&delta)` returns.
+    #[must_use]
+    pub fn scenarios(&self) -> &[WhatIfOutcome] {
+        &self.scenarios
+    }
+
+    /// Work-sharing counters of the batch evaluation.
+    #[must_use]
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+}
+
+/// One distinct scenario after the front end: the flipped couplings (the
+/// dedup/trie key, sorted by id), their endpoint seeds and the scenario's
+/// absolute mask.
+struct Scenario {
+    changed: Vec<CouplingId>,
+    seeds: Vec<NetId>,
+    mask: CouplingMask,
+}
+
+/// The boxed per-victim enumeration of one scenario, so both modes fit
+/// one work-item array (dispatch cost is noise next to envelope algebra).
+type PerVictim<'p> =
+    Box<dyn Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync + 'p>;
+
+impl WhatIfSession<'_, '_> {
+    /// Evaluates every scenario of `batch` against this session's current
+    /// state, sharing closure work across scenarios and running all
+    /// scenarios' dirty victims through one level-parallel sweep.
+    ///
+    /// The session is **not** mutated: each scenario is independent, and
+    /// its outcome is bit-identical to `self.fork().apply(&delta)` at any
+    /// thread count (see the module docs). To commit a scenario, apply
+    /// its delta with [`apply`](Self::apply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first scenario's timing/engine error; the session
+    /// is unchanged regardless.
+    pub fn apply_batch(&self, batch: &WhatIfBatch) -> Result<BatchOutcome, TopKError> {
+        let start = Instant::now();
+        let circuit = self.analysis.circuit();
+        if batch.is_empty() {
+            return Ok(BatchOutcome { scenarios: Vec::new(), stats: BatchStats::default() });
+        }
+
+        // --- Front end: flipped sets, dedup --------------------------
+        let mut scenarios: Vec<Scenario> = Vec::with_capacity(batch.len());
+        let mut group_of: Vec<usize> = Vec::with_capacity(batch.len());
+        {
+            let mut by_key: std::collections::HashMap<Vec<CouplingId>, usize> =
+                std::collections::HashMap::new();
+            for delta in batch.deltas() {
+                let mask = self.mask.clone().without(delta.removed()).with(delta.added());
+                let (changed, seeds) = changed_and_seeds(circuit, &self.mask, &mask);
+                let group = *by_key.entry(changed.clone()).or_insert_with(|| {
+                    scenarios.push(Scenario { changed, seeds, mask });
+                    scenarios.len() - 1
+                });
+                group_of.push(group);
+            }
+        }
+
+        // --- Shared dirty closures (prefix trie) ---------------------
+        // A scenario's adjacency predicate is `base mask ∪ flipped set`,
+        // monotone in the flipped set, and `dirty_closure_extend`'s
+        // contract is met at every step: the parent frame is a fixpoint
+        // of the prefix predicate, and the one newly-allowed coupling's
+        // endpoints are exactly the new seeds. Walking the distinct
+        // flipped-sets in lexicographic order makes shared prefixes
+        // adjacent, so each trie node is computed once.
+        let mut order: Vec<usize> = (0..scenarios.len()).collect();
+        order.sort_by(|&a, &b| scenarios[a].changed.cmp(&scenarios[b].changed));
+        let mut dirty_of: Vec<Vec<bool>> = vec![Vec::new(); scenarios.len()];
+        let mut stats = BatchStats {
+            scenarios: batch.len(),
+            distinct_scenarios: scenarios.len(),
+            ..BatchStats::default()
+        };
+        {
+            let root = vec![false; circuit.num_nets()];
+            let mut frames: Vec<(CouplingId, Vec<bool>)> = Vec::new();
+            let mut in_path = vec![false; circuit.num_couplings()];
+            for &s in &order {
+                let changed = &scenarios[s].changed;
+                let mut common = 0;
+                while common < frames.len()
+                    && common < changed.len()
+                    && frames[common].0 == changed[common]
+                {
+                    common += 1;
+                }
+                stats.closure_frames_shared += common;
+                while frames.len() > common {
+                    let (cc, _) = frames.pop().expect("len checked");
+                    in_path[cc.index()] = false;
+                }
+                for &cc in &changed[common..] {
+                    let mut dirty = frames.last().map_or(&root, |(_, d)| d).clone();
+                    in_path[cc.index()] = true;
+                    let ends = circuit.coupling(cc);
+                    circuit.dirty_closure_extend(&mut dirty, &[ends.a(), ends.b()], |id| {
+                        self.mask.is_enabled(id) || in_path[id.index()]
+                    });
+                    frames.push((cc, dirty));
+                    stats.closure_frames_built += 1;
+                }
+                dirty_of[s] = frames.last().map_or_else(|| root.clone(), |(_, d)| d.clone());
+            }
+        }
+        let unmasked_of: Vec<usize> = scenarios
+            .iter()
+            .map(|sc| circuit.dirty_closure(&sc.seeds).iter().filter(|&&d| d).count())
+            .collect();
+        stats.dirty_victims = dirty_of.iter().map(|d| d.iter().filter(|&&x| x).count()).sum();
+        stats.unmasked_dirty_victims = unmasked_of.iter().sum();
+
+        // --- Phase A: per-scenario preparation -----------------------
+        let config = self.analysis.config();
+        let threads = config.effective_threads();
+        let build_one = |sc: &Scenario| {
+            guard(FaultPhase::Prepare, || {
+                Prepared::build(circuit, *config, self.mode, &self.analysis.noise, sc.mask.clone())
+            })
+        };
+        let built: Vec<Result<Prepared<'_>, TopKError>> = if threads <= 1 || scenarios.len() == 1 {
+            scenarios.iter().map(build_one).collect()
+        } else {
+            std::thread::scope(|sp| {
+                let handles: Vec<_> =
+                    scenarios.iter().map(|sc| sp.spawn(|| build_one(sc))).collect();
+                handles.into_iter().map(|h| join_or_panic(h, FaultPhase::Prepare)).collect()
+            })
+        };
+        let prepareds: Vec<Prepared<'_>> = built.into_iter().collect::<Result<_, _>>()?;
+
+        // --- Phase B: one lockstep level-parallel sweep --------------
+        let k = self.k;
+        let per_victims: Vec<PerVictim<'_>> = prepareds
+            .iter()
+            .map(|p| match self.mode {
+                Mode::Addition => Box::new(addition::per_victim_fn(p, k)) as PerVictim<'_>,
+                Mode::Elimination => Box::new(elimination::per_victim_fn(p, k)) as PerVictim<'_>,
+            })
+            .collect();
+        let mut ilists: Vec<Vec<NetLists>> = scenarios.iter().map(|_| self.lists.clone()).collect();
+        let mut counters: Vec<Vec<VictimCounters>> =
+            scenarios.iter().map(|_| self.counters.clone()).collect();
+        let mut fresh_faults: Vec<Vec<Fault>> = vec![Vec::new(); scenarios.len()];
+        let mut budgets: Vec<SweepBudget> =
+            scenarios.iter().map(|_| SweepBudget::new(config)).collect();
+
+        for level in circuit.nets_by_level() {
+            // (scenario, victim) work items with each scenario's own
+            // level-barrier budget snapshot — a scenario with nothing
+            // dirty at this level keeps its budget untouched, exactly
+            // like its own sequential sweep.
+            let mut items: Vec<(usize, NetId, bool, usize)> = Vec::new();
+            for (s, dirty) in dirty_of.iter().enumerate() {
+                let work: Vec<NetId> = level.iter().copied().filter(|v| dirty[v.index()]).collect();
+                if work.is_empty() {
+                    continue;
+                }
+                let skip = budgets[s].exhausted();
+                let allowance = budgets[s].victim_allowance();
+                items.extend(work.into_iter().map(|v| (s, v, skip, allowance)));
+            }
+            if items.is_empty() {
+                continue;
+            }
+            let level_results: Vec<(usize, NetId, VictimLists, Option<Fault>)> =
+                if threads <= 1 || items.len() == 1 {
+                    items
+                        .iter()
+                        .map(|&(s, v, skip, allowance)| {
+                            let (out, fault) =
+                                engine::run_one(v, &ilists[s], skip, allowance, &per_victims[s]);
+                            (s, v, out, fault)
+                        })
+                        .collect()
+                } else {
+                    let chunk = items.len().div_ceil(threads);
+                    let results: Result<Vec<_>, TopKError> = std::thread::scope(|sp| {
+                        let shared = &ilists;
+                        let work = &per_victims;
+                        let handles: Vec<_> = items
+                            .chunks(chunk)
+                            .map(|part| {
+                                sp.spawn(move || {
+                                    Ok(part
+                                        .iter()
+                                        .map(|&(s, v, skip, allowance)| {
+                                            let (out, fault) = engine::run_one(
+                                                v, &shared[s], skip, allowance, &work[s],
+                                            );
+                                            (s, v, out, fault)
+                                        })
+                                        .collect::<Vec<_>>())
+                                })
+                            })
+                            .collect();
+                        let mut all = Vec::with_capacity(items.len());
+                        for h in handles {
+                            all.extend(join_or_panic(h, FaultPhase::Enumeration)?);
+                        }
+                        Ok(all)
+                    });
+                    results?
+                };
+            let mut raw = vec![0usize; scenarios.len()];
+            for (s, v, out, fault) in level_results {
+                raw[s] += out.raw_generated;
+                counters[s][v.index()] = VictimCounters {
+                    peak_list_width: out.peak_list_width,
+                    generated: out.generated,
+                    curtailment: out.curtailment,
+                };
+                ilists[s][v.index()] = Arc::new(out.lists);
+                fresh_faults[s].extend(fault);
+            }
+            for (s, n) in raw.into_iter().enumerate() {
+                budgets[s].charge(n);
+            }
+        }
+
+        // --- Phase C: per-scenario selection + validation ------------
+        let merged_faults: Vec<Vec<Fault>> = fresh_faults
+            .into_iter()
+            .enumerate()
+            .map(|(s, fresh)| {
+                let mut faults: Vec<Fault> = self
+                    .faults
+                    .iter()
+                    .filter(|f| !dirty_of[s][f.victim().index()])
+                    .cloned()
+                    .collect();
+                faults.extend(fresh);
+                faults.sort_by_key(|f| f.victim().index());
+                faults
+            })
+            .collect();
+        let finish_one = |s: usize| -> Result<TopKResult, TopKError> {
+            guard(FaultPhase::Selection, || {
+                let outcome = match self.mode {
+                    Mode::Addition => addition::select(&prepareds[s], k, &ilists[s], &counters[s]),
+                    Mode::Elimination => {
+                        elimination::select(&prepareds[s], k, &ilists[s], &counters[s])
+                    }
+                }?;
+                self.analysis.finish(
+                    self.mode,
+                    k,
+                    &scenarios[s].mask,
+                    &prepareds[s],
+                    outcome,
+                    &merged_faults[s],
+                    start,
+                )
+            })
+        };
+        let finished: Vec<Result<TopKResult, TopKError>> = if threads <= 1 || scenarios.len() == 1 {
+            (0..scenarios.len()).map(finish_one).collect()
+        } else {
+            std::thread::scope(|sp| {
+                let handles: Vec<_> =
+                    (0..scenarios.len()).map(|s| sp.spawn(move || finish_one(s))).collect();
+                handles.into_iter().map(|h| join_or_panic(h, FaultPhase::Selection)).collect()
+            })
+        };
+        let results: Vec<TopKResult> = finished.into_iter().collect::<Result<_, _>>()?;
+
+        let group_outcomes: Vec<WhatIfOutcome> = results
+            .into_iter()
+            .zip(scenarios.iter().zip(dirty_of.iter().zip(unmasked_of.iter())))
+            .map(|(result, (sc, (dirty, &unmasked)))| {
+                WhatIfOutcome::assemble(result, sc.changed.clone(), dirty.clone(), unmasked)
+            })
+            .collect();
+        let outcomes: Vec<WhatIfOutcome> =
+            group_of.iter().map(|&g| group_outcomes[g].clone()).collect();
+        if std::env::var_os("DNA_PROFILE").is_some() {
+            eprintln!(
+                "[profile] whatif batch: {:.2?} ({} scenarios, {} distinct, {} dirty victims, \
+                 {} closure frames shared)",
+                start.elapsed(),
+                stats.scenarios,
+                stats.distinct_scenarios,
+                stats.dirty_victims,
+                stats.closure_frames_shared,
+            );
+        }
+        Ok(BatchOutcome { scenarios: outcomes, stats })
+    }
+}
+
+/// Joins a scoped worker, converting a propagated unwind into the typed
+/// engine error (unreachable while per-victim boundaries hold, but a
+/// harness bug must not abort the process).
+fn join_or_panic<T>(
+    handle: std::thread::ScopedJoinHandle<'_, Result<T, TopKError>>,
+    phase: FaultPhase,
+) -> Result<T, TopKError> {
+    match handle.join() {
+        Ok(r) => r,
+        Err(payload) => {
+            Err(TopKError::EnginePanic { phase, cause: engine::panic_message(payload.as_ref()) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TopKAnalysis, TopKConfig};
+    use dna_netlist::{CellKind, Circuit, CircuitBuilder, Library};
+
+    fn two_cones() -> Circuit {
+        let mut b = CircuitBuilder::new(Library::cmos013());
+        let a = b.input("a");
+        let x = b.input("x");
+        let p = b.input("p");
+        let q = b.input("q");
+        let v = b.gate(CellKind::Buf, "v", &[a]).unwrap();
+        let g = b.gate(CellKind::Buf, "g", &[x]).unwrap();
+        let w = b.gate(CellKind::Inv, "w", &[v]).unwrap();
+        let r = b.gate(CellKind::Buf, "r", &[p]).unwrap();
+        let s = b.gate(CellKind::Buf, "s", &[q]).unwrap();
+        let t = b.gate(CellKind::Inv, "t", &[r]).unwrap();
+        b.output(w);
+        b.output(g);
+        b.output(t);
+        b.output(s);
+        b.coupling(v, g, 8.0).unwrap();
+        b.coupling(w, g, 4.0).unwrap();
+        b.coupling(r, s, 8.0).unwrap();
+        b.coupling(t, s, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn fingerprint(r: &TopKResult) -> (Vec<u32>, usize, u64, u64, u64, usize, usize) {
+        (
+            r.couplings().iter().map(|c| c.index() as u32).collect(),
+            r.sink().index(),
+            r.delay_before().to_bits(),
+            r.delay_after().to_bits(),
+            r.predicted_delay().to_bits(),
+            r.peak_list_width(),
+            r.generated_candidates(),
+        )
+    }
+
+    fn deltas() -> Vec<MaskDelta> {
+        let id = CouplingId::new;
+        vec![
+            MaskDelta::remove(&[id(0)]),
+            MaskDelta::remove(&[id(2)]),
+            MaskDelta::remove(&[id(0), id(1)]),
+            MaskDelta::default(),
+            MaskDelta::remove(&[id(0)]), // duplicate of scenario 0
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_forks_both_modes() {
+        let circuit = two_cones();
+        for threads in [1usize, 0, 4] {
+            let config = TopKConfig { threads, validate: false, ..TopKConfig::default() };
+            let engine = TopKAnalysis::new(&circuit, config);
+            for mode in [Mode::Addition, Mode::Elimination] {
+                let session = WhatIfSession::start(&engine, mode, 2).unwrap();
+                let batch = WhatIfBatch::from_deltas(deltas());
+                let out = session.apply_batch(&batch).unwrap();
+                assert_eq!(out.scenarios().len(), batch.len());
+                for (i, delta) in batch.deltas().iter().enumerate() {
+                    let seq = session.fork().apply(delta).unwrap();
+                    let got = &out.scenarios()[i];
+                    assert_eq!(
+                        fingerprint(got.result()),
+                        fingerprint(seq.result()),
+                        "{} threads={threads} scenario {i} diverged from fork().apply",
+                        mode.name()
+                    );
+                    assert_eq!(got.changed_couplings(), seq.changed_couplings());
+                    assert_eq!(got.dirty_flags(), seq.dirty_flags());
+                    assert_eq!(got.unmasked_dirty_victims(), seq.unmasked_dirty_victims());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dedups_identical_flip_sets() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let session = WhatIfSession::start(&engine, Mode::Elimination, 2).unwrap();
+        let out = session.apply_batch(&WhatIfBatch::from_deltas(deltas())).unwrap();
+        // 5 submitted, but the last duplicates the first.
+        assert_eq!(out.stats().scenarios(), 5);
+        assert_eq!(out.stats().distinct_scenarios(), 4);
+        assert_eq!(
+            fingerprint(out.scenarios()[0].result()),
+            fingerprint(out.scenarios()[4].result())
+        );
+    }
+
+    #[test]
+    fn batch_shares_closure_prefixes() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let session = WhatIfSession::start(&engine, Mode::Elimination, 2).unwrap();
+        let id = CouplingId::new;
+        // {0} and {0,1} share the length-1 prefix {0}.
+        let batch = WhatIfBatch::from_deltas(vec![
+            MaskDelta::remove(&[id(0)]),
+            MaskDelta::remove(&[id(0), id(1)]),
+        ]);
+        let out = session.apply_batch(&batch).unwrap();
+        assert_eq!(out.stats().closure_frames_built(), 2);
+        assert_eq!(out.stats().closure_frames_shared(), 1);
+    }
+
+    #[test]
+    fn batch_does_not_mutate_the_session() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let session = WhatIfSession::start(&engine, Mode::Addition, 2).unwrap();
+        let before = fingerprint(session.result());
+        let mask_before = session.mask().clone();
+        session
+            .apply_batch(&WhatIfBatch::from_deltas(vec![MaskDelta::remove(&[CouplingId::new(0)])]))
+            .unwrap();
+        assert_eq!(fingerprint(session.result()), before);
+        assert_eq!(*session.mask(), mask_before);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let circuit = two_cones();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let session = WhatIfSession::start(&engine, Mode::Addition, 2).unwrap();
+        let out = session.apply_batch(&WhatIfBatch::new()).unwrap();
+        assert!(out.scenarios().is_empty());
+        assert_eq!(out.stats().distinct_scenarios(), 0);
+    }
+}

@@ -55,19 +55,27 @@ pub struct TopKConfig {
     /// [`SweepStats::truncated_victims`](crate::SweepStats) and the result
     /// is marked degraded. `None` (the default) disables the cap.
     pub victim_candidate_budget: Option<usize>,
-    /// Global cap on raw candidates generated across the whole sweep.
-    /// Victims starting after the budget is exhausted are served empty
-    /// lists ([`SweepStats::skipped_victims`](crate::SweepStats)); a
-    /// victim observing a partial remainder truncates like the per-victim
-    /// cap. Deterministic with `threads == 1` (and for a zero budget at
-    /// any thread count); the parallel sweep enforces it best-effort, so
-    /// *which* victims are cut can vary run to run — the result stays a
-    /// sound lower bound either way. `None` disables the budget.
+    /// Global cap on raw candidates generated across the whole sweep,
+    /// charged at **level barriers**: every victim of a dependency level
+    /// sees the same allowance snapshot (the smaller of the per-victim cap
+    /// and the pool remaining when the level started), and the level's raw
+    /// counts are deducted together when it joins. Once the pool reaches
+    /// zero, every victim of each later level is served empty lists
+    /// ([`SweepStats::skipped_victims`](crate::SweepStats)); a partial
+    /// remainder truncates like the per-victim cap. **Deterministic at any
+    /// `threads` value**: which victims are cut depends only on circuit,
+    /// config and dirty set, never on scheduling. A level may collectively
+    /// overdraw the pool (its victims share one snapshot); the next level
+    /// then sees zero. `None` disables the budget.
     pub global_candidate_budget: Option<usize>,
     /// Wall-clock deadline for the enumeration sweep, measured from sweep
-    /// start. Victims starting after the deadline are served empty lists
-    /// and counted in [`SweepStats::skipped_victims`](crate::SweepStats);
-    /// the result is marked degraded instead of the engine hanging.
+    /// start and checked only at **level barriers**: a level that starts
+    /// before the deadline runs to completion, and once the deadline
+    /// passes every victim of each later level is served empty lists and
+    /// counted in [`SweepStats::skipped_victims`](crate::SweepStats) — the
+    /// result is marked degraded instead of the engine hanging. The
+    /// skipped set is always a union of complete levels (level-granular),
+    /// though *which* levels still depends on wall-clock time.
     /// `Some(Duration::ZERO)` degenerates every victim deterministically
     /// (the zero-budget edge case). `None` disables the deadline.
     pub deadline: Option<Duration>,

@@ -16,8 +16,8 @@ use dna_waveform::Envelope;
 use crate::addition::{EnumerationOutcome, SinkOption};
 use crate::dominance::{irredundant, DominanceDirection};
 use crate::engine::{
-    sweep_victims, sweep_victims_subset, Curtailment, NetLists, Prepared, SweepBudget, SweepOutput,
-    SweepTotals, VictimCounters, VictimLists,
+    sweep_victims, sweep_victims_subset, Curtailment, NetLists, Prepared, SweepOutput, SweepTotals,
+    VictimCounters, VictimLists,
 };
 use crate::result::Fault;
 use crate::{faultsim, Candidate, CouplingSet, TopKError};
@@ -54,15 +54,26 @@ pub(crate) fn sweep(
     k: usize,
     seeds: Option<(&[NetLists], &[VictimCounters], &[bool])>,
 ) -> Result<SweepOutput, TopKError> {
-    let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
-    let per_victim = |v, ilists: &[NetLists], budget: &SweepBudget| {
-        victim_lists(p, k, breadth, v, ilists, budget)
-    };
+    let per_victim = per_victim_fn(p, k);
     match seeds {
         None => sweep_victims(p, per_victim),
         Some((lists, counters, dirty)) => {
             sweep_victims_subset(p, lists, counters, dirty, per_victim)
         }
+    }
+}
+
+/// The per-victim enumeration as a standalone closure, for drivers that
+/// schedule victims themselves (the batch engine interleaves several
+/// scenarios' victims through one thread pool). The closure's `allowance`
+/// argument is the level-barrier budget snapshot.
+pub(crate) fn per_victim_fn<'a>(
+    p: &'a Prepared<'_>,
+    k: usize,
+) -> impl Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync + 'a {
+    let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
+    move |v, ilists: &[NetLists], allowance: usize| {
+        victim_lists(p, k, breadth, v, ilists, allowance)
     }
 }
 
@@ -91,7 +102,7 @@ fn victim_lists(
     breadth: usize,
     v: NetId,
     ilists: &[NetLists],
-    budget: &SweepBudget,
+    allowance: usize,
 ) -> Result<VictimLists, TopKError> {
     let circuit = p.circuit;
     let Some(noisy) = p.noisy.as_ref() else {
@@ -103,7 +114,6 @@ fn victim_lists(
     let iv = p.dominance_iv[vi];
     let mut peak_list_width = 0usize;
     let mut generated = 0usize;
-    let allowance = budget.victim_allowance();
     let mut raw_generated = 0usize;
     let mut truncated = false;
 
@@ -326,9 +336,8 @@ fn victim_lists(
                 .unwrap_or_default()
         );
     }
-    budget.charge(raw_generated);
     let curtailment = if truncated { Curtailment::Truncated } else { Curtailment::None };
-    Ok(VictimLists { lists, peak_list_width, generated, curtailment })
+    Ok(VictimLists { lists, peak_list_width, generated, raw_generated, curtailment })
 }
 
 /// Chooses the set minimizing the predicted circuit delay after

@@ -2,7 +2,6 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -79,16 +78,28 @@ impl VictimCounters {
     }
 }
 
-/// Live budget state of one enumeration sweep, shared (immutably) by the
-/// sweep workers. All checks are a relaxed atomic load or an `Instant`
-/// comparison and short-circuit to "unbounded" when the corresponding
-/// [`TopKConfig`] knob is `None`, so the unbudgeted fast path pays nothing
-/// measurable per victim.
+/// Live budget state of one enumeration sweep, owned and mutated **only
+/// by the level driver** at level barriers — never by the sweep workers.
+///
+/// Budgets are charged at level granularity: before a level starts the
+/// driver snapshots one exhaustion flag and one per-victim allowance for
+/// *every* victim of the level, and after the level joins it deducts the
+/// sum of the level's raw candidate counts from the global allowance.
+/// Because the snapshot and the deduction are single-threaded folds over
+/// per-victim outputs, the global budget is **deterministic at any thread
+/// count** (DESIGN.md §12.2): which victims get skipped or truncated
+/// depends only on the circuit, the config, and the dirty set — never on
+/// scheduling. The price is that a level may collectively overdraw the
+/// pool (each of its victims sees the full remaining allowance); the next
+/// level then sees zero. The deadline is likewise checked only at level
+/// barriers, so the skipped set is always a union of complete levels —
+/// still wall-clock dependent (that is what a deadline means), but never
+/// split within a level.
 pub(crate) struct SweepBudget {
     start: Instant,
     deadline: Option<Duration>,
     /// Remaining global raw-candidate allowance.
-    global: Option<AtomicUsize>,
+    global: Option<usize>,
     per_victim: Option<usize>,
 }
 
@@ -97,44 +108,38 @@ impl SweepBudget {
         Self {
             start: Instant::now(),
             deadline: config.deadline,
-            global: config.global_candidate_budget.map(AtomicUsize::new),
+            global: config.global_candidate_budget,
             per_victim: config.victim_candidate_budget,
         }
     }
 
     /// Whether the sweep-wide budget is spent: the deadline has passed or
-    /// the global candidate allowance is down to zero. Victims starting
-    /// now are skipped.
+    /// the global candidate allowance is down to zero. Every victim of a
+    /// level starting now is skipped.
     pub fn exhausted(&self) -> bool {
         if let Some(d) = self.deadline {
             if self.start.elapsed() >= d {
                 return true;
             }
         }
-        if let Some(g) = &self.global {
-            if g.load(Ordering::Relaxed) == 0 {
-                return true;
-            }
-        }
-        false
+        self.global == Some(0)
     }
 
-    /// Raw candidates the victim starting now may generate: the minimum of
-    /// the per-victim cap and the remaining global allowance
-    /// (`usize::MAX` when neither is configured).
+    /// Raw candidates each victim of the level starting now may generate:
+    /// the minimum of the per-victim cap and the remaining global
+    /// allowance (`usize::MAX` when neither is configured). Snapshotted
+    /// once per level, so every victim of the level sees the same value.
     pub fn victim_allowance(&self) -> usize {
         let per = self.per_victim.unwrap_or(usize::MAX);
-        let global = self.global.as_ref().map_or(usize::MAX, |g| g.load(Ordering::Relaxed));
-        per.min(global)
+        per.min(self.global.unwrap_or(usize::MAX))
     }
 
-    /// Charges `n` raw candidates against the global allowance
-    /// (saturating; no-op when no global budget is configured).
-    pub fn charge(&self, n: usize) {
-        if let Some(g) = &self.global {
-            let _ = g.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
-                Some(cur.saturating_sub(n))
-            });
+    /// Charges `n` raw candidates — the whole level's sum — against the
+    /// global allowance (saturating; no-op when no global budget is
+    /// configured).
+    pub fn charge(&mut self, n: usize) {
+        if let Some(g) = &mut self.global {
+            *g = g.saturating_sub(n);
         }
     }
 }
@@ -475,6 +480,10 @@ pub(crate) struct VictimLists {
     pub peak_list_width: usize,
     /// Candidates generated at this victim before pruning.
     pub generated: usize,
+    /// Raw candidate pushes at this victim (counted before the
+    /// exact-cardinality retain), the unit the global budget is charged
+    /// in. The level driver sums these at the level barrier.
+    pub raw_generated: usize,
     /// Whether (and how) a budget curtailed this victim.
     pub curtailment: Curtailment,
 }
@@ -484,7 +493,7 @@ impl VictimLists {
     /// fault or skipped by an exhausted budget. Sound downstream — every
     /// consumer treats a missing list as "no candidates here".
     fn empty(curtailment: Curtailment) -> Self {
-        Self { lists: Vec::new(), peak_list_width: 0, generated: 0, curtailment }
+        Self { lists: Vec::new(), peak_list_width: 0, generated: 0, raw_generated: 0, curtailment }
     }
 }
 
@@ -509,29 +518,33 @@ pub(crate) struct SweepOutput {
     pub faults: Vec<Fault>,
 }
 
-/// Runs one victim under the fault boundary: budget check first, then the
-/// enumeration inside `catch_unwind`. A panic or typed error quarantines
-/// the victim (empty lists + a [`Fault`]) instead of aborting the sweep.
-fn run_one<F>(
+/// Runs one victim under the fault boundary: the level driver's skip
+/// decision first, then the enumeration inside `catch_unwind`. A panic or
+/// typed error quarantines the victim (empty lists + a [`Fault`]) instead
+/// of aborting the sweep. `skip` and `allowance` are the level-barrier
+/// budget snapshot ([`SweepBudget`]), identical for every victim of the
+/// level.
+pub(crate) fn run_one<F>(
     v: NetId,
     ilists: &[NetLists],
-    budget: &SweepBudget,
+    skip: bool,
+    allowance: usize,
     per_victim: &F,
 ) -> (VictimLists, Option<Fault>)
 where
-    F: Fn(NetId, &[NetLists], &SweepBudget) -> Result<VictimLists, TopKError> + Sync,
+    F: Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync,
 {
-    if budget.exhausted() {
+    if skip {
         return (VictimLists::empty(Curtailment::Skipped), None);
     }
     // `AssertUnwindSafe` is justified: on unwind the victim's outputs are
     // discarded wholesale (it gets empty lists), the shared inputs are
-    // immutable, and the only cross-victim mutable state — the global
-    // budget counter and the widener memo — are atomics/`OnceLock`s that
-    // stay internally consistent at every point.
+    // immutable, and the only cross-victim mutable state — the widener
+    // memo — is a `OnceLock` that stays internally consistent at every
+    // point.
     let guarded = catch_unwind(AssertUnwindSafe(|| {
         faultsim::maybe_panic_at_victim(v);
-        per_victim(v, ilists, budget)
+        per_victim(v, ilists, allowance)
     }));
     match guarded {
         Ok(Ok(out)) => (out, None),
@@ -552,13 +565,15 @@ where
 /// A victim's work may read `ilists[u]` only for nets `u` in its strict
 /// fanin cone (pseudo atoms) — never same-level siblings. That makes
 /// dependency levels ([`Circuit::nets_by_level`]) a valid synchronization
-/// barrier: with `config.threads > 1` each level's victims are split into
-/// contiguous chunks processed by scoped worker threads that share the
-/// (immutable) lists of completed levels, and the results are written back
-/// only after the level joins. `threads <= 1` keeps the plain
-/// [`nets_topological`](Circuit::nets_topological) loop — the serial
-/// reference path. Both paths are bit-identical: the partition changes
-/// execution order only, and the counters stay per-victim.
+/// barrier: both paths walk the levels (which flatten to topological
+/// order), and with `config.threads > 1` each level's victims are split
+/// into contiguous chunks processed by scoped worker threads that share
+/// the (immutable) lists of completed levels, results written back only
+/// after the level joins. Budgets are snapshotted and charged exclusively
+/// at those barriers (see [`SweepBudget`]), so serial and parallel paths
+/// are bit-identical *including* under global budgets: the partition
+/// changes execution order only, the counters stay per-victim, and every
+/// budget decision is a single-threaded fold.
 ///
 /// Every victim runs inside [`run_one`]'s fault boundary; a failed victim
 /// lands in [`SweepOutput::faults`] instead of aborting the sweep. The
@@ -566,7 +581,7 @@ where
 /// the per-victim boundary).
 pub(crate) fn sweep_victims<F>(p: &Prepared<'_>, per_victim: F) -> Result<SweepOutput, TopKError>
 where
-    F: Fn(NetId, &[NetLists], &SweepBudget) -> Result<VictimLists, TopKError> + Sync,
+    F: Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync,
 {
     let n = p.circuit.num_nets();
     let seed_lists: Vec<NetLists> = vec![NetLists::default(); n];
@@ -594,7 +609,7 @@ pub(crate) fn sweep_victims_subset<F>(
     per_victim: F,
 ) -> Result<SweepOutput, TopKError>
 where
-    F: Fn(NetId, &[NetLists], &SweepBudget) -> Result<VictimLists, TopKError> + Sync,
+    F: Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync,
 {
     let circuit = p.circuit;
     debug_assert_eq!(seed_lists.len(), circuit.num_nets());
@@ -603,7 +618,7 @@ where
     let mut ilists: Vec<NetLists> = seed_lists.to_vec();
     let mut counters: Vec<VictimCounters> = seed_counters.to_vec();
     let mut faults: Vec<Fault> = Vec::new();
-    let budget = SweepBudget::new(&p.config);
+    let mut budget = SweepBudget::new(&p.config);
     let threads = p.config.effective_threads();
 
     let mut absorb = |v: NetId,
@@ -620,61 +635,72 @@ where
         faults.extend(fault);
     };
 
-    if threads <= 1 {
-        for &v in circuit.nets_topological() {
-            if !dirty[v.index()] {
-                continue;
-            }
-            let (out, fault) = run_one(v, &ilists, &budget, &per_victim);
-            absorb(v, out, fault, &mut ilists, &mut counters);
+    for level in circuit.nets_by_level() {
+        let work_items: Vec<NetId> = level.iter().copied().filter(|v| dirty[v.index()]).collect();
+        if work_items.is_empty() {
+            // Budgets are untouched: a level with no dirty victims costs
+            // nothing, which is what keeps budgeted incremental sweeps
+            // charging only the work they actually do.
+            continue;
         }
-    } else {
-        for level in circuit.nets_by_level() {
-            let work_items: Vec<NetId> =
-                level.iter().copied().filter(|v| dirty[v.index()]).collect();
-            if work_items.is_empty() {
-                continue;
-            }
-            let chunk = work_items.len().div_ceil(threads);
-            let results: Result<Vec<(NetId, VictimLists, Option<Fault>)>, TopKError> =
-                std::thread::scope(|s| {
-                    let shared = &ilists;
-                    let work = &per_victim;
-                    let budget = &budget;
-                    let handles: Vec<_> = work_items
-                        .chunks(chunk)
-                        .map(|part| {
-                            s.spawn(move || {
-                                part.iter()
-                                    .map(|&v| {
-                                        let (out, fault) = run_one(v, shared, budget, work);
-                                        (v, out, fault)
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    let mut level_results = Vec::with_capacity(work_items.len());
-                    for h in handles {
-                        match h.join() {
-                            Ok(part) => level_results.extend(part),
-                            // Unreachable while `run_one` catches per-victim
-                            // panics, but a harness bug must still surface as
-                            // a typed error, not a propagated unwind.
-                            Err(payload) => {
-                                return Err(TopKError::EnginePanic {
-                                    phase: FaultPhase::Enumeration,
-                                    cause: panic_message(payload.as_ref()),
+        // The level-barrier budget snapshot: one skip flag and one
+        // allowance for every victim of the level (see `SweepBudget`).
+        let skip = budget.exhausted();
+        let allowance = budget.victim_allowance();
+        let level_results: Vec<(NetId, VictimLists, Option<Fault>)> =
+            if threads <= 1 || work_items.len() == 1 {
+                work_items
+                    .iter()
+                    .map(|&v| {
+                        let (out, fault) = run_one(v, &ilists, skip, allowance, &per_victim);
+                        (v, out, fault)
+                    })
+                    .collect()
+            } else {
+                let chunk = work_items.len().div_ceil(threads);
+                let results: Result<Vec<(NetId, VictimLists, Option<Fault>)>, TopKError> =
+                    std::thread::scope(|s| {
+                        let shared = &ilists;
+                        let work = &per_victim;
+                        let handles: Vec<_> = work_items
+                            .chunks(chunk)
+                            .map(|part| {
+                                s.spawn(move || {
+                                    part.iter()
+                                        .map(|&v| {
+                                            let (out, fault) =
+                                                run_one(v, shared, skip, allowance, work);
+                                            (v, out, fault)
+                                        })
+                                        .collect::<Vec<_>>()
                                 })
+                            })
+                            .collect();
+                        let mut level_results = Vec::with_capacity(work_items.len());
+                        for h in handles {
+                            match h.join() {
+                                Ok(part) => level_results.extend(part),
+                                // Unreachable while `run_one` catches per-victim
+                                // panics, but a harness bug must still surface as
+                                // a typed error, not a propagated unwind.
+                                Err(payload) => {
+                                    return Err(TopKError::EnginePanic {
+                                        phase: FaultPhase::Enumeration,
+                                        cause: panic_message(payload.as_ref()),
+                                    })
+                                }
                             }
                         }
-                    }
-                    Ok(level_results)
-                });
-            for (v, out, fault) in results? {
-                absorb(v, out, fault, &mut ilists, &mut counters);
-            }
+                        Ok(level_results)
+                    });
+                results?
+            };
+        let mut level_raw = 0usize;
+        for (v, out, fault) in level_results {
+            level_raw += out.raw_generated;
+            absorb(v, out, fault, &mut ilists, &mut counters);
         }
+        budget.charge(level_raw);
     }
     faults.sort_by_key(|f| f.victim().index());
     Ok(SweepOutput { lists: ilists, counters, faults })

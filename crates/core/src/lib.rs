@@ -41,6 +41,7 @@
 
 mod addition;
 mod aggressor;
+mod batch;
 mod candidate;
 mod config;
 mod elimination;
@@ -56,12 +57,13 @@ pub mod faultsim;
 pub mod naive;
 
 pub use aggressor::CouplingSet;
+pub use batch::{BatchOutcome, BatchStats, WhatIfBatch};
 pub use brute::{brute_force, BruteForceConfig, BruteForceOutcome};
 pub use candidate::Candidate;
 pub use config::TopKConfig;
 pub use engine::Mode;
 pub use error::{ArtifactError, TopKError};
-pub use persist::ARTIFACT_VERSION;
+pub use persist::{artifact_fingerprint, ARTIFACT_VERSION};
 pub use result::{Fault, FaultPhase, FaultReport, Soundness, SweepStats, TopKResult};
 pub use session::{MaskDelta, WhatIfOutcome, WhatIfSession};
 
@@ -102,6 +104,20 @@ fn validate_circuit_finite(circuit: &Circuit) -> Result<(), TopKError> {
         }
     }
     Ok(())
+}
+
+/// Cross-round cache of the peeled-elimination loop: the previous
+/// round's sweep output plus what that round went on to remove, so the
+/// next round can re-sweep only the removed couplings' dirty cones.
+/// Valid only for the mask and round budget it was computed under —
+/// the loop drops it when the budget shrinks.
+struct PeelCache {
+    lists: Vec<engine::NetLists>,
+    counters: Vec<engine::VictimCounters>,
+    faults: Vec<Fault>,
+    budget: usize,
+    mask: CouplingMask,
+    removed: Vec<dna_netlist::CouplingId>,
 }
 
 /// The top-k aggressor-set engine.
@@ -166,13 +182,183 @@ impl<'c> TopKAnalysis<'c> {
     /// Each round re-anchors on a full converged analysis, capturing the
     /// cross-input and cross-output fix interactions the one-pass
     /// algorithm's superposition cannot represent (see the module docs of
-    /// the elimination algorithm). Costs roughly `k / step` one-pass runs.
+    /// the elimination algorithm).
+    ///
+    /// Rounds after the first run **incrementally**, on the what-if
+    /// session substrate: the per-victim lists and counters of the
+    /// previous round are cached, and only the mask-aware dirty closure
+    /// of the just-peeled couplings' endpoints is re-swept (the peeled
+    /// couplings were enabled in the previous round, so the old mask
+    /// alone is the `old ∪ new` adjacency predicate). The cache is
+    /// dropped when the round budget shrinks (the final `k - chosen <
+    /// step` round): cached lists are built per requested cardinality
+    /// and counters per budget, so only same-budget rounds may reuse
+    /// them. Results are bit-identical to
+    /// [`elimination_set_peeled_scratch`](Self::elimination_set_peeled_scratch)
+    /// — except under a
+    /// [`global_candidate_budget`](TopKConfig::global_candidate_budget),
+    /// where incremental rounds deliberately charge only the victims
+    /// they actually re-sweep (cached victims cost nothing, as in any
+    /// incremental sweep), so a budget that would have been exhausted by
+    /// re-enumerating clean victims stretches further.
     ///
     /// # Errors
     ///
     /// Returns [`TopKError::ZeroK`] for `k == 0` and propagates timing
     /// errors from the substrate analyses.
     pub fn elimination_set_peeled(&self, k: usize, step: usize) -> Result<TopKResult, TopKError> {
+        if k == 0 {
+            return Err(TopKError::ZeroK);
+        }
+        let step = step.max(1);
+        validate_circuit_finite(self.circuit)?;
+        let start = Instant::now();
+        let mut mask = CouplingMask::all(self.circuit);
+        let mut chosen = CouplingSet::new();
+        let before = self.noise.run()?;
+        let delay_before = before.circuit_delay();
+        let mut delay_now = delay_before;
+        let mut sink = before.noisy_timing().critical_output();
+        let mut predicted = delay_before;
+        let mut peak_list_width = 0;
+        let mut generated = 0;
+        let mut stats = SweepStats::default();
+        let mut faults: Vec<Fault> = Vec::new();
+        let mut cache: Option<PeelCache> = None;
+
+        while chosen.len() < k {
+            let budget = (k - chosen.len()).min(step);
+            let prepared = guard(FaultPhase::Prepare, || {
+                Prepared::build(
+                    self.circuit,
+                    self.config,
+                    Mode::Elimination,
+                    &self.noise,
+                    mask.clone(),
+                )
+            })?;
+            let (outcome, lists, counters, round_faults) = guard(FaultPhase::Selection, || {
+                let (out, merged) = match cache.take() {
+                    Some(rc) if rc.budget == budget && !rc.removed.is_empty() => {
+                        let mut seeds: Vec<dna_netlist::NetId> =
+                            Vec::with_capacity(rc.removed.len() * 2);
+                        for &cc in &rc.removed {
+                            let ends = self.circuit.coupling(cc);
+                            seeds.push(ends.a());
+                            seeds.push(ends.b());
+                        }
+                        // This round only removed couplings, so the
+                        // previous round's mask is the `old ∪ new`
+                        // adjacency predicate of the dirty closure.
+                        let dirty = self
+                            .circuit
+                            .dirty_closure_filtered(&seeds, |id| rc.mask.is_enabled(id));
+                        let out = elimination::sweep(
+                            &prepared,
+                            budget,
+                            Some((&rc.lists, &rc.counters, &dirty)),
+                        )?;
+                        let mut merged: Vec<Fault> = rc
+                            .faults
+                            .iter()
+                            .filter(|f| !dirty[f.victim().index()])
+                            .cloned()
+                            .collect();
+                        merged.extend(out.faults.iter().cloned());
+                        merged.sort_by_key(|f| f.victim().index());
+                        (out, merged)
+                    }
+                    _ => {
+                        let out = elimination::sweep(&prepared, budget, None)?;
+                        let merged = out.faults.clone();
+                        (out, merged)
+                    }
+                };
+                let outcome = elimination::select(&prepared, budget, &out.lists, &out.counters)?;
+                Ok((outcome, out.lists, out.counters, merged))
+            })?;
+            cache = Some(PeelCache {
+                lists,
+                counters,
+                faults: round_faults.clone(),
+                budget,
+                mask: mask.clone(),
+                removed: Vec::new(),
+            });
+            peak_list_width = peak_list_width.max(outcome.totals.peak_list_width);
+            generated += outcome.totals.generated;
+            // Rounds re-sweep the same victims: count each curtailment at
+            // its per-round worst instead of summing duplicates, and keep
+            // one fault per victim.
+            stats.truncated_victims = stats.truncated_victims.max(outcome.totals.truncated_victims);
+            stats.skipped_victims = stats.skipped_victims.max(outcome.totals.skipped_victims);
+            for f in round_faults {
+                if !faults.iter().any(|g| g.victim() == f.victim()) {
+                    faults.push(f);
+                }
+            }
+
+            // Measure each option under the current mask; commit the best.
+            let mut best: Option<(f64, f64, &CouplingSet, dna_netlist::NetId)> = None;
+            for opt in &outcome.options {
+                if opt.set.is_empty() {
+                    continue;
+                }
+                let trial = mask.clone().without(opt.set.ids());
+                let measured = self.noise.run_with_mask(&trial)?.circuit_delay();
+                if best.as_ref().is_none_or(|(m, ..)| measured < *m) {
+                    best = Some((measured, opt.predicted_delay, &opt.set, opt.sink));
+                }
+            }
+            let Some((measured, pred, set, opt_sink)) = best else { break };
+            if measured >= delay_now - self.config.noise.tolerance {
+                break; // no further improvement available
+            }
+            if let Some(rc) = cache.as_mut() {
+                rc.removed = set.ids().to_vec();
+            }
+            mask = mask.without(set.ids());
+            chosen = chosen.union(set);
+            delay_now = measured;
+            predicted = pred;
+            sink = opt_sink;
+        }
+
+        stats.quarantined_victims = faults.len();
+        Ok(TopKResult {
+            mode: Mode::Elimination,
+            requested_k: k,
+            set: chosen,
+            sink,
+            delay_before,
+            delay_after: delay_now,
+            predicted_delay: predicted,
+            peak_list_width,
+            generated_candidates: generated,
+            runtime: start.elapsed(),
+            faults: FaultReport::new(faults),
+            stats,
+        })
+    }
+
+    /// The from-scratch reference implementation of
+    /// [`elimination_set_peeled`](Self::elimination_set_peeled): every
+    /// peel round re-enumerates **all** victims instead of only the
+    /// peeled couplings' dirty cones. Costs roughly `k / step` full
+    /// one-pass runs; exists for the identity tests and benchmarks that
+    /// certify the incremental loop, and as the semantic baseline when a
+    /// [`global_candidate_budget`](TopKConfig::global_candidate_budget)
+    /// should be charged for clean victims too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopKError::ZeroK`] for `k == 0` and propagates timing
+    /// errors from the substrate analyses.
+    pub fn elimination_set_peeled_scratch(
+        &self,
+        k: usize,
+        step: usize,
+    ) -> Result<TopKResult, TopKError> {
         if k == 0 {
             return Err(TopKError::ZeroK);
         }
@@ -206,9 +392,6 @@ impl<'c> TopKAnalysis<'c> {
                 guard(FaultPhase::Selection, || elimination::run(&prepared, budget))?;
             peak_list_width = peak_list_width.max(outcome.totals.peak_list_width);
             generated += outcome.totals.generated;
-            // Rounds re-sweep the same victims: count each curtailment at
-            // its per-round worst instead of summing duplicates, and keep
-            // one fault per victim.
             stats.truncated_victims = stats.truncated_victims.max(outcome.totals.truncated_victims);
             stats.skipped_victims = stats.skipped_victims.max(outcome.totals.skipped_victims);
             for f in round_faults {
@@ -217,7 +400,6 @@ impl<'c> TopKAnalysis<'c> {
                 }
             }
 
-            // Measure each option under the current mask; commit the best.
             let mut best: Option<(f64, f64, &CouplingSet, dna_netlist::NetId)> = None;
             for opt in &outcome.options {
                 if opt.set.is_empty() {
@@ -231,7 +413,7 @@ impl<'c> TopKAnalysis<'c> {
             }
             let Some((measured, pred, set, opt_sink)) = best else { break };
             if measured >= delay_now - self.config.noise.tolerance {
-                break; // no further improvement available
+                break;
             }
             mask = mask.without(set.ids());
             chosen = chosen.union(set);

@@ -519,8 +519,8 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
                 supported: ARTIFACT_VERSION,
             });
         }
-        let declared = u64::from_le_bytes(bytes[12..20].try_into().expect("8 header bytes"));
-        let declared = usize::try_from(declared)
+        let declared_u64 = u64::from_le_bytes(bytes[12..20].try_into().expect("8 header bytes"));
+        let declared = usize::try_from(declared_u64)
             .map_err(|_| ArtifactError::Malformed { what: "payload length overflows".into() })?;
         let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 header bytes"));
         let payload = &bytes[HEADER_LEN..];
@@ -626,8 +626,44 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         }
         r.done()?;
 
-        Ok(WhatIfSession { analysis, mode, k, mask, lists, counters, faults, result })
+        Ok(WhatIfSession {
+            analysis,
+            mode,
+            k,
+            mask,
+            lists,
+            counters,
+            faults,
+            result,
+            // The session is byte-for-byte the artifact it came from until
+            // the first apply; `source_fingerprint` exposes this so a
+            // save-after-load can skip rewriting an unchanged artifact.
+            resumed_from: Some((declared_u64, stored_crc)),
+        })
     }
+}
+
+/// Reads the `(payload length, CRC-32)` fingerprint from an artifact's
+/// header without decoding (or even fully reading past) the payload.
+///
+/// Returns `None` when the bytes are not a well-formed, current-version,
+/// untruncated-header artifact. Pairs with
+/// [`WhatIfSession::source_fingerprint`]: equal fingerprints mean the file
+/// still holds the exact bytes the session was resumed from, so rewriting
+/// it is pointless — the groundwork check for incremental artifact
+/// refresh.
+#[must_use]
+pub fn artifact_fingerprint(bytes: &[u8]) -> Option<(u64, u32)> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    if version != ARTIFACT_VERSION {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().ok()?);
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().ok()?);
+    Some((payload_len, crc))
 }
 
 #[cfg(test)]

@@ -12,10 +12,18 @@
 //! * [`WhatIfSession::apply`] takes a [`MaskDelta`] ("remove these
 //!   couplings", "add those back"), seeds the dirty set with the
 //!   endpoints of every coupling whose enable state actually flips,
-//!   closes it over gate-fanout and coupling-adjacency edges
-//!   (`Circuit::dirty_closure`), and re-runs the level-ordered sweep over
-//!   only the dirty victims — every clean victim's lists and counters are
-//!   served from the cache.
+//!   closes it over gate-fanout and **mask-aware** coupling-adjacency
+//!   edges (`Circuit::dirty_closure_filtered` — a coupling disabled in
+//!   both the old and new mask injects no noise in either world, so its
+//!   adjacency edge cannot carry a difference and is dropped), and
+//!   re-runs the level-ordered sweep over only the dirty victims — every
+//!   clean victim's lists and counters are served from the cache. The
+//!   outcome also reports what the mask-oblivious closure would have
+//!   been, so the adjacency filtering's savings are measurable per apply.
+//!
+//! For evaluating many *independent* deltas against one session snapshot,
+//! see [`WhatIfBatch`](crate::WhatIfBatch) — it shares closure work across
+//! scenarios and runs them through one thread pool.
 //!
 //! # Identity argument
 //!
@@ -29,7 +37,11 @@
 //! aggressor window changes its victims' envelopes — and its wideners'
 //! rankings, which the adjacency edge also covers because a widener
 //! change implies a dirty net in the aggressor's fanin cone, whose
-//! fanout reaches the aggressor). Clean victims therefore see inputs
+//! fanout reaches the aggressor). Restricting adjacency to couplings
+//! enabled in the old *or* new mask is sound: a coupling disabled in both
+//! worlds contributes no primary, no widener and no noise in either, so
+//! no per-victim input can differ through it, and flipped couplings'
+//! endpoints are seeded directly. Clean victims therefore see inputs
 //! bit-identical to a from-scratch run, so their cached lists *are* the
 //! from-scratch lists, dirty victims read bit-identical fanin lists, and
 //! the merged sweep output — and everything derived from it — is
@@ -104,6 +116,7 @@ pub struct WhatIfOutcome {
     changed: Vec<CouplingId>,
     dirty: Vec<bool>,
     recomputed_victims: usize,
+    unmasked_dirty_victims: usize,
 }
 
 impl WhatIfOutcome {
@@ -134,6 +147,15 @@ impl WhatIfOutcome {
         self.recomputed_victims
     }
 
+    /// How many victims a mask-oblivious closure (adjacency through every
+    /// coupling, enabled or not) would have re-swept. The gap to
+    /// [`recomputed_victims`](Self::recomputed_victims) is what mask-aware
+    /// adjacency saved on this apply; it is never negative.
+    #[must_use]
+    pub fn unmasked_dirty_victims(&self) -> usize {
+        self.unmasked_dirty_victims
+    }
+
     /// Total victims in the circuit.
     #[must_use]
     pub fn total_victims(&self) -> usize {
@@ -152,6 +174,40 @@ impl WhatIfOutcome {
     pub fn faults(&self) -> &FaultReport {
         self.result.faults()
     }
+
+    /// Assembles an outcome from the batch engine's parts (same shape
+    /// `apply` produces).
+    pub(crate) fn assemble(
+        result: TopKResult,
+        changed: Vec<CouplingId>,
+        dirty: Vec<bool>,
+        unmasked_dirty_victims: usize,
+    ) -> Self {
+        let recomputed_victims = dirty.iter().filter(|&&d| d).count();
+        Self { result, changed, dirty, recomputed_victims, unmasked_dirty_victims }
+    }
+}
+
+/// The couplings whose enable state differs between `old` and `new`, with
+/// both endpoints of each as dirty seeds — the shared front end of
+/// [`WhatIfSession::apply`] and the batch engine. Iterates couplings in id
+/// order, so `changed` comes back sorted.
+pub(crate) fn changed_and_seeds(
+    circuit: &dna_netlist::Circuit,
+    old: &CouplingMask,
+    new: &CouplingMask,
+) -> (Vec<CouplingId>, Vec<NetId>) {
+    let mut changed: Vec<CouplingId> = Vec::new();
+    let mut seeds: Vec<NetId> = Vec::new();
+    for id in circuit.coupling_ids() {
+        if new.is_enabled(id) != old.is_enabled(id) {
+            let cc = circuit.coupling(id);
+            changed.push(id);
+            seeds.push(cc.a());
+            seeds.push(cc.b());
+        }
+    }
+    (changed, seeds)
 }
 
 /// An incremental what-if re-analysis session over one
@@ -192,6 +248,10 @@ pub struct WhatIfSession<'a, 'c> {
     pub(crate) counters: Vec<VictimCounters>,
     pub(crate) faults: Vec<Fault>,
     pub(crate) result: TopKResult,
+    /// `(payload length, CRC-32)` of the artifact this session was resumed
+    /// from, while the session is still byte-identical to it. `None` for
+    /// sessions started fresh; cleared by the first successful `apply`.
+    pub(crate) resumed_from: Option<(u64, u32)>,
 }
 
 impl<'a, 'c> WhatIfSession<'a, 'c> {
@@ -221,7 +281,38 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         mask: CouplingMask,
     ) -> Result<Self, TopKError> {
         let (result, lists, counters, faults) = analysis.run_seeded(mode, k, &mask, None)?;
-        Ok(Self { analysis, mode, k, mask, lists, counters, faults, result })
+        Ok(Self { analysis, mode, k, mask, lists, counters, faults, result, resumed_from: None })
+    }
+
+    /// An independent copy of this session for speculative exploration:
+    /// the fork shares the underlying engine and the cached per-victim
+    /// lists (`Arc` handles — O(nets) pointer copies, no envelope deep
+    /// copies), and applying deltas to it leaves this session untouched.
+    /// The batch engine's contract is stated in terms of `fork`: each
+    /// scenario's outcome equals `fork().apply(delta)`.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        Self {
+            analysis: self.analysis,
+            mode: self.mode,
+            k: self.k,
+            mask: self.mask.clone(),
+            lists: self.lists.clone(),
+            counters: self.counters.clone(),
+            faults: self.faults.clone(),
+            result: self.result.clone(),
+            resumed_from: self.resumed_from,
+        }
+    }
+
+    /// `(payload length, CRC-32)` of the artifact this session was resumed
+    /// from, while its state is still byte-identical to that artifact.
+    /// `None` for sessions started fresh or changed since the resume (any
+    /// successful [`apply`](Self::apply) clears it). Lets a caller skip
+    /// rewriting an artifact that would come out identical.
+    #[must_use]
+    pub fn source_fingerprint(&self) -> Option<(u64, u32)> {
+        self.resumed_from
     }
 
     /// The engine mode this session analyzes.
@@ -270,18 +361,16 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         // Seed the dirty set with both endpoints of every coupling whose
         // enable state actually flips — a no-op toggle changes nothing a
         // victim's enumeration can observe.
-        let mut changed: Vec<CouplingId> = Vec::new();
-        let mut seeds: Vec<NetId> = Vec::new();
-        for id in circuit.coupling_ids() {
-            if new_mask.is_enabled(id) != self.mask.is_enabled(id) {
-                let cc = circuit.coupling(id);
-                changed.push(id);
-                seeds.push(cc.a());
-                seeds.push(cc.b());
-            }
-        }
-        let dirty = circuit.dirty_closure(&seeds);
+        let (changed, seeds) = changed_and_seeds(circuit, &self.mask, &new_mask);
+        // Mask-aware closure: adjacency propagates only through couplings
+        // enabled in the old or new world (see the module docs for the
+        // soundness argument). The mask-oblivious closure is also counted
+        // so the filtering's savings stay measurable.
+        let dirty = circuit.dirty_closure_filtered(&seeds, |cc| {
+            self.mask.is_enabled(cc) || new_mask.is_enabled(cc)
+        });
         let recomputed_victims = dirty.iter().filter(|&&d| d).count();
+        let unmasked_dirty_victims = circuit.dirty_closure(&seeds).iter().filter(|&&d| d).count();
 
         let (result, lists, counters, faults) = self.analysis.run_seeded(
             self.mode,
@@ -295,14 +384,16 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         self.counters = counters;
         self.faults = faults;
         self.result = result.clone();
+        self.resumed_from = None;
         if std::env::var_os("DNA_PROFILE").is_some() {
             eprintln!(
-                "[profile] whatif apply: {:.2?} ({recomputed_victims}/{} victims recomputed)",
+                "[profile] whatif apply: {:.2?} ({recomputed_victims}/{} victims recomputed, \
+                 {unmasked_dirty_victims} under mask-oblivious adjacency)",
                 start.elapsed(),
                 circuit.num_nets()
             );
         }
-        Ok(WhatIfOutcome { result, changed, dirty, recomputed_victims })
+        Ok(WhatIfOutcome { result, changed, dirty, recomputed_victims, unmasked_dirty_victims })
     }
 }
 

@@ -172,8 +172,10 @@ pub fn lint_result(
 ///    `before` and `after` are dirty (they are the seeds of the change);
 /// 3. the dirty set is closed under the two propagation edge kinds —
 ///    gate fanout (a dirty net's arrival feeds its load gates' outputs)
-///    and coupling adjacency (a dirty net injects noise into every net
-///    coupled to it, regardless of enable state).
+///    and **mask-aware** coupling adjacency (a dirty net injects noise
+///    into every net coupled to it through a coupling enabled in `before`
+///    *or* `after`; a coupling disabled in both worlds injects nothing in
+///    either, so its edge cannot carry a difference and is exempt).
 ///
 /// Any violation names a net that would be served stale from the session
 /// cache. Extra dirty nets are *not* reported: over-approximation costs
@@ -235,6 +237,11 @@ pub fn lint_dirty_closure(
             }
         }
         for &cc in circuit.couplings_on(n) {
+            if !before.is_enabled(cc) && !after.is_enabled(cc) {
+                // Disabled in both worlds: zero noise injected either way,
+                // so this edge cannot propagate a state difference.
+                continue;
+            }
             let Some(other) = circuit.coupling(cc).other(n) else { continue };
             if !is_dirty(other.index()) {
                 diags.report(
@@ -251,6 +258,64 @@ pub fn lint_dirty_closure(
                     ),
                 );
             }
+        }
+    }
+
+    diags.sort();
+    diags
+}
+
+/// Checks that batch what-if evaluation is submission-order independent
+/// (`L043`).
+///
+/// `forward` and `reordered` must hold results for the **same scenarios in
+/// the same index space** — the caller evaluates the batch twice (once as
+/// submitted, once under a permutation, mapped back to submission order)
+/// and hands both here. Scenarios are independent queries against one
+/// session snapshot, so every observable field must be f64-bit-identical;
+/// any divergence means scenario evaluation leaked state between
+/// scenarios.
+#[must_use]
+pub fn lint_batch_order(forward: &[TopKResult], reordered: &[TopKResult]) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    if forward.len() != reordered.len() {
+        diags.report(
+            Rule::BatchOrderDependent,
+            Location::Global,
+            format!(
+                "batch evaluated {} scenarios forward but {} reordered",
+                forward.len(),
+                reordered.len()
+            ),
+        );
+        diags.sort();
+        return diags;
+    }
+
+    for (i, (a, b)) in forward.iter().zip(reordered).enumerate() {
+        let mismatch = if a.couplings() != b.couplings() {
+            Some("worst coupling set")
+        } else if a.sink() != b.sink() {
+            Some("sink output")
+        } else if a.delay_before().to_bits() != b.delay_before().to_bits()
+            || a.delay_after().to_bits() != b.delay_after().to_bits()
+            || a.predicted_delay().to_bits() != b.predicted_delay().to_bits()
+        {
+            Some("delay (bitwise)")
+        } else if a.peak_list_width() != b.peak_list_width()
+            || a.generated_candidates() != b.generated_candidates()
+        {
+            Some("sweep counters")
+        } else {
+            None
+        };
+        if let Some(field) = mismatch {
+            diags.report(
+                Rule::BatchOrderDependent,
+                Location::Global,
+                format!("scenario {i}: {field} differs under batch reordering"),
+            );
         }
     }
 

@@ -64,6 +64,6 @@ mod waveform;
 pub use circuit::lint_circuit;
 pub use config::lint_config;
 pub use diag::{Diagnostic, Diagnostics, Location, Severity};
-pub use engine::{lint_dirty_closure, lint_ilist, lint_result};
+pub use engine::{lint_batch_order, lint_dirty_closure, lint_ilist, lint_result};
 pub use rules::Rule;
 pub use waveform::{lint_envelope, lint_pwl, lint_timing};

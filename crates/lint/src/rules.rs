@@ -78,6 +78,10 @@ pub enum Rule {
     BadCapacitance,
     /// An analysis configuration field is out of its sane range.
     BadConfig,
+    /// A batch what-if scenario's result depends on the order scenarios
+    /// were submitted in: the same delta produced different answers in a
+    /// reordered batch.
+    BatchOrderDependent,
 }
 
 impl Rule {
@@ -113,6 +117,7 @@ impl Rule {
             Rule::CellNotMonotone => "L040",
             Rule::BadCapacitance => "L041",
             Rule::BadConfig => "L042",
+            Rule::BatchOrderDependent => "L043",
         }
     }
 
@@ -157,6 +162,7 @@ impl Rule {
             Rule::CellNotMonotone => "cell model not monotone",
             Rule::BadCapacitance => "bad capacitance",
             Rule::BadConfig => "bad configuration",
+            Rule::BatchOrderDependent => "batch order dependent",
         }
     }
 
@@ -192,6 +198,7 @@ impl Rule {
             Rule::CellNotMonotone,
             Rule::BadCapacitance,
             Rule::BadConfig,
+            Rule::BatchOrderDependent,
         ]
     }
 }

@@ -367,7 +367,45 @@ impl Circuit {
     /// affected nets is conservative (extra nets merely get recomputed).
     #[must_use]
     pub fn dirty_closure(&self, seeds: &[NetId]) -> Vec<bool> {
+        self.dirty_closure_filtered(seeds, |_| true)
+    }
+
+    /// [`Self::dirty_closure`] with a predicate restricting which coupling
+    /// capacitors may propagate dirtiness.
+    ///
+    /// Gate-fanout edges always propagate; a coupling-adjacency edge
+    /// through capacitor `cc` propagates only when `propagates(cc)` is
+    /// true. The canonical use is mask-aware incremental re-analysis: a
+    /// coupling disabled in *both* the before and after masks injects no
+    /// noise in either world, so it cannot carry a state difference and
+    /// its adjacency edge can be dropped (the flipped couplings' own
+    /// endpoints must be in `seeds` — flipping is itself a difference).
+    #[must_use]
+    pub fn dirty_closure_filtered<F>(&self, seeds: &[NetId], propagates: F) -> Vec<bool>
+    where
+        F: Fn(CouplingId) -> bool,
+    {
         let mut dirty = vec![false; self.nets.len()];
+        self.dirty_closure_extend(&mut dirty, seeds, propagates);
+        dirty
+    }
+
+    /// Extends an existing dirty closure in place with extra `seeds`.
+    ///
+    /// `dirty` must be a fixpoint of some *restriction* of `propagates`
+    /// (fewer allowed couplings) whose newly allowed couplings all have
+    /// both endpoints in `seeds`, or the all-false vector. Under that
+    /// contract the result is exactly the from-scratch closure over the
+    /// union of the original seeds and `seeds` with the wider predicate:
+    /// the worklist is monotone, and a path through a newly allowed
+    /// coupling restarts at one of its endpoints, which is seeded here.
+    /// This is what lets a batch of what-if scenarios share the closure of
+    /// a common changed-coupling prefix and pay only for the suffix.
+    pub fn dirty_closure_extend<F>(&self, dirty: &mut [bool], seeds: &[NetId], propagates: F)
+    where
+        F: Fn(CouplingId) -> bool,
+    {
+        debug_assert_eq!(dirty.len(), self.nets.len());
         let mut work: Vec<NetId> = Vec::with_capacity(seeds.len());
         for &s in seeds {
             if !dirty[s.index()] {
@@ -384,6 +422,9 @@ impl Circuit {
                 }
             }
             for &cc in self.couplings_on(n) {
+                if !propagates(cc) {
+                    continue;
+                }
                 let Some(other) = self.coupling(cc).other(n) else { continue };
                 if !dirty[other.index()] {
                     dirty[other.index()] = true;
@@ -391,7 +432,6 @@ impl Circuit {
                 }
             }
         }
-        dirty
     }
 
     /// Looks up a net by name (linear scan; intended for tests and small
