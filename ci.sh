@@ -25,9 +25,22 @@ cargo run -q -p dna-cli --offline -- generate --gates 40 --couplings 30 --seed 9
 cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --audit >/dev/null
 cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --mode add --k 3 --audit >/dev/null
 
+echo "== damping identity smoke (semantic == structural, certificates audited)"
+# Both dampings must pass the same from-scratch audit on the same circuit;
+# the semantic run additionally re-verifies its certificates and
+# spot-checks proven-clean victims.
+cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --damping structural --audit >/dev/null
+cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --damping semantic --audit >/dev/null
+
+echo "== deep lint certificate check (i1)"
+smoke_i1="$(mktemp -t lint_i1.XXXXXX.ckt)"
+trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_i1"' EXIT
+cargo run -q -p dna-cli --offline -- generate --bench i1 --seed 42 --o "$smoke_i1" >/dev/null
+cargo run -q -p dna-cli --offline -- lint "$smoke_i1" --deep >/dev/null
+
 echo "== batch whatif smoke (shared sweep identity + order independence)"
 smoke_batch="$(mktemp -t whatif_smoke.XXXXXX.batch)"
-trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_batch"' EXIT
+trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_i1" "$smoke_batch"' EXIT
 printf -- '-0\n-1\n-0 -2\n' > "$smoke_batch"
 out="$(cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --batch "$smoke_batch" --audit)"
 echo "$out" | grep -q "audit: all 3 scenario(s) == from-scratch" \
@@ -39,7 +52,7 @@ cargo test --offline -q --test fault_injection >/dev/null
 
 echo "== session artifact round trip (save -> load -> audit, then corrupt -> fallback)"
 smoke_art="$(mktemp -t whatif_smoke.XXXXXX.dna)"
-trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_art"' EXIT
+trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_i1" "$smoke_batch" "$smoke_art"' EXIT
 cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --save "$smoke_art" >/dev/null
 # A clean artifact must resume AND still pass the bit-identity audit.
 out="$(cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --load "$smoke_art" --audit)"
@@ -53,11 +66,18 @@ echo "$out" | grep -q "audit: incremental == from-scratch" \
   || { echo "fallback run failed its audit"; exit 1; }
 
 # CI_FULL=1 additionally runs the #[ignore]d suites (full i1-i10
-# determinism + incremental identity) in release mode — minutes, not
-# seconds, so opt-in.
+# determinism + incremental + damping identity) in release mode —
+# minutes, not seconds, so opt-in.
 if [[ "${CI_FULL:-0}" == "1" ]]; then
   echo "== full ignored suites (release)"
   cargo test --workspace --offline --release -q -- --ignored
+
+  # Pedantic clippy is triage only: surface new findings without gating
+  # the build on them. The accepted baseline lives in-tree as
+  # crate-level `#![allow(clippy::...)]` attributes; anything printed
+  # here is a candidate for fixing or allowlisting, not a CI failure.
+  echo "== clippy pedantic triage (non-gating)"
+  cargo clippy --workspace --all-targets --offline -- -W clippy::pedantic || true
 fi
 
 echo "CI OK"

@@ -14,6 +14,27 @@
 //! Criterion benches (`cargo bench -p dna-bench`) cover runtime scaling
 //! and the ablation of the paper's two key techniques.
 
+// Accepted `clippy::pedantic` baseline. The CI_FULL pedantic triage in
+// `ci.sh` is non-gating; this allowlist keeps its output limited to new
+// findings. Numeric casts between index/size types are pervasive and
+// intentional here, exact float comparison is the point of the
+// bit-identity contracts, and short or similar names mirror the paper's
+// notation.
+#![allow(
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::doc_markdown,
+    clippy::float_cmp,
+    clippy::items_after_statements,
+    clippy::many_single_char_names,
+    clippy::missing_panics_doc,
+    clippy::similar_names,
+    clippy::too_many_lines
+)]
+
 use std::fmt::Write as _;
 
 use dna_netlist::{suite, Circuit, NetlistError};

@@ -13,7 +13,9 @@
 use std::time::Instant;
 
 use dna_netlist::{suite, CouplingId, NetId};
-use dna_topk::{MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfBatch, WhatIfSession};
+use dna_topk::{
+    Damping, MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfBatch, WhatIfSession,
+};
 
 use crate::{Table, DEFAULT_SEED};
 
@@ -31,7 +33,13 @@ use crate::{Table, DEFAULT_SEED};
 /// N sequential `fork().apply` calls, gated on bit-identity) and the
 /// `peeled` section (the incremental peel loop vs the from-scratch
 /// reference, gated on bit-identity).
-pub const SCHEMA: &str = "dna-bench-topk/v4";
+///
+/// `v5` added the corridor-prover damping fields: `whatif` and `batch`
+/// entries report `structural_dirty_victims` / `proven_clean_victims`,
+/// and a new `damping` section times the semantic apply against the
+/// structural apply on the same delta, gated on bit-identity of both to
+/// the from-scratch reference (`identical_to_full`).
+pub const SCHEMA: &str = "dna-bench-topk/v5";
 
 /// What to measure.
 #[derive(Debug, Clone)]
@@ -100,10 +108,16 @@ pub struct WhatIfEntry {
     /// Fastest wall-clock time of the incremental re-analysis after
     /// removing the worst set, in milliseconds.
     pub incremental_ms: f64,
-    /// Victims re-swept by the incremental run (the dirty cone).
+    /// Victims re-swept by the incremental run (the dirty cone after
+    /// corridor refinement).
     pub recomputed_victims: usize,
     /// Total victims in the circuit.
     pub total_victims: usize,
+    /// Victims the structural closure alone would have re-swept.
+    pub structural_dirty_victims: usize,
+    /// Structurally dirty victims the corridor prover certified clean
+    /// (each skip carries a machine-checkable certificate).
+    pub proven_clean_victims: usize,
     /// Whether the incremental result is bit-identical to a from-scratch
     /// run under the same mask.
     pub identical_to_full: bool,
@@ -153,10 +167,14 @@ pub struct BatchEntry {
     /// Fastest wall-clock time of the N sequential `fork().apply` calls
     /// answering the same scenarios, ms.
     pub sequential_ms: f64,
-    /// Mask-aware dirty victims across all distinct scenarios.
+    /// Mask-aware structurally dirty victims across all distinct
+    /// scenarios (what the batch would re-sweep without the prover).
     pub dirty_victims: usize,
     /// What a mask-oblivious closure would have re-swept instead.
     pub unmasked_dirty_victims: usize,
+    /// Structurally dirty victims the corridor prover certified clean
+    /// across all distinct scenarios.
+    pub proven_clean_victims: usize,
     /// Closure frames actually built by the shared prefix trie.
     pub closure_frames_built: usize,
     /// Closure frames reused from a shared prefix instead of rebuilt.
@@ -188,6 +206,31 @@ pub struct PeelEntry {
     pub identical_to_scratch: bool,
 }
 
+/// One measured damping comparison: the same worst-set removal applied
+/// once under [`dna_topk::Damping::Semantic`] (corridor prover on) and
+/// once under [`dna_topk::Damping::Structural`] (prover off), both
+/// bit-compared to a from-scratch run under the same mask.
+#[derive(Debug, Clone)]
+pub struct DampingEntry {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Engine mode (`"addition"` / `"elimination"`).
+    pub mode: String,
+    /// Fastest wall-clock time of the semantically damped apply, ms.
+    pub semantic_ms: f64,
+    /// Fastest wall-clock time of the structurally damped apply, ms.
+    pub structural_ms: f64,
+    /// Victims the structural closure re-sweeps.
+    pub structural_dirty_victims: usize,
+    /// Victims the corridor prover certified clean and skipped.
+    pub proven_clean_victims: usize,
+    /// Clean certificates emitted by the semantic apply (one per skip).
+    pub certificates: usize,
+    /// Whether the semantic and structural applies are bit-identical to
+    /// each other *and* to the from-scratch reference.
+    pub identical_to_full: bool,
+}
+
 /// A full benchmark run, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -212,6 +255,8 @@ pub struct BenchReport {
     pub batch: Vec<BatchEntry>,
     /// One entry per circuit: incremental vs from-scratch peel loop.
     pub peeled: Vec<PeelEntry>,
+    /// One entry per circuit × mode: semantic vs structural damping.
+    pub damping: Vec<DampingEntry>,
 }
 
 /// Everything that must agree between a serial and a parallel run.
@@ -268,6 +313,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
     let mut session_persistence = Vec::new();
     let mut batch = Vec::new();
     let mut peeled = Vec::new();
+    let mut damping = Vec::new();
     for name in &spec.circuits {
         let circuit = suite::benchmark(name, spec.seed).map_err(|e| e.to_string())?;
         peeled.push(bench_peeled(&circuit, name, spec)?);
@@ -275,6 +321,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
             whatif.push(bench_whatif(&circuit, name, mode, spec)?);
             session_persistence.push(bench_persist(&circuit, name, mode, spec)?);
             batch.push(bench_batch(&circuit, name, mode, spec)?);
+            damping.push(bench_damping(&circuit, name, mode, spec)?);
             let mut serial: Option<Fingerprint> = None;
             for threads in thread_configs() {
                 let config = TopKConfig { threads, validate: false, ..TopKConfig::default() };
@@ -327,6 +374,66 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
         session_persistence,
         batch,
         peeled,
+        damping,
+    })
+}
+
+/// Measures one damping comparison: the same fix-loop delta applied once
+/// with the corridor prover on ([`Damping::Semantic`], the default) and
+/// once with it off ([`Damping::Structural`]), both cross-checked for
+/// bit-identity against each other and against a from-scratch run under
+/// the same mask — the contract that semantic damping never changes an
+/// output bit, only removes re-sweep work it can certify.
+fn bench_damping(
+    circuit: &dna_netlist::Circuit,
+    name: &str,
+    mode: Mode,
+    spec: &BenchSpec,
+) -> Result<DampingEntry, String> {
+    let semantic_cfg =
+        TopKConfig { validate: false, damping: Damping::Semantic, ..TopKConfig::default() };
+    let structural_cfg = TopKConfig { damping: Damping::Structural, ..semantic_cfg };
+    let sem_engine = TopKAnalysis::new(circuit, semantic_cfg);
+    let str_engine = TopKAnalysis::new(circuit, structural_cfg);
+    let mut semantic_ms = f64::INFINITY;
+    let mut structural_ms = f64::INFINITY;
+    let mut measured = None;
+    for _ in 0..spec.samples.max(1) {
+        let mut sem = WhatIfSession::start(&sem_engine, mode, spec.k).map_err(|e| e.to_string())?;
+        let fix: Vec<CouplingId> = sem.result().couplings().to_vec();
+        let delta = MaskDelta::remove(&fix);
+
+        let start = Instant::now();
+        let sem_out = sem.apply(&delta).map_err(|e| e.to_string())?;
+        semantic_ms = semantic_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let mut st = WhatIfSession::start(&str_engine, mode, spec.k).map_err(|e| e.to_string())?;
+        let start = Instant::now();
+        let str_out = st.apply(&delta).map_err(|e| e.to_string())?;
+        structural_ms = structural_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let scratch =
+            sem_engine.run_with_mask(mode, spec.k, sem.mask()).map_err(|e| e.to_string())?;
+        let identical = fingerprint(sem_out.result()) == fingerprint(str_out.result())
+            && fingerprint(sem_out.result()) == fingerprint(&scratch);
+        measured = Some((
+            sem_out.structural_dirty_victims(),
+            sem_out.proven_clean_victims(),
+            sem_out.certificates().len(),
+            identical,
+        ));
+    }
+    let (structural_dirty_victims, proven_clean_victims, certificates, identical_to_full) =
+        measured.expect("samples >= 1");
+    Ok(DampingEntry {
+        circuit: name.to_owned(),
+        mode: mode.name().to_owned(),
+        semantic_ms,
+        structural_ms,
+        structural_dirty_victims,
+        proven_clean_victims,
+        certificates,
+        identical_to_full,
     })
 }
 
@@ -388,6 +495,7 @@ fn bench_batch(
         sequential_ms,
         dirty_victims: stats.dirty_victims(),
         unmasked_dirty_victims: stats.unmasked_dirty_victims(),
+        proven_clean_victims: stats.proven_clean_victims(),
         closure_frames_built: stats.closure_frames_built(),
         closure_frames_shared: stats.closure_frames_shared(),
         identical_to_sequential,
@@ -463,9 +571,21 @@ fn bench_whatif(
             engine.run_with_mask(mode, spec.k, session.mask()).map_err(|e| e.to_string())?;
         full_ms = full_ms.min(start.elapsed().as_secs_f64() * 1e3);
         let identical = fingerprint(outcome.result()) == fingerprint(&scratch);
-        measured = Some((outcome.recomputed_victims(), outcome.total_victims(), identical));
+        measured = Some((
+            outcome.recomputed_victims(),
+            outcome.total_victims(),
+            outcome.structural_dirty_victims(),
+            outcome.proven_clean_victims(),
+            identical,
+        ));
     }
-    let (recomputed_victims, total_victims, identical_to_full) = measured.expect("samples >= 1");
+    let (
+        recomputed_victims,
+        total_victims,
+        structural_dirty_victims,
+        proven_clean_victims,
+        identical_to_full,
+    ) = measured.expect("samples >= 1");
     Ok(WhatIfEntry {
         circuit: name.to_owned(),
         mode: mode.name().to_owned(),
@@ -473,6 +593,8 @@ fn bench_whatif(
         incremental_ms,
         recomputed_victims,
         total_victims,
+        structural_dirty_victims,
+        proven_clean_victims,
         identical_to_full,
     })
 }
@@ -562,6 +684,11 @@ impl BenchReport {
             out.push_str(&format!("      \"incremental_ms\": {:.3},\n", e.incremental_ms));
             out.push_str(&format!("      \"recomputed_victims\": {},\n", e.recomputed_victims));
             out.push_str(&format!("      \"total_victims\": {},\n", e.total_victims));
+            out.push_str(&format!(
+                "      \"structural_dirty_victims\": {},\n",
+                e.structural_dirty_victims
+            ));
+            out.push_str(&format!("      \"proven_clean_victims\": {},\n", e.proven_clean_victims));
             out.push_str(&format!("      \"identical_to_full\": {}\n", e.identical_to_full));
             out.push_str(if i + 1 < self.whatif.len() { "    },\n" } else { "    }\n" });
         }
@@ -597,6 +724,7 @@ impl BenchReport {
                 "      \"unmasked_dirty_victims\": {},\n",
                 e.unmasked_dirty_victims
             ));
+            out.push_str(&format!("      \"proven_clean_victims\": {},\n", e.proven_clean_victims));
             out.push_str(&format!("      \"closure_frames_built\": {},\n", e.closure_frames_built));
             out.push_str(&format!(
                 "      \"closure_frames_shared\": {},\n",
@@ -620,6 +748,23 @@ impl BenchReport {
             out.push_str(&format!("      \"session_ms\": {:.3},\n", e.session_ms));
             out.push_str(&format!("      \"identical_to_scratch\": {}\n", e.identical_to_scratch));
             out.push_str(if i + 1 < self.peeled.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"damping\": [\n");
+        for (i, e) in self.damping.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"circuit\": {},\n", json_string(&e.circuit)));
+            out.push_str(&format!("      \"mode\": {},\n", json_string(&e.mode)));
+            out.push_str(&format!("      \"semantic_ms\": {:.3},\n", e.semantic_ms));
+            out.push_str(&format!("      \"structural_ms\": {:.3},\n", e.structural_ms));
+            out.push_str(&format!(
+                "      \"structural_dirty_victims\": {},\n",
+                e.structural_dirty_victims
+            ));
+            out.push_str(&format!("      \"proven_clean_victims\": {},\n", e.proven_clean_victims));
+            out.push_str(&format!("      \"certificates\": {},\n", e.certificates));
+            out.push_str(&format!("      \"identical_to_full\": {}\n", e.identical_to_full));
+            out.push_str(if i + 1 < self.damping.len() { "    },\n" } else { "    }\n" });
         }
         out.push_str("  ]\n}\n");
         out
@@ -668,6 +813,7 @@ impl BenchReport {
                 "incr ms",
                 "speedup",
                 "reswept",
+                "clean",
                 "total",
                 "identical",
             ]);
@@ -679,6 +825,7 @@ impl BenchReport {
                     format!("{:.1}", e.incremental_ms),
                     format!("{:.2}x", e.full_ms / e.incremental_ms.max(1e-9)),
                     e.recomputed_victims.to_string(),
+                    e.proven_clean_victims.to_string(),
                     e.total_victims.to_string(),
                     if e.identical_to_full { "yes" } else { "NO" }.to_owned(),
                 ]);
@@ -767,6 +914,32 @@ impl BenchReport {
             }
             out.push_str("\npeeled elimination (incremental rounds vs from-scratch):\n");
             out.push_str(&ptable.render());
+        }
+        if !self.damping.is_empty() {
+            let mut dtable = Table::new(&[
+                "circuit",
+                "mode",
+                "semantic ms",
+                "structural ms",
+                "struct dirty",
+                "proven clean",
+                "certs",
+                "identical",
+            ]);
+            for e in &self.damping {
+                dtable.row(vec![
+                    e.circuit.clone(),
+                    e.mode.clone(),
+                    format!("{:.1}", e.semantic_ms),
+                    format!("{:.1}", e.structural_ms),
+                    e.structural_dirty_victims.to_string(),
+                    e.proven_clean_victims.to_string(),
+                    e.certificates.to_string(),
+                    if e.identical_to_full { "yes" } else { "NO" }.to_owned(),
+                ]);
+            }
+            out.push_str("\ncorridor damping (semantic vs structural dirty closure):\n");
+            out.push_str(&dtable.render());
         }
         out
     }
@@ -994,13 +1167,15 @@ fn parse(text: &str) -> Result<Json, String> {
 
 /// Audits a serialized report: well-formed JSON, the [`SCHEMA`] marker,
 /// every required field, non-empty `entries`, `whatif`,
-/// `session_persistence`, `batch`, and `peeled` lists — and, semantically,
-/// that every entry reported results identical to its serial reference,
-/// every what-if loop and resumed session identical to its from-scratch
-/// reference, every batch scenario identical to its sequential twin, and
-/// every incremental peel identical to the from-scratch peel (the CI
-/// gates for the level-parallel sweep, the incremental session path, and
-/// the batch engine).
+/// `session_persistence`, `batch`, `peeled`, and `damping` lists — and,
+/// semantically, that every entry reported results identical to its
+/// serial reference, every what-if loop and resumed session identical to
+/// its from-scratch reference, every batch scenario identical to its
+/// sequential twin, every incremental peel identical to the from-scratch
+/// peel, and every semantically damped apply identical to its structural
+/// and from-scratch references (the CI gates for the level-parallel
+/// sweep, the incremental session path, the batch engine, and the
+/// corridor prover).
 ///
 /// # Errors
 ///
@@ -1047,7 +1222,14 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         _ => return Err("missing `whatif` array (required by v2)".into()),
     };
     for (i, entry) in whatif.iter().enumerate() {
-        for field in ["full_ms", "incremental_ms", "recomputed_victims", "total_victims"] {
+        for field in [
+            "full_ms",
+            "incremental_ms",
+            "recomputed_victims",
+            "total_victims",
+            "structural_dirty_victims",
+            "proven_clean_victims",
+        ] {
             if entry.get(field).and_then(Json::as_num).is_none() {
                 return Err(format!("whatif entry {i}: missing or non-numeric `{field}`"));
             }
@@ -1107,6 +1289,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
             "sequential_ms",
             "dirty_victims",
             "unmasked_dirty_victims",
+            "proven_clean_victims",
             "closure_frames_built",
             "closure_frames_shared",
         ] {
@@ -1151,6 +1334,39 @@ pub fn validate_json(text: &str) -> Result<(), String> {
                 ))
             }
             _ => return Err(format!("peeled entry {i}: missing `identical_to_scratch`")),
+        }
+    }
+    let damping = match report.get("damping") {
+        Some(Json::Arr(d)) if !d.is_empty() => d,
+        Some(Json::Arr(_)) => return Err("`damping` is empty".into()),
+        _ => return Err("missing `damping` array (required by v5)".into()),
+    };
+    for (i, entry) in damping.iter().enumerate() {
+        for field in [
+            "semantic_ms",
+            "structural_ms",
+            "structural_dirty_victims",
+            "proven_clean_victims",
+            "certificates",
+        ] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("damping entry {i}: missing or non-numeric `{field}`"));
+            }
+        }
+        for field in ["circuit", "mode"] {
+            if !matches!(entry.get(field), Some(Json::Str(_))) {
+                return Err(format!("damping entry {i}: missing `{field}`"));
+            }
+        }
+        match entry.get("identical_to_full") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!(
+                    "damping entry {i}: semantically damped result differs from the \
+                     structural or from-scratch reference"
+                ))
+            }
+            _ => return Err(format!("damping entry {i}: missing `identical_to_full`")),
         }
     }
     Ok(())
@@ -1199,6 +1415,20 @@ mod tests {
         // One peel loop per circuit, at least two rounds, bit-identical.
         assert_eq!(report.peeled.len(), 1);
         assert!(report.peeled.iter().all(|e| e.identical_to_scratch && e.rounds >= 2));
+        // One damping comparison per circuit x mode: bit-identical under
+        // both dampings, one certificate per proven-clean victim, and the
+        // whatif section's bookkeeping must add up.
+        assert_eq!(report.damping.len(), 1);
+        assert!(report.damping.iter().all(|e| e.identical_to_full));
+        assert!(report.damping.iter().all(|e| e.certificates == e.proven_clean_victims));
+        assert!(report
+            .damping
+            .iter()
+            .all(|e| e.proven_clean_victims <= e.structural_dirty_victims));
+        assert!(report
+            .whatif
+            .iter()
+            .all(|e| e.recomputed_victims + e.proven_clean_victims == e.structural_dirty_victims));
         let json = report.to_json();
         validate_json(&json).expect("self-produced report validates");
         let table = report.render_table();
@@ -1208,12 +1438,13 @@ mod tests {
         assert!(table.contains("session persistence"));
         assert!(table.contains("batch what-if"));
         assert!(table.contains("peeled elimination"));
+        assert!(table.contains("corridor damping"));
     }
 
-    /// A structurally complete, semantically passing v4 report — the
+    /// A structurally complete, semantically passing v5 report — the
     /// baseline every rejection case below is a one-flag mutation of.
     const GOOD_REPORT: &str = r#"{
-      "schema": "dna-bench-topk/v4",
+      "schema": "dna-bench-topk/v5",
       "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
       "entries": [{
         "circuit": "i1", "mode": "addition", "threads": 0,
@@ -1226,6 +1457,7 @@ mod tests {
         "circuit": "i1", "mode": "addition",
         "full_ms": 2.0, "incremental_ms": 1.0,
         "recomputed_victims": 3, "total_victims": 9,
+        "structural_dirty_victims": 5, "proven_clean_victims": 2,
         "identical_to_full": true
       }],
       "session_persistence": [{
@@ -1239,6 +1471,7 @@ mod tests {
         "scenarios": 4, "distinct_scenarios": 4,
         "batch_ms": 1.0, "sequential_ms": 3.0,
         "dirty_victims": 5, "unmasked_dirty_victims": 7,
+        "proven_clean_victims": 2,
         "closure_frames_built": 4, "closure_frames_shared": 2,
         "identical_to_sequential": true
       }],
@@ -1246,6 +1479,13 @@ mod tests {
         "circuit": "i1", "k": 10, "step": 5, "rounds": 2,
         "scratch_ms": 4.0, "session_ms": 2.0,
         "identical_to_scratch": true
+      }],
+      "damping": [{
+        "circuit": "i1", "mode": "addition",
+        "semantic_ms": 0.8, "structural_ms": 1.0,
+        "structural_dirty_victims": 5, "proven_clean_victims": 2,
+        "certificates": 2,
+        "identical_to_full": true
       }]
     }"#;
 
@@ -1256,7 +1496,7 @@ mod tests {
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema": "other/v9"}"#).is_err());
         // Older schemas (missing the sections added since) are rejected.
-        for old in ["v1", "v2", "v3"] {
+        for old in ["v1", "v2", "v3", "v4"] {
             assert!(validate_json(&format!(r#"{{"schema": "dna-bench-topk/{old}"}}"#)).is_err());
         }
         validate_json(GOOD_REPORT).expect("the baseline report validates");
@@ -1287,9 +1527,18 @@ mod tests {
                 || err.contains("loaded-session result differs"),
             "{err}"
         );
+        // The damping gate is the last `identical_to_full` occurrence.
+        let last = GOOD_REPORT.rfind("\"identical_to_full\": true").expect("damping gate");
+        let bad_damping = format!(
+            "{}\"identical_to_full\": false{}",
+            &GOOD_REPORT[..last],
+            &GOOD_REPORT[last + "\"identical_to_full\": true".len()..]
+        );
+        let err = validate_json(&bad_damping).unwrap_err();
+        assert!(err.contains("semantically damped result differs"), "{err}");
 
         // Dropping any report section (or emptying it) is a violation.
-        for section in ["whatif", "session_persistence", "batch", "peeled"] {
+        for section in ["whatif", "session_persistence", "batch", "peeled", "damping"] {
             let needle = format!("\"{section}\": [");
             let start = GOOD_REPORT.find(&needle).expect("section present");
             let end = GOOD_REPORT[start..].find("}]").expect("section closes") + start + 2;

@@ -4,8 +4,8 @@ use std::fs;
 
 use dna_bench::topk_bench;
 use dna_lint::{
-    lint_batch_order, lint_circuit, lint_config, lint_dirty_closure, lint_result, lint_timing,
-    Diagnostics,
+    lint_batch_order, lint_circuit, lint_config, lint_dirty_closure, lint_dirty_closure_certified,
+    lint_result, lint_timing, Diagnostics,
 };
 use dna_netlist::generator::{generate, GeneratorConfig};
 use dna_netlist::{format, suite, Circuit, CouplingId};
@@ -13,8 +13,8 @@ use dna_noise::{glitch, CouplingMask, NoiseAnalysis, NoiseConfig};
 use dna_sta::{critical_path, top_k_paths, LinearDelayModel, StaConfig, TimingReport};
 use dna_topk::CouplingSet;
 use dna_topk::{
-    artifact_fingerprint, MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfBatch,
-    WhatIfSession,
+    artifact_fingerprint, Damping, MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult,
+    WhatIfBatch, WhatIfSession,
 };
 
 use crate::opts::Opts;
@@ -33,15 +33,23 @@ commands:
                                           --audit re-checks them against
                                           the from-scratch reference
   whatif    <file.ckt> [--mode add|del] [-k N] [--audit]
+            [--damping structural|semantic]
             [--save FILE] [--load FILE]   fix-loop: run, remove the worst
             [--batch FILE]                set, re-verify incrementally;
-                                          sessions persist to checksummed
-                                          artifacts (corrupt files fall
-                                          back to a full sweep); --batch
-                                          evaluates one scenario per line
-                                          of FILE (tokens -ID / +ID remove
-                                          or restore coupling ID, # starts
-                                          a comment) sharing closure and
+                                          --damping semantic (default)
+                                          skips victims the corridor
+                                          prover certifies clean, never
+                                          changing an output bit; --audit
+                                          re-verifies certificates and
+                                          spot-checks proven-clean victims
+                                          against from-scratch; sessions
+                                          persist to checksummed artifacts
+                                          (corrupt files fall back to a
+                                          full sweep); --batch evaluates
+                                          one scenario per line of FILE
+                                          (tokens -ID / +ID remove or
+                                          restore coupling ID, # starts a
+                                          comment) sharing closure and
                                           sweep work across scenarios
   paths     <file.ckt> [-k N]             top-k critical paths
   glitch    <file.ckt> [--margin 0.4]     functional noise check
@@ -240,7 +248,14 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
         Some("add") => Mode::Addition,
         Some(other) => return Err(format!("unknown --mode `{other}` (use add|del)")),
     };
-    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let damping = match opts.flag("damping") {
+        Some("semantic") | None => Damping::Semantic,
+        Some("structural") => Damping::Structural,
+        Some(other) => {
+            return Err(format!("unknown --damping `{other}` (use structural|semantic)"))
+        }
+    };
+    let engine = TopKAnalysis::new(&circuit, TopKConfig { damping, ..TopKConfig::default() });
 
     // --load resumes from a checksummed artifact; anything wrong with the
     // bytes (truncation, bit rot, version skew, different circuit) is
@@ -315,6 +330,7 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
 
     let fix: Vec<_> = base.couplings().to_vec();
     let delta = MaskDelta::remove(&fix);
+    let pre_mask = session.mask().clone();
     let inc_start = std::time::Instant::now();
     let outcome = session.apply(&delta).map_err(|e| e.to_string())?;
     let inc_ms = inc_start.elapsed().as_secs_f64() * 1e3;
@@ -328,16 +344,21 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
         base.delay_after() - fixed.delay_after(),
     );
     println!(
-        "incremental re-verify: {}/{} victims re-swept ({} served from cache) \
-         in {inc_ms:.1} ms (initial full run took {full_ms:.1} ms)",
+        "incremental re-verify: {}/{} victims re-swept ({} of {} structurally dirty \
+         proven clean, {} served from cache) in {inc_ms:.1} ms (initial full run took \
+         {full_ms:.1} ms)",
         outcome.recomputed_victims(),
         outcome.total_victims(),
+        outcome.proven_clean_victims(),
+        outcome.structural_dirty_victims(),
         outcome.cached_victims(),
     );
     report_resilience(&circuit, fixed);
 
     // --audit cross-checks the incremental answer against a from-scratch
-    // run under the same mask, and the dirty set against the L035 rule.
+    // run under the same mask, the dirty set and its clean certificates
+    // against the L035/L05x rules, and spot-checks a sample of
+    // proven-clean victims against the from-scratch per-victim results.
     if opts.has("audit") {
         let scratch = engine.run_with_mask(mode, k, session.mask()).map_err(|e| e.to_string())?;
         let same = fixed.couplings() == scratch.couplings()
@@ -348,16 +369,30 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
         if !same {
             return Err("audit failed: incremental result diverged from from-scratch".into());
         }
-        let diags = lint_dirty_closure(
-            &circuit,
-            &CouplingMask::all(&circuit),
-            session.mask(),
-            outcome.dirty_flags(),
-        );
+        let diags = if outcome.certificates().is_empty() {
+            lint_dirty_closure(&circuit, &pre_mask, session.mask(), outcome.dirty_flags())
+        } else {
+            let witness = engine
+                .derive_clean_witness(mode, &pre_mask, session.mask())
+                .map_err(|e| e.to_string())?;
+            lint_dirty_closure_certified(
+                &circuit,
+                &pre_mask,
+                session.mask(),
+                outcome.dirty_flags(),
+                outcome.certificates(),
+                &witness,
+            )
+        };
         if diags.has_errors() {
             return Err(format!("audit failed: dirty set incoherent\n{}", diags.render_text()));
         }
-        println!("audit: incremental == from-scratch (bit-identical), dirty closure coherent");
+        let checked = session.audit_clean_victims(&outcome, 8).map_err(|e| e.to_string())?;
+        println!(
+            "audit: incremental == from-scratch (bit-identical), dirty closure coherent, \
+             {} certificate(s) verified, {checked} proven-clean victim(s) spot-checked",
+            outcome.certificates().len(),
+        );
     }
     Ok(())
 }
@@ -430,22 +465,25 @@ fn whatif_batch(
     for (i, sc) in out.scenarios().iter().enumerate() {
         let r = sc.result();
         println!(
-            "  #{:<3} {:>2} flipped  {:>5}/{} re-swept  delay {:.3} ns ({:+.1} ps vs session)",
+            "  #{:<3} {:>2} flipped  {:>5}/{} re-swept ({} proven clean)  delay {:.3} ns \
+             ({:+.1} ps vs session)",
             i,
             sc.changed_couplings().len(),
             sc.recomputed_victims(),
             sc.total_victims(),
+            sc.proven_clean_victims(),
             r.delay_after() / 1000.0,
             r.delay_after() - base_delay,
         );
     }
     println!(
         "closure sharing: {} trie frame(s) built, {} reused; {} dirty victim(s) total \
-         ({} under mask-oblivious adjacency)",
+         ({} under mask-oblivious adjacency, {} proven clean by corridor bounds)",
         out.stats().closure_frames_built(),
         out.stats().closure_frames_shared(),
         out.stats().dirty_victims(),
         out.stats().unmasked_dirty_victims(),
+        out.stats().proven_clean_victims(),
     );
 
     if opts.has("audit") {
@@ -463,7 +501,21 @@ fn whatif_batch(
             if !same {
                 return Err(format!("audit failed: scenario {i} diverged from from-scratch"));
             }
-            let diags = lint_dirty_closure(circuit, session.mask(), &mask, sc.dirty_flags());
+            let diags = if sc.certificates().is_empty() {
+                lint_dirty_closure(circuit, session.mask(), &mask, sc.dirty_flags())
+            } else {
+                let witness = engine
+                    .derive_clean_witness(mode, session.mask(), &mask)
+                    .map_err(|e| e.to_string())?;
+                lint_dirty_closure_certified(
+                    circuit,
+                    session.mask(),
+                    &mask,
+                    sc.dirty_flags(),
+                    sc.certificates(),
+                    &witness,
+                )
+            };
             if diags.has_errors() {
                 return Err(format!(
                     "audit failed: scenario {i} dirty set incoherent\n{}",
@@ -484,9 +536,10 @@ fn whatif_batch(
         if diags.has_errors() {
             return Err(format!("audit failed: batch is order-dependent\n{}", diags.render_text()));
         }
+        let certs: usize = out.scenarios().iter().map(|sc| sc.certificates().len()).sum();
         println!(
             "audit: all {} scenario(s) == from-scratch (bit-identical), dirty closures \
-             coherent, order-independent",
+             coherent, {certs} certificate(s) verified, order-independent",
             out.stats().scenarios()
         );
     }
@@ -552,7 +605,10 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
     // --deep additionally runs a small top-k analysis end to end and
     // verifies the engine's answer, then exercises an incremental what-if
     // session and checks its dirty-set bookkeeping against the L035
-    // session-cache-coherence rule.
+    // session-cache-coherence rule and every emitted clean certificate
+    // against the L05x rules (each certificate is re-derived from scratch
+    // and compared bitwise, so an unsound or stale certificate — e.g. one
+    // injected through the `faultsim` prover hook — fails the lint).
     if opts.has("deep") {
         let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
         let result = engine.addition_set(2).map_err(|e| e.to_string())?;
@@ -561,14 +617,20 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
         let mut session = WhatIfSession::start(&engine, Mode::Elimination, 2)
             .map_err(|e| format!("deep lint: cannot start what-if session: {e}"))?;
         let worst: Vec<_> = session.result().couplings().to_vec();
+        let pre_mask = session.mask().clone();
         let outcome = session
             .apply(&MaskDelta::remove(&worst))
             .map_err(|e| format!("deep lint: what-if apply failed: {e}"))?;
-        diags.merge(lint_dirty_closure(
+        let witness = engine
+            .derive_clean_witness(Mode::Elimination, &pre_mask, session.mask())
+            .map_err(|e| format!("deep lint: cannot re-derive clean witness: {e}"))?;
+        diags.merge(lint_dirty_closure_certified(
             &circuit,
-            &CouplingMask::all(&circuit),
+            &pre_mask,
             session.mask(),
             outcome.dirty_flags(),
+            outcome.certificates(),
+            &witness,
         ));
 
         // Batch scenario results must not depend on submission order
@@ -655,6 +717,17 @@ fn render_lint(diags: &Diagnostics, json: bool) {
 mod tests {
     use super::*;
 
+    /// The `dna_topk::faultsim` registry is process-global, so the one
+    /// test that arms it holds the write half of this lock while every
+    /// other test that drives a semantic what-if refinement (whatif,
+    /// lint --deep) holds the read half — they stay parallel among
+    /// themselves but never overlap an armed injection.
+    static FAULTSIM: std::sync::RwLock<()> = std::sync::RwLock::new(());
+
+    fn faultsim_read() -> std::sync::RwLockReadGuard<'static, ()> {
+        FAULTSIM.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn argv(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| (*s).to_owned()).collect()
     }
@@ -701,6 +774,7 @@ mod tests {
 
     #[test]
     fn whatif_runs_and_audits() {
+        let _g = faultsim_read();
         let dir = std::env::temp_dir().join("dna_cli_test_whatif");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.ckt");
@@ -719,13 +793,75 @@ mod tests {
         .unwrap();
         dispatch(&argv(&["whatif", &path_s, "--k", "2", "--audit"])).unwrap();
         dispatch(&argv(&["whatif", &path_s, "--mode", "add", "--k", "2", "--audit"])).unwrap();
+        // Structural damping skips the prover but must pass the same audit.
+        dispatch(&argv(&["whatif", &path_s, "--k", "2", "--damping", "structural", "--audit"]))
+            .unwrap();
         let e = dispatch(&argv(&["whatif", &path_s, "--mode", "sideways"])).unwrap_err();
         assert!(e.contains("unknown --mode"));
+        let e = dispatch(&argv(&["whatif", &path_s, "--damping", "cosmetic"])).unwrap_err();
+        assert!(e.contains("unknown --damping"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn deep_lint_catches_injected_unsound_certificate() {
+        use dna_topk::faultsim;
+        let _g = FAULTSIM.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        struct Disarm;
+        impl Drop for Disarm {
+            fn drop(&mut self) {
+                faultsim::disarm_all();
+            }
+        }
+        let _d = Disarm;
+
+        let dir = std::env::temp_dir().join("dna_cli_test_faultsim");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckt");
+        let path_s = path.to_str().unwrap().to_owned();
+        dispatch(&argv(&[
+            "generate",
+            "--gates",
+            "20",
+            "--couplings",
+            "15",
+            "--seed",
+            "11",
+            "--o",
+            &path_s,
+        ]))
+        .unwrap();
+
+        // Replay the session deep lint runs to find a victim it re-sweeps
+        // even after corridor refinement.
+        let text = fs::read_to_string(&path).unwrap();
+        let circuit = format::parse(&text).unwrap();
+        let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+        let mut session = WhatIfSession::start(&engine, Mode::Elimination, 2).unwrap();
+        let worst: Vec<_> = session.result().couplings().to_vec();
+        let outcome = session.apply(&MaskDelta::remove(&worst)).unwrap();
+        let victim = outcome
+            .dirty_flags()
+            .iter()
+            .position(|&d| d)
+            .expect("removing the worst set must leave at least one dirty victim");
+
+        // With the prover hook armed, the session fabricates an unsound
+        // clean certificate for that victim; the L05x re-derivation in
+        // `lint --deep` must refuse it.
+        faultsim::arm_force_clean_victim(victim);
+        let e = dispatch(&argv(&["lint", &path_s, "--deep"])).unwrap_err();
+        assert!(e.contains("lint failed"), "{e}");
+        faultsim::disarm_all();
+
+        // Disarmed, the same command is clean again.
+        dispatch(&argv(&["lint", &path_s, "--deep"])).unwrap();
         fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn lint_passes_on_generated_circuit() {
+        let _g = faultsim_read();
         let dir = std::env::temp_dir().join("dna_cli_test_lint");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.ckt");
@@ -778,6 +914,7 @@ mod tests {
 
     #[test]
     fn whatif_save_load_round_trip_and_corrupt_fallback() {
+        let _g = faultsim_read();
         let dir = std::env::temp_dir().join("dna_cli_test_artifact");
         fs::create_dir_all(&dir).unwrap();
         let ckt = dir.join("t.ckt");
@@ -821,6 +958,7 @@ mod tests {
 
     #[test]
     fn whatif_batch_runs_audits_and_rejects_bad_tokens() {
+        let _g = faultsim_read();
         let dir = std::env::temp_dir().join("dna_cli_test_batch");
         fs::create_dir_all(&dir).unwrap();
         let ckt = dir.join("t.ckt");
@@ -859,6 +997,7 @@ mod tests {
 
     #[test]
     fn whatif_save_after_load_skips_unchanged_rewrite() {
+        let _g = faultsim_read();
         let dir = std::env::temp_dir().join("dna_cli_test_save_skip");
         fs::create_dir_all(&dir).unwrap();
         let ckt = dir.join("t.ckt");

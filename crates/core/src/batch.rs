@@ -40,11 +40,12 @@ use std::time::Instant;
 use dna_netlist::{CouplingId, NetId};
 use dna_noise::CouplingMask;
 
+use crate::bounds::{self, CleanCertificate};
 use crate::engine::{self, NetLists, Prepared, SweepBudget, VictimCounters, VictimLists};
 use crate::result::{Fault, FaultPhase};
 use crate::session::changed_and_seeds;
 use crate::{
-    addition, elimination, guard, MaskDelta, Mode, TopKError, TopKResult, WhatIfOutcome,
+    addition, elimination, faultsim, guard, MaskDelta, Mode, TopKError, TopKResult, WhatIfOutcome,
     WhatIfSession,
 };
 
@@ -102,6 +103,7 @@ pub struct BatchStats {
     distinct_scenarios: usize,
     dirty_victims: usize,
     unmasked_dirty_victims: usize,
+    proven_clean_victims: usize,
     closure_frames_built: usize,
     closure_frames_shared: usize,
 }
@@ -120,11 +122,25 @@ impl BatchStats {
         self.distinct_scenarios
     }
 
-    /// Victim re-sweeps across all distinct scenarios (the batch's total
-    /// enumeration work).
+    /// Structurally dirty victims across all distinct scenarios — what
+    /// the batch *would* re-sweep under [`Damping::Structural`]. Under
+    /// semantic damping the corridor prover then removes
+    /// [`proven_clean_victims`](Self::proven_clean_victims) of these, so
+    /// the actual enumeration work is the difference.
+    ///
+    /// [`Damping::Structural`]: crate::Damping::Structural
     #[must_use]
     pub fn dirty_victims(&self) -> usize {
         self.dirty_victims
+    }
+
+    /// Structurally dirty victims (summed over distinct scenarios) the
+    /// corridor prover certified clean and the sweep therefore skipped.
+    /// Zero under [`Damping::Structural`](crate::Damping::Structural) or
+    /// when no semantic state is cached (first apply after a resume).
+    #[must_use]
+    pub fn proven_clean_victims(&self) -> usize {
+        self.proven_clean_victims
     }
 
     /// What [`dirty_victims`](Self::dirty_victims) would have been under
@@ -301,6 +317,25 @@ impl WhatIfSession<'_, '_> {
         };
         let prepareds: Vec<Prepared<'_>> = built.into_iter().collect::<Result<_, _>>()?;
 
+        // --- Corridor refinement (semantic damping) ------------------
+        // Same prover call `apply` makes, per scenario against the same
+        // cached pre-state, so each scenario's refined dirty set — and
+        // hence its sweep, fault merge and certificates — stays
+        // bit-identical to `fork().apply(&delta)`.
+        let structural_of: Vec<usize> =
+            dirty_of.iter().map(|d| d.iter().filter(|&&x| x).count()).collect();
+        let mut certs_of: Vec<Vec<CleanCertificate>> = vec![Vec::new(); scenarios.len()];
+        if let Some(sem) = &self.semantic {
+            let forced = faultsim::forced_clean_victim();
+            for s in 0..scenarios.len() {
+                let (refined, _) = bounds::refine(&prepareds[s], sem, &dirty_of[s], forced);
+                certs_of[s] = refined.certificates;
+                dirty_of[s] = refined.dirty;
+            }
+            stats.proven_clean_victims = stats.dirty_victims
+                - dirty_of.iter().map(|d| d.iter().filter(|&&x| x).count()).sum::<usize>();
+        }
+
         // --- Phase B: one lockstep level-parallel sweep --------------
         let k = self.k;
         let per_victims: Vec<PerVictim<'_>> = prepareds
@@ -438,9 +473,16 @@ impl WhatIfSession<'_, '_> {
 
         let group_outcomes: Vec<WhatIfOutcome> = results
             .into_iter()
-            .zip(scenarios.iter().zip(dirty_of.iter().zip(unmasked_of.iter())))
-            .map(|(result, (sc, (dirty, &unmasked)))| {
-                WhatIfOutcome::assemble(result, sc.changed.clone(), dirty.clone(), unmasked)
+            .enumerate()
+            .map(|(s, result)| {
+                WhatIfOutcome::assemble(
+                    result,
+                    scenarios[s].changed.clone(),
+                    dirty_of[s].clone(),
+                    structural_of[s],
+                    unmasked_of[s],
+                    std::mem::take(&mut certs_of[s]),
+                )
             })
             .collect();
         let outcomes: Vec<WhatIfOutcome> =
@@ -550,6 +592,9 @@ mod tests {
                     assert_eq!(got.changed_couplings(), seq.changed_couplings());
                     assert_eq!(got.dirty_flags(), seq.dirty_flags());
                     assert_eq!(got.unmasked_dirty_victims(), seq.unmasked_dirty_victims());
+                    assert_eq!(got.structural_dirty_victims(), seq.structural_dirty_victims());
+                    assert_eq!(got.proven_clean_victims(), seq.proven_clean_victims());
+                    assert_eq!(got.certificates(), seq.certificates());
                 }
             }
         }

@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use dna_noise::NoiseConfig;
 
+use crate::bounds::Damping;
+
 /// Configuration of the top-k aggressor-set engine.
 ///
 /// The defaults reproduce the paper's algorithm; the switches exist for the
@@ -79,6 +81,13 @@ pub struct TopKConfig {
     /// `Some(Duration::ZERO)` degenerates every victim deterministically
     /// (the zero-budget edge case). `None` disables the deadline.
     pub deadline: Option<Duration>,
+    /// How incremental re-analysis (what-if sessions, batches) decides
+    /// which victims to re-sweep after a coupling flip. Never changes any
+    /// output bit — [`Damping::Semantic`] (the default) only *removes*
+    /// re-sweep work it can certify via the corridor prover, and every
+    /// skip carries a machine-checkable
+    /// [`CleanCertificate`](crate::CleanCertificate).
+    pub damping: Damping,
 }
 
 impl Default for TopKConfig {
@@ -96,6 +105,7 @@ impl Default for TopKConfig {
             victim_candidate_budget: None,
             global_candidate_budget: None,
             deadline: None,
+            damping: Damping::Semantic,
         }
     }
 }
@@ -144,6 +154,7 @@ mod tests {
         assert!(c.higher_order);
         assert!(c.validate);
         assert!(c.max_list_width.is_some());
+        assert_eq!(c.damping, Damping::Semantic);
     }
 
     #[test]

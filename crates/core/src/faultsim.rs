@@ -15,7 +15,12 @@
 //! * [`arm_panic_in_prepare`] — timing preparation panics (simulates a
 //!   panicking delay model during STA/noise convergence; must surface as
 //!   [`TopKError::EnginePanic`](crate::TopKError::EnginePanic), never
-//!   abort the process).
+//!   abort the process);
+//! * [`arm_force_clean_victim`] — the corridor prover fabricates an
+//!   *unsound* [`CleanCertificate`](crate::CleanCertificate) claiming the
+//!   given victim is provably clean (simulates a prover bug; the
+//!   certificate verifier in `dna-lint` and the `whatif --audit`
+//!   spot-check must both catch it).
 //!
 //! Every hook is a single relaxed atomic load when disarmed — negligible
 //! against the enumeration work per victim. The hooks are global: tests
@@ -36,6 +41,7 @@ const DISARMED: usize = usize::MAX;
 static PANIC_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
 static NAN_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
 static PREPARE_PANIC: AtomicBool = AtomicBool::new(false);
+static FORCE_CLEAN_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
 
 /// Arms a panic inside the enumeration of the victim with net index
 /// `index` on every subsequent sweep until [`disarm_all`].
@@ -54,11 +60,20 @@ pub fn arm_panic_in_prepare() {
     PREPARE_PANIC.store(true, Ordering::SeqCst);
 }
 
+/// Arms fabrication of an unsound clean certificate for the victim with
+/// net index `index` on every subsequent what-if refinement until
+/// [`disarm_all`]. The prover marks the victim clean *without* a proof, so
+/// downstream certificate verification must flag the run as corrupt.
+pub fn arm_force_clean_victim(index: usize) {
+    FORCE_CLEAN_VICTIM.store(index, Ordering::SeqCst);
+}
+
 /// Disarms every injection point.
 pub fn disarm_all() {
     PANIC_VICTIM.store(DISARMED, Ordering::SeqCst);
     NAN_VICTIM.store(DISARMED, Ordering::SeqCst);
     PREPARE_PANIC.store(false, Ordering::SeqCst);
+    FORCE_CLEAN_VICTIM.store(DISARMED, Ordering::SeqCst);
 }
 
 /// Installs (once) a panic hook that suppresses the default stderr
@@ -105,5 +120,14 @@ pub(crate) fn corrupt_delay_noise(v: NetId, dn: f64) -> f64 {
 pub(crate) fn maybe_panic_in_prepare() {
     if PREPARE_PANIC.load(Ordering::Relaxed) {
         panic!("{PANIC_TAG} injected panic in timing preparation");
+    }
+}
+
+/// Prover hook: the net index whose clean certificate should be
+/// fabricated, if armed.
+pub(crate) fn forced_clean_victim() -> Option<usize> {
+    match FORCE_CLEAN_VICTIM.load(Ordering::Relaxed) {
+        DISARMED => None,
+        index => Some(index),
     }
 }

@@ -102,11 +102,13 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Config fingerprint with `threads` normalized out: the thread count is
-/// the one knob guaranteed (and tested) not to change results, so an
-/// artifact saved at `threads = 8` loads fine at `threads = 1`.
+/// Config fingerprint with `threads` and `damping` normalized out: both
+/// knobs are guaranteed (and tested) not to change results — thread count
+/// only shifts scheduling, and the corridor prover only removes certified
+/// re-sweep work — so an artifact saved at `threads = 8` under semantic
+/// damping loads fine at `threads = 1` under structural damping.
 fn config_hash(config: &TopKConfig) -> u64 {
-    let normalized = TopKConfig { threads: 0, ..*config };
+    let normalized = TopKConfig { threads: 0, damping: crate::Damping::Structural, ..*config };
     fnv1a64(format!("{normalized:?}").as_bytes())
 }
 
@@ -639,6 +641,10 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
             // the first apply; `source_fingerprint` exposes this so a
             // save-after-load can skip rewriting an unchanged artifact.
             resumed_from: Some((declared_u64, stored_crc)),
+            // Corridor digests are cheap to rebuild and tedious to
+            // version; the first apply after a resume falls back to the
+            // structural closure and re-captures them.
+            semantic: None,
         })
     }
 }
@@ -687,6 +693,10 @@ mod tests {
     fn config_hash_ignores_threads_only() {
         let base = TopKConfig::default();
         assert_eq!(config_hash(&base), config_hash(&TopKConfig { threads: 7, ..base }));
+        assert_eq!(
+            config_hash(&base),
+            config_hash(&TopKConfig { damping: crate::Damping::Structural, ..base })
+        );
         assert_ne!(config_hash(&base), config_hash(&TopKConfig { validate: false, ..base }));
         assert_ne!(
             config_hash(&base),

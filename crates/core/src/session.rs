@@ -53,9 +53,10 @@ use std::time::Instant;
 use dna_netlist::{CouplingId, NetId};
 use dna_noise::CouplingMask;
 
+use crate::bounds::{self, CleanCertificate, SemanticState};
 use crate::engine::{NetLists, VictimCounters};
 use crate::result::{Fault, FaultReport};
-use crate::{Mode, TopKAnalysis, TopKError, TopKResult};
+use crate::{faultsim, Damping, Mode, TopKAnalysis, TopKError, TopKResult};
 
 /// A change to the coupling set of a running [`WhatIfSession`].
 ///
@@ -116,7 +117,9 @@ pub struct WhatIfOutcome {
     changed: Vec<CouplingId>,
     dirty: Vec<bool>,
     recomputed_victims: usize,
+    structural_dirty_victims: usize,
     unmasked_dirty_victims: usize,
+    certificates: Vec<CleanCertificate>,
 }
 
 impl WhatIfOutcome {
@@ -141,19 +144,47 @@ impl WhatIfOutcome {
         &self.dirty
     }
 
-    /// How many victims the sweep recomputed (the dirty-cone size).
+    /// How many victims the sweep recomputed (the dirty-cone size after
+    /// any corridor-prover damping).
     #[must_use]
     pub fn recomputed_victims(&self) -> usize {
         self.recomputed_victims
     }
 
+    /// How many victims the *structural* (mask-aware reachability) dirty
+    /// closure flagged, before corridor-prover damping. Always at least
+    /// [`recomputed_victims`](Self::recomputed_victims).
+    #[must_use]
+    pub fn structural_dirty_victims(&self) -> usize {
+        self.structural_dirty_victims
+    }
+
+    /// How many structurally dirty victims the corridor prover certified
+    /// clean on this apply (and the sweep therefore served from cache) —
+    /// one [`CleanCertificate`] each in
+    /// [`certificates`](Self::certificates). Zero under
+    /// [`Damping::Structural`].
+    #[must_use]
+    pub fn proven_clean_victims(&self) -> usize {
+        self.structural_dirty_victims - self.recomputed_victims
+    }
+
     /// How many victims a mask-oblivious closure (adjacency through every
     /// coupling, enabled or not) would have re-swept. The gap to
-    /// [`recomputed_victims`](Self::recomputed_victims) is what mask-aware
-    /// adjacency saved on this apply; it is never negative.
+    /// [`structural_dirty_victims`](Self::structural_dirty_victims) is
+    /// what mask-aware adjacency saved on this apply; it is never
+    /// negative.
     #[must_use]
     pub fn unmasked_dirty_victims(&self) -> usize {
         self.unmasked_dirty_victims
+    }
+
+    /// The machine-checkable certificates justifying every structurally
+    /// dirty victim the corridor prover skipped, sorted by victim index.
+    /// Empty under [`Damping::Structural`].
+    #[must_use]
+    pub fn certificates(&self) -> &[CleanCertificate] {
+        &self.certificates
     }
 
     /// Total victims in the circuit.
@@ -181,10 +212,20 @@ impl WhatIfOutcome {
         result: TopKResult,
         changed: Vec<CouplingId>,
         dirty: Vec<bool>,
+        structural_dirty_victims: usize,
         unmasked_dirty_victims: usize,
+        certificates: Vec<CleanCertificate>,
     ) -> Self {
         let recomputed_victims = dirty.iter().filter(|&&d| d).count();
-        Self { result, changed, dirty, recomputed_victims, unmasked_dirty_victims }
+        Self {
+            result,
+            changed,
+            dirty,
+            recomputed_victims,
+            structural_dirty_victims,
+            unmasked_dirty_victims,
+            certificates,
+        }
     }
 }
 
@@ -248,6 +289,12 @@ pub struct WhatIfSession<'a, 'c> {
     pub(crate) counters: Vec<VictimCounters>,
     pub(crate) faults: Vec<Fault>,
     pub(crate) result: TopKResult,
+    /// The corridor prover's fingerprint of the current world (per-net
+    /// digests + shift bounds), kept when
+    /// [`damping`](crate::TopKConfig::damping) is [`Damping::Semantic`].
+    /// `None` after an artifact resume (digests are not persisted): the
+    /// next apply falls back to the structural closure and re-captures.
+    pub(crate) semantic: Option<SemanticState>,
     /// `(payload length, CRC-32)` of the artifact this session was resumed
     /// from, while the session is still byte-identical to it. `None` for
     /// sessions started fresh; cleared by the first successful `apply`.
@@ -280,8 +327,26 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         k: usize,
         mask: CouplingMask,
     ) -> Result<Self, TopKError> {
-        let (result, lists, counters, faults) = analysis.run_seeded(mode, k, &mask, None)?;
-        Ok(Self { analysis, mode, k, mask, lists, counters, faults, result, resumed_from: None })
+        if k == 0 {
+            return Err(TopKError::ZeroK);
+        }
+        let start = Instant::now();
+        let prepared = analysis.prepare(mode, &mask)?;
+        let semantic = (analysis.config().damping == Damping::Semantic)
+            .then(|| SemanticState::capture(&prepared));
+        let (result, lists, counters, faults) = analysis.run_prepared(&prepared, k, None, start)?;
+        Ok(Self {
+            analysis,
+            mode,
+            k,
+            mask,
+            lists,
+            counters,
+            faults,
+            result,
+            semantic,
+            resumed_from: None,
+        })
     }
 
     /// An independent copy of this session for speculative exploration:
@@ -301,6 +366,7 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
             counters: self.counters.clone(),
             faults: self.faults.clone(),
             result: self.result.clone(),
+            semantic: self.semantic.clone(),
             resumed_from: self.resumed_from,
         }
     }
@@ -366,17 +432,40 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         // enabled in the old or new world (see the module docs for the
         // soundness argument). The mask-oblivious closure is also counted
         // so the filtering's savings stay measurable.
-        let dirty = circuit.dirty_closure_filtered(&seeds, |cc| {
+        let structural = circuit.dirty_closure_filtered(&seeds, |cc| {
             self.mask.is_enabled(cc) || new_mask.is_enabled(cc)
         });
-        let recomputed_victims = dirty.iter().filter(|&&d| d).count();
+        let structural_dirty_victims = structural.iter().filter(|&&d| d).count();
         let unmasked_dirty_victims = circuit.dirty_closure(&seeds).iter().filter(|&&d| d).count();
 
-        let (result, lists, counters, faults) = self.analysis.run_seeded(
-            self.mode,
+        let prepared = self.analysis.prepare(self.mode, &new_mask)?;
+
+        // Corridor prover: when this session carries a semantic
+        // fingerprint of its old world, refine the structural closure to
+        // only the victims whose cleanliness cannot be certified. A
+        // session without a fingerprint (structural damping, or the first
+        // apply after an artifact resume) sweeps the structural closure
+        // and — under semantic damping — captures a fingerprint so the
+        // next apply can damp.
+        let (dirty, certificates, semantic) = match &self.semantic {
+            Some(old) => {
+                let (refined, state) =
+                    bounds::refine(&prepared, old, &structural, faultsim::forced_clean_victim());
+                (refined.dirty, refined.certificates, Some(state))
+            }
+            None => {
+                let state = (self.analysis.config().damping == Damping::Semantic)
+                    .then(|| SemanticState::capture(&prepared));
+                (structural, Vec::new(), state)
+            }
+        };
+        let recomputed_victims = dirty.iter().filter(|&&d| d).count();
+
+        let (result, lists, counters, faults) = self.analysis.run_prepared(
+            &prepared,
             self.k,
-            &new_mask,
             Some((&self.lists, &self.counters, &self.faults, &dirty)),
+            start,
         )?;
 
         self.mask = new_mask;
@@ -384,16 +473,72 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         self.counters = counters;
         self.faults = faults;
         self.result = result.clone();
+        self.semantic = semantic;
         self.resumed_from = None;
         if std::env::var_os("DNA_PROFILE").is_some() {
             eprintln!(
                 "[profile] whatif apply: {:.2?} ({recomputed_victims}/{} victims recomputed, \
-                 {unmasked_dirty_victims} under mask-oblivious adjacency)",
+                 {} proven clean, {unmasked_dirty_victims} under mask-oblivious adjacency)",
                 start.elapsed(),
-                circuit.num_nets()
+                circuit.num_nets(),
+                structural_dirty_victims - recomputed_victims,
             );
         }
-        Ok(WhatIfOutcome { result, changed, dirty, recomputed_victims, unmasked_dirty_victims })
+        Ok(WhatIfOutcome {
+            result,
+            changed,
+            dirty,
+            recomputed_victims,
+            structural_dirty_victims,
+            unmasked_dirty_victims,
+            certificates,
+        })
+    }
+
+    /// Spot-checks up to `sample` proven-clean victims of `outcome`
+    /// against a from-scratch run under the session's current mask: their
+    /// cached irredundant lists and enumeration counters must be
+    /// bit-identical to the recomputed ones. This is the audit teeth
+    /// behind the corridor prover — an unsound [`CleanCertificate`]
+    /// (wrong bound, lying digest) surfaces here even though the victim
+    /// was never re-swept. Returns how many victims were checked.
+    ///
+    /// Certificates are sampled at a deterministic stride so repeated
+    /// audits of the same outcome check the same victims.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::Internal`] naming the first diverging victim, or a
+    /// propagated analysis error from the from-scratch reference run.
+    pub fn audit_clean_victims(
+        &self,
+        outcome: &WhatIfOutcome,
+        sample: usize,
+    ) -> Result<usize, TopKError> {
+        let certs = outcome.certificates();
+        if certs.is_empty() || sample == 0 {
+            return Ok(0);
+        }
+        let (_, lists, counters, _) =
+            self.analysis.run_seeded(self.mode, self.k, &self.mask, None)?;
+        let stride = (certs.len() / sample).max(1);
+        let mut checked = 0;
+        for cert in certs.iter().step_by(stride) {
+            if checked == sample {
+                break;
+            }
+            let vi = cert.victim().index();
+            if *self.lists[vi] != *lists[vi] || self.counters[vi] != counters[vi] {
+                return Err(TopKError::Internal {
+                    what: format!(
+                        "proven-clean victim {vi} diverges from the from-scratch reference — \
+                         unsound clean certificate"
+                    ),
+                });
+            }
+            checked += 1;
+        }
+        Ok(checked)
     }
 }
 

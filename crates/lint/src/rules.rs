@@ -14,7 +14,9 @@ use crate::Severity;
 /// * `L01x` — topology (orders, cycles),
 /// * `L02x` — waveform well-formedness,
 /// * `L03x` — engine invariants (irredundant lists, results),
-/// * `L04x` — library / configuration sanity.
+/// * `L04x` — library / configuration sanity,
+/// * `L05x` — semantic damping certificates (the corridor prover's
+///   clean-victim proofs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Rule {
@@ -82,6 +84,20 @@ pub enum Rule {
     /// were submitted in: the same delta produced different answers in a
     /// reordered batch.
     BatchOrderDependent,
+    /// A clean certificate is internally inconsistent or contradicts the
+    /// independently re-derived prover verdict: it covers a victim the
+    /// session still re-sweeps, records a changed semantic digest, is
+    /// duplicated, or claims clean a victim the re-derivation proves
+    /// dirty.
+    CleanCertificateInvalid,
+    /// A clean certificate does not bitwise match its independently
+    /// re-derived counterpart — the session's cached corridor state has
+    /// drifted from the world it claims to describe.
+    CorridorCacheStale,
+    /// A certificate's refuting corridor bound is not monotone: the
+    /// envelope contribution at zero shift exceeds the claimed bound over
+    /// the whole shift corridor.
+    BoundNotMonotone,
 }
 
 impl Rule {
@@ -118,6 +134,9 @@ impl Rule {
             Rule::BadCapacitance => "L041",
             Rule::BadConfig => "L042",
             Rule::BatchOrderDependent => "L043",
+            Rule::CleanCertificateInvalid => "L050",
+            Rule::CorridorCacheStale => "L051",
+            Rule::BoundNotMonotone => "L052",
         }
     }
 
@@ -163,6 +182,9 @@ impl Rule {
             Rule::BadCapacitance => "bad capacitance",
             Rule::BadConfig => "bad configuration",
             Rule::BatchOrderDependent => "batch order dependent",
+            Rule::CleanCertificateInvalid => "clean certificate invalid",
+            Rule::CorridorCacheStale => "stale corridor cache",
+            Rule::BoundNotMonotone => "bound not monotone",
         }
     }
 
@@ -199,6 +221,9 @@ impl Rule {
             Rule::BadCapacitance,
             Rule::BadConfig,
             Rule::BatchOrderDependent,
+            Rule::CleanCertificateInvalid,
+            Rule::CorridorCacheStale,
+            Rule::BoundNotMonotone,
         ]
     }
 }

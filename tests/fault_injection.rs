@@ -276,6 +276,89 @@ fn artifact_for_a_different_circuit_or_config_is_rejected() {
 }
 
 #[test]
+fn forced_clean_certificate_fails_the_audit_spot_check() {
+    let _guard = armed();
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+
+    // Honest run first: its certificates must pass the spot check.
+    let mut honest = WhatIfSession::start(&engine, Mode::Elimination, 3).expect("session starts");
+    let fix: Vec<CouplingId> = honest.result().couplings().to_vec();
+    let outcome = honest.apply(&MaskDelta::remove(&fix)).expect("apply succeeds");
+    honest.audit_clean_victims(&outcome, 8).expect("honest certificates pass the spot check");
+
+    // A structurally dirty victim whose cached answer happens to match
+    // the new world would slip past the per-victim comparison, so aim
+    // the hook at victims whose data certainly changed: the endpoints of
+    // the removed couplings (their candidate lists lose the coupling).
+    // At least one of them must make the forged audit fail typed.
+    let mut caught = false;
+    for &cc in &fix {
+        let coupling = circuit.coupling(cc);
+        for victim in [coupling.a().index(), coupling.b().index()] {
+            if !outcome.dirty_flags()[victim] {
+                continue;
+            }
+            faultsim::arm_force_clean_victim(victim);
+            let mut forged =
+                WhatIfSession::start(&engine, Mode::Elimination, 3).expect("session starts");
+            let forged_out = forged.apply(&MaskDelta::remove(&fix)).expect("apply succeeds");
+            faultsim::disarm_all();
+            assert!(
+                !forged_out.dirty_flags()[victim],
+                "the armed hook must force victim {victim} out of the dirty set"
+            );
+            assert!(
+                forged_out.certificates().iter().any(|c| c.victim().index() == victim),
+                "the forced skip must carry a (fabricated) certificate"
+            );
+            match forged.audit_clean_victims(&forged_out, usize::MAX) {
+                Err(TopKError::Internal { .. }) => caught = true,
+                Err(other) => panic!("expected a typed internal error, got {other:?}"),
+                Ok(_) => {}
+            }
+        }
+    }
+    assert!(caught, "the audit must reject at least one fabricated certificate");
+}
+
+#[test]
+fn forced_clean_certificate_fails_lint_rederivation() {
+    use topk_aggressors::lint::lint_dirty_closure_certified;
+
+    let _guard = armed();
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let mut session = WhatIfSession::start(&engine, Mode::Elimination, 3).expect("session starts");
+    let fix: Vec<CouplingId> = session.result().couplings().to_vec();
+    let probe = session.fork().apply(&MaskDelta::remove(&fix)).expect("probe apply succeeds");
+    let victim = probe.dirty_flags().iter().position(|&d| d).expect("the fix dirties some victim");
+
+    faultsim::arm_force_clean_victim(victim);
+    let before = session.mask().clone();
+    let outcome = session.apply(&MaskDelta::remove(&fix)).expect("apply succeeds");
+    faultsim::disarm_all();
+
+    // The independent re-derivation runs with the hook disarmed, so the
+    // fabricated certificate contradicts the witness: L050 (and a stale
+    // corridor counterpart, L051) must fire.
+    let witness = engine
+        .derive_clean_witness(Mode::Elimination, &before, session.mask())
+        .expect("witness derivation succeeds");
+    let diags = lint_dirty_closure_certified(
+        &circuit,
+        &before,
+        session.mask(),
+        outcome.dirty_flags(),
+        outcome.certificates(),
+        &witness,
+    );
+    assert!(diags.has_errors(), "the fabricated certificate must be caught");
+    let text = diags.render_text();
+    assert!(text.contains("L050"), "expected L050 in:\n{text}");
+}
+
+#[test]
 fn whatif_apply_recovers_after_a_quarantined_start() {
     let _guard = armed();
     let circuit = i1();

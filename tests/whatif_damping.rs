@@ -1,0 +1,149 @@
+//! The semantic-damping contract: a what-if apply under
+//! [`Damping::Semantic`] (corridor prover on) is **f64-bit-identical** to
+//! the same apply under [`Damping::Structural`] (prover off) and to a
+//! from-scratch run under the resulting mask — at any thread count, in
+//! both modes — while every victim the prover skips carries a clean
+//! certificate.
+//!
+//! Companion of `whatif_incremental.rs`: the same fingerprint discipline,
+//! applied across the damping axis instead of the thread axis.
+
+use topk_aggressors::netlist::generator::{generate, GeneratorConfig};
+use topk_aggressors::netlist::{suite, Circuit, CouplingId};
+use topk_aggressors::topk::{
+    Damping, MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfSession,
+};
+
+/// Everything observable about a result except wall-clock time.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    set: Vec<usize>,
+    sink: usize,
+    delay_before: u64,
+    delay_after: u64,
+    predicted: u64,
+    peak_list_width: usize,
+    generated: usize,
+}
+
+fn fingerprint(r: &TopKResult) -> Fingerprint {
+    Fingerprint {
+        set: r.couplings().iter().map(|c| c.index()).collect(),
+        sink: r.sink().index(),
+        delay_before: r.delay_before().to_bits(),
+        delay_after: r.delay_after().to_bits(),
+        predicted: r.predicted_delay().to_bits(),
+        peak_list_width: r.peak_list_width(),
+        generated: r.generated_candidates(),
+    }
+}
+
+fn config(threads: usize, damping: Damping) -> TopKConfig {
+    TopKConfig { threads, damping, validate: false, ..TopKConfig::default() }
+}
+
+/// The core identity check on one circuit, mode, and thread count: the
+/// fix-loop delta (remove the reported worst set, then add it back)
+/// answered under both dampings and from scratch, all three bit-compared.
+/// Returns the semantic run's proven-clean total across both deltas.
+fn assert_damping_identity(
+    name: &str,
+    circuit: &Circuit,
+    mode: Mode,
+    k: usize,
+    threads: usize,
+) -> usize {
+    let sem_engine = TopKAnalysis::new(circuit, config(threads, Damping::Semantic));
+    let str_engine = TopKAnalysis::new(circuit, config(threads, Damping::Structural));
+    let mut sem =
+        WhatIfSession::start(&sem_engine, mode, k).expect("semantic session start succeeds");
+    let mut st =
+        WhatIfSession::start(&str_engine, mode, k).expect("structural session start succeeds");
+    assert_eq!(
+        fingerprint(sem.result()),
+        fingerprint(st.result()),
+        "{name}/{mode:?}/t{threads}: damping must not change the initial full run"
+    );
+
+    let fix: Vec<CouplingId> = sem.result().couplings().to_vec();
+    let mut proven = 0;
+    for delta in [MaskDelta::remove(&fix), MaskDelta::add(&fix)] {
+        let sem_out = sem.apply(&delta).expect("semantic apply succeeds");
+        let str_out = st.apply(&delta).expect("structural apply succeeds");
+        let scratch =
+            sem_engine.run_with_mask(mode, k, sem.mask()).expect("from-scratch run succeeds");
+        assert_eq!(
+            fingerprint(sem_out.result()),
+            fingerprint(str_out.result()),
+            "{name}/{mode:?}/t{threads}: semantic != structural"
+        );
+        assert_eq!(
+            fingerprint(sem_out.result()),
+            fingerprint(&scratch),
+            "{name}/{mode:?}/t{threads}: semantic != from-scratch"
+        );
+
+        // Bookkeeping: the prover only ever subtracts from the structural
+        // closure, one certificate per subtraction; the structural run
+        // must not certify anything.
+        assert_eq!(
+            sem_out.recomputed_victims() + sem_out.proven_clean_victims(),
+            sem_out.structural_dirty_victims(),
+            "{name}/{mode:?}/t{threads}: damping bookkeeping must add up"
+        );
+        assert_eq!(sem_out.certificates().len(), sem_out.proven_clean_victims());
+        assert_eq!(str_out.proven_clean_victims(), 0);
+        assert!(str_out.certificates().is_empty());
+        assert_eq!(str_out.recomputed_victims(), str_out.structural_dirty_victims());
+        assert!(sem_out.recomputed_victims() <= str_out.recomputed_victims());
+        proven += sem_out.proven_clean_victims();
+    }
+    proven
+}
+
+#[test]
+fn i1_damping_identity_all_threads_and_modes() {
+    let circuit = suite::benchmark("i1", 42).expect("known benchmark");
+    let mut proven = 0;
+    for mode in [Mode::Addition, Mode::Elimination] {
+        for threads in [1usize, 0, 4] {
+            proven += assert_damping_identity("i1", &circuit, mode, 5, threads);
+        }
+    }
+    assert!(proven > 0, "the corridor prover must certify at least one victim on i1");
+}
+
+/// All-equal coupling caps force near-tie candidate orderings — the
+/// adversarial regime for any damping that dares skip work: a single
+/// mis-skipped victim flips which of the tied candidates wins, so bit
+/// identity here exercises the prover's soundness where it is cheapest
+/// to lose.
+#[test]
+fn near_tie_orderings_stay_bit_identical() {
+    for seed in 0..4u64 {
+        let mut cfg = GeneratorConfig::new(36, 48);
+        cfg.coupling_cap_range = (6.0, 6.0);
+        cfg.wire_cap_range = (8.0, 8.0);
+        cfg.seed = seed;
+        let circuit = generate(&cfg).expect("generator succeeds");
+        for mode in [Mode::Addition, Mode::Elimination] {
+            assert_damping_identity("near-tie", &circuit, mode, 4, 1);
+        }
+    }
+}
+
+/// The full-size identity sweep on i10 — minutes, not seconds, so it is
+/// ignored by default and run by CI only under `CI_FULL=1`
+/// (`cargo test -- --ignored`).
+#[test]
+#[ignore = "i10 is the multi-minute full-suite gate; run with -- --ignored"]
+fn i10_damping_identity_full_suite() {
+    let circuit = suite::benchmark("i10", 42).expect("known benchmark");
+    let mut proven = 0;
+    for mode in [Mode::Addition, Mode::Elimination] {
+        for threads in [1usize, 0, 4] {
+            proven += assert_damping_identity("i10", &circuit, mode, 10, threads);
+        }
+    }
+    assert!(proven > 0, "the corridor prover must certify victims on i10");
+}
