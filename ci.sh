@@ -38,6 +38,21 @@ trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_i1"' EXIT
 cargo run -q -p dna-cli --offline -- generate --bench i1 --seed 42 --o "$smoke_i1" >/dev/null
 cargo run -q -p dna-cli --offline -- lint "$smoke_i1" --deep >/dev/null
 
+echo "== scheduler smoke (i1: threads 4 bit-identical to threads 1)"
+# Strip the run-local diagnostics (wall-clock runtime, scheduler
+# counters) and compare everything else — the couplings, the delays.
+sched_fingerprint() {
+  cargo run -q -p dna-cli --offline -- topk "$smoke_i1" --k 3 --threads "$1" \
+    | grep -v '^scheduler:' | sed 's/ in [0-9.]*[a-zµ]*s$//'
+}
+t1="$(sched_fingerprint 1)"
+t4="$(sched_fingerprint 4)"
+[[ "$t1" == "$t4" ]] || {
+  echo "scheduler smoke: threads=4 diverged from the serial reference"
+  diff <(echo "$t1") <(echo "$t4") || true
+  exit 1
+}
+
 echo "== batch whatif smoke (shared sweep identity + order independence)"
 smoke_batch="$(mktemp -t whatif_smoke.XXXXXX.batch)"
 trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_i1" "$smoke_batch"' EXIT
@@ -71,6 +86,20 @@ echo "$out" | grep -q "audit: incremental == from-scratch" \
 if [[ "${CI_FULL:-0}" == "1" ]]; then
   echo "== full ignored suites (release)"
   cargo test --workspace --offline --release -q -- --ignored
+
+  # Loom-style steal-order stress: DNA_SCHED_SHUFFLE deterministically
+  # perturbs deque seeding and steal direction without being allowed to
+  # move an output bit. Sweep a handful of seeds against the serial
+  # reference; any divergence is a scheduler determinism bug.
+  echo "== scheduler steal-order stress (DNA_SCHED_SHUFFLE sweep)"
+  for seed in 1 2 7 31 9001; do
+    ts="$(DNA_SCHED_SHUFFLE=$seed sched_fingerprint 4)"
+    [[ "$t1" == "$ts" ]] || {
+      echo "steal-order stress: shuffle seed $seed diverged from serial"
+      diff <(echo "$t1") <(echo "$ts") || true
+      exit 1
+    }
+  done
 
   # Pedantic clippy is triage only: surface new findings without gating
   # the build on them. The accepted baseline lives in-tree as

@@ -1,8 +1,8 @@
-//! The tracked top-k scaling benchmark: serial vs. level-parallel sweep.
+//! The tracked top-k scaling benchmark: serial vs. work-stealing sweep.
 //!
 //! Runs the i1/i5/i10 suite through [`TopKAnalysis`] once per thread
 //! configuration and records wall-clock time plus the result fingerprint,
-//! so the level-parallel sweep is *measured* against the serial reference
+//! so the work-stealing sweep is *measured* against the serial reference
 //! path — and proven bit-identical to it — on every tracked run. The
 //! report serializes to `BENCH_topk.json` (schema [`SCHEMA`]); the JSON is
 //! hand-rolled and hand-parsed because the workspace carries no serde.
@@ -39,7 +39,16 @@ use crate::{Table, DEFAULT_SEED};
 /// and a new `damping` section times the semantic apply against the
 /// structural apply on the same delta, gated on bit-identity of both to
 /// the from-scratch reference (`identical_to_full`).
-pub const SCHEMA: &str = "dna-bench-topk/v5";
+///
+/// `v6` added the `scheduler` section: work-stealing counters (resolved
+/// workers, tasks, steals, tail-task share) of the tracked parallel
+/// configuration plus its `speedup_over_serial`, gated `> 1.0` — but the
+/// speedup gate is **skipped** (not failed) when the report's
+/// `host_threads` is below 4 (a narrow host cannot express the
+/// parallelism the gate measures) or when the entry's serial reference
+/// ran under 500 ms (smoke-sized circuits are overhead dominated).
+/// Identity gates are never skipped.
+pub const SCHEMA: &str = "dna-bench-topk/v6";
 
 /// What to measure.
 #[derive(Debug, Clone)]
@@ -92,6 +101,34 @@ pub struct BenchEntry {
     /// Whether the result is bit-identical to the serial (`threads: 1`)
     /// run of the same circuit and mode.
     pub identical_to_serial: bool,
+}
+
+/// Work-stealing scheduler counters of the tracked parallel configuration
+/// (the last entry of [`thread_configs`]) for one circuit × mode, with
+/// its wall-clock speedup over the serial reference.
+#[derive(Debug, Clone)]
+pub struct SchedulerEntry {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Engine mode (`"addition"` / `"elimination"`).
+    pub mode: String,
+    /// Workers the sweep actually ran on (resolved, never the raw 0).
+    pub threads: usize,
+    /// Victim tasks executed by the sweep.
+    pub tasks: usize,
+    /// Tasks taken from another worker's deque.
+    pub steals: usize,
+    /// Share of total busy time spent in the single longest task, in
+    /// `[0, 1]` — near 1 means one victim dominates and no scheduler can
+    /// help.
+    pub tail_task_share: f64,
+    /// Fastest serial (`threads = 1`) wall-clock time, milliseconds.
+    pub wall_ms_serial: f64,
+    /// Fastest wall-clock time of this parallel configuration.
+    pub wall_ms_parallel: f64,
+    /// `wall_ms_serial / wall_ms_parallel` — the v6 gate requires
+    /// `> 1.0` on hosts with at least 4 threads.
+    pub speedup_over_serial: f64,
 }
 
 /// One measured what-if fix loop: full analysis, mask out the reported
@@ -247,6 +284,9 @@ pub struct BenchReport {
     pub seed: u64,
     /// One entry per circuit × mode × thread configuration.
     pub entries: Vec<BenchEntry>,
+    /// One entry per circuit × mode: scheduler counters and speedup of
+    /// the tracked parallel configuration.
+    pub scheduler: Vec<SchedulerEntry>,
     /// One entry per circuit × mode: the incremental fix loop.
     pub whatif: Vec<WhatIfEntry>,
     /// One entry per circuit × mode: the artifact save/load cycle.
@@ -308,7 +348,13 @@ pub fn thread_configs() -> Vec<usize> {
 ///
 /// Returns a message for unknown circuit names or engine failures.
 pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
+    // Resolve host parallelism exactly once; every `threads = 0` entry
+    // below reports this count instead of re-resolving (or echoing 1).
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let configs = thread_configs();
+    let sched_config = *configs.last().expect("thread_configs is never empty");
     let mut entries = Vec::new();
+    let mut scheduler = Vec::new();
     let mut whatif = Vec::new();
     let mut session_persistence = Vec::new();
     let mut batch = Vec::new();
@@ -323,7 +369,8 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
             batch.push(bench_batch(&circuit, name, mode, spec)?);
             damping.push(bench_damping(&circuit, name, mode, spec)?);
             let mut serial: Option<Fingerprint> = None;
-            for threads in thread_configs() {
+            let mut serial_ms = f64::INFINITY;
+            for &threads in &configs {
                 let config = TopKConfig { threads, validate: false, ..TopKConfig::default() };
                 let engine = TopKAnalysis::new(&circuit, config);
                 let mut wall_ms = f64::INFINITY;
@@ -344,15 +391,30 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
                     // The first configuration *is* the serial reference.
                     None => {
                         serial = Some(fp);
+                        serial_ms = wall_ms;
                         true
                     }
                     Some(reference) => *reference == fp,
                 };
+                if threads == sched_config && threads != 1 {
+                    let s = r.scheduler_stats();
+                    scheduler.push(SchedulerEntry {
+                        circuit: name.clone(),
+                        mode: mode.name().to_owned(),
+                        threads: s.threads(),
+                        tasks: s.tasks(),
+                        steals: s.steals(),
+                        tail_task_share: s.tail_task_share(),
+                        wall_ms_serial: serial_ms,
+                        wall_ms_parallel: wall_ms,
+                        speedup_over_serial: serial_ms / wall_ms.max(1e-9),
+                    });
+                }
                 entries.push(BenchEntry {
                     circuit: name.clone(),
                     mode: mode.name().to_owned(),
                     threads,
-                    effective_threads: config.effective_threads(),
+                    effective_threads: if threads == 0 { host_threads } else { threads },
                     wall_ms,
                     delay_before_ps: r.delay_before(),
                     delay_after_ps: r.delay_after(),
@@ -363,13 +425,13 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
             }
         }
     }
-    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     Ok(BenchReport {
         host_threads,
         k: spec.k,
         samples: spec.samples,
         seed: spec.seed,
         entries,
+        scheduler,
         whatif,
         session_persistence,
         batch,
@@ -675,6 +737,21 @@ impl BenchReport {
             out.push_str(if i + 1 < self.entries.len() { "    },\n" } else { "    }\n" });
         }
         out.push_str("  ],\n");
+        out.push_str("  \"scheduler\": [\n");
+        for (i, e) in self.scheduler.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"circuit\": {},\n", json_string(&e.circuit)));
+            out.push_str(&format!("      \"mode\": {},\n", json_string(&e.mode)));
+            out.push_str(&format!("      \"threads\": {},\n", e.threads));
+            out.push_str(&format!("      \"tasks\": {},\n", e.tasks));
+            out.push_str(&format!("      \"steals\": {},\n", e.steals));
+            out.push_str(&format!("      \"tail_task_share\": {:.6},\n", e.tail_task_share));
+            out.push_str(&format!("      \"wall_ms_serial\": {:.3},\n", e.wall_ms_serial));
+            out.push_str(&format!("      \"wall_ms_parallel\": {:.3},\n", e.wall_ms_parallel));
+            out.push_str(&format!("      \"speedup_over_serial\": {:.3}\n", e.speedup_over_serial));
+            out.push_str(if i + 1 < self.scheduler.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"whatif\": [\n");
         for (i, e) in self.whatif.iter().enumerate() {
             out.push_str("    {\n");
@@ -805,6 +882,34 @@ impl BenchReport {
             ]);
         }
         let mut out = table.render();
+        if !self.scheduler.is_empty() {
+            let mut stable = Table::new(&[
+                "circuit",
+                "mode",
+                "workers",
+                "tasks",
+                "steals",
+                "tail share",
+                "serial ms",
+                "parallel ms",
+                "speedup",
+            ]);
+            for e in &self.scheduler {
+                stable.row(vec![
+                    e.circuit.clone(),
+                    e.mode.clone(),
+                    e.threads.to_string(),
+                    e.tasks.to_string(),
+                    e.steals.to_string(),
+                    format!("{:.0}%", e.tail_task_share * 100.0),
+                    format!("{:.1}", e.wall_ms_serial),
+                    format!("{:.1}", e.wall_ms_parallel),
+                    format!("{:.2}x", e.speedup_over_serial),
+                ]);
+            }
+            out.push_str("\nwork-stealing scheduler (tracked parallel configuration):\n");
+            out.push_str(&stable.render());
+        }
         if !self.whatif.is_empty() {
             let mut wtable = Table::new(&[
                 "circuit",
@@ -1173,9 +1278,10 @@ fn parse(text: &str) -> Result<Json, String> {
 /// its from-scratch reference, every batch scenario identical to its
 /// sequential twin, every incremental peel identical to the from-scratch
 /// peel, and every semantically damped apply identical to its structural
-/// and from-scratch references (the CI gates for the level-parallel
+/// and from-scratch references (the CI gates for the work-stealing
 /// sweep, the incremental session path, the batch engine, and the
-/// corridor prover).
+/// corridor prover) — and that the scheduler section's parallel
+/// configuration beat serial wherever the speedup gate applies.
 ///
 /// # Errors
 ///
@@ -1214,6 +1320,51 @@ pub fn validate_json(text: &str) -> Result<(), String> {
                 return Err(format!("entry {i}: parallel result differs from the serial reference"))
             }
             _ => return Err(format!("entry {i}: missing `identical_to_serial`")),
+        }
+    }
+    let host_threads =
+        report.get("host_threads").and_then(Json::as_num).expect("checked numeric above");
+    let scheduler = match report.get("scheduler") {
+        Some(Json::Arr(s)) if !s.is_empty() => s,
+        Some(Json::Arr(_)) => return Err("`scheduler` is empty".into()),
+        _ => return Err("missing `scheduler` array (required by v6)".into()),
+    };
+    for (i, entry) in scheduler.iter().enumerate() {
+        for field in [
+            "threads",
+            "tasks",
+            "steals",
+            "tail_task_share",
+            "wall_ms_serial",
+            "wall_ms_parallel",
+            "speedup_over_serial",
+        ] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("scheduler entry {i}: missing or non-numeric `{field}`"));
+            }
+        }
+        for field in ["circuit", "mode"] {
+            if !matches!(entry.get(field), Some(Json::Str(_))) {
+                return Err(format!("scheduler entry {i}: missing `{field}`"));
+            }
+        }
+        // The speedup gate only means something where the host can run
+        // the workers it measures: on narrow hosts (< 4 threads) the
+        // tracked parallel configuration is oversubscribed by design, so
+        // the gate is skipped — never the identity gates above. It is
+        // also skipped for entries whose serial reference is under half a
+        // second (smoke-sized circuits are scheduling-overhead dominated);
+        // the tracked i5/i10 runs sit well above that floor.
+        let serial_ms = entry.get("wall_ms_serial").and_then(Json::as_num).expect("checked above");
+        if host_threads >= 4.0 && serial_ms >= 500.0 {
+            let speedup =
+                entry.get("speedup_over_serial").and_then(Json::as_num).expect("checked above");
+            if speedup <= 1.0 {
+                return Err(format!(
+                    "scheduler entry {i}: no speedup over serial ({speedup:.3}x <= 1.0 on a \
+                     {host_threads:.0}-thread host)"
+                ));
+            }
         }
     }
     let whatif = match report.get("whatif") {
@@ -1429,11 +1580,21 @@ mod tests {
             .whatif
             .iter()
             .all(|e| e.recomputed_victims + e.proven_clean_victims == e.structural_dirty_victims));
+        // One scheduler entry per circuit x mode, from a genuinely
+        // parallel configuration sweeping every victim task.
+        assert_eq!(report.scheduler.len(), 1);
+        assert!(report.scheduler.iter().all(|e| e.threads >= 2 && e.tasks > 0));
+        assert!(report
+            .scheduler
+            .iter()
+            .all(|e| e.speedup_over_serial.is_finite() && e.speedup_over_serial > 0.0));
+        assert!(report.scheduler.iter().all(|e| (0.0..=1.0).contains(&e.tail_task_share)));
         let json = report.to_json();
         validate_json(&json).expect("self-produced report validates");
         let table = report.render_table();
         assert!(table.contains("i1"));
         assert!(table.contains("yes"));
+        assert!(table.contains("work-stealing scheduler"));
         assert!(table.contains("what-if fix loop"));
         assert!(table.contains("session persistence"));
         assert!(table.contains("batch what-if"));
@@ -1441,10 +1602,10 @@ mod tests {
         assert!(table.contains("corridor damping"));
     }
 
-    /// A structurally complete, semantically passing v5 report — the
+    /// A structurally complete, semantically passing v6 report — the
     /// baseline every rejection case below is a one-flag mutation of.
     const GOOD_REPORT: &str = r#"{
-      "schema": "dna-bench-topk/v5",
+      "schema": "dna-bench-topk/v6",
       "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
       "entries": [{
         "circuit": "i1", "mode": "addition", "threads": 0,
@@ -1452,6 +1613,13 @@ mod tests {
         "delay_before_ps": 1.0, "delay_after_ps": 2.0,
         "generated": 3, "peak_list_width": 2,
         "identical_to_serial": true
+      }],
+      "scheduler": [{
+        "circuit": "i5", "mode": "addition",
+        "threads": 8, "tasks": 64, "steals": 5,
+        "tail_task_share": 0.25,
+        "wall_ms_serial": 900.0, "wall_ms_parallel": 500.0,
+        "speedup_over_serial": 1.8
       }],
       "whatif": [{
         "circuit": "i1", "mode": "addition",
@@ -1496,10 +1664,25 @@ mod tests {
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema": "other/v9"}"#).is_err());
         // Older schemas (missing the sections added since) are rejected.
-        for old in ["v1", "v2", "v3", "v4"] {
+        for old in ["v1", "v2", "v3", "v4", "v5"] {
             assert!(validate_json(&format!(r#"{{"schema": "dna-bench-topk/{old}"}}"#)).is_err());
         }
         validate_json(GOOD_REPORT).expect("the baseline report validates");
+
+        // The scheduler speedup gate fires on a wide host with a slow
+        // parallel run...
+        let no_speedup =
+            GOOD_REPORT.replace("\"speedup_over_serial\": 1.8", "\"speedup_over_serial\": 0.9");
+        let err = validate_json(&no_speedup).unwrap_err();
+        assert!(err.contains("no speedup over serial"), "{err}");
+        // ...but is skipped (never failed) on a narrow host that cannot
+        // express the parallelism...
+        let narrow_host = no_speedup.replace("\"host_threads\": 8", "\"host_threads\": 1");
+        validate_json(&narrow_host).expect("narrow host skips the speedup gate");
+        // ...and for smoke-sized entries below the measurement floor.
+        let smoke_entry =
+            no_speedup.replace("\"wall_ms_serial\": 900.0", "\"wall_ms_serial\": 9.0");
+        validate_json(&smoke_entry).expect("sub-floor serial time skips the speedup gate");
 
         // Structurally fine but semantically failing: each identity gate,
         // flipped to false in turn, must be flagged with its own message.
@@ -1538,7 +1721,8 @@ mod tests {
         assert!(err.contains("semantically damped result differs"), "{err}");
 
         // Dropping any report section (or emptying it) is a violation.
-        for section in ["whatif", "session_persistence", "batch", "peeled", "damping"] {
+        for section in ["scheduler", "whatif", "session_persistence", "batch", "peeled", "damping"]
+        {
             let needle = format!("\"{section}\": [");
             let start = GOOD_REPORT.find(&needle).expect("section present");
             let end = GOOD_REPORT[start..].find("}]").expect("section closes") + start + 2;

@@ -5,7 +5,7 @@ use std::fs;
 use dna_bench::topk_bench;
 use dna_lint::{
     lint_batch_order, lint_circuit, lint_config, lint_dirty_closure, lint_dirty_closure_certified,
-    lint_result, lint_timing, Diagnostics,
+    lint_result, lint_sched_replay, lint_timing, Diagnostics,
 };
 use dna_netlist::generator::{generate, GeneratorConfig};
 use dna_netlist::{format, suite, Circuit, CouplingId};
@@ -26,13 +26,17 @@ commands:
   generate  --gates N --couplings N [--seed S] [--bench i1..i10] [-o file]
   analyze   <file.ckt> [--seed S]         iterative noise analysis report
   topk      <file.ckt> --mode add|del -k N [--peel] [--audit]
-            [--victim-budget N] [--global-budget N] [--deadline-ms MS]
+            [--threads N] [--victim-budget N] [--global-budget N]
+            [--deadline-ms MS]
                                           budgets degrade soundly: the
                                           result is marked a lower bound;
                                           --peel rounds run incrementally,
                                           --audit re-checks them against
-                                          the from-scratch reference
-  whatif    <file.ckt> [--mode add|del] [-k N] [--audit]
+                                          the from-scratch reference;
+                                          --threads 0 (default) resolves
+                                          to host parallelism — any value
+                                          is bit-identical
+  whatif    <file.ckt> [--mode add|del] [-k N] [--audit] [--threads N]
             [--damping structural|semantic]
             [--save FILE] [--load FILE]   fix-loop: run, remove the worst
             [--batch FILE]                set, re-verify incrementally;
@@ -151,15 +155,37 @@ fn opt_num<T: std::str::FromStr>(opts: &Opts, name: &str) -> Result<Option<T>, S
     }
 }
 
-/// Builds a [`TopKConfig`] carrying the enumeration budget flags.
+/// Builds a [`TopKConfig`] carrying the enumeration budget flags and the
+/// worker-thread override (`--threads 0`, the default, resolves to the
+/// host's available parallelism).
 fn budget_config(opts: &Opts) -> Result<TopKConfig, String> {
     Ok(TopKConfig {
+        threads: opt_num(opts, "threads")?.unwrap_or(0),
         victim_candidate_budget: opt_num(opts, "victim-budget")?,
         global_candidate_budget: opt_num(opts, "global-budget")?,
         deadline: opt_num::<f64>(opts, "deadline-ms")?
             .map(|ms| std::time::Duration::from_secs_f64(ms.max(0.0) / 1e3)),
         ..TopKConfig::default()
     })
+}
+
+/// Surfaces the work-stealing scheduler's counters — including the
+/// *resolved* worker count, so `--threads 0` reports the host parallelism
+/// it actually ran with instead of echoing the configured zero.
+fn report_scheduler(config: &TopKConfig, result: &TopKResult) {
+    let s = result.scheduler_stats();
+    if s.tasks() == 0 {
+        return;
+    }
+    println!(
+        "scheduler: {} worker(s) (resolved from --threads {}), {} task(s), {} steal(s), \
+         longest task {:.0}% of busy time",
+        s.threads(),
+        config.threads,
+        s.tasks(),
+        s.steals(),
+        s.tail_task_share() * 100.0
+    );
 }
 
 /// Surfaces fault quarantines and budget degradation on stdout so a
@@ -231,6 +257,7 @@ fn cmd_topk(opts: &Opts) -> Result<(), String> {
         result.delay_after() - result.delay_before(),
         result.runtime()
     );
+    report_scheduler(engine.config(), &result);
     report_resilience(&circuit, &result);
     Ok(())
 }
@@ -255,7 +282,14 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
             return Err(format!("unknown --damping `{other}` (use structural|semantic)"))
         }
     };
-    let engine = TopKAnalysis::new(&circuit, TopKConfig { damping, ..TopKConfig::default() });
+    let engine = TopKAnalysis::new(
+        &circuit,
+        TopKConfig {
+            damping,
+            threads: opt_num(opts, "threads")?.unwrap_or(0),
+            ..TopKConfig::default()
+        },
+    );
 
     // --load resumes from a checksummed artifact; anything wrong with the
     // bytes (truncation, bit rot, version skew, different circuit) is
@@ -353,6 +387,7 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
         outcome.structural_dirty_victims(),
         outcome.cached_victims(),
     );
+    report_scheduler(engine.config(), fixed);
     report_resilience(&circuit, fixed);
 
     // --audit cross-checks the incremental answer against a from-scratch
@@ -388,10 +423,23 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
             return Err(format!("audit failed: dirty set incoherent\n{}", diags.render_text()));
         }
         let checked = session.audit_clean_victims(&outcome, 8).map_err(|e| e.to_string())?;
+        // Scheduler determinism (L060): replay the work-stealing sweep on
+        // the serial reference schedule and compare every result slot and
+        // budget share.
+        let sched = engine.sched_audit(mode, k).map_err(|e| e.to_string())?;
+        let sched_diags = lint_sched_replay(&sched);
+        if sched_diags.has_errors() {
+            return Err(format!(
+                "audit failed: scheduler replay diverged\n{}",
+                sched_diags.render_text()
+            ));
+        }
         println!(
             "audit: incremental == from-scratch (bit-identical), dirty closure coherent, \
-             {} certificate(s) verified, {checked} proven-clean victim(s) spot-checked",
+             {} certificate(s) verified, {checked} proven-clean victim(s) spot-checked, \
+             scheduler replay clean ({} slot(s))",
             outcome.certificates().len(),
+            sched.checked_victims,
         );
     }
     Ok(())
@@ -485,6 +533,17 @@ fn whatif_batch(
         out.stats().unmasked_dirty_victims(),
         out.stats().proven_clean_victims(),
     );
+    let sched = *out.stats().sched();
+    if sched.tasks() > 0 {
+        println!(
+            "scheduler: {} worker(s), {} (scenario, victim) task(s), {} steal(s), \
+             longest task {:.0}% of busy time",
+            sched.threads(),
+            sched.tasks(),
+            sched.steals(),
+            sched.tail_task_share() * 100.0
+        );
+    }
 
     if opts.has("audit") {
         // Per-scenario: bit-identity against from-scratch, dirty-set
@@ -654,6 +713,12 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
             rev.reverse();
             diags.merge(lint_batch_order(&fwd, &rev));
         }
+
+        // Scheduler determinism (L060): replay the work-stealing sweep
+        // serially and compare every published result slot and budget
+        // share against the parallel run.
+        let audit = engine.sched_audit(Mode::Addition, 2).map_err(|e| e.to_string())?;
+        diags.merge(lint_sched_replay(&audit));
     }
 
     diags.sort();

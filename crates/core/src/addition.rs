@@ -23,6 +23,7 @@ use crate::engine::{
     sweep_victims, sweep_victims_subset, Curtailment, NetLists, Prepared, SweepOutput, SweepTotals,
     VictimCounters, VictimLists,
 };
+use crate::sched::Slots;
 use crate::{faultsim, Candidate, CouplingSet, TopKError};
 
 /// How many of the best fanin candidates combine with lower-cardinality
@@ -65,9 +66,10 @@ struct Atom {
 }
 
 /// The enumeration sweep on its own: builds every victim's irredundant
-/// lists (level-parallel — a victim reads only strict-fanin lists). With
-/// `seeds`, only the flagged dirty victims are recomputed and the rest are
-/// served from the cached lists/counters — the what-if incremental path.
+/// lists on the work-stealing scheduler (a victim reads only strict-fanin
+/// slots). With `seeds`, only the flagged dirty victims are recomputed and
+/// the rest are served from the cached lists/counters — the what-if
+/// incremental path.
 pub(crate) fn sweep(
     p: &Prepared<'_>,
     k: usize,
@@ -84,16 +86,14 @@ pub(crate) fn sweep(
 
 /// The per-victim enumeration as a standalone closure, for drivers that
 /// schedule victims themselves (the batch engine interleaves several
-/// scenarios' victims through one thread pool). The closure's `allowance`
-/// argument is the level-barrier budget snapshot.
+/// scenarios' victims through one scheduler). The closure's `allowance`
+/// argument is the victim's pre-partitioned budget share.
 pub(crate) fn per_victim_fn<'a>(
     p: &'a Prepared<'_>,
     k: usize,
-) -> impl Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync + 'a {
+) -> impl Fn(NetId, &Slots, usize) -> Result<VictimLists, TopKError> + Sync + 'a {
     let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
-    move |v, ilists: &[NetLists], allowance: usize| {
-        victim_lists(p, k, breadth, v, ilists, allowance)
-    }
+    move |v, ilists: &Slots, allowance: usize| victim_lists(p, k, breadth, v, ilists, allowance)
 }
 
 /// The sink-selection stage on its own (see [`select_sink`]).
@@ -109,22 +109,21 @@ pub(crate) fn select(
 
 /// Builds one victim's irredundant lists `I-list_1 … I-list_k`. Reads
 /// `ilists` only at the victim's driver inputs (strict fanin), which the
-/// sweep guarantees are complete.
+/// scheduler's dependency edges guarantee are published.
 ///
-/// `allowance` caps raw candidate generation: the level-barrier snapshot
-/// (the smaller of the per-victim cap and the global allowance remaining
-/// when this victim's level started) bounds how many candidates the push
-/// path may create; on breach the remaining pushes are dropped —
-/// dominance keeps the strongest survivors of what exists, a sound lower
-/// bound — and the victim is marked [`Curtailment::Truncated`]. The raw
-/// count is returned in [`VictimLists::raw_generated`] for the driver to
-/// charge at the level join.
+/// `allowance` caps raw candidate generation: the victim's pre-partitioned
+/// budget share (the smaller of the per-victim cap and its deterministic
+/// slice of the global pool) bounds how many candidates the push path may
+/// create; on breach the remaining pushes are dropped — dominance keeps
+/// the strongest survivors of what exists, a sound lower bound — and the
+/// victim is marked [`Curtailment::Truncated`] — which the L060 audit
+/// cross-checks against the victim's pre-partitioned share.
 fn victim_lists(
     p: &Prepared<'_>,
     k: usize,
     breadth: usize,
     v: NetId,
-    ilists: &[NetLists],
+    ilists: &Slots,
     allowance: usize,
 ) -> Result<VictimLists, TopKError> {
     let vi = v.index();
@@ -155,7 +154,7 @@ fn victim_lists(
             let max_base = arrivals.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
             for &(u, arr_u) in &arrivals {
                 for c in 1..=k {
-                    let Some(list) = ilists[u.index()].get(c) else { continue };
+                    let Some(list) = ilists.lists(u).get(c) else { continue };
                     for cand in list.iter().take(breadth) {
                         let shift = (arr_u + cand.delay_noise() - max_base).max(0.0);
                         if shift <= 0.0 {
@@ -278,7 +277,7 @@ fn victim_lists(
         lists.push(pruned);
     }
     let curtailment = if truncated { Curtailment::Truncated } else { Curtailment::None };
-    Ok(VictimLists { lists, peak_list_width, generated, raw_generated, curtailment })
+    Ok(VictimLists { lists, peak_list_width, generated, curtailment })
 }
 
 /// Chooses the worst set from the sinks' I-lists (paper: "the top-k

@@ -15,11 +15,12 @@
 //!   ([`Circuit::dirty_closure_extend`]) and extended per added
 //!   coupling, so scenarios sharing fix prefixes share the closure work
 //!   ([`BatchStats::closure_frames_shared`] counts the reuse).
-//! * **One thread pool.** Instead of S sequential level-parallel
-//!   sweeps, the batch runs one lockstep walk over the dependency
-//!   levels with (scenario, victim) work items from *every* scenario
-//!   chunked across the same scoped workers — narrow cones that would
-//!   each under-fill the pool fill it together.
+//! * **One scheduler.** Instead of S sequential sweeps, the batch feeds
+//!   (scenario, victim) tasks from *every* scenario through one
+//!   deterministic work-stealing scheduler ([`crate::sched`]) — narrow
+//!   cones that would each under-fill a thread pool fill the deques
+//!   together, and a long-tail victim of one scenario no longer stalls
+//!   any other scenario's progress.
 //! * **Dedup.** Scenarios with identical flipped-sets (common when a
 //!   script enumerates neighborhoods) are evaluated once.
 //!
@@ -29,20 +30,22 @@
 //! bit-identical to `session.fork().apply(&deltas[i])` — same lists,
 //! same counters, same faults, same result — at any
 //! [`threads`](crate::TopKConfig::threads) setting, because the
-//! per-victim enumeration is pure and every budget decision replicates
-//! the sequential sweep's level-barrier fold per scenario (a level that
-//! has no dirty victims *for that scenario* leaves that scenario's
-//! budget untouched, exactly as its own incremental sweep would).
+//! per-victim enumeration is pure, every task writes only its own
+//! scenario's victim slot, and each scenario's budget is pre-partitioned
+//! over exactly the dirty set its own incremental sweep would partition
+//! over (clean victims consume no share, so a scenario with nothing
+//! dirty charges nothing, exactly as its own sweep would).
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use dna_netlist::{CouplingId, NetId};
+use dna_netlist::{CouplingId, NetId, NetSource};
 use dna_noise::CouplingMask;
 
 use crate::bounds::{self, CleanCertificate};
-use crate::engine::{self, NetLists, Prepared, SweepBudget, VictimCounters, VictimLists};
+use crate::engine::{self, NetLists, Prepared, VictimCounters, VictimLists};
 use crate::result::{Fault, FaultPhase};
+use crate::sched::{self, BudgetPartition, SchedStats, Slots};
 use crate::session::changed_and_seeds;
 use crate::{
     addition, elimination, faultsim, guard, MaskDelta, Mode, TopKError, TopKResult, WhatIfOutcome,
@@ -106,6 +109,7 @@ pub struct BatchStats {
     proven_clean_victims: usize,
     closure_frames_built: usize,
     closure_frames_shared: usize,
+    sched: SchedStats,
 }
 
 impl BatchStats {
@@ -166,6 +170,14 @@ impl BatchStats {
     pub fn closure_frames_shared(&self) -> usize {
         self.closure_frames_shared
     }
+
+    /// Scheduler counters of the shared (scenario × victim) sweep:
+    /// threads, tasks, steals and per-worker load spread. Diagnostic
+    /// only — excluded from the batch identity contract.
+    #[must_use]
+    pub fn sched(&self) -> &SchedStats {
+        &self.sched
+    }
 }
 
 /// The result of one [`WhatIfSession::apply_batch`] call: one
@@ -204,12 +216,12 @@ struct Scenario {
 /// The boxed per-victim enumeration of one scenario, so both modes fit
 /// one work-item array (dispatch cost is noise next to envelope algebra).
 type PerVictim<'p> =
-    Box<dyn Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync + 'p>;
+    Box<dyn Fn(NetId, &Slots, usize) -> Result<VictimLists, TopKError> + Sync + 'p>;
 
 impl WhatIfSession<'_, '_> {
     /// Evaluates every scenario of `batch` against this session's current
     /// state, sharing closure work across scenarios and running all
-    /// scenarios' dirty victims through one level-parallel sweep.
+    /// scenarios' dirty victims through one work-stealing sweep.
     ///
     /// The session is **not** mutated: each scenario is independent, and
     /// its outcome is bit-identical to `self.fork().apply(&delta)` at any
@@ -336,7 +348,7 @@ impl WhatIfSession<'_, '_> {
                 - dirty_of.iter().map(|d| d.iter().filter(|&&x| x).count()).sum::<usize>();
         }
 
-        // --- Phase B: one lockstep level-parallel sweep --------------
+        // --- Phase B: one shared work-stealing sweep -----------------
         let k = self.k;
         let per_victims: Vec<PerVictim<'_>> = prepareds
             .iter()
@@ -345,85 +357,87 @@ impl WhatIfSession<'_, '_> {
                 Mode::Elimination => Box::new(elimination::per_victim_fn(p, k)) as PerVictim<'_>,
             })
             .collect();
-        let mut ilists: Vec<Vec<NetLists>> = scenarios.iter().map(|_| self.lists.clone()).collect();
         let mut counters: Vec<Vec<VictimCounters>> =
             scenarios.iter().map(|_| self.counters.clone()).collect();
         let mut fresh_faults: Vec<Vec<Fault>> = vec![Vec::new(); scenarios.len()];
-        let mut budgets: Vec<SweepBudget> =
-            scenarios.iter().map(|_| SweepBudget::new(config)).collect();
 
-        for level in circuit.nets_by_level() {
-            // (scenario, victim) work items with each scenario's own
-            // level-barrier budget snapshot — a scenario with nothing
-            // dirty at this level keeps its budget untouched, exactly
-            // like its own sequential sweep.
-            let mut items: Vec<(usize, NetId, bool, usize)> = Vec::new();
-            for (s, dirty) in dirty_of.iter().enumerate() {
-                let work: Vec<NetId> = level.iter().copied().filter(|v| dirty[v.index()]).collect();
-                if work.is_empty() {
-                    continue;
+        // Each scenario keeps its own budget partition over *its* refined
+        // dirty set, ranked in victim-index order — the same shares its
+        // own incremental sweep would hand out, so truncation stays
+        // bit-identical to `fork().apply(&delta)`.
+        let mut rank_of: Vec<Vec<usize>> = Vec::with_capacity(scenarios.len());
+        let mut partitions: Vec<BudgetPartition> = Vec::with_capacity(scenarios.len());
+        for dirty in &dirty_of {
+            let mut ranks = vec![usize::MAX; dirty.len()];
+            let mut n = 0usize;
+            for (i, &d) in dirty.iter().enumerate() {
+                if d {
+                    ranks[i] = n;
+                    n += 1;
                 }
-                let skip = budgets[s].exhausted();
-                let allowance = budgets[s].victim_allowance();
-                items.extend(work.into_iter().map(|v| (s, v, skip, allowance)));
             }
-            if items.is_empty() {
-                continue;
-            }
-            let level_results: Vec<(usize, NetId, VictimLists, Option<Fault>)> =
-                if threads <= 1 || items.len() == 1 {
-                    items
-                        .iter()
-                        .map(|&(s, v, skip, allowance)| {
-                            let (out, fault) =
-                                engine::run_one(v, &ilists[s], skip, allowance, &per_victims[s]);
-                            (s, v, out, fault)
-                        })
-                        .collect()
-                } else {
-                    let chunk = items.len().div_ceil(threads);
-                    let results: Result<Vec<_>, TopKError> = std::thread::scope(|sp| {
-                        let shared = &ilists;
-                        let work = &per_victims;
-                        let handles: Vec<_> = items
-                            .chunks(chunk)
-                            .map(|part| {
-                                sp.spawn(move || {
-                                    Ok(part
-                                        .iter()
-                                        .map(|&(s, v, skip, allowance)| {
-                                            let (out, fault) = engine::run_one(
-                                                v, &shared[s], skip, allowance, &work[s],
-                                            );
-                                            (s, v, out, fault)
-                                        })
-                                        .collect::<Vec<_>>())
-                                })
-                            })
-                            .collect();
-                        let mut all = Vec::with_capacity(items.len());
-                        for h in handles {
-                            all.extend(join_or_panic(h, FaultPhase::Enumeration)?);
-                        }
-                        Ok(all)
-                    });
-                    results?
-                };
-            let mut raw = vec![0usize; scenarios.len()];
-            for (s, v, out, fault) in level_results {
-                raw[s] += out.raw_generated;
-                counters[s][v.index()] = VictimCounters {
-                    peak_list_width: out.peak_list_width,
-                    generated: out.generated,
-                    curtailment: out.curtailment,
-                };
-                ilists[s][v.index()] = Arc::new(out.lists);
-                fresh_faults[s].extend(fault);
-            }
-            for (s, n) in raw.into_iter().enumerate() {
-                budgets[s].charge(n);
+            rank_of.push(ranks);
+            partitions.push(BudgetPartition::new(config, n));
+        }
+
+        // Flattened (scenario, victim) tasks: scenario-major with each
+        // scenario's victims in topological order, so dependency edges
+        // (which never cross scenarios) always point forward.
+        let topo = circuit.nets_topological();
+        let mut order: Vec<(usize, NetId)> = Vec::new();
+        let mut task_of: Vec<Vec<usize>> =
+            dirty_of.iter().map(|d| vec![usize::MAX; d.len()]).collect();
+        for (s, dirty) in dirty_of.iter().enumerate() {
+            for &v in topo {
+                if dirty[v.index()] {
+                    task_of[s][v.index()] = order.len();
+                    order.push((s, v));
+                }
             }
         }
+        let mut tasks: Vec<sched::Task> = order
+            .iter()
+            .map(|&(s, v)| sched::Task {
+                dependents: Vec::new(),
+                indegree: 0,
+                // LPT seeding from the session's cached sweep counters
+                // (aggressor-count fallback) — steering only, never bits.
+                cost: engine::cost_estimate(&prepareds[s], &self.counters, v),
+            })
+            .collect();
+        for (t, &(s, v)) in order.iter().enumerate() {
+            if let NetSource::Gate(g) = circuit.net(v).source() {
+                for &u in circuit.gate(g).inputs() {
+                    let d = task_of[s][u.index()];
+                    if d != usize::MAX {
+                        tasks[d].dependents.push(t);
+                        tasks[t].indegree += 1;
+                    }
+                }
+            }
+        }
+
+        let slots_of: Vec<Slots> =
+            dirty_of.iter().map(|d| Slots::from_seeds(&self.lists, d)).collect();
+        let (done, sched_stats) = sched::execute(&tasks, threads, |t| {
+            let (s, v) = order[t];
+            let (skip_share, allowance) = partitions[s].share(rank_of[s][v.index()]);
+            let skip = skip_share || partitions[s].expired();
+            let (out, fault) = engine::run_one(v, &slots_of[s], skip, allowance, &per_victims[s]);
+            let c = VictimCounters {
+                peak_list_width: out.peak_list_width,
+                generated: out.generated,
+                curtailment: out.curtailment,
+            };
+            slots_of[s].publish(v, Arc::new(out.lists));
+            (s, v, c, fault)
+        })?;
+        for (s, v, c, fault) in done {
+            counters[s][v.index()] = c;
+            fresh_faults[s].extend(fault);
+        }
+        stats.sched = sched_stats;
+        let ilists: Vec<Vec<NetLists>> = slots_of.into_iter().map(Slots::into_lists).collect();
 
         // --- Phase C: per-scenario selection + validation ------------
         let merged_faults: Vec<Vec<Fault>> = fresh_faults
@@ -456,6 +470,7 @@ impl WhatIfSession<'_, '_> {
                     &prepareds[s],
                     outcome,
                     &merged_faults[s],
+                    sched_stats,
                     start,
                 )
             })

@@ -43,11 +43,14 @@ pub struct TopKConfig {
     /// tools report 3–4 iterations, paper §1); `usize::MAX` searches the
     /// whole transitive fanin cone.
     pub widener_depth: usize,
-    /// Worker threads for the level-parallel victim sweep. `0` uses the
-    /// host's available parallelism; `1` runs the serial reference path
-    /// (the determinism baseline). Any value produces bit-identical
-    /// results — victims at one dependency level are independent, so the
-    /// thread partition never changes what is computed, only when.
+    /// Worker threads for the work-stealing victim sweep. `0` uses the
+    /// host's available parallelism (see
+    /// [`effective_threads`](Self::effective_threads)); `1` runs the
+    /// serial reference path (the determinism baseline). Any value
+    /// produces bit-identical results — per-victim enumeration is pure,
+    /// every victim owns a private result slot, and budgets are
+    /// pre-partitioned, so thread count and steal order never change
+    /// what is computed, only when.
     pub threads: usize,
     /// Per-victim cap on raw candidates generated while building one
     /// victim's I-lists. On breach, generation stops for that victim and
@@ -58,26 +61,26 @@ pub struct TopKConfig {
     /// is marked degraded. `None` (the default) disables the cap.
     pub victim_candidate_budget: Option<usize>,
     /// Global cap on raw candidates generated across the whole sweep,
-    /// charged at **level barriers**: every victim of a dependency level
-    /// sees the same allowance snapshot (the smaller of the per-victim cap
-    /// and the pool remaining when the level started), and the level's raw
-    /// counts are deducted together when it joins. Once the pool reaches
-    /// zero, every victim of each later level is served empty lists
-    /// ([`SweepStats::skipped_victims`](crate::SweepStats)); a partial
-    /// remainder truncates like the per-victim cap. **Deterministic at any
-    /// `threads` value**: which victims are cut depends only on circuit,
-    /// config and dirty set, never on scheduling. A level may collectively
-    /// overdraw the pool (its victims share one snapshot); the next level
-    /// then sees zero. `None` disables the budget.
+    /// **pre-partitioned** into per-victim shares before the sweep
+    /// starts: each victim of the work set, ranked in victim-index
+    /// order, receives `pool / n` candidates (the first `pool % n` ranks
+    /// one extra), and its allowance is the smaller of that share and
+    /// the per-victim cap. The shares sum exactly to the pool — it can
+    /// never be overdrawn. A victim whose share is zero is served empty
+    /// lists ([`SweepStats::skipped_victims`](crate::SweepStats)); one
+    /// that breaches its share truncates like the per-victim cap.
+    /// **Deterministic at any `threads` value**: which victims are cut
+    /// is a pure function of circuit, config and work set — never of
+    /// scheduling or steal order. `None` disables the budget.
     pub global_candidate_budget: Option<usize>,
-    /// Wall-clock deadline for the enumeration sweep, measured from sweep
-    /// start and checked only at **level barriers**: a level that starts
-    /// before the deadline runs to completion, and once the deadline
-    /// passes every victim of each later level is served empty lists and
-    /// counted in [`SweepStats::skipped_victims`](crate::SweepStats) — the
-    /// result is marked degraded instead of the engine hanging. The
-    /// skipped set is always a union of complete levels (level-granular),
-    /// though *which* levels still depends on wall-clock time.
+    /// Wall-clock deadline for the enumeration sweep, measured from
+    /// sweep start and checked at **task start**: a victim whose task
+    /// begins before the deadline runs to completion, and every victim
+    /// whose task starts after it is served empty lists and counted in
+    /// [`SweepStats::skipped_victims`](crate::SweepStats) — the result
+    /// is marked degraded instead of the engine hanging. Task-granular:
+    /// *which* victims are skipped depends on wall-clock time (this is
+    /// the one knob that trades determinism for liveness).
     /// `Some(Duration::ZERO)` degenerates every victim deterministically
     /// (the zero-budget edge case). `None` disables the deadline.
     pub deadline: Option<Duration>,

@@ -20,6 +20,7 @@ use crate::engine::{
     VictimCounters, VictimLists,
 };
 use crate::result::Fault;
+use crate::sched::{SchedStats, Slots};
 use crate::{faultsim, Candidate, CouplingSet, TopKError};
 
 /// Mirror of the addition-side combination breadth.
@@ -39,16 +40,17 @@ struct RemovalAtom {
 pub(crate) fn run(
     p: &Prepared<'_>,
     k: usize,
-) -> Result<(EnumerationOutcome, Vec<Fault>), TopKError> {
+) -> Result<(EnumerationOutcome, Vec<Fault>, SchedStats), TopKError> {
     let out = sweep(p, k, None)?;
     let outcome = select(p, k, &out.lists, &out.counters)?;
-    Ok((outcome, out.faults))
+    Ok((outcome, out.faults, out.sched))
 }
 
-/// The residual-list sweep on its own — level-parallel, a victim reads
-/// only strict-fanin lists (the pseudo-elimination grouping). With
-/// `seeds`, only the flagged dirty victims are recomputed and the rest are
-/// served from the cached lists/counters — the what-if incremental path.
+/// The residual-list sweep on its own — scheduled over the work-stealing
+/// deques, a victim reads only strict-fanin slots (the pseudo-elimination
+/// grouping). With `seeds`, only the flagged dirty victims are recomputed
+/// and the rest are served from the cached lists/counters — the what-if
+/// incremental path.
 pub(crate) fn sweep(
     p: &Prepared<'_>,
     k: usize,
@@ -65,16 +67,14 @@ pub(crate) fn sweep(
 
 /// The per-victim enumeration as a standalone closure, for drivers that
 /// schedule victims themselves (the batch engine interleaves several
-/// scenarios' victims through one thread pool). The closure's `allowance`
-/// argument is the level-barrier budget snapshot.
+/// scenarios' victims through one scheduler). The closure's `allowance`
+/// argument is the victim's pre-partitioned budget share.
 pub(crate) fn per_victim_fn<'a>(
     p: &'a Prepared<'_>,
     k: usize,
-) -> impl Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync + 'a {
+) -> impl Fn(NetId, &Slots, usize) -> Result<VictimLists, TopKError> + Sync + 'a {
     let breadth = if p.config.max_list_width.is_none() { usize::MAX } else { COMBO_BREADTH };
-    move |v, ilists: &[NetLists], allowance: usize| {
-        victim_lists(p, k, breadth, v, ilists, allowance)
-    }
+    move |v, ilists: &Slots, allowance: usize| victim_lists(p, k, breadth, v, ilists, allowance)
 }
 
 /// The sink-selection stage on its own (see [`select_sink`]).
@@ -94,14 +94,14 @@ pub(crate) fn select(
 }
 
 /// Builds one victim's residual lists. Reads `ilists` only at the
-/// victim's driver inputs (strict fanin), which the sweep guarantees are
-/// complete.
+/// victim's driver inputs (strict fanin), which the scheduler's
+/// dependency edges guarantee are published.
 fn victim_lists(
     p: &Prepared<'_>,
     k: usize,
     breadth: usize,
     v: NetId,
-    ilists: &[NetLists],
+    ilists: &Slots,
     allowance: usize,
 ) -> Result<VictimLists, TopKError> {
     let circuit = p.circuit;
@@ -196,7 +196,7 @@ fn victim_lists(
                 std::collections::HashMap::new();
             for (idx, &(u, arr_noisy_u)) in noisy_arr.iter().enumerate() {
                 let arr_base_u = base_arr[idx].1;
-                let Some(total_u) = ilists[u.index()].first() else { continue };
+                let Some(total_u) = ilists.lists(u).first() else { continue };
                 let total_dn_u = total_u[0].delay_noise();
                 // Scale envelope-estimated benefits to the converged
                 // noise at u: the one-shot superposition overestimates
@@ -209,7 +209,7 @@ fn victim_lists(
                     0.0
                 };
                 for c in 1..=k {
-                    let Some(list) = ilists[u.index()].get(c) else { continue };
+                    let Some(list) = ilists.lists(u).get(c) else { continue };
                     for cand in list.iter().take(breadth) {
                         // Residual noise at u after fixing this set.
                         let benefit = (total_dn_u - cand.delay_noise()).max(0.0) * ratio;
@@ -337,7 +337,7 @@ fn victim_lists(
         );
     }
     let curtailment = if truncated { Curtailment::Truncated } else { Curtailment::None };
-    Ok(VictimLists { lists, peak_list_width, generated, raw_generated, curtailment })
+    Ok(VictimLists { lists, peak_list_width, generated, curtailment })
 }
 
 /// Chooses the set minimizing the predicted circuit delay after

@@ -3,7 +3,6 @@
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
 
 use dna_netlist::{Circuit, CouplingId, NetId, NetSource};
 use dna_noise::{envelope_calc, CouplingMask, NoiseAnalysis, NoiseReport};
@@ -11,6 +10,7 @@ use dna_sta::{NetTiming, TimingReport};
 use dna_waveform::{superposition, Edge, Envelope, NoisePulse, TimeInterval, Transition};
 
 use crate::result::{Fault, FaultPhase};
+use crate::sched::{self, BudgetPartition, SchedStats, Slots};
 use crate::{faultsim, Candidate, TopKConfig, TopKError};
 
 /// Couplings in a net's fanin cone ranked by the delay noise each can add
@@ -75,72 +75,6 @@ impl VictimCounters {
             }
             t
         })
-    }
-}
-
-/// Live budget state of one enumeration sweep, owned and mutated **only
-/// by the level driver** at level barriers — never by the sweep workers.
-///
-/// Budgets are charged at level granularity: before a level starts the
-/// driver snapshots one exhaustion flag and one per-victim allowance for
-/// *every* victim of the level, and after the level joins it deducts the
-/// sum of the level's raw candidate counts from the global allowance.
-/// Because the snapshot and the deduction are single-threaded folds over
-/// per-victim outputs, the global budget is **deterministic at any thread
-/// count** (DESIGN.md §12.2): which victims get skipped or truncated
-/// depends only on the circuit, the config, and the dirty set — never on
-/// scheduling. The price is that a level may collectively overdraw the
-/// pool (each of its victims sees the full remaining allowance); the next
-/// level then sees zero. The deadline is likewise checked only at level
-/// barriers, so the skipped set is always a union of complete levels —
-/// still wall-clock dependent (that is what a deadline means), but never
-/// split within a level.
-pub(crate) struct SweepBudget {
-    start: Instant,
-    deadline: Option<Duration>,
-    /// Remaining global raw-candidate allowance.
-    global: Option<usize>,
-    per_victim: Option<usize>,
-}
-
-impl SweepBudget {
-    pub fn new(config: &TopKConfig) -> Self {
-        Self {
-            start: Instant::now(),
-            deadline: config.deadline,
-            global: config.global_candidate_budget,
-            per_victim: config.victim_candidate_budget,
-        }
-    }
-
-    /// Whether the sweep-wide budget is spent: the deadline has passed or
-    /// the global candidate allowance is down to zero. Every victim of a
-    /// level starting now is skipped.
-    pub fn exhausted(&self) -> bool {
-        if let Some(d) = self.deadline {
-            if self.start.elapsed() >= d {
-                return true;
-            }
-        }
-        self.global == Some(0)
-    }
-
-    /// Raw candidates each victim of the level starting now may generate:
-    /// the minimum of the per-victim cap and the remaining global
-    /// allowance (`usize::MAX` when neither is configured). Snapshotted
-    /// once per level, so every victim of the level sees the same value.
-    pub fn victim_allowance(&self) -> usize {
-        let per = self.per_victim.unwrap_or(usize::MAX);
-        per.min(self.global.unwrap_or(usize::MAX))
-    }
-
-    /// Charges `n` raw candidates — the whole level's sum — against the
-    /// global allowance (saturating; no-op when no global budget is
-    /// configured).
-    pub fn charge(&mut self, n: usize) {
-        if let Some(g) = &mut self.global {
-            *g = g.saturating_sub(n);
-        }
     }
 }
 
@@ -480,10 +414,6 @@ pub(crate) struct VictimLists {
     pub peak_list_width: usize,
     /// Candidates generated at this victim before pruning.
     pub generated: usize,
-    /// Raw candidate pushes at this victim (counted before the
-    /// exact-cardinality retain), the unit the global budget is charged
-    /// in. The level driver sums these at the level barrier.
-    pub raw_generated: usize,
     /// Whether (and how) a budget curtailed this victim.
     pub curtailment: Curtailment,
 }
@@ -493,7 +423,7 @@ impl VictimLists {
     /// fault or skipped by an exhausted budget. Sound downstream — every
     /// consumer treats a missing list as "no candidates here".
     fn empty(curtailment: Curtailment) -> Self {
-        Self { lists: Vec::new(), peak_list_width: 0, generated: 0, raw_generated: 0, curtailment }
+        Self { lists: Vec::new(), peak_list_width: 0, generated: 0, curtailment }
     }
 }
 
@@ -510,29 +440,30 @@ pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
 }
 
 /// Everything one enumeration sweep produced: per-victim I-lists and
-/// counters (indexed by net), plus the victims quarantined by fault
-/// isolation.
+/// counters (indexed by net), the victims quarantined by fault
+/// isolation, plus the scheduler's load counters.
 pub(crate) struct SweepOutput {
     pub lists: Vec<NetLists>,
     pub counters: Vec<VictimCounters>,
     pub faults: Vec<Fault>,
+    pub sched: SchedStats,
 }
 
-/// Runs one victim under the fault boundary: the level driver's skip
+/// Runs one victim under the fault boundary: the pre-partitioned skip
 /// decision first, then the enumeration inside `catch_unwind`. A panic or
 /// typed error quarantines the victim (empty lists + a [`Fault`]) instead
-/// of aborting the sweep. `skip` and `allowance` are the level-barrier
-/// budget snapshot ([`SweepBudget`]), identical for every victim of the
-/// level.
+/// of aborting the sweep — stolen or not, a task's blast radius is its
+/// own victim. `skip` and `allowance` are the victim's budget share from
+/// [`BudgetPartition`], fixed before the sweep started.
 pub(crate) fn run_one<F>(
     v: NetId,
-    ilists: &[NetLists],
+    ilists: &Slots,
     skip: bool,
     allowance: usize,
     per_victim: &F,
 ) -> (VictimLists, Option<Fault>)
 where
-    F: Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync,
+    F: Fn(NetId, &Slots, usize) -> Result<VictimLists, TopKError> + Sync,
 {
     if skip {
         return (VictimLists::empty(Curtailment::Skipped), None);
@@ -559,21 +490,30 @@ where
     }
 }
 
+/// LPT cost estimate of one victim's enumeration: the cached
+/// generated-candidate count when a what-if session has one, the
+/// primary-aggressor count otherwise. Costs steer only the scheduler's
+/// seeding — they can never affect a single output bit.
+pub(crate) fn cost_estimate(p: &Prepared<'_>, seed_counters: &[VictimCounters], v: NetId) -> u64 {
+    let cached = seed_counters[v.index()].generated;
+    if cached > 0 {
+        cached as u64
+    } else {
+        p.primaries[v.index()].len() as u64 + 1
+    }
+}
+
 /// Runs `per_victim` over every net, respecting fanin dependencies, and
 /// collects the per-victim I-lists plus per-victim counters.
 ///
-/// A victim's work may read `ilists[u]` only for nets `u` in its strict
-/// fanin cone (pseudo atoms) — never same-level siblings. That makes
-/// dependency levels ([`Circuit::nets_by_level`]) a valid synchronization
-/// barrier: both paths walk the levels (which flatten to topological
-/// order), and with `config.threads > 1` each level's victims are split
-/// into contiguous chunks processed by scoped worker threads that share
-/// the (immutable) lists of completed levels, results written back only
-/// after the level joins. Budgets are snapshotted and charged exclusively
-/// at those barriers (see [`SweepBudget`]), so serial and parallel paths
-/// are bit-identical *including* under global budgets: the partition
-/// changes execution order only, the counters stay per-victim, and every
-/// budget decision is a single-threaded fold.
+/// A victim's work may read the published lists of nets in its strict
+/// fanin cone only (pseudo atoms) — never siblings. The sweep therefore
+/// runs on the deterministic work-stealing scheduler ([`crate::sched`]):
+/// per-victim tasks with edges for exactly the driver-gate inputs,
+/// victim-indexed write-once result slots ([`Slots`]), and budgets
+/// pre-partitioned per victim ([`BudgetPartition`]) — so serial and
+/// parallel paths are bit-identical *including* under global budgets, at
+/// any thread count and any steal order.
 ///
 /// Every victim runs inside [`run_one`]'s fault boundary; a failed victim
 /// lands in [`SweepOutput::faults`] instead of aborting the sweep. The
@@ -581,7 +521,7 @@ where
 /// the per-victim boundary).
 pub(crate) fn sweep_victims<F>(p: &Prepared<'_>, per_victim: F) -> Result<SweepOutput, TopKError>
 where
-    F: Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync,
+    F: Fn(NetId, &Slots, usize) -> Result<VictimLists, TopKError> + Sync,
 {
     let n = p.circuit.num_nets();
     let seed_lists: Vec<NetLists> = vec![NetLists::default(); n];
@@ -592,15 +532,17 @@ where
 
 /// Like [`sweep_victims`], but recomputes only the nets flagged in
 /// `dirty`, serving everyone else's lists and counters from the cached
-/// `seed_lists` / `seed_counters` (cheap `Arc` clones).
+/// `seed_lists` / `seed_counters` (cheap `Arc` clones, pre-published
+/// into the slot board).
 ///
 /// This is the incremental core of what-if sessions: provided every net
 /// whose enumeration inputs changed is flagged dirty (the session's
 /// dirty-closure guarantees this), clean nets' cached lists equal what a
 /// from-scratch sweep would compute, so dirty victims read bit-identical
 /// fanin lists and the merged output is bit-identical to a full sweep —
-/// at any thread count, because the subset of each level is still swept
-/// with the same pure per-victim function and per-victim outputs.
+/// at any thread count, because the per-victim function is pure, the
+/// slots are disjoint, and the budget shares are fixed up front over the
+/// dirty set in victim-index order.
 pub(crate) fn sweep_victims_subset<F>(
     p: &Prepared<'_>,
     seed_lists: &[NetLists],
@@ -609,101 +551,96 @@ pub(crate) fn sweep_victims_subset<F>(
     per_victim: F,
 ) -> Result<SweepOutput, TopKError>
 where
-    F: Fn(NetId, &[NetLists], usize) -> Result<VictimLists, TopKError> + Sync,
+    F: Fn(NetId, &Slots, usize) -> Result<VictimLists, TopKError> + Sync,
 {
     let circuit = p.circuit;
     debug_assert_eq!(seed_lists.len(), circuit.num_nets());
     debug_assert_eq!(seed_counters.len(), circuit.num_nets());
     debug_assert_eq!(dirty.len(), circuit.num_nets());
-    let mut ilists: Vec<NetLists> = seed_lists.to_vec();
     let mut counters: Vec<VictimCounters> = seed_counters.to_vec();
-    let mut faults: Vec<Fault> = Vec::new();
-    let mut budget = SweepBudget::new(&p.config);
-    let threads = p.config.effective_threads();
+    if !dirty.iter().any(|&d| d) {
+        // Nothing to sweep: cached lists and counters pass through, and
+        // budgets are untouched — incremental sweeps charge only the
+        // work they actually do.
+        return Ok(SweepOutput {
+            lists: seed_lists.to_vec(),
+            counters,
+            faults: Vec::new(),
+            sched: SchedStats::default(),
+        });
+    }
 
-    let mut absorb = |v: NetId,
-                      out: VictimLists,
-                      fault: Option<Fault>,
-                      ilists: &mut Vec<NetLists>,
-                      counters: &mut Vec<VictimCounters>| {
-        counters[v.index()] = VictimCounters {
+    // Budget ranks: dirty victims in victim-index order, a pure function
+    // of (config, dirty set) — the schedule can never move a share.
+    let mut rank_of = vec![usize::MAX; circuit.num_nets()];
+    let mut work = 0usize;
+    for v in circuit.net_ids() {
+        if dirty[v.index()] {
+            rank_of[v.index()] = work;
+            work += 1;
+        }
+    }
+    let partition = BudgetPartition::new(&p.config, work);
+
+    // Tasks in topological order (so the serial reference path is a
+    // plain loop), with dependency edges for exactly the driver-gate
+    // inputs that are themselves being recomputed.
+    let order: Vec<NetId> =
+        circuit.nets_topological().iter().copied().filter(|v| dirty[v.index()]).collect();
+    let mut task_of = vec![usize::MAX; circuit.num_nets()];
+    for (t, v) in order.iter().enumerate() {
+        task_of[v.index()] = t;
+    }
+    let mut tasks: Vec<sched::Task> = order
+        .iter()
+        .map(|&v| sched::Task {
+            dependents: Vec::new(),
+            indegree: 0,
+            cost: cost_estimate(p, seed_counters, v),
+        })
+        .collect();
+    for (t, &v) in order.iter().enumerate() {
+        if let NetSource::Gate(g) = circuit.net(v).source() {
+            for &u in circuit.gate(g).inputs() {
+                let d = task_of[u.index()];
+                if d != usize::MAX {
+                    tasks[d].dependents.push(t);
+                    tasks[t].indegree += 1;
+                }
+            }
+        }
+    }
+
+    let threads = p.config.effective_threads();
+    let parallel = threads > 1 && tasks.len() > 1;
+    let corrupt_slot = faultsim::corrupt_sched_slot();
+    let slots = Slots::from_seeds(seed_lists, dirty);
+    let exec = |t: usize| {
+        let v = order[t];
+        let (skip_share, allowance) = partition.share(rank_of[v.index()]);
+        let skip = skip_share || partition.expired();
+        let (out, fault) = run_one(v, &slots, skip, allowance, &per_victim);
+        let counters = VictimCounters {
             peak_list_width: out.peak_list_width,
             generated: out.generated,
             curtailment: out.curtailment,
         };
-        ilists[v.index()] = Arc::new(out.lists);
-        faults.extend(fault);
+        // Fault-sim hook for the L060 audit: corrupt the parallel
+        // scheduler's published slot (never the serial replay's) so the
+        // slot comparison has something real to catch.
+        let lists =
+            if parallel && corrupt_slot == Some(v.index()) { Vec::new() } else { out.lists };
+        slots.publish(v, Arc::new(lists));
+        (v, counters, fault)
     };
-
-    for level in circuit.nets_by_level() {
-        let work_items: Vec<NetId> = level.iter().copied().filter(|v| dirty[v.index()]).collect();
-        if work_items.is_empty() {
-            // Budgets are untouched: a level with no dirty victims costs
-            // nothing, which is what keeps budgeted incremental sweeps
-            // charging only the work they actually do.
-            continue;
-        }
-        // The level-barrier budget snapshot: one skip flag and one
-        // allowance for every victim of the level (see `SweepBudget`).
-        let skip = budget.exhausted();
-        let allowance = budget.victim_allowance();
-        let level_results: Vec<(NetId, VictimLists, Option<Fault>)> =
-            if threads <= 1 || work_items.len() == 1 {
-                work_items
-                    .iter()
-                    .map(|&v| {
-                        let (out, fault) = run_one(v, &ilists, skip, allowance, &per_victim);
-                        (v, out, fault)
-                    })
-                    .collect()
-            } else {
-                let chunk = work_items.len().div_ceil(threads);
-                let results: Result<Vec<(NetId, VictimLists, Option<Fault>)>, TopKError> =
-                    std::thread::scope(|s| {
-                        let shared = &ilists;
-                        let work = &per_victim;
-                        let handles: Vec<_> = work_items
-                            .chunks(chunk)
-                            .map(|part| {
-                                s.spawn(move || {
-                                    part.iter()
-                                        .map(|&v| {
-                                            let (out, fault) =
-                                                run_one(v, shared, skip, allowance, work);
-                                            (v, out, fault)
-                                        })
-                                        .collect::<Vec<_>>()
-                                })
-                            })
-                            .collect();
-                        let mut level_results = Vec::with_capacity(work_items.len());
-                        for h in handles {
-                            match h.join() {
-                                Ok(part) => level_results.extend(part),
-                                // Unreachable while `run_one` catches per-victim
-                                // panics, but a harness bug must still surface as
-                                // a typed error, not a propagated unwind.
-                                Err(payload) => {
-                                    return Err(TopKError::EnginePanic {
-                                        phase: FaultPhase::Enumeration,
-                                        cause: panic_message(payload.as_ref()),
-                                    })
-                                }
-                            }
-                        }
-                        Ok(level_results)
-                    });
-                results?
-            };
-        let mut level_raw = 0usize;
-        for (v, out, fault) in level_results {
-            level_raw += out.raw_generated;
-            absorb(v, out, fault, &mut ilists, &mut counters);
-        }
-        budget.charge(level_raw);
+    let (done, sched) = sched::execute(&tasks, threads, exec)?;
+    let mut faults: Vec<Fault> = Vec::new();
+    for (v, c, fault) in done {
+        counters[v.index()] = c;
+        faults.extend(fault);
     }
     faults.sort_by_key(|f| f.victim().index());
-    Ok(SweepOutput { lists: ilists, counters, faults })
+    Ok(SweepOutput { lists: slots.into_lists(), counters, faults, sched })
 }
 
 /// Pseudo envelope of a transition delayed by `shift` (paper §3.1).

@@ -20,7 +20,12 @@
 //!   *unsound* [`CleanCertificate`](crate::CleanCertificate) claiming the
 //!   given victim is provably clean (simulates a prover bug; the
 //!   certificate verifier in `dna-lint` and the `whatif --audit`
-//!   spot-check must both catch it).
+//!   spot-check must both catch it);
+//! * [`arm_corrupt_sched_slot`] — the parallel work-stealing sweep
+//!   publishes empty lists into the given victim's result slot while the
+//!   serial reference path stays intact (simulates a scheduler
+//!   publication bug; the L060 replay audit in `dna-lint` must catch
+//!   the slot divergence).
 //!
 //! Every hook is a single relaxed atomic load when disarmed — negligible
 //! against the enumeration work per victim. The hooks are global: tests
@@ -42,6 +47,7 @@ static PANIC_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
 static NAN_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
 static PREPARE_PANIC: AtomicBool = AtomicBool::new(false);
 static FORCE_CLEAN_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
+static CORRUPT_SCHED_SLOT: AtomicUsize = AtomicUsize::new(DISARMED);
 
 /// Arms a panic inside the enumeration of the victim with net index
 /// `index` on every subsequent sweep until [`disarm_all`].
@@ -68,12 +74,21 @@ pub fn arm_force_clean_victim(index: usize) {
     FORCE_CLEAN_VICTIM.store(index, Ordering::SeqCst);
 }
 
+/// Arms corruption of the parallel scheduler's result slot for the
+/// victim with net index `index` until [`disarm_all`]: the work-stealing
+/// sweep publishes empty lists there while the serial reference path is
+/// untouched, so the L060 replay audit has a real divergence to catch.
+pub fn arm_corrupt_sched_slot(index: usize) {
+    CORRUPT_SCHED_SLOT.store(index, Ordering::SeqCst);
+}
+
 /// Disarms every injection point.
 pub fn disarm_all() {
     PANIC_VICTIM.store(DISARMED, Ordering::SeqCst);
     NAN_VICTIM.store(DISARMED, Ordering::SeqCst);
     PREPARE_PANIC.store(false, Ordering::SeqCst);
     FORCE_CLEAN_VICTIM.store(DISARMED, Ordering::SeqCst);
+    CORRUPT_SCHED_SLOT.store(DISARMED, Ordering::SeqCst);
 }
 
 /// Installs (once) a panic hook that suppresses the default stderr
@@ -127,6 +142,15 @@ pub(crate) fn maybe_panic_in_prepare() {
 /// fabricated, if armed.
 pub(crate) fn forced_clean_victim() -> Option<usize> {
     match FORCE_CLEAN_VICTIM.load(Ordering::Relaxed) {
+        DISARMED => None,
+        index => Some(index),
+    }
+}
+
+/// Scheduler hook: the net index whose parallel result slot should be
+/// corrupted, if armed.
+pub(crate) fn corrupt_sched_slot() -> Option<usize> {
+    match CORRUPT_SCHED_SLOT.load(Ordering::Relaxed) {
         DISARMED => None,
         index => Some(index),
     }

@@ -70,6 +70,7 @@ mod engine;
 mod error;
 mod persist;
 mod result;
+mod sched;
 mod session;
 
 pub mod brute;
@@ -87,6 +88,7 @@ pub use engine::Mode;
 pub use error::{ArtifactError, TopKError};
 pub use persist::{artifact_fingerprint, ARTIFACT_VERSION};
 pub use result::{Fault, FaultPhase, FaultReport, Soundness, SweepStats, TopKResult};
+pub use sched::SchedStats;
 pub use session::{MaskDelta, WhatIfOutcome, WhatIfSession};
 
 use std::time::Instant;
@@ -140,6 +142,29 @@ struct PeelCache {
     budget: usize,
     mask: CouplingMask,
     removed: Vec<dna_netlist::CouplingId>,
+}
+
+/// Outcome of [`TopKAnalysis::sched_audit`]: a serial replay of the
+/// work-stealing sweep compared slot-by-slot against a parallel run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedAudit {
+    /// Victims compared (every net of the circuit).
+    pub checked_victims: usize,
+    /// Net indices whose published I-lists or enumeration counters
+    /// differ between the parallel scheduler and the serial replay.
+    pub mismatched_slots: Vec<usize>,
+    /// Net indices whose curtailment state contradicts their
+    /// pre-partitioned budget share (skipped without a zero share, or a
+    /// zero share that was not skipped).
+    pub share_violations: Vec<usize>,
+}
+
+impl SchedAudit {
+    /// Whether the parallel sweep matched the serial replay everywhere.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.mismatched_slots.is_empty() && self.share_violations.is_empty()
+    }
 }
 
 /// The top-k aggressor-set engine.
@@ -245,6 +270,7 @@ impl<'c> TopKAnalysis<'c> {
         let mut peak_list_width = 0;
         let mut generated = 0;
         let mut stats = SweepStats::default();
+        let mut sched_total = SchedStats::default();
         let mut faults: Vec<Fault> = Vec::new();
         let mut cache: Option<PeelCache> = None;
 
@@ -259,46 +285,49 @@ impl<'c> TopKAnalysis<'c> {
                     mask.clone(),
                 )
             })?;
-            let (outcome, lists, counters, round_faults) = guard(FaultPhase::Selection, || {
-                let (out, merged) = match cache.take() {
-                    Some(rc) if rc.budget == budget && !rc.removed.is_empty() => {
-                        let mut seeds: Vec<dna_netlist::NetId> =
-                            Vec::with_capacity(rc.removed.len() * 2);
-                        for &cc in &rc.removed {
-                            let ends = self.circuit.coupling(cc);
-                            seeds.push(ends.a());
-                            seeds.push(ends.b());
+            let (outcome, lists, counters, round_faults, round_sched) =
+                guard(FaultPhase::Selection, || {
+                    let (out, merged) = match cache.take() {
+                        Some(rc) if rc.budget == budget && !rc.removed.is_empty() => {
+                            let mut seeds: Vec<dna_netlist::NetId> =
+                                Vec::with_capacity(rc.removed.len() * 2);
+                            for &cc in &rc.removed {
+                                let ends = self.circuit.coupling(cc);
+                                seeds.push(ends.a());
+                                seeds.push(ends.b());
+                            }
+                            // This round only removed couplings, so the
+                            // previous round's mask is the `old ∪ new`
+                            // adjacency predicate of the dirty closure.
+                            let dirty = self
+                                .circuit
+                                .dirty_closure_filtered(&seeds, |id| rc.mask.is_enabled(id));
+                            let out = elimination::sweep(
+                                &prepared,
+                                budget,
+                                Some((&rc.lists, &rc.counters, &dirty)),
+                            )?;
+                            let mut merged: Vec<Fault> = rc
+                                .faults
+                                .iter()
+                                .filter(|f| !dirty[f.victim().index()])
+                                .cloned()
+                                .collect();
+                            merged.extend(out.faults.iter().cloned());
+                            merged.sort_by_key(|f| f.victim().index());
+                            (out, merged)
                         }
-                        // This round only removed couplings, so the
-                        // previous round's mask is the `old ∪ new`
-                        // adjacency predicate of the dirty closure.
-                        let dirty = self
-                            .circuit
-                            .dirty_closure_filtered(&seeds, |id| rc.mask.is_enabled(id));
-                        let out = elimination::sweep(
-                            &prepared,
-                            budget,
-                            Some((&rc.lists, &rc.counters, &dirty)),
-                        )?;
-                        let mut merged: Vec<Fault> = rc
-                            .faults
-                            .iter()
-                            .filter(|f| !dirty[f.victim().index()])
-                            .cloned()
-                            .collect();
-                        merged.extend(out.faults.iter().cloned());
-                        merged.sort_by_key(|f| f.victim().index());
-                        (out, merged)
-                    }
-                    _ => {
-                        let out = elimination::sweep(&prepared, budget, None)?;
-                        let merged = out.faults.clone();
-                        (out, merged)
-                    }
-                };
-                let outcome = elimination::select(&prepared, budget, &out.lists, &out.counters)?;
-                Ok((outcome, out.lists, out.counters, merged))
-            })?;
+                        _ => {
+                            let out = elimination::sweep(&prepared, budget, None)?;
+                            let merged = out.faults.clone();
+                            (out, merged)
+                        }
+                    };
+                    let outcome =
+                        elimination::select(&prepared, budget, &out.lists, &out.counters)?;
+                    Ok((outcome, out.lists, out.counters, merged, out.sched))
+                })?;
+            sched_total.merge(&round_sched);
             cache = Some(PeelCache {
                 lists,
                 counters,
@@ -360,6 +389,7 @@ impl<'c> TopKAnalysis<'c> {
             runtime: start.elapsed(),
             faults: FaultReport::new(faults),
             stats,
+            sched: sched_total,
         })
     }
 
@@ -397,6 +427,7 @@ impl<'c> TopKAnalysis<'c> {
         let mut peak_list_width = 0;
         let mut generated = 0;
         let mut stats = SweepStats::default();
+        let mut sched_total = SchedStats::default();
         let mut faults: Vec<Fault> = Vec::new();
 
         while chosen.len() < k {
@@ -410,8 +441,9 @@ impl<'c> TopKAnalysis<'c> {
                     mask.clone(),
                 )
             })?;
-            let (outcome, round_faults) =
+            let (outcome, round_faults, round_sched) =
                 guard(FaultPhase::Selection, || elimination::run(&prepared, budget))?;
+            sched_total.merge(&round_sched);
             peak_list_width = peak_list_width.max(outcome.totals.peak_list_width);
             generated += outcome.totals.generated;
             stats.truncated_victims = stats.truncated_victims.max(outcome.totals.truncated_victims);
@@ -458,6 +490,7 @@ impl<'c> TopKAnalysis<'c> {
             runtime: start.elapsed(),
             faults: FaultReport::new(faults),
             stats,
+            sched: sched_total,
         })
     }
 
@@ -568,7 +601,7 @@ impl<'c> TopKAnalysis<'c> {
             if std::env::var_os("DNA_PROFILE").is_some() {
                 eprintln!("[profile] enumerate: {:.2?}", enum_start.elapsed());
             }
-            self.finish(mode, k, &prepared.mask, prepared, outcome, &faults, start)
+            self.finish(mode, k, &prepared.mask, prepared, outcome, &faults, out.sched, start)
         })?;
         Ok((result, out.lists, out.counters, faults))
     }
@@ -602,6 +635,70 @@ impl<'c> TopKAnalysis<'c> {
         Ok(CleanWitness::new(refined.dirty, refined.certificates))
     }
 
+    /// Replays a full sweep on the serial reference path and compares it
+    /// slot-by-slot against a parallel work-stealing run: every victim's
+    /// published I-lists and counters must be bit-identical, and every
+    /// victim's curtailment state must agree with its pre-partitioned
+    /// budget share. This is the semantic ground truth behind lint rule
+    /// L060 (`lint --deep`, `whatif --audit`): the serial path *is* the
+    /// determinism argument's reference schedule, so any divergence means
+    /// the scheduler published a wrong slot or moved a budget share.
+    ///
+    /// The parallel run uses the configured thread count, forced to at
+    /// least 2 so the deques and steal path are genuinely exercised even
+    /// on a single-core host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopKError::ZeroK`] for `k == 0` and propagates timing
+    /// errors from the substrate analyses.
+    pub fn sched_audit(&self, mode: Mode, k: usize) -> Result<SchedAudit, TopKError> {
+        if k == 0 {
+            return Err(TopKError::ZeroK);
+        }
+        let mask = CouplingMask::all(self.circuit);
+        let run_at = |threads: usize| -> Result<
+            (Vec<engine::NetLists>, Vec<engine::VictimCounters>),
+            TopKError,
+        > {
+            let mut config = self.config;
+            config.threads = threads;
+            let analysis = TopKAnalysis::new(self.circuit, config);
+            let prepared = analysis.prepare(mode, &mask)?;
+            let out = match mode {
+                Mode::Addition => addition::sweep(&prepared, k, None),
+                Mode::Elimination => elimination::sweep(&prepared, k, None),
+            }?;
+            Ok((out.lists, out.counters))
+        };
+        let (par_lists, par_counters) = run_at(self.config.effective_threads().max(2))?;
+        let (ser_lists, ser_counters) = run_at(1)?;
+
+        let n = self.circuit.num_nets();
+        // The audit re-derives the shares itself: a full sweep's work set
+        // is every net, ranked by index.
+        let partition = sched::BudgetPartition::new(&self.config, n);
+        let mut audit = SchedAudit { checked_victims: n, ..SchedAudit::default() };
+        for i in 0..n {
+            if *par_lists[i] != *ser_lists[i] || par_counters[i] != ser_counters[i] {
+                audit.mismatched_slots.push(i);
+            }
+            // Share consistency: a victim is Skipped exactly when its
+            // pre-partitioned share says so (modulo deadlines, the one
+            // budget that is wall-clock dependent by definition).
+            if self.config.deadline.is_none() {
+                let (skip, _) = partition.share(i);
+                let violates = [&par_counters[i], &ser_counters[i]]
+                    .iter()
+                    .any(|c| (c.curtailment == engine::Curtailment::Skipped) != skip);
+                if violates {
+                    audit.share_violations.push(i);
+                }
+            }
+        }
+        Ok(audit)
+    }
+
     fn run(&self, mode: Mode, k: usize) -> Result<TopKResult, TopKError> {
         self.run_with_mask(mode, k, &CouplingMask::all(self.circuit))
     }
@@ -621,6 +718,7 @@ impl<'c> TopKAnalysis<'c> {
         prepared: &Prepared<'_>,
         outcome: addition::EnumerationOutcome,
         faults: &[Fault],
+        sched: SchedStats,
         start: Instant,
     ) -> Result<TopKResult, TopKError> {
         let delay_before = match mode {
@@ -687,6 +785,7 @@ impl<'c> TopKAnalysis<'c> {
             runtime: start.elapsed(),
             faults: FaultReport::new(faults.to_vec()),
             stats,
+            sched,
         })
     }
 }

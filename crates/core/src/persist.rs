@@ -43,6 +43,7 @@ use dna_waveform::{Envelope, Pwl};
 
 use crate::engine::{Curtailment, NetLists, VictimCounters};
 use crate::result::{Fault, FaultPhase, FaultReport, SweepStats};
+use crate::sched::SchedStats;
 use crate::session::WhatIfSession;
 use crate::{
     ArtifactError, Candidate, CouplingSet, Mode, TopKAnalysis, TopKConfig, TopKError, TopKResult,
@@ -416,6 +417,10 @@ fn decode_result(
         runtime,
         faults: FaultReport::new(faults),
         stats,
+        // Scheduler counters are diagnostic, run-local state: they are
+        // deliberately not persisted, so a decoded result reports the
+        // default (empty) stats.
+        sched: SchedStats::default(),
     })
 }
 

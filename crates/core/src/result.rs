@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use dna_netlist::{CouplingId, NetId};
 
+use crate::sched::SchedStats;
 use crate::{CouplingSet, Mode};
 
 /// The engine phase a fault was caught in.
@@ -179,6 +180,7 @@ pub struct TopKResult {
     pub(crate) runtime: Duration,
     pub(crate) faults: FaultReport,
     pub(crate) stats: SweepStats,
+    pub(crate) sched: SchedStats,
 }
 
 impl TopKResult {
@@ -291,6 +293,15 @@ impl TopKResult {
     #[must_use]
     pub fn sweep_stats(&self) -> &SweepStats {
         &self.stats
+    }
+
+    /// Work-stealing scheduler counters of the enumeration sweep:
+    /// threads, tasks, steals and per-worker load spread. Diagnostic
+    /// only — never part of fingerprints, identity contracts or
+    /// persisted artifacts (a decoded artifact reports default stats).
+    #[must_use]
+    pub fn scheduler_stats(&self) -> &SchedStats {
+        &self.sched
     }
 
     /// Whether budgets or faults curtailed the enumeration. A degraded

@@ -5,7 +5,7 @@ use std::collections::HashSet;
 use dna_netlist::Circuit;
 use dna_noise::CouplingMask;
 use dna_topk::dominance::{find_dominated_pair, DominanceDirection};
-use dna_topk::{Candidate, CleanCertificate, CleanWitness, CouplingSet, TopKResult};
+use dna_topk::{Candidate, CleanCertificate, CleanWitness, CouplingSet, SchedAudit, TopKResult};
 use dna_waveform::TimeInterval;
 
 use crate::{lint_envelope, Diagnostics, Location, Rule};
@@ -467,6 +467,38 @@ pub fn lint_batch_order(forward: &[TopKResult], reordered: &[TopKResult]) -> Dia
                 format!("scenario {i}: {field} differs under batch reordering"),
             );
         }
+    }
+
+    diags.sort();
+    diags
+}
+
+/// Checks a scheduler determinism audit (`L060`).
+///
+/// The caller runs [`TopKAnalysis::sched_audit`](dna_topk::TopKAnalysis::sched_audit),
+/// which replays the work-stealing sweep on the serial reference
+/// schedule and compares every victim's published result slot (I-lists
+/// and counters, f64-bit-exact) plus its pre-partitioned budget share
+/// against the parallel run. Any surviving entry here means steal order
+/// or thread count leaked into the output — the determinism contract
+/// every identity test builds on is broken.
+#[must_use]
+pub fn lint_sched_replay(audit: &SchedAudit) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    for &i in &audit.mismatched_slots {
+        diags.report(
+            Rule::SchedulerResultSlotMismatch,
+            Location::Net { id: i, name: String::new() },
+            "published I-lists or counters differ between the parallel sweep and its serial replay",
+        );
+    }
+    for &i in &audit.share_violations {
+        diags.report(
+            Rule::SchedulerResultSlotMismatch,
+            Location::Net { id: i, name: String::new() },
+            "skip decision contradicts the victim's pre-partitioned budget share",
+        );
     }
 
     diags.sort();

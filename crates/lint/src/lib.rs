@@ -16,7 +16,7 @@
 //!   scripts and corpora can match on, grouped by pass
 //!   (`L00x` referential integrity, `L01x` topology, `L02x` waveforms,
 //!   `L03x` engine state, `L04x` library/config, `L05x` semantic damping
-//!   certificates);
+//!   certificates, `L06x` scheduler determinism);
 //! * every finding is a [`Diagnostic`] with a severity and a span-like
 //!   [`Location`];
 //! * passes report into a [`Diagnostics`] collector that renders as
@@ -36,6 +36,8 @@
 //! * [`lint_dirty_closure_certified`] — a semantically damped dirty set
 //!   plus its clean certificates against an independently re-derived
 //!   prover verdict;
+//! * [`lint_sched_replay`] — a work-stealing sweep's result slots and
+//!   budget shares against their serial replay;
 //! * [`lint_config`] — sanity ranges on analysis knobs.
 //!
 //! # Example
@@ -90,6 +92,7 @@ pub use config::lint_config;
 pub use diag::{Diagnostic, Diagnostics, Location, Severity};
 pub use engine::{
     lint_batch_order, lint_dirty_closure, lint_dirty_closure_certified, lint_ilist, lint_result,
+    lint_sched_replay,
 };
 pub use rules::Rule;
 pub use waveform::{lint_envelope, lint_pwl, lint_timing};

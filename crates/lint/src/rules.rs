@@ -16,7 +16,9 @@ use crate::Severity;
 /// * `L03x` — engine invariants (irredundant lists, results),
 /// * `L04x` — library / configuration sanity,
 /// * `L05x` — semantic damping certificates (the corridor prover's
-///   clean-victim proofs).
+///   clean-victim proofs),
+/// * `L06x` — scheduler determinism (the work-stealing sweep against
+///   its serial replay).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Rule {
@@ -98,6 +100,12 @@ pub enum Rule {
     /// envelope contribution at zero shift exceeds the claimed bound over
     /// the whole shift corridor.
     BoundNotMonotone,
+    /// A work-stealing sweep's result slot or budget share disagrees
+    /// with the serial replay: a victim's published I-lists or counters
+    /// differ from the single-threaded reference schedule, or its skip
+    /// decision contradicts the pre-partitioned budget share — the
+    /// scheduler's determinism contract is broken.
+    SchedulerResultSlotMismatch,
 }
 
 impl Rule {
@@ -137,6 +145,7 @@ impl Rule {
             Rule::CleanCertificateInvalid => "L050",
             Rule::CorridorCacheStale => "L051",
             Rule::BoundNotMonotone => "L052",
+            Rule::SchedulerResultSlotMismatch => "L060",
         }
     }
 
@@ -185,6 +194,7 @@ impl Rule {
             Rule::CleanCertificateInvalid => "clean certificate invalid",
             Rule::CorridorCacheStale => "stale corridor cache",
             Rule::BoundNotMonotone => "bound not monotone",
+            Rule::SchedulerResultSlotMismatch => "scheduler result slot mismatch",
         }
     }
 
@@ -224,6 +234,7 @@ impl Rule {
             Rule::CleanCertificateInvalid,
             Rule::CorridorCacheStale,
             Rule::BoundNotMonotone,
+            Rule::SchedulerResultSlotMismatch,
         ]
     }
 }

@@ -178,8 +178,10 @@ impl Circuit {
     ///
     /// Within a level no net is in another's fanin cone, so per-net work
     /// that reads only strict-fanin results can run concurrently across a
-    /// level — the synchronization structure of the level-parallel top-k
-    /// sweep. Levels are emitted in increasing order and each level lists
+    /// level. (The top-k sweep used levels as its synchronization
+    /// structure before moving to per-victim dependency tracking; the
+    /// partition remains useful for analysis and display.) Levels are
+    /// emitted in increasing order and each level lists
     /// its nets in [`nets_topological`](Self::nets_topological) order, so
     /// flattening the levels is itself a valid topological order.
     #[must_use]
