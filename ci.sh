@@ -80,8 +80,41 @@ echo "$out" | grep -q "cannot resume" || { echo "corruption went undetected"; ex
 echo "$out" | grep -q "audit: incremental == from-scratch" \
   || { echo "fallback run failed its audit"; exit 1; }
 
+echo "== serve smoke (daemon scenario over loopback == local whatif, clean shutdown)"
+serve_log="$(mktemp -t serve_smoke.XXXXXX.log)"
+trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_i1" "$smoke_batch" "$smoke_art" "$serve_log"' EXIT
+cargo build -q -p dna-cli --offline
+cargo run -q -p dna-cli --offline -- serve --port 0 > "$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$serve_log" && break
+  sleep 0.1
+done
+grep -q "listening on" "$serve_log" || {
+  echo "daemon never announced its port"; kill "$serve_pid" 2>/dev/null; exit 1
+}
+port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$serve_log")"
+out="$(cargo run -q -p dna-cli --offline -- client --port "$port" \
+  "{\"op\":\"open\",\"tenant\":\"smoke\",\"circuit\":\"$smoke_ckt\",\"mode\":\"elim\",\"k\":3}" \
+  '{"op":"scenario","tenant":"smoke","remove":[0]}' \
+  '{"op":"stats"}' \
+  '{"op":"shutdown"}')"
+echo "$out" | grep -q '"kind":"opened"' || { echo "serve smoke: open failed: $out"; exit 1; }
+echo "$out" | grep -q '"kind":"bye"' || { echo "serve smoke: no shutdown ack: $out"; exit 1; }
+wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero"; exit 1; }
+# The daemon's answer must be bit-identical to a local what-if session
+# evaluating the same scenario — compare identity fingerprints.
+served_fp="$(echo "$out" | sed -n 's/.*"kind":"scenario".*"fingerprint":"\([0-9a-f]*\)".*/\1/p' | head -1)"
+printf -- '-0\n' > "$smoke_batch"
+local_fp="$(cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --batch "$smoke_batch" --fingerprint \
+  | sed -n 's/.*fingerprint #0: \([0-9a-f]*\).*/\1/p')"
+[[ -n "$served_fp" && "$served_fp" == "$local_fp" ]] || {
+  echo "serve smoke: daemon fingerprint ($served_fp) != local whatif ($local_fp)"; exit 1
+}
+
 # CI_FULL=1 additionally runs the #[ignore]d suites (full i1-i10
-# determinism + incremental + damping identity) in release mode —
+# determinism + incremental + damping identity + the daemon soak) in
+# release mode —
 # minutes, not seconds, so opt-in.
 if [[ "${CI_FULL:-0}" == "1" ]]; then
   echo "== full ignored suites (release)"

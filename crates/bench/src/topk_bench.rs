@@ -48,7 +48,14 @@ use crate::{Table, DEFAULT_SEED};
 /// parallelism the gate measures) or when the entry's serial reference
 /// ran under 500 ms (smoke-sized circuits are overhead dominated).
 /// Identity gates are never skipped.
-pub const SCHEMA: &str = "dna-bench-topk/v6";
+///
+/// `v7` makes that skip *loud*: every scheduler entry carries a
+/// `gate_status` string — `"armed"` or `"skipped (<reason>)"` — written
+/// at measurement time. The validator re-derives the expected status
+/// from `host_threads` and `wall_ms_serial` and rejects a report whose
+/// stored status disagrees, so a skipped gate can never masquerade as a
+/// passed one, and `dna bench --check` prints each skip with its reason.
+pub const SCHEMA: &str = "dna-bench-topk/v7";
 
 /// What to measure.
 #[derive(Debug, Clone)]
@@ -129,6 +136,29 @@ pub struct SchedulerEntry {
     /// `wall_ms_serial / wall_ms_parallel` — the v6 gate requires
     /// `> 1.0` on hosts with at least 4 threads.
     pub speedup_over_serial: f64,
+    /// Whether the speedup gate applies to this entry: `"armed"`, or
+    /// `"skipped (<reason>)"` naming exactly why (narrow host or a
+    /// serial reference under the smoke floor). Recorded at measurement
+    /// time and cross-checked by [`validate_json`], so a skipped gate is
+    /// always visible in the report and in `dna bench --check` output.
+    pub gate_status: String,
+}
+
+/// The v7 speedup-gate status for one scheduler entry, derived from the
+/// report's host width and the entry's serial reference time. Shared by
+/// the runner (which records it) and the validator (which re-derives it
+/// and rejects disagreement).
+#[must_use]
+pub fn speedup_gate_status(host_threads: f64, serial_ms: f64) -> String {
+    if host_threads < 4.0 {
+        format!(
+            "skipped ({host_threads:.0}-thread host cannot express the parallelism; gate needs 4)"
+        )
+    } else if serial_ms < 500.0 {
+        format!("skipped (serial reference {serial_ms:.0} ms is under the 500 ms smoke floor)")
+    } else {
+        "armed".to_owned()
+    }
 }
 
 /// One measured what-if fix loop: full analysis, mask out the reported
@@ -398,6 +428,11 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
                 };
                 if threads == sched_config && threads != 1 {
                     let s = r.scheduler_stats();
+                    // Derive the gate status from the serial time as it
+                    // will be serialized (3 decimals), so the validator's
+                    // re-derivation from the JSON can never disagree at
+                    // the floor boundary.
+                    let serial_as_written = (serial_ms * 1e3).round() / 1e3;
                     scheduler.push(SchedulerEntry {
                         circuit: name.clone(),
                         mode: mode.name().to_owned(),
@@ -408,6 +443,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
                         wall_ms_serial: serial_ms,
                         wall_ms_parallel: wall_ms,
                         speedup_over_serial: serial_ms / wall_ms.max(1e-9),
+                        gate_status: speedup_gate_status(host_threads as f64, serial_as_written),
                     });
                 }
                 entries.push(BenchEntry {
@@ -748,7 +784,11 @@ impl BenchReport {
             out.push_str(&format!("      \"tail_task_share\": {:.6},\n", e.tail_task_share));
             out.push_str(&format!("      \"wall_ms_serial\": {:.3},\n", e.wall_ms_serial));
             out.push_str(&format!("      \"wall_ms_parallel\": {:.3},\n", e.wall_ms_parallel));
-            out.push_str(&format!("      \"speedup_over_serial\": {:.3}\n", e.speedup_over_serial));
+            out.push_str(&format!(
+                "      \"speedup_over_serial\": {:.3},\n",
+                e.speedup_over_serial
+            ));
+            out.push_str(&format!("      \"gate_status\": {}\n", json_string(&e.gate_status)));
             out.push_str(if i + 1 < self.scheduler.len() { "    },\n" } else { "    }\n" });
         }
         out.push_str("  ],\n");
@@ -893,6 +933,7 @@ impl BenchReport {
                 "serial ms",
                 "parallel ms",
                 "speedup",
+                "gate",
             ]);
             for e in &self.scheduler {
                 stable.row(vec![
@@ -905,6 +946,7 @@ impl BenchReport {
                     format!("{:.1}", e.wall_ms_serial),
                     format!("{:.1}", e.wall_ms_parallel),
                     format!("{:.2}x", e.speedup_over_serial),
+                    e.gate_status.clone(),
                 ]);
             }
             out.push_str("\nwork-stealing scheduler (tracked parallel configuration):\n");
@@ -1287,6 +1329,18 @@ fn parse(text: &str) -> Result<Json, String> {
 ///
 /// Returns a message describing the first problem found.
 pub fn validate_json(text: &str) -> Result<(), String> {
+    validate_json_notes(text).map(|_notes| ())
+}
+
+/// [`validate_json`], but also returns one note line per gate the report
+/// skipped (e.g. `scheduler i5/addition speedup gate: skipped (...)`).
+/// `dna bench --check` prints these so a skipped gate is never silent.
+///
+/// # Errors
+///
+/// Returns a message describing the first problem found.
+pub fn validate_json_notes(text: &str) -> Result<Vec<String>, String> {
+    let mut notes = Vec::new();
     let report = parse(text)?;
     match report.get("schema") {
         Some(Json::Str(s)) if s == SCHEMA => {}
@@ -1354,9 +1408,23 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         // the gate is skipped — never the identity gates above. It is
         // also skipped for entries whose serial reference is under half a
         // second (smoke-sized circuits are scheduling-overhead dominated);
-        // the tracked i5/i10 runs sit well above that floor.
+        // the tracked i5/i10 runs sit well above that floor. Since v7 the
+        // entry *records* that decision in `gate_status`; the stored
+        // status and the one re-derived here must agree, so a report can
+        // never pass with a silently skipped gate.
         let serial_ms = entry.get("wall_ms_serial").and_then(Json::as_num).expect("checked above");
-        if host_threads >= 4.0 && serial_ms >= 500.0 {
+        let expected = speedup_gate_status(host_threads, serial_ms);
+        let stored = match entry.get("gate_status") {
+            Some(Json::Str(s)) => s,
+            _ => return Err(format!("scheduler entry {i}: missing `gate_status` string")),
+        };
+        if (stored == "armed") != (expected == "armed") {
+            return Err(format!(
+                "scheduler entry {i}: gate_status says `{stored}` but host_threads \
+                 {host_threads:.0} / serial {serial_ms:.0} ms imply `{expected}`"
+            ));
+        }
+        if expected == "armed" {
             let speedup =
                 entry.get("speedup_over_serial").and_then(Json::as_num).expect("checked above");
             if speedup <= 1.0 {
@@ -1365,6 +1433,16 @@ pub fn validate_json(text: &str) -> Result<(), String> {
                      {host_threads:.0}-thread host)"
                 ));
             }
+        } else {
+            let circuit = match entry.get("circuit") {
+                Some(Json::Str(s)) => s.as_str(),
+                _ => "?",
+            };
+            let mode = match entry.get("mode") {
+                Some(Json::Str(s)) => s.as_str(),
+                _ => "?",
+            };
+            notes.push(format!("scheduler {circuit}/{mode} speedup gate: {stored}"));
         }
     }
     let whatif = match report.get("whatif") {
@@ -1520,7 +1598,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
             _ => return Err(format!("damping entry {i}: missing `identical_to_full`")),
         }
     }
-    Ok(())
+    Ok(notes)
 }
 
 #[cfg(test)]
@@ -1602,10 +1680,10 @@ mod tests {
         assert!(table.contains("corridor damping"));
     }
 
-    /// A structurally complete, semantically passing v6 report — the
+    /// A structurally complete, semantically passing v7 report — the
     /// baseline every rejection case below is a one-flag mutation of.
     const GOOD_REPORT: &str = r#"{
-      "schema": "dna-bench-topk/v6",
+      "schema": "dna-bench-topk/v7",
       "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
       "entries": [{
         "circuit": "i1", "mode": "addition", "threads": 0,
@@ -1619,7 +1697,8 @@ mod tests {
         "threads": 8, "tasks": 64, "steals": 5,
         "tail_task_share": 0.25,
         "wall_ms_serial": 900.0, "wall_ms_parallel": 500.0,
-        "speedup_over_serial": 1.8
+        "speedup_over_serial": 1.8,
+        "gate_status": "armed"
       }],
       "whatif": [{
         "circuit": "i1", "mode": "addition",
@@ -1664,10 +1743,14 @@ mod tests {
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema": "other/v9"}"#).is_err());
         // Older schemas (missing the sections added since) are rejected.
-        for old in ["v1", "v2", "v3", "v4", "v5"] {
+        for old in ["v1", "v2", "v3", "v4", "v5", "v6"] {
             assert!(validate_json(&format!(r#"{{"schema": "dna-bench-topk/{old}"}}"#)).is_err());
         }
         validate_json(GOOD_REPORT).expect("the baseline report validates");
+        assert!(
+            validate_json_notes(GOOD_REPORT).unwrap().is_empty(),
+            "an armed gate produces no skip notes"
+        );
 
         // The scheduler speedup gate fires on a wide host with a slow
         // parallel run...
@@ -1676,13 +1759,39 @@ mod tests {
         let err = validate_json(&no_speedup).unwrap_err();
         assert!(err.contains("no speedup over serial"), "{err}");
         // ...but is skipped (never failed) on a narrow host that cannot
-        // express the parallelism...
-        let narrow_host = no_speedup.replace("\"host_threads\": 8", "\"host_threads\": 1");
-        validate_json(&narrow_host).expect("narrow host skips the speedup gate");
+        // express the parallelism — and since v7 the skip is recorded in
+        // the entry and surfaced as a note, never silent...
+        let narrow_host = no_speedup
+            .replace("\"host_threads\": 8", "\"host_threads\": 1")
+            .replace("\"gate_status\": \"armed\"", "\"gate_status\": \"skipped (narrow host)\"");
+        let skip_notes =
+            validate_json_notes(&narrow_host).expect("narrow host skips the speedup gate");
+        assert_eq!(skip_notes.len(), 1, "{skip_notes:?}");
+        assert!(
+            skip_notes[0].contains("i5/addition") && skip_notes[0].contains("skipped"),
+            "{skip_notes:?}"
+        );
         // ...and for smoke-sized entries below the measurement floor.
-        let smoke_entry =
-            no_speedup.replace("\"wall_ms_serial\": 900.0", "\"wall_ms_serial\": 9.0");
-        validate_json(&smoke_entry).expect("sub-floor serial time skips the speedup gate");
+        let smoke_entry = no_speedup
+            .replace("\"wall_ms_serial\": 900.0", "\"wall_ms_serial\": 9.0")
+            .replace("\"gate_status\": \"armed\"", "\"gate_status\": \"skipped (smoke floor)\"");
+        let skip_notes = validate_json_notes(&smoke_entry)
+            .expect("sub-floor serial time skips the speedup gate");
+        assert_eq!(skip_notes.len(), 1, "{skip_notes:?}");
+
+        // The v6 silent-skip bug, now loud: an entry whose numbers imply
+        // a skip but whose stored status still claims "armed" (or vice
+        // versa) is rejected — the status can't lie either way.
+        let silent_skip = no_speedup.replace("\"host_threads\": 8", "\"host_threads\": 1");
+        let err = validate_json(&silent_skip).unwrap_err();
+        assert!(err.contains("gate_status says `armed`"), "{err}");
+        let bogus_skip = GOOD_REPORT
+            .replace("\"gate_status\": \"armed\"", "\"gate_status\": \"skipped (just because)\"");
+        let err = validate_json(&bogus_skip).unwrap_err();
+        assert!(err.contains("imply `armed`"), "{err}");
+        let no_status = GOOD_REPORT.replace("\"gate_status\": \"armed\"", "\"gate_status\": 3");
+        let err = validate_json(&no_status).unwrap_err();
+        assert!(err.contains("missing `gate_status`"), "{err}");
 
         // Structurally fine but semantically failing: each identity gate,
         // flipped to false in turn, must be flagged with its own message.

@@ -39,7 +39,7 @@ commands:
   whatif    <file.ckt> [--mode add|del] [-k N] [--audit] [--threads N]
             [--damping structural|semantic]
             [--save FILE] [--load FILE]   fix-loop: run, remove the worst
-            [--batch FILE]                set, re-verify incrementally;
+            [--batch FILE] [--fingerprint] set, re-verify incrementally;
                                           --damping semantic (default)
                                           skips victims the corridor
                                           prover certifies clean, never
@@ -61,6 +61,21 @@ commands:
   bench     [--json] [--out FILE] [--circuits i1,i5,i10] [--k N]
             [--samples N] [--seed S] [--quick] [--check FILE]
                                           serial-vs-parallel top-k benchmark
+  serve     [--port N] [--capacity N] [--max-queue N]
+            [--victim-budget-cap N] [--global-budget-cap N]
+            [--deadline-cap-ms MS]        loopback what-if daemon: holds hot
+                                          sessions per circuit (LRU-spilled
+                                          to artifacts past --capacity),
+                                          coalesces queued scenarios into
+                                          shared batch sweeps, quarantines
+                                          poisoned tenants; --port 0 picks
+                                          an ephemeral port and announces
+                                          it on stdout; line-delimited JSON
+                                          (ops: open scenario batch commit
+                                          query evict stats shutdown)
+  client    --port N [REQUEST...]        send JSON request lines to a
+                                          running daemon (or pipe them on
+                                          stdin) and print the responses
   help                                    this message";
 
 /// Routes the parsed command line to a subcommand.
@@ -80,6 +95,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("glitch") => cmd_glitch(&opts),
         Some("lint") => cmd_lint(&opts),
         Some("bench") => cmd_bench(&opts),
+        Some("serve") => crate::serve_cmd::cmd_serve(&opts),
+        Some("client") => crate::serve_cmd::cmd_client(&opts),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -148,7 +165,7 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
 }
 
 /// Optional numeric flag: absent stays `None`, a bad value is an error.
-fn opt_num<T: std::str::FromStr>(opts: &Opts, name: &str) -> Result<Option<T>, String> {
+pub(crate) fn opt_num<T: std::str::FromStr>(opts: &Opts, name: &str) -> Result<Option<T>, String> {
     match opts.flag(name) {
         None => Ok(None),
         Some(v) => v.parse().map(Some).map_err(|_| format!("invalid value for --{name}: `{v}`")),
@@ -313,7 +330,17 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
                     s
                 }
                 Err(e) => {
-                    eprintln!("cannot resume from `{path}`: {e}");
+                    // Typed classification: a stale artifact (version
+                    // skew, fingerprint mismatch) warrants regenerating
+                    // the cache; a corrupt or truncated one points at
+                    // storage problems. Same classes the serve daemon
+                    // reports after a failed spill-reload.
+                    match &e {
+                        dna_topk::TopKError::Artifact(a) => {
+                            eprintln!("cannot resume from `{path}` [{}]: {a}", a.class());
+                        }
+                        other => eprintln!("cannot resume from `{path}`: {other}"),
+                    }
                     eprintln!("falling back to a from-scratch sweep");
                     WhatIfSession::start(&engine, mode, k).map_err(|e| e.to_string())?
                 }
@@ -387,6 +414,9 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
         outcome.structural_dirty_victims(),
         outcome.cached_victims(),
     );
+    if opts.has("fingerprint") {
+        println!("  fingerprint: {:016x}", fixed.identity_fingerprint());
+    }
     report_scheduler(engine.config(), fixed);
     report_resilience(&circuit, fixed);
 
@@ -523,6 +553,12 @@ fn whatif_batch(
             r.delay_after() / 1000.0,
             r.delay_after() - base_delay,
         );
+        // --fingerprint prints the identity digest per scenario so a
+        // daemon response (which carries the same digest) can be
+        // bit-compared against this local replay from a shell.
+        if opts.has("fingerprint") {
+            println!("  fingerprint #{i}: {:016x}", r.identity_fingerprint());
+        }
     }
     println!(
         "closure sharing: {} trie frame(s) built, {} reused; {} dirty victim(s) total \
@@ -734,8 +770,17 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     // Audit mode: validate an existing report (used by the CI smoke run).
     if let Some(path) = opts.flag("check") {
         let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        topk_bench::validate_json(&text).map_err(|e| format!("`{path}`: {e}"))?;
-        println!("{path}: well-formed {} report", topk_bench::SCHEMA);
+        let notes = topk_bench::validate_json_notes(&text).map_err(|e| format!("`{path}`: {e}"))?;
+        // A skipped gate passes validation but is never silent: every
+        // skip is printed with the reason the report recorded.
+        for note in &notes {
+            println!("gate: {note}");
+        }
+        println!(
+            "{path}: well-formed {} report ({} gate(s) skipped)",
+            topk_bench::SCHEMA,
+            notes.len()
+        );
         return Ok(());
     }
 

@@ -39,6 +39,7 @@ use std::process::ExitCode;
 
 mod commands;
 mod opts;
+mod serve_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

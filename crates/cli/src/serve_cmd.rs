@@ -1,0 +1,289 @@
+//! `dna serve` / `dna client`: the loopback what-if daemon front end.
+//!
+//! The daemon binds a TCP listener on `127.0.0.1` (never a routable
+//! address), announces the resolved port on stdout (`--port 0` asks the
+//! OS for an ephemeral one), and then speaks the line-delimited JSON
+//! protocol of [`dna_topk::serve::wire`]: one request object per line,
+//! one response object per line. All session state lives in the
+//! [`SessionManager`]; this module only moves bytes and loads circuit
+//! files for `open` requests.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dna_netlist::format;
+use dna_topk::serve::wire::{self, Request};
+use dna_topk::serve::{ErrorCode, Response, ServeConfig, SessionManager};
+use dna_topk::TopKConfig;
+
+use crate::opts::Opts;
+
+/// `dna serve`: run the daemon until a client sends `{"op":"shutdown"}`.
+pub fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let port: u16 = opts.num("port", 0)?;
+    let config = ServeConfig {
+        capacity: opts.num("capacity", 4)?,
+        max_queue: opts.num("max-queue", 64)?,
+        victim_budget_cap: crate::commands::opt_num(opts, "victim-budget-cap")?,
+        global_budget_cap: crate::commands::opt_num(opts, "global-budget-cap")?,
+        deadline_cap: crate::commands::opt_num::<u64>(opts, "deadline-cap-ms")?
+            .map(Duration::from_millis),
+    };
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("dna serve: listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    run_server(&listener, config)
+}
+
+/// Accept loop: one handler thread per connection, all sharing the
+/// manager. A `shutdown` request flips the flag; the handler then
+/// connects back to the listener once to unblock `accept`.
+pub(crate) fn run_server(listener: &TcpListener, config: ServeConfig) -> Result<(), String> {
+    let manager = Arc::new(SessionManager::new(config));
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let mut handlers = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
+        let manager = manager.clone();
+        let stop = stop.clone();
+        handlers.push(std::thread::spawn(move || {
+            if handle_connection(&stream, &manager) {
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+            }
+        }));
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    manager.shutdown();
+    Ok(())
+}
+
+/// Serves one client connection; returns `true` when the client asked
+/// the daemon to shut down.
+fn handle_connection(stream: &TcpStream, manager: &SessionManager) -> bool {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return false };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, bye) = match wire::decode_request(&line) {
+            Ok(request) => {
+                let bye = matches!(request, Request::Shutdown);
+                (handle_request(request, manager), bye)
+            }
+            Err(message) => (
+                Response::Error(dna_topk::serve::ServeError {
+                    code: ErrorCode::BadRequest,
+                    message,
+                }),
+                false,
+            ),
+        };
+        let mut encoded = wire::encode_response(&response);
+        encoded.push('\n');
+        if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
+            return false;
+        }
+        if bye {
+            return true;
+        }
+    }
+    false
+}
+
+/// Routes one decoded request into the manager. `open` loads and parses
+/// the circuit file here — a bad path or netlist is a `bad_request`,
+/// never a dead daemon.
+fn handle_request(request: Request, manager: &SessionManager) -> Response {
+    match request {
+        Request::Open { tenant, circuit, mode, k, victim_budget, global_budget, deadline_ms } => {
+            let text = match fs::read_to_string(&circuit) {
+                Ok(text) => text,
+                Err(e) => {
+                    return Response::Error(dna_topk::serve::ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: format!("cannot read `{circuit}`: {e}"),
+                    })
+                }
+            };
+            let parsed = match format::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    return Response::Error(dna_topk::serve::ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: format!("cannot parse `{circuit}`: {e}"),
+                    })
+                }
+            };
+            let config = TopKConfig {
+                victim_candidate_budget: victim_budget,
+                global_candidate_budget: global_budget,
+                deadline: deadline_ms.map(Duration::from_millis),
+                ..TopKConfig::default()
+            };
+            manager.open(&tenant, parsed, mode, k, config)
+        }
+        Request::Scenario { tenant, delta } => manager.scenario(&tenant, delta),
+        Request::Batch { tenant, deltas } => manager.batch(&tenant, deltas),
+        Request::Commit { tenant, delta } => manager.commit(&tenant, delta),
+        Request::Query { tenant, start_after, limit } => manager.query(&tenant, start_after, limit),
+        Request::Evict { tenant } => manager.evict(&tenant),
+        Request::Stats => manager.stats(),
+        Request::Shutdown => manager.shutdown(),
+    }
+}
+
+/// `dna client`: send request lines to a running daemon and print the
+/// response lines. Requests come from the positional arguments (one
+/// JSON object each) or, with none, from stdin.
+pub fn cmd_client(opts: &Opts) -> Result<(), String> {
+    let port: u16 = match opts.flag("port") {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --port: `{v}`"))?,
+        None => return Err("client needs --port (the port `dna serve` announced)".into()),
+    };
+    let mut requests: Vec<String> = Vec::new();
+    let mut i = 1;
+    while let Some(p) = opts.positional(i) {
+        requests.push(p.to_owned());
+        i += 1;
+    }
+    if requests.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+            if !line.trim().is_empty() {
+                requests.push(line);
+            }
+        }
+    }
+    if requests.is_empty() {
+        return Err("no requests: pass JSON objects as arguments or on stdin".into());
+    }
+    let stream = TcpStream::connect(("127.0.0.1", port))
+        .map_err(|e| format!("cannot connect to 127.0.0.1:{port}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    for request in requests {
+        writer
+            .write_all(format!("{request}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut response = String::new();
+        let n =
+            reader.read_line(&mut response).map_err(|e| format!("cannot read response: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        print!("{response}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_netlist::generator::{generate, GeneratorConfig};
+
+    fn write_circuit(dir: &std::path::Path, seed: u64) -> String {
+        let circuit = generate(&GeneratorConfig::new(24, 18).with_seed(seed)).unwrap();
+        let path = dir.join(format!("serve_{seed}.ckt"));
+        fs::write(&path, format::write(&circuit)).unwrap();
+        path.to_str().unwrap().to_owned()
+    }
+
+    /// One end-to-end pass over the TCP loop: open, scenario, query,
+    /// stats, a typed error, shutdown.
+    #[test]
+    fn daemon_answers_over_tcp_and_shuts_down() {
+        let dir = std::env::temp_dir().join("dna_cli_test_serve");
+        fs::create_dir_all(&dir).unwrap();
+        let ckt = write_circuit(&dir, 21);
+
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || run_server(&listener, ServeConfig::default()).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut ask = |line: String| -> String {
+            writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response
+        };
+
+        let r =
+            ask(format!(r#"{{"op":"open","tenant":"a","circuit":"{ckt}","mode":"elim","k":2}}"#));
+        assert!(r.contains("\"kind\":\"opened\""), "{r}");
+        let r = ask(r#"{"op":"scenario","tenant":"a","remove":[0]}"#.into());
+        assert!(r.contains("\"kind\":\"scenario\""), "{r}");
+        assert!(r.contains("\"fingerprint\":\""), "{r}");
+        let r = ask(r#"{"op":"query","tenant":"a","limit":8}"#.into());
+        assert!(r.contains("\"kind\":\"page\""), "{r}");
+        let r = ask(r#"{"op":"scenario","tenant":"ghost","remove":[0]}"#.into());
+        assert!(r.contains("\"code\":\"unknown_tenant\""), "{r}");
+        let r = ask("definitely not json".into());
+        assert!(r.contains("\"code\":\"bad_request\""), "{r}");
+        let r = ask(r#"{"op":"stats"}"#.into());
+        assert!(r.contains("\"tenants\":1"), "{r}");
+        let r = ask(r#"{"op":"shutdown"}"#.into());
+        assert!(r.contains("\"kind\":\"bye\""), "{r}");
+        server.join().unwrap();
+        let _ = fs::remove_file(&ckt);
+    }
+
+    #[test]
+    fn open_with_a_bad_circuit_path_is_a_typed_error_not_a_dead_daemon() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || run_server(&listener, ServeConfig::default()).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut ask = |line: &str| -> String {
+            writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response
+        };
+        let r =
+            ask(r#"{"op":"open","tenant":"a","circuit":"/nonexistent.ckt","mode":"add","k":2}"#);
+        assert!(r.contains("\"code\":\"bad_request\""), "{r}");
+        // The daemon is still alive and answers.
+        let r = ask(r#"{"op":"stats"}"#);
+        assert!(r.contains("\"kind\":\"stats\""), "{r}");
+        let r = ask(r#"{"op":"shutdown"}"#);
+        assert!(r.contains("\"kind\":\"bye\""), "{r}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_without_port_or_requests_errors() {
+        let opts = Opts::parse(&["client".to_owned()]);
+        let e = cmd_client(&opts).unwrap_err();
+        assert!(e.contains("--port"), "{e}");
+    }
+}

@@ -154,7 +154,7 @@ fn victim_lists(
             let max_base = arrivals.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
             for &(u, arr_u) in &arrivals {
                 for c in 1..=k {
-                    let Some(list) = ilists.lists(u).get(c) else { continue };
+                    let Some(list) = ilists.lists(u)?.get(c) else { continue };
                     for cand in list.iter().take(breadth) {
                         let shift = (arr_u + cand.delay_noise() - max_base).max(0.0);
                         if shift <= 0.0 {

@@ -429,7 +429,9 @@ impl WhatIfSession<'_, '_> {
                 generated: out.generated,
                 curtailment: out.curtailment,
             };
-            slots_of[s].publish(v, Arc::new(out.lists));
+            if faultsim::drop_sched_publish() != Some(v.index()) {
+                slots_of[s].publish(v, Arc::new(out.lists));
+            }
             (s, v, c, fault)
         })?;
         for (s, v, c, fault) in done {
@@ -437,7 +439,15 @@ impl WhatIfSession<'_, '_> {
             fresh_faults[s].extend(fault);
         }
         stats.sched = sched_stats;
-        let ilists: Vec<Vec<NetLists>> = slots_of.into_iter().map(Slots::into_lists).collect();
+        let ilists: Vec<Vec<NetLists>> = slots_of
+            .into_iter()
+            .enumerate()
+            .map(|(s, slots)| {
+                let (lists, violations) = slots.into_lists();
+                fresh_faults[s].extend(engine::quarantine_slot_violations(violations));
+                lists
+            })
+            .collect();
 
         // --- Phase C: per-scenario selection + validation ------------
         let merged_faults: Vec<Vec<Fault>> = fresh_faults

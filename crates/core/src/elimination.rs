@@ -196,7 +196,7 @@ fn victim_lists(
                 std::collections::HashMap::new();
             for (idx, &(u, arr_noisy_u)) in noisy_arr.iter().enumerate() {
                 let arr_base_u = base_arr[idx].1;
-                let Some(total_u) = ilists.lists(u).first() else { continue };
+                let Some(total_u) = ilists.lists(u)?.first() else { continue };
                 let total_dn_u = total_u[0].delay_noise();
                 // Scale envelope-estimated benefits to the converged
                 // noise at u: the one-shot superposition overestimates
@@ -209,7 +209,7 @@ fn victim_lists(
                     0.0
                 };
                 for c in 1..=k {
-                    let Some(list) = ilists.lists(u).get(c) else { continue };
+                    let Some(list) = ilists.lists(u)?.get(c) else { continue };
                     for cand in list.iter().take(breadth) {
                         // Residual noise at u after fixing this set.
                         let benefit = (total_dn_u - cand.delay_noise()).max(0.0) * ratio;

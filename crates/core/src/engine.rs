@@ -630,7 +630,11 @@ where
         // slot comparison has something real to catch.
         let lists =
             if parallel && corrupt_slot == Some(v.index()) { Vec::new() } else { out.lists };
-        slots.publish(v, Arc::new(lists));
+        // Fault-sim hook for the quarantine path: a dropped publication
+        // leaves a hole for `into_lists` to detect and degrade on.
+        if faultsim::drop_sched_publish() != Some(v.index()) {
+            slots.publish(v, Arc::new(lists));
+        }
         (v, counters, fault)
     };
     let (done, sched) = sched::execute(&tasks, threads, exec)?;
@@ -639,8 +643,25 @@ where
         counters[v.index()] = c;
         faults.extend(fault);
     }
+    let (lists, violations) = slots.into_lists();
+    faults.extend(quarantine_slot_violations(violations));
     faults.sort_by_key(|f| f.victim().index());
-    Ok(SweepOutput { lists: slots.into_lists(), counters, faults, sched })
+    Ok(SweepOutput { lists, counters, faults, sched })
+}
+
+/// Converts the typed slot violations a sweep's `into_lists` surfaced
+/// into per-victim quarantine [`Fault`]s: the victim keeps empty lists
+/// (a sound lower bound), the result degrades, the process lives.
+pub(crate) fn quarantine_slot_violations(
+    violations: Vec<TopKError>,
+) -> impl Iterator<Item = Fault> {
+    violations.into_iter().map(|e| {
+        let victim = match &e {
+            TopKError::SchedulerInvariant { victim, .. } => *victim,
+            _ => 0,
+        };
+        Fault::new(NetId::new(victim as u32), FaultPhase::Enumeration, e.to_string())
+    })
 }
 
 /// Pseudo envelope of a transition delayed by `shift` (paper §3.1).

@@ -44,6 +44,18 @@ pub enum TopKError {
         /// The violated invariant.
         what: String,
     },
+    /// A work-stealing sweep invariant did not hold for one victim's
+    /// result or fanin slot — a dependency edge was missing or a task's
+    /// result was never published. In a long-lived process this must
+    /// quarantine the affected victim (a `Degraded` result) instead of
+    /// aborting; the L060 serial-replay audit remains the loud path that
+    /// pinpoints the divergence.
+    SchedulerInvariant {
+        /// Net index of the victim whose slot was missing.
+        victim: usize,
+        /// Which invariant broke.
+        detail: String,
+    },
     /// A serialized session artifact failed validation (see
     /// [`ArtifactError`]).
     Artifact(ArtifactError),
@@ -63,6 +75,9 @@ impl fmt::Display for TopKError {
                 write!(f, "panic during {phase}: {cause}")
             }
             TopKError::Internal { what } => write!(f, "internal invariant violated: {what}"),
+            TopKError::SchedulerInvariant { victim, detail } => {
+                write!(f, "scheduler invariant violated at victim {victim}: {detail}")
+            }
             TopKError::Artifact(e) => write!(f, "session artifact rejected: {e}"),
             TopKError::Sta(e) => write!(f, "timing analysis failed: {e}"),
         }
@@ -76,7 +91,8 @@ impl Error for TopKError {
             | TopKError::NonFiniteDelayNoise { .. }
             | TopKError::CorruptCircuit { .. }
             | TopKError::EnginePanic { .. }
-            | TopKError::Internal { .. } => None,
+            | TopKError::Internal { .. }
+            | TopKError::SchedulerInvariant { .. } => None,
             TopKError::Artifact(e) => Some(e),
             TopKError::Sta(e) => Some(e),
         }
@@ -144,6 +160,26 @@ pub enum ArtifactError {
     },
 }
 
+impl ArtifactError {
+    /// Coarse operator-facing classification of the rejection: a stale
+    /// cache (`version skew`, `fingerprint mismatch`) warrants a rebuild
+    /// of the artifact, a `corrupt` or `truncated` one points at storage
+    /// problems. Surfaced verbatim by `dna whatif --load` and by the
+    /// serve daemon's spill-reload responses.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            ArtifactError::BadMagic | ArtifactError::ChecksumMismatch { .. } => "corrupt",
+            ArtifactError::Malformed { .. } => "corrupt (decodes invalid)",
+            ArtifactError::Truncated { .. } => "truncated",
+            ArtifactError::UnsupportedVersion { .. } => "version skew",
+            ArtifactError::CircuitMismatch { .. } | ArtifactError::ConfigMismatch => {
+                "fingerprint mismatch"
+            }
+        }
+    }
+}
+
 impl fmt::Display for ArtifactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -193,6 +229,30 @@ mod tests {
         assert!(ArtifactError::UnsupportedVersion { found: 9, supported: 1 }
             .to_string()
             .contains("v1"));
+    }
+
+    #[test]
+    fn artifact_classes_separate_stale_from_corrupt() {
+        assert_eq!(ArtifactError::BadMagic.class(), "corrupt");
+        assert_eq!(ArtifactError::ChecksumMismatch { stored: 1, computed: 2 }.class(), "corrupt");
+        assert_eq!(ArtifactError::Truncated { needed: 10, have: 3 }.class(), "truncated");
+        assert_eq!(
+            ArtifactError::UnsupportedVersion { found: 9, supported: 1 }.class(),
+            "version skew"
+        );
+        assert_eq!(
+            ArtifactError::CircuitMismatch { what: "nets".into() }.class(),
+            "fingerprint mismatch"
+        );
+        assert_eq!(ArtifactError::ConfigMismatch.class(), "fingerprint mismatch");
+    }
+
+    #[test]
+    fn scheduler_invariant_names_the_victim() {
+        let e = TopKError::SchedulerInvariant { victim: 7, detail: "slot hole".into() };
+        assert!(e.to_string().contains("victim 7"));
+        assert!(e.to_string().contains("slot hole"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //!   publishes empty lists into the given victim's result slot while the
 //!   serial reference path stays intact (simulates a scheduler
 //!   publication bug; the L060 replay audit in `dna-lint` must catch
-//!   the slot divergence).
+//!   the slot divergence);
+//! * [`arm_drop_sched_publish`] — the sweep never publishes the given
+//!   victim's result slot at all (simulates a lost publication; the
+//!   collection path must quarantine the victim behind a typed
+//!   `SchedulerInvariant` error and a `Degraded` result, never abort).
 //!
 //! Every hook is a single relaxed atomic load when disarmed — negligible
 //! against the enumeration work per victim. The hooks are global: tests
@@ -48,6 +52,7 @@ static NAN_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
 static PREPARE_PANIC: AtomicBool = AtomicBool::new(false);
 static FORCE_CLEAN_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
 static CORRUPT_SCHED_SLOT: AtomicUsize = AtomicUsize::new(DISARMED);
+static DROP_SCHED_PUBLISH: AtomicUsize = AtomicUsize::new(DISARMED);
 
 /// Arms a panic inside the enumeration of the victim with net index
 /// `index` on every subsequent sweep until [`disarm_all`].
@@ -82,6 +87,16 @@ pub fn arm_corrupt_sched_slot(index: usize) {
     CORRUPT_SCHED_SLOT.store(index, Ordering::SeqCst);
 }
 
+/// Arms *dropping* the publication of the given victim's result slot
+/// until [`disarm_all`]: the sweep completes but leaves the slot empty,
+/// so the collection path finds a hole. The engine must convert that
+/// into a typed [`TopKError::SchedulerInvariant`]
+/// (crate::TopKError::SchedulerInvariant) quarantining the victim as
+/// `Degraded` — never an `expect()` abort.
+pub fn arm_drop_sched_publish(index: usize) {
+    DROP_SCHED_PUBLISH.store(index, Ordering::SeqCst);
+}
+
 /// Disarms every injection point.
 pub fn disarm_all() {
     PANIC_VICTIM.store(DISARMED, Ordering::SeqCst);
@@ -89,6 +104,7 @@ pub fn disarm_all() {
     PREPARE_PANIC.store(false, Ordering::SeqCst);
     FORCE_CLEAN_VICTIM.store(DISARMED, Ordering::SeqCst);
     CORRUPT_SCHED_SLOT.store(DISARMED, Ordering::SeqCst);
+    DROP_SCHED_PUBLISH.store(DISARMED, Ordering::SeqCst);
 }
 
 /// Installs (once) a panic hook that suppresses the default stderr
@@ -151,6 +167,15 @@ pub(crate) fn forced_clean_victim() -> Option<usize> {
 /// corrupted, if armed.
 pub(crate) fn corrupt_sched_slot() -> Option<usize> {
     match CORRUPT_SCHED_SLOT.load(Ordering::Relaxed) {
+        DISARMED => None,
+        index => Some(index),
+    }
+}
+
+/// Scheduler hook: the net index whose result-slot publication should be
+/// dropped entirely, if armed.
+pub(crate) fn drop_sched_publish() -> Option<usize> {
+    match DROP_SCHED_PUBLISH.load(Ordering::Relaxed) {
         DISARMED => None,
         index => Some(index),
     }

@@ -77,6 +77,7 @@ pub mod brute;
 pub mod dominance;
 pub mod faultsim;
 pub mod naive;
+pub mod serve;
 
 pub use aggressor::CouplingSet;
 pub use batch::{BatchOutcome, BatchStats, WhatIfBatch};

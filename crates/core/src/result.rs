@@ -321,6 +321,37 @@ impl TopKResult {
             Soundness::Exact
         }
     }
+
+    /// FNV-1a digest of everything two runs must agree on bit-for-bit:
+    /// the selected coupling ids in order, the sink, the raw `f64` bits
+    /// of the before/after/predicted delays, the peak list width and the
+    /// generated-candidate count — the same tuple the identity test
+    /// suites fingerprint. Wall-clock runtime and scheduler counters are
+    /// excluded. Used by the serve layer to let clients bit-compare a
+    /// daemon response against a local replay without shipping floats
+    /// through decimal formatting.
+    #[must_use]
+    pub fn identity_fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.couplings().len() as u64);
+        for c in self.couplings() {
+            eat(c.index() as u64);
+        }
+        eat(self.sink.index() as u64);
+        eat(self.delay_before.to_bits());
+        eat(self.delay_after.to_bits());
+        eat(self.predicted_delay.to_bits());
+        eat(self.peak_list_width as u64);
+        eat(self.generated_candidates as u64);
+        h
+    }
 }
 
 impl fmt::Display for TopKResult {

@@ -200,12 +200,15 @@ impl Slots {
         Self { slots }
     }
 
-    /// The published lists of `net`. Panics if the net's task has not
-    /// completed — unreachable under the scheduler's dependency edges.
-    pub fn lists(&self, net: NetId) -> &NetLists {
-        self.slots[net.index()]
-            .get()
-            .expect("fanin slot read before its task completed — dependency edge missing")
+    /// The published lists of `net`. Unreachable under the scheduler's
+    /// dependency edges; if a slot is nonetheless empty (a missing edge),
+    /// the read surfaces a typed [`TopKError::SchedulerInvariant`] so the
+    /// reading victim is quarantined instead of the process aborting.
+    pub fn lists(&self, net: NetId) -> Result<&NetLists, TopKError> {
+        self.slots[net.index()].get().ok_or_else(|| TopKError::SchedulerInvariant {
+            victim: net.index(),
+            detail: "fanin slot read before its task completed — dependency edge missing".into(),
+        })
     }
 
     /// Publishes a dirty net's freshly computed lists. Must happen
@@ -216,12 +219,28 @@ impl Slots {
     }
 
     /// Unwraps into the final per-net lists vector once the sweep has
-    /// completed every task.
-    pub fn into_lists(self) -> Vec<NetLists> {
-        self.slots
+    /// completed every task. A net whose slot was never published — a
+    /// broken sweep invariant — yields empty lists plus a typed
+    /// [`TopKError::SchedulerInvariant`] in the companion vector, so the
+    /// caller can quarantine that victim (`Degraded`) instead of
+    /// aborting the process.
+    pub fn into_lists(self) -> (Vec<NetLists>, Vec<TopKError>) {
+        let mut violations = Vec::new();
+        let lists = self
+            .slots
             .into_iter()
-            .map(|cell| cell.into_inner().expect("every net published after a completed sweep"))
-            .collect()
+            .enumerate()
+            .map(|(i, cell)| {
+                cell.into_inner().unwrap_or_else(|| {
+                    violations.push(TopKError::SchedulerInvariant {
+                        victim: i,
+                        detail: "result slot never published after a completed sweep".into(),
+                    });
+                    NetLists::default()
+                })
+            })
+            .collect();
+        (lists, violations)
     }
 }
 
@@ -467,8 +486,21 @@ where
             slots[t] = Some(value);
         }
     }
-    let out: Vec<T> =
-        slots.into_iter().map(|s| s.expect("scheduler joined with every task completed")).collect();
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    for (t, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(value) => out.push(value),
+            // A worker joined cleanly without its task ever running — a
+            // scheduler bug, surfaced as a typed error (the query fails,
+            // the process lives) rather than an abort.
+            None => {
+                return Err(TopKError::SchedulerInvariant {
+                    victim: t,
+                    detail: "scheduler joined with a task never executed".into(),
+                })
+            }
+        }
+    }
     let stats = SchedStats {
         threads: workers,
         tasks: n,

@@ -94,6 +94,41 @@ fn panicking_victim_is_quarantined_not_fatal() {
 }
 
 #[test]
+fn dropped_result_slot_degrades_with_a_typed_scheduler_invariant() {
+    let _guard = armed();
+    let circuit = i1();
+    let victim = 5;
+    assert!(victim < circuit.num_nets());
+    faultsim::arm_drop_sched_publish(victim);
+
+    for threads in [1, 4] {
+        let config = TopKConfig { threads, ..TopKConfig::default() };
+        let engine = TopKAnalysis::new(&circuit, config);
+        // The lost publication must never abort or hang the process:
+        // the hole becomes a typed `SchedulerInvariant` quarantining the
+        // victim (empty lists, a sound lower bound) and the result
+        // degrades — the daemon-safety contract for the sweep.
+        let result = engine.elimination_set(2).expect("hole is quarantined, not fatal");
+        assert!(result.is_degraded());
+        assert_eq!(result.soundness(), Soundness::Degraded { lower_bound: true });
+        let fault = result
+            .faults()
+            .iter()
+            .find(|f| f.victim().index() == victim)
+            .expect("the unpublished victim is quarantined");
+        assert_eq!(fault.phase(), FaultPhase::Enumeration);
+        assert!(
+            fault.cause().contains("scheduler invariant"),
+            "cause names the invariant: {}",
+            fault.cause()
+        );
+        // Everything that survives is still finite and ordered.
+        assert!(result.delay_after().is_finite());
+        assert!(result.delay_after() <= result.delay_before() + 1e-9);
+    }
+}
+
+#[test]
 fn quarantine_is_bit_identical_across_thread_counts() {
     let _guard = armed();
     let circuit = i1();
