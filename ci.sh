@@ -112,6 +112,71 @@ local_fp="$(cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --bat
   echo "serve smoke: daemon fingerprint ($served_fp) != local whatif ($local_fp)"; exit 1
 }
 
+echo "== crash recovery smoke (abort mid-save via DNA_CRASH_POINT, recover, bit-compare)"
+crash_dir="$(mktemp -d -t crash_smoke.XXXXXX)"
+trap 'rm -f "$smoke_json" "$smoke_ckt" "$smoke_i1" "$smoke_batch" "$smoke_art" "$serve_log"; rm -rf "$crash_dir"' EXIT
+
+start_crash_daemon() { # $1 = state dir, $2 (optional) = --recover
+  : > "$serve_log"
+  cargo run -q -p dna-cli --offline -- serve --port 0 --dir "$1" ${2:-} > "$serve_log" 2>/dev/null &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$serve_log" && break
+    sleep 0.1
+  done
+  grep -q "listening on" "$serve_log" || { echo "crash smoke: daemon never listened"; exit 1; }
+  port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$serve_log")"
+}
+open_req="{\"op\":\"open\",\"tenant\":\"crash\",\"circuit\":\"$smoke_ckt\",\"mode\":\"elim\",\"k\":3}"
+commit_req='{"op":"commit","tenant":"crash","remove":[0]}'
+
+# Oracle: the fingerprints a clean open (generation 0) and first commit
+# (generation 1) produce. The engine is deterministic, so any recovered
+# generation must reproduce one of these exact fingerprints.
+mkdir -p "$crash_dir/oracle"
+start_crash_daemon "$crash_dir/oracle"
+oracle="$(cargo run -q -p dna-cli --offline -- client --port "$port" \
+  "$open_req" "$commit_req" '{"op":"shutdown"}')"
+wait "$serve_pid" || { echo "crash smoke: oracle daemon exited non-zero"; exit 1; }
+open_fp="$(echo "$oracle" | sed -n 's/.*"kind":"opened".*"fingerprint":"\([0-9a-f]*\)".*/\1/p' | head -1)"
+commit_fp="$(echo "$oracle" | sed -n 's/.*"kind":"committed".*"fingerprint":"\([0-9a-f]*\)".*/\1/p' | head -1)"
+[[ -n "$open_fp" && -n "$commit_fp" ]] || { echo "crash smoke: oracle fingerprints missing: $oracle"; exit 1; }
+
+# One tracked crash point in the default gate: abort with half a delta
+# record on disk (kill -9 semantics), then restart with --recover and
+# require the tenant back at its last committed generation, bit-exactly.
+run_crash_point() { # $1 = crash point
+  local state="$crash_dir/state-$1"
+  mkdir -p "$state"
+  DNA_CRASH_POINT="$1" start_crash_daemon "$state"
+  cargo run -q -p dna-cli --offline -- client --port "$port" \
+    "$open_req" "$commit_req" >/dev/null 2>&1 || true
+  if wait "$serve_pid" 2>/dev/null; then
+    echo "crash smoke: daemon survived armed crash point $1"; exit 1
+  fi
+  start_crash_daemon "$state" --recover
+  grep -q "recovery complete" "$serve_log" || { echo "crash smoke: $1 recovery incomplete"; exit 1; }
+  case "$1" in
+    pre-append|mid-append)
+      # The delta never committed: back to the open checkpoint.
+      grep -qF "recovered tenant \`crash\` at generation 0 (fingerprint $open_fp)" "$serve_log" \
+        || { echo "crash smoke: $1 did not recover generation 0"; cat "$serve_log"; exit 1; } ;;
+    pre-sync)
+      # The whole record reached the file before the abort; a
+      # same-machine crash cannot roll back written bytes.
+      grep -qF "recovered tenant \`crash\` at generation 1 (fingerprint $commit_fp)" "$serve_log" \
+        || { echo "crash smoke: $1 did not recover generation 1"; cat "$serve_log"; exit 1; } ;;
+    *)
+      # Checkpoint/manifest-path points abort inside the open itself:
+      # the open was never acknowledged, so nothing may be resumed.
+      grep -q "recovery complete (0 resumed, 0 quarantined)" "$serve_log" \
+        || { echo "crash smoke: $1 resumed an unacked tenant"; cat "$serve_log"; exit 1; } ;;
+  esac
+  cargo run -q -p dna-cli --offline -- client --port "$port" '{"op":"shutdown"}' >/dev/null
+  wait "$serve_pid" || { echo "crash smoke: recovered daemon exited non-zero after $1"; exit 1; }
+}
+run_crash_point mid-append
+
 # CI_FULL=1 additionally runs the #[ignore]d suites (full i1-i10
 # determinism + incremental + damping identity + the daemon soak) in
 # release mode —
@@ -119,6 +184,14 @@ local_fp="$(cargo run -q -p dna-cli --offline -- whatif "$smoke_ckt" --k 3 --bat
 if [[ "${CI_FULL:-0}" == "1" ]]; then
   echo "== full ignored suites (release)"
   cargo test --workspace --offline --release -q -- --ignored
+
+  # Kill the daemon at every commit-protocol step, not just the tracked
+  # one: recovery must land on a committed generation (or, for steps
+  # inside the open itself, acknowledge nothing) after each of them.
+  echo "== crash recovery sweep (every DNA_CRASH_POINT)"
+  for point in pre-append mid-append pre-sync pre-temp mid-temp pre-rename pre-manifest; do
+    run_crash_point "$point"
+  done
 
   # Loom-style steal-order stress: DNA_SCHED_SHUFFLE deterministically
   # perturbs deque seeding and steal direction without being allowed to

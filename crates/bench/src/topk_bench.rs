@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use dna_netlist::{suite, CouplingId, NetId};
 use dna_topk::{
-    Damping, MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult, WhatIfBatch, WhatIfSession,
+    commit_chain, CommitOptions, Damping, MaskDelta, Mode, SaveKind, TopKAnalysis, TopKConfig,
+    TopKResult, WhatIfBatch, WhatIfSession,
 };
 
 use crate::{Table, DEFAULT_SEED};
@@ -55,7 +56,20 @@ use crate::{Table, DEFAULT_SEED};
 /// from `host_threads` and `wall_ms_serial` and rejects a report whose
 /// stored status disagrees, so a skipped gate can never masquerade as a
 /// passed one, and `dna bench --check` prints each skip with its reason.
-pub const SCHEMA: &str = "dna-bench-topk/v7";
+///
+/// `v8` added the `versioned_store` section: the generation-chain save
+/// path (a delta record appended after a weakest-coupling fix — the
+/// small-perturbation sensitivity workload) against the full checkpoint
+/// rewrite of the same post-apply state, gated on the delta costing
+/// under 10% of the checkpoint bytes — armed only in addition mode
+/// (elimination's aggressor windows re-derive from the masked noisy
+/// timing, so any flip perturbs every victim and the delta is a
+/// near-checkpoint by engine construction) and only where the
+/// checkpoint is at least 8 MiB, so smoke-sized chains whose fixed
+/// framing dominates never fail it (same `gate_status` discipline as
+/// v7) — and on the chain tip replaying bit-identically to the live
+/// session (`identical_to_full`, never skipped).
+pub const SCHEMA: &str = "dna-bench-topk/v8";
 
 /// What to measure.
 #[derive(Debug, Clone)]
@@ -216,6 +230,65 @@ pub struct PersistEntry {
     pub identical_to_full: bool,
 }
 
+/// One measured generation-chain save cycle of the versioned store: the
+/// delta record appended after a fix apply against the full checkpoint
+/// rewrite of the same post-apply state, plus a replay of the chain tip
+/// bit-compared to the live session.
+#[derive(Debug, Clone)]
+pub struct VersionedStoreEntry {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Engine mode (`"addition"` / `"elimination"`).
+    pub mode: String,
+    /// Bytes a full checkpoint of the post-apply session costs — what
+    /// every save wrote before the generation chain existed.
+    pub checkpoint_bytes: usize,
+    /// Bytes the delta append actually wrote for the same state change.
+    pub delta_bytes: usize,
+    /// `delta_bytes / checkpoint_bytes` — the v8 gate requires `< 0.10`
+    /// where it is armed.
+    pub delta_fraction: f64,
+    /// Fastest wall-clock time of the full checkpoint commit, ms.
+    pub checkpoint_ms: f64,
+    /// Fastest wall-clock time of the delta append commit, ms.
+    pub delta_ms: f64,
+    /// The chain's tip generation after the delta commit.
+    pub tip_generation: usize,
+    /// Whether resuming the chain at its tip reproduced the live
+    /// session's result bit-for-bit. Never skipped.
+    pub identical_to_full: bool,
+    /// Whether the delta-fraction gate applies: `"armed"`, or
+    /// `"skipped (<reason>)"` when the checkpoint is under the 8 MiB
+    /// floor (fixed record framing dominates tiny chains) or the mode is
+    /// elimination (whose aggressor windows re-derive from the masked
+    /// noisy timing, so any flip perturbs every victim's state — the
+    /// delta is a near-checkpoint by engine construction, see DESIGN.md
+    /// §17.4). Recorded at measurement time and cross-checked by
+    /// [`validate_json`].
+    pub gate_status: String,
+}
+
+/// The v8 delta-fraction gate status for one versioned-store entry,
+/// derived from its recorded mode and checkpoint size. Shared by the
+/// runner (which records it) and the validator (which re-derives it and
+/// rejects disagreement).
+#[must_use]
+pub fn delta_gate_status(mode: &str, checkpoint_bytes: f64) -> String {
+    const FLOOR: f64 = 8.0 * 1024.0 * 1024.0;
+    if mode == "elimination" {
+        "skipped (elimination windows re-derive from the masked noisy timing, so every victim's \
+         state shifts on any flip and the delta is a near-checkpoint by construction)"
+            .to_owned()
+    } else if checkpoint_bytes < FLOOR {
+        format!(
+            "skipped (checkpoint {checkpoint_bytes:.0} bytes is under the 8 MiB floor where \
+             record framing dominates)"
+        )
+    } else {
+        "armed".to_owned()
+    }
+}
+
 /// One measured batch what-if run: N scenarios evaluated through a single
 /// [`dna_topk::WhatIfSession::apply_batch`] sweep, against the same N
 /// scenarios run as sequential `fork().apply` calls.
@@ -321,6 +394,8 @@ pub struct BenchReport {
     pub whatif: Vec<WhatIfEntry>,
     /// One entry per circuit × mode: the artifact save/load cycle.
     pub session_persistence: Vec<PersistEntry>,
+    /// One entry per circuit × mode: delta append vs checkpoint rewrite.
+    pub versioned_store: Vec<VersionedStoreEntry>,
     /// One entry per circuit × mode: batch vs sequential what-if.
     pub batch: Vec<BatchEntry>,
     /// One entry per circuit: incremental vs from-scratch peel loop.
@@ -387,6 +462,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
     let mut scheduler = Vec::new();
     let mut whatif = Vec::new();
     let mut session_persistence = Vec::new();
+    let mut versioned_store = Vec::new();
     let mut batch = Vec::new();
     let mut peeled = Vec::new();
     let mut damping = Vec::new();
@@ -396,6 +472,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
         for &mode in &spec.modes {
             whatif.push(bench_whatif(&circuit, name, mode, spec)?);
             session_persistence.push(bench_persist(&circuit, name, mode, spec)?);
+            versioned_store.push(bench_versioned_store(&circuit, name, mode, spec)?);
             batch.push(bench_batch(&circuit, name, mode, spec)?);
             damping.push(bench_damping(&circuit, name, mode, spec)?);
             let mut serial: Option<Fingerprint> = None;
@@ -470,6 +547,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, String> {
         scheduler,
         whatif,
         session_persistence,
+        versioned_store,
         batch,
         peeled,
         damping,
@@ -747,6 +825,92 @@ fn bench_persist(
     })
 }
 
+/// Measures one generation-chain save cycle: checkpoint a session (the
+/// chain base), apply a *small* fix — the weakest enabled coupling in
+/// the design, the "small perturbation should cost small re-analysis"
+/// sensitivity workload — commit again (which appends one delta record),
+/// then commit the same post-apply state as a full checkpoint to a
+/// sibling file (what every save cost before the chain existed). The
+/// replay gate resumes the chain at its tip and bit-compares against the
+/// live session.
+fn bench_versioned_store(
+    circuit: &dna_netlist::Circuit,
+    name: &str,
+    mode: Mode,
+    spec: &BenchSpec,
+) -> Result<VersionedStoreEntry, String> {
+    let config = TopKConfig { validate: false, ..TopKConfig::default() };
+    let engine = TopKAnalysis::new(circuit, config);
+    let dir = std::env::temp_dir().join("dna_bench_chain");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let pid = std::process::id();
+    let chain = dir.join(format!("{name}-{}-{pid}.dnawifa", mode.name()));
+    let full = dir.join(format!("{name}-{}-{pid}-full.dnawifa", mode.name()));
+    let mut delta_ms = f64::INFINITY;
+    let mut checkpoint_ms = f64::INFINITY;
+    let mut measured = None;
+    for _ in 0..spec.samples.max(1) {
+        let _ = std::fs::remove_file(&chain);
+        let mut session = WhatIfSession::start(&engine, mode, spec.k).map_err(|e| e.to_string())?;
+        commit_chain(&mut session, &chain, &CommitOptions::default()).map_err(|e| e.to_string())?;
+        let weakest = (0..circuit.num_couplings())
+            .map(|i| CouplingId::new(i as u32))
+            .min_by(|&a, &b| {
+                circuit
+                    .coupling(a)
+                    .cap()
+                    .total_cmp(&circuit.coupling(b).cap())
+                    .then(a.index().cmp(&b.index()))
+            })
+            .ok_or("versioned store: circuit has no couplings")?;
+        session.apply(&MaskDelta::remove(&[weakest])).map_err(|e| e.to_string())?;
+
+        let start = Instant::now();
+        let delta = commit_chain(&mut session, &chain, &CommitOptions::default())
+            .map_err(|e| e.to_string())?;
+        delta_ms = delta_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        if !matches!(delta.kind, SaveKind::Delta(_)) {
+            return Err(format!("versioned store: expected a delta append, got {:?}", delta.kind));
+        }
+
+        let start = Instant::now();
+        let checkpoint = commit_chain(
+            &mut session,
+            &full,
+            &CommitOptions { force_checkpoint: true, ..CommitOptions::default() },
+        )
+        .map_err(|e| e.to_string())?;
+        checkpoint_ms = checkpoint_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let bytes = std::fs::read(&chain).map_err(|e| e.to_string())?;
+        let replayed = WhatIfSession::resume_at(&engine, &bytes, delta.generation)
+            .map_err(|e| e.to_string())?;
+        let identical = fingerprint(replayed.result()) == fingerprint(session.result());
+        measured = Some((
+            delta.bytes_written as usize,
+            checkpoint.bytes_written as usize,
+            delta.generation as usize,
+            identical,
+        ));
+    }
+    let _ = std::fs::remove_file(&chain);
+    let _ = std::fs::remove_file(&full);
+    let (delta_bytes, checkpoint_bytes, tip_generation, identical_to_full) =
+        measured.expect("samples >= 1");
+    Ok(VersionedStoreEntry {
+        circuit: name.to_owned(),
+        mode: mode.name().to_owned(),
+        checkpoint_bytes,
+        delta_bytes,
+        delta_fraction: delta_bytes as f64 / (checkpoint_bytes as f64).max(1.0),
+        checkpoint_ms,
+        delta_ms,
+        tip_generation,
+        identical_to_full,
+        gate_status: delta_gate_status(mode.name(), checkpoint_bytes as f64),
+    })
+}
+
 impl BenchReport {
     /// Serializes the report (schema [`SCHEMA`]).
     #[must_use]
@@ -825,6 +989,22 @@ impl BenchReport {
             } else {
                 "    }\n"
             });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"versioned_store\": [\n");
+        for (i, e) in self.versioned_store.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"circuit\": {},\n", json_string(&e.circuit)));
+            out.push_str(&format!("      \"mode\": {},\n", json_string(&e.mode)));
+            out.push_str(&format!("      \"checkpoint_bytes\": {},\n", e.checkpoint_bytes));
+            out.push_str(&format!("      \"delta_bytes\": {},\n", e.delta_bytes));
+            out.push_str(&format!("      \"delta_fraction\": {:.6},\n", e.delta_fraction));
+            out.push_str(&format!("      \"checkpoint_ms\": {:.3},\n", e.checkpoint_ms));
+            out.push_str(&format!("      \"delta_ms\": {:.3},\n", e.delta_ms));
+            out.push_str(&format!("      \"tip_generation\": {},\n", e.tip_generation));
+            out.push_str(&format!("      \"identical_to_full\": {},\n", e.identical_to_full));
+            out.push_str(&format!("      \"gate_status\": {}\n", json_string(&e.gate_status)));
+            out.push_str(if i + 1 < self.versioned_store.len() { "    },\n" } else { "    }\n" });
         }
         out.push_str("  ],\n");
         out.push_str("  \"batch\": [\n");
@@ -1005,6 +1185,36 @@ impl BenchReport {
             }
             out.push_str("\nsession persistence (artifact save/load vs from-scratch build):\n");
             out.push_str(&ptable.render());
+        }
+        if !self.versioned_store.is_empty() {
+            let mut vtable = Table::new(&[
+                "circuit",
+                "mode",
+                "checkpoint B",
+                "delta B",
+                "fraction",
+                "ckpt ms",
+                "delta ms",
+                "tip",
+                "identical",
+                "gate",
+            ]);
+            for e in &self.versioned_store {
+                vtable.row(vec![
+                    e.circuit.clone(),
+                    e.mode.clone(),
+                    e.checkpoint_bytes.to_string(),
+                    e.delta_bytes.to_string(),
+                    format!("{:.4}", e.delta_fraction),
+                    format!("{:.2}", e.checkpoint_ms),
+                    format!("{:.2}", e.delta_ms),
+                    e.tip_generation.to_string(),
+                    if e.identical_to_full { "yes" } else { "NO" }.to_owned(),
+                    e.gate_status.clone(),
+                ]);
+            }
+            out.push_str("\nversioned store (delta append vs full checkpoint rewrite):\n");
+            out.push_str(&vtable.render());
         }
         if !self.batch.is_empty() {
             let mut btable = Table::new(&[
@@ -1314,12 +1524,15 @@ fn parse(text: &str) -> Result<Json, String> {
 
 /// Audits a serialized report: well-formed JSON, the [`SCHEMA`] marker,
 /// every required field, non-empty `entries`, `whatif`,
-/// `session_persistence`, `batch`, `peeled`, and `damping` lists — and,
+/// `session_persistence`, `versioned_store`, `batch`, `peeled`, and
+/// `damping` lists — and,
 /// semantically, that every entry reported results identical to its
 /// serial reference, every what-if loop and resumed session identical to
 /// its from-scratch reference, every batch scenario identical to its
-/// sequential twin, every incremental peel identical to the from-scratch
-/// peel, and every semantically damped apply identical to its structural
+/// sequential twin, every chain-tip replay identical to its live
+/// session (with the delta-fraction gate where the checkpoint clears
+/// the 8 MiB floor), every incremental peel identical to the
+/// from-scratch peel, and every semantically damped apply identical to its structural
 /// and from-scratch references (the CI gates for the work-stealing
 /// sweep, the incremental session path, the batch engine, and the
 /// corridor prover) — and that the scheduler section's parallel
@@ -1505,6 +1718,84 @@ pub fn validate_json_notes(text: &str) -> Result<Vec<String>, String> {
             _ => return Err(format!("persistence entry {i}: missing `identical_to_full`")),
         }
     }
+    let versioned = match report.get("versioned_store") {
+        Some(Json::Arr(v)) if !v.is_empty() => v,
+        Some(Json::Arr(_)) => return Err("`versioned_store` is empty".into()),
+        _ => return Err("missing `versioned_store` array (required by v8)".into()),
+    };
+    for (i, entry) in versioned.iter().enumerate() {
+        for field in
+            ["checkpoint_bytes", "delta_bytes", "delta_fraction", "checkpoint_ms", "delta_ms"]
+        {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("versioned_store entry {i}: missing or non-numeric `{field}`"));
+            }
+        }
+        for field in ["circuit", "mode"] {
+            if !matches!(entry.get(field), Some(Json::Str(_))) {
+                return Err(format!("versioned_store entry {i}: missing `{field}`"));
+            }
+        }
+        // The replay gate is unconditional: whatever the chain's size,
+        // resuming its tip must reproduce the live session bit-for-bit.
+        match entry.get("identical_to_full") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(format!(
+                    "versioned_store entry {i}: chain-tip replay differs from the live session"
+                ))
+            }
+            _ => return Err(format!("versioned_store entry {i}: missing `identical_to_full`")),
+        }
+        // The delta-fraction gate arms only in addition mode (elimination
+        // windows re-derive from the masked noisy timing, so every flip
+        // perturbs every victim's state and the delta is a
+        // near-checkpoint by engine construction) and only where the
+        // checkpoint clears the 8 MiB floor (below it, fixed record
+        // framing dominates and the ratio measures nothing). The stored
+        // status must agree with the one re-derived here from the entry's
+        // own recorded mode and bytes — a skip can never be silent, a lie
+        // never passes. The fraction itself is re-derived from the two
+        // byte counts so a misreported `delta_fraction` can't sneak a
+        // fat delta through.
+        let checkpoint_bytes =
+            entry.get("checkpoint_bytes").and_then(Json::as_num).expect("checked above");
+        let delta_bytes = entry.get("delta_bytes").and_then(Json::as_num).expect("checked above");
+        let entry_mode = match entry.get("mode") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => "?",
+        };
+        let expected = delta_gate_status(entry_mode, checkpoint_bytes);
+        let stored = match entry.get("gate_status") {
+            Some(Json::Str(s)) => s,
+            _ => return Err(format!("versioned_store entry {i}: missing `gate_status` string")),
+        };
+        if (stored == "armed") != (expected == "armed") {
+            return Err(format!(
+                "versioned_store entry {i}: gate_status says `{stored}` but a \
+                 {checkpoint_bytes:.0}-byte `{entry_mode}` checkpoint implies `{expected}`"
+            ));
+        }
+        if expected == "armed" {
+            let fraction = delta_bytes / checkpoint_bytes.max(1.0);
+            if fraction >= 0.10 {
+                return Err(format!(
+                    "versioned_store entry {i}: delta append cost {fraction:.3} of the \
+                     checkpoint bytes (gate requires < 0.10)"
+                ));
+            }
+        } else {
+            let circuit = match entry.get("circuit") {
+                Some(Json::Str(s)) => s.as_str(),
+                _ => "?",
+            };
+            let mode = match entry.get("mode") {
+                Some(Json::Str(s)) => s.as_str(),
+                _ => "?",
+            };
+            notes.push(format!("versioned_store {circuit}/{mode} delta gate: {stored}"));
+        }
+    }
     let batch = match report.get("batch") {
         Some(Json::Arr(b)) if !b.is_empty() => b,
         Some(Json::Arr(_)) => return Err("`batch` is empty".into()),
@@ -1633,6 +1924,16 @@ mod tests {
             .session_persistence
             .iter()
             .all(|e| e.save_ms.is_finite() && e.load_ms.is_finite()));
+        // One versioned-store cycle per circuit x mode: the delta append
+        // is real (generation 1), strictly cheaper than the checkpoint
+        // rewrite, bit-identical on replay — and on this smoke-sized
+        // chain the fraction gate must record itself as skipped.
+        assert_eq!(report.versioned_store.len(), 1);
+        assert!(report.versioned_store.iter().all(|e| e.identical_to_full));
+        assert!(report.versioned_store.iter().all(|e| e.tip_generation == 1));
+        assert!(report.versioned_store.iter().all(|e| e.delta_bytes > 0));
+        assert!(report.versioned_store.iter().all(|e| e.delta_bytes < e.checkpoint_bytes));
+        assert!(report.versioned_store.iter().all(|e| e.gate_status.starts_with("skipped")));
         // One batch run per circuit x mode: every scenario bit-identical
         // to its sequential twin, the mask-aware closure never larger
         // than the oblivious one, and dedup never inflating the count.
@@ -1675,15 +1976,16 @@ mod tests {
         assert!(table.contains("work-stealing scheduler"));
         assert!(table.contains("what-if fix loop"));
         assert!(table.contains("session persistence"));
+        assert!(table.contains("versioned store"));
         assert!(table.contains("batch what-if"));
         assert!(table.contains("peeled elimination"));
         assert!(table.contains("corridor damping"));
     }
 
-    /// A structurally complete, semantically passing v7 report — the
+    /// A structurally complete, semantically passing v8 report — the
     /// baseline every rejection case below is a one-flag mutation of.
     const GOOD_REPORT: &str = r#"{
-      "schema": "dna-bench-topk/v7",
+      "schema": "dna-bench-topk/v8",
       "host_threads": 8, "k": 10, "samples": 1, "seed": 42,
       "entries": [{
         "circuit": "i1", "mode": "addition", "threads": 0,
@@ -1712,6 +2014,15 @@ mod tests {
         "save_ms": 0.1, "load_ms": 0.2, "artifact_bytes": 4096,
         "from_scratch_ms": 2.0,
         "identical_to_full": true
+      }],
+      "versioned_store": [{
+        "circuit": "i10", "mode": "addition",
+        "checkpoint_bytes": 84000000, "delta_bytes": 640,
+        "delta_fraction": 0.000008,
+        "checkpoint_ms": 120.0, "delta_ms": 0.4,
+        "tip_generation": 1,
+        "identical_to_full": true,
+        "gate_status": "armed"
       }],
       "batch": [{
         "circuit": "i1", "mode": "addition",
@@ -1743,7 +2054,7 @@ mod tests {
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema": "other/v9"}"#).is_err());
         // Older schemas (missing the sections added since) are rejected.
-        for old in ["v1", "v2", "v3", "v4", "v5", "v6"] {
+        for old in ["v1", "v2", "v3", "v4", "v5", "v6", "v7"] {
             assert!(validate_json(&format!(r#"{{"schema": "dna-bench-topk/{old}"}}"#)).is_err());
         }
         validate_json(GOOD_REPORT).expect("the baseline report validates");
@@ -1763,7 +2074,13 @@ mod tests {
         // the entry and surfaced as a note, never silent...
         let narrow_host = no_speedup
             .replace("\"host_threads\": 8", "\"host_threads\": 1")
-            .replace("\"gate_status\": \"armed\"", "\"gate_status\": \"skipped (narrow host)\"");
+            // `replacen(1)`: only the scheduler entry's status (the first
+            // in the report) skips; the versioned-store gate stays armed.
+            .replacen(
+                "\"gate_status\": \"armed\"",
+                "\"gate_status\": \"skipped (narrow host)\"",
+                1,
+            );
         let skip_notes =
             validate_json_notes(&narrow_host).expect("narrow host skips the speedup gate");
         assert_eq!(skip_notes.len(), 1, "{skip_notes:?}");
@@ -1772,9 +2089,12 @@ mod tests {
             "{skip_notes:?}"
         );
         // ...and for smoke-sized entries below the measurement floor.
-        let smoke_entry = no_speedup
-            .replace("\"wall_ms_serial\": 900.0", "\"wall_ms_serial\": 9.0")
-            .replace("\"gate_status\": \"armed\"", "\"gate_status\": \"skipped (smoke floor)\"");
+        let smoke_entry =
+            no_speedup.replace("\"wall_ms_serial\": 900.0", "\"wall_ms_serial\": 9.0").replacen(
+                "\"gate_status\": \"armed\"",
+                "\"gate_status\": \"skipped (smoke floor)\"",
+                1,
+            );
         let skip_notes = validate_json_notes(&smoke_entry)
             .expect("sub-floor serial time skips the speedup gate");
         assert_eq!(skip_notes.len(), 1, "{skip_notes:?}");
@@ -1785,13 +2105,57 @@ mod tests {
         let silent_skip = no_speedup.replace("\"host_threads\": 8", "\"host_threads\": 1");
         let err = validate_json(&silent_skip).unwrap_err();
         assert!(err.contains("gate_status says `armed`"), "{err}");
-        let bogus_skip = GOOD_REPORT
-            .replace("\"gate_status\": \"armed\"", "\"gate_status\": \"skipped (just because)\"");
+        let bogus_skip = GOOD_REPORT.replacen(
+            "\"gate_status\": \"armed\"",
+            "\"gate_status\": \"skipped (just because)\"",
+            1,
+        );
         let err = validate_json(&bogus_skip).unwrap_err();
         assert!(err.contains("imply `armed`"), "{err}");
-        let no_status = GOOD_REPORT.replace("\"gate_status\": \"armed\"", "\"gate_status\": 3");
+        let no_status = GOOD_REPORT.replacen("\"gate_status\": \"armed\"", "\"gate_status\": 3", 1);
         let err = validate_json(&no_status).unwrap_err();
         assert!(err.contains("missing `gate_status`"), "{err}");
+
+        // The v8 delta-fraction gate: a fat delta fails where the gate is
+        // armed, is skipped (with a note) below the 8 MiB checkpoint
+        // floor, and the recorded status cannot contradict the bytes.
+        let fat_delta = GOOD_REPORT.replace("\"delta_bytes\": 640", "\"delta_bytes\": 9000000");
+        let err = validate_json(&fat_delta).unwrap_err();
+        assert!(err.contains("gate requires < 0.10"), "{err}");
+        let small_chain = fat_delta
+            .replace("\"checkpoint_bytes\": 84000000", "\"checkpoint_bytes\": 1000000")
+            .replacen("\"gate_status\": \"armed\"", "\"gate_status\": \"skipped (tiny chain)\"", 2)
+            .replacen("\"gate_status\": \"skipped (tiny chain)\"", "\"gate_status\": \"armed\"", 1);
+        let notes = validate_json_notes(&small_chain).expect("sub-floor checkpoint skips the gate");
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        assert!(notes[0].contains("versioned_store i10/addition"), "{notes:?}");
+        let lying_status =
+            GOOD_REPORT.replace("\"checkpoint_bytes\": 84000000", "\"checkpoint_bytes\": 1000000");
+        let err = validate_json(&lying_status).unwrap_err();
+        assert!(err.contains("1000000-byte `addition` checkpoint implies"), "{err}");
+        // Elimination entries never arm: the masked noisy timing makes
+        // every delta a near-checkpoint, and an armed status on one is a
+        // recorded lie whatever the byte counts say.
+        let armed_elimination = GOOD_REPORT.replace(
+            "\"circuit\": \"i10\", \"mode\": \"addition\",\n        \"checkpoint_bytes\": 84000000",
+            "\"circuit\": \"i10\", \"mode\": \"elimination\",\n        \"checkpoint_bytes\": 84000000",
+        );
+        let err = validate_json(&armed_elimination).unwrap_err();
+        assert!(err.contains("`elimination` checkpoint implies `skipped"), "{err}");
+        // A misreported fraction cannot mask a fat delta: the validator
+        // re-derives it from the byte counts.
+        let lying_fraction = GOOD_REPORT
+            .replace("\"delta_bytes\": 640", "\"delta_bytes\": 9000000")
+            .replace("\"delta_fraction\": 0.000008", "\"delta_fraction\": 0.01");
+        let err = validate_json(&lying_fraction).unwrap_err();
+        assert!(err.contains("gate requires < 0.10"), "{err}");
+        // The replay gate never skips, whatever the chain's size.
+        let bad_replay = small_chain
+            .replace("\"delta_bytes\": 9000000", "\"delta_bytes\": 640")
+            .replacen("\"identical_to_full\": true", "\"identical_to_full\": false", 3)
+            .replacen("\"identical_to_full\": false", "\"identical_to_full\": true", 2);
+        let err = validate_json(&bad_replay).unwrap_err();
+        assert!(err.contains("chain-tip replay differs"), "{err}");
 
         // Structurally fine but semantically failing: each identity gate,
         // flipped to false in turn, must be flagged with its own message.
@@ -1830,8 +2194,15 @@ mod tests {
         assert!(err.contains("semantically damped result differs"), "{err}");
 
         // Dropping any report section (or emptying it) is a violation.
-        for section in ["scheduler", "whatif", "session_persistence", "batch", "peeled", "damping"]
-        {
+        for section in [
+            "scheduler",
+            "whatif",
+            "session_persistence",
+            "versioned_store",
+            "batch",
+            "peeled",
+            "damping",
+        ] {
             let needle = format!("\"{section}\": [");
             let start = GOOD_REPORT.find(&needle).expect("section present");
             let end = GOOD_REPORT[start..].find("}]").expect("section closes") + start + 2;

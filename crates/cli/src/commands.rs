@@ -4,8 +4,8 @@ use std::fs;
 
 use dna_bench::topk_bench;
 use dna_lint::{
-    lint_batch_order, lint_circuit, lint_config, lint_dirty_closure, lint_dirty_closure_certified,
-    lint_result, lint_sched_replay, lint_timing, Diagnostics,
+    lint_batch_order, lint_chain, lint_circuit, lint_config, lint_dirty_closure,
+    lint_dirty_closure_certified, lint_result, lint_sched_replay, lint_timing, Diagnostics,
 };
 use dna_netlist::generator::{generate, GeneratorConfig};
 use dna_netlist::{format, suite, Circuit, CouplingId};
@@ -13,8 +13,8 @@ use dna_noise::{glitch, CouplingMask, NoiseAnalysis, NoiseConfig};
 use dna_sta::{critical_path, top_k_paths, LinearDelayModel, StaConfig, TimingReport};
 use dna_topk::CouplingSet;
 use dna_topk::{
-    artifact_fingerprint, Damping, MaskDelta, Mode, TopKAnalysis, TopKConfig, TopKResult,
-    WhatIfBatch, WhatIfSession,
+    chain_summary_checked, commit_chain, ChainFault, CommitOptions, Damping, MaskDelta, Mode,
+    RecordKind, SaveKind, TopKAnalysis, TopKConfig, TopKResult, WhatIfBatch, WhatIfSession,
 };
 
 use crate::opts::Opts;
@@ -39,17 +39,24 @@ commands:
   whatif    <file.ckt> [--mode add|del] [-k N] [--audit] [--threads N]
             [--damping structural|semantic]
             [--save FILE] [--load FILE]   fix-loop: run, remove the worst
-            [--batch FILE] [--fingerprint] set, re-verify incrementally;
-                                          --damping semantic (default)
+            [--compact] [--history [GEN]] set, re-verify incrementally;
+            [--batch FILE] [--fingerprint] --damping semantic (default)
                                           skips victims the corridor
                                           prover certifies clean, never
                                           changing an output bit; --audit
                                           re-verifies certificates and
                                           spot-checks proven-clean victims
                                           against from-scratch; sessions
-                                          persist to checksummed artifacts
-                                          (corrupt files fall back to a
-                                          full sweep); --batch evaluates
+                                          persist to crash-safe generation
+                                          chains: --save after --load
+                                          appends a delta record of only
+                                          the dirty victims, --compact
+                                          rewrites the chain as a single
+                                          checkpoint, --history lists the
+                                          chain (with GEN: replays that
+                                          generation bit-exactly); corrupt
+                                          chains fall back to a full
+                                          sweep; --batch evaluates
                                           one scenario per line of FILE
                                           (tokens -ID / +ID remove or
                                           restore coupling ID, # starts a
@@ -64,7 +71,7 @@ commands:
   serve     [--port N] [--capacity N] [--max-queue N]
             [--victim-budget-cap N] [--global-budget-cap N]
             [--deadline-cap-ms MS]        loopback what-if daemon: holds hot
-                                          sessions per circuit (LRU-spilled
+            [--dir DIR] [--recover]       sessions per circuit (LRU-spilled
                                           to artifacts past --capacity),
                                           coalesces queued scenarios into
                                           shared batch sweeps, quarantines
@@ -72,10 +79,21 @@ commands:
                                           an ephemeral port and announces
                                           it on stdout; line-delimited JSON
                                           (ops: open scenario batch commit
-                                          query evict stats shutdown)
-  client    --port N [REQUEST...]        send JSON request lines to a
-                                          running daemon (or pipe them on
-                                          stdin) and print the responses
+                                          query evict stats shutdown);
+                                          --dir makes tenants durable
+                                          (generation chains + a tenant
+                                          registry under DIR, flushed on
+                                          SIGINT/SIGTERM/shutdown);
+                                          --recover replays the registry
+                                          at startup, repairing torn
+                                          chains and quarantining
+                                          unrecoverable tenants
+  client    --port N [--no-retry]        send JSON request lines to a
+            [REQUEST...]                  running daemon (or pipe them on
+                                          stdin) and print the responses;
+                                          connects with bounded
+                                          exponential-backoff retry unless
+                                          --no-retry
   help                                    this message";
 
 /// Routes the parsed command line to a subcommand.
@@ -308,10 +326,32 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
         },
     );
 
-    // --load resumes from a checksummed artifact; anything wrong with the
-    // bytes (truncation, bit rot, version skew, different circuit) is
-    // reported and the command falls back to a from-scratch sweep. A bad
-    // artifact can cost the cache, never the answer.
+    // --history inspects or replays the generation chain instead of
+    // running the fix loop: bare, it lists every committed record plus
+    // any classified integrity fault (the same classes the L07x lint
+    // rules report); with GEN it rebuilds that exact generation and
+    // prints its fingerprint, bit-identical to a session that had
+    // stopped there.
+    if let Some(gen) = opts.flag("history") {
+        let path = opts
+            .flag("load")
+            .ok_or_else(|| "--history needs --load FILE (the chain to inspect)".to_owned())?;
+        let bytes = fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        return if gen == "true" {
+            whatif_history_list(&engine, path, &bytes)
+        } else {
+            let generation: u64 =
+                gen.parse().map_err(|_| format!("invalid value for --history: `{gen}`"))?;
+            whatif_history_at(&engine, path, &bytes, generation)
+        };
+    }
+
+    // --load resumes from a crash-safe generation chain, replaying the
+    // checkpointed base and every delta record to the tip; anything
+    // wrong with the bytes (truncation, bit rot, version skew, broken
+    // links, different circuit) is reported and the command falls back
+    // to a from-scratch sweep. A bad chain can cost the cache, never
+    // the answer.
     let full_start = std::time::Instant::now();
     let mut session = match opts.flag("load") {
         Some(path) => {
@@ -352,29 +392,14 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
     let (mode, k) = (session.mode(), session.k());
     let base = session.result().clone();
 
-    // --save snapshots the session (I-list caches, counters, quarantines,
-    // last result) before the what-if delta, so a later --load skips the
-    // expensive full sweep and replays only the incremental part. A
-    // session that is still byte-identical to the artifact it was resumed
-    // from (fingerprint match against the target file's header) skips the
-    // rewrite — the groundwork for delta-encoded artifacts.
-    if let Some(path) = opts.flag("save") {
-        let unchanged = session.source_fingerprint().is_some_and(|fp| {
-            fs::read(path).ok().and_then(|bytes| artifact_fingerprint(&bytes)) == Some(fp)
-        });
-        if unchanged {
-            let bytes = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-            eprintln!("session unchanged since resume; kept {path} as is ({bytes} bytes)");
-        } else {
-            let artifact = session.save_artifact();
-            fs::write(path, &artifact).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            eprintln!("saved session to {path} ({} bytes)", artifact.len());
-        }
-    }
-
     // --batch evaluates a menu of independent scenarios against the
-    // session snapshot instead of committing the default fix loop.
+    // session snapshot instead of committing the default fix loop; the
+    // snapshot itself stays untouched, so --save here never grows the
+    // chain (a session resumed from the same file commits as Unchanged).
     if let Some(batch_path) = opts.flag("batch") {
+        if let Some(path) = opts.flag("save") {
+            save_session(&mut session, path, opts.has("compact"))?;
+        }
         return whatif_batch(&circuit, &engine, &session, batch_path, opts);
     }
 
@@ -395,6 +420,15 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
     let inc_start = std::time::Instant::now();
     let outcome = session.apply(&delta).map_err(|e| e.to_string())?;
     let inc_ms = inc_start.elapsed().as_secs_f64() * 1e3;
+
+    // --save commits the *touched* session to its chain: resumed from
+    // the same file, the fix just applied becomes one appended delta
+    // record — O(dirty victims) bytes, not a full rewrite; a fresh
+    // session writes a full checkpoint; --compact forces the checkpoint
+    // arm, folding the chain back into a single record.
+    if let Some(path) = opts.flag("save") {
+        save_session(&mut session, path, opts.has("compact"))?;
+    }
 
     let fixed = outcome.result();
     println!(
@@ -472,6 +506,118 @@ fn cmd_whatif(opts: &Opts) -> Result<(), String> {
             sched.checked_victims,
         );
     }
+    Ok(())
+}
+
+/// Commits the session to the chain file at `path` — delta append when
+/// the session was resumed from that same chain and touched, full
+/// checkpoint otherwise (or when `--compact` forces it) — and logs what
+/// was physically written either way.
+fn save_session(
+    session: &mut WhatIfSession<'_, '_>,
+    path: &str,
+    compact: bool,
+) -> Result<(), String> {
+    let commit = CommitOptions { force_checkpoint: compact, ..CommitOptions::default() };
+    let report = commit_chain(session, std::path::Path::new(path), &commit)
+        .map_err(|e| format!("cannot save session to `{path}`: {e}"))?;
+    match report.kind {
+        SaveKind::Unchanged => eprintln!(
+            "session unchanged since resume; kept {path} as is ({} bytes)",
+            report.file_bytes
+        ),
+        SaveKind::Checkpoint => eprintln!(
+            "saved checkpoint to {path} (generation {}, {} bytes)",
+            report.generation, report.bytes_written
+        ),
+        SaveKind::Delta(n) => eprintln!(
+            "appended {n} delta record(s) to {path} (generation {}, {} bytes written, \
+             chain now {} bytes)",
+            report.generation, report.bytes_written, report.file_bytes
+        ),
+    }
+    Ok(())
+}
+
+/// One-line rendering of a typed chain-integrity defect.
+fn describe_fault(fault: &ChainFault) -> String {
+    match fault {
+        ChainFault::OutOfOrder { generation, what } => {
+            format!("records out of order at generation {generation}: {what}")
+        }
+        ChainFault::LinkBroken { generation } => {
+            format!("broken predecessor link at generation {generation}")
+        }
+        ChainFault::Corrupt { error } => format!("corrupt record: {error}"),
+        ChainFault::MaskDivergence { generation } => {
+            format!("replayed mask diverges from its recorded digest at generation {generation}")
+        }
+        ChainFault::TornTail { bytes } => {
+            format!("torn tail: {bytes} uncommitted byte(s) past the last record")
+        }
+        ChainFault::ReplayRejected { error } => format!("replay rejected: {error}"),
+    }
+}
+
+/// The bare `--history` listing: every committed record of the chain,
+/// the replayable generation span, and any classified integrity fault.
+/// A chain with faults lists what it can and then fails, so scripting
+/// `--history` doubles as an integrity check.
+fn whatif_history_list(engine: &TopKAnalysis<'_>, path: &str, bytes: &[u8]) -> Result<(), String> {
+    let summary = chain_summary_checked(engine, bytes)
+        .map_err(|e| format!("cannot read chain `{path}` [{}]: {e}", e.class()))?;
+    println!(
+        "chain `{path}`: {} committed record(s), {} bytes",
+        summary.records.len(),
+        bytes.len()
+    );
+    for r in &summary.records {
+        println!(
+            "  generation {:>4}  {:<10}  {:>9} payload byte(s) at offset {}",
+            r.generation,
+            match r.kind {
+                RecordKind::Checkpoint => "checkpoint",
+                RecordKind::Delta => "delta",
+            },
+            r.payload_bytes,
+            r.offset,
+        );
+    }
+    match (summary.base_generation(), summary.tip_generation()) {
+        (Some(base), Some(tip)) => println!("replayable generations: {base}..={tip}"),
+        _ => println!("chain holds no committed records"),
+    }
+    for fault in &summary.faults {
+        println!("fault: {}", describe_fault(fault));
+    }
+    if summary.faults.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("chain `{path}` has {} integrity fault(s)", summary.faults.len()))
+    }
+}
+
+/// `--history GEN`: rebuilds the session exactly as it was at
+/// `generation` and prints that point's result fingerprint — bit-exact
+/// replay is what makes the chain an audit substrate, so the digest
+/// printed here must equal the one the live run printed back then.
+fn whatif_history_at(
+    engine: &TopKAnalysis<'_>,
+    path: &str,
+    bytes: &[u8],
+    generation: u64,
+) -> Result<(), String> {
+    let session = WhatIfSession::resume_at(engine, bytes, generation)
+        .map_err(|e| format!("cannot replay `{path}` at generation {generation}: {e}"))?;
+    let r = session.result();
+    println!(
+        "generation {generation} of `{path}`: top-{} {} set, delay {:.3} -> {:.3} ns",
+        session.k(),
+        session.mode().name(),
+        r.delay_before() / 1000.0,
+        r.delay_after() / 1000.0,
+    );
+    println!("  fingerprint: {:016x}", r.identity_fingerprint());
     Ok(())
 }
 
@@ -755,6 +901,27 @@ fn cmd_lint(opts: &Opts) -> Result<(), String> {
         // share against the parallel run.
         let audit = engine.sched_audit(Mode::Addition, 2).map_err(|e| e.to_string())?;
         diags.merge(lint_sched_replay(&audit));
+
+        // Chain integrity (L07x): round-trip the touched session through
+        // a scratch generation chain — checkpoint base plus one appended
+        // delta — and verify the file's record order, links and replay
+        // against the chain rules.
+        let dir = std::env::temp_dir().join("dna_lint_deep_chain");
+        fs::create_dir_all(&dir).map_err(|e| format!("deep lint: cannot create {dir:?}: {e}"))?;
+        let chain = dir.join(format!("lint-{}.dnawifa", std::process::id()));
+        commit_chain(&mut session, &chain, &CommitOptions::default())
+            .map_err(|e| format!("deep lint: cannot commit scratch chain: {e}"))?;
+        session
+            .apply(&MaskDelta::new(&[], &worst))
+            .map_err(|e| format!("deep lint: what-if restore failed: {e}"))?;
+        commit_chain(&mut session, &chain, &CommitOptions::default())
+            .map_err(|e| format!("deep lint: cannot append to scratch chain: {e}"))?;
+        let bytes =
+            fs::read(&chain).map_err(|e| format!("deep lint: cannot read scratch chain: {e}"))?;
+        let _ = fs::remove_file(&chain);
+        let summary = chain_summary_checked(&engine, &bytes)
+            .map_err(|e| format!("deep lint: scratch chain unreadable: {e}"))?;
+        diags.merge(lint_chain(&summary));
     }
 
     diags.sort();
@@ -811,6 +978,9 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     }
     if report.peeled.iter().any(|e| !e.identical_to_scratch) {
         return Err("an incremental peel diverged from its from-scratch reference".into());
+    }
+    if report.versioned_store.iter().any(|e| !e.identical_to_full) {
+        return Err("a chain-tip replay diverged from its live session".into());
     }
     Ok(())
 }
@@ -1106,9 +1276,9 @@ mod tests {
     }
 
     #[test]
-    fn whatif_save_after_load_skips_unchanged_rewrite() {
+    fn whatif_save_after_load_appends_a_delta_record() {
         let _g = faultsim_read();
-        let dir = std::env::temp_dir().join("dna_cli_test_save_skip");
+        let dir = std::env::temp_dir().join("dna_cli_test_save_delta");
         fs::create_dir_all(&dir).unwrap();
         let ckt = dir.join("t.ckt");
         let ckt_s = ckt.to_str().unwrap().to_owned();
@@ -1127,27 +1297,116 @@ mod tests {
         ]))
         .unwrap();
 
+        // A fresh session writes a full checkpoint.
         dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--save", &art_s])).unwrap();
-        let first = fs::metadata(&art).unwrap().modified().unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(25));
+        let checkpoint = fs::read(&art).unwrap();
+        let summary = dna_topk::chain_summary(&checkpoint).unwrap();
+        assert_eq!(summary.records.len(), 1);
+        assert_eq!(summary.records[0].kind, RecordKind::Checkpoint);
 
-        // Resume + save back: the session is byte-identical to the
-        // artifact, so the rewrite must be skipped (mtime unchanged).
+        // Resume + fix + save: the touched session appends one delta
+        // record onto the chain; the committed prefix is not rewritten.
         dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--save", &art_s]))
             .unwrap();
+        let grown = fs::read(&art).unwrap();
+        assert!(grown.len() > checkpoint.len(), "delta save must grow the chain");
         assert_eq!(
-            fs::metadata(&art).unwrap().modified().unwrap(),
-            first,
-            "unchanged session must not rewrite the artifact"
+            &grown[..checkpoint.len()],
+            &checkpoint[..],
+            "delta save must not rewrite the committed prefix"
         );
+        let summary = dna_topk::chain_summary(&grown).unwrap();
+        assert!(summary.faults.is_empty(), "{:?}", summary.faults);
+        let kinds: Vec<RecordKind> = summary.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![RecordKind::Checkpoint, RecordKind::Delta]);
 
-        // A fresh session (no --load) has no source fingerprint: writes.
-        std::thread::sleep(std::time::Duration::from_millis(25));
+        // The delta tail replays: the next resume lands on the tip and
+        // still passes the bit-identity audit.
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--audit"])).unwrap();
+
+        // --compact folds the chain back into a single checkpoint.
+        dispatch(&argv(&[
+            "whatif",
+            &ckt_s,
+            "--k",
+            "2",
+            "--load",
+            &art_s,
+            "--save",
+            &art_s,
+            "--compact",
+        ]))
+        .unwrap();
+        let compacted = fs::read(&art).unwrap();
+        let summary = dna_topk::chain_summary(&compacted).unwrap();
+        assert_eq!(summary.records.len(), 1);
+        assert_eq!(summary.records[0].kind, RecordKind::Checkpoint);
+
+        fs::remove_file(&ckt).unwrap();
+        fs::remove_file(&art).unwrap();
+    }
+
+    #[test]
+    fn whatif_history_lists_and_replays_generations() {
+        let _g = faultsim_read();
+        let dir = std::env::temp_dir().join("dna_cli_test_history");
+        fs::create_dir_all(&dir).unwrap();
+        let ckt = dir.join("t.ckt");
+        let ckt_s = ckt.to_str().unwrap().to_owned();
+        let art = dir.join("t.dna");
+        let art_s = art.to_str().unwrap().to_owned();
+        dispatch(&argv(&[
+            "generate",
+            "--gates",
+            "16",
+            "--couplings",
+            "12",
+            "--seed",
+            "21",
+            "--o",
+            &ckt_s,
+        ]))
+        .unwrap();
+
+        // Grow a two-generation chain: checkpoint, then one delta.
         dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--save", &art_s])).unwrap();
-        assert!(
-            fs::metadata(&art).unwrap().modified().unwrap() > first,
-            "fresh session must rewrite the artifact"
-        );
+        dispatch(&argv(&["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--save", &art_s]))
+            .unwrap();
+        let summary = dna_topk::chain_summary(&fs::read(&art).unwrap()).unwrap();
+        let base = summary.base_generation().unwrap();
+        let tip = summary.tip_generation().unwrap();
+        assert!(tip > base, "the chain must span more than one generation");
+
+        // Bare --history lists; --history GEN replays any committed
+        // generation, including ones behind the tip.
+        dispatch(&argv(&["whatif", &ckt_s, "--load", &art_s, "--history"])).unwrap();
+        for generation in [base, tip] {
+            dispatch(&argv(&[
+                "whatif",
+                &ckt_s,
+                "--load",
+                &art_s,
+                "--history",
+                &generation.to_string(),
+            ]))
+            .unwrap();
+        }
+
+        // Past the tip is a typed refusal, not a crash or a guess.
+        let e = dispatch(&argv(&[
+            "whatif",
+            &ckt_s,
+            "--load",
+            &art_s,
+            "--history",
+            &(tip + 7).to_string(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("generation"), "{e}");
+
+        // --history without a chain to inspect is an error up front.
+        let e = dispatch(&argv(&["whatif", &ckt_s, "--history"])).unwrap_err();
+        assert!(e.contains("--history needs --load"), "{e}");
 
         fs::remove_file(&ckt).unwrap();
         fs::remove_file(&art).unwrap();

@@ -7,22 +7,82 @@
 //! one response object per line. All session state lives in the
 //! [`SessionManager`]; this module only moves bytes and loads circuit
 //! files for `open` requests.
+//!
+//! With `--dir STATE_DIR` the daemon is *durable*: every tenant's
+//! session is committed to an artifact chain in that directory (delta
+//! appends on `commit`, full flush on shutdown) and recorded in the
+//! `tenants.dnareg` manifest. `--recover` replays the manifest at boot
+//! — resuming every tenant from its last committed generation,
+//! repairing torn chains in place, quarantining what cannot be salvaged
+//! — and is safe to pass unconditionally (an empty directory recovers
+//! nothing). SIGINT/SIGTERM trigger the same graceful flush as a wire
+//! `shutdown` request.
 
 use std::fs;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use dna_netlist::format;
+use dna_netlist::{format, Circuit};
 use dna_topk::serve::wire::{self, Request};
-use dna_topk::serve::{ErrorCode, Response, ServeConfig, SessionManager};
+use dna_topk::serve::{ErrorCode, RecoverOutcome, Response, ServeConfig, SessionManager};
 use dna_topk::TopKConfig;
 
 use crate::opts::Opts;
 
-/// `dna serve`: run the daemon until a client sends `{"op":"shutdown"}`.
+/// Process-global graceful-termination flag, set by SIGINT/SIGTERM so
+/// the accept loop can flush every tenant before exiting. The handler
+/// does nothing but store to an atomic — async-signal-safe by
+/// construction.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATION.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGINT/SIGTERM handlers (no-op off unix). Uses the
+    /// libc `signal` entry point std already links — the workspace
+    /// stays dependency-free.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+
+    /// Whether a termination signal has arrived.
+    pub fn requested() -> bool {
+        TERMINATION.load(Ordering::SeqCst)
+    }
+}
+
+/// Resolves an `open` request's circuit source: read the netlist file
+/// and parse it. Also the recovery pass's resolver, so a tenant's
+/// circuit is re-read from the same path it was opened from.
+fn load_circuit(source: &str) -> Result<Circuit, String> {
+    let text = fs::read_to_string(source).map_err(|e| format!("cannot read: {e}"))?;
+    format::parse(&text).map_err(|e| format!("cannot parse: {e}"))
+}
+
+/// `dna serve`: run the daemon until a client sends `{"op":"shutdown"}`
+/// or the process receives SIGINT/SIGTERM; either path flushes every
+/// hot tenant (durably, with `--dir`) before exiting.
 pub fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let port: u16 = opts.num("port", 0)?;
     let config = ServeConfig {
@@ -33,54 +93,150 @@ pub fn cmd_serve(opts: &Opts) -> Result<(), String> {
         deadline_cap: crate::commands::opt_num::<u64>(opts, "deadline-cap-ms")?
             .map(Duration::from_millis),
     };
+    let state_dir = opts.flag("dir").map(PathBuf::from);
+    if opts.has("recover") && state_dir.is_none() {
+        return Err("--recover needs --dir (the daemon state directory)".into());
+    }
+    let manager = match &state_dir {
+        Some(dir) => Arc::new(
+            SessionManager::new_durable(config, dir)
+                .map_err(|e| format!("cannot open state directory `{}`: {e}", dir.display()))?,
+        ),
+        None => Arc::new(SessionManager::new(config)),
+    };
+    if opts.has("recover") {
+        report_recovery(&manager);
+    }
+    signals::install();
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     println!("dna serve: listening on {addr}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
-    run_server(&listener, config)
+    run_server_with(&listener, &manager)
 }
 
-/// Accept loop: one handler thread per connection, all sharing the
-/// manager. A `shutdown` request flips the flag; the handler then
-/// connects back to the listener once to unblock `accept`.
+/// Runs the recovery pass and narrates it, one line per tenant.
+fn report_recovery(manager: &SessionManager) {
+    let report = manager.recover(&load_circuit);
+    if let Some(damage) = &report.registry.damage {
+        println!(
+            "dna serve: manifest repaired ({} bytes truncated): {damage}",
+            report.registry.truncated_bytes
+        );
+    }
+    if report.stale_temp_files > 0 {
+        println!("dna serve: removed {} stale checkpoint temp file(s)", report.stale_temp_files);
+    }
+    let mut resumed = 0usize;
+    let mut quarantined = 0usize;
+    for t in &report.tenants {
+        match &t.outcome {
+            RecoverOutcome::Resumed { generation, fingerprint, repaired_bytes, damage } => {
+                resumed += 1;
+                println!(
+                    "dna serve: recovered tenant `{}` at generation {generation} \
+                     (fingerprint {fingerprint:016x})",
+                    t.tenant
+                );
+                if let Some(damage) = damage {
+                    println!(
+                        "dna serve: tenant `{}` chain repaired ({repaired_bytes} bytes \
+                         truncated): {damage}",
+                        t.tenant
+                    );
+                } else if *repaired_bytes > 0 {
+                    println!(
+                        "dna serve: tenant `{}` chain repaired ({repaired_bytes} bytes truncated)",
+                        t.tenant
+                    );
+                }
+            }
+            RecoverOutcome::Quarantined { reason } => {
+                quarantined += 1;
+                println!("dna serve: quarantined tenant `{}`: {reason}", t.tenant);
+            }
+        }
+    }
+    println!("dna serve: recovery complete ({resumed} resumed, {quarantined} quarantined)");
+}
+
+/// Accept loop over a non-blocking listener with a fresh in-memory
+/// manager — the test harness's entry point; `cmd_serve` goes through
+/// [`run_server_with`] so the durable manager can be shared.
+#[cfg(test)]
 pub(crate) fn run_server(listener: &TcpListener, config: ServeConfig) -> Result<(), String> {
-    let manager = Arc::new(SessionManager::new(config));
+    run_server_with(listener, &Arc::new(SessionManager::new(config)))
+}
+
+fn run_server_with(listener: &TcpListener, manager: &Arc<SessionManager>) -> Result<(), String> {
     let stop = Arc::new(AtomicBool::new(false));
-    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    listener.set_nonblocking(true).map_err(|e| format!("cannot poll listener: {e}"))?;
     let mut handlers = Vec::new();
-    for stream in listener.incoming() {
+    loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
-        let manager = manager.clone();
-        let stop = stop.clone();
-        handlers.push(std::thread::spawn(move || {
-            if handle_connection(&stream, &manager) {
-                stop.store(true, Ordering::SeqCst);
-                // Wake the accept loop so it observes the flag.
-                let _ = TcpStream::connect(addr);
+        if signals::requested() {
+            eprintln!("dna serve: termination signal received; flushing tenants");
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Handlers poll the stop flag between lines, so a
+                // lingering idle client cannot block shutdown forever.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                let manager = manager.clone();
+                let stop = stop.clone();
+                handlers.push(std::thread::spawn(move || {
+                    if handle_connection(&stream, &manager, &stop) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }));
             }
-        }));
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("accept failed: {e}")),
+        }
     }
+    stop.store(true, Ordering::SeqCst);
     for h in handlers {
         let _ = h.join();
     }
     manager.shutdown();
+    eprintln!("dna serve: all tenants flushed; exiting");
     Ok(())
 }
 
 /// Serves one client connection; returns `true` when the client asked
-/// the daemon to shut down.
-fn handle_connection(stream: &TcpStream, manager: &SessionManager) -> bool {
+/// the daemon to shut down. Read timeouts are polls: the handler keeps
+/// waiting unless the server-wide stop flag is up.
+fn handle_connection(stream: &TcpStream, manager: &SessionManager, stop: &AtomicBool) -> bool {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return false,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return false };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return false,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return false;
+                }
+                continue;
+            }
+            Err(_) => return false,
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -106,30 +262,22 @@ fn handle_connection(stream: &TcpStream, manager: &SessionManager) -> bool {
             return true;
         }
     }
-    false
 }
 
 /// Routes one decoded request into the manager. `open` loads and parses
 /// the circuit file here — a bad path or netlist is a `bad_request`,
-/// never a dead daemon.
+/// never a dead daemon — and hands the manager the *path* as the
+/// tenant's circuit source, which is what the durable manifest records
+/// and the recovery pass re-resolves.
 fn handle_request(request: Request, manager: &SessionManager) -> Response {
     match request {
         Request::Open { tenant, circuit, mode, k, victim_budget, global_budget, deadline_ms } => {
-            let text = match fs::read_to_string(&circuit) {
-                Ok(text) => text,
-                Err(e) => {
-                    return Response::Error(dna_topk::serve::ServeError {
-                        code: ErrorCode::BadRequest,
-                        message: format!("cannot read `{circuit}`: {e}"),
-                    })
-                }
-            };
-            let parsed = match format::parse(&text) {
+            let parsed = match load_circuit(&circuit) {
                 Ok(c) => c,
                 Err(e) => {
                     return Response::Error(dna_topk::serve::ServeError {
                         code: ErrorCode::BadRequest,
-                        message: format!("cannot parse `{circuit}`: {e}"),
+                        message: format!("`{circuit}`: {e}"),
                     })
                 }
             };
@@ -139,7 +287,7 @@ fn handle_request(request: Request, manager: &SessionManager) -> Response {
                 deadline: deadline_ms.map(Duration::from_millis),
                 ..TopKConfig::default()
             };
-            manager.open(&tenant, parsed, mode, k, config)
+            manager.open_with_source(&tenant, parsed, Some(&circuit), mode, k, config)
         }
         Request::Scenario { tenant, delta } => manager.scenario(&tenant, delta),
         Request::Batch { tenant, deltas } => manager.batch(&tenant, deltas),
@@ -151,9 +299,50 @@ fn handle_request(request: Request, manager: &SessionManager) -> Response {
     }
 }
 
+/// Connection errors worth retrying: the daemon is restarting (refused)
+/// or went away mid-handshake (reset/aborted). Anything else — e.g. an
+/// unroutable address — fails immediately.
+fn transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// Connects with a bounded exponential backoff (5 attempts: 50 ms, 100,
+/// 200, 400 between them) unless `--no-retry` asked for exactly one.
+fn connect_with_retry(port: u16, no_retry: bool) -> Result<TcpStream, String> {
+    let attempts = if no_retry { 1 } else { 5 };
+    let mut delay = Duration::from_millis(50);
+    for attempt in 1..=attempts {
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if attempt < attempts && transient(e.kind()) => {
+                eprintln!(
+                    "dna client: connect to 127.0.0.1:{port} failed ({e}); \
+                     retry {attempt}/{} in {delay:?}",
+                    attempts - 1
+                );
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "cannot connect to 127.0.0.1:{port} after {attempt} attempt(s): {e}"
+                ))
+            }
+        }
+    }
+    unreachable!("the loop returns on its last attempt")
+}
+
 /// `dna client`: send request lines to a running daemon and print the
 /// response lines. Requests come from the positional arguments (one
-/// JSON object each) or, with none, from stdin.
+/// JSON object each) or, with none, from stdin. Transient connect
+/// failures are retried with exponential backoff; `--no-retry` makes
+/// the first failure final.
 pub fn cmd_client(opts: &Opts) -> Result<(), String> {
     let port: u16 = match opts.flag("port") {
         Some(v) => v.parse().map_err(|_| format!("invalid value for --port: `{v}`"))?,
@@ -176,8 +365,7 @@ pub fn cmd_client(opts: &Opts) -> Result<(), String> {
     if requests.is_empty() {
         return Err("no requests: pass JSON objects as arguments or on stdin".into());
     }
-    let stream = TcpStream::connect(("127.0.0.1", port))
-        .map_err(|e| format!("cannot connect to 127.0.0.1:{port}: {e}"))?;
+    let stream = connect_with_retry(port, opts.has("no-retry"))?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
     for request in requests {
@@ -285,5 +473,31 @@ mod tests {
         let opts = Opts::parse(&["client".to_owned()]);
         let e = cmd_client(&opts).unwrap_err();
         assert!(e.contains("--port"), "{e}");
+    }
+
+    #[test]
+    fn client_retry_is_bounded_and_no_retry_fails_fast() {
+        // Nothing listens on this port: bind-then-drop frees one.
+        let port = {
+            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let start = std::time::Instant::now();
+        let e = connect_with_retry(port, true).unwrap_err();
+        assert!(e.contains("after 1 attempt"), "{e}");
+        assert!(start.elapsed() < Duration::from_millis(500), "--no-retry does not back off");
+
+        let start = std::time::Instant::now();
+        let e = connect_with_retry(port, false).unwrap_err();
+        assert!(e.contains("after 5 attempt"), "{e}");
+        // 50 + 100 + 200 + 400 ms of backoff happened in between.
+        assert!(start.elapsed() >= Duration::from_millis(700), "backoff is exponential");
+    }
+
+    #[test]
+    fn recover_flag_requires_a_state_dir() {
+        let opts = Opts::parse(&["serve".to_owned(), "--recover".to_owned()]);
+        let e = cmd_serve(&opts).unwrap_err();
+        assert!(e.contains("--dir"), "{e}");
     }
 }

@@ -1,0 +1,286 @@
+//! Kill-anywhere crash recovery, end to end through the real binary.
+//!
+//! These tests spawn the actual `dna` executable with the
+//! `DNA_CRASH_POINT` environment variable armed, so the process
+//! `abort()`s — `kill -9` semantics, no unwinding, no destructors — at a
+//! named step of the versioned store's commit protocol. A fresh process
+//! then recovers (`dna serve --recover` for the daemon, plain `--load`
+//! for the CLI) and the recovered fingerprint is bit-compared against
+//! the fingerprint the committed generation had before the crash.
+//!
+//! In-process tests cannot cover this: an abort takes the test runner
+//! with it. Everything here goes through `std::process::Command`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dna")
+}
+
+/// Fresh scratch directory per test, inside the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("dna_crash_recovery")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Generates a small deterministic circuit with the binary itself.
+fn generate_circuit(dir: &Path) -> PathBuf {
+    let path = dir.join("circuit.ckt");
+    let status = Command::new(bin())
+        .args(["generate", "--gates", "24", "--couplings", "40", "--seed", "7"])
+        .args(["--o", path.to_str().unwrap()])
+        .status()
+        .expect("spawn dna generate");
+    assert!(status.success(), "dna generate failed");
+    path
+}
+
+/// A spawned `dna serve` daemon plus everything its stdout printed
+/// before the `listening on` line (the recovery narration).
+struct Daemon {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    port: u16,
+    boot_lines: Vec<String>,
+}
+
+impl Daemon {
+    fn spawn(state_dir: &Path, recover: bool, crash_point: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(bin());
+        cmd.args(["serve", "--port", "0", "--dir", state_dir.to_str().unwrap()]);
+        if recover {
+            cmd.arg("--recover");
+        }
+        match crash_point {
+            Some(point) => cmd.env("DNA_CRASH_POINT", point),
+            None => cmd.env_remove("DNA_CRASH_POINT"),
+        };
+        cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("spawn dna serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("daemon stdout"));
+        let mut boot_lines = Vec::new();
+        let port = loop {
+            let mut line = String::new();
+            let n = stdout.read_line(&mut line).expect("read daemon stdout");
+            assert!(n > 0, "daemon exited before announcing its port: {boot_lines:?}");
+            let line = line.trim_end().to_owned();
+            if let Some(addr) = line.strip_prefix("dna serve: listening on ") {
+                let port = addr.rsplit(':').next().and_then(|p| p.parse().ok());
+                break port.expect("parse announced port");
+            }
+            boot_lines.push(line);
+        };
+        Daemon { child, stdout, port, boot_lines }
+    }
+
+    /// One request line over a fresh connection; `Ok` is the response
+    /// line, `Err` means the daemon died without answering.
+    fn request(&self, line: &str) -> Result<String, String> {
+        let mut stream =
+            TcpStream::connect(("127.0.0.1", self.port)).map_err(|e| format!("connect: {e}"))?;
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        stream.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        stream.write_all(b"\n").map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        match BufReader::new(stream).read_line(&mut response) {
+            Ok(0) => Err("connection closed without a response".into()),
+            Ok(_) => Ok(response.trim_end().to_owned()),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+
+    /// Graceful stop: wire `shutdown`, then reap the process.
+    fn shutdown(mut self) {
+        let _ = self.request("{\"op\":\"shutdown\"}");
+        let status = self.child.wait().expect("wait for daemon");
+        assert!(status.success(), "daemon exited uncleanly: {status:?}");
+    }
+
+    /// Reap a daemon that was expected to abort at a crash point.
+    fn reap_crashed(mut self) {
+        let status = self.child.wait().expect("wait for crashed daemon");
+        assert!(!status.success(), "daemon survived an armed crash point");
+        // Drain whatever stdout remains so the pipe closes cleanly.
+        let mut rest = String::new();
+        let _ = self.stdout.read_to_string(&mut rest);
+    }
+}
+
+/// Pulls the 16-hex-digit fingerprint out of a wire response line.
+fn fingerprint_of(response: &str) -> u64 {
+    let at = response.find("\"fingerprint\":\"").expect("response carries a fingerprint") + 15;
+    u64::from_str_radix(&response[at..at + 16], 16).expect("parse fingerprint")
+}
+
+fn open_line(circuit: &Path) -> String {
+    format!(
+        "{{\"op\":\"open\",\"tenant\":\"t1\",\"circuit\":\"{}\",\"mode\":\"elim\",\"k\":2}}",
+        circuit.display()
+    )
+}
+
+const COMMIT_LINE: &str = "{\"op\":\"commit\",\"tenant\":\"t1\",\"remove\":[0]}";
+
+/// Oracle run: what the open and the first commit fingerprint look like
+/// when nothing crashes. Deterministic engine, so every later run must
+/// reproduce these exact bits.
+fn oracle(dir: &Path, circuit: &Path) -> (u64, u64) {
+    let state = dir.join("oracle-state");
+    std::fs::create_dir_all(&state).unwrap();
+    let daemon = Daemon::spawn(&state, false, None);
+    let opened = daemon.request(&open_line(circuit)).expect("oracle open");
+    assert!(!opened.contains("\"error\""), "{opened}");
+    let open_fp = fingerprint_of(&opened);
+    let committed = daemon.request(COMMIT_LINE).expect("oracle commit");
+    assert!(!committed.contains("\"error\""), "{committed}");
+    let commit_fp = fingerprint_of(&committed);
+    daemon.shutdown();
+    assert_ne!(open_fp, commit_fp, "the commit must change the result fingerprint");
+    (open_fp, commit_fp)
+}
+
+/// The recovery narration line for tenant `t1`, parsed into
+/// `(generation, fingerprint)`.
+fn recovered_t1(boot_lines: &[String]) -> (u64, u64) {
+    let line = boot_lines
+        .iter()
+        .find(|l| l.starts_with("dna serve: recovered tenant `t1` at generation "))
+        .unwrap_or_else(|| panic!("no recovery line for t1 in {boot_lines:?}"));
+    let rest = line.strip_prefix("dna serve: recovered tenant `t1` at generation ").unwrap();
+    let (generation, rest) = rest.split_once(" (fingerprint ").expect("narration shape");
+    let fingerprint = rest.trim_end_matches(')');
+    (generation.parse().expect("generation"), u64::from_str_radix(fingerprint, 16).expect("fp"))
+}
+
+/// Kills the daemon at each delta-append commit step and proves that
+/// `dna serve --recover` resumes tenant `t1` at the last *committed*
+/// generation, bit-exactly:
+///
+/// * `pre-append` — nothing of the delta reached the disk: recover at
+///   the open checkpoint (generation 0), chain needs no repair;
+/// * `mid-append` — a torn half-record is on disk: recover at
+///   generation 0 after truncating the tail;
+/// * `pre-sync` — the whole record is in the file (only its `fsync` was
+///   lost, which a same-machine abort does not roll back): recover at
+///   generation 1 with the committed fingerprint.
+#[test]
+fn daemon_commit_crash_recovers_the_committed_generation_bit_exactly() {
+    let dir = scratch("commit-crash");
+    let circuit = generate_circuit(&dir);
+    let (open_fp, commit_fp) = oracle(&dir, &circuit);
+
+    for (point, expect_gen, expect_fp, expect_repair) in [
+        ("pre-append", 0u64, open_fp, false),
+        ("mid-append", 0, open_fp, true),
+        ("pre-sync", 1, commit_fp, false),
+    ] {
+        let state = dir.join(format!("state-{point}"));
+        std::fs::create_dir_all(&state).unwrap();
+
+        let daemon = Daemon::spawn(&state, false, Some(point));
+        let opened = daemon.request(&open_line(&circuit)).expect("open before crash");
+        assert_eq!(fingerprint_of(&opened), open_fp, "[{point}] open fingerprint");
+        let died = daemon.request(COMMIT_LINE);
+        assert!(died.is_err(), "[{point}] commit should die mid-save, got: {died:?}");
+        daemon.reap_crashed();
+
+        let recovered = Daemon::spawn(&state, true, None);
+        let (generation, fingerprint) = recovered_t1(&recovered.boot_lines);
+        assert_eq!(generation, expect_gen, "[{point}] recovered generation");
+        assert_eq!(fingerprint, expect_fp, "[{point}] recovered fingerprint");
+        let repaired = recovered.boot_lines.iter().any(|l| l.contains("chain repaired"));
+        assert_eq!(repaired, expect_repair, "[{point}] repair: {:?}", recovered.boot_lines);
+
+        // The recovered tenant must be live, not a zombie: redo the lost
+        // commit (or, when it survived, just page the result).
+        if generation == 0 {
+            let committed = recovered.request(COMMIT_LINE).expect("redo the lost commit");
+            assert_eq!(fingerprint_of(&committed), commit_fp, "[{point}] redone commit");
+        } else {
+            let page = recovered.request("{\"op\":\"query\",\"tenant\":\"t1\",\"limit\":4}");
+            let page = page.expect("query after recovery");
+            assert!(!page.contains("\"error\""), "[{point}] {page}");
+        }
+        recovered.shutdown();
+    }
+}
+
+/// A crash between the artifact commit and the tenant-registry write
+/// (`pre-manifest`, during `open`) must leave no half-registered
+/// tenant: the open was never acknowledged, recovery finds nothing to
+/// resume, and re-opening the same tenant works from scratch.
+#[test]
+fn daemon_open_crash_before_the_manifest_leaves_no_acked_tenant() {
+    let dir = scratch("manifest-crash");
+    let circuit = generate_circuit(&dir);
+    let state = dir.join("state");
+    std::fs::create_dir_all(&state).unwrap();
+
+    let daemon = Daemon::spawn(&state, false, Some("pre-manifest"));
+    let died = daemon.request(&open_line(&circuit));
+    assert!(died.is_err(), "open should die before the manifest write, got: {died:?}");
+    daemon.reap_crashed();
+
+    let recovered = Daemon::spawn(&state, true, None);
+    assert!(
+        recovered.boot_lines.iter().any(|l| l.contains("recovery complete (0 resumed")),
+        "unacked tenant must not be resumed: {:?}",
+        recovered.boot_lines
+    );
+    let reopened = recovered.request(&open_line(&circuit)).expect("re-open after recovery");
+    assert!(!reopened.contains("\"error\""), "{reopened}");
+    let committed = recovered.request(COMMIT_LINE).expect("commit after re-open");
+    assert!(!committed.contains("\"error\""), "{committed}");
+    recovered.shutdown();
+}
+
+/// Kills `dna whatif --save` at each checkpoint commit step and proves
+/// the temp-file/rename protocol never damages the existing chain: the
+/// file is byte-identical after every abort and still resumes.
+#[test]
+fn whatif_save_crash_never_damages_the_committed_chain() {
+    let dir = scratch("whatif-crash");
+    let circuit = generate_circuit(&dir);
+    let art = dir.join("session.dnawifa");
+    let art_s = art.to_str().unwrap().to_owned();
+    let ckt_s = circuit.to_str().unwrap().to_owned();
+
+    let status = Command::new(bin())
+        .args(["whatif", &ckt_s, "--k", "2", "--save", &art_s])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn clean save");
+    assert!(status.success(), "clean save failed");
+    let committed = std::fs::read(&art).expect("committed chain");
+
+    for point in ["pre-temp", "mid-temp", "pre-rename"] {
+        // --compact forces the checkpoint arm (temp file + rename).
+        let status = Command::new(bin())
+            .args(["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--save", &art_s, "--compact"])
+            .env("DNA_CRASH_POINT", point)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("spawn crashing save");
+        assert!(!status.success(), "[{point}] save should abort");
+        let after = std::fs::read(&art).expect("chain after crash");
+        assert_eq!(after, committed, "[{point}] crash must not touch the committed chain");
+
+        let output = Command::new(bin())
+            .args(["whatif", &ckt_s, "--k", "2", "--load", &art_s, "--audit"])
+            .output()
+            .expect("spawn resume after crash");
+        assert!(output.status.success(), "[{point}] resume after crash failed");
+        let out = String::from_utf8_lossy(&output.stdout);
+        assert!(out.contains("resumed session"), "[{point}] {out}");
+    }
+}

@@ -158,6 +158,37 @@ pub enum ArtifactError {
         /// What failed to decode.
         what: String,
     },
+    /// A generation-chain invariant broke at a specific record: a link
+    /// hash that does not match the predecessor, a non-contiguous
+    /// generation number, or a delta whose replayed mask digest disagrees
+    /// with the recorded one. Unlike [`Malformed`](Self::Malformed), the
+    /// record itself passed its checksum — the *chain* is inconsistent,
+    /// which points at splicing or a misdirected append.
+    ChainBroken {
+        /// Generation of the record where the chain broke.
+        generation: u64,
+        /// Which chain invariant failed.
+        what: String,
+    },
+    /// A filesystem operation of the chain commit protocol failed —
+    /// open/write/fsync/rename, not a validation failure. The session's
+    /// in-memory state (including its pending deltas) is intact; the
+    /// commit can be retried.
+    Io {
+        /// The failed operation and the OS error.
+        what: String,
+    },
+    /// `--history GEN` (or a replay API) asked for a generation the chain
+    /// does not hold: past the tip, or below the base checkpoint (history
+    /// before the base is discarded by compaction).
+    GenerationUnavailable {
+        /// The generation that was requested.
+        requested: u64,
+        /// First generation the chain can reproduce.
+        base: u64,
+        /// Last (newest) generation in the chain.
+        tip: u64,
+    },
 }
 
 impl ArtifactError {
@@ -176,6 +207,9 @@ impl ArtifactError {
             ArtifactError::CircuitMismatch { .. } | ArtifactError::ConfigMismatch => {
                 "fingerprint mismatch"
             }
+            ArtifactError::ChainBroken { .. } => "chain broken",
+            ArtifactError::Io { .. } => "io",
+            ArtifactError::GenerationUnavailable { .. } => "generation unavailable",
         }
     }
 }
@@ -201,6 +235,15 @@ impl fmt::Display for ArtifactError {
                 write!(f, "artifact was saved under a different engine configuration")
             }
             ArtifactError::Malformed { what } => write!(f, "malformed payload: {what}"),
+            ArtifactError::ChainBroken { generation, what } => {
+                write!(f, "generation chain broken at generation {generation}: {what}")
+            }
+            ArtifactError::Io { what } => write!(f, "chain i/o failed: {what}"),
+            ArtifactError::GenerationUnavailable { requested, base, tip } => write!(
+                f,
+                "generation {requested} is not in the chain (holds {base}..={tip}; \
+                 history below the base was compacted away)"
+            ),
         }
     }
 }

@@ -29,7 +29,15 @@
 //! * [`arm_drop_sched_publish`] — the sweep never publishes the given
 //!   victim's result slot at all (simulates a lost publication; the
 //!   collection path must quarantine the victim behind a typed
-//!   `SchedulerInvariant` error and a `Degraded` result, never abort).
+//!   `SchedulerInvariant` error and a `Degraded` result, never abort);
+//! * [`arm_crash_point`] / the `DNA_CRASH_POINT` environment variable —
+//!   the versioned artifact store's commit protocol aborts the whole
+//!   process (`kill -9` semantics: no unwinding, no destructors, no
+//!   flushes) at a named protocol step. Recovery must resume from the
+//!   last *committed* generation no matter which step was hit. (Torn
+//!   *tails* at arbitrary byte boundaries need no hook: tests truncate a
+//!   committed chain file directly, which is byte-for-byte what a
+//!   mid-write power cut leaves behind.)
 //!
 //! Every hook is a single relaxed atomic load when disarmed — negligible
 //! against the enumeration work per victim. The hooks are global: tests
@@ -53,6 +61,21 @@ static PREPARE_PANIC: AtomicBool = AtomicBool::new(false);
 static FORCE_CLEAN_VICTIM: AtomicUsize = AtomicUsize::new(DISARMED);
 static CORRUPT_SCHED_SLOT: AtomicUsize = AtomicUsize::new(DISARMED);
 static DROP_SCHED_PUBLISH: AtomicUsize = AtomicUsize::new(DISARMED);
+static CRASH_POINT: AtomicUsize = AtomicUsize::new(DISARMED);
+
+/// Every commit-protocol step the versioned store consults before (or in
+/// the middle of) an irreversible disk operation, in protocol order:
+///
+/// * `pre-append` — before the first byte of a delta append,
+/// * `mid-append` — after a prefix of the delta append has hit the file,
+/// * `pre-sync` — after the append, before its `fsync`,
+/// * `pre-temp` — before the checkpoint temp file is created,
+/// * `mid-temp` — after a prefix of the temp file has been written,
+/// * `pre-rename` — after the temp `fsync`, before the atomic rename,
+/// * `pre-manifest` — after the artifact commit, before the tenant
+///   registry records the new generation.
+pub const CRASH_POINTS: &[&str] =
+    &["pre-append", "mid-append", "pre-sync", "pre-temp", "mid-temp", "pre-rename", "pre-manifest"];
 
 /// Arms a panic inside the enumeration of the victim with net index
 /// `index` on every subsequent sweep until [`disarm_all`].
@@ -97,6 +120,22 @@ pub fn arm_drop_sched_publish(index: usize) {
     DROP_SCHED_PUBLISH.store(index, Ordering::SeqCst);
 }
 
+/// Arms a process abort (`kill -9` semantics — no unwinding, no buffered
+/// writes survive) at the named commit-protocol step of the versioned
+/// artifact store. Returns `false` (and arms nothing) when `point` is not
+/// one of [`CRASH_POINTS`]. The same points can be armed from outside the
+/// process via the `DNA_CRASH_POINT` environment variable, which is how
+/// CI kills a daemon mid-save.
+pub fn arm_crash_point(point: &str) -> bool {
+    match CRASH_POINTS.iter().position(|&p| p == point) {
+        Some(i) => {
+            CRASH_POINT.store(i, Ordering::SeqCst);
+            true
+        }
+        None => false,
+    }
+}
+
 /// Disarms every injection point.
 pub fn disarm_all() {
     PANIC_VICTIM.store(DISARMED, Ordering::SeqCst);
@@ -105,6 +144,7 @@ pub fn disarm_all() {
     FORCE_CLEAN_VICTIM.store(DISARMED, Ordering::SeqCst);
     CORRUPT_SCHED_SLOT.store(DISARMED, Ordering::SeqCst);
     DROP_SCHED_PUBLISH.store(DISARMED, Ordering::SeqCst);
+    CRASH_POINT.store(DISARMED, Ordering::SeqCst);
 }
 
 /// Installs (once) a panic hook that suppresses the default stderr
@@ -178,5 +218,22 @@ pub(crate) fn drop_sched_publish() -> Option<usize> {
     match DROP_SCHED_PUBLISH.load(Ordering::Relaxed) {
         DISARMED => None,
         index => Some(index),
+    }
+}
+
+/// Store hook: aborts the process iff a crash is armed (atomically or via
+/// `DNA_CRASH_POINT`) for this commit-protocol step. The abort is
+/// deliberate `kill -9` semantics — `std::process::abort`, not a panic —
+/// so no destructor, buffered writer or `Drop`-based cleanup can soften
+/// what recovery has to cope with. Called only on artifact/registry save
+/// paths; one relaxed load plus (at most) one env read per commit step.
+pub(crate) fn maybe_crash(point: &str) {
+    let armed = match CRASH_POINT.load(Ordering::Relaxed) {
+        DISARMED => false,
+        i => CRASH_POINTS.get(i).is_some_and(|&p| p == point),
+    };
+    if armed || std::env::var("DNA_CRASH_POINT").as_deref() == Ok(point) {
+        eprintln!("{PANIC_TAG} crash injected at commit step `{point}` — aborting process");
+        std::process::abort();
     }
 }

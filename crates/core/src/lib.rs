@@ -87,7 +87,11 @@ pub use candidate::Candidate;
 pub use config::TopKConfig;
 pub use engine::Mode;
 pub use error::{ArtifactError, TopKError};
-pub use persist::{artifact_fingerprint, ARTIFACT_VERSION};
+pub use persist::{
+    chain_summary, chain_summary_checked, chain_tip, commit_chain, truncate_chain_file,
+    ChainAnchor, ChainFault, ChainRecovery, ChainSummary, CommitOptions, RecordKind, RecordMeta,
+    SaveKind, SaveReport, ARTIFACT_VERSION,
+};
 pub use result::{Fault, FaultPhase, FaultReport, Soundness, SweepStats, TopKResult};
 pub use sched::SchedStats;
 pub use session::{MaskDelta, WhatIfOutcome, WhatIfSession};

@@ -1,0 +1,498 @@
+//! Durable tenant registry: the daemon's crash-safe manifest.
+//!
+//! `dna serve --dir` keeps one artifact chain per tenant plus this
+//! registry file (`tenants.dnareg`), an append-only log mapping tenant →
+//! circuit source, admitted engine knobs, artifact file name and the
+//! last generation the registry *witnessed*. The same write-ahead
+//! discipline as the artifact chains applies:
+//!
+//! * every record is CRC-framed; a torn tail (partial append, `kill -9`
+//!   mid-write) is detected at open and truncated away, keeping the
+//!   longest valid prefix;
+//! * a `put` appends one record and `fsync`s before the in-memory view
+//!   changes — the file never claims something that was not durably
+//!   written;
+//! * the *artifact chain* is committed before the registry records the
+//!   new generation (`pre-manifest` crash point sits between the two),
+//!   so after any crash the chain tip is ≥ the registry's generation and
+//!   recovery trusts the chain, never the registry, for state.
+//!
+//! Records are `op`-tagged (put / remove) and replayed last-writer-wins
+//! into a map at open, so duplicate tenant ids collapse to the newest
+//! record and a remove tombstones everything before it.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::error::{ArtifactError, TopKError};
+use crate::persist::{crc32_multi, io_err, mode_from_u8, mode_to_u8, Reader, Writer};
+use crate::{faultsim, Mode};
+
+/// Leading magic of a registry file.
+const MAGIC: &[u8; 8] = b"DNAREG\0\0";
+
+/// Registry format version this build reads and writes.
+pub const REGISTRY_VERSION: u32 = 1;
+
+const FILE_HEADER_LEN: usize = 12;
+/// `op u8 | payload_len u64 | crc u32`, little-endian. The CRC covers
+/// the op byte, the length field and the payload, so a flipped bit in
+/// the frame itself is as loud as one in the payload.
+const RECORD_HEADER_LEN: usize = 13;
+const CRC_COVERED_HEADER: usize = 9;
+
+const OP_PUT: u8 = 1;
+const OP_REMOVE: u8 = 2;
+
+/// One tenant's durable facts: everything the daemon needs to rebuild
+/// the tenant after a restart *except* the session state itself, which
+/// lives in the artifact chain the record points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRecord {
+    /// Tenant name (the wire-protocol identifier).
+    pub tenant: String,
+    /// Circuit source the daemon resolved at `open` — a netlist file
+    /// path. Re-resolved at recovery; a changed or missing file
+    /// quarantines the tenant instead of silently resuming against the
+    /// wrong circuit.
+    pub circuit_source: String,
+    /// Analysis mode the tenant was opened with.
+    pub mode: Mode,
+    /// `k` the tenant was opened with.
+    pub k: usize,
+    /// Admitted per-victim candidate budget (post-cap), when any.
+    pub victim_budget: Option<usize>,
+    /// Admitted global candidate budget (post-cap), when any.
+    pub global_budget: Option<usize>,
+    /// Admitted sweep deadline in milliseconds (post-cap), when any.
+    pub deadline_ms: Option<u64>,
+    /// Artifact chain file name, relative to the state directory.
+    pub artifact: String,
+    /// Last generation the registry witnessed a commit for. The chain
+    /// itself is authoritative — after a `pre-manifest` crash the chain
+    /// tip is one ahead of this.
+    pub generation: u64,
+    /// Identity fingerprint of the session result at that generation.
+    pub fingerprint: u64,
+    /// FNV-1a fingerprint of the canonical netlist text, pinning the
+    /// record to the exact circuit it was opened against.
+    pub circuit_fingerprint: u64,
+}
+
+fn encode_opt(w: &mut Writer, v: Option<u64>) {
+    match v {
+        None => w.u8(0),
+        Some(x) => {
+            w.u8(1);
+            w.u64(x);
+        }
+    }
+}
+
+fn decode_opt(r: &mut Reader<'_>, what: &str) -> Result<Option<u64>, ArtifactError> {
+    match r.u8(what)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64(what)?)),
+        other => Err(ArtifactError::Malformed { what: format!("{what}: bad option tag {other}") }),
+    }
+}
+
+fn encode_put(rec: &TenantRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str(&rec.tenant);
+    w.str(&rec.circuit_source);
+    w.u8(mode_to_u8(rec.mode));
+    w.usize(rec.k);
+    encode_opt(&mut w, rec.victim_budget.map(|v| v as u64));
+    encode_opt(&mut w, rec.global_budget.map(|v| v as u64));
+    encode_opt(&mut w, rec.deadline_ms);
+    w.str(&rec.artifact);
+    w.u64(rec.generation);
+    w.u64(rec.fingerprint);
+    w.u64(rec.circuit_fingerprint);
+    w.buf
+}
+
+fn decode_put(payload: &[u8]) -> Result<TenantRecord, ArtifactError> {
+    let mut r = Reader::new(payload);
+    let tenant = r.str("registry tenant")?;
+    let circuit_source = r.str("registry circuit source")?;
+    let mode = mode_from_u8(r.u8("registry mode")?)?;
+    let k = r.usize("registry k")?;
+    let victim_budget = decode_opt(&mut r, "registry victim budget")?.map(|v| v as usize);
+    let global_budget = decode_opt(&mut r, "registry global budget")?.map(|v| v as usize);
+    let deadline_ms = decode_opt(&mut r, "registry deadline")?;
+    let artifact = r.str("registry artifact name")?;
+    let generation = r.u64("registry generation")?;
+    let fingerprint = r.u64("registry fingerprint")?;
+    let circuit_fingerprint = r.u64("registry circuit fingerprint")?;
+    r.done()?;
+    Ok(TenantRecord {
+        tenant,
+        circuit_source,
+        mode,
+        k,
+        victim_budget,
+        global_budget,
+        deadline_ms,
+        artifact,
+        generation,
+        fingerprint,
+        circuit_fingerprint,
+    })
+}
+
+fn frame(op: u8, payload: &[u8]) -> Vec<u8> {
+    let mut head = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    head.push(op);
+    head.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let crc = crc32_multi(&[&head[..CRC_COVERED_HEADER], payload]);
+    head.extend_from_slice(&crc.to_le_bytes());
+    head.extend_from_slice(payload);
+    head
+}
+
+/// One parsed registry operation.
+enum RegistryOp {
+    Put(TenantRecord),
+    Remove(String),
+}
+
+/// Parses the record at `bytes[pos..]`; `Ok(None)` marks a clean end of
+/// file, `Err` a torn or corrupt suffix (everything from `pos` on is
+/// untrusted).
+fn parse_record(bytes: &[u8], pos: usize) -> Result<Option<(RegistryOp, usize)>, ArtifactError> {
+    if pos == bytes.len() {
+        return Ok(None);
+    }
+    if bytes.len() - pos < RECORD_HEADER_LEN {
+        return Err(ArtifactError::Truncated {
+            needed: RECORD_HEADER_LEN,
+            have: bytes.len() - pos,
+        });
+    }
+    let head = &bytes[pos..pos + RECORD_HEADER_LEN];
+    let op = head[0];
+    let payload_len = u64::from_le_bytes(head[1..9].try_into().expect("slice is 8 bytes")) as usize;
+    let stored = u32::from_le_bytes(head[9..13].try_into().expect("slice is 4 bytes"));
+    let body_start = pos + RECORD_HEADER_LEN;
+    if bytes.len() - body_start < payload_len {
+        return Err(ArtifactError::Truncated {
+            needed: payload_len,
+            have: bytes.len() - body_start,
+        });
+    }
+    let payload = &bytes[body_start..body_start + payload_len];
+    let computed = crc32_multi(&[&head[..CRC_COVERED_HEADER], payload]);
+    if computed != stored {
+        return Err(ArtifactError::ChecksumMismatch { stored, computed });
+    }
+    let parsed = match op {
+        OP_PUT => RegistryOp::Put(decode_put(payload)?),
+        OP_REMOVE => {
+            let mut r = Reader::new(payload);
+            let tenant = r.str("registry remove tenant")?;
+            r.done()?;
+            RegistryOp::Remove(tenant)
+        }
+        other => {
+            return Err(ArtifactError::Malformed {
+                what: format!("unknown registry op tag {other}"),
+            })
+        }
+    };
+    Ok(Some((parsed, body_start + payload_len)))
+}
+
+/// What [`TenantRegistry::open`] salvaged from an existing file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistryRecovery {
+    /// Live tenants after last-writer-wins replay.
+    pub entries: usize,
+    /// Records replayed (puts + removes, including superseded ones).
+    pub records: usize,
+    /// Torn/corrupt suffix bytes truncated away at open.
+    pub truncated_bytes: u64,
+    /// Description of the damage, when any was found.
+    pub damage: Option<String>,
+}
+
+/// The append-only tenant manifest. All mutation goes through
+/// [`put`](Self::put) / [`remove`](Self::remove), which append + `fsync`
+/// before the in-memory map changes.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    path: PathBuf,
+    file: File,
+    entries: BTreeMap<String, TenantRecord>,
+}
+
+impl TenantRegistry {
+    /// Opens (or creates) the registry at `path`, replaying every valid
+    /// record and truncating a torn or corrupt suffix in place — the
+    /// recovery report says what was lost.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::Artifact`] when the file exists but is not a
+    /// registry (bad magic, version skew — damage truncation never
+    /// crosses the file header), or on any filesystem failure.
+    pub fn open(path: &Path) -> Result<(Self, RegistryRecovery), TopKError> {
+        let mut recovery = RegistryRecovery::default();
+        let exists = path.exists();
+        if !exists {
+            let mut f = File::create(path).map_err(|e| io_err("create registry", path, &e))?;
+            f.write_all(MAGIC).map_err(|e| io_err("write registry header", path, &e))?;
+            f.write_all(&REGISTRY_VERSION.to_le_bytes())
+                .map_err(|e| io_err("write registry header", path, &e))?;
+            f.sync_data().map_err(|e| io_err("sync registry", path, &e))?;
+            return Ok((
+                Self { path: path.to_owned(), file: f, entries: BTreeMap::new() },
+                recovery,
+            ));
+        }
+
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err("read registry", path, &e))?;
+        if bytes.len() < FILE_HEADER_LEN || &bytes[..8] != MAGIC {
+            return Err(ArtifactError::BadMagic.into());
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("slice is 4 bytes"));
+        if version != REGISTRY_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: REGISTRY_VERSION,
+            }
+            .into());
+        }
+
+        let mut entries = BTreeMap::new();
+        let mut pos = FILE_HEADER_LEN;
+        loop {
+            match parse_record(&bytes, pos) {
+                Ok(None) => break,
+                Ok(Some((op, next))) => {
+                    recovery.records += 1;
+                    match op {
+                        RegistryOp::Put(rec) => {
+                            entries.insert(rec.tenant.clone(), rec);
+                        }
+                        RegistryOp::Remove(tenant) => {
+                            entries.remove(&tenant);
+                        }
+                    }
+                    pos = next;
+                }
+                Err(e) => {
+                    // Torn or corrupt suffix: keep the committed prefix,
+                    // truncate the rest away so future appends never
+                    // splice onto garbage.
+                    recovery.truncated_bytes = (bytes.len() - pos) as u64;
+                    recovery.damage = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if recovery.truncated_bytes > 0 {
+            let keep = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| io_err("open registry for repair", path, &e))?;
+            keep.set_len(pos as u64).map_err(|e| io_err("truncate registry", path, &e))?;
+            keep.sync_data().map_err(|e| io_err("sync registry repair", path, &e))?;
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open registry for append", path, &e))?;
+        recovery.entries = entries.len();
+        Ok((Self { path: path.to_owned(), file, entries }, recovery))
+    }
+
+    /// Records (or supersedes) one tenant: append + `fsync`, then update
+    /// the in-memory view. Consults the `pre-manifest` crash point first
+    /// — a crash there leaves the artifact chain committed but the
+    /// registry a generation behind, which recovery resolves in the
+    /// chain's favor.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::Artifact`] ([`ArtifactError::Io`]) on any filesystem
+    /// failure; the in-memory view is unchanged and the call can be
+    /// retried.
+    pub fn put(&mut self, rec: TenantRecord) -> Result<(), TopKError> {
+        faultsim::maybe_crash("pre-manifest");
+        let bytes = frame(OP_PUT, &encode_put(&rec));
+        self.append(&bytes)?;
+        self.entries.insert(rec.tenant.clone(), rec);
+        Ok(())
+    }
+
+    /// Tombstones one tenant. Same durability contract as
+    /// [`put`](Self::put).
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::Artifact`] ([`ArtifactError::Io`]) on any filesystem
+    /// failure; the in-memory view is unchanged.
+    pub fn remove(&mut self, tenant: &str) -> Result<(), TopKError> {
+        let mut w = Writer::new();
+        w.str(tenant);
+        let bytes = frame(OP_REMOVE, &w.buf);
+        self.append(&bytes)?;
+        self.entries.remove(tenant);
+        Ok(())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), TopKError> {
+        self.file.write_all(bytes).map_err(|e| io_err("append registry record", &self.path, &e))?;
+        self.file.sync_data().map_err(|e| io_err("sync registry", &self.path, &e))
+    }
+
+    /// Live tenants, last-writer-wins.
+    #[must_use]
+    pub fn entries(&self) -> &BTreeMap<String, TenantRecord> {
+        &self.entries
+    }
+
+    /// Registry file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tenant: &str, generation: u64) -> TenantRecord {
+        TenantRecord {
+            tenant: tenant.to_owned(),
+            circuit_source: format!("{tenant}.dna"),
+            mode: Mode::Elimination,
+            k: 3,
+            victim_budget: Some(128),
+            global_budget: None,
+            deadline_ms: Some(2_000),
+            artifact: format!("{tenant}.dnawifa"),
+            generation,
+            fingerprint: 0xfeed_f00d_dead_beef,
+            circuit_fingerprint: 42,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dna-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn empty_registry_round_trips() {
+        let dir = tmp_dir("empty");
+        let path = dir.join("tenants.dnareg");
+        {
+            let (reg, recovery) = TenantRegistry::open(&path).expect("create");
+            assert!(reg.entries().is_empty());
+            assert_eq!(recovery, RegistryRecovery::default());
+        }
+        let (reg, recovery) = TenantRegistry::open(&path).expect("reopen");
+        assert!(reg.entries().is_empty());
+        assert_eq!(recovery.records, 0);
+        assert_eq!(recovery.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_remove_and_duplicate_ids_collapse_last_writer_wins() {
+        let dir = tmp_dir("dupes");
+        let path = dir.join("tenants.dnareg");
+        {
+            let (mut reg, _) = TenantRegistry::open(&path).expect("create");
+            reg.put(record("a", 0)).expect("put a@0");
+            reg.put(record("b", 0)).expect("put b@0");
+            reg.put(record("a", 7)).expect("put a@7 (duplicate id)");
+            reg.remove("b").expect("remove b");
+        }
+        let (reg, recovery) = TenantRegistry::open(&path).expect("reopen");
+        assert_eq!(recovery.records, 4, "every operation is replayed");
+        assert_eq!(recovery.entries, 1);
+        assert_eq!(reg.entries().len(), 1);
+        let a = reg.entries().get("a").expect("a survives");
+        assert_eq!(a.generation, 7, "the newest duplicate wins");
+        assert_eq!(a, &record("a", 7), "the record round-trips field-for-field");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_the_prefix_survives() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("tenants.dnareg");
+        {
+            let (mut reg, _) = TenantRegistry::open(&path).expect("create");
+            reg.put(record("a", 1)).expect("put a");
+            reg.put(record("b", 2)).expect("put b");
+        }
+        let full = std::fs::read(&path).expect("read");
+        // Tear the file mid-way through the last record.
+        std::fs::write(&path, &full[..full.len() - 5]).expect("tear");
+        let (reg, recovery) = TenantRegistry::open(&path).expect("lenient open");
+        assert_eq!(reg.entries().len(), 1, "only the committed record survives");
+        assert!(reg.entries().contains_key("a"));
+        assert_eq!(
+            recovery.truncated_bytes as usize,
+            (full.len() - 5) - torn_prefix_len(&full),
+            "torn suffix measured from the last committed record"
+        );
+        assert!(recovery.damage.is_some());
+        // The truncation is persistent: a re-open is clean.
+        let (reg2, recovery2) = TenantRegistry::open(&path).expect("clean reopen");
+        assert_eq!(reg2.entries().len(), 1);
+        assert_eq!(recovery2.truncated_bytes, 0);
+        assert_eq!(recovery2.damage, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Byte offset where the second record of `full` starts.
+    fn torn_prefix_len(full: &[u8]) -> usize {
+        let payload_len =
+            u64::from_le_bytes(full[FILE_HEADER_LEN + 1..FILE_HEADER_LEN + 9].try_into().unwrap())
+                as usize;
+        FILE_HEADER_LEN + RECORD_HEADER_LEN + payload_len
+    }
+
+    #[test]
+    fn corrupt_record_is_rejected_with_its_suffix() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("tenants.dnareg");
+        {
+            let (mut reg, _) = TenantRegistry::open(&path).expect("create");
+            reg.put(record("a", 1)).expect("put a");
+            reg.put(record("b", 2)).expect("put b");
+        }
+        let mut bytes = std::fs::read(&path).expect("read");
+        let second = torn_prefix_len(&bytes);
+        bytes[second + RECORD_HEADER_LEN] ^= 0x01; // flip one payload bit of record 2
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let (reg, recovery) = TenantRegistry::open(&path).expect("lenient open");
+        assert_eq!(reg.entries().len(), 1);
+        assert!(recovery.damage.expect("damage reported").contains("checksum"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_foreign_file_is_rejected_outright() {
+        let dir = tmp_dir("foreign");
+        let path = dir.join("tenants.dnareg");
+        std::fs::write(&path, b"not a registry at all").expect("write");
+        let e = TenantRegistry::open(&path).expect_err("bad magic");
+        assert!(e.to_string().contains("magic"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -224,11 +224,12 @@ fn push_stats(s: &mut String, stats: &ServeStats) {
     let _ = write!(
         s,
         "{{\"ok\":true,\"kind\":\"stats\",\"tenants\":{},\"hot\":{},\"spilled\":{},\
-         \"quarantined\":{},\"served\":{},\"coalesced\":{},\"spills\":{},\"reloads\":{},\
-         \"reload_fallbacks\":{}}}",
+         \"durable\":{},\"quarantined\":{},\"served\":{},\"coalesced\":{},\"spills\":{},\
+         \"reloads\":{},\"reload_fallbacks\":{}}}",
         stats.tenants,
         stats.hot,
         stats.spilled,
+        stats.durable,
         stats.quarantined,
         stats.served,
         stats.coalesced,

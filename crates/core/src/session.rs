@@ -55,8 +55,43 @@ use dna_noise::CouplingMask;
 
 use crate::bounds::{self, CleanCertificate, SemanticState};
 use crate::engine::{NetLists, VictimCounters};
+use crate::persist::{self, ChainAnchor};
 use crate::result::{Fault, FaultReport};
 use crate::{faultsim, Damping, Mode, TopKAnalysis, TopKError, TopKResult};
+
+/// How many unsaved applies a session buffers as replayable deltas before
+/// giving up on delta encoding for the next save. Each buffered delta
+/// holds `Arc` handles to the dirty victims' lists (cheap to keep, but
+/// they pin replaced lists alive), so a session applying thousands of
+/// deltas without ever saving must not grow without bound: past this cap
+/// the buffer is dropped and the next save writes a full checkpoint.
+const MAX_PENDING_DELTAS: usize = 256;
+
+/// One applied-but-unsaved generation, buffered so the next save can
+/// append a delta record instead of rewriting the full artifact. Holds
+/// exactly what chain replay needs to patch a session from generation
+/// `g-1` to `g`: the flipped couplings, the post-apply state of the dirty
+/// victims (everyone else is untouched by construction of the dirty
+/// closure), and the full (small) result/fault state.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingDelta {
+    /// The generation this delta produces when replayed.
+    pub generation: u64,
+    /// Couplings this apply disabled (state actually flipped).
+    pub removed: Vec<CouplingId>,
+    /// Couplings this apply enabled (state actually flipped).
+    pub added: Vec<CouplingId>,
+    /// FNV-1a digest of the full post-apply mask, so replay can prove it
+    /// patched its way to the same world (lint rule L072).
+    pub mask_digest: u64,
+    /// The post-apply result (small: the set, delays, counters).
+    pub result: TopKResult,
+    /// The post-apply session fault quarantines.
+    pub faults: Vec<Fault>,
+    /// Post-apply `(victim index, counters, lists)` of every victim the
+    /// sweep recomputed — `Arc` handles, no envelope deep copies.
+    pub dirty: Vec<(u32, VictimCounters, NetLists)>,
+}
 
 /// A change to the coupling set of a running [`WhatIfSession`].
 ///
@@ -295,10 +330,21 @@ pub struct WhatIfSession<'a, 'c> {
     /// `None` after an artifact resume (digests are not persisted): the
     /// next apply falls back to the structural closure and re-captures.
     pub(crate) semantic: Option<SemanticState>,
-    /// `(payload length, CRC-32)` of the artifact this session was resumed
-    /// from, while the session is still byte-identical to it. `None` for
-    /// sessions started fresh; cleared by the first successful `apply`.
-    pub(crate) resumed_from: Option<(u64, u32)>,
+    /// The generation this session's state corresponds to: 0 after a
+    /// fresh [`start`](Self::start), the chain tip after a resume, +1 per
+    /// effective [`apply`](Self::apply) (one that flips at least one
+    /// coupling — a no-op apply changes no state and records nothing).
+    pub(crate) generation: u64,
+    /// Applied-but-unsaved generations, oldest first, each replayable as
+    /// a delta record. Cleared by a successful save; dropped (with the
+    /// anchor) past [`MAX_PENDING_DELTAS`].
+    pub(crate) pending: Vec<PendingDelta>,
+    /// Tip of the on-disk chain this session's *saved* prefix
+    /// (generations `..= generation - pending.len()`) is known to equal.
+    /// `None` for fresh sessions: the next save must write a checkpoint.
+    /// With an anchor, a save may append `pending` as delta records to a
+    /// file whose tip still matches it.
+    pub(crate) anchor: Option<ChainAnchor>,
 }
 
 impl<'a, 'c> WhatIfSession<'a, 'c> {
@@ -345,7 +391,9 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
             faults,
             result,
             semantic,
-            resumed_from: None,
+            generation: 0,
+            pending: Vec::new(),
+            anchor: None,
         })
     }
 
@@ -367,18 +415,35 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
             faults: self.faults.clone(),
             result: self.result.clone(),
             semantic: self.semantic.clone(),
-            resumed_from: self.resumed_from,
+            generation: self.generation,
+            pending: self.pending.clone(),
+            anchor: self.anchor,
         }
     }
 
-    /// `(payload length, CRC-32)` of the artifact this session was resumed
-    /// from, while its state is still byte-identical to that artifact.
-    /// `None` for sessions started fresh or changed since the resume (any
-    /// successful [`apply`](Self::apply) clears it). Lets a caller skip
-    /// rewriting an artifact that would come out identical.
+    /// The generation this session's state corresponds to: 0 after a
+    /// fresh [`start`](Self::start), the chain tip after a resume, and +1
+    /// for every [`apply`](Self::apply) that flips at least one coupling.
     #[must_use]
-    pub fn source_fingerprint(&self) -> Option<(u64, u32)> {
-        self.resumed_from
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// How many applied generations are buffered but not yet saved — the
+    /// number of delta records the next
+    /// [`commit_chain`](crate::commit_chain) would append (0 means the
+    /// next save is either a no-op or a checkpoint).
+    #[must_use]
+    pub fn pending_deltas(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The tip of the chain file this session's saved state is known to
+    /// match, or `None` when the session was started fresh (or buffered
+    /// past the delta cap) and the next save must write a checkpoint.
+    #[must_use]
+    pub fn chain_anchor(&self) -> Option<ChainAnchor> {
+        self.anchor
     }
 
     /// The engine mode this session analyzes.
@@ -469,12 +534,59 @@ impl<'a, 'c> WhatIfSession<'a, 'c> {
         )?;
 
         self.mask = new_mask;
-        self.lists = lists;
-        self.counters = counters;
+        let old_lists = std::mem::replace(&mut self.lists, lists);
+        let old_counters = std::mem::replace(&mut self.counters, counters);
         self.faults = faults;
         self.result = result.clone();
         self.semantic = semantic;
-        self.resumed_from = None;
+        // Record the generation step for the versioned store. A no-op
+        // apply (nothing flipped) leaves the session bit-identical to the
+        // generation it was already at, so it records nothing.
+        if !changed.is_empty() {
+            self.generation += 1;
+            let mut removed = Vec::new();
+            let mut added = Vec::new();
+            for &id in &changed {
+                if self.mask.is_enabled(id) {
+                    added.push(id);
+                } else {
+                    removed.push(id);
+                }
+            }
+            // Snapshot only the re-swept victims whose state actually
+            // changed: on a saturated closure most re-sweeps reproduce
+            // the old lists bit-for-bit, and replay-patching a victim to
+            // bytes it already holds is a no-op — omitting it is exactly
+            // as bit-exact as storing it, at a fraction of the record.
+            let dirty_snapshot: Vec<(u32, VictimCounters, NetLists)> = dirty
+                .iter()
+                .enumerate()
+                .filter(|&(vi, &d)| {
+                    d && !persist::victim_state_identical(
+                        &old_counters[vi],
+                        &old_lists[vi],
+                        &self.counters[vi],
+                        &self.lists[vi],
+                    )
+                })
+                .map(|(vi, _)| (vi as u32, self.counters[vi], self.lists[vi].clone()))
+                .collect();
+            self.pending.push(PendingDelta {
+                generation: self.generation,
+                removed,
+                added,
+                mask_digest: persist::mask_digest(circuit, &self.mask),
+                result: self.result.clone(),
+                faults: self.faults.clone(),
+                dirty: dirty_snapshot,
+            });
+            if self.pending.len() > MAX_PENDING_DELTAS {
+                // Too much unsaved history to keep pinned: forget it and
+                // force the next save to checkpoint instead.
+                self.pending.clear();
+                self.anchor = None;
+            }
+        }
         if std::env::var_os("DNA_PROFILE").is_some() {
             eprintln!(
                 "[profile] whatif apply: {:.2?} ({recomputed_victims}/{} victims recomputed, \

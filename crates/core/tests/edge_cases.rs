@@ -136,3 +136,176 @@ fn degenerate_circuits_support_sessions_and_artifacts() {
     let resumed = WhatIfSession::resume(&engine, &artifact).expect("artifact loads");
     assert_eq!(session.result().delay_after().to_bits(), resumed.result().delay_after().to_bits());
 }
+
+// ---------------------------------------------------------------------
+// Generation-chain edge cases (the crash-safe versioned store)
+// ---------------------------------------------------------------------
+
+/// Scratch chain path under a per-test temp directory.
+fn chain_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dna_edge_chain");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}-{}.dnawifa", std::process::id()))
+}
+
+#[test]
+fn generation_zero_chain_round_trips() {
+    use dna_topk::{chain_summary, commit_chain, CommitOptions, RecordKind, SaveKind};
+
+    let circuit = tiny_coupled();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let mut session = WhatIfSession::start(&engine, Mode::Elimination, 2).expect("session starts");
+    assert_eq!(session.generation(), 0, "a fresh session is generation 0");
+
+    // A never-touched session commits as a single checkpoint at
+    // generation 0, and resuming lands exactly there.
+    let path = chain_path("gen0");
+    let report = commit_chain(&mut session, &path, &CommitOptions::default()).expect("commit");
+    assert_eq!(report.kind, SaveKind::Checkpoint);
+    assert_eq!(report.generation, 0);
+
+    let bytes = std::fs::read(&path).expect("chain bytes");
+    let summary = chain_summary(&bytes).expect("summary");
+    assert_eq!(summary.base_generation(), Some(0));
+    assert_eq!(summary.tip_generation(), Some(0));
+    assert_eq!(summary.records.len(), 1);
+    assert_eq!(summary.records[0].kind, RecordKind::Checkpoint);
+    assert!(summary.faults.is_empty());
+
+    let resumed = WhatIfSession::resume(&engine, &bytes).expect("resume");
+    assert_eq!(resumed.generation(), 0);
+    assert_eq!(
+        session.result().identity_fingerprint(),
+        resumed.result().identity_fingerprint(),
+        "generation 0 must reproduce bit-exactly"
+    );
+    // Committing the untouched resumed state writes nothing.
+    let mut resumed = resumed;
+    let again = commit_chain(&mut resumed, &path, &CommitOptions::default()).expect("recommit");
+    assert_eq!(again.kind, SaveKind::Unchanged);
+    assert_eq!(again.bytes_written, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn only_compaction_chain_stays_single_record_and_discards_history() {
+    use dna_topk::MaskDelta;
+    use dna_topk::{chain_summary, commit_chain, ArtifactError, CommitOptions, RecordKind};
+
+    let circuit = tiny_coupled();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let mut session = WhatIfSession::start(&engine, Mode::Elimination, 1).expect("session starts");
+    let path = chain_path("compact_only");
+    let compact = CommitOptions { force_checkpoint: true, ..CommitOptions::default() };
+
+    // Every commit compacts: the chain is always exactly one checkpoint,
+    // whose generation advances with the session.
+    let ids: Vec<_> = circuit.coupling_ids().collect();
+    commit_chain(&mut session, &path, &compact).expect("commit 0");
+    for (step, &cc) in ids.iter().take(2).enumerate() {
+        session.apply(&MaskDelta::remove(&[cc])).expect("apply");
+        let report = commit_chain(&mut session, &path, &compact).expect("commit");
+        assert_eq!(report.generation, (step + 1) as u64);
+        let summary = chain_summary(&std::fs::read(&path).expect("bytes")).expect("summary");
+        assert_eq!(summary.records.len(), 1, "compaction never appends");
+        assert_eq!(summary.records[0].kind, RecordKind::Checkpoint);
+    }
+
+    // Compaction discards history below the base: generations before the
+    // final checkpoint are typed as unavailable, not wrong.
+    let bytes = std::fs::read(&path).expect("bytes");
+    let tip = chain_summary(&bytes).expect("summary").tip_generation().expect("tip");
+    assert_eq!(tip, 2);
+    let err = WhatIfSession::resume_at(&engine, &bytes, 0).expect_err("history was compacted");
+    match err {
+        TopKError::Artifact(ArtifactError::GenerationUnavailable { requested, base, tip }) => {
+            assert_eq!((requested, base, tip), (0, 2, 2));
+        }
+        other => panic!("wrong error class: {other}"),
+    }
+    // The tip itself still replays.
+    let resumed = WhatIfSession::resume_at(&engine, &bytes, tip).expect("tip replays");
+    assert_eq!(resumed.result().identity_fingerprint(), session.result().identity_fingerprint());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn history_past_the_tip_is_a_typed_refusal() {
+    use dna_topk::{commit_chain, ArtifactError, CommitOptions};
+
+    let circuit = tiny_coupled();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let mut session = WhatIfSession::start(&engine, Mode::Elimination, 1).expect("session starts");
+    let path = chain_path("past_tip");
+    commit_chain(&mut session, &path, &CommitOptions::default()).expect("commit");
+    let bytes = std::fs::read(&path).expect("bytes");
+
+    let err = WhatIfSession::resume_at(&engine, &bytes, 7).expect_err("generation 7 never existed");
+    match err {
+        TopKError::Artifact(ArtifactError::GenerationUnavailable { requested, base, tip }) => {
+            assert_eq!((requested, base, tip), (7, 0, 0));
+        }
+        other => panic!("wrong error class: {other}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn chain_for_a_different_circuit_is_rejected_at_every_entry_point() {
+    use dna_topk::{commit_chain, CommitOptions};
+
+    let circuit = tiny_coupled();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let mut session = WhatIfSession::start(&engine, Mode::Elimination, 1).expect("session starts");
+    let path = chain_path("cross_circuit");
+    commit_chain(&mut session, &path, &CommitOptions::default()).expect("commit");
+    let bytes = std::fs::read(&path).expect("bytes");
+
+    let other = uncoupled_chain();
+    let other_engine = TopKAnalysis::new(&other, TopKConfig::default());
+    for (what, err) in [
+        ("resume", WhatIfSession::resume(&other_engine, &bytes).err()),
+        ("resume_at", WhatIfSession::resume_at(&other_engine, &bytes, 0).err()),
+        ("resume_lenient", WhatIfSession::resume_lenient(&other_engine, &bytes).err()),
+    ] {
+        let err = err.unwrap_or_else(|| panic!("{what} accepted a foreign chain"));
+        assert!(err.to_string().contains("different circuit"), "{what}: {err}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn history_replay_is_bit_exact_at_every_generation() {
+    use dna_topk::{commit_chain, CommitOptions, MaskDelta, SaveKind};
+
+    let circuit = tiny_coupled();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let mut session = WhatIfSession::start(&engine, Mode::Elimination, 1).expect("session starts");
+    let path = chain_path("history");
+
+    // Live run: commit after every step, recording the fingerprint each
+    // committed generation had when it was the present.
+    let mut fingerprints = vec![(session.generation(), session.result().identity_fingerprint())];
+    commit_chain(&mut session, &path, &CommitOptions::default()).expect("base commit");
+    for &cc in circuit.coupling_ids().collect::<Vec<_>>().iter().take(2) {
+        session.apply(&MaskDelta::remove(&[cc])).expect("apply");
+        let report = commit_chain(&mut session, &path, &CommitOptions::default()).expect("commit");
+        assert_eq!(report.kind, SaveKind::Delta(1), "touched commits append one delta");
+        fingerprints.push((session.generation(), session.result().identity_fingerprint()));
+    }
+
+    // --history GEN substrate: every committed generation replays to the
+    // exact fingerprint the sequential run produced at that point.
+    let bytes = std::fs::read(&path).expect("bytes");
+    for (generation, expected) in fingerprints {
+        let replayed = WhatIfSession::resume_at(&engine, &bytes, generation)
+            .unwrap_or_else(|e| panic!("generation {generation} must replay: {e}"));
+        assert_eq!(replayed.generation(), generation);
+        assert_eq!(
+            replayed.result().identity_fingerprint(),
+            expected,
+            "generation {generation} diverged from the sequential run"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,166 @@
+//! L07x — artifact chain integrity: the crash-safe versioned store's
+//! generation chain against its ordering, linking and replay contracts.
+
+use dna_topk::{ChainFault, ChainSummary, RecordKind};
+
+use crate::{Diagnostics, Location, Rule};
+
+/// Lints an artifact chain summary (from [`dna_topk::chain_summary`] or,
+/// to also catch replay-level defects, [`dna_topk::chain_summary_checked`])
+/// against the L07x rules:
+///
+/// * **L070** — records out of order: the base is not a checkpoint, a
+///   checkpoint appears mid-chain, or generations are not contiguous;
+/// * **L071** — a record is corrupt or unlinked (CRC failure, broken
+///   predecessor hash, or replay rejecting a CRC-valid record);
+/// * **L072** — a delta's replayed mask diverges from its recorded
+///   digest, so the chain no longer reproduces its own history;
+/// * **L073** *(warning)* — a torn tail: the file ends mid-record, the
+///   recoverable signature of an interrupted append.
+///
+/// The committed records are re-checked structurally here even though the
+/// scanner enforces the same ordering, so a summary assembled by buggy
+/// code — not just a damaged file — is caught and named too.
+#[must_use]
+pub fn lint_chain(summary: &ChainSummary) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    for (i, r) in summary.records.iter().enumerate() {
+        let at = Location::Record { generation: r.generation };
+        if i == 0 {
+            if r.kind != RecordKind::Checkpoint {
+                diags.report(
+                    Rule::ChainOutOfOrder,
+                    at,
+                    "the chain base is not a checkpoint record",
+                );
+            }
+            continue;
+        }
+        if r.kind == RecordKind::Checkpoint {
+            diags.report(
+                Rule::ChainOutOfOrder,
+                at.clone(),
+                "checkpoint record after the base (compaction rewrites, it never appends)",
+            );
+        }
+        let prev = &summary.records[i - 1];
+        if r.generation != prev.generation.wrapping_add(1) {
+            diags.report(
+                Rule::ChainOutOfOrder,
+                at,
+                format!(
+                    "generation {} follows {} (must increase by exactly 1)",
+                    r.generation, prev.generation
+                ),
+            );
+        }
+    }
+
+    for fault in &summary.faults {
+        match fault {
+            ChainFault::OutOfOrder { generation, what } => diags.report(
+                Rule::ChainOutOfOrder,
+                Location::Record { generation: *generation },
+                what.clone(),
+            ),
+            ChainFault::LinkBroken { generation } => diags.report(
+                Rule::ChainRecordCorrupt,
+                Location::Record { generation: *generation },
+                "predecessor link hash does not match the record before it",
+            ),
+            ChainFault::Corrupt { error } => {
+                diags.report(Rule::ChainRecordCorrupt, Location::Global, error.clone());
+            }
+            ChainFault::ReplayRejected { error } => diags.report(
+                Rule::ChainRecordCorrupt,
+                Location::Global,
+                format!("replay rejected a CRC-valid record: {error}"),
+            ),
+            ChainFault::MaskDivergence { generation } => diags.report(
+                Rule::ChainMaskDivergence,
+                Location::Record { generation: *generation },
+                "replayed mask does not hash to the digest the record committed",
+            ),
+            ChainFault::TornTail { bytes } => diags.report(
+                Rule::ChainTornTail,
+                Location::Global,
+                format!(
+                    "{bytes} uncommitted byte(s) past the last whole record; \
+                     truncating to the committed prefix repairs the chain"
+                ),
+            ),
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_topk::RecordMeta;
+
+    fn rec(kind: RecordKind, generation: u64) -> RecordMeta {
+        RecordMeta { kind, generation, payload_bytes: 16, offset: 12 }
+    }
+
+    #[test]
+    fn healthy_chain_is_clean() {
+        let summary = ChainSummary {
+            records: vec![
+                rec(RecordKind::Checkpoint, 2),
+                rec(RecordKind::Delta, 3),
+                rec(RecordKind::Delta, 4),
+            ],
+            faults: vec![],
+        };
+        let diags = lint_chain(&summary);
+        assert!(diags.is_empty(), "{}", diags.render_text());
+    }
+
+    #[test]
+    fn structural_disorder_is_l070() {
+        let summary = ChainSummary {
+            records: vec![
+                rec(RecordKind::Delta, 0),
+                rec(RecordKind::Checkpoint, 1),
+                rec(RecordKind::Delta, 5),
+            ],
+            faults: vec![],
+        };
+        let diags = lint_chain(&summary);
+        assert!(diags.has(Rule::ChainOutOfOrder));
+        // Delta base, mid-chain checkpoint, and the generation gap.
+        assert_eq!(diags.error_count(), 3, "{}", diags.render_text());
+    }
+
+    #[test]
+    fn faults_map_to_their_codes() {
+        let summary = ChainSummary {
+            records: vec![rec(RecordKind::Checkpoint, 0)],
+            faults: vec![
+                ChainFault::LinkBroken { generation: 1 },
+                ChainFault::Corrupt { error: "checksum mismatch".into() },
+                ChainFault::MaskDivergence { generation: 2 },
+                ChainFault::ReplayRejected { error: "bad payload".into() },
+            ],
+        };
+        let diags = lint_chain(&summary);
+        assert!(diags.has(Rule::ChainRecordCorrupt));
+        assert!(diags.has(Rule::ChainMaskDivergence));
+        assert_eq!(diags.error_count(), 4, "{}", diags.render_text());
+    }
+
+    #[test]
+    fn torn_tail_is_a_warning_not_an_error() {
+        let summary = ChainSummary {
+            records: vec![rec(RecordKind::Checkpoint, 0), rec(RecordKind::Delta, 1)],
+            faults: vec![ChainFault::TornTail { bytes: 17 }],
+        };
+        let diags = lint_chain(&summary);
+        assert!(diags.has(Rule::ChainTornTail));
+        assert_eq!(diags.error_count(), 0, "{}", diags.render_text());
+        assert_eq!(diags.warning_count(), 1);
+    }
+}

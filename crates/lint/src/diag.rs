@@ -75,6 +75,11 @@ pub enum Location {
         /// Field path, e.g. `noise.tolerance`.
         field: &'static str,
     },
+    /// A record of a session artifact chain.
+    Record {
+        /// Generation the record produces (or claims to).
+        generation: u64,
+    },
     /// The artifact as a whole.
     Global,
 }
@@ -91,6 +96,7 @@ impl Location {
             Location::Candidate { .. } => "candidate",
             Location::Cell { .. } => "cell",
             Location::Config { .. } => "config",
+            Location::Record { .. } => "record",
             Location::Global => "global",
         }
     }
@@ -108,6 +114,7 @@ impl fmt::Display for Location {
             Location::Candidate { index } => write!(f, "candidate {index}"),
             Location::Cell { name } => write!(f, "cell `{name}`"),
             Location::Config { field } => write!(f, "config `{field}`"),
+            Location::Record { generation } => write!(f, "chain record @ generation {generation}"),
             Location::Global => f.write_str("(global)"),
         }
     }
@@ -284,6 +291,9 @@ fn location_json(loc: &Location) -> String {
         }
         Location::Config { field } => {
             let _ = write!(out, ", \"field\": \"{}\"", escape_json(field));
+        }
+        Location::Record { generation } => {
+            let _ = write!(out, ", \"generation\": {generation}");
         }
         Location::Global => {}
     }

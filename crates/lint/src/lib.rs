@@ -16,7 +16,8 @@
 //!   scripts and corpora can match on, grouped by pass
 //!   (`L00x` referential integrity, `L01x` topology, `L02x` waveforms,
 //!   `L03x` engine state, `L04x` library/config, `L05x` semantic damping
-//!   certificates, `L06x` scheduler determinism);
+//!   certificates, `L06x` scheduler determinism, `L07x` artifact chain
+//!   integrity);
 //! * every finding is a [`Diagnostic`] with a severity and a span-like
 //!   [`Location`];
 //! * passes report into a [`Diagnostics`] collector that renders as
@@ -38,6 +39,8 @@
 //!   prover verdict;
 //! * [`lint_sched_replay`] — a work-stealing sweep's result slots and
 //!   budget shares against their serial replay;
+//! * [`lint_chain`] — a session artifact chain's record ordering, links
+//!   and replayability (the crash-safe versioned store);
 //! * [`lint_config`] — sanity ranges on analysis knobs.
 //!
 //! # Example
@@ -80,6 +83,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chain;
 mod circuit;
 mod config;
 mod diag;
@@ -87,6 +91,7 @@ mod engine;
 mod rules;
 mod waveform;
 
+pub use chain::lint_chain;
 pub use circuit::lint_circuit;
 pub use config::lint_config;
 pub use diag::{Diagnostic, Diagnostics, Location, Severity};

@@ -18,7 +18,9 @@ use crate::Severity;
 /// * `L05x` — semantic damping certificates (the corridor prover's
 ///   clean-victim proofs),
 /// * `L06x` — scheduler determinism (the work-stealing sweep against
-///   its serial replay).
+///   its serial replay),
+/// * `L07x` — artifact chain integrity (the crash-safe versioned
+///   store's generation chain).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Rule {
@@ -106,6 +108,24 @@ pub enum Rule {
     /// decision contradicts the pre-partitioned budget share — the
     /// scheduler's determinism contract is broken.
     SchedulerResultSlotMismatch,
+    /// An artifact chain's records are out of order: the base is not a
+    /// checkpoint, a checkpoint appears mid-chain, or generations are
+    /// not contiguous.
+    ChainOutOfOrder,
+    /// A chain record is corrupt or unlinked: its framing CRC fails,
+    /// its predecessor hash does not match the record before it, or a
+    /// CRC-valid record is rejected by replay — splicing, bit rot or a
+    /// misdirected append.
+    ChainRecordCorrupt,
+    /// A delta record's replayed mask does not hash to its recorded
+    /// digest: the chain's history no longer reproduces the states it
+    /// claims to have committed.
+    ChainMaskDivergence,
+    /// The chain ends mid-record — the torn tail of an append that was
+    /// interrupted (`kill -9`, power loss). Recoverable by design:
+    /// truncating to the committed prefix repairs the file, so this is
+    /// a warning, not an error.
+    ChainTornTail,
 }
 
 impl Rule {
@@ -146,6 +166,10 @@ impl Rule {
             Rule::CorridorCacheStale => "L051",
             Rule::BoundNotMonotone => "L052",
             Rule::SchedulerResultSlotMismatch => "L060",
+            Rule::ChainOutOfOrder => "L070",
+            Rule::ChainRecordCorrupt => "L071",
+            Rule::ChainMaskDivergence => "L072",
+            Rule::ChainTornTail => "L073",
         }
     }
 
@@ -153,7 +177,7 @@ impl Rule {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Rule::FloatingNet => Severity::Warning,
+            Rule::FloatingNet | Rule::ChainTornTail => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -195,6 +219,10 @@ impl Rule {
             Rule::CorridorCacheStale => "stale corridor cache",
             Rule::BoundNotMonotone => "bound not monotone",
             Rule::SchedulerResultSlotMismatch => "scheduler result slot mismatch",
+            Rule::ChainOutOfOrder => "chain records out of order",
+            Rule::ChainRecordCorrupt => "chain record corrupt or unlinked",
+            Rule::ChainMaskDivergence => "chain mask digest divergence",
+            Rule::ChainTornTail => "chain torn tail",
         }
     }
 
@@ -235,6 +263,10 @@ impl Rule {
             Rule::CorridorCacheStale,
             Rule::BoundNotMonotone,
             Rule::SchedulerResultSlotMismatch,
+            Rule::ChainOutOfOrder,
+            Rule::ChainRecordCorrupt,
+            Rule::ChainMaskDivergence,
+            Rule::ChainTornTail,
         ]
     }
 }

@@ -410,3 +410,58 @@ fn whatif_apply_recovers_after_a_quarantined_start() {
     let outcome = session.apply(&MaskDelta::remove(&fix)).expect("apply succeeds");
     assert!(outcome.result().delay_after().is_finite());
 }
+
+#[test]
+fn strided_bit_flips_over_delta_records_are_typed_and_lenient_recoverable() {
+    use topk_aggressors::topk::{chain_summary, commit_chain, CommitOptions, SaveKind};
+
+    let _guard = armed();
+    let circuit = i1();
+    let engine = TopKAnalysis::new(&circuit, TopKConfig::default());
+    let mut session = WhatIfSession::start(&engine, Mode::Elimination, 2).expect("session starts");
+
+    // Grow a chain with two delta records behind the base checkpoint.
+    let dir = std::env::temp_dir().join("dna_fault_chain");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("flips-{}.dnawifa", std::process::id()));
+    commit_chain(&mut session, &path, &CommitOptions::default()).expect("base commit");
+    for id in 0..2u32 {
+        session.apply(&MaskDelta::remove(&[CouplingId::new(id)])).expect("apply");
+        let report = commit_chain(&mut session, &path, &CommitOptions::default()).expect("commit");
+        assert_eq!(report.kind, SaveKind::Delta(1));
+    }
+    let bytes = std::fs::read(&path).expect("chain bytes");
+    let _ = std::fs::remove_file(&path);
+    let summary = chain_summary(&bytes).expect("summary");
+    assert_eq!(summary.records.len(), 3, "checkpoint + two deltas");
+    let delta_start = summary.records[1].offset as usize;
+
+    // A stride of flips across the delta region — record headers, link
+    // hashes, payloads, CRCs. Every flip must (a) fail the strict loader
+    // with a typed artifact error, and (b) leave the lenient loader a
+    // committed prefix that replays bit-identically to the clean chain
+    // at that same generation: corruption costs the tail, never the
+    // answer and never a panic.
+    let tip = summary.tip_generation().expect("tip");
+    for offset in (delta_start..bytes.len()).step_by(61) {
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 0x10;
+
+        let err = WhatIfSession::resume(&engine, &corrupt)
+            .err()
+            .unwrap_or_else(|| panic!("flip at byte {offset} went undetected"));
+        assert!(matches!(err, TopKError::Artifact(_)), "byte {offset}: {err}");
+
+        let (salvaged, recovery) = WhatIfSession::resume_lenient(&engine, &corrupt)
+            .unwrap_or_else(|e| panic!("flip at byte {offset}: base must survive: {e}"));
+        assert!(recovery.generation < tip, "byte {offset}: the damaged tail cannot commit");
+        assert_eq!(salvaged.generation(), recovery.generation);
+        let reference = WhatIfSession::resume_at(&engine, &bytes, recovery.generation)
+            .expect("clean chain replays every committed generation");
+        assert_eq!(
+            salvaged.result().identity_fingerprint(),
+            reference.result().identity_fingerprint(),
+            "byte {offset}: salvaged prefix diverged from the clean replay"
+        );
+    }
+}
